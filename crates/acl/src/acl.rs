@@ -1,0 +1,311 @@
+//! Access control lists and the decision algorithm.
+
+use crate::entry::{AclEntry, EntryKind, Who};
+use crate::mode::{AccessMode, ModeSet};
+use crate::principal::{Directory, PrincipalId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The outcome of evaluating an ACL for one principal and one mode.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AclDecision {
+    /// A positive entry matched and no negative entry did.
+    Granted,
+    /// A negative entry matched; the index identifies the winning entry.
+    DeniedByEntry(usize),
+    /// No entry matched the principal and mode at all (default deny).
+    NoMatchingEntry,
+}
+
+impl AclDecision {
+    /// Returns whether the decision grants access.
+    pub fn granted(self) -> bool {
+        matches!(self, AclDecision::Granted)
+    }
+}
+
+impl fmt::Display for AclDecision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AclDecision::Granted => write!(f, "granted"),
+            AclDecision::DeniedByEntry(i) => write!(f, "denied by entry {i}"),
+            AclDecision::NoMatchingEntry => write!(f, "no matching entry"),
+        }
+    }
+}
+
+/// A fully featured access control list.
+///
+/// Decision semantics: a mode is granted to a principal iff no matching
+/// entry denies it **and** some matching entry allows it. Negative entries
+/// dominate positive ones regardless of their position in the list, so
+/// "allow group staff, but never bob" works whichever order the two entries
+/// were added in. An empty ACL denies everything (default deny, the
+/// fail-safe default of Saltzer & Schroeder).
+///
+/// # Examples
+///
+/// ```
+/// use extsec_acl::{AccessMode, Acl, AclEntry, Directory, ModeSet};
+///
+/// let mut dir = Directory::new();
+/// let alice = dir.add_principal("alice").unwrap();
+///
+/// let mut acl = Acl::new();
+/// assert!(!acl.check(&dir, alice, AccessMode::Read).granted()); // default deny
+///
+/// acl.push(AclEntry::allow_principal_modes(alice, ModeSet::parse("rx").unwrap()));
+/// assert!(acl.check(&dir, alice, AccessMode::Read).granted());
+/// assert!(!acl.check(&dir, alice, AccessMode::Write).granted());
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Acl {
+    entries: Vec<AclEntry>,
+}
+
+impl Acl {
+    /// Creates an empty (deny-all) ACL.
+    pub fn new() -> Self {
+        Acl::default()
+    }
+
+    /// Creates an ACL from a list of entries.
+    pub fn from_entries<I: IntoIterator<Item = AclEntry>>(entries: I) -> Self {
+        Acl {
+            entries: entries.into_iter().collect(),
+        }
+    }
+
+    /// Creates an ACL granting `modes` to everyone (useful for public
+    /// interfaces like a console service).
+    pub fn public(modes: ModeSet) -> Self {
+        Acl::from_entries([AclEntry::allow_everyone(modes)])
+    }
+
+    /// Appends an entry.
+    pub fn push(&mut self, entry: AclEntry) {
+        self.entries.push(entry);
+    }
+
+    /// Removes the entry at `index`, returning it if present.
+    pub fn remove(&mut self, index: usize) -> Option<AclEntry> {
+        if index < self.entries.len() {
+            Some(self.entries.remove(index))
+        } else {
+            None
+        }
+    }
+
+    /// Returns the entries.
+    pub fn entries(&self) -> &[AclEntry] {
+        &self.entries
+    }
+
+    /// Returns the number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns whether the ACL has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Evaluates the ACL for `principal` requesting `mode`.
+    ///
+    /// Negative entries dominate: the first matching deny (in list order)
+    /// is reported even when an allow also matches.
+    pub fn check(
+        &self,
+        directory: &Directory,
+        principal: PrincipalId,
+        mode: AccessMode,
+    ) -> AclDecision {
+        let mut allowed = false;
+        for (i, entry) in self.entries.iter().enumerate() {
+            if !entry.applies(directory, principal, mode) {
+                continue;
+            }
+            match entry.kind {
+                EntryKind::Deny => return AclDecision::DeniedByEntry(i),
+                EntryKind::Allow => allowed = true,
+            }
+        }
+        if allowed {
+            AclDecision::Granted
+        } else {
+            AclDecision::NoMatchingEntry
+        }
+    }
+
+    /// Returns the full set of modes `principal` is granted by this ACL.
+    pub fn effective_modes(&self, directory: &Directory, principal: PrincipalId) -> ModeSet {
+        AccessMode::ALL
+            .into_iter()
+            .filter(|m| self.check(directory, principal, *m).granted())
+            .collect()
+    }
+
+    /// Returns whether any entry names `who` directly.
+    pub fn mentions(&self, who: Who) -> bool {
+        self.entries.iter().any(|e| e.who == who)
+    }
+}
+
+impl fmt::Display for Acl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, e) in self.entries.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{e}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::principal::GroupId;
+
+    fn setup() -> (Directory, PrincipalId, PrincipalId, GroupId) {
+        let mut dir = Directory::new();
+        let alice = dir.add_principal("alice").unwrap();
+        let bob = dir.add_principal("bob").unwrap();
+        let staff = dir.add_group("staff").unwrap();
+        dir.add_member(staff, alice).unwrap();
+        dir.add_member(staff, bob).unwrap();
+        (dir, alice, bob, staff)
+    }
+
+    #[test]
+    fn empty_acl_denies() {
+        let (dir, alice, ..) = setup();
+        let acl = Acl::new();
+        for mode in AccessMode::ALL {
+            assert_eq!(acl.check(&dir, alice, mode), AclDecision::NoMatchingEntry);
+        }
+    }
+
+    #[test]
+    fn deny_overrides_allow_regardless_of_order() {
+        let (dir, alice, bob, staff) = setup();
+        // Deny first.
+        let acl = Acl::from_entries([
+            AclEntry::deny_principal(bob, AccessMode::Execute),
+            AclEntry::allow_group(staff, AccessMode::Execute),
+        ]);
+        assert!(acl.check(&dir, alice, AccessMode::Execute).granted());
+        assert_eq!(
+            acl.check(&dir, bob, AccessMode::Execute),
+            AclDecision::DeniedByEntry(0)
+        );
+        // Allow first.
+        let acl = Acl::from_entries([
+            AclEntry::allow_group(staff, AccessMode::Execute),
+            AclEntry::deny_principal(bob, AccessMode::Execute),
+        ]);
+        assert!(acl.check(&dir, alice, AccessMode::Execute).granted());
+        assert_eq!(
+            acl.check(&dir, bob, AccessMode::Execute),
+            AclDecision::DeniedByEntry(1)
+        );
+    }
+
+    #[test]
+    fn deny_is_mode_specific() {
+        let (dir, _, bob, staff) = setup();
+        let acl = Acl::from_entries([
+            AclEntry::allow_group_modes(staff, ModeSet::parse("rx").unwrap()),
+            AclEntry::deny_principal(bob, AccessMode::Execute),
+        ]);
+        // Bob loses execute but keeps read.
+        assert!(!acl.check(&dir, bob, AccessMode::Execute).granted());
+        assert!(acl.check(&dir, bob, AccessMode::Read).granted());
+    }
+
+    #[test]
+    fn everyone_entries() {
+        let (dir, alice, bob, _) = setup();
+        let acl = Acl::public(ModeSet::parse("rl").unwrap());
+        assert!(acl.check(&dir, alice, AccessMode::Read).granted());
+        assert!(acl.check(&dir, bob, AccessMode::List).granted());
+        assert!(!acl.check(&dir, bob, AccessMode::Write).granted());
+        // Unregistered principals are still "everyone".
+        assert!(acl
+            .check(&dir, PrincipalId::from_raw(999), AccessMode::Read)
+            .granted());
+    }
+
+    #[test]
+    fn deny_everyone_blocks_all() {
+        let (dir, alice, _, staff) = setup();
+        let acl = Acl::from_entries([
+            AclEntry::allow_group(staff, AccessMode::Write),
+            AclEntry::deny_everyone(ModeSet::only(AccessMode::Write)),
+        ]);
+        assert!(!acl.check(&dir, alice, AccessMode::Write).granted());
+    }
+
+    #[test]
+    fn group_deny_hits_all_members() {
+        let (dir, alice, bob, staff) = setup();
+        let acl = Acl::from_entries([
+            AclEntry::allow_everyone(ModeSet::only(AccessMode::Extend)),
+            AclEntry::deny_group(staff, AccessMode::Extend),
+        ]);
+        assert!(!acl.check(&dir, alice, AccessMode::Extend).granted());
+        assert!(!acl.check(&dir, bob, AccessMode::Extend).granted());
+        assert!(acl
+            .check(&dir, PrincipalId::from_raw(999), AccessMode::Extend)
+            .granted());
+    }
+
+    #[test]
+    fn effective_modes_reflects_decisions() {
+        let (dir, alice, bob, staff) = setup();
+        let acl = Acl::from_entries([
+            AclEntry::allow_group_modes(staff, ModeSet::parse("rwx").unwrap()),
+            AclEntry::deny_principal(bob, AccessMode::Write),
+        ]);
+        assert_eq!(
+            acl.effective_modes(&dir, alice),
+            ModeSet::parse("rwx").unwrap()
+        );
+        assert_eq!(
+            acl.effective_modes(&dir, bob),
+            ModeSet::parse("rx").unwrap()
+        );
+    }
+
+    #[test]
+    fn remove_entry() {
+        let (dir, alice, ..) = setup();
+        let mut acl = Acl::from_entries([AclEntry::allow_principal(alice, AccessMode::Read)]);
+        assert!(acl.remove(5).is_none());
+        let removed = acl.remove(0).unwrap();
+        assert_eq!(removed.who, Who::Principal(alice));
+        assert!(acl.is_empty());
+        assert!(!acl.check(&dir, alice, AccessMode::Read).granted());
+    }
+
+    #[test]
+    fn mentions() {
+        let (_, alice, bob, _) = setup();
+        let acl = Acl::from_entries([AclEntry::allow_principal(alice, AccessMode::Read)]);
+        assert!(acl.mentions(Who::Principal(alice)));
+        assert!(!acl.mentions(Who::Principal(bob)));
+        assert!(!acl.mentions(Who::Everyone));
+    }
+
+    #[test]
+    fn display() {
+        let acl = Acl::from_entries([
+            AclEntry::allow_everyone(ModeSet::only(AccessMode::Read)),
+            AclEntry::deny_principal(PrincipalId::from_raw(1), AccessMode::Read),
+        ]);
+        assert_eq!(acl.to_string(), "[+everyone:r -p1:r]");
+    }
+}

@@ -1,0 +1,193 @@
+//! Access control list entries.
+
+use crate::mode::{AccessMode, ModeSet};
+use crate::principal::{Directory, GroupId, PrincipalId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Whom an ACL entry applies to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Who {
+    /// A single principal.
+    Principal(PrincipalId),
+    /// Every (transitive) member of a group.
+    Group(GroupId),
+    /// Every principal, registered or not.
+    Everyone,
+}
+
+impl Who {
+    /// Returns whether this subject designation matches `principal`,
+    /// resolving group membership through `directory`.
+    pub fn matches(&self, directory: &Directory, principal: PrincipalId) -> bool {
+        match self {
+            Who::Principal(p) => *p == principal,
+            Who::Group(g) => directory.is_member(principal, *g),
+            Who::Everyone => true,
+        }
+    }
+}
+
+impl fmt::Display for Who {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Who::Principal(p) => write!(f, "{p}"),
+            Who::Group(g) => write!(f, "{g}"),
+            Who::Everyone => write!(f, "everyone"),
+        }
+    }
+}
+
+/// Whether an entry grants or denies its modes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EntryKind {
+    /// Positive entry: grants the modes.
+    Allow,
+    /// Negative entry: denies the modes, overriding any grant.
+    Deny,
+}
+
+/// One entry of a fully featured access control list: a subject
+/// designation, a polarity, and a set of modes.
+///
+/// # Examples
+///
+/// ```
+/// use extsec_acl::{AccessMode, AclEntry, ModeSet, Who, EntryKind};
+///
+/// let entry = AclEntry::new(
+///     Who::Everyone,
+///     EntryKind::Allow,
+///     ModeSet::of(&[AccessMode::Read, AccessMode::List]),
+/// );
+/// assert!(entry.covers(AccessMode::Read));
+/// assert!(!entry.covers(AccessMode::Write));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct AclEntry {
+    /// Whom the entry applies to.
+    pub who: Who,
+    /// Grant or deny.
+    pub kind: EntryKind,
+    /// The modes granted or denied.
+    pub modes: ModeSet,
+}
+
+impl AclEntry {
+    /// Creates an entry.
+    pub fn new(who: Who, kind: EntryKind, modes: ModeSet) -> Self {
+        AclEntry { who, kind, modes }
+    }
+
+    /// Convenience: allow a single principal one mode.
+    pub fn allow_principal(principal: PrincipalId, mode: AccessMode) -> Self {
+        AclEntry::new(
+            Who::Principal(principal),
+            EntryKind::Allow,
+            ModeSet::only(mode),
+        )
+    }
+
+    /// Convenience: allow a single principal a mode set.
+    pub fn allow_principal_modes(principal: PrincipalId, modes: ModeSet) -> Self {
+        AclEntry::new(Who::Principal(principal), EntryKind::Allow, modes)
+    }
+
+    /// Convenience: deny a single principal one mode.
+    pub fn deny_principal(principal: PrincipalId, mode: AccessMode) -> Self {
+        AclEntry::new(
+            Who::Principal(principal),
+            EntryKind::Deny,
+            ModeSet::only(mode),
+        )
+    }
+
+    /// Convenience: deny a single principal a mode set.
+    pub fn deny_principal_modes(principal: PrincipalId, modes: ModeSet) -> Self {
+        AclEntry::new(Who::Principal(principal), EntryKind::Deny, modes)
+    }
+
+    /// Convenience: allow a group one mode.
+    pub fn allow_group(group: GroupId, mode: AccessMode) -> Self {
+        AclEntry::new(Who::Group(group), EntryKind::Allow, ModeSet::only(mode))
+    }
+
+    /// Convenience: allow a group a mode set.
+    pub fn allow_group_modes(group: GroupId, modes: ModeSet) -> Self {
+        AclEntry::new(Who::Group(group), EntryKind::Allow, modes)
+    }
+
+    /// Convenience: deny a group one mode.
+    pub fn deny_group(group: GroupId, mode: AccessMode) -> Self {
+        AclEntry::new(Who::Group(group), EntryKind::Deny, ModeSet::only(mode))
+    }
+
+    /// Convenience: allow everyone a mode set.
+    pub fn allow_everyone(modes: ModeSet) -> Self {
+        AclEntry::new(Who::Everyone, EntryKind::Allow, modes)
+    }
+
+    /// Convenience: deny everyone a mode set.
+    pub fn deny_everyone(modes: ModeSet) -> Self {
+        AclEntry::new(Who::Everyone, EntryKind::Deny, modes)
+    }
+
+    /// Returns whether the entry's mode set covers `mode`.
+    pub fn covers(&self, mode: AccessMode) -> bool {
+        self.modes.contains(mode)
+    }
+
+    /// Returns whether this entry applies to `principal` for `mode`.
+    pub fn applies(&self, directory: &Directory, principal: PrincipalId, mode: AccessMode) -> bool {
+        self.covers(mode) && self.who.matches(directory, principal)
+    }
+}
+
+impl fmt::Display for AclEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let sign = match self.kind {
+            EntryKind::Allow => '+',
+            EntryKind::Deny => '-',
+        };
+        write!(f, "{sign}{}:{}", self.who, self.modes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn who_matches() {
+        let mut dir = Directory::new();
+        let a = dir.add_principal("a").unwrap();
+        let b = dir.add_principal("b").unwrap();
+        let g = dir.add_group("g").unwrap();
+        dir.add_member(g, a).unwrap();
+
+        assert!(Who::Principal(a).matches(&dir, a));
+        assert!(!Who::Principal(a).matches(&dir, b));
+        assert!(Who::Group(g).matches(&dir, a));
+        assert!(!Who::Group(g).matches(&dir, b));
+        assert!(Who::Everyone.matches(&dir, b));
+    }
+
+    #[test]
+    fn applies_requires_both_subject_and_mode() {
+        let mut dir = Directory::new();
+        let a = dir.add_principal("a").unwrap();
+        let b = dir.add_principal("b").unwrap();
+        let entry = AclEntry::allow_principal(a, AccessMode::Execute);
+        assert!(entry.applies(&dir, a, AccessMode::Execute));
+        assert!(!entry.applies(&dir, a, AccessMode::Extend));
+        assert!(!entry.applies(&dir, b, AccessMode::Execute));
+    }
+
+    #[test]
+    fn display_format() {
+        let entry = AclEntry::deny_principal(PrincipalId::from_raw(3), AccessMode::Write);
+        assert_eq!(entry.to_string(), "-p3:w");
+        let entry = AclEntry::allow_everyone(ModeSet::parse("rl").unwrap());
+        assert_eq!(entry.to_string(), "+everyone:rl");
+    }
+}

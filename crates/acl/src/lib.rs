@@ -1,0 +1,57 @@
+//! Discretionary access control for extensible systems.
+//!
+//! This crate implements the discretionary half of the access-control model
+//! from *Security for Extensible Systems* (Grimm & Bershad, HotOS 1997),
+//! §2.1: **fully featured access control lists** over individuals and
+//! groups, with both *positive* (allow) and *negative* (deny) entries.
+//!
+//! Beyond the conventional file modes — read, write, write-append,
+//! administrate, delete and list — the model adds the two modes that govern
+//! how extensions interact with the rest of the system:
+//!
+//! * [`AccessMode::Execute`] — the extension may *call on* a service, and
+//! * [`AccessMode::Extend`] — the extension may *extend* (specialize) a
+//!   service, i.e. register itself to be invoked through the service's
+//!   existing interface.
+//!
+//! Decision semantics (pinned down in DESIGN.md §3): an access is granted
+//! iff **no** matching entry denies the mode and **some** matching entry
+//! grants it, where an entry matches a principal directly, through
+//! (transitive) group membership, or via the `Everyone` subject. Negative
+//! entries dominate positive ones regardless of list order, matching
+//! AFS/Windows-NT "fully featured" ACL practice.
+//!
+//! # Examples
+//!
+//! ```
+//! use extsec_acl::{AccessMode, Acl, AclEntry, Directory};
+//!
+//! let mut dir = Directory::new();
+//! let alice = dir.add_principal("alice").unwrap();
+//! let bob = dir.add_principal("bob").unwrap();
+//! let staff = dir.add_group("staff").unwrap();
+//! dir.add_member(staff, alice).unwrap();
+//! dir.add_member(staff, bob).unwrap();
+//!
+//! let mut acl = Acl::new();
+//! acl.push(AclEntry::allow_group(staff, AccessMode::Execute));
+//! acl.push(AclEntry::deny_principal(bob, AccessMode::Execute));
+//!
+//! assert!(acl.check(&dir, alice, AccessMode::Execute).granted());
+//! assert!(!acl.check(&dir, bob, AccessMode::Execute).granted()); // deny wins
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod acl;
+pub mod entry;
+pub mod mode;
+pub mod principal;
+pub mod text;
+
+pub use crate::acl::{Acl, AclDecision};
+pub use entry::{AclEntry, EntryKind, Who};
+pub use mode::{AccessMode, ModeSet};
+pub use principal::{Directory, DirectoryError, Group, GroupId, Principal, PrincipalId};
+pub use text::{format_acl, parse_acl, TextError};

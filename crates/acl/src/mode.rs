@@ -1,0 +1,301 @@
+//! Access modes and mode sets.
+//!
+//! The paper (§2.1) enumerates the modes directly: read, write,
+//! write-append, administrate, "with the possible addition of delete and
+//! list", plus the two extension-specific modes **execute** (call on a
+//! service) and **extend** (specialize a service).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A single access mode.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum AccessMode {
+    /// Observe the contents of an object.
+    Read = 0,
+    /// Destructively modify the contents of an object.
+    Write = 1,
+    /// Append to an object without observing or destroying existing
+    /// contents ("to better limit how objects can be modified").
+    WriteAppend = 2,
+    /// Call on a system service (the first way extensions interact with
+    /// the rest of the system).
+    Execute = 3,
+    /// Extend (specialize) a system service (the second way extensions
+    /// interact with the rest of the system).
+    Extend = 4,
+    /// Change the object's access control list itself.
+    Administrate = 5,
+    /// Delete the object.
+    Delete = 6,
+    /// List a container's entries (visibility of directory/interface
+    /// members).
+    List = 7,
+}
+
+impl AccessMode {
+    /// All modes, in declaration order.
+    pub const ALL: [AccessMode; 8] = [
+        AccessMode::Read,
+        AccessMode::Write,
+        AccessMode::WriteAppend,
+        AccessMode::Execute,
+        AccessMode::Extend,
+        AccessMode::Administrate,
+        AccessMode::Delete,
+        AccessMode::List,
+    ];
+
+    /// Returns the short symbolic name used in ACL dumps.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            AccessMode::Read => "r",
+            AccessMode::Write => "w",
+            AccessMode::WriteAppend => "a",
+            AccessMode::Execute => "x",
+            AccessMode::Extend => "e",
+            AccessMode::Administrate => "A",
+            AccessMode::Delete => "d",
+            AccessMode::List => "l",
+        }
+    }
+
+    /// Parses a single-character symbol back into a mode.
+    pub fn from_symbol(c: char) -> Option<AccessMode> {
+        Some(match c {
+            'r' => AccessMode::Read,
+            'w' => AccessMode::Write,
+            'a' => AccessMode::WriteAppend,
+            'x' => AccessMode::Execute,
+            'e' => AccessMode::Extend,
+            'A' => AccessMode::Administrate,
+            'd' => AccessMode::Delete,
+            'l' => AccessMode::List,
+            _ => return None,
+        })
+    }
+
+    const fn bit(self) -> u8 {
+        1 << (self as u8)
+    }
+}
+
+impl fmt::Display for AccessMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AccessMode::Read => "read",
+            AccessMode::Write => "write",
+            AccessMode::WriteAppend => "write-append",
+            AccessMode::Execute => "execute",
+            AccessMode::Extend => "extend",
+            AccessMode::Administrate => "administrate",
+            AccessMode::Delete => "delete",
+            AccessMode::List => "list",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A set of access modes, stored as a bitmask.
+///
+/// # Examples
+///
+/// ```
+/// use extsec_acl::{AccessMode, ModeSet};
+///
+/// let rw = ModeSet::of(&[AccessMode::Read, AccessMode::Write]);
+/// assert!(rw.contains(AccessMode::Read));
+/// assert!(!rw.contains(AccessMode::Execute));
+/// assert_eq!(rw.symbols(), "rw");
+/// assert_eq!(ModeSet::parse("rwx").unwrap(), rw.with(AccessMode::Execute));
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ModeSet(u8);
+
+impl ModeSet {
+    /// The empty mode set.
+    pub const EMPTY: ModeSet = ModeSet(0);
+
+    /// Creates an empty mode set.
+    pub const fn new() -> Self {
+        ModeSet(0)
+    }
+
+    /// Creates a set holding every mode.
+    pub fn all() -> Self {
+        ModeSet::of(&AccessMode::ALL)
+    }
+
+    /// Creates a set from a slice of modes.
+    pub fn of(modes: &[AccessMode]) -> Self {
+        let mut set = ModeSet::new();
+        for &m in modes {
+            set.insert(m);
+        }
+        set
+    }
+
+    /// Creates a set with a single mode.
+    pub const fn only(mode: AccessMode) -> Self {
+        ModeSet(mode.bit())
+    }
+
+    /// Inserts a mode.
+    pub fn insert(&mut self, mode: AccessMode) {
+        self.0 |= mode.bit();
+    }
+
+    /// Removes a mode.
+    pub fn remove(&mut self, mode: AccessMode) {
+        self.0 &= !mode.bit();
+    }
+
+    /// Returns a copy with `mode` added.
+    pub const fn with(self, mode: AccessMode) -> Self {
+        ModeSet(self.0 | mode.bit())
+    }
+
+    /// Returns a copy with `mode` removed.
+    pub const fn without(self, mode: AccessMode) -> Self {
+        ModeSet(self.0 & !mode.bit())
+    }
+
+    /// Returns whether the set contains `mode`.
+    pub const fn contains(self, mode: AccessMode) -> bool {
+        self.0 & mode.bit() != 0
+    }
+
+    /// Returns whether the set is empty.
+    pub const fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Returns the union of the two sets.
+    pub const fn union(self, other: ModeSet) -> ModeSet {
+        ModeSet(self.0 | other.0)
+    }
+
+    /// Returns the intersection of the two sets.
+    pub const fn intersection(self, other: ModeSet) -> ModeSet {
+        ModeSet(self.0 & other.0)
+    }
+
+    /// Returns the number of modes in the set.
+    pub const fn len(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// Iterates over the member modes.
+    pub fn iter(self) -> impl Iterator<Item = AccessMode> {
+        AccessMode::ALL
+            .into_iter()
+            .filter(move |m| self.contains(*m))
+    }
+
+    /// Renders the set as its symbol string (e.g. `"rwx"`).
+    pub fn symbols(self) -> String {
+        self.iter().map(|m| m.symbol()).collect()
+    }
+
+    /// Parses a symbol string; returns `None` on any unknown character.
+    pub fn parse(s: &str) -> Option<ModeSet> {
+        let mut set = ModeSet::new();
+        for c in s.chars() {
+            set.insert(AccessMode::from_symbol(c)?);
+        }
+        Some(set)
+    }
+}
+
+impl FromIterator<AccessMode> for ModeSet {
+    fn from_iter<I: IntoIterator<Item = AccessMode>>(iter: I) -> Self {
+        let mut set = ModeSet::new();
+        for m in iter {
+            set.insert(m);
+        }
+        set
+    }
+}
+
+impl fmt::Display for ModeSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.symbols())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut set = ModeSet::new();
+        set.insert(AccessMode::Extend);
+        assert!(set.contains(AccessMode::Extend));
+        assert!(!set.contains(AccessMode::Execute));
+        set.remove(AccessMode::Extend);
+        assert!(set.is_empty());
+    }
+
+    #[test]
+    fn all_contains_every_mode() {
+        let all = ModeSet::all();
+        for m in AccessMode::ALL {
+            assert!(all.contains(m));
+        }
+        assert_eq!(all.len(), 8);
+    }
+
+    #[test]
+    fn symbols_round_trip() {
+        let set = ModeSet::of(&[AccessMode::Read, AccessMode::Extend, AccessMode::List]);
+        assert_eq!(ModeSet::parse(&set.symbols()), Some(set));
+        assert_eq!(ModeSet::parse("rz"), None);
+        assert_eq!(ModeSet::parse(""), Some(ModeSet::EMPTY));
+    }
+
+    #[test]
+    fn mode_symbol_round_trip() {
+        for m in AccessMode::ALL {
+            let sym = m.symbol().chars().next().unwrap();
+            assert_eq!(AccessMode::from_symbol(sym), Some(m));
+        }
+        assert_eq!(AccessMode::from_symbol('?'), None);
+    }
+
+    #[test]
+    fn union_intersection() {
+        let a = ModeSet::of(&[AccessMode::Read, AccessMode::Write]);
+        let b = ModeSet::of(&[AccessMode::Write, AccessMode::Execute]);
+        assert_eq!(
+            a.union(b),
+            ModeSet::of(&[AccessMode::Read, AccessMode::Write, AccessMode::Execute])
+        );
+        assert_eq!(a.intersection(b), ModeSet::only(AccessMode::Write));
+    }
+
+    #[test]
+    fn with_without_are_pure() {
+        let base = ModeSet::only(AccessMode::Read);
+        let more = base.with(AccessMode::Write);
+        assert!(!base.contains(AccessMode::Write));
+        assert!(more.contains(AccessMode::Write));
+        assert_eq!(more.without(AccessMode::Write), base);
+    }
+
+    #[test]
+    fn iter_visits_declaration_order() {
+        let set = ModeSet::of(&[AccessMode::List, AccessMode::Read]);
+        let modes: Vec<AccessMode> = set.iter().collect();
+        assert_eq!(modes, vec![AccessMode::Read, AccessMode::List]);
+    }
+
+    #[test]
+    fn execute_and_extend_are_distinct() {
+        // The heart of §2.1: calling and extending are separate rights.
+        let call_only = ModeSet::only(AccessMode::Execute);
+        assert!(call_only.contains(AccessMode::Execute));
+        assert!(!call_only.contains(AccessMode::Extend));
+    }
+}

@@ -1,0 +1,207 @@
+//! A human-readable text format for ACLs.
+//!
+//! Administration tools (and the policy snapshot format) need a compact,
+//! reviewable rendering of access control lists. The grammar is one
+//! entry per whitespace-separated token:
+//!
+//! ```text
+//! +alice:rx      allow principal alice read+execute
+//! -bob:w         deny principal bob write
+//! +@staff:rl     allow group staff read+list
+//! -@interns:e    deny group interns extend
+//! +*:l           allow everyone list
+//! ```
+//!
+//! Mode letters are the symbols of [`AccessMode`](crate::AccessMode):
+//! `r w a x e A d l`. Names resolve against a [`Directory`]; parsing an
+//! unknown name fails rather than inventing principals.
+
+use crate::acl::Acl;
+use crate::entry::{AclEntry, EntryKind, Who};
+use crate::mode::ModeSet;
+use crate::principal::Directory;
+use std::fmt;
+
+/// Errors from parsing the ACL text format.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TextError {
+    /// A token did not start with `+` or `-`.
+    MissingPolarity(String),
+    /// A token had no `:` separating subject from modes.
+    MissingModes(String),
+    /// The mode letters contained an unknown symbol.
+    BadModes(String),
+    /// The named principal is not in the directory.
+    UnknownPrincipal(String),
+    /// The named group is not in the directory.
+    UnknownGroup(String),
+    /// The subject part was empty.
+    EmptySubject(String),
+}
+
+impl fmt::Display for TextError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TextError::MissingPolarity(t) => write!(f, "{t:?}: entries start with + or -"),
+            TextError::MissingModes(t) => write!(f, "{t:?}: expected subject:modes"),
+            TextError::BadModes(t) => write!(f, "{t:?}: unknown mode letter"),
+            TextError::UnknownPrincipal(n) => write!(f, "unknown principal {n:?}"),
+            TextError::UnknownGroup(n) => write!(f, "unknown group {n:?}"),
+            TextError::EmptySubject(t) => write!(f, "{t:?}: empty subject"),
+        }
+    }
+}
+
+impl std::error::Error for TextError {}
+
+/// Parses the text format into an [`Acl`], resolving names against
+/// `directory`.
+pub fn parse_acl(directory: &Directory, text: &str) -> Result<Acl, TextError> {
+    let mut acl = Acl::new();
+    for token in text.split_whitespace() {
+        let (kind, rest) = match token.split_at(1) {
+            ("+", rest) => (EntryKind::Allow, rest),
+            ("-", rest) => (EntryKind::Deny, rest),
+            _ => return Err(TextError::MissingPolarity(token.to_string())),
+        };
+        let Some((subject, modes)) = rest.rsplit_once(':') else {
+            return Err(TextError::MissingModes(token.to_string()));
+        };
+        let modes = ModeSet::parse(modes).ok_or_else(|| TextError::BadModes(token.to_string()))?;
+        let who = if subject == "*" {
+            Who::Everyone
+        } else if let Some(group) = subject.strip_prefix('@') {
+            Who::Group(
+                directory
+                    .group_by_name(group)
+                    .ok_or_else(|| TextError::UnknownGroup(group.to_string()))?,
+            )
+        } else if subject.is_empty() {
+            return Err(TextError::EmptySubject(token.to_string()));
+        } else {
+            Who::Principal(
+                directory
+                    .principal_by_name(subject)
+                    .ok_or_else(|| TextError::UnknownPrincipal(subject.to_string()))?,
+            )
+        };
+        acl.push(AclEntry::new(who, kind, modes));
+    }
+    Ok(acl)
+}
+
+/// Renders an [`Acl`] in the text format, using `directory` for names.
+/// Unknown ids render numerically (`p7`, `g3`) and will not re-parse —
+/// callers snapshotting policy should keep the directory alongside.
+pub fn format_acl(directory: &Directory, acl: &Acl) -> String {
+    let mut out = String::new();
+    for (i, entry) in acl.entries().iter().enumerate() {
+        if i > 0 {
+            out.push(' ');
+        }
+        out.push(match entry.kind {
+            EntryKind::Allow => '+',
+            EntryKind::Deny => '-',
+        });
+        match entry.who {
+            Who::Principal(p) => match directory.principal(p) {
+                Some(record) => out.push_str(&record.name),
+                None => out.push_str(&p.to_string()),
+            },
+            Who::Group(g) => {
+                out.push('@');
+                match directory.group(g) {
+                    Some(record) => out.push_str(&record.name),
+                    None => out.push_str(&g.to_string()),
+                }
+            }
+            Who::Everyone => out.push('*'),
+        }
+        out.push(':');
+        out.push_str(&entry.modes.symbols());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mode::AccessMode;
+
+    fn directory() -> Directory {
+        let mut dir = Directory::new();
+        dir.add_principal("alice").unwrap();
+        dir.add_principal("bob").unwrap();
+        dir.add_group("staff").unwrap();
+        dir
+    }
+
+    #[test]
+    fn parse_basic() {
+        let dir = directory();
+        let acl = parse_acl(&dir, "+alice:rx -bob:w +@staff:rl +*:l").unwrap();
+        assert_eq!(acl.len(), 4);
+        let alice = dir.principal_by_name("alice").unwrap();
+        assert!(acl.check(&dir, alice, AccessMode::Read).granted());
+        assert!(acl.check(&dir, alice, AccessMode::Execute).granted());
+        let bob = dir.principal_by_name("bob").unwrap();
+        assert!(!acl.check(&dir, bob, AccessMode::Write).granted());
+        assert!(acl.check(&dir, bob, AccessMode::List).granted());
+    }
+
+    #[test]
+    fn round_trip() {
+        let dir = directory();
+        let text = "+alice:rx -bob:w +@staff:rl +*:l -@staff:A";
+        let acl = parse_acl(&dir, text).unwrap();
+        assert_eq!(format_acl(&dir, &acl), text);
+        assert_eq!(parse_acl(&dir, &format_acl(&dir, &acl)).unwrap(), acl);
+    }
+
+    #[test]
+    fn empty_is_empty() {
+        let dir = directory();
+        let acl = parse_acl(&dir, "  \n ").unwrap();
+        assert!(acl.is_empty());
+        assert_eq!(format_acl(&dir, &acl), "");
+    }
+
+    #[test]
+    fn errors() {
+        let dir = directory();
+        assert!(matches!(
+            parse_acl(&dir, "alice:r"),
+            Err(TextError::MissingPolarity(_))
+        ));
+        assert!(matches!(
+            parse_acl(&dir, "+alice"),
+            Err(TextError::MissingModes(_))
+        ));
+        assert!(matches!(
+            parse_acl(&dir, "+alice:rz"),
+            Err(TextError::BadModes(_))
+        ));
+        assert!(matches!(
+            parse_acl(&dir, "+ghost:r"),
+            Err(TextError::UnknownPrincipal(_))
+        ));
+        assert!(matches!(
+            parse_acl(&dir, "+@ghosts:r"),
+            Err(TextError::UnknownGroup(_))
+        ));
+        assert!(matches!(
+            parse_acl(&dir, "+:r"),
+            Err(TextError::EmptySubject(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_ids_render_numeric() {
+        let dir = directory();
+        let acl = Acl::from_entries([AclEntry::allow_principal(
+            crate::principal::PrincipalId::from_raw(42),
+            AccessMode::Read,
+        )]);
+        assert_eq!(format_acl(&dir, &acl), "+p42:r");
+    }
+}

@@ -1,0 +1,198 @@
+//! P2 — property tests: ACL decision soundness (DESIGN.md §4).
+
+use extsec_acl::{
+    AccessMode, Acl, AclDecision, AclEntry, Directory, EntryKind, ModeSet, PrincipalId, Who,
+};
+use proptest::prelude::*;
+
+const N_PRINCIPALS: u32 = 8;
+const N_GROUPS: u32 = 4;
+
+/// Builds a directory with `N_PRINCIPALS` principals and `N_GROUPS` groups
+/// whose memberships are driven by `memberships` (pairs of group index ×
+/// principal index).
+fn build_directory(memberships: &[(u8, u8)]) -> Directory {
+    let mut dir = Directory::new();
+    for i in 0..N_PRINCIPALS {
+        dir.add_principal(format!("p{i}")).unwrap();
+    }
+    let mut groups = Vec::new();
+    for i in 0..N_GROUPS {
+        groups.push(dir.add_group(format!("g{i}")).unwrap());
+    }
+    for &(g, p) in memberships {
+        let g = groups[(g as usize) % groups.len()];
+        let p = PrincipalId::from_raw((p as u32) % N_PRINCIPALS);
+        dir.add_member(g, p).unwrap();
+    }
+    dir
+}
+
+fn arb_mode() -> impl Strategy<Value = AccessMode> {
+    prop::sample::select(AccessMode::ALL.to_vec())
+}
+
+fn arb_who() -> impl Strategy<Value = Who> {
+    prop_oneof![
+        (0..N_PRINCIPALS).prop_map(|p| Who::Principal(PrincipalId::from_raw(p))),
+        (0..N_GROUPS).prop_map(|g| Who::Group(extsec_acl::GroupId::from_raw(g))),
+        Just(Who::Everyone),
+    ]
+}
+
+fn arb_entry() -> impl Strategy<Value = AclEntry> {
+    (
+        arb_who(),
+        prop::bool::ANY,
+        proptest::collection::vec(arb_mode(), 1..4),
+    )
+        .prop_map(|(who, allow, modes)| {
+            AclEntry::new(
+                who,
+                if allow {
+                    EntryKind::Allow
+                } else {
+                    EntryKind::Deny
+                },
+                ModeSet::of(&modes),
+            )
+        })
+}
+
+fn arb_acl() -> impl Strategy<Value = Acl> {
+    proptest::collection::vec(arb_entry(), 0..12).prop_map(Acl::from_entries)
+}
+
+fn arb_memberships() -> impl Strategy<Value = Vec<(u8, u8)>> {
+    proptest::collection::vec((0u8..4, 0u8..8), 0..16)
+}
+
+proptest! {
+    /// Default deny: an ACL with no allow entries grants nothing.
+    #[test]
+    fn no_allow_no_access(
+        memberships in arb_memberships(),
+        entries in proptest::collection::vec(arb_entry(), 0..8),
+        p in 0..N_PRINCIPALS,
+        mode in arb_mode(),
+    ) {
+        let dir = build_directory(&memberships);
+        let deny_only: Vec<AclEntry> = entries
+            .into_iter()
+            .map(|mut e| { e.kind = EntryKind::Deny; e })
+            .collect();
+        let acl = Acl::from_entries(deny_only);
+        prop_assert!(!acl.check(&dir, PrincipalId::from_raw(p), mode).granted());
+    }
+
+    /// Negative dominance: adding a matching deny entry can never grant
+    /// access that was denied, and always revokes a prior grant.
+    #[test]
+    fn deny_is_dominant_and_monotone(
+        memberships in arb_memberships(),
+        acl in arb_acl(),
+        p in 0..N_PRINCIPALS,
+        mode in arb_mode(),
+        position in 0usize..16,
+    ) {
+        let dir = build_directory(&memberships);
+        let principal = PrincipalId::from_raw(p);
+        let mut entries = acl.entries().to_vec();
+        let deny = AclEntry::deny_principal(principal, mode);
+        let pos = position.min(entries.len());
+        entries.insert(pos, deny);
+        let stricter = Acl::from_entries(entries);
+        prop_assert!(!stricter.check(&dir, principal, mode).granted());
+    }
+
+    /// Adding an allow entry never revokes an existing grant for others.
+    #[test]
+    fn allow_is_monotone_for_grants(
+        memberships in arb_memberships(),
+        acl in arb_acl(),
+        extra_who in arb_who(),
+        extra_modes in proptest::collection::vec(arb_mode(), 1..3),
+        p in 0..N_PRINCIPALS,
+        mode in arb_mode(),
+    ) {
+        let dir = build_directory(&memberships);
+        let principal = PrincipalId::from_raw(p);
+        let before = acl.check(&dir, principal, mode).granted();
+        let mut entries = acl.entries().to_vec();
+        entries.push(AclEntry::new(extra_who, EntryKind::Allow, ModeSet::of(&extra_modes)));
+        let wider = Acl::from_entries(entries);
+        if before {
+            prop_assert!(wider.check(&dir, principal, mode).granted());
+        }
+    }
+
+    /// Entry order never affects the outcome (only which deny entry is
+    /// reported).
+    #[test]
+    fn order_independence(
+        memberships in arb_memberships(),
+        acl in arb_acl(),
+        p in 0..N_PRINCIPALS,
+        mode in arb_mode(),
+    ) {
+        let dir = build_directory(&memberships);
+        let principal = PrincipalId::from_raw(p);
+        let forward = acl.check(&dir, principal, mode).granted();
+        let mut reversed = acl.entries().to_vec();
+        reversed.reverse();
+        let backward = Acl::from_entries(reversed).check(&dir, principal, mode).granted();
+        prop_assert_eq!(forward, backward);
+    }
+
+    /// Group grants extend to every member, unless individually denied.
+    #[test]
+    fn group_closure(
+        memberships in arb_memberships(),
+        g in 0..N_GROUPS,
+        mode in arb_mode(),
+    ) {
+        let dir = build_directory(&memberships);
+        let group = extsec_acl::GroupId::from_raw(g);
+        let acl = Acl::from_entries([AclEntry::allow_group(group, mode)]);
+        for p in 0..N_PRINCIPALS {
+            let principal = PrincipalId::from_raw(p);
+            let expected = dir.is_member(principal, group);
+            prop_assert_eq!(acl.check(&dir, principal, mode).granted(), expected);
+        }
+    }
+
+    /// `effective_modes` agrees with `check` mode by mode.
+    #[test]
+    fn effective_modes_agrees(
+        memberships in arb_memberships(),
+        acl in arb_acl(),
+        p in 0..N_PRINCIPALS,
+    ) {
+        let dir = build_directory(&memberships);
+        let principal = PrincipalId::from_raw(p);
+        let effective = acl.effective_modes(&dir, principal);
+        for mode in AccessMode::ALL {
+            prop_assert_eq!(
+                effective.contains(mode),
+                acl.check(&dir, principal, mode).granted()
+            );
+        }
+    }
+
+    /// A reported deny always points at a real matching deny entry.
+    #[test]
+    fn reported_deny_entry_is_accurate(
+        memberships in arb_memberships(),
+        acl in arb_acl(),
+        p in 0..N_PRINCIPALS,
+        mode in arb_mode(),
+    ) {
+        let dir = build_directory(&memberships);
+        let principal = PrincipalId::from_raw(p);
+        if let AclDecision::DeniedByEntry(i) = acl.check(&dir, principal, mode) {
+            let entry = acl.entries()[i];
+            prop_assert_eq!(entry.kind, EntryKind::Deny);
+            prop_assert!(entry.applies(&dir, principal, mode));
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! The Java 1.x sandbox engine.
+//!
+//! "The current Java security model distinguishes between trusted
+//! extensions (code stored on the local file system), which have access to
+//! the full functionality of the Java system, and untrusted extensions
+//! (all remote code)" placed in a sandbox that "limits extensions from
+//! using some system services ... and ideally would also isolate
+//! extensions from each other" (§1.2, emphasis on *ideally*: the
+//! ThreadMurder applet shows it does not).
+//!
+//! The engine therefore knows exactly two tiers keyed on the principal
+//! (standing in for code origin): trusted principals may do anything;
+//! untrusted principals may do anything *inside* the configured sandbox
+//! prefixes and nothing outside. Inside the sandbox there is no
+//! per-applet isolation — an untrusted applet may kill another applet's
+//! thread, because both threads live under the sandbox-allowed
+//! `/obj/threads` prefix.
+
+use extsec_acl::{AccessMode, PrincipalId};
+use extsec_namespace::NsPath;
+use extsec_refmon::{Decision, DenyReason, PolicyEngine, Subject};
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+
+/// The two levels of trust the Java 1.x model knows.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TrustTier {
+    /// Local code: full access.
+    Trusted,
+    /// Remote code: sandboxed.
+    Untrusted,
+}
+
+/// The Java sandbox policy engine.
+pub struct JavaSandboxPolicy {
+    tiers: RwLock<BTreeMap<PrincipalId, TrustTier>>,
+    /// Name-space prefixes untrusted code may access (with *all* modes —
+    /// the sandbox has no finer granularity).
+    sandbox_prefixes: Vec<NsPath>,
+    /// Unknown principals default to this tier (remote code).
+    default_tier: TrustTier,
+}
+
+impl JavaSandboxPolicy {
+    /// Creates a sandbox allowing untrusted code the given prefixes.
+    pub fn new(sandbox_prefixes: Vec<NsPath>) -> Self {
+        JavaSandboxPolicy {
+            tiers: RwLock::new(BTreeMap::new()),
+            sandbox_prefixes,
+            default_tier: TrustTier::Untrusted,
+        }
+    }
+
+    /// The classic configuration: untrusted code may use the console and
+    /// the thread service (including `/obj/threads` — which is what
+    /// ThreadMurder exploits) but nothing else.
+    pub fn classic() -> Self {
+        JavaSandboxPolicy::new(vec![
+            "/svc/console".parse().expect("constant"),
+            "/svc/threads".parse().expect("constant"),
+            "/obj/threads".parse().expect("constant"),
+        ])
+    }
+
+    /// Marks a principal as trusted (local code) or untrusted (remote).
+    pub fn set_tier(&self, principal: PrincipalId, tier: TrustTier) {
+        self.tiers.write().insert(principal, tier);
+    }
+
+    /// Returns a principal's tier.
+    pub fn tier(&self, principal: PrincipalId) -> TrustTier {
+        self.tiers
+            .read()
+            .get(&principal)
+            .copied()
+            .unwrap_or(self.default_tier)
+    }
+}
+
+impl PolicyEngine for JavaSandboxPolicy {
+    fn name(&self) -> &str {
+        "java-sandbox"
+    }
+
+    fn decide(&self, subject: &Subject, path: &NsPath, _mode: AccessMode) -> Decision {
+        match self.tier(subject.principal) {
+            TrustTier::Trusted => Decision::Allow,
+            TrustTier::Untrusted => {
+                if self
+                    .sandbox_prefixes
+                    .iter()
+                    .any(|prefix| path.starts_with(prefix))
+                {
+                    Decision::Allow
+                } else {
+                    Decision::Deny(DenyReason::DacNoEntry)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use extsec_mac::SecurityClass;
+
+    fn subj(raw: u32) -> Subject {
+        Subject::new(PrincipalId::from_raw(raw), SecurityClass::bottom())
+    }
+
+    #[test]
+    fn trusted_code_may_do_anything() {
+        let policy = JavaSandboxPolicy::classic();
+        policy.set_tier(PrincipalId::from_raw(1), TrustTier::Trusted);
+        let s = subj(1);
+        for path in ["/obj/fs/etc/passwd", "/svc/fs/read", "/svc/vfs/open"] {
+            for mode in AccessMode::ALL {
+                assert!(policy.decide(&s, &path.parse().unwrap(), mode).allowed());
+            }
+        }
+    }
+
+    #[test]
+    fn untrusted_code_is_confined_to_the_sandbox() {
+        let policy = JavaSandboxPolicy::classic();
+        let s = subj(2); // unknown principals default to untrusted
+        assert!(policy
+            .decide(
+                &s,
+                &"/svc/console/print".parse().unwrap(),
+                AccessMode::Execute
+            )
+            .allowed());
+        assert!(!policy
+            .decide(&s, &"/obj/fs/secret".parse().unwrap(), AccessMode::Read)
+            .allowed());
+        assert!(!policy
+            .decide(&s, &"/svc/fs/read".parse().unwrap(), AccessMode::Execute)
+            .allowed());
+    }
+
+    #[test]
+    fn no_isolation_inside_the_sandbox() {
+        // The ThreadMurder hole: applet 2 may delete applet 3's thread
+        // object, because /obj/threads is inside the sandbox and the
+        // model has no per-applet granularity.
+        let policy = JavaSandboxPolicy::classic();
+        let murderer = subj(2);
+        let victim_thread: NsPath = "/obj/threads/victim".parse().unwrap();
+        assert!(policy
+            .decide(&murderer, &victim_thread, AccessMode::Delete)
+            .allowed());
+    }
+
+    #[test]
+    fn all_modes_inside_sandbox() {
+        // The sandbox has no mode granularity either: allowed prefixes
+        // grant every mode, including administrate.
+        let policy = JavaSandboxPolicy::classic();
+        let s = subj(2);
+        let path: NsPath = "/svc/console/print".parse().unwrap();
+        for mode in AccessMode::ALL {
+            assert!(policy.decide(&s, &path, mode).allowed());
+        }
+    }
+}

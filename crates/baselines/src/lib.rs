@@ -1,0 +1,44 @@
+//! Baseline access-control engines.
+//!
+//! The paper argues by comparison: Unix permission bits are "primitive and,
+//! barely, offer adequate security to protect file access" (§1, §1.2); the
+//! Java sandbox is all-or-nothing per origin and does not isolate applets
+//! from each other (the ThreadMurder applet); SPIN's domain linking means
+//! "an extension can either call on and extend all interfaces in all
+//! domains it has been linked against" with no finer control. To make
+//! those comparisons executable, this crate implements each model as a
+//! [`PolicyEngine`](extsec_refmon::PolicyEngine) over the same universal
+//! name space and subject vocabulary as the full extsec monitor:
+//!
+//! * [`UnixPolicy`] — owner/group/other × rwx bits per object. `execute`
+//!   and `extend` necessarily share the `x` bit (the model predates the
+//!   distinction), there are no negative entries, no per-entry principals
+//!   beyond owner/group/other, and no mandatory layer.
+//! * [`JavaSandboxPolicy`] — two levels of trust keyed on code origin:
+//!   trusted (local) code may do anything; untrusted (remote) code may do
+//!   anything *within* the sandbox's allowed prefixes and nothing outside
+//!   them. Crucially there is no isolation between two untrusted applets
+//!   inside the same sandbox.
+//! * [`NtPolicy`] — Windows-NT-style ACLs: specific/standard/generic
+//!   access masks and ordered allow/deny ACEs with first-match
+//!   semantics. Richer than Unix (it can express append-only and
+//!   negative entries) but still one execute bit and no mandatory layer.
+//! * [`SpinDomainPolicy`] — extensions are linked against named domains
+//!   (sets of name-space subtrees); inside a linked domain every
+//!   interaction is allowed (call *and* extend), outside none is.
+//!
+//! The T1 attack matrix and T4 expressiveness experiments drive all three
+//! plus the extsec monitor with identical request streams.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod java;
+pub mod nt;
+pub mod spin;
+pub mod unix;
+
+pub use java::{JavaSandboxPolicy, TrustTier};
+pub use nt::{NtAce, NtAceType, NtAcl, NtPolicy, NtTrustee};
+pub use spin::SpinDomainPolicy;
+pub use unix::{UnixPerm, UnixPolicy};

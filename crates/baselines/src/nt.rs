@@ -1,0 +1,419 @@
+//! The Windows NT ACL engine.
+//!
+//! The paper (§1.2): "Windows NT uses access control lists at the
+//! granularity of individual files and presents a rich, though
+//! unnecessarily complicated access control model (objects can be
+//! associated with three types of access permissions, called specific,
+//! standard and generic types, but several of the individual permissions
+//! within the different types do not offer any real semantic
+//! difference). But it, too, does not provide a means to control the two
+//! ways extensions interact with the rest of the system, nor does it
+//! provide for any mandatory access control."
+//!
+//! This engine reproduces the NT model faithfully enough for the
+//! comparison to be meaningful:
+//!
+//! * access masks combine **specific** rights (`FILE_READ_DATA`,
+//!   `FILE_WRITE_DATA`, `FILE_APPEND_DATA`, `FILE_EXECUTE`, ...),
+//!   **standard** rights (`DELETE`, `READ_CONTROL`, `WRITE_DAC`, ...)
+//!   and **generic** rights that expand into combinations of the others;
+//! * evaluation is **order-dependent first-match** over the ACEs: a deny
+//!   ACE stops the walk for the bits it covers, allow ACEs accumulate
+//!   until the requested mask is satisfied (the real NT algorithm, and a
+//!   deliberate contrast with extsec's order-independent negative
+//!   dominance);
+//! * NT genuinely distinguishes `FILE_APPEND_DATA` from
+//!   `FILE_WRITE_DATA` — so it *can* express append-only objects — but
+//!   it has exactly one execute bit, so `execute` and `extend` collapse,
+//!   and it has no labels at all.
+
+use extsec_acl::{AccessMode, Directory, GroupId, PrincipalId};
+use extsec_namespace::NsPath;
+use extsec_refmon::{Decision, DenyReason, PolicyEngine, Subject};
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+
+/// NT access-mask bits (a representative subset).
+pub mod rights {
+    /// Specific: read the object's data (also lists directories).
+    pub const FILE_READ_DATA: u32 = 0x0001;
+    /// Specific: overwrite the object's data.
+    pub const FILE_WRITE_DATA: u32 = 0x0002;
+    /// Specific: append without overwriting.
+    pub const FILE_APPEND_DATA: u32 = 0x0004;
+    /// Specific: execute the object. NT's only code right — the paper's
+    /// point is precisely that call and extend cannot be told apart.
+    pub const FILE_EXECUTE: u32 = 0x0020;
+    /// Standard: delete the object.
+    pub const DELETE: u32 = 0x0001_0000;
+    /// Standard: read the security descriptor.
+    pub const READ_CONTROL: u32 = 0x0002_0000;
+    /// Standard: rewrite the DACL (the `administrate` analogue).
+    pub const WRITE_DAC: u32 = 0x0004_0000;
+    /// Standard: take ownership.
+    pub const WRITE_OWNER: u32 = 0x0008_0000;
+    /// Generic read: expands to `FILE_READ_DATA | READ_CONTROL`.
+    pub const GENERIC_READ: u32 = 0x8000_0000;
+    /// Generic write: expands to `FILE_WRITE_DATA | FILE_APPEND_DATA`.
+    pub const GENERIC_WRITE: u32 = 0x4000_0000;
+    /// Generic execute: expands to `FILE_EXECUTE | READ_CONTROL`.
+    pub const GENERIC_EXECUTE: u32 = 0x2000_0000;
+    /// Generic all: everything.
+    pub const GENERIC_ALL: u32 = 0x1000_0000;
+
+    /// Expands generic bits into their specific/standard combinations.
+    pub fn expand(mask: u32) -> u32 {
+        let mut out = mask & 0x00ff_ffff;
+        if mask & GENERIC_READ != 0 {
+            out |= FILE_READ_DATA | READ_CONTROL;
+        }
+        if mask & GENERIC_WRITE != 0 {
+            out |= FILE_WRITE_DATA | FILE_APPEND_DATA;
+        }
+        if mask & GENERIC_EXECUTE != 0 {
+            out |= FILE_EXECUTE | READ_CONTROL;
+        }
+        if mask & GENERIC_ALL != 0 {
+            out |= FILE_READ_DATA
+                | FILE_WRITE_DATA
+                | FILE_APPEND_DATA
+                | FILE_EXECUTE
+                | DELETE
+                | READ_CONTROL
+                | WRITE_DAC
+                | WRITE_OWNER;
+        }
+        out
+    }
+}
+
+/// Whom an ACE applies to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NtTrustee {
+    /// One principal (an NT user SID).
+    Principal(PrincipalId),
+    /// A group SID.
+    Group(GroupId),
+    /// The Everyone SID.
+    Everyone,
+}
+
+/// Whether an ACE grants or denies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NtAceType {
+    /// ACCESS_ALLOWED_ACE.
+    Allow,
+    /// ACCESS_DENIED_ACE.
+    Deny,
+}
+
+/// One access control entry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NtAce {
+    /// The ACE type.
+    pub ace_type: NtAceType,
+    /// The trustee.
+    pub trustee: NtTrustee,
+    /// The access mask (generic bits allowed; expanded at check time).
+    pub mask: u32,
+}
+
+/// A discretionary ACL in NT form: owner + ordered ACEs.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct NtAcl {
+    /// The owning principal (implicitly holds `WRITE_DAC` and
+    /// `READ_CONTROL`, as NT owners do).
+    pub owner: Option<PrincipalId>,
+    /// The ordered access control entries.
+    pub aces: Vec<NtAce>,
+}
+
+impl NtAcl {
+    /// Creates an ACL with an owner and entries.
+    pub fn new(owner: PrincipalId, aces: Vec<NtAce>) -> Self {
+        NtAcl {
+            owner: Some(owner),
+            aces,
+        }
+    }
+
+    /// The NT access-check algorithm: walk ACEs in order; a deny ACE
+    /// matching the trustee fails the request if it covers any still
+    /// wanted bit; allow ACEs clear wanted bits; success when no wanted
+    /// bits remain.
+    pub fn access_check(&self, directory: &Directory, who: PrincipalId, desired: u32) -> bool {
+        let mut wanted = rights::expand(desired);
+        // Owner privilege: WRITE_DAC and READ_CONTROL are implicit.
+        if self.owner == Some(who) {
+            wanted &= !(rights::WRITE_DAC | rights::READ_CONTROL);
+        }
+        if wanted == 0 {
+            return true;
+        }
+        for ace in &self.aces {
+            let matches = match ace.trustee {
+                NtTrustee::Principal(p) => p == who,
+                NtTrustee::Group(g) => directory.is_member(who, g),
+                NtTrustee::Everyone => true,
+            };
+            if !matches {
+                continue;
+            }
+            let mask = rights::expand(ace.mask);
+            match ace.ace_type {
+                NtAceType::Deny => {
+                    if mask & wanted != 0 {
+                        return false;
+                    }
+                }
+                NtAceType::Allow => {
+                    wanted &= !mask;
+                    if wanted == 0 {
+                        return true;
+                    }
+                }
+            }
+        }
+        false
+    }
+}
+
+/// Maps an extensible-system access mode onto an NT desired-access mask.
+/// `execute` and `extend` both become `FILE_EXECUTE` — the conflation the
+/// paper calls out.
+pub fn mode_mask(mode: AccessMode) -> u32 {
+    match mode {
+        AccessMode::Read | AccessMode::List => rights::FILE_READ_DATA,
+        AccessMode::Write => rights::FILE_WRITE_DATA,
+        AccessMode::WriteAppend => rights::FILE_APPEND_DATA,
+        AccessMode::Execute | AccessMode::Extend => rights::FILE_EXECUTE,
+        AccessMode::Administrate => rights::WRITE_DAC,
+        AccessMode::Delete => rights::DELETE,
+    }
+}
+
+/// The NT policy engine: per-object NT ACLs over the shared name space.
+pub struct NtPolicy {
+    directory: Directory,
+    acls: RwLock<BTreeMap<NsPath, NtAcl>>,
+}
+
+impl NtPolicy {
+    /// Creates an engine over a principal directory.
+    pub fn new(directory: Directory) -> Self {
+        NtPolicy {
+            directory,
+            acls: RwLock::new(BTreeMap::new()),
+        }
+    }
+
+    /// Sets the ACL for one object.
+    pub fn set(&self, path: NsPath, acl: NtAcl) {
+        self.acls.write().insert(path, acl);
+    }
+}
+
+impl PolicyEngine for NtPolicy {
+    fn name(&self) -> &str {
+        "windows-nt"
+    }
+
+    fn decide(&self, subject: &Subject, path: &NsPath, mode: AccessMode) -> Decision {
+        let acls = self.acls.read();
+        let Some(acl) = acls.get(path) else {
+            return Decision::Deny(DenyReason::NotFound(path.clone()));
+        };
+        if acl.access_check(&self.directory, subject.principal, mode_mask(mode)) {
+            Decision::Allow
+        } else {
+            Decision::Deny(DenyReason::DacNoEntry)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use extsec_mac::SecurityClass;
+
+    fn setup() -> (Directory, PrincipalId, PrincipalId, GroupId) {
+        let mut dir = Directory::new();
+        let alice = dir.add_principal("alice").unwrap();
+        let bob = dir.add_principal("bob").unwrap();
+        let staff = dir.add_group("staff").unwrap();
+        dir.add_member(staff, alice).unwrap();
+        dir.add_member(staff, bob).unwrap();
+        (dir, alice, bob, staff)
+    }
+
+    fn subj(p: PrincipalId) -> Subject {
+        Subject::new(p, SecurityClass::bottom())
+    }
+
+    #[test]
+    fn allow_accumulates_until_satisfied() {
+        let (dir, alice, _, staff) = setup();
+        let acl = NtAcl::new(
+            alice,
+            vec![
+                NtAce {
+                    ace_type: NtAceType::Allow,
+                    trustee: NtTrustee::Group(staff),
+                    mask: rights::FILE_READ_DATA,
+                },
+                NtAce {
+                    ace_type: NtAceType::Allow,
+                    trustee: NtTrustee::Principal(alice),
+                    mask: rights::FILE_WRITE_DATA,
+                },
+            ],
+        );
+        // Read+write requires both ACEs.
+        assert!(acl.access_check(
+            &dir,
+            alice,
+            rights::FILE_READ_DATA | rights::FILE_WRITE_DATA
+        ));
+        // Bob only gets the group read.
+        let bob = dir.principal_by_name("bob").unwrap();
+        assert!(acl.access_check(&dir, bob, rights::FILE_READ_DATA));
+        assert!(!acl.access_check(&dir, bob, rights::FILE_WRITE_DATA));
+    }
+
+    #[test]
+    fn evaluation_is_order_dependent() {
+        let (dir, alice, bob, staff) = setup();
+        // Deny-bob before allow-staff: bob loses (canonical NT order).
+        let deny_first = NtAcl::new(
+            alice,
+            vec![
+                NtAce {
+                    ace_type: NtAceType::Deny,
+                    trustee: NtTrustee::Principal(bob),
+                    mask: rights::FILE_READ_DATA,
+                },
+                NtAce {
+                    ace_type: NtAceType::Allow,
+                    trustee: NtTrustee::Group(staff),
+                    mask: rights::FILE_READ_DATA,
+                },
+            ],
+        );
+        assert!(!deny_first.access_check(&dir, bob, rights::FILE_READ_DATA));
+        // Allow-staff before deny-bob: the allow satisfies the request
+        // first, so bob READS — unlike extsec, where negative entries
+        // dominate regardless of order.
+        let allow_first = NtAcl::new(
+            alice,
+            vec![
+                NtAce {
+                    ace_type: NtAceType::Allow,
+                    trustee: NtTrustee::Group(staff),
+                    mask: rights::FILE_READ_DATA,
+                },
+                NtAce {
+                    ace_type: NtAceType::Deny,
+                    trustee: NtTrustee::Principal(bob),
+                    mask: rights::FILE_READ_DATA,
+                },
+            ],
+        );
+        assert!(allow_first.access_check(&dir, bob, rights::FILE_READ_DATA));
+    }
+
+    #[test]
+    fn generic_rights_expand() {
+        assert_eq!(
+            rights::expand(rights::GENERIC_READ),
+            rights::FILE_READ_DATA | rights::READ_CONTROL
+        );
+        assert!(rights::expand(rights::GENERIC_ALL) & rights::WRITE_DAC != 0);
+        let (dir, alice, bob, _) = setup();
+        let acl = NtAcl::new(
+            alice,
+            vec![NtAce {
+                ace_type: NtAceType::Allow,
+                trustee: NtTrustee::Everyone,
+                mask: rights::GENERIC_WRITE,
+            }],
+        );
+        assert!(acl.access_check(&dir, bob, rights::FILE_APPEND_DATA));
+        assert!(acl.access_check(&dir, bob, rights::FILE_WRITE_DATA));
+        assert!(!acl.access_check(&dir, bob, rights::FILE_READ_DATA));
+    }
+
+    #[test]
+    fn append_without_overwrite_is_expressible() {
+        // NT's genuinely richer bit: FILE_APPEND_DATA without
+        // FILE_WRITE_DATA.
+        let (dir, alice, bob, _) = setup();
+        let acl = NtAcl::new(
+            alice,
+            vec![NtAce {
+                ace_type: NtAceType::Allow,
+                trustee: NtTrustee::Principal(bob),
+                mask: rights::FILE_APPEND_DATA,
+            }],
+        );
+        assert!(acl.access_check(&dir, bob, rights::FILE_APPEND_DATA));
+        assert!(!acl.access_check(&dir, bob, rights::FILE_WRITE_DATA));
+    }
+
+    #[test]
+    fn execute_and_extend_are_conflated() {
+        let (dir, alice, ..) = setup();
+        let policy = NtPolicy::new(dir);
+        policy.set(
+            "/svc/iface/op".parse().unwrap(),
+            NtAcl::new(
+                alice,
+                vec![NtAce {
+                    ace_type: NtAceType::Allow,
+                    trustee: NtTrustee::Principal(alice),
+                    mask: rights::FILE_EXECUTE,
+                }],
+            ),
+        );
+        let s = subj(alice);
+        let path: NsPath = "/svc/iface/op".parse().unwrap();
+        assert!(policy.decide(&s, &path, AccessMode::Execute).allowed());
+        // The conflation: the same bit necessarily grants extend.
+        assert!(policy.decide(&s, &path, AccessMode::Extend).allowed());
+    }
+
+    #[test]
+    fn owner_holds_write_dac_implicitly() {
+        let (dir, alice, bob, _) = setup();
+        let acl = NtAcl::new(alice, vec![]);
+        assert!(acl.access_check(&dir, alice, rights::WRITE_DAC));
+        assert!(!acl.access_check(&dir, bob, rights::WRITE_DAC));
+    }
+
+    #[test]
+    fn mac_is_absent() {
+        // Same principal, wildly different classes, same answer.
+        let (dir, alice, ..) = setup();
+        let policy = NtPolicy::new(dir);
+        policy.set(
+            "/obj/f".parse().unwrap(),
+            NtAcl::new(
+                alice,
+                vec![NtAce {
+                    ace_type: NtAceType::Allow,
+                    trustee: NtTrustee::Everyone,
+                    mask: rights::GENERIC_READ,
+                }],
+            ),
+        );
+        let path: NsPath = "/obj/f".parse().unwrap();
+        let lo = Subject::new(alice, SecurityClass::bottom());
+        let hi = Subject::new(
+            alice,
+            SecurityClass::at_level(extsec_mac::TrustLevel::from_rank(9)),
+        );
+        assert_eq!(
+            policy.decide(&lo, &path, AccessMode::Read).allowed(),
+            policy.decide(&hi, &path, AccessMode::Read).allowed()
+        );
+    }
+}

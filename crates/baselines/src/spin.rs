@@ -1,0 +1,167 @@
+//! The SPIN domain-linking engine.
+//!
+//! In SPIN, "system services are partitioned into several domains ... An
+//! extension is linked against one or more domains and can only access and
+//! extend those system services that are in the domains it has been linked
+//! against" — and, the paper's critique, "an extension can either call on
+//! and extend all interfaces in all domains it has been linked against"
+//! (§1.2). Domains give name-space hygiene and visibility control but no
+//! per-interface, per-mode, or mandatory control.
+//!
+//! The engine models a domain as a named set of name-space subtrees;
+//! extensions (principals) are linked against domain sets at load time.
+//! Inside a linked domain every mode is allowed; outside, none is.
+
+use extsec_acl::{AccessMode, PrincipalId};
+use extsec_namespace::NsPath;
+use extsec_refmon::{Decision, DenyReason, PolicyEngine, Subject};
+use parking_lot::RwLock;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The SPIN domain-linking policy engine.
+pub struct SpinDomainPolicy {
+    domains: RwLock<BTreeMap<String, Vec<NsPath>>>,
+    links: RwLock<BTreeMap<PrincipalId, BTreeSet<String>>>,
+}
+
+impl SpinDomainPolicy {
+    /// Creates an engine with no domains.
+    pub fn new() -> Self {
+        SpinDomainPolicy {
+            domains: RwLock::new(BTreeMap::new()),
+            links: RwLock::new(BTreeMap::new()),
+        }
+    }
+
+    /// Defines (or extends) a domain as a set of subtree roots.
+    pub fn define_domain(&self, name: impl Into<String>, roots: Vec<NsPath>) {
+        self.domains
+            .write()
+            .entry(name.into())
+            .or_default()
+            .extend(roots);
+    }
+
+    /// Links an extension (principal) against a domain.
+    pub fn link(&self, principal: PrincipalId, domain: impl Into<String>) {
+        self.links
+            .write()
+            .entry(principal)
+            .or_default()
+            .insert(domain.into());
+    }
+
+    /// Returns the domains a principal is linked against.
+    pub fn linked_domains(&self, principal: PrincipalId) -> BTreeSet<String> {
+        self.links
+            .read()
+            .get(&principal)
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    fn reachable(&self, principal: PrincipalId, path: &NsPath) -> bool {
+        let links = self.links.read();
+        let Some(linked) = links.get(&principal) else {
+            return false;
+        };
+        let domains = self.domains.read();
+        linked.iter().any(|domain| {
+            domains
+                .get(domain)
+                .is_some_and(|roots| roots.iter().any(|root| path.starts_with(root)))
+        })
+    }
+}
+
+impl Default for SpinDomainPolicy {
+    fn default() -> Self {
+        SpinDomainPolicy::new()
+    }
+}
+
+impl PolicyEngine for SpinDomainPolicy {
+    fn name(&self) -> &str {
+        "spin-domains"
+    }
+
+    fn decide(&self, subject: &Subject, path: &NsPath, _mode: AccessMode) -> Decision {
+        if self.reachable(subject.principal, path) {
+            Decision::Allow
+        } else {
+            Decision::Deny(DenyReason::DacNoEntry)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use extsec_mac::SecurityClass;
+
+    fn subj(raw: u32) -> Subject {
+        Subject::new(PrincipalId::from_raw(raw), SecurityClass::bottom())
+    }
+
+    fn setup() -> SpinDomainPolicy {
+        let policy = SpinDomainPolicy::new();
+        policy.define_domain(
+            "net",
+            vec!["/svc/mbuf".parse().unwrap(), "/svc/net".parse().unwrap()],
+        );
+        policy.define_domain("files", vec!["/svc/fs".parse().unwrap()]);
+        policy
+    }
+
+    #[test]
+    fn linked_domains_are_fully_reachable() {
+        let policy = setup();
+        policy.link(PrincipalId::from_raw(1), "net");
+        let s = subj(1);
+        assert!(policy
+            .decide(&s, &"/svc/mbuf/alloc".parse().unwrap(), AccessMode::Execute)
+            .allowed());
+        assert!(!policy
+            .decide(&s, &"/svc/fs/read".parse().unwrap(), AccessMode::Execute)
+            .allowed());
+    }
+
+    #[test]
+    fn call_and_extend_are_all_or_nothing() {
+        // The paper's critique: linking grants *both* interaction modes
+        // on *every* interface in the domain.
+        let policy = setup();
+        policy.link(PrincipalId::from_raw(1), "files");
+        let s = subj(1);
+        let path: NsPath = "/svc/fs/read".parse().unwrap();
+        assert!(policy.decide(&s, &path, AccessMode::Execute).allowed());
+        assert!(policy.decide(&s, &path, AccessMode::Extend).allowed());
+        // Every interface in the domain, not just the one it needs.
+        let other: NsPath = "/svc/fs/delete".parse().unwrap();
+        assert!(policy.decide(&s, &other, AccessMode::Execute).allowed());
+    }
+
+    #[test]
+    fn unlinked_extensions_reach_nothing() {
+        let policy = setup();
+        let s = subj(9);
+        assert!(!policy
+            .decide(&s, &"/svc/mbuf/alloc".parse().unwrap(), AccessMode::Execute)
+            .allowed());
+    }
+
+    #[test]
+    fn multiple_links_union() {
+        let policy = setup();
+        policy.link(PrincipalId::from_raw(1), "net");
+        policy.link(PrincipalId::from_raw(1), "files");
+        let s = subj(1);
+        assert!(policy
+            .decide(&s, &"/svc/fs/read".parse().unwrap(), AccessMode::Execute)
+            .allowed());
+        assert!(policy
+            .decide(&s, &"/svc/mbuf/read".parse().unwrap(), AccessMode::Execute)
+            .allowed());
+        assert_eq!(policy.linked_domains(PrincipalId::from_raw(1)).len(), 2);
+    }
+}

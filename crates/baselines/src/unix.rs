@@ -1,0 +1,248 @@
+//! The Unix permission-bit engine.
+//!
+//! Each object carries an owner, a group, and nine bits (`rwxrwxrwx`).
+//! The mapping from the extensible-system access modes onto the three
+//! bits is where the model's poverty shows (and is exactly what the
+//! expressiveness experiment T4 measures):
+//!
+//! * `read`, `list` → `r`
+//! * `write`, `write-append`, `delete` → `w` (no append-only objects!)
+//! * `execute`, `extend` → `x` (no call/extend distinction!)
+//! * `administrate` → owner only (chmod semantics)
+//!
+//! There are no negative entries, one group per object, and no mandatory
+//! layer — the subject's security class is ignored entirely.
+
+use extsec_acl::{AccessMode, Directory, GroupId, PrincipalId};
+use extsec_namespace::NsPath;
+use extsec_refmon::{Decision, DenyReason, PolicyEngine, Subject};
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+
+/// Permission bits, `0o777`-style.
+pub mod bits {
+    /// Owner read.
+    pub const UR: u16 = 0o400;
+    /// Owner write.
+    pub const UW: u16 = 0o200;
+    /// Owner execute.
+    pub const UX: u16 = 0o100;
+    /// Group read.
+    pub const GR: u16 = 0o040;
+    /// Group write.
+    pub const GW: u16 = 0o020;
+    /// Group execute.
+    pub const GX: u16 = 0o010;
+    /// Other read.
+    pub const OR: u16 = 0o004;
+    /// Other write.
+    pub const OW: u16 = 0o002;
+    /// Other execute.
+    pub const OX: u16 = 0o001;
+}
+
+/// One object's Unix protection record.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct UnixPerm {
+    /// The owning principal.
+    pub owner: PrincipalId,
+    /// The owning group.
+    pub group: GroupId,
+    /// The mode bits (e.g. `0o750`).
+    pub mode: u16,
+}
+
+impl UnixPerm {
+    /// Creates a permission record.
+    pub fn new(owner: PrincipalId, group: GroupId, mode: u16) -> Self {
+        UnixPerm { owner, group, mode }
+    }
+}
+
+/// The Unix policy engine.
+pub struct UnixPolicy {
+    directory: Directory,
+    perms: RwLock<BTreeMap<NsPath, UnixPerm>>,
+    /// Permissions applied to paths with no explicit record.
+    default: Option<UnixPerm>,
+}
+
+impl UnixPolicy {
+    /// Creates an engine over a principal directory (needed for group
+    /// membership).
+    pub fn new(directory: Directory) -> Self {
+        UnixPolicy {
+            directory,
+            perms: RwLock::new(BTreeMap::new()),
+            default: None,
+        }
+    }
+
+    /// Sets the fallback permission record for unlisted paths.
+    pub fn with_default(mut self, perm: UnixPerm) -> Self {
+        self.default = Some(perm);
+        self
+    }
+
+    /// Sets the permission record for one path (like `chown`+`chmod`).
+    pub fn set(&self, path: NsPath, perm: UnixPerm) {
+        self.perms.write().insert(path, perm);
+    }
+
+    /// Returns the record covering `path`, if any.
+    pub fn get(&self, path: &NsPath) -> Option<UnixPerm> {
+        self.perms.read().get(path).copied().or(self.default)
+    }
+
+    fn class_of(&self, subject: &Subject, perm: &UnixPerm) -> (u16, u16, u16) {
+        if subject.principal == perm.owner {
+            (bits::UR, bits::UW, bits::UX)
+        } else if self.directory.is_member(subject.principal, perm.group) {
+            (bits::GR, bits::GW, bits::GX)
+        } else {
+            (bits::OR, bits::OW, bits::OX)
+        }
+    }
+}
+
+impl PolicyEngine for UnixPolicy {
+    fn name(&self) -> &str {
+        "unix"
+    }
+
+    fn decide(&self, subject: &Subject, path: &NsPath, mode: AccessMode) -> Decision {
+        let Some(perm) = self.get(path) else {
+            return Decision::Deny(DenyReason::NotFound(path.clone()));
+        };
+        let (r, w, x) = self.class_of(subject, &perm);
+        let allowed = match mode {
+            AccessMode::Read | AccessMode::List => perm.mode & r != 0,
+            AccessMode::Write | AccessMode::WriteAppend | AccessMode::Delete => perm.mode & w != 0,
+            AccessMode::Execute | AccessMode::Extend => perm.mode & x != 0,
+            AccessMode::Administrate => subject.principal == perm.owner,
+        };
+        if allowed {
+            Decision::Allow
+        } else {
+            Decision::Deny(DenyReason::DacNoEntry)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use extsec_mac::SecurityClass;
+
+    fn setup() -> (UnixPolicy, PrincipalId, PrincipalId, PrincipalId) {
+        let mut dir = Directory::new();
+        let alice = dir.add_principal("alice").unwrap();
+        let bob = dir.add_principal("bob").unwrap();
+        let carol = dir.add_principal("carol").unwrap();
+        let staff = dir.add_group("staff").unwrap();
+        dir.add_member(staff, bob).unwrap();
+        let policy = UnixPolicy::new(dir);
+        policy.set(
+            "/obj/fs/file".parse().unwrap(),
+            UnixPerm::new(alice, staff, 0o640),
+        );
+        (policy, alice, bob, carol)
+    }
+
+    fn subj(p: PrincipalId) -> Subject {
+        Subject::new(p, SecurityClass::bottom())
+    }
+
+    #[test]
+    fn owner_group_other_tiers() {
+        let (policy, alice, bob, carol) = setup();
+        let path: NsPath = "/obj/fs/file".parse().unwrap();
+        // Owner: rw-. Group: r--. Other: ---.
+        assert!(policy
+            .decide(&subj(alice), &path, AccessMode::Read)
+            .allowed());
+        assert!(policy
+            .decide(&subj(alice), &path, AccessMode::Write)
+            .allowed());
+        assert!(policy.decide(&subj(bob), &path, AccessMode::Read).allowed());
+        assert!(!policy
+            .decide(&subj(bob), &path, AccessMode::Write)
+            .allowed());
+        assert!(!policy
+            .decide(&subj(carol), &path, AccessMode::Read)
+            .allowed());
+    }
+
+    #[test]
+    fn execute_and_extend_are_conflated() {
+        // The structural limitation: granting `x` grants both call and
+        // extend — there is no way to separate them.
+        let (policy, alice, ..) = setup();
+        let path: NsPath = "/svc/thing".parse().unwrap();
+        policy.set(
+            path.clone(),
+            UnixPerm::new(alice, GroupId::from_raw(0), 0o100),
+        );
+        assert!(policy
+            .decide(&subj(alice), &path, AccessMode::Execute)
+            .allowed());
+        assert!(policy
+            .decide(&subj(alice), &path, AccessMode::Extend)
+            .allowed());
+    }
+
+    #[test]
+    fn append_and_delete_are_conflated_with_write() {
+        let (policy, alice, ..) = setup();
+        let path: NsPath = "/obj/fs/file".parse().unwrap();
+        for mode in [
+            AccessMode::Write,
+            AccessMode::WriteAppend,
+            AccessMode::Delete,
+        ] {
+            assert!(policy.decide(&subj(alice), &path, mode).allowed());
+        }
+    }
+
+    #[test]
+    fn administrate_is_owner_only() {
+        let (policy, alice, bob, _) = setup();
+        let path: NsPath = "/obj/fs/file".parse().unwrap();
+        assert!(policy
+            .decide(&subj(alice), &path, AccessMode::Administrate)
+            .allowed());
+        assert!(!policy
+            .decide(&subj(bob), &path, AccessMode::Administrate)
+            .allowed());
+    }
+
+    #[test]
+    fn mac_is_ignored() {
+        // A Unix engine cannot see classes: the same principal at any
+        // class gets the same answer.
+        let (policy, alice, ..) = setup();
+        let path: NsPath = "/obj/fs/file".parse().unwrap();
+        let lo = Subject::new(alice, SecurityClass::bottom());
+        let hi = Subject::new(
+            alice,
+            SecurityClass::at_level(extsec_mac::TrustLevel::from_rank(5)),
+        );
+        assert_eq!(
+            policy.decide(&lo, &path, AccessMode::Read).allowed(),
+            policy.decide(&hi, &path, AccessMode::Read).allowed()
+        );
+    }
+
+    #[test]
+    fn unlisted_paths_use_default_or_deny() {
+        let (policy, alice, ..) = setup();
+        let ghost: NsPath = "/ghost".parse().unwrap();
+        assert!(!policy
+            .decide(&subj(alice), &ghost, AccessMode::Read)
+            .allowed());
+        let policy = policy.with_default(UnixPerm::new(alice, GroupId::from_raw(0), 0o444));
+        assert!(policy
+            .decide(&subj(alice), &ghost, AccessMode::Read)
+            .allowed());
+    }
+}

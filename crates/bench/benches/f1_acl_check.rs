@@ -1,0 +1,60 @@
+//! F1 — cost of a discretionary ACL check as a function of list length
+//! and of where the matching entry sits (head / tail / negative).
+//!
+//! Expected shape: linear in the number of entries scanned; a deny entry
+//! at the head short-circuits, a grant at the tail pays the full scan.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use extsec_core::{AccessMode, Acl, AclEntry, Directory, ModeSet, PrincipalId};
+use std::hint::black_box;
+
+fn build_directory(n: usize) -> (Directory, Vec<PrincipalId>) {
+    let mut dir = Directory::new();
+    let principals: Vec<PrincipalId> = (0..n)
+        .map(|i| dir.add_principal(format!("p{i}")).unwrap())
+        .collect();
+    (dir, principals)
+}
+
+fn acl_of(principals: &[PrincipalId], target: PrincipalId, placement: &str) -> Acl {
+    let filler = |p: PrincipalId| AclEntry::allow_principal_modes(p, ModeSet::parse("rl").unwrap());
+    let grant = AclEntry::allow_principal(target, AccessMode::Execute);
+    let mut entries: Vec<AclEntry> = principals.iter().map(|p| filler(*p)).collect();
+    match placement {
+        "head" => entries.insert(0, grant),
+        "tail" => entries.push(grant),
+        "deny-head" => {
+            entries.push(grant);
+            entries.insert(0, AclEntry::deny_principal(target, AccessMode::Execute));
+        }
+        _ => unreachable!(),
+    }
+    Acl::from_entries(entries)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f1_acl_check");
+    for &len in &[1usize, 4, 16, 64, 256] {
+        let (dir, principals) = build_directory(len.max(2));
+        let target = principals[0];
+        for placement in ["head", "tail", "deny-head"] {
+            let acl = acl_of(&principals[1..], target, placement);
+            group.bench_with_input(BenchmarkId::new(placement, len), &acl, |b, acl| {
+                b.iter(|| {
+                    black_box(acl.check(black_box(&dir), black_box(target), AccessMode::Execute))
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(600));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! F2 — cost of a mandatory domination check as a function of category
+//! set size, with the word-parallel bitset against a naive
+//! `BTreeSet`-based implementation (DESIGN.md §6 ablation 4).
+//!
+//! Expected shape: the bitset stays near-flat (one to four 64-bit words);
+//! the naive set grows with the element count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use extsec_core::{CategoryId, CategorySet, SecurityClass, TrustLevel};
+use std::collections::BTreeSet;
+use std::hint::black_box;
+
+fn class_with(n: u16) -> SecurityClass {
+    SecurityClass::new(
+        TrustLevel::from_rank(3),
+        (0..n).map(CategoryId::from_index).collect::<CategorySet>(),
+    )
+}
+
+fn naive_dominates(a_level: u16, a: &BTreeSet<u16>, b_level: u16, b: &BTreeSet<u16>) -> bool {
+    a_level >= b_level && b.iter().all(|x| a.contains(x))
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f2_mac_check");
+    for &n in &[1u16, 4, 16, 64, 256] {
+        let subject = class_with(n);
+        let object = class_with(n / 2 + 1);
+        group.bench_with_input(BenchmarkId::new("bitset", n), &n, |b, _| {
+            b.iter(|| black_box(black_box(&subject).dominates(black_box(&object))))
+        });
+
+        let subject_naive: BTreeSet<u16> = (0..n).collect();
+        let object_naive: BTreeSet<u16> = (0..n / 2 + 1).collect();
+        group.bench_with_input(BenchmarkId::new("naive-btreeset", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(naive_dominates(
+                    3,
+                    black_box(&subject_naive),
+                    3,
+                    black_box(&object_naive),
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(600));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! F3 — cost of a monitored access check as a function of name-space
+//! depth, with per-level visibility checks on and off (the
+//! `check_visibility` knob, DESIGN.md §6).
+//!
+//! Expected shape: linear in depth with visibility checks (each interior
+//! node pays a DAC `list` + MAC observe), shallower slope without.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use extsec_core::{
+    AccessMode, Acl, AclEntry, Lattice, ModeSet, MonitorBuilder, NodeKind, NsPath, Protection,
+    SecurityClass, Subject,
+};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn monitor_with_depth(depth: usize) -> (Arc<extsec_core::ReferenceMonitor>, Subject, NsPath) {
+    let lattice = Lattice::build(["low", "high"], ["c"]).unwrap();
+    let mut builder = MonitorBuilder::new(lattice);
+    let p = builder.add_principal("p").unwrap();
+    let monitor = builder.build();
+    let mut path = NsPath::root();
+    for i in 0..depth {
+        path = path.join(&format!("d{i}")).unwrap();
+    }
+    let leaf_path = path.join("leaf").unwrap();
+    monitor
+        .bootstrap(|ns| {
+            let visible = Protection::new(
+                Acl::public(ModeSet::only(AccessMode::List)),
+                SecurityClass::bottom(),
+            );
+            let dir = ns.ensure_path(&path, NodeKind::Domain, &visible)?;
+            let mut protection = Protection::default();
+            protection
+                .acl
+                .push(AclEntry::allow_principal(p, AccessMode::Execute));
+            ns.insert_at(dir, "leaf", NodeKind::Procedure, protection)?;
+            Ok(())
+        })
+        .unwrap();
+    let subject = Subject::new(p, SecurityClass::bottom());
+    (monitor, subject, leaf_path)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f3_namespace");
+    for &depth in &[1usize, 4, 16, 64] {
+        let (monitor, subject, path) = monitor_with_depth(depth);
+        let mut config = monitor.config();
+        config.audit = false;
+
+        config.check_visibility = true;
+        monitor.set_config(config);
+        group.bench_with_input(
+            BenchmarkId::new("with-visibility", depth),
+            &depth,
+            |b, _| {
+                b.iter(|| {
+                    black_box(monitor.check(
+                        black_box(&subject),
+                        black_box(&path),
+                        AccessMode::Execute,
+                    ))
+                })
+            },
+        );
+
+        config.check_visibility = false;
+        monitor.set_config(config);
+        group.bench_with_input(BenchmarkId::new("no-visibility", depth), &depth, |b, _| {
+            b.iter(|| {
+                black_box(monitor.check(black_box(&subject), black_box(&path), AccessMode::Execute))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(600));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! F4 — overhead of class-aware dynamic dispatch as a function of the
+//! number of registered specializations on one interface, against the
+//! unchecked selection a dispatch-only system would do.
+//!
+//! Expected shape: linear in the registration count (the dispatcher
+//! scans them for the greatest dominated class); the constant per
+//! registration is a class comparison.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use extsec_core::ext::Dispatcher;
+use extsec_core::{CategoryId, CategorySet, ExtensionId, NsPath, SecurityClass, TrustLevel};
+use std::hint::black_box;
+
+fn class(level: u16, cats: &[u16]) -> SecurityClass {
+    SecurityClass::new(
+        TrustLevel::from_rank(level),
+        cats.iter()
+            .copied()
+            .map(CategoryId::from_index)
+            .collect::<CategorySet>(),
+    )
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f4_dispatch");
+    let iface: NsPath = "/svc/vfs/types/x".parse().unwrap();
+    for &n in &[1u16, 4, 16, 64] {
+        let mut dispatcher = Dispatcher::new();
+        for i in 0..n {
+            dispatcher.register(
+                iface.clone(),
+                ExtensionId::from_raw(i as u32),
+                format!("h{i}"),
+                class(i % 4, &[i % 8]),
+            );
+        }
+        let caller = class(8, &[0, 1, 2, 3, 4, 5, 6, 7]);
+        group.bench_with_input(BenchmarkId::new("class-aware-select", n), &n, |b, _| {
+            b.iter(|| black_box(dispatcher.select(black_box(&iface), black_box(&caller))))
+        });
+        // Baseline: take the first registration unconditionally (what a
+        // dispatcher without security classes would do).
+        group.bench_with_input(BenchmarkId::new("unchecked-first", n), &n, |b, _| {
+            b.iter(|| black_box(dispatcher.registrations(black_box(&iface)).first()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(600));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,143 @@
+//! F5 — the four access-control engines on one identical request stream.
+//!
+//! Expected shape: the Java sandbox and SPIN domains are cheapest (a
+//! prefix test), Unix next (bit tests plus one group-membership probe),
+//! extsec most expensive (full traversal + ACL + lattice) — the price of
+//! the only engine that blocks every T1 attack.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use extsec_core::baselines::unix::bits;
+use extsec_core::{
+    AccessMode, Acl, AclEntry, Directory, JavaSandboxPolicy, Lattice, ModeSet, MonitorBuilder,
+    NodeKind, NsPath, PolicyEngine, Protection, SecurityClass, SpinDomainPolicy, Subject,
+    TrustTier, UnixPerm, UnixPolicy,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+const OBJECTS: usize = 32;
+
+struct Workload {
+    requests: Vec<(Subject, NsPath, AccessMode)>,
+}
+
+fn workload(subjects: &[Subject], seed: u64) -> Workload {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let modes = [
+        AccessMode::Read,
+        AccessMode::Write,
+        AccessMode::Execute,
+        AccessMode::Extend,
+    ];
+    let requests = (0..1000)
+        .map(|_| {
+            let s = subjects[rng.gen_range(0..subjects.len())].clone();
+            let o: NsPath = format!("/obj/f{}", rng.gen_range(0..OBJECTS))
+                .parse()
+                .unwrap();
+            let m = modes[rng.gen_range(0..modes.len())];
+            (s, o, m)
+        })
+        .collect();
+    Workload { requests }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut dir = Directory::new();
+    let alice = dir.add_principal("alice").unwrap();
+    let bob = dir.add_principal("bob").unwrap();
+    let staff = dir.add_group("staff").unwrap();
+    dir.add_member(staff, alice).unwrap();
+
+    let subjects = [
+        Subject::new(alice, SecurityClass::bottom()),
+        Subject::new(bob, SecurityClass::bottom()),
+    ];
+    let wl = workload(&subjects, 7);
+
+    // Configure every engine over the same object population.
+    let unix = UnixPolicy::new(dir.clone());
+    for i in 0..OBJECTS {
+        unix.set(
+            format!("/obj/f{i}").parse().unwrap(),
+            UnixPerm::new(alice, staff, bits::UR | bits::UW | bits::GR),
+        );
+    }
+
+    let java = JavaSandboxPolicy::new(vec!["/obj".parse().unwrap()]);
+    java.set_tier(alice, TrustTier::Trusted);
+
+    let spin = SpinDomainPolicy::new();
+    spin.define_domain("objs", vec!["/obj".parse().unwrap()]);
+    spin.link(alice, "objs");
+
+    let extsec = {
+        let lattice = Lattice::build(["low", "high"], ["k"]).unwrap();
+        let mut builder = MonitorBuilder::new(lattice);
+        builder.add_principal("alice").unwrap();
+        builder.add_principal("bob").unwrap();
+        let g = builder.add_group("staff").unwrap();
+        builder.add_member(g, alice).unwrap();
+        let monitor = builder.build();
+        let mut config = monitor.config();
+        config.audit = false;
+        monitor.set_config(config);
+        monitor
+            .bootstrap(|ns| {
+                let visible = Protection::new(
+                    Acl::public(ModeSet::only(AccessMode::List)),
+                    SecurityClass::bottom(),
+                );
+                let obj =
+                    ns.ensure_path(&"/obj".parse().unwrap(), NodeKind::Directory, &visible)?;
+                for i in 0..OBJECTS {
+                    let mut protection = Protection::default();
+                    protection.acl.push(AclEntry::allow_principal_modes(
+                        alice,
+                        ModeSet::parse("rw").unwrap(),
+                    ));
+                    protection
+                        .acl
+                        .push(AclEntry::allow_group(g, AccessMode::Read));
+                    ns.insert_at(obj, &format!("f{i}"), NodeKind::Object, protection)?;
+                }
+                Ok(())
+            })
+            .unwrap();
+        monitor
+    };
+
+    let engines: Vec<(&str, &dyn PolicyEngine)> = vec![
+        ("java-sandbox", &java),
+        ("unix", &unix),
+        ("spin-domains", &spin),
+        ("extsec", extsec.as_ref()),
+    ];
+
+    let mut group = c.benchmark_group("f5_engines");
+    for (name, engine) in engines {
+        group.bench_with_input(BenchmarkId::new(name, "1000-requests"), &(), |b, _| {
+            b.iter(|| {
+                let mut allowed = 0usize;
+                for (s, o, m) in &wl.requests {
+                    if engine.decide(black_box(s), black_box(o), *m).allowed() {
+                        allowed += 1;
+                    }
+                }
+                black_box(allowed)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(800));
+    targets = bench
+}
+criterion_main!(benches);

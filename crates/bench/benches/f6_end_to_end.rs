@@ -1,0 +1,84 @@
+//! F6 — end-to-end cost of one extension call crossing a syscall gate
+//! (VM → monitor → service) against the raw, unmonitored service
+//! invocation, with the audit log on and off (DESIGN.md §6 ablation 5).
+//!
+//! Expected shape: the monitor adds a small constant per gate crossing;
+//! audit roughly doubles that constant (one ring insertion per check).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use extsec_core::scenarios::paper_lattice;
+use extsec_core::{ExtensionManifest, Origin, SystemBuilder};
+use std::hint::black_box;
+
+const CALLER_SRC: &str = r#"
+module caller
+import now = "/svc/clock/now" () -> int
+func main() -> int
+  syscall now
+  ret
+end
+export main = main
+"#;
+
+fn bench(c: &mut Criterion) {
+    let mut builder = SystemBuilder::new(paper_lattice());
+    builder.principal("alice").unwrap();
+    let system = builder.build().unwrap();
+    let alice = system.subject("alice", "others").unwrap();
+    let ext = system
+        .load_extension(
+            CALLER_SRC,
+            ExtensionManifest {
+                name: "caller".into(),
+                principal: alice.principal,
+                origin: Origin::Local,
+                static_class: None,
+            },
+        )
+        .unwrap();
+
+    let mut group = c.benchmark_group("f6_end_to_end");
+
+    // Raw service invocation: no VM, no monitor.
+    group.bench_function(BenchmarkId::new("raw-service", "clock.now"), |b| {
+        b.iter(|| black_box(system.clock.now()))
+    });
+
+    // Monitored call: monitor + dispatch + service, no VM.
+    let path = "/svc/clock/now".parse().unwrap();
+    let mut config = system.monitor.config();
+    config.audit = false;
+    system.monitor.set_config(config);
+    group.bench_function(BenchmarkId::new("monitored-call", "audit-off"), |b| {
+        b.iter(|| black_box(system.runtime.call(&alice, &path, &[])).unwrap())
+    });
+    config.audit = true;
+    system.monitor.set_config(config);
+    group.bench_function(BenchmarkId::new("monitored-call", "audit-on"), |b| {
+        b.iter(|| black_box(system.runtime.call(&alice, &path, &[])).unwrap())
+    });
+
+    // Full gate crossing: VM entry + syscall gate + monitor + service.
+    config.audit = false;
+    system.monitor.set_config(config);
+    group.bench_function(BenchmarkId::new("vm-gate", "audit-off"), |b| {
+        b.iter(|| black_box(system.runtime.run(ext, "main", &[], &alice)).unwrap())
+    });
+    config.audit = true;
+    system.monitor.set_config(config);
+    group.bench_function(BenchmarkId::new("vm-gate", "audit-on"), |b| {
+        b.iter(|| black_box(system.runtime.run(ext, "main", &[], &alice)).unwrap())
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(800));
+    targets = bench
+}
+criterion_main!(benches);

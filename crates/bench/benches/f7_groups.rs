@@ -1,0 +1,79 @@
+//! F7 — cost of the group-membership closure: a monitored check whose
+//! grant sits behind N levels of group nesting.
+//!
+//! Expected shape: linear in nesting depth (the membership query walks
+//! the subgroup DAG); flat when the grant is direct.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use extsec_core::{
+    AccessMode, Acl, AclEntry, Lattice, ModeSet, MonitorBuilder, NodeKind, NsPath, Protection,
+    SecurityClass, Subject,
+};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn world(depth: usize) -> (Arc<extsec_core::ReferenceMonitor>, Subject, NsPath) {
+    let lattice = Lattice::build(["low"], Vec::<String>::new()).unwrap();
+    let mut builder = MonitorBuilder::new(lattice);
+    let user = builder.add_principal("user").unwrap();
+    let mut groups = Vec::new();
+    for i in 0..depth.max(1) {
+        groups.push(builder.add_group(format!("g{i}")).unwrap());
+    }
+    builder.add_member(groups[0], user).unwrap();
+    for i in 1..groups.len() {
+        builder.add_subgroup(groups[i], groups[i - 1]).unwrap();
+    }
+    let outer = *groups.last().unwrap();
+    let monitor = builder.build();
+    let mut config = monitor.config();
+    config.audit = false;
+    monitor.set_config(config);
+    monitor
+        .bootstrap(|ns| {
+            let visible = Protection::new(
+                Acl::public(ModeSet::only(AccessMode::List)),
+                SecurityClass::bottom(),
+            );
+            ns.ensure_path(&"/svc".parse().unwrap(), NodeKind::Domain, &visible)?;
+            ns.insert(
+                &"/svc".parse().unwrap(),
+                "op",
+                NodeKind::Procedure,
+                Protection::new(
+                    Acl::from_entries([AclEntry::allow_group(outer, AccessMode::Execute)]),
+                    SecurityClass::bottom(),
+                ),
+            )?;
+            Ok(())
+        })
+        .unwrap();
+    (
+        monitor,
+        Subject::new(user, SecurityClass::bottom()),
+        "/svc/op".parse().unwrap(),
+    )
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f7_groups");
+    for &depth in &[1usize, 4, 16, 64] {
+        let (monitor, subject, path) = world(depth);
+        group.bench_with_input(BenchmarkId::new("nested-grant", depth), &depth, |b, _| {
+            b.iter(|| {
+                black_box(monitor.check(black_box(&subject), black_box(&path), AccessMode::Execute))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(600));
+    targets = bench
+}
+criterion_main!(benches);

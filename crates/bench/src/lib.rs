@@ -1,0 +1,2 @@
+//! Benchmark harness crate — see `benches/` for the F1–F6 figures.
+#![forbid(unsafe_code)]

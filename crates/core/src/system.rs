@@ -1,0 +1,368 @@
+//! System assembly: the builder and the assembled extensible system.
+
+use extsec_acl::{GroupId, PrincipalId};
+use extsec_ext::{ExtError, ExtRuntime, ExtensionId, ExtensionManifest};
+use extsec_mac::{Lattice, LatticeError, SecurityClass};
+use extsec_namespace::NsPath;
+use extsec_refmon::{MonitorBuilder, MonitorConfig, MonitorError, ReferenceMonitor, Subject};
+use extsec_services::{
+    applets, clock, console, fs, mbuf, net, vfs, AppletService, ClockService, ConsoleService,
+    FsService, MbufService, NetService, VfsService,
+};
+use extsec_vm::{asm, Value};
+use std::fmt;
+use std::sync::Arc;
+
+/// Errors from system assembly or convenience operations.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SystemError {
+    /// A monitor-level failure.
+    Monitor(MonitorError),
+    /// A lattice failure (unknown level/category, parse error).
+    Lattice(LatticeError),
+    /// An extension failure.
+    Ext(ExtError),
+    /// An assembler failure.
+    Asm(String),
+    /// An unknown principal name.
+    UnknownPrincipal(String),
+}
+
+impl fmt::Display for SystemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SystemError::Monitor(e) => write!(f, "{e}"),
+            SystemError::Lattice(e) => write!(f, "{e}"),
+            SystemError::Ext(e) => write!(f, "{e}"),
+            SystemError::Asm(e) => write!(f, "assembly failed: {e}"),
+            SystemError::UnknownPrincipal(name) => write!(f, "unknown principal {name:?}"),
+        }
+    }
+}
+
+impl std::error::Error for SystemError {}
+
+impl From<MonitorError> for SystemError {
+    fn from(e: MonitorError) -> Self {
+        SystemError::Monitor(e)
+    }
+}
+
+impl From<LatticeError> for SystemError {
+    fn from(e: LatticeError) -> Self {
+        SystemError::Lattice(e)
+    }
+}
+
+impl From<ExtError> for SystemError {
+    fn from(e: ExtError) -> Self {
+        SystemError::Ext(e)
+    }
+}
+
+/// Builds an [`ExtensibleSystem`]: lattice, principals, configuration,
+/// then `build()` wires monitor + runtime + services.
+///
+/// # Examples
+///
+/// ```
+/// use extsec_core::SystemBuilder;
+/// use extsec_mac::Lattice;
+///
+/// let lattice = Lattice::build(["user", "admin"], ["net"]).unwrap();
+/// let mut builder = SystemBuilder::new(lattice);
+/// builder.principal("alice").unwrap();
+/// let system = builder.build().unwrap();
+/// let alice = system.subject("alice", "user").unwrap();
+/// # let _ = alice;
+/// ```
+pub struct SystemBuilder {
+    monitor_builder: MonitorBuilder,
+    echo_console: bool,
+}
+
+impl SystemBuilder {
+    /// Starts a builder over a security lattice.
+    pub fn new(lattice: Lattice) -> Self {
+        SystemBuilder {
+            monitor_builder: MonitorBuilder::new(lattice),
+            echo_console: false,
+        }
+    }
+
+    /// Registers a principal.
+    pub fn principal<S: Into<String>>(&mut self, name: S) -> Result<PrincipalId, SystemError> {
+        Ok(self.monitor_builder.add_principal(name)?)
+    }
+
+    /// Registers a group.
+    pub fn group<S: Into<String>>(&mut self, name: S) -> Result<GroupId, SystemError> {
+        Ok(self.monitor_builder.add_group(name)?)
+    }
+
+    /// Adds a principal to a group.
+    pub fn member(&mut self, group: GroupId, principal: PrincipalId) -> Result<(), SystemError> {
+        Ok(self.monitor_builder.add_member(group, principal)?)
+    }
+
+    /// Overrides the monitor configuration.
+    pub fn config(&mut self, config: MonitorConfig) -> &mut Self {
+        self.monitor_builder.config(config);
+        self
+    }
+
+    /// Makes the console echo to stdout (for runnable examples).
+    pub fn echo_console(&mut self) -> &mut Self {
+        self.echo_console = true;
+        self
+    }
+
+    /// Assembles the system: builds the monitor, installs every standard
+    /// service with publicly executable procedures (per-object protection
+    /// still applies under them), and mounts them in a fresh runtime.
+    pub fn build(self) -> Result<ExtensibleSystem, SystemError> {
+        let monitor = self.monitor_builder.build();
+
+        FsService::install_public(&monitor)?;
+        MbufService::install_public(&monitor)?;
+        AppletService::install_public(&monitor)?;
+        ConsoleService::install_public(&monitor)?;
+        ClockService::install_public(&monitor)?;
+        VfsService::install_public(&monitor)?;
+        NetService::install_public(&monitor)?;
+
+        let fs = Arc::new(FsService::new());
+        let mbuf = Arc::new(MbufService::new());
+        let applets = Arc::new(AppletService::new());
+        let console = Arc::new(if self.echo_console {
+            ConsoleService::echoing()
+        } else {
+            ConsoleService::new()
+        });
+        let clock = Arc::new(ClockService::new());
+        let vfs = Arc::new(VfsService::new());
+        let net = Arc::new(NetService::new());
+
+        let runtime = ExtRuntime::new(Arc::clone(&monitor));
+        runtime.mount_service(parse(fs::FS_SERVICE), Arc::clone(&fs) as _);
+        runtime.mount_service(parse(mbuf::MBUF_SERVICE), Arc::clone(&mbuf) as _);
+        runtime.mount_service(parse(applets::THREADS_SERVICE), Arc::clone(&applets) as _);
+        runtime.mount_service(parse(console::CONSOLE_SERVICE), Arc::clone(&console) as _);
+        runtime.mount_service(parse(clock::CLOCK_SERVICE), Arc::clone(&clock) as _);
+        runtime.mount_service(parse(vfs::VFS_SERVICE), Arc::clone(&vfs) as _);
+        runtime.mount_service(parse(net::NET_SERVICE), Arc::clone(&net) as _);
+
+        Ok(ExtensibleSystem {
+            monitor,
+            runtime,
+            fs,
+            mbuf,
+            applets,
+            console,
+            clock,
+            vfs,
+            net,
+        })
+    }
+}
+
+fn parse(s: &str) -> NsPath {
+    s.parse().expect("constant service path")
+}
+
+/// The assembled extensible system: monitor, runtime, and handles to the
+/// standard services.
+pub struct ExtensibleSystem {
+    /// The reference monitor (naming + protection).
+    pub monitor: Arc<ReferenceMonitor>,
+    /// The extension runtime.
+    pub runtime: Arc<ExtRuntime>,
+    /// The file system service.
+    pub fs: Arc<FsService>,
+    /// The mbuf pool service.
+    pub mbuf: Arc<MbufService>,
+    /// The applet/thread registry.
+    pub applets: Arc<AppletService>,
+    /// The console service.
+    pub console: Arc<ConsoleService>,
+    /// The logical clock.
+    pub clock: Arc<ClockService>,
+    /// The extensible VFS.
+    pub vfs: Arc<VfsService>,
+    /// The loopback network service.
+    pub net: Arc<NetService>,
+}
+
+impl ExtensibleSystem {
+    /// Looks a principal up by name.
+    pub fn principal(&self, name: &str) -> Result<PrincipalId, SystemError> {
+        self.monitor
+            .directory(|d| d.principal_by_name(name))
+            .ok_or_else(|| SystemError::UnknownPrincipal(name.to_string()))
+    }
+
+    /// Builds a subject from a principal name and a class expression
+    /// (e.g. `"organization:{department-1}"`).
+    pub fn subject(&self, principal: &str, class: &str) -> Result<Subject, SystemError> {
+        let principal = self.principal(principal)?;
+        let class = self.class(class)?;
+        Ok(Subject::new(principal, class))
+    }
+
+    /// Parses a class expression against the system's lattice.
+    pub fn class(&self, expr: &str) -> Result<SecurityClass, SystemError> {
+        Ok(self.monitor.lattice(|l| l.parse_class(expr))?)
+    }
+
+    /// Assembles, verifies, links and loads an extension from assembly
+    /// source.
+    pub fn load_extension(
+        &self,
+        source: &str,
+        manifest: ExtensionManifest,
+    ) -> Result<ExtensionId, SystemError> {
+        let module = asm::assemble(source).map_err(|e| SystemError::Asm(e.to_string()))?;
+        Ok(self.runtime.load(module, manifest)?)
+    }
+
+    /// Compiles, verifies, links and loads an extension written in the
+    /// `xlang` extension language (see [`extsec_lang`]).
+    pub fn load_xlang(
+        &self,
+        source: &str,
+        manifest: ExtensionManifest,
+    ) -> Result<ExtensionId, SystemError> {
+        let module = extsec_lang::compile(source, &manifest.name)
+            .map_err(|e| SystemError::Asm(e.to_string()))?;
+        Ok(self.runtime.load(module, manifest)?)
+    }
+
+    /// Invokes the object at `path` as `subject` through the runtime.
+    pub fn call(
+        &self,
+        subject: &Subject,
+        path: &str,
+        args: &[Value],
+    ) -> Result<Option<Value>, SystemError> {
+        let path: NsPath = path
+            .parse()
+            .map_err(|e: extsec_namespace::PathError| SystemError::Asm(e.to_string()))?;
+        Ok(self.runtime.call(subject, &path, args)?)
+    }
+}
+
+impl fmt::Debug for ExtensibleSystem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ExtensibleSystem")
+            .field("monitor", &self.monitor)
+            .field("runtime", &self.runtime)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use extsec_acl::AccessMode;
+
+    fn demo() -> ExtensibleSystem {
+        let lattice = Lattice::build(["user", "admin"], ["net"]).unwrap();
+        let mut builder = SystemBuilder::new(lattice);
+        builder.principal("alice").unwrap();
+        builder.build().unwrap()
+    }
+
+    #[test]
+    fn build_installs_all_services() {
+        let system = demo();
+        for path in [
+            "/svc/fs/read",
+            "/svc/mbuf/alloc",
+            "/svc/threads/spawn",
+            "/svc/console/print",
+            "/svc/clock/now",
+            "/svc/vfs/open",
+            "/svc/net/send",
+        ] {
+            let p: NsPath = path.parse().unwrap();
+            assert!(
+                system.monitor.inspect(|ns| ns.resolve(&p).is_ok()),
+                "{path} missing"
+            );
+        }
+        assert_eq!(system.runtime.mounted().len(), 7);
+    }
+
+    #[test]
+    fn subject_and_class_helpers() {
+        let system = demo();
+        let s = system.subject("alice", "admin:{net}").unwrap();
+        assert_eq!(
+            s.class,
+            system
+                .monitor
+                .lattice(|l| l.parse_class("admin:{net}").unwrap())
+        );
+        assert!(matches!(
+            system.subject("ghost", "user"),
+            Err(SystemError::UnknownPrincipal(_))
+        ));
+        assert!(matches!(
+            system.subject("alice", "nope"),
+            Err(SystemError::Lattice(_))
+        ));
+    }
+
+    #[test]
+    fn end_to_end_call() {
+        let system = demo();
+        let alice = system.subject("alice", "user").unwrap();
+        let r = system.call(&alice, "/svc/clock/now", &[]).unwrap();
+        assert_eq!(r, Some(Value::Int(1)));
+        system
+            .call(&alice, "/svc/console/print", &[Value::Str("hi".into())])
+            .unwrap();
+        assert_eq!(system.console.len(), 1);
+    }
+
+    #[test]
+    fn load_extension_from_source() {
+        let system = demo();
+        let alice = system.subject("alice", "user").unwrap();
+        let id = system
+            .load_extension(
+                r#"
+module hello
+import print = "/svc/console/print" (str)
+func main()
+  push_str "hello from extension"
+  syscall print
+  ret
+end
+export main = main
+"#,
+                ExtensionManifest {
+                    name: "hello".into(),
+                    principal: alice.principal,
+                    origin: extsec_ext::Origin::Local,
+                    static_class: None,
+                },
+            )
+            .unwrap();
+        system.runtime.run(id, "main", &[], &alice).unwrap();
+        assert_eq!(system.console.take_output().len(), 1);
+    }
+
+    #[test]
+    fn audit_is_live_by_default() {
+        let system = demo();
+        let alice = system.subject("alice", "user").unwrap();
+        system.monitor.audit().clear();
+        let _ = system.monitor.check(
+            &alice,
+            &"/svc/clock/now".parse().unwrap(),
+            AccessMode::Execute,
+        );
+        assert_eq!(system.monitor.audit().len(), 1);
+    }
+}

@@ -1,0 +1,245 @@
+//! Extension authentication (simulated).
+//!
+//! The paper explicitly defers "the authentication of extensions (and
+//! principals)" to future work while noting that any complete security
+//! model needs it — the manifests in this crate assert a principal, and
+//! *something* must make that assertion trustworthy before the
+//! access-control model's decisions mean anything.
+//!
+//! This module provides that hook as a **simulation**: a keyed tag over
+//! the module's canonical wire encoding, with per-principal symmetric
+//! keys held in a [`KeyRing`]. The tag is FNV-1a-based and is **not
+//! cryptographic** — a real deployment would swap in an HMAC or a
+//! signature scheme behind the same interface (the sanctioned dependency
+//! set contains no cryptography, and inventing ad-hoc crypto would be
+//! worse than an honest simulation; see DESIGN.md's substitution table).
+//! What the simulation preserves is the *protocol*: a module tampered
+//! with after signing, or signed under the wrong principal's key, is
+//! rejected before linking.
+
+use crate::extension::ExtensionManifest;
+use extsec_acl::PrincipalId;
+use extsec_vm::{wire, Module};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A per-principal signing key (simulation: a 64-bit secret).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SigningKey(pub u64);
+
+/// A detached signature over a module.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ModuleSignature {
+    /// The principal the module is signed as.
+    pub signer: PrincipalId,
+    /// The keyed tag.
+    pub tag: u64,
+}
+
+/// Authentication failures.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AuthError {
+    /// No key is registered for the claimed signer.
+    UnknownSigner(PrincipalId),
+    /// The tag does not match the module under the signer's key.
+    BadSignature(PrincipalId),
+    /// The manifest claims a different principal than the signature.
+    PrincipalMismatch {
+        /// The principal in the manifest.
+        manifest: PrincipalId,
+        /// The principal in the signature.
+        signature: PrincipalId,
+    },
+}
+
+impl fmt::Display for AuthError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AuthError::UnknownSigner(p) => write!(f, "no key registered for {p}"),
+            AuthError::BadSignature(p) => write!(f, "signature under {p}'s key does not verify"),
+            AuthError::PrincipalMismatch {
+                manifest,
+                signature,
+            } => write!(
+                f,
+                "manifest principal {manifest} does not match signer {signature}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AuthError {}
+
+/// FNV-1a over the key then the data. Deterministic, fast, and — to
+/// repeat the module docs — **not** cryptographically secure.
+fn keyed_tag(key: SigningKey, data: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = OFFSET;
+    for byte in key.0.to_le_bytes().iter().chain(data.iter()) {
+        hash ^= *byte as u64;
+        hash = hash.wrapping_mul(PRIME);
+    }
+    // Mix the key back in at the end so extension attacks on the plain
+    // running hash don't trivially apply even in the simulation.
+    hash ^= key.0.rotate_left(17);
+    hash.wrapping_mul(PRIME)
+}
+
+/// Signs a module as `signer` with `key`.
+pub fn sign(module: &Module, signer: PrincipalId, key: SigningKey) -> ModuleSignature {
+    ModuleSignature {
+        signer,
+        tag: keyed_tag(key, &wire::encode(module)),
+    }
+}
+
+/// The registry of per-principal verification keys.
+#[derive(Clone, Debug, Default)]
+pub struct KeyRing {
+    keys: BTreeMap<PrincipalId, SigningKey>,
+}
+
+impl KeyRing {
+    /// Creates an empty key ring.
+    pub fn new() -> Self {
+        KeyRing::default()
+    }
+
+    /// Registers (or replaces) a principal's key.
+    pub fn register(&mut self, principal: PrincipalId, key: SigningKey) {
+        self.keys.insert(principal, key);
+    }
+
+    /// Returns a principal's key, if registered.
+    pub fn key(&self, principal: PrincipalId) -> Option<SigningKey> {
+        self.keys.get(&principal).copied()
+    }
+
+    /// Verifies a signature over `module`.
+    pub fn verify(&self, module: &Module, signature: &ModuleSignature) -> Result<(), AuthError> {
+        let key = self
+            .key(signature.signer)
+            .ok_or(AuthError::UnknownSigner(signature.signer))?;
+        let expected = keyed_tag(key, &wire::encode(module));
+        if expected != signature.tag {
+            return Err(AuthError::BadSignature(signature.signer));
+        }
+        Ok(())
+    }
+
+    /// Verifies that `module` is authentically from the manifest's
+    /// principal: the signature must verify *and* name the same
+    /// principal the manifest claims.
+    pub fn authenticate(
+        &self,
+        module: &Module,
+        manifest: &ExtensionManifest,
+        signature: &ModuleSignature,
+    ) -> Result<(), AuthError> {
+        self.verify(module, signature)?;
+        if signature.signer != manifest.principal {
+            return Err(AuthError::PrincipalMismatch {
+                manifest: manifest.principal,
+                signature: signature.signer,
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extension::Origin;
+    use extsec_vm::asm;
+
+    fn module() -> Module {
+        asm::assemble("module m\nfunc f() -> int\n push_int 1\n ret\nend\nexport f = f\n").unwrap()
+    }
+
+    fn manifest(principal: PrincipalId) -> ExtensionManifest {
+        ExtensionManifest {
+            name: "m".into(),
+            principal,
+            origin: Origin::Remote("host".into()),
+            static_class: None,
+        }
+    }
+
+    #[test]
+    fn sign_and_verify() {
+        let alice = PrincipalId::from_raw(1);
+        let key = SigningKey(0xdead_beef);
+        let mut ring = KeyRing::new();
+        ring.register(alice, key);
+        let m = module();
+        let sig = sign(&m, alice, key);
+        ring.verify(&m, &sig).unwrap();
+        ring.authenticate(&m, &manifest(alice), &sig).unwrap();
+    }
+
+    #[test]
+    fn tampering_is_detected() {
+        let alice = PrincipalId::from_raw(1);
+        let key = SigningKey(7);
+        let mut ring = KeyRing::new();
+        ring.register(alice, key);
+        let m = module();
+        let sig = sign(&m, alice, key);
+        let mut tampered = m.clone();
+        tampered.functions[0].code[0] = extsec_vm::Instr::PushInt(999);
+        assert_eq!(
+            ring.verify(&tampered, &sig),
+            Err(AuthError::BadSignature(alice))
+        );
+    }
+
+    #[test]
+    fn wrong_key_is_detected() {
+        let alice = PrincipalId::from_raw(1);
+        let mut ring = KeyRing::new();
+        ring.register(alice, SigningKey(1));
+        let m = module();
+        let sig = sign(&m, alice, SigningKey(2)); // signed with the wrong key
+        assert_eq!(ring.verify(&m, &sig), Err(AuthError::BadSignature(alice)));
+    }
+
+    #[test]
+    fn unknown_signer_is_rejected() {
+        let ring = KeyRing::new();
+        let ghost = PrincipalId::from_raw(9);
+        let m = module();
+        let sig = sign(&m, ghost, SigningKey(3));
+        assert_eq!(ring.verify(&m, &sig), Err(AuthError::UnknownSigner(ghost)));
+    }
+
+    #[test]
+    fn principal_mismatch_is_rejected() {
+        let alice = PrincipalId::from_raw(1);
+        let bob = PrincipalId::from_raw(2);
+        let key = SigningKey(5);
+        let mut ring = KeyRing::new();
+        ring.register(alice, key);
+        let m = module();
+        // Alice signed it, but the manifest claims bob ran it.
+        let sig = sign(&m, alice, key);
+        assert_eq!(
+            ring.authenticate(&m, &manifest(bob), &sig),
+            Err(AuthError::PrincipalMismatch {
+                manifest: bob,
+                signature: alice
+            })
+        );
+    }
+
+    #[test]
+    fn different_keys_give_different_tags() {
+        let m = module();
+        let p = PrincipalId::from_raw(1);
+        let a = sign(&m, p, SigningKey(1));
+        let b = sign(&m, p, SigningKey(2));
+        assert_ne!(a.tag, b.tag);
+    }
+}

@@ -1,0 +1,252 @@
+//! Class-aware dynamic dispatch for extended interfaces.
+//!
+//! Paper §2.2: "Extensions with different security classes can all be
+//! allowed to extend the same system service. But when the extended
+//! service is invoked, the right extension is selected based on the
+//! security class of the caller." The [`Dispatcher`] keeps, per extensible
+//! interface node, the ordered list of registrations and selects the one
+//! whose class is the **greatest** among those the caller dominates — the
+//! most-specific handler the caller is allowed to observe. Callers that
+//! dominate none of the registrations fall back to the base
+//! implementation.
+
+use crate::extension::ExtensionId;
+use extsec_mac::SecurityClass;
+use extsec_namespace::NsPath;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One registered specialization of an interface.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Registration {
+    /// The extension providing the handler.
+    pub ext: ExtensionId,
+    /// The export within the extension implementing the handler.
+    pub export: String,
+    /// The registration's security class: the caller must dominate it for
+    /// this handler to be selected.
+    pub class: SecurityClass,
+    /// Registration order (earlier wins ties).
+    pub seq: u64,
+}
+
+impl fmt::Display for Registration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{} [{}]", self.ext, self.export, self.class)
+    }
+}
+
+/// The dispatch table: interface path → registrations.
+#[derive(Debug, Default)]
+pub struct Dispatcher {
+    table: BTreeMap<NsPath, Vec<Registration>>,
+    next_seq: u64,
+}
+
+impl Dispatcher {
+    /// Creates an empty dispatcher.
+    pub fn new() -> Self {
+        Dispatcher::default()
+    }
+
+    /// Registers a specialization of `interface`.
+    pub fn register(
+        &mut self,
+        interface: NsPath,
+        ext: ExtensionId,
+        export: impl Into<String>,
+        class: SecurityClass,
+    ) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.table.entry(interface).or_default().push(Registration {
+            ext,
+            export: export.into(),
+            class,
+            seq,
+        });
+        seq
+    }
+
+    /// Removes every registration owned by `ext` (e.g. on unload).
+    /// Returns how many were removed.
+    pub fn unregister_extension(&mut self, ext: ExtensionId) -> usize {
+        let mut removed = 0;
+        self.table.retain(|_, regs| {
+            let before = regs.len();
+            regs.retain(|r| r.ext != ext);
+            removed += before - regs.len();
+            !regs.is_empty()
+        });
+        removed
+    }
+
+    /// Returns whether `interface` has any registration.
+    pub fn is_extended(&self, interface: &NsPath) -> bool {
+        self.table.get(interface).is_some_and(|v| !v.is_empty())
+    }
+
+    /// Returns all registrations on `interface`, registration order.
+    pub fn registrations(&self, interface: &NsPath) -> &[Registration] {
+        self.table.get(interface).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Selects the handler for a caller at `caller_class`: among the
+    /// registrations the caller dominates, the one with the greatest
+    /// class; ties go to the earliest registration. Returns `None` when
+    /// no registration is visible to the caller (the base service should
+    /// handle the call).
+    pub fn select(
+        &self,
+        interface: &NsPath,
+        caller_class: &SecurityClass,
+    ) -> Option<&Registration> {
+        let regs = self.table.get(interface)?;
+        let mut best: Option<&Registration> = None;
+        for reg in regs {
+            if !caller_class.dominates(&reg.class) {
+                continue;
+            }
+            best = match best {
+                None => Some(reg),
+                Some(current) => {
+                    // Strictly greater class wins; anything else keeps the
+                    // earlier registration (including incomparable
+                    // classes, where order is the only deterministic
+                    // tie-break).
+                    if reg.class.strictly_below(&current.class) {
+                        Some(current)
+                    } else if current.class.strictly_below(&reg.class) {
+                        Some(reg)
+                    } else {
+                        Some(current)
+                    }
+                }
+            };
+        }
+        best
+    }
+
+    /// Returns the number of extended interfaces.
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Returns whether no interface is extended.
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use extsec_mac::{CategoryId, CategorySet, TrustLevel};
+
+    fn class(level: u16, cats: &[u16]) -> SecurityClass {
+        SecurityClass::new(
+            TrustLevel::from_rank(level),
+            cats.iter()
+                .copied()
+                .map(CategoryId::from_index)
+                .collect::<CategorySet>(),
+        )
+    }
+
+    fn path(s: &str) -> NsPath {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn selects_greatest_dominated_class() {
+        let mut d = Dispatcher::new();
+        let iface = path("/svc/vfs/open");
+        d.register(
+            iface.clone(),
+            ExtensionId::from_raw(0),
+            "low",
+            class(0, &[]),
+        );
+        d.register(
+            iface.clone(),
+            ExtensionId::from_raw(1),
+            "mid",
+            class(1, &[]),
+        );
+        d.register(
+            iface.clone(),
+            ExtensionId::from_raw(2),
+            "high",
+            class(2, &[]),
+        );
+
+        // A caller at level 1 sees the mid handler, not high.
+        let reg = d.select(&iface, &class(1, &[])).unwrap();
+        assert_eq!(reg.export, "mid");
+        // A top caller gets the most specific (high).
+        assert_eq!(d.select(&iface, &class(3, &[])).unwrap().export, "high");
+        // A bottom caller gets low.
+        assert_eq!(d.select(&iface, &class(0, &[])).unwrap().export, "low");
+    }
+
+    #[test]
+    fn caller_dominating_none_gets_base() {
+        let mut d = Dispatcher::new();
+        let iface = path("/svc/vfs/open");
+        d.register(iface.clone(), ExtensionId::from_raw(0), "h", class(2, &[0]));
+        assert!(d.select(&iface, &class(1, &[])).is_none());
+        assert!(d.select(&path("/svc/other"), &class(3, &[0])).is_none());
+    }
+
+    #[test]
+    fn ties_break_by_registration_order() {
+        let mut d = Dispatcher::new();
+        let iface = path("/svc/i");
+        d.register(
+            iface.clone(),
+            ExtensionId::from_raw(0),
+            "first",
+            class(1, &[]),
+        );
+        d.register(
+            iface.clone(),
+            ExtensionId::from_raw(1),
+            "second",
+            class(1, &[]),
+        );
+        assert_eq!(d.select(&iface, &class(2, &[])).unwrap().export, "first");
+    }
+
+    #[test]
+    fn incomparable_registrations_break_by_order() {
+        let mut d = Dispatcher::new();
+        let iface = path("/svc/i");
+        d.register(iface.clone(), ExtensionId::from_raw(0), "a", class(1, &[0]));
+        d.register(iface.clone(), ExtensionId::from_raw(1), "b", class(1, &[1]));
+        // Caller dominating both: a and b are incomparable; earliest wins.
+        assert_eq!(d.select(&iface, &class(2, &[0, 1])).unwrap().export, "a");
+        // Caller dominating only b gets b.
+        assert_eq!(d.select(&iface, &class(1, &[1])).unwrap().export, "b");
+    }
+
+    #[test]
+    fn unregister_extension_cleans_up() {
+        let mut d = Dispatcher::new();
+        let i1 = path("/svc/a");
+        let i2 = path("/svc/b");
+        d.register(i1.clone(), ExtensionId::from_raw(0), "x", class(0, &[]));
+        d.register(i1.clone(), ExtensionId::from_raw(1), "y", class(0, &[]));
+        d.register(i2.clone(), ExtensionId::from_raw(0), "z", class(0, &[]));
+        assert_eq!(d.unregister_extension(ExtensionId::from_raw(0)), 2);
+        assert!(d.is_extended(&i1));
+        assert!(!d.is_extended(&i2));
+        assert_eq!(d.registrations(&i1).len(), 1);
+    }
+
+    #[test]
+    fn registrations_accessor() {
+        let d = Dispatcher::new();
+        assert!(d.registrations(&path("/nope")).is_empty());
+        assert!(d.is_empty());
+    }
+}

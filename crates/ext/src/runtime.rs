@@ -1,0 +1,471 @@
+//! The extension runtime: loading, linking, calling, extending.
+
+use crate::authenticate::{AuthError, KeyRing, ModuleSignature};
+use crate::dispatch::Dispatcher;
+use crate::extension::{Extension, ExtensionId, ExtensionManifest};
+use crate::service::{CallCtx, Reenter, Service, ServiceError};
+use extsec_acl::AccessMode;
+use extsec_mac::SecurityClass;
+use extsec_namespace::{NsPath, PathError};
+use extsec_refmon::{MonitorError, ReferenceMonitor, Subject};
+use extsec_vm::{Machine, Module, SyscallHost, Trap, Value, VerifyError};
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Maximum nesting of gate crossings (extension → service → extension →
+/// ...). A backstop against mutually recursive specializations.
+pub const MAX_GATE_DEPTH: usize = 24;
+
+/// Errors from runtime operations.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ExtError {
+    /// The extension failed bytecode verification.
+    Verify(VerifyError),
+    /// An import path did not parse.
+    BadImportPath(String, PathError),
+    /// A monitor (access-control or name-space) error.
+    Monitor(MonitorError),
+    /// Link-time `execute` check failed for an import.
+    LinkDenied {
+        /// The import's alias.
+        alias: String,
+        /// The import's target path.
+        path: String,
+    },
+    /// The interface node is not marked extensible.
+    NotExtensible(NsPath),
+    /// No extension with the given id is loaded.
+    NoSuchExtension(ExtensionId),
+    /// The extension does not export the given name.
+    NoSuchExport(String),
+    /// No service is mounted at (a prefix of) the path.
+    NoService(NsPath),
+    /// A service-level failure.
+    Service(ServiceError),
+    /// The extension trapped at runtime.
+    Trap(Trap),
+    /// Too many nested gate crossings.
+    GateDepthExceeded,
+    /// The extension failed authentication (bad or mismatched signature).
+    Auth(AuthError),
+}
+
+impl fmt::Display for ExtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExtError::Verify(e) => write!(f, "verification failed: {e}"),
+            ExtError::BadImportPath(p, e) => write!(f, "bad import path {p:?}: {e}"),
+            ExtError::Monitor(e) => write!(f, "{e}"),
+            ExtError::LinkDenied { alias, path } => {
+                write!(f, "link denied: import {alias} -> {path}")
+            }
+            ExtError::NotExtensible(p) => write!(f, "{p} is not extensible"),
+            ExtError::NoSuchExtension(id) => write!(f, "no such extension {id}"),
+            ExtError::NoSuchExport(name) => write!(f, "no such export {name:?}"),
+            ExtError::NoService(p) => write!(f, "no service mounted at {p}"),
+            ExtError::Service(e) => write!(f, "{e}"),
+            ExtError::Trap(t) => write!(f, "trap: {t}"),
+            ExtError::GateDepthExceeded => write!(f, "gate depth exceeded"),
+            ExtError::Auth(e) => write!(f, "authentication failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExtError {}
+
+impl From<AuthError> for ExtError {
+    fn from(e: AuthError) -> Self {
+        ExtError::Auth(e)
+    }
+}
+
+impl From<VerifyError> for ExtError {
+    fn from(e: VerifyError) -> Self {
+        ExtError::Verify(e)
+    }
+}
+
+impl From<MonitorError> for ExtError {
+    fn from(e: MonitorError) -> Self {
+        ExtError::Monitor(e)
+    }
+}
+
+impl From<ServiceError> for ExtError {
+    fn from(e: ServiceError) -> Self {
+        ExtError::Service(e)
+    }
+}
+
+impl From<ExtError> for ServiceError {
+    fn from(e: ExtError) -> Self {
+        match e {
+            ExtError::Service(s) => s,
+            ExtError::Monitor(MonitorError::Denied(r)) => ServiceError::Denied(r),
+            ExtError::Trap(t) => ServiceError::Trap(t.to_string()),
+            other => ServiceError::Failed(other.to_string()),
+        }
+    }
+}
+
+/// The extension runtime.
+///
+/// Owns the loaded extensions, the mounted services, and the dispatch
+/// table, and mediates every invocation through the reference monitor.
+/// See the crate docs for the model.
+pub struct ExtRuntime {
+    monitor: Arc<ReferenceMonitor>,
+    services: RwLock<BTreeMap<NsPath, Arc<dyn Service>>>,
+    extensions: RwLock<Vec<Option<Arc<Extension>>>>,
+    dispatcher: RwLock<Dispatcher>,
+}
+
+impl ExtRuntime {
+    /// Creates a runtime over the given monitor.
+    pub fn new(monitor: Arc<ReferenceMonitor>) -> Arc<Self> {
+        Arc::new(ExtRuntime {
+            monitor,
+            services: RwLock::new(BTreeMap::new()),
+            extensions: RwLock::new(Vec::new()),
+            dispatcher: RwLock::new(Dispatcher::new()),
+        })
+    }
+
+    /// Returns the reference monitor.
+    pub fn monitor(&self) -> &Arc<ReferenceMonitor> {
+        &self.monitor
+    }
+
+    /// Mounts a service at `prefix` (TCB operation). The service's
+    /// procedure nodes must be installed in the name space separately
+    /// (typically by the service's own install routine).
+    pub fn mount_service(&self, prefix: NsPath, service: Arc<dyn Service>) {
+        self.services.write().insert(prefix, service);
+    }
+
+    /// Returns the mounted service prefixes.
+    pub fn mounted(&self) -> Vec<NsPath> {
+        self.services.read().keys().cloned().collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Loading and linking.
+    // ------------------------------------------------------------------
+
+    /// Loads an extension: verifies the bytecode, resolves every declared
+    /// import against the name space, and checks `execute` access on each
+    /// import at link time.
+    pub fn load(
+        &self,
+        module: Module,
+        manifest: ExtensionManifest,
+    ) -> Result<ExtensionId, ExtError> {
+        let verified = extsec_vm::verify(module)?;
+        let link_subject = self.link_subject(&manifest);
+        let mut resolved = Vec::with_capacity(verified.module().imports.len());
+        for import in &verified.module().imports {
+            let path: NsPath = import
+                .path
+                .parse()
+                .map_err(|e| ExtError::BadImportPath(import.path.clone(), e))?;
+            if !self
+                .monitor
+                .check(&link_subject, &path, AccessMode::Execute)
+                .allowed()
+            {
+                return Err(ExtError::LinkDenied {
+                    alias: import.alias.clone(),
+                    path: import.path.clone(),
+                });
+            }
+            resolved.push(path);
+        }
+        let mut extensions = self.extensions.write();
+        let id = ExtensionId::from_raw(extensions.len() as u32);
+        extensions.push(Some(Arc::new(Extension {
+            id,
+            manifest,
+            module: verified,
+            resolved_imports: resolved,
+        })));
+        Ok(id)
+    }
+
+    /// Loads an extension only if it authenticates: the signature must
+    /// verify under the key ring and name the manifest's principal
+    /// (DESIGN.md: the paper defers authentication; this is the hook,
+    /// with a simulated tag scheme behind it).
+    pub fn load_signed(
+        &self,
+        module: Module,
+        manifest: ExtensionManifest,
+        signature: &ModuleSignature,
+        keyring: &KeyRing,
+    ) -> Result<ExtensionId, ExtError> {
+        keyring.authenticate(&module, &manifest, signature)?;
+        self.load(module, manifest)
+    }
+
+    /// Unloads an extension, removing all its interface registrations.
+    pub fn unload(&self, id: ExtensionId) -> Result<(), ExtError> {
+        let mut extensions = self.extensions.write();
+        let slot = extensions
+            .get_mut(id.raw() as usize)
+            .ok_or(ExtError::NoSuchExtension(id))?;
+        if slot.take().is_none() {
+            return Err(ExtError::NoSuchExtension(id));
+        }
+        drop(extensions);
+        self.dispatcher.write().unregister_extension(id);
+        Ok(())
+    }
+
+    /// Returns the extension record.
+    pub fn extension(&self, id: ExtensionId) -> Result<Arc<Extension>, ExtError> {
+        self.extensions
+            .read()
+            .get(id.raw() as usize)
+            .and_then(Clone::clone)
+            .ok_or(ExtError::NoSuchExtension(id))
+    }
+
+    /// The subject an extension acts as when no caller is involved
+    /// (link-time checks, extend registration): its principal at its
+    /// static class, or at the lattice bottom when none is assigned.
+    pub fn extension_subject(&self, manifest: &ExtensionManifest) -> Subject {
+        Subject::new(
+            manifest.principal,
+            manifest
+                .static_class
+                .clone()
+                .unwrap_or_else(SecurityClass::bottom),
+        )
+    }
+
+    fn link_subject(&self, manifest: &ExtensionManifest) -> Subject {
+        self.extension_subject(manifest)
+    }
+
+    // ------------------------------------------------------------------
+    // The `extend` mechanism.
+    // ------------------------------------------------------------------
+
+    /// Registers `export` of extension `id` as a specialization of the
+    /// interface node at `interface`.
+    ///
+    /// Requires the node to be marked extensible and the extension's
+    /// subject to hold the `extend` mode on it. The registration's
+    /// dispatch class is the extension's static class (or bottom).
+    pub fn extend(
+        &self,
+        id: ExtensionId,
+        interface: &NsPath,
+        export: &str,
+    ) -> Result<(), ExtError> {
+        let ext = self.extension(id)?;
+        if ext.module.module().export(export).is_none() {
+            return Err(ExtError::NoSuchExport(export.to_string()));
+        }
+        let extensible = self.monitor.inspect(|ns| {
+            ns.resolve(interface)
+                .and_then(|nid| ns.node(nid).map(|n| n.extensible()))
+        });
+        match extensible {
+            Ok(true) => {}
+            Ok(false) => return Err(ExtError::NotExtensible(interface.clone())),
+            Err(e) => return Err(ExtError::Monitor(MonitorError::Ns(e))),
+        }
+        let subject = self.extension_subject(&ext.manifest);
+        self.monitor
+            .require(&subject, interface, AccessMode::Extend)
+            .map_err(ExtError::Monitor)?;
+        let class = ext
+            .manifest
+            .static_class
+            .clone()
+            .unwrap_or_else(SecurityClass::bottom);
+        self.dispatcher
+            .write()
+            .register(interface.clone(), id, export, class);
+        Ok(())
+    }
+
+    /// Returns the number of registrations on `interface`.
+    pub fn registrations_on(&self, interface: &NsPath) -> usize {
+        self.dispatcher.read().registrations(interface).len()
+    }
+
+    // ------------------------------------------------------------------
+    // The `call` mechanism.
+    // ------------------------------------------------------------------
+
+    /// Invokes the procedure at `path` as `subject`.
+    ///
+    /// The monitor checks `execute` on the node (with full traversal
+    /// visibility); a statically classed node caps the effective class;
+    /// then either a registered specialization (selected by the caller's
+    /// class) or the base service handles the call.
+    pub fn call(
+        &self,
+        subject: &Subject,
+        path: &NsPath,
+        args: &[Value],
+    ) -> Result<Option<Value>, ExtError> {
+        self.call_inner(subject, path, args, 0)
+    }
+
+    fn call_inner(
+        &self,
+        subject: &Subject,
+        path: &NsPath,
+        args: &[Value],
+        depth: usize,
+    ) -> Result<Option<Value>, ExtError> {
+        if depth >= MAX_GATE_DEPTH {
+            return Err(ExtError::GateDepthExceeded);
+        }
+        self.monitor
+            .require(subject, path, AccessMode::Execute)
+            .map_err(ExtError::Monitor)?;
+        let effective = self
+            .monitor
+            .enter(subject, path)
+            .map_err(ExtError::Monitor)?;
+
+        // Specialization first: §2.2 class-based selection.
+        let selected = {
+            let dispatcher = self.dispatcher.read();
+            dispatcher
+                .select(path, &effective.class)
+                .map(|reg| (reg.ext, reg.export.clone()))
+        };
+        if let Some((ext_id, export)) = selected {
+            return self.run_extension(ext_id, &export, args, &effective, depth);
+        }
+
+        // Base service: longest mounted prefix of `path`.
+        let service = {
+            let services = self.services.read();
+            let mut best: Option<(NsPath, Arc<dyn Service>)> = None;
+            for (prefix, svc) in services.iter() {
+                if path.starts_with(prefix)
+                    && best
+                        .as_ref()
+                        .is_none_or(|(b, _)| prefix.depth() > b.depth())
+                {
+                    best = Some((prefix.clone(), Arc::clone(svc)));
+                }
+            }
+            best
+        };
+        let Some((prefix, service)) = service else {
+            return Err(ExtError::NoService(path.clone()));
+        };
+        let op = path.components()[prefix.depth()..].join("/");
+        let reenter = RuntimeReenter {
+            runtime: self,
+            depth,
+        };
+        let ctx = CallCtx {
+            subject: &effective,
+            monitor: &self.monitor,
+            reenter: Some(&reenter),
+        };
+        service.invoke(&ctx, &op, args).map_err(ExtError::Service)
+    }
+
+    /// Runs an exported function of a loaded extension directly (e.g. an
+    /// applet's `main`), as `subject` capped by the extension's static
+    /// class.
+    pub fn run(
+        &self,
+        id: ExtensionId,
+        export: &str,
+        args: &[Value],
+        subject: &Subject,
+    ) -> Result<Option<Value>, ExtError> {
+        self.run_extension(id, export, args, subject, 0)
+    }
+
+    fn run_extension(
+        &self,
+        id: ExtensionId,
+        export: &str,
+        args: &[Value],
+        subject: &Subject,
+        depth: usize,
+    ) -> Result<Option<Value>, ExtError> {
+        if depth >= MAX_GATE_DEPTH {
+            return Err(ExtError::GateDepthExceeded);
+        }
+        let ext = self.extension(id)?;
+        // Entering a statically classed extension caps the thread's class
+        // (§2.2); the principal stays the caller's.
+        let effective = match &ext.manifest.static_class {
+            Some(static_class) => subject.capped_by(static_class),
+            None => subject.clone(),
+        };
+        let mut host = GateHost {
+            runtime: self,
+            subject: &effective,
+            depth,
+        };
+        let mut machine = Machine::new(&ext.module);
+        machine.run(export, args, &mut host).map_err(|t| match t {
+            Trap::NoSuchExport(name) => ExtError::NoSuchExport(name),
+            other => ExtError::Trap(other),
+        })
+    }
+}
+
+impl fmt::Debug for ExtRuntime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ExtRuntime")
+            .field("services", &self.services.read().len())
+            .field("extensions", &self.extensions.read().len())
+            .field("extended_interfaces", &self.dispatcher.read().len())
+            .finish()
+    }
+}
+
+/// The host side of the syscall gates: routes each import invocation back
+/// through [`ExtRuntime::call_inner`], carrying the current subject and
+/// gate depth.
+struct GateHost<'a> {
+    runtime: &'a ExtRuntime,
+    subject: &'a Subject,
+    depth: usize,
+}
+
+impl SyscallHost for GateHost<'_> {
+    fn syscall(
+        &mut self,
+        import: &extsec_vm::ImportDecl,
+        args: &[Value],
+    ) -> Result<Option<Value>, String> {
+        let path: NsPath = import.path.parse().map_err(|e: PathError| e.to_string())?;
+        self.runtime
+            .call_inner(self.subject, &path, args, self.depth + 1)
+            .map_err(|e| e.to_string())
+    }
+}
+
+struct RuntimeReenter<'a> {
+    runtime: &'a ExtRuntime,
+    depth: usize,
+}
+
+impl Reenter for RuntimeReenter<'_> {
+    fn call(
+        &self,
+        subject: &Subject,
+        path: &NsPath,
+        args: &[Value],
+    ) -> Result<Option<Value>, ServiceError> {
+        self.runtime
+            .call_inner(subject, path, args, self.depth + 1)
+            .map_err(ServiceError::from)
+    }
+}

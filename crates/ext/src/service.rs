@@ -1,0 +1,126 @@
+//! The system-service abstraction.
+
+use extsec_refmon::{DenyReason, MonitorError, ReferenceMonitor, Subject};
+use extsec_vm::Value;
+use std::fmt;
+use std::sync::Arc;
+
+/// Context passed to a service invocation.
+pub struct CallCtx<'a> {
+    /// The effective subject (already capped by any static class on the
+    /// invoked node).
+    pub subject: &'a Subject,
+    /// The reference monitor, for services that guard finer-grained
+    /// objects of their own (e.g. individual files).
+    pub monitor: &'a Arc<ReferenceMonitor>,
+    /// Re-entry hook: lets a service call back into the runtime (e.g. the
+    /// VFS dispatching a mounted file-system type). `None` when invoked
+    /// outside a runtime.
+    pub reenter: Option<&'a dyn Reenter>,
+}
+
+/// Callback interface for service-initiated calls back into the system
+/// (kept object-safe and minimal to avoid a dependency cycle between the
+/// service and runtime layers).
+pub trait Reenter: Sync {
+    /// Invokes the object at `path` as `subject` (full monitor checks
+    /// apply).
+    fn call(
+        &self,
+        subject: &Subject,
+        path: &extsec_namespace::NsPath,
+        args: &[Value],
+    ) -> Result<Option<Value>, ServiceError>;
+}
+
+/// Errors a service invocation can produce.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ServiceError {
+    /// The reference monitor denied the access.
+    Denied(DenyReason),
+    /// The operation does not exist on this service.
+    NoSuchOperation(String),
+    /// The arguments did not match the operation's signature.
+    BadArgs(String),
+    /// A named sub-object does not exist (e.g. a file).
+    NotFound(String),
+    /// The operation failed for a service-specific reason.
+    Failed(String),
+    /// A nested extension trapped.
+    Trap(String),
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::Denied(r) => write!(f, "denied: {r}"),
+            ServiceError::NoSuchOperation(op) => write!(f, "no such operation {op:?}"),
+            ServiceError::BadArgs(msg) => write!(f, "bad arguments: {msg}"),
+            ServiceError::NotFound(what) => write!(f, "not found: {what}"),
+            ServiceError::Failed(msg) => write!(f, "failed: {msg}"),
+            ServiceError::Trap(msg) => write!(f, "extension trapped: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<MonitorError> for ServiceError {
+    fn from(e: MonitorError) -> Self {
+        match e {
+            MonitorError::Denied(r) => ServiceError::Denied(r),
+            other => ServiceError::Failed(other.to_string()),
+        }
+    }
+}
+
+/// A system service: a named bundle of procedures mounted at a prefix of
+/// the universal name space.
+///
+/// The runtime routes `call(subject, /svc/fs/read, args)` to the service
+/// mounted at `/svc/fs` with `op = "read"`. Services are part of the
+/// trusted computing base: the monitor has already checked `execute` on
+/// the procedure node before `invoke` runs, but services remain
+/// responsible for checks on their *own* finer-grained objects (files,
+/// buffers, threads), which they perform through `ctx.monitor` against
+/// the very same name space.
+pub trait Service: Send + Sync {
+    /// The service's human-readable name.
+    fn name(&self) -> &str;
+
+    /// Invokes operation `op` (the path suffix below the mount prefix).
+    fn invoke(
+        &self,
+        ctx: &CallCtx<'_>,
+        op: &str,
+        args: &[Value],
+    ) -> Result<Option<Value>, ServiceError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monitor_error_conversion() {
+        let e = MonitorError::Denied(DenyReason::DacNoEntry);
+        assert_eq!(
+            ServiceError::from(e),
+            ServiceError::Denied(DenyReason::DacNoEntry)
+        );
+        let e = MonitorError::Ns(extsec_namespace::NsError::RootImmutable);
+        assert!(matches!(ServiceError::from(e), ServiceError::Failed(_)));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(
+            ServiceError::NoSuchOperation("frobnicate".into()).to_string(),
+            "no such operation \"frobnicate\""
+        );
+        assert_eq!(
+            ServiceError::Denied(DenyReason::MacFlow).to_string(),
+            "denied: mandatory flow check failed"
+        );
+    }
+}

@@ -1,0 +1,205 @@
+//! The abstract syntax tree.
+
+use extsec_vm::Ty;
+
+/// A whole source file.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Program {
+    /// Extern (syscall-gate) declarations.
+    pub externs: Vec<ExternDecl>,
+    /// Function definitions.
+    pub functions: Vec<FnDecl>,
+}
+
+/// `extern fn name(ty, ...) [-> ty] = "/path";`
+#[derive(Clone, Debug, PartialEq)]
+pub struct ExternDecl {
+    /// The local name.
+    pub name: String,
+    /// Parameter types.
+    pub params: Vec<Ty>,
+    /// Return type.
+    pub ret: Option<Ty>,
+    /// The name-space path of the gate.
+    pub path: String,
+    /// Source line.
+    pub line: usize,
+}
+
+/// `fn name(p: ty, ...) [-> ty] { ... }`
+#[derive(Clone, Debug, PartialEq)]
+pub struct FnDecl {
+    /// The function's name (also its export name).
+    pub name: String,
+    /// Named parameters.
+    pub params: Vec<(String, Ty)>,
+    /// Return type.
+    pub ret: Option<Ty>,
+    /// The body.
+    pub body: Block,
+    /// Source line.
+    pub line: usize,
+}
+
+/// A `{ ... }` block.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Block {
+    /// The statements, in order.
+    pub stmts: Vec<Stmt>,
+}
+
+/// A statement.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Stmt {
+    /// `let name[: ty] = expr;`
+    Let {
+        /// The variable name.
+        name: String,
+        /// The optional annotation.
+        ty: Option<Ty>,
+        /// The initializer.
+        init: Expr,
+        /// Source line.
+        line: usize,
+    },
+    /// `name = expr;`
+    Assign {
+        /// The variable name.
+        name: String,
+        /// The new value.
+        value: Expr,
+        /// Source line.
+        line: usize,
+    },
+    /// `if cond { ... } [else { ... }]`
+    If {
+        /// The condition.
+        cond: Expr,
+        /// The then-block.
+        then: Block,
+        /// The optional else-block.
+        els: Option<Block>,
+        /// Source line.
+        line: usize,
+    },
+    /// `while cond { ... }`
+    While {
+        /// The condition.
+        cond: Expr,
+        /// The body.
+        body: Block,
+        /// Source line.
+        line: usize,
+    },
+    /// `return [expr];`
+    Return {
+        /// The optional value.
+        value: Option<Expr>,
+        /// Source line.
+        line: usize,
+    },
+    /// An expression statement (its value is discarded).
+    Expr {
+        /// The expression.
+        expr: Expr,
+        /// Source line.
+        line: usize,
+    },
+}
+
+/// A binary operator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+` (int addition or string concatenation).
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `&&` (strict).
+    And,
+    /// `||` (strict).
+    Or,
+}
+
+/// A unary operator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UnOp {
+    /// `-`
+    Neg,
+    /// `!`
+    Not,
+}
+
+/// An expression.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    /// An integer literal.
+    Int(i64, usize),
+    /// A boolean literal.
+    Bool(bool, usize),
+    /// A string literal.
+    Str(String, usize),
+    /// A variable reference.
+    Var(String, usize),
+    /// A unary operation.
+    Unary {
+        /// The operator.
+        op: UnOp,
+        /// The operand.
+        expr: Box<Expr>,
+        /// Source line.
+        line: usize,
+    },
+    /// A binary operation.
+    Binary {
+        /// The operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+        /// Source line.
+        line: usize,
+    },
+    /// A call to a function, extern, or builtin.
+    Call {
+        /// The callee name.
+        name: String,
+        /// The arguments.
+        args: Vec<Expr>,
+        /// Source line.
+        line: usize,
+    },
+}
+
+impl Expr {
+    /// Returns the expression's source line.
+    pub fn line(&self) -> usize {
+        match self {
+            Expr::Int(_, l)
+            | Expr::Bool(_, l)
+            | Expr::Str(_, l)
+            | Expr::Var(_, l)
+            | Expr::Unary { line: l, .. }
+            | Expr::Binary { line: l, .. }
+            | Expr::Call { line: l, .. } => *l,
+        }
+    }
+}

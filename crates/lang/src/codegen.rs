@@ -1,0 +1,711 @@
+//! Type checking and bytecode generation.
+//!
+//! The compiler maintains the bytecode verifier's invariants by
+//! construction — statements leave the operand stack empty, expressions
+//! leave exactly one value, `return` sites match the declared signature —
+//! so every module it emits passes [`extsec_vm::verify()`]. The test suite
+//! (and a property test over generated programs) treats a verifier
+//! rejection of compiler output as a compiler bug.
+
+use crate::ast::{BinOp, Block, Expr, FnDecl, Program, Stmt, UnOp};
+use crate::{err, CompileError};
+use extsec_vm::{Export, Function, ImportDecl, Instr, Module, Signature, Ty};
+use std::collections::BTreeMap;
+
+/// Compiles a parsed program into a bytecode module.
+pub fn compile_program(program: &Program, module_name: &str) -> Result<Module, CompileError> {
+    // Index the callables; names share one namespace.
+    let mut extern_index: BTreeMap<String, (u32, Signature)> = BTreeMap::new();
+    for (i, ext) in program.externs.iter().enumerate() {
+        let sig = Signature::new(ext.params.clone(), ext.ret);
+        if extern_index
+            .insert(ext.name.clone(), (i as u32, sig))
+            .is_some()
+        {
+            return err(ext.line, format!("duplicate extern {:?}", ext.name));
+        }
+    }
+    let mut fn_index: BTreeMap<String, (u32, Signature)> = BTreeMap::new();
+    for (i, f) in program.functions.iter().enumerate() {
+        let sig = Signature::new(f.params.iter().map(|(_, t)| *t).collect(), f.ret);
+        if extern_index.contains_key(&f.name) {
+            return err(f.line, format!("{:?} is already an extern", f.name));
+        }
+        if fn_index.insert(f.name.clone(), (i as u32, sig)).is_some() {
+            return err(f.line, format!("duplicate function {:?}", f.name));
+        }
+        if matches!(f.name.as_str(), "len" | "str" | "int") {
+            return err(f.line, format!("{:?} is a builtin", f.name));
+        }
+    }
+
+    let mut strings: Vec<String> = Vec::new();
+    let mut functions = Vec::new();
+    for f in &program.functions {
+        functions.push(compile_fn(f, &fn_index, &extern_index, &mut strings)?);
+    }
+
+    Ok(Module {
+        name: module_name.to_string(),
+        strings,
+        imports: program
+            .externs
+            .iter()
+            .map(|e| ImportDecl {
+                alias: e.name.clone(),
+                path: e.path.clone(),
+                sig: Signature::new(e.params.clone(), e.ret),
+            })
+            .collect(),
+        functions,
+        exports: program
+            .functions
+            .iter()
+            .enumerate()
+            .map(|(i, f)| Export {
+                name: f.name.clone(),
+                func: i as u32,
+            })
+            .collect(),
+    })
+}
+
+struct FnCtx<'a> {
+    fn_index: &'a BTreeMap<String, (u32, Signature)>,
+    extern_index: &'a BTreeMap<String, (u32, Signature)>,
+    strings: &'a mut Vec<String>,
+    /// All locals ever declared (params first); slots are never reused.
+    locals: Vec<(String, Ty)>,
+    /// Visibility stack: indices into `locals` currently in scope,
+    /// innermost scope last.
+    scopes: Vec<Vec<usize>>,
+    code: Vec<Instr>,
+    ret: Option<Ty>,
+}
+
+impl FnCtx<'_> {
+    fn intern(&mut self, s: &str) -> u32 {
+        if let Some(i) = self.strings.iter().position(|x| x == s) {
+            return i as u32;
+        }
+        self.strings.push(s.to_string());
+        (self.strings.len() - 1) as u32
+    }
+
+    fn declare(&mut self, name: &str, ty: Ty, line: usize) -> Result<u16, CompileError> {
+        if self.locals.len() >= u16::MAX as usize {
+            return err(line, "too many locals");
+        }
+        let idx = self.locals.len() as u16;
+        self.locals.push((name.to_string(), ty));
+        self.scopes
+            .last_mut()
+            .expect("always inside a scope")
+            .push(idx as usize);
+        Ok(idx)
+    }
+
+    fn lookup(&self, name: &str) -> Option<(u16, Ty)> {
+        for scope in self.scopes.iter().rev() {
+            for &idx in scope.iter().rev() {
+                if self.locals[idx].0 == name {
+                    return Some((idx as u16, self.locals[idx].1));
+                }
+            }
+        }
+        None
+    }
+
+    fn emit(&mut self, instr: Instr) {
+        self.code.push(instr);
+    }
+
+    /// Emits a placeholder jump; returns its offset for patching.
+    fn emit_jump(&mut self, make: fn(u32) -> Instr) -> usize {
+        let at = self.code.len();
+        self.code.push(make(u32::MAX));
+        at
+    }
+
+    fn patch(&mut self, at: usize, target: usize) {
+        let target = target as u32;
+        self.code[at] = match self.code[at] {
+            Instr::Jump(_) => Instr::Jump(target),
+            Instr::JumpIf(_) => Instr::JumpIf(target),
+            Instr::JumpIfNot(_) => Instr::JumpIfNot(target),
+            other => other,
+        };
+    }
+}
+
+fn compile_fn(
+    f: &FnDecl,
+    fn_index: &BTreeMap<String, (u32, Signature)>,
+    extern_index: &BTreeMap<String, (u32, Signature)>,
+    strings: &mut Vec<String>,
+) -> Result<Function, CompileError> {
+    let mut ctx = FnCtx {
+        fn_index,
+        extern_index,
+        strings,
+        locals: Vec::new(),
+        scopes: vec![Vec::new()],
+        code: Vec::new(),
+        ret: f.ret,
+    };
+    for (name, ty) in &f.params {
+        if ctx.lookup(name).is_some() {
+            return err(f.line, format!("duplicate parameter {name:?}"));
+        }
+        ctx.declare(name, *ty, f.line)?;
+    }
+    compile_block(&mut ctx, &f.body)?;
+    // Fall-through path: void functions return implicitly; value
+    // functions must return on every path.
+    match f.ret {
+        None => ctx.emit(Instr::Return),
+        Some(_) => {
+            if !block_returns(&f.body) {
+                return err(
+                    f.line,
+                    format!("function {:?}: not all paths return a value", f.name),
+                );
+            }
+            // The fall-through is unreachable; terminate it for the
+            // verifier's fall-off check anyway.
+            ctx.emit(Instr::Trap);
+        }
+    }
+    let extra_locals = ctx.locals[f.params.len()..]
+        .iter()
+        .map(|(_, t)| *t)
+        .collect();
+    Ok(Function {
+        name: f.name.clone(),
+        sig: Signature::new(f.params.iter().map(|(_, t)| *t).collect(), f.ret),
+        extra_locals,
+        code: ctx.code,
+    })
+}
+
+/// Conservative guaranteed-return analysis.
+fn block_returns(block: &Block) -> bool {
+    block.stmts.iter().any(stmt_returns)
+}
+
+fn stmt_returns(stmt: &Stmt) -> bool {
+    match stmt {
+        Stmt::Return { .. } => true,
+        Stmt::If {
+            then,
+            els: Some(els),
+            ..
+        } => block_returns(then) && block_returns(els),
+        _ => false,
+    }
+}
+
+fn compile_block(ctx: &mut FnCtx<'_>, block: &Block) -> Result<(), CompileError> {
+    ctx.scopes.push(Vec::new());
+    for stmt in &block.stmts {
+        compile_stmt(ctx, stmt)?;
+    }
+    ctx.scopes.pop();
+    Ok(())
+}
+
+fn compile_stmt(ctx: &mut FnCtx<'_>, stmt: &Stmt) -> Result<(), CompileError> {
+    match stmt {
+        Stmt::Let {
+            name,
+            ty,
+            init,
+            line,
+        } => {
+            let got = compile_value(ctx, init)?;
+            if let Some(want) = ty {
+                if *want != got {
+                    return err(*line, format!("let {name:?}: annotated {want}, got {got}"));
+                }
+            }
+            let idx = ctx.declare(name, got, *line)?;
+            ctx.emit(Instr::StoreLocal(idx));
+            Ok(())
+        }
+        Stmt::Assign { name, value, line } => {
+            let Some((idx, ty)) = ctx.lookup(name) else {
+                return err(*line, format!("unknown variable {name:?}"));
+            };
+            let got = compile_value(ctx, value)?;
+            if got != ty {
+                return err(*line, format!("cannot assign {got} to {name:?}: {ty}"));
+            }
+            ctx.emit(Instr::StoreLocal(idx));
+            Ok(())
+        }
+        Stmt::If {
+            cond,
+            then,
+            els,
+            line,
+        } => {
+            let got = compile_value(ctx, cond)?;
+            if got != Ty::Bool {
+                return err(*line, format!("if condition must be bool, got {got}"));
+            }
+            let skip_then = ctx.emit_jump(Instr::JumpIfNot);
+            compile_block(ctx, then)?;
+            match els {
+                None => {
+                    let after = ctx.code.len();
+                    ctx.patch(skip_then, after);
+                }
+                Some(els) => {
+                    let skip_else = ctx.emit_jump(Instr::Jump);
+                    let else_start = ctx.code.len();
+                    ctx.patch(skip_then, else_start);
+                    compile_block(ctx, els)?;
+                    let after = ctx.code.len();
+                    ctx.patch(skip_else, after);
+                }
+            }
+            Ok(())
+        }
+        Stmt::While { cond, body, line } => {
+            let loop_head = ctx.code.len();
+            let got = compile_value(ctx, cond)?;
+            if got != Ty::Bool {
+                return err(*line, format!("while condition must be bool, got {got}"));
+            }
+            let exit = ctx.emit_jump(Instr::JumpIfNot);
+            compile_block(ctx, body)?;
+            ctx.emit(Instr::Jump(loop_head as u32));
+            let after = ctx.code.len();
+            ctx.patch(exit, after);
+            Ok(())
+        }
+        Stmt::Return { value, line } => {
+            match (ctx.ret, value) {
+                (None, None) => {}
+                (Some(want), Some(expr)) => {
+                    let got = compile_value(ctx, expr)?;
+                    if got != want {
+                        return err(*line, format!("return type mismatch: {want} vs {got}"));
+                    }
+                }
+                (Some(want), None) => {
+                    return err(*line, format!("this function must return {want}"));
+                }
+                (None, Some(_)) => {
+                    return err(*line, "void function cannot return a value");
+                }
+            }
+            ctx.emit(Instr::Return);
+            Ok(())
+        }
+        Stmt::Expr { expr, line: _ } => {
+            let ty = compile_expr(ctx, expr)?;
+            if ty.is_some() {
+                ctx.emit(Instr::Pop);
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Compiles an expression that must produce a value.
+fn compile_value(ctx: &mut FnCtx<'_>, expr: &Expr) -> Result<Ty, CompileError> {
+    match compile_expr(ctx, expr)? {
+        Some(ty) => Ok(ty),
+        None => err(expr.line(), "void call used where a value is required"),
+    }
+}
+
+/// Compiles an expression; `None` means a void call.
+fn compile_expr(ctx: &mut FnCtx<'_>, expr: &Expr) -> Result<Option<Ty>, CompileError> {
+    match expr {
+        Expr::Int(v, _) => {
+            ctx.emit(Instr::PushInt(*v));
+            Ok(Some(Ty::Int))
+        }
+        Expr::Bool(v, _) => {
+            ctx.emit(Instr::PushBool(*v));
+            Ok(Some(Ty::Bool))
+        }
+        Expr::Str(s, _) => {
+            let idx = ctx.intern(s);
+            ctx.emit(Instr::PushStr(idx));
+            Ok(Some(Ty::Str))
+        }
+        Expr::Var(name, line) => match ctx.lookup(name) {
+            Some((idx, ty)) => {
+                ctx.emit(Instr::LoadLocal(idx));
+                Ok(Some(ty))
+            }
+            None => err(*line, format!("unknown variable {name:?}")),
+        },
+        Expr::Unary { op, expr, line } => {
+            let got = compile_value(ctx, expr)?;
+            match op {
+                UnOp::Neg => {
+                    if got != Ty::Int {
+                        return err(*line, format!("unary `-` needs int, got {got}"));
+                    }
+                    ctx.emit(Instr::Neg);
+                    Ok(Some(Ty::Int))
+                }
+                UnOp::Not => {
+                    if got != Ty::Bool {
+                        return err(*line, format!("`!` needs bool, got {got}"));
+                    }
+                    ctx.emit(Instr::Not);
+                    Ok(Some(Ty::Bool))
+                }
+            }
+        }
+        Expr::Binary { op, lhs, rhs, line } => {
+            let l = compile_value(ctx, lhs)?;
+            let r = compile_value(ctx, rhs)?;
+            let result = match op {
+                BinOp::Add => match (l, r) {
+                    (Ty::Int, Ty::Int) => {
+                        ctx.emit(Instr::Add);
+                        Ty::Int
+                    }
+                    (Ty::Str, Ty::Str) => {
+                        ctx.emit(Instr::Concat);
+                        Ty::Str
+                    }
+                    _ => return err(*line, format!("`+` needs int+int or str+str, got {l}+{r}")),
+                },
+                BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Rem => {
+                    if l != Ty::Int || r != Ty::Int {
+                        return err(*line, format!("arithmetic needs ints, got {l} and {r}"));
+                    }
+                    ctx.emit(match op {
+                        BinOp::Sub => Instr::Sub,
+                        BinOp::Mul => Instr::Mul,
+                        BinOp::Div => Instr::Div,
+                        _ => Instr::Rem,
+                    });
+                    Ty::Int
+                }
+                BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+                    if l != Ty::Int || r != Ty::Int {
+                        return err(*line, format!("comparison needs ints, got {l} and {r}"));
+                    }
+                    ctx.emit(match op {
+                        BinOp::Lt => Instr::Lt,
+                        BinOp::Le => Instr::Le,
+                        BinOp::Gt => Instr::Gt,
+                        _ => Instr::Ge,
+                    });
+                    Ty::Bool
+                }
+                BinOp::Eq | BinOp::Ne => {
+                    if l != r {
+                        return err(
+                            *line,
+                            format!("`==`/`!=` need equal types, got {l} and {r}"),
+                        );
+                    }
+                    ctx.emit(if matches!(op, BinOp::Eq) {
+                        Instr::Eq
+                    } else {
+                        Instr::Ne
+                    });
+                    Ty::Bool
+                }
+                BinOp::And | BinOp::Or => {
+                    if l != Ty::Bool || r != Ty::Bool {
+                        return err(*line, format!("logic needs bools, got {l} and {r}"));
+                    }
+                    ctx.emit(if matches!(op, BinOp::And) {
+                        Instr::And
+                    } else {
+                        Instr::Or
+                    });
+                    Ty::Bool
+                }
+            };
+            Ok(Some(result))
+        }
+        Expr::Call { name, args, line } => {
+            // Builtins first.
+            if let Some(result) = compile_builtin(ctx, name, args, *line)? {
+                return Ok(Some(result));
+            }
+            let (sig, emit): (Signature, Instr) = if let Some((idx, sig)) = ctx.fn_index.get(name) {
+                (sig.clone(), Instr::Call(*idx))
+            } else if let Some((idx, sig)) = ctx.extern_index.get(name) {
+                (sig.clone(), Instr::SysCall(*idx))
+            } else {
+                return err(*line, format!("unknown function {name:?}"));
+            };
+            if args.len() != sig.params.len() {
+                return err(
+                    *line,
+                    format!(
+                        "{name:?} takes {} argument(s), got {}",
+                        sig.params.len(),
+                        args.len()
+                    ),
+                );
+            }
+            for (arg, want) in args.iter().zip(sig.params.iter()) {
+                let got = compile_value(ctx, arg)?;
+                if got != *want {
+                    return err(
+                        arg.line(),
+                        format!("argument type mismatch: {want} vs {got}"),
+                    );
+                }
+            }
+            ctx.emit(emit);
+            Ok(sig.ret)
+        }
+    }
+}
+
+/// Compiles `len`/`str`/`int`; returns `Ok(None)` when `name` is not a
+/// builtin.
+fn compile_builtin(
+    ctx: &mut FnCtx<'_>,
+    name: &str,
+    args: &[Expr],
+    line: usize,
+) -> Result<Option<Ty>, CompileError> {
+    let (want, instr, result) = match name {
+        "len" => (Ty::Str, Instr::StrLen, Ty::Int),
+        "str" => (Ty::Int, Instr::IntToStr, Ty::Str),
+        "int" => (Ty::Str, Instr::StrToInt, Ty::Int),
+        _ => return Ok(None),
+    };
+    if args.len() != 1 {
+        return err(
+            line,
+            format!("{name:?} takes 1 argument, got {}", args.len()),
+        );
+    }
+    let got = compile_value(ctx, &args[0])?;
+    if got != want {
+        return err(line, format!("{name:?} needs {want}, got {got}"));
+    }
+    ctx.emit(instr);
+    Ok(Some(result))
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::compile;
+    use extsec_vm::{verify, Machine, NullHost, SyscallHost, Value};
+
+    fn run(source: &str, export: &str, args: &[Value]) -> Option<Value> {
+        let module = compile(source, "test").expect("compiles");
+        let verified = verify(module).expect("compiler output must verify");
+        Machine::new(&verified)
+            .run(export, args, &mut NullHost)
+            .expect("runs")
+    }
+
+    #[test]
+    fn arithmetic_and_precedence() {
+        assert_eq!(
+            run("fn f() -> int { return 1 + 2 * 3 - 4 / 2; }", "f", &[]),
+            Some(Value::Int(5))
+        );
+        assert_eq!(
+            run("fn f() -> int { return (1 + 2) * 3 % 5; }", "f", &[]),
+            Some(Value::Int(4))
+        );
+        assert_eq!(
+            run("fn f() -> int { return -(3 - 5); }", "f", &[]),
+            Some(Value::Int(2))
+        );
+    }
+
+    #[test]
+    fn variables_and_while() {
+        let src = r#"
+            fn sum(n: int) -> int {
+                let i = 0;
+                let acc = 0;
+                while i < n {
+                    acc = acc + i;
+                    i = i + 1;
+                }
+                return acc;
+            }
+        "#;
+        assert_eq!(run(src, "sum", &[Value::Int(100)]), Some(Value::Int(4950)));
+    }
+
+    #[test]
+    fn if_else_chains() {
+        let src = r#"
+            fn sign(x: int) -> int {
+                if x < 0 { return -1; }
+                else if x == 0 { return 0; }
+                else { return 1; }
+            }
+        "#;
+        assert_eq!(run(src, "sign", &[Value::Int(-9)]), Some(Value::Int(-1)));
+        assert_eq!(run(src, "sign", &[Value::Int(0)]), Some(Value::Int(0)));
+        assert_eq!(run(src, "sign", &[Value::Int(9)]), Some(Value::Int(1)));
+    }
+
+    #[test]
+    fn recursion() {
+        let src = r#"
+            fn fib(n: int) -> int {
+                if n < 2 { return n; }
+                return fib(n - 1) + fib(n - 2);
+            }
+        "#;
+        assert_eq!(run(src, "fib", &[Value::Int(10)]), Some(Value::Int(55)));
+    }
+
+    #[test]
+    fn strings_and_builtins() {
+        let src = r#"
+            fn greet(name: str) -> str {
+                return "hello, " + name + " (" + str(len(name)) + ")";
+            }
+            fn parse(s: str) -> int { return int(s) * 2; }
+        "#;
+        assert_eq!(
+            run(src, "greet", &[Value::Str("world".into())]),
+            Some(Value::Str("hello, world (5)".into()))
+        );
+        assert_eq!(
+            run(src, "parse", &[Value::Str("21".into())]),
+            Some(Value::Int(42))
+        );
+    }
+
+    #[test]
+    fn booleans_and_logic() {
+        let src = r#"
+            fn xor(a: bool, b: bool) -> bool {
+                return (a || b) && !(a && b);
+            }
+        "#;
+        assert_eq!(
+            run(src, "xor", &[Value::Bool(true), Value::Bool(false)]),
+            Some(Value::Bool(true))
+        );
+        assert_eq!(
+            run(src, "xor", &[Value::Bool(true), Value::Bool(true)]),
+            Some(Value::Bool(false))
+        );
+    }
+
+    #[test]
+    fn shadowing_and_scopes() {
+        let src = r#"
+            fn f() -> int {
+                let x = 1;
+                if true {
+                    let x = 10;
+                    x = x + 1;
+                }
+                return x;
+            }
+        "#;
+        // The inner x shadows; the outer is untouched.
+        assert_eq!(run(src, "f", &[]), Some(Value::Int(1)));
+    }
+
+    #[test]
+    fn externs_become_syscalls() {
+        struct Host(Vec<String>);
+        impl SyscallHost for Host {
+            fn syscall(
+                &mut self,
+                import: &extsec_vm::ImportDecl,
+                args: &[Value],
+            ) -> Result<Option<Value>, String> {
+                self.0.push(format!("{} {:?}", import.path, args));
+                match import.sig.ret {
+                    Some(extsec_vm::Ty::Int) => Ok(Some(Value::Int(7))),
+                    None => Ok(None),
+                    _ => unreachable!(),
+                }
+            }
+        }
+        let src = r#"
+            extern fn print(s: str) = "/svc/console/print";
+            extern fn now() -> int = "/svc/clock/now";
+            fn main() -> int {
+                print("tick");
+                return now() + 1;
+            }
+        "#;
+        let module = compile(src, "m").unwrap();
+        assert_eq!(module.imports.len(), 2);
+        let verified = verify(module).unwrap();
+        let mut host = Host(Vec::new());
+        let r = Machine::new(&verified).run("main", &[], &mut host).unwrap();
+        assert_eq!(r, Some(Value::Int(8)));
+        assert_eq!(host.0.len(), 2);
+        assert!(host.0[0].starts_with("/svc/console/print"));
+    }
+
+    #[test]
+    fn void_functions() {
+        let src = r#"
+            fn noop() { }
+            fn call_it() -> int { noop(); return 3; }
+        "#;
+        assert_eq!(run(src, "call_it", &[]), Some(Value::Int(3)));
+    }
+
+    #[test]
+    fn type_errors() {
+        for (src, needle) in [
+            ("fn f() -> int { return true; }", "return type mismatch"),
+            ("fn f() { let x: int = \"s\"; }", "annotated int"),
+            ("fn f() { let x = 1; x = true; }", "cannot assign"),
+            ("fn f() { if 1 { } }", "must be bool"),
+            ("fn f() { while \"s\" { } }", "must be bool"),
+            ("fn f() -> int { return 1 + \"s\"; }", "`+` needs"),
+            ("fn f() -> bool { return 1 == true; }", "equal types"),
+            ("fn f() { ghost(); }", "unknown function"),
+            ("fn f() { let y = x; }", "unknown variable"),
+            ("fn f() -> int { if true { return 1; } }", "not all paths"),
+            ("fn f() { return 1; }", "void function cannot"),
+            ("fn f(x: int) -> int { return f(); }", "takes 1 argument"),
+            ("fn f() { let v = noret(); } fn noret() { }", "void call"),
+            ("fn f() -> int { return len(3); }", "needs str"),
+        ] {
+            let e = compile(src, "t").unwrap_err();
+            assert!(
+                e.msg.contains(needle),
+                "{src}: expected {needle:?} in {:?}",
+                e.msg
+            );
+        }
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        assert!(compile("fn f() {} fn f() {}", "t").is_err());
+        assert!(compile("extern fn f() = \"/x\"; fn f() {}", "t").is_err());
+        assert!(compile("fn len(s: str) -> int { return 0; }", "t").is_err());
+        assert!(compile("fn f(a: int, a: int) {}", "t").is_err());
+    }
+
+    #[test]
+    fn every_function_is_exported() {
+        let module = compile("fn a() {} fn b() {}", "t").unwrap();
+        assert_eq!(module.exports.len(), 2);
+    }
+
+    #[test]
+    fn division_semantics_surface() {
+        let module = compile("fn f() -> int { return 1 / 0; }", "t").unwrap();
+        let verified = verify(module).unwrap();
+        let r = Machine::new(&verified).run("f", &[], &mut NullHost);
+        assert_eq!(r, Err(extsec_vm::Trap::DivideByZero));
+    }
+}

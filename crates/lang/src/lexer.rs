@@ -1,0 +1,357 @@
+//! The lexer.
+
+use crate::CompileError;
+
+/// A lexical token.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Tok {
+    // Literals and names.
+    /// An identifier or keyword candidate.
+    Ident(String),
+    /// An integer literal.
+    Int(i64),
+    /// A string literal (already unescaped).
+    Str(String),
+
+    // Punctuation.
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `;`
+    Semi,
+    /// `:`
+    Colon,
+    /// `,`
+    Comma,
+    /// `->`
+    Arrow,
+    /// `=`
+    Assign,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `!`
+    Bang,
+}
+
+/// A token with its 1-based source line.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpannedTok {
+    /// The token.
+    pub tok: Tok,
+    /// The 1-based line it starts on.
+    pub line: usize,
+}
+
+/// Tokenizes `source`. Comments run from `//` to end of line.
+pub fn lex(source: &str) -> Result<Vec<SpannedTok>, CompileError> {
+    let mut out = Vec::new();
+    let mut chars = source.char_indices().peekable();
+    let mut line = 1usize;
+    let bytes = source;
+    while let Some((i, c)) = chars.next() {
+        match c {
+            '\n' => line += 1,
+            c if c.is_whitespace() => {}
+            '/' => {
+                if matches!(chars.peek(), Some((_, '/'))) {
+                    // Comment to end of line.
+                    for (_, c2) in chars.by_ref() {
+                        if c2 == '\n' {
+                            line += 1;
+                            break;
+                        }
+                    }
+                } else {
+                    out.push(SpannedTok {
+                        tok: Tok::Slash,
+                        line,
+                    });
+                }
+            }
+            '(' => out.push(SpannedTok {
+                tok: Tok::LParen,
+                line,
+            }),
+            ')' => out.push(SpannedTok {
+                tok: Tok::RParen,
+                line,
+            }),
+            '{' => out.push(SpannedTok {
+                tok: Tok::LBrace,
+                line,
+            }),
+            '}' => out.push(SpannedTok {
+                tok: Tok::RBrace,
+                line,
+            }),
+            ';' => out.push(SpannedTok {
+                tok: Tok::Semi,
+                line,
+            }),
+            ':' => out.push(SpannedTok {
+                tok: Tok::Colon,
+                line,
+            }),
+            ',' => out.push(SpannedTok {
+                tok: Tok::Comma,
+                line,
+            }),
+            '+' => out.push(SpannedTok {
+                tok: Tok::Plus,
+                line,
+            }),
+            '*' => out.push(SpannedTok {
+                tok: Tok::Star,
+                line,
+            }),
+            '%' => out.push(SpannedTok {
+                tok: Tok::Percent,
+                line,
+            }),
+            '-' => {
+                if matches!(chars.peek(), Some((_, '>'))) {
+                    chars.next();
+                    out.push(SpannedTok {
+                        tok: Tok::Arrow,
+                        line,
+                    });
+                } else {
+                    out.push(SpannedTok {
+                        tok: Tok::Minus,
+                        line,
+                    });
+                }
+            }
+            '=' => {
+                if matches!(chars.peek(), Some((_, '='))) {
+                    chars.next();
+                    out.push(SpannedTok { tok: Tok::Eq, line });
+                } else {
+                    out.push(SpannedTok {
+                        tok: Tok::Assign,
+                        line,
+                    });
+                }
+            }
+            '!' => {
+                if matches!(chars.peek(), Some((_, '='))) {
+                    chars.next();
+                    out.push(SpannedTok { tok: Tok::Ne, line });
+                } else {
+                    out.push(SpannedTok {
+                        tok: Tok::Bang,
+                        line,
+                    });
+                }
+            }
+            '<' => {
+                if matches!(chars.peek(), Some((_, '='))) {
+                    chars.next();
+                    out.push(SpannedTok { tok: Tok::Le, line });
+                } else {
+                    out.push(SpannedTok { tok: Tok::Lt, line });
+                }
+            }
+            '>' => {
+                if matches!(chars.peek(), Some((_, '='))) {
+                    chars.next();
+                    out.push(SpannedTok { tok: Tok::Ge, line });
+                } else {
+                    out.push(SpannedTok { tok: Tok::Gt, line });
+                }
+            }
+            '&' => {
+                if matches!(chars.peek(), Some((_, '&'))) {
+                    chars.next();
+                    out.push(SpannedTok {
+                        tok: Tok::AndAnd,
+                        line,
+                    });
+                } else {
+                    return crate::err(line, "expected `&&`");
+                }
+            }
+            '|' => {
+                if matches!(chars.peek(), Some((_, '|'))) {
+                    chars.next();
+                    out.push(SpannedTok {
+                        tok: Tok::OrOr,
+                        line,
+                    });
+                } else {
+                    return crate::err(line, "expected `||`");
+                }
+            }
+            '"' => {
+                let mut s = String::new();
+                let mut closed = false;
+                while let Some((_, c2)) = chars.next() {
+                    match c2 {
+                        '"' => {
+                            closed = true;
+                            break;
+                        }
+                        '\\' => match chars.next() {
+                            Some((_, '"')) => s.push('"'),
+                            Some((_, '\\')) => s.push('\\'),
+                            Some((_, 'n')) => s.push('\n'),
+                            Some((_, 't')) => s.push('\t'),
+                            Some((_, other)) => {
+                                return crate::err(line, format!("bad escape \\{other}"))
+                            }
+                            None => return crate::err(line, "unterminated escape"),
+                        },
+                        '\n' => return crate::err(line, "unterminated string literal"),
+                        other => s.push(other),
+                    }
+                }
+                if !closed {
+                    return crate::err(line, "unterminated string literal");
+                }
+                out.push(SpannedTok {
+                    tok: Tok::Str(s),
+                    line,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                let mut end = i + c.len_utf8();
+                while let Some(&(j, c2)) = chars.peek() {
+                    if c2.is_ascii_digit() {
+                        end = j + c2.len_utf8();
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                let text = &bytes[start..end];
+                let value: i64 = text.parse().map_err(|_| crate::CompileError {
+                    line,
+                    msg: format!("integer literal {text:?} out of range"),
+                })?;
+                out.push(SpannedTok {
+                    tok: Tok::Int(value),
+                    line,
+                });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                let mut end = i + c.len_utf8();
+                while let Some(&(j, c2)) = chars.peek() {
+                    if c2.is_ascii_alphanumeric() || c2 == '_' {
+                        end = j + c2.len_utf8();
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                out.push(SpannedTok {
+                    tok: Tok::Ident(bytes[start..end].to_string()),
+                    line,
+                });
+            }
+            other => return crate::err(line, format!("unexpected character {other:?}")),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn punctuation_and_operators() {
+        assert_eq!(
+            toks("( ) { } ; : , -> = == != < <= > >= + - * / % && || !"),
+            vec![
+                Tok::LParen,
+                Tok::RParen,
+                Tok::LBrace,
+                Tok::RBrace,
+                Tok::Semi,
+                Tok::Colon,
+                Tok::Comma,
+                Tok::Arrow,
+                Tok::Assign,
+                Tok::Eq,
+                Tok::Ne,
+                Tok::Lt,
+                Tok::Le,
+                Tok::Gt,
+                Tok::Ge,
+                Tok::Plus,
+                Tok::Minus,
+                Tok::Star,
+                Tok::Slash,
+                Tok::Percent,
+                Tok::AndAnd,
+                Tok::OrOr,
+                Tok::Bang,
+            ]
+        );
+    }
+
+    #[test]
+    fn literals_and_idents() {
+        assert_eq!(
+            toks("fn f42 123 \"hi\\n\" _x"),
+            vec![
+                Tok::Ident("fn".into()),
+                Tok::Ident("f42".into()),
+                Tok::Int(123),
+                Tok::Str("hi\n".into()),
+                Tok::Ident("_x".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_and_lines() {
+        let tokens = lex("a // comment\nb").unwrap();
+        assert_eq!(tokens.len(), 2);
+        assert_eq!(tokens[0].line, 1);
+        assert_eq!(tokens[1].line, 2);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(lex("\"open").is_err());
+        assert!(lex("&").is_err());
+        assert!(lex("#").is_err());
+        assert!(lex("99999999999999999999999").is_err());
+    }
+}

@@ -1,0 +1,100 @@
+//! `xlang` — a small type-safe extension language.
+//!
+//! The extensible systems the paper surveys give extension authors a
+//! type-safe *language* (Java, Modula-3, Oberon), not raw bytecode. This
+//! crate is that layer for extsec: a minimal, statically typed language
+//! that compiles to the verified bytecode of [`extsec_vm`]. Every
+//! compiled module still passes the bytecode verifier — the compiler is
+//! convenience, not trust: the verifier stays the safety boundary.
+//!
+//! ```text
+//! extern fn print(s: str) = "/svc/console/print";
+//! extern fn now() -> int = "/svc/clock/now";
+//!
+//! fn fib(n: int) -> int {
+//!     if n < 2 { return n; }
+//!     return fib(n - 1) + fib(n - 2);
+//! }
+//!
+//! fn main() -> int {
+//!     let t = now();
+//!     print("computing...");
+//!     return fib(10) + t;
+//! }
+//! ```
+//!
+//! Language summary:
+//!
+//! * types `int`, `bool`, `str`;
+//! * `extern fn` declarations bind system-service imports by name-space
+//!   path (the syscall gates);
+//! * `fn` definitions; every top-level function is exported;
+//! * statements: `let` (with optional type annotation), assignment,
+//!   `if`/`else`, `while`, `return`, expression statements;
+//! * expressions: literals, variables, calls, `+ - * / %` on ints (`+`
+//!   also concatenates strings), comparisons, `== !=` on equal types,
+//!   `&& || !` on bools (strict: both operands evaluate), unary `-`;
+//! * builtins `len(str) -> int`, `str(int) -> str`, `int(str) -> int`.
+//!
+//! # Examples
+//!
+//! ```
+//! use extsec_lang::compile;
+//! use extsec_vm::{verify, Machine, NullHost, Value};
+//!
+//! let module = compile(
+//!     "fn double(x: int) -> int { return x * 2; }",
+//!     "demo",
+//! )
+//! .unwrap();
+//! let verified = verify(module).unwrap();
+//! let r = Machine::new(&verified)
+//!     .run("double", &[Value::Int(21)], &mut NullHost)
+//!     .unwrap();
+//! assert_eq!(r, Some(Value::Int(42)));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod codegen;
+pub mod lexer;
+pub mod parser;
+
+pub use codegen::compile_program;
+pub use parser::parse;
+
+use std::fmt;
+
+/// A compilation failure, with its 1-based source line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CompileError {
+    /// The 1-based line the error was detected on.
+    pub line: usize,
+    /// The error message.
+    pub msg: String,
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+pub(crate) fn err<T>(line: usize, msg: impl Into<String>) -> Result<T, CompileError> {
+    Err(CompileError {
+        line,
+        msg: msg.into(),
+    })
+}
+
+/// Compiles `source` into an (unverified) bytecode module named
+/// `module_name`. Run the result through [`extsec_vm::verify()`] (the
+/// extension runtime does this on load).
+pub fn compile(source: &str, module_name: &str) -> Result<extsec_vm::Module, CompileError> {
+    let program = parse(source)?;
+    compile_program(&program, module_name)
+}

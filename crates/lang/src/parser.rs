@@ -1,0 +1,517 @@
+//! The recursive-descent parser.
+
+use crate::ast::{BinOp, Block, Expr, ExternDecl, FnDecl, Program, Stmt, UnOp};
+use crate::lexer::{lex, SpannedTok, Tok};
+use crate::{err, CompileError};
+use extsec_vm::Ty;
+
+struct Parser {
+    tokens: Vec<SpannedTok>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.tokens.get(self.pos).map(|t| &t.tok)
+    }
+
+    fn line(&self) -> usize {
+        self.tokens
+            .get(self.pos)
+            .or_else(|| self.tokens.last())
+            .map(|t| t.line)
+            .unwrap_or(1)
+    }
+
+    fn next(&mut self) -> Option<SpannedTok> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, tok: &Tok, what: &str) -> Result<usize, CompileError> {
+        let line = self.line();
+        match self.next() {
+            Some(t) if t.tok == *tok => Ok(t.line),
+            Some(t) => err(t.line, format!("expected {what}, found {:?}", t.tok)),
+            None => err(line, format!("expected {what}, found end of input")),
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> Result<(String, usize), CompileError> {
+        let line = self.line();
+        match self.next() {
+            Some(SpannedTok {
+                tok: Tok::Ident(name),
+                line,
+            }) => Ok((name, line)),
+            Some(t) => err(t.line, format!("expected {what}, found {:?}", t.tok)),
+            None => err(line, format!("expected {what}, found end of input")),
+        }
+    }
+
+    fn eat(&mut self, tok: &Tok) -> bool {
+        if self.peek() == Some(tok) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), Some(Tok::Ident(s)) if s == kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_ty(&mut self) -> Result<Ty, CompileError> {
+        let (name, line) = self.expect_ident("a type")?;
+        match name.as_str() {
+            "int" => Ok(Ty::Int),
+            "bool" => Ok(Ty::Bool),
+            "str" => Ok(Ty::Str),
+            other => err(line, format!("unknown type {other:?}")),
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // Declarations.
+    // ---------------------------------------------------------------
+
+    fn parse_program(&mut self) -> Result<Program, CompileError> {
+        let mut externs = Vec::new();
+        let mut functions = Vec::new();
+        while self.peek().is_some() {
+            if self.eat_keyword("extern") {
+                externs.push(self.parse_extern()?);
+            } else if self.eat_keyword("fn") {
+                functions.push(self.parse_fn()?);
+            } else {
+                return err(self.line(), "expected `fn` or `extern`");
+            }
+        }
+        Ok(Program { externs, functions })
+    }
+
+    fn parse_extern(&mut self) -> Result<ExternDecl, CompileError> {
+        // `extern` already consumed; expect `fn name(tys) [-> ty] = "path";`
+        if !self.eat_keyword("fn") {
+            return err(self.line(), "expected `fn` after `extern`");
+        }
+        let (name, line) = self.expect_ident("an extern name")?;
+        self.expect(&Tok::LParen, "`(`")?;
+        let mut params = Vec::new();
+        if !self.eat(&Tok::RParen) {
+            loop {
+                // Allow `name: ty` or bare `ty`.
+                let save = self.pos;
+                if let Ok((_, _)) = self.expect_ident("a parameter") {
+                    if self.eat(&Tok::Colon) {
+                        params.push(self.parse_ty()?);
+                    } else {
+                        // It was a bare type name.
+                        self.pos = save;
+                        params.push(self.parse_ty()?);
+                    }
+                } else {
+                    return err(self.line(), "expected a parameter");
+                }
+                if self.eat(&Tok::RParen) {
+                    break;
+                }
+                self.expect(&Tok::Comma, "`,`")?;
+            }
+        }
+        let ret = if self.eat(&Tok::Arrow) {
+            Some(self.parse_ty()?)
+        } else {
+            None
+        };
+        self.expect(&Tok::Assign, "`=`")?;
+        let path = match self.next() {
+            Some(SpannedTok {
+                tok: Tok::Str(path),
+                ..
+            }) => path,
+            _ => return err(line, "expected the gate path as a string literal"),
+        };
+        self.expect(&Tok::Semi, "`;`")?;
+        Ok(ExternDecl {
+            name,
+            params,
+            ret,
+            path,
+            line,
+        })
+    }
+
+    fn parse_fn(&mut self) -> Result<FnDecl, CompileError> {
+        let (name, line) = self.expect_ident("a function name")?;
+        self.expect(&Tok::LParen, "`(`")?;
+        let mut params = Vec::new();
+        if !self.eat(&Tok::RParen) {
+            loop {
+                let (pname, _) = self.expect_ident("a parameter name")?;
+                self.expect(&Tok::Colon, "`:`")?;
+                let ty = self.parse_ty()?;
+                params.push((pname, ty));
+                if self.eat(&Tok::RParen) {
+                    break;
+                }
+                self.expect(&Tok::Comma, "`,`")?;
+            }
+        }
+        let ret = if self.eat(&Tok::Arrow) {
+            Some(self.parse_ty()?)
+        } else {
+            None
+        };
+        let body = self.parse_block()?;
+        Ok(FnDecl {
+            name,
+            params,
+            ret,
+            body,
+            line,
+        })
+    }
+
+    // ---------------------------------------------------------------
+    // Statements.
+    // ---------------------------------------------------------------
+
+    fn parse_block(&mut self) -> Result<Block, CompileError> {
+        self.expect(&Tok::LBrace, "`{`")?;
+        let mut stmts = Vec::new();
+        while !self.eat(&Tok::RBrace) {
+            if self.peek().is_none() {
+                return err(self.line(), "unterminated block (missing `}`)");
+            }
+            stmts.push(self.parse_stmt()?);
+        }
+        Ok(Block { stmts })
+    }
+
+    fn parse_stmt(&mut self) -> Result<Stmt, CompileError> {
+        let line = self.line();
+        if self.eat_keyword("let") {
+            let (name, _) = self.expect_ident("a variable name")?;
+            let ty = if self.eat(&Tok::Colon) {
+                Some(self.parse_ty()?)
+            } else {
+                None
+            };
+            self.expect(&Tok::Assign, "`=`")?;
+            let init = self.parse_expr()?;
+            self.expect(&Tok::Semi, "`;`")?;
+            return Ok(Stmt::Let {
+                name,
+                ty,
+                init,
+                line,
+            });
+        }
+        if self.eat_keyword("if") {
+            let cond = self.parse_expr()?;
+            let then = self.parse_block()?;
+            let els = if self.eat_keyword("else") {
+                if matches!(self.peek(), Some(Tok::Ident(k)) if k == "if") {
+                    // `else if` sugar: wrap the nested if in a block.
+                    let nested = self.parse_stmt()?;
+                    Some(Block {
+                        stmts: vec![nested],
+                    })
+                } else {
+                    Some(self.parse_block()?)
+                }
+            } else {
+                None
+            };
+            return Ok(Stmt::If {
+                cond,
+                then,
+                els,
+                line,
+            });
+        }
+        if self.eat_keyword("while") {
+            let cond = self.parse_expr()?;
+            let body = self.parse_block()?;
+            return Ok(Stmt::While { cond, body, line });
+        }
+        if self.eat_keyword("return") {
+            let value = if self.peek() == Some(&Tok::Semi) {
+                None
+            } else {
+                Some(self.parse_expr()?)
+            };
+            self.expect(&Tok::Semi, "`;`")?;
+            return Ok(Stmt::Return { value, line });
+        }
+        // Assignment or expression statement: look ahead for `ident =`.
+        if let Some(Tok::Ident(name)) = self.peek().cloned() {
+            if self.tokens.get(self.pos + 1).map(|t| &t.tok) == Some(&Tok::Assign) {
+                self.pos += 2;
+                let value = self.parse_expr()?;
+                self.expect(&Tok::Semi, "`;`")?;
+                return Ok(Stmt::Assign { name, value, line });
+            }
+        }
+        let expr = self.parse_expr()?;
+        self.expect(&Tok::Semi, "`;`")?;
+        Ok(Stmt::Expr { expr, line })
+    }
+
+    // ---------------------------------------------------------------
+    // Expressions (precedence climbing).
+    // ---------------------------------------------------------------
+
+    fn parse_expr(&mut self) -> Result<Expr, CompileError> {
+        self.parse_or()
+    }
+
+    fn parse_or(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.parse_and()?;
+        while self.peek() == Some(&Tok::OrOr) {
+            let line = self.line();
+            self.pos += 1;
+            let rhs = self.parse_and()?;
+            lhs = Expr::Binary {
+                op: BinOp::Or,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                line,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn parse_and(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.parse_cmp()?;
+        while self.peek() == Some(&Tok::AndAnd) {
+            let line = self.line();
+            self.pos += 1;
+            let rhs = self.parse_cmp()?;
+            lhs = Expr::Binary {
+                op: BinOp::And,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                line,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn parse_cmp(&mut self) -> Result<Expr, CompileError> {
+        let lhs = self.parse_add()?;
+        let op = match self.peek() {
+            Some(Tok::Eq) => BinOp::Eq,
+            Some(Tok::Ne) => BinOp::Ne,
+            Some(Tok::Lt) => BinOp::Lt,
+            Some(Tok::Le) => BinOp::Le,
+            Some(Tok::Gt) => BinOp::Gt,
+            Some(Tok::Ge) => BinOp::Ge,
+            _ => return Ok(lhs),
+        };
+        let line = self.line();
+        self.pos += 1;
+        let rhs = self.parse_add()?;
+        Ok(Expr::Binary {
+            op,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+            line,
+        })
+    }
+
+    fn parse_add(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.parse_mul()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Plus) => BinOp::Add,
+                Some(Tok::Minus) => BinOp::Sub,
+                _ => return Ok(lhs),
+            };
+            let line = self.line();
+            self.pos += 1;
+            let rhs = self.parse_mul()?;
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                line,
+            };
+        }
+    }
+
+    fn parse_mul(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.parse_unary()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Star) => BinOp::Mul,
+                Some(Tok::Slash) => BinOp::Div,
+                Some(Tok::Percent) => BinOp::Rem,
+                _ => return Ok(lhs),
+            };
+            let line = self.line();
+            self.pos += 1;
+            let rhs = self.parse_unary()?;
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                line,
+            };
+        }
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr, CompileError> {
+        let line = self.line();
+        if self.eat(&Tok::Minus) {
+            let expr = self.parse_unary()?;
+            return Ok(Expr::Unary {
+                op: UnOp::Neg,
+                expr: Box::new(expr),
+                line,
+            });
+        }
+        if self.eat(&Tok::Bang) {
+            let expr = self.parse_unary()?;
+            return Ok(Expr::Unary {
+                op: UnOp::Not,
+                expr: Box::new(expr),
+                line,
+            });
+        }
+        self.parse_primary()
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr, CompileError> {
+        let line = self.line();
+        match self.next() {
+            Some(SpannedTok {
+                tok: Tok::Int(v), ..
+            }) => Ok(Expr::Int(v, line)),
+            Some(SpannedTok {
+                tok: Tok::Str(s), ..
+            }) => Ok(Expr::Str(s, line)),
+            Some(SpannedTok {
+                tok: Tok::Ident(name),
+                ..
+            }) => match name.as_str() {
+                "true" => Ok(Expr::Bool(true, line)),
+                "false" => Ok(Expr::Bool(false, line)),
+                _ => {
+                    if self.eat(&Tok::LParen) {
+                        let mut args = Vec::new();
+                        if !self.eat(&Tok::RParen) {
+                            loop {
+                                args.push(self.parse_expr()?);
+                                if self.eat(&Tok::RParen) {
+                                    break;
+                                }
+                                self.expect(&Tok::Comma, "`,`")?;
+                            }
+                        }
+                        Ok(Expr::Call { name, args, line })
+                    } else {
+                        Ok(Expr::Var(name, line))
+                    }
+                }
+            },
+            Some(SpannedTok {
+                tok: Tok::LParen, ..
+            }) => {
+                let e = self.parse_expr()?;
+                self.expect(&Tok::RParen, "`)`")?;
+                Ok(e)
+            }
+            Some(t) => err(t.line, format!("expected an expression, found {:?}", t.tok)),
+            None => err(line, "expected an expression, found end of input"),
+        }
+    }
+}
+
+/// Parses a source file into a [`Program`].
+pub fn parse(source: &str) -> Result<Program, CompileError> {
+    let tokens = lex(source)?;
+    let mut parser = Parser { tokens, pos: 0 };
+    parser.parse_program()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_externs_and_functions() {
+        let program = parse(
+            r#"
+            extern fn print(s: str) = "/svc/console/print";
+            extern fn now() -> int = "/svc/clock/now";
+            fn main() -> int {
+                let x = now();
+                print("hi");
+                return x;
+            }
+            "#,
+        )
+        .unwrap();
+        assert_eq!(program.externs.len(), 2);
+        assert_eq!(program.functions.len(), 1);
+        assert_eq!(program.externs[0].params, vec![Ty::Str]);
+        assert_eq!(program.externs[1].ret, Some(Ty::Int));
+        assert_eq!(program.functions[0].body.stmts.len(), 3);
+    }
+
+    #[test]
+    fn precedence() {
+        let program = parse("fn f() -> bool { return 1 + 2 * 3 == 7 && true; }").unwrap();
+        let Stmt::Return {
+            value: Some(Expr::Binary { op, lhs, .. }),
+            ..
+        } = &program.functions[0].body.stmts[0]
+        else {
+            panic!("shape");
+        };
+        assert_eq!(*op, BinOp::And);
+        let Expr::Binary { op, .. } = lhs.as_ref() else {
+            panic!("shape");
+        };
+        assert_eq!(*op, BinOp::Eq);
+    }
+
+    #[test]
+    fn else_if_chains() {
+        let program = parse(
+            "fn f(x: int) -> int { if x < 0 { return 0; } else if x < 10 { return 1; } else { return 2; } }",
+        )
+        .unwrap();
+        let Stmt::If { els: Some(els), .. } = &program.functions[0].body.stmts[0] else {
+            panic!("shape");
+        };
+        assert!(matches!(els.stmts[0], Stmt::If { .. }));
+    }
+
+    #[test]
+    fn error_positions() {
+        let e = parse("fn f() {\n  let = 3;\n}").unwrap_err();
+        assert_eq!(e.line, 2);
+        let e = parse("fn f() { return 1 }").unwrap_err();
+        assert!(e.msg.contains("`;`"));
+        let e = parse("boom").unwrap_err();
+        assert!(e.msg.contains("expected `fn` or `extern`"));
+    }
+
+    #[test]
+    fn unary_nesting() {
+        parse("fn f() -> int { return --1; }").unwrap();
+        parse("fn f() -> bool { return !!true; }").unwrap();
+    }
+}

@@ -1,0 +1,433 @@
+//! Categories and category sets.
+//!
+//! Categories carve one level of trust into compartments: the paper's
+//! example uses `{myself, dept-1, dept-2, outside}` so that two applets at
+//! the `organization` level can be kept apart (or deliberately bridged by a
+//! subject holding both department categories). Category sets are partially
+//! ordered by inclusion, which is what gives the security classes their
+//! lattice structure.
+//!
+//! [`CategorySet`] is a growable bitset: subset tests, unions and
+//! intersections are word-parallel, which matters because every mandatory
+//! access check performs at least one subset test (figure F2 in
+//! EXPERIMENTS.md measures exactly this).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a single category within a [`CategorySpace`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct CategoryId(u16);
+
+impl CategoryId {
+    /// Creates a category id from a raw index.
+    pub const fn from_index(index: u16) -> Self {
+        CategoryId(index)
+    }
+
+    /// Returns the raw index of this category.
+    pub const fn index(self) -> u16 {
+        self.0
+    }
+}
+
+impl fmt::Display for CategoryId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "C{}", self.0)
+    }
+}
+
+/// The registry mapping category names to [`CategoryId`]s.
+///
+/// # Examples
+///
+/// ```
+/// use extsec_mac::CategorySpace;
+///
+/// let mut space = CategorySpace::new();
+/// let d1 = space.add("dept-1").unwrap();
+/// assert_eq!(space.lookup("dept-1"), Some(d1));
+/// assert_eq!(space.name(d1), Some("dept-1"));
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CategorySpace {
+    names: Vec<String>,
+}
+
+impl CategorySpace {
+    /// Creates an empty category space.
+    pub fn new() -> Self {
+        CategorySpace { names: Vec::new() }
+    }
+
+    /// Creates a category space from a list of names.
+    ///
+    /// Returns `None` if any name is duplicated or empty.
+    pub fn from_names<I, S>(names: I) -> Option<Self>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut space = CategorySpace::new();
+        for name in names {
+            space.add(name).ok()?;
+        }
+        Some(space)
+    }
+
+    /// Registers a new category.
+    pub fn add<S: Into<String>>(&mut self, name: S) -> Result<CategoryId, CategoryError> {
+        let name = name.into();
+        if name.is_empty() {
+            return Err(CategoryError::EmptyName);
+        }
+        if self.names.contains(&name) {
+            return Err(CategoryError::DuplicateName(name));
+        }
+        if self.names.len() > u16::MAX as usize {
+            return Err(CategoryError::TooManyCategories);
+        }
+        let id = CategoryId(self.names.len() as u16);
+        self.names.push(name);
+        Ok(id)
+    }
+
+    /// Returns the number of registered categories.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Returns whether no categories are registered.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Returns the name of `id`, if registered.
+    pub fn name(&self, id: CategoryId) -> Option<&str> {
+        self.names.get(id.0 as usize).map(String::as_str)
+    }
+
+    /// Looks a category up by name.
+    pub fn lookup(&self, name: &str) -> Option<CategoryId> {
+        self.names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| CategoryId(i as u16))
+    }
+
+    /// Returns whether `id` is registered in this space.
+    pub fn contains(&self, id: CategoryId) -> bool {
+        (id.0 as usize) < self.names.len()
+    }
+
+    /// Returns the set of all registered categories.
+    pub fn full_set(&self) -> CategorySet {
+        let mut set = CategorySet::new();
+        for i in 0..self.names.len() {
+            set.insert(CategoryId(i as u16));
+        }
+        set
+    }
+
+    /// Iterates over `(id, name)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (CategoryId, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (CategoryId(i as u16), n.as_str()))
+    }
+}
+
+/// Errors from registering categories.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CategoryError {
+    /// The category name was empty.
+    EmptyName,
+    /// The category name is already registered.
+    DuplicateName(String),
+    /// More than `u16::MAX + 1` categories were registered.
+    TooManyCategories,
+}
+
+impl fmt::Display for CategoryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CategoryError::EmptyName => write!(f, "category name must not be empty"),
+            CategoryError::DuplicateName(name) => write!(f, "duplicate category name {name:?}"),
+            CategoryError::TooManyCategories => write!(f, "too many categories"),
+        }
+    }
+}
+
+impl std::error::Error for CategoryError {}
+
+/// A set of categories, partially ordered by inclusion.
+///
+/// Implemented as a growable bitset; trailing zero words are kept trimmed so
+/// that equality and hashing are canonical regardless of how the set was
+/// built up.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CategorySet {
+    words: Vec<u64>,
+}
+
+impl CategorySet {
+    /// Creates the empty set.
+    pub fn new() -> Self {
+        CategorySet { words: Vec::new() }
+    }
+
+    /// Creates a set holding the given categories.
+    pub fn from_ids<I: IntoIterator<Item = CategoryId>>(ids: I) -> Self {
+        let mut set = CategorySet::new();
+        for id in ids {
+            set.insert(id);
+        }
+        set
+    }
+
+    /// Inserts a category; returns whether it was newly inserted.
+    pub fn insert(&mut self, id: CategoryId) -> bool {
+        let (word, bit) = Self::slot(id);
+        if self.words.len() <= word {
+            self.words.resize(word + 1, 0);
+        }
+        let fresh = self.words[word] & (1 << bit) == 0;
+        self.words[word] |= 1 << bit;
+        fresh
+    }
+
+    /// Removes a category; returns whether it was present.
+    pub fn remove(&mut self, id: CategoryId) -> bool {
+        let (word, bit) = Self::slot(id);
+        if word >= self.words.len() {
+            return false;
+        }
+        let present = self.words[word] & (1 << bit) != 0;
+        self.words[word] &= !(1 << bit);
+        self.trim();
+        present
+    }
+
+    /// Returns whether the set contains `id`.
+    pub fn contains(&self, id: CategoryId) -> bool {
+        let (word, bit) = Self::slot(id);
+        self.words.get(word).is_some_and(|w| w & (1 << bit) != 0)
+    }
+
+    /// Returns the number of categories in the set.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Returns whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|w| *w == 0)
+    }
+
+    /// Returns whether `self ⊆ other`.
+    pub fn is_subset(&self, other: &CategorySet) -> bool {
+        self.words.iter().enumerate().all(|(i, w)| {
+            let o = other.words.get(i).copied().unwrap_or(0);
+            w & !o == 0
+        })
+    }
+
+    /// Returns whether `self ⊇ other`.
+    pub fn is_superset(&self, other: &CategorySet) -> bool {
+        other.is_subset(self)
+    }
+
+    /// Returns whether the two sets share no category.
+    pub fn is_disjoint(&self, other: &CategorySet) -> bool {
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .all(|(a, b)| a & b == 0)
+    }
+
+    /// Returns `self ∪ other`.
+    pub fn union(&self, other: &CategorySet) -> CategorySet {
+        let len = self.words.len().max(other.words.len());
+        let mut words = Vec::with_capacity(len);
+        for i in 0..len {
+            let a = self.words.get(i).copied().unwrap_or(0);
+            let b = other.words.get(i).copied().unwrap_or(0);
+            words.push(a | b);
+        }
+        let mut set = CategorySet { words };
+        set.trim();
+        set
+    }
+
+    /// Returns `self ∩ other`.
+    pub fn intersection(&self, other: &CategorySet) -> CategorySet {
+        let len = self.words.len().min(other.words.len());
+        let mut words = Vec::with_capacity(len);
+        for i in 0..len {
+            words.push(self.words[i] & other.words[i]);
+        }
+        let mut set = CategorySet { words };
+        set.trim();
+        set
+    }
+
+    /// Returns `self \ other`.
+    pub fn difference(&self, other: &CategorySet) -> CategorySet {
+        let mut words = self.words.clone();
+        for (i, w) in words.iter_mut().enumerate() {
+            *w &= !other.words.get(i).copied().unwrap_or(0);
+        }
+        let mut set = CategorySet { words };
+        set.trim();
+        set
+    }
+
+    /// Iterates over the member categories in ascending id order.
+    pub fn iter(&self) -> impl Iterator<Item = CategoryId> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, w)| {
+            (0..64)
+                .filter(move |bit| w & (1u64 << bit) != 0)
+                .map(move |bit| CategoryId((wi * 64 + bit) as u16))
+        })
+    }
+
+    /// Returns the largest registered id, if the set is non-empty.
+    pub fn max_id(&self) -> Option<CategoryId> {
+        self.iter().last()
+    }
+
+    fn slot(id: CategoryId) -> (usize, u32) {
+        ((id.0 / 64) as usize, (id.0 % 64) as u32)
+    }
+
+    fn trim(&mut self) {
+        while self.words.last() == Some(&0) {
+            self.words.pop();
+        }
+    }
+}
+
+impl FromIterator<CategoryId> for CategorySet {
+    fn from_iter<I: IntoIterator<Item = CategoryId>>(iter: I) -> Self {
+        CategorySet::from_ids(iter)
+    }
+}
+
+impl fmt::Display for CategorySet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, id) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{id}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(list: &[u16]) -> CategorySet {
+        list.iter().copied().map(CategoryId::from_index).collect()
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut set = CategorySet::new();
+        assert!(set.insert(CategoryId::from_index(3)));
+        assert!(!set.insert(CategoryId::from_index(3)));
+        assert!(set.contains(CategoryId::from_index(3)));
+        assert!(!set.contains(CategoryId::from_index(4)));
+        assert!(set.remove(CategoryId::from_index(3)));
+        assert!(!set.remove(CategoryId::from_index(3)));
+        assert!(set.is_empty());
+    }
+
+    #[test]
+    fn subset_and_superset() {
+        let small = ids(&[1, 2]);
+        let big = ids(&[0, 1, 2, 5]);
+        assert!(small.is_subset(&big));
+        assert!(big.is_superset(&small));
+        assert!(!big.is_subset(&small));
+        assert!(small.is_subset(&small));
+        assert!(CategorySet::new().is_subset(&small));
+    }
+
+    #[test]
+    fn subset_across_word_boundaries() {
+        let small = ids(&[70]);
+        let big = ids(&[1, 70, 200]);
+        assert!(small.is_subset(&big));
+        assert!(!big.is_subset(&small));
+        // A set with only low bits against one with only high bits.
+        assert!(!ids(&[1]).is_subset(&ids(&[100])));
+    }
+
+    #[test]
+    fn union_intersection_difference() {
+        let a = ids(&[1, 2, 65]);
+        let b = ids(&[2, 3]);
+        assert_eq!(a.union(&b), ids(&[1, 2, 3, 65]));
+        assert_eq!(a.intersection(&b), ids(&[2]));
+        assert_eq!(a.difference(&b), ids(&[1, 65]));
+        assert_eq!(b.difference(&a), ids(&[3]));
+    }
+
+    #[test]
+    fn equality_is_canonical_after_removal() {
+        let mut a = ids(&[1, 300]);
+        a.remove(CategoryId::from_index(300));
+        assert_eq!(a, ids(&[1]));
+    }
+
+    #[test]
+    fn disjointness() {
+        assert!(ids(&[1, 2]).is_disjoint(&ids(&[3, 4])));
+        assert!(!ids(&[1, 2]).is_disjoint(&ids(&[2])));
+        assert!(CategorySet::new().is_disjoint(&CategorySet::new()));
+    }
+
+    #[test]
+    fn iter_ascends() {
+        let set = ids(&[200, 1, 64]);
+        let collected: Vec<u16> = set.iter().map(|c| c.index()).collect();
+        assert_eq!(collected, vec![1, 64, 200]);
+        assert_eq!(set.len(), 3);
+        assert_eq!(set.max_id(), Some(CategoryId::from_index(200)));
+    }
+
+    #[test]
+    fn space_registration() {
+        let mut space = CategorySpace::new();
+        let a = space.add("alpha").unwrap();
+        assert_eq!(space.lookup("alpha"), Some(a));
+        assert_eq!(space.name(a), Some("alpha"));
+        assert_eq!(
+            space.add("alpha"),
+            Err(CategoryError::DuplicateName("alpha".to_string()))
+        );
+        assert_eq!(space.add(""), Err(CategoryError::EmptyName));
+    }
+
+    #[test]
+    fn full_set_holds_everything() {
+        let space = CategorySpace::from_names(["a", "b", "c"]).unwrap();
+        let full = space.full_set();
+        assert_eq!(full.len(), 3);
+        for (id, _) in space.iter() {
+            assert!(full.contains(id));
+        }
+    }
+
+    #[test]
+    fn display_formats() {
+        let set = ids(&[0, 2]);
+        assert_eq!(set.to_string(), "{C0,C2}");
+        assert_eq!(CategorySet::new().to_string(), "{}");
+    }
+}

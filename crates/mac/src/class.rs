@@ -1,0 +1,207 @@
+//! Security classes and their lattice structure.
+
+use crate::category::CategorySet;
+use crate::level::TrustLevel;
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A security class: the product of a trust level and a category set.
+///
+/// Classes are the labels the mandatory access control model attaches to
+/// every subject and object (paper §2.2). `A` *dominates* `B` iff `A`'s
+/// level is at least `B`'s and `A`'s categories are a superset of `B`'s.
+/// Domination is a partial order, and with [`join`](SecurityClass::join)
+/// and [`meet`](SecurityClass::meet) the classes form a lattice.
+///
+/// # Examples
+///
+/// ```
+/// use extsec_mac::{CategoryId, CategorySet, SecurityClass, TrustLevel};
+///
+/// let d1 = CategoryId::from_index(0);
+/// let d2 = CategoryId::from_index(1);
+/// let org = TrustLevel::from_rank(1);
+///
+/// let a = SecurityClass::new(org, CategorySet::from_ids([d1]));
+/// let b = SecurityClass::new(org, CategorySet::from_ids([d2]));
+/// let both = SecurityClass::new(org, CategorySet::from_ids([d1, d2]));
+///
+/// assert!(both.dominates(&a) && both.dominates(&b));
+/// assert!(!a.dominates(&b) && !b.dominates(&a)); // incomparable
+/// assert_eq!(a.join(&b), both);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SecurityClass {
+    level: TrustLevel,
+    categories: CategorySet,
+}
+
+impl SecurityClass {
+    /// Creates a class from a level and a category set.
+    pub fn new(level: TrustLevel, categories: CategorySet) -> Self {
+        SecurityClass { level, categories }
+    }
+
+    /// Creates the class at `level` with no categories.
+    pub fn at_level(level: TrustLevel) -> Self {
+        SecurityClass {
+            level,
+            categories: CategorySet::new(),
+        }
+    }
+
+    /// The bottom class: least trusted level, no categories.
+    pub fn bottom() -> Self {
+        SecurityClass::at_level(TrustLevel::BOTTOM)
+    }
+
+    /// Returns the trust level of this class.
+    pub fn level(&self) -> TrustLevel {
+        self.level
+    }
+
+    /// Returns the category set of this class.
+    pub fn categories(&self) -> &CategorySet {
+        &self.categories
+    }
+
+    /// Returns whether `self` dominates `other`.
+    ///
+    /// `self` dominates `other` iff `self.level >= other.level` and
+    /// `self.categories ⊇ other.categories`. A subject whose class
+    /// dominates an object's class may observe (read) the object.
+    pub fn dominates(&self, other: &SecurityClass) -> bool {
+        self.level.dominates(other.level) && self.categories.is_superset(&other.categories)
+    }
+
+    /// Returns whether `self` is strictly dominated by `other`.
+    pub fn strictly_below(&self, other: &SecurityClass) -> bool {
+        other.dominates(self) && self != other
+    }
+
+    /// Returns whether the two classes are comparable under domination.
+    pub fn comparable(&self, other: &SecurityClass) -> bool {
+        self.dominates(other) || other.dominates(self)
+    }
+
+    /// Returns the least upper bound of the two classes.
+    pub fn join(&self, other: &SecurityClass) -> SecurityClass {
+        SecurityClass {
+            level: self.level.max(other.level),
+            categories: self.categories.union(&other.categories),
+        }
+    }
+
+    /// Returns the greatest lower bound of the two classes.
+    pub fn meet(&self, other: &SecurityClass) -> SecurityClass {
+        SecurityClass {
+            level: self.level.min(other.level),
+            categories: self.categories.intersection(&other.categories),
+        }
+    }
+}
+
+impl Default for SecurityClass {
+    /// The default class is the lattice bottom (least trusted, no
+    /// categories) — the fail-safe default for unlabelled objects.
+    fn default() -> Self {
+        SecurityClass::bottom()
+    }
+}
+
+impl PartialOrd for SecurityClass {
+    /// Domination order: `Some(Greater)` means `self` strictly dominates.
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        match (self.dominates(other), other.dominates(self)) {
+            (true, true) => Some(Ordering::Equal),
+            (true, false) => Some(Ordering::Greater),
+            (false, true) => Some(Ordering::Less),
+            (false, false) => None,
+        }
+    }
+}
+
+impl fmt::Display for SecurityClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.level, self.categories)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::category::CategoryId;
+
+    fn class(level: u16, cats: &[u16]) -> SecurityClass {
+        SecurityClass::new(
+            TrustLevel::from_rank(level),
+            cats.iter().copied().map(CategoryId::from_index).collect(),
+        )
+    }
+
+    #[test]
+    fn domination_requires_both_components() {
+        // Higher level but missing a category: incomparable.
+        let high_narrow = class(2, &[0]);
+        let low_wide = class(0, &[0, 1]);
+        assert!(!high_narrow.dominates(&low_wide));
+        assert!(!low_wide.dominates(&high_narrow));
+        assert!(!high_narrow.comparable(&low_wide));
+    }
+
+    #[test]
+    fn domination_is_reflexive() {
+        let c = class(1, &[0, 3]);
+        assert!(c.dominates(&c));
+        assert_eq!(c.partial_cmp(&c), Some(Ordering::Equal));
+    }
+
+    #[test]
+    fn join_is_least_upper_bound() {
+        let a = class(1, &[0]);
+        let b = class(2, &[1]);
+        let j = a.join(&b);
+        assert!(j.dominates(&a));
+        assert!(j.dominates(&b));
+        assert_eq!(j, class(2, &[0, 1]));
+    }
+
+    #[test]
+    fn meet_is_greatest_lower_bound() {
+        let a = class(1, &[0, 1]);
+        let b = class(2, &[1, 2]);
+        let m = a.meet(&b);
+        assert!(a.dominates(&m));
+        assert!(b.dominates(&m));
+        assert_eq!(m, class(1, &[1]));
+    }
+
+    #[test]
+    fn partial_cmp_matches_domination() {
+        let lo = class(0, &[]);
+        let hi = class(3, &[0]);
+        assert_eq!(lo.partial_cmp(&hi), Some(Ordering::Less));
+        assert_eq!(hi.partial_cmp(&lo), Some(Ordering::Greater));
+        let left = class(1, &[0]);
+        let right = class(1, &[1]);
+        assert_eq!(left.partial_cmp(&right), None);
+    }
+
+    #[test]
+    fn strictly_below() {
+        let lo = class(0, &[0]);
+        let hi = class(1, &[0, 1]);
+        assert!(lo.strictly_below(&hi));
+        assert!(!hi.strictly_below(&lo));
+        assert!(!lo.strictly_below(&lo));
+    }
+
+    #[test]
+    fn bottom_is_dominated_by_everything() {
+        let b = SecurityClass::bottom();
+        for c in [class(0, &[]), class(2, &[1, 5]), class(1, &[0])] {
+            assert!(c.dominates(&b));
+        }
+    }
+}

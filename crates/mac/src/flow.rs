@@ -1,0 +1,226 @@
+//! Information-flow rules over security classes.
+//!
+//! The paper (§2.2) states the rules verbatim:
+//!
+//! > Subjects can view the contents of an object (i.e., have read access)
+//! > when their level of trust is higher than or equal to the level of
+//! > trust of the object and when their categories are a superset of the
+//! > categories of the object. They can modify the contents of an object
+//! > (i.e., have any form of write access) when their level of trust is
+//! > lower or equal to the level of trust of the object and their
+//! > categories are a subset of the categories of the object (it may thus
+//! > be necessary to use the write-append access mode to limit subjects at
+//! > a lower level of trust to blindly overwrite objects at a higher level
+//! > of trust).
+//!
+//! In lattice terms: **read** requires the subject to dominate the object
+//! (simple security property); **write** requires the object to dominate
+//! the subject (the *-property). The parenthetical motivates distinguishing
+//! *overwrite* from *append*: a strictly lower subject writing up cannot
+//! see what it destroys, so deployments usually restrict write-up to
+//! appends. The paper leaves the exact choice open; [`OverwriteRule`] makes
+//! it an explicit, ablatable knob (DESIGN.md §6, item 2 relative).
+
+use crate::class::SecurityClass;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Returns whether `subject` may observe (read) `object`.
+///
+/// The simple security property: the subject's class must dominate the
+/// object's class.
+pub fn can_read(subject: &SecurityClass, object: &SecurityClass) -> bool {
+    subject.dominates(object)
+}
+
+/// Returns whether `subject` may append to `object` (blind write-up).
+///
+/// The *-property: the object's class must dominate the subject's class.
+/// Appending never reveals existing contents, so it is safe at any
+/// dominated-by level.
+pub fn can_append(subject: &SecurityClass, object: &SecurityClass) -> bool {
+    object.dominates(subject)
+}
+
+/// How full (destructive) writes relate to the lattice.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OverwriteRule {
+    /// Overwrite requires class *equality* (read ∧ write both legal): a
+    /// subject may destroy only data it could also have observed. This is
+    /// the conservative reading the paper's parenthetical points at, and
+    /// the default.
+    #[default]
+    RequireEquality,
+    /// Overwrite under the pure *-property: any write-up may clobber.
+    /// Matches a strict Bell–LaPadula reading with no integrity concern.
+    StarProperty,
+}
+
+/// Returns whether `subject` may overwrite `object` under `rule`.
+pub fn can_overwrite(subject: &SecurityClass, object: &SecurityClass, rule: OverwriteRule) -> bool {
+    match rule {
+        OverwriteRule::RequireEquality => subject == object,
+        OverwriteRule::StarProperty => object.dominates(subject),
+    }
+}
+
+/// The kind of flow an operation induces, used by the reference monitor to
+/// map discretionary access modes onto lattice checks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FlowCheck {
+    /// The operation observes the object (read, list, execute-as-read).
+    Observe,
+    /// The operation destructively modifies the object.
+    Overwrite,
+    /// The operation appends to the object without observing it.
+    Append,
+    /// The operation both observes and modifies (e.g. read-modify-write);
+    /// requires class equality regardless of the overwrite rule.
+    ObserveAndModify,
+    /// The operation is exempt from mandatory checks.
+    Exempt,
+}
+
+/// A configured flow policy: the overwrite rule plus evaluation helpers.
+///
+/// # Examples
+///
+/// ```
+/// use extsec_mac::{FlowCheck, FlowPolicy, Lattice, OverwriteRule};
+///
+/// let lattice = Lattice::build(["low", "high"], ["a"]).unwrap();
+/// let low = lattice.parse_class("low").unwrap();
+/// let high = lattice.parse_class("high").unwrap();
+/// let policy = FlowPolicy::default();
+///
+/// // Read down: allowed. Read up: denied.
+/// assert!(policy.permits(&high, &low, FlowCheck::Observe));
+/// assert!(!policy.permits(&low, &high, FlowCheck::Observe));
+/// // Append up: allowed. Overwrite up: denied under the default rule.
+/// assert!(policy.permits(&low, &high, FlowCheck::Append));
+/// assert!(!policy.permits(&low, &high, FlowCheck::Overwrite));
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlowPolicy {
+    /// The rule governing destructive writes.
+    pub overwrite: OverwriteRule,
+}
+
+impl FlowPolicy {
+    /// Creates a policy with the given overwrite rule.
+    pub fn new(overwrite: OverwriteRule) -> Self {
+        FlowPolicy { overwrite }
+    }
+
+    /// Returns whether `subject` may perform an operation with flow kind
+    /// `check` on `object`.
+    pub fn permits(
+        &self,
+        subject: &SecurityClass,
+        object: &SecurityClass,
+        check: FlowCheck,
+    ) -> bool {
+        match check {
+            FlowCheck::Observe => can_read(subject, object),
+            FlowCheck::Overwrite => can_overwrite(subject, object, self.overwrite),
+            FlowCheck::Append => can_append(subject, object),
+            FlowCheck::ObserveAndModify => subject == object,
+            FlowCheck::Exempt => true,
+        }
+    }
+}
+
+impl fmt::Display for FlowCheck {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FlowCheck::Observe => "observe",
+            FlowCheck::Overwrite => "overwrite",
+            FlowCheck::Append => "append",
+            FlowCheck::ObserveAndModify => "observe+modify",
+            FlowCheck::Exempt => "exempt",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::category::CategoryId;
+    use crate::category::CategorySet;
+    use crate::level::TrustLevel;
+
+    fn class(level: u16, cats: &[u16]) -> SecurityClass {
+        SecurityClass::new(
+            TrustLevel::from_rank(level),
+            cats.iter()
+                .copied()
+                .map(CategoryId::from_index)
+                .collect::<CategorySet>(),
+        )
+    }
+
+    #[test]
+    fn read_down_not_up() {
+        let hi = class(2, &[0, 1]);
+        let lo = class(1, &[0]);
+        assert!(can_read(&hi, &lo));
+        assert!(!can_read(&lo, &hi));
+    }
+
+    #[test]
+    fn read_requires_category_superset() {
+        let s = class(2, &[0]);
+        let o = class(1, &[0, 1]);
+        // Higher level but missing category 1.
+        assert!(!can_read(&s, &o));
+    }
+
+    #[test]
+    fn append_up_not_down() {
+        let hi = class(2, &[0, 1]);
+        let lo = class(1, &[0]);
+        assert!(can_append(&lo, &hi));
+        assert!(!can_append(&hi, &lo));
+    }
+
+    #[test]
+    fn overwrite_rules_differ_on_write_up() {
+        let hi = class(2, &[0]);
+        let lo = class(1, &[0]);
+        assert!(!can_overwrite(&lo, &hi, OverwriteRule::RequireEquality));
+        assert!(can_overwrite(&lo, &hi, OverwriteRule::StarProperty));
+        // Equal classes may overwrite under either rule.
+        assert!(can_overwrite(&hi, &hi, OverwriteRule::RequireEquality));
+        assert!(can_overwrite(&hi, &hi, OverwriteRule::StarProperty));
+    }
+
+    #[test]
+    fn incomparable_classes_can_do_nothing_to_each_other() {
+        let a = class(1, &[0]);
+        let b = class(1, &[1]);
+        let policy = FlowPolicy::default();
+        for check in [FlowCheck::Observe, FlowCheck::Overwrite, FlowCheck::Append] {
+            assert!(!policy.permits(&a, &b, check), "{check} should be denied");
+            assert!(!policy.permits(&b, &a, check), "{check} should be denied");
+        }
+    }
+
+    #[test]
+    fn observe_and_modify_requires_equality() {
+        let policy = FlowPolicy::new(OverwriteRule::StarProperty);
+        let hi = class(2, &[0]);
+        let lo = class(1, &[0]);
+        assert!(!policy.permits(&lo, &hi, FlowCheck::ObserveAndModify));
+        assert!(!policy.permits(&hi, &lo, FlowCheck::ObserveAndModify));
+        assert!(policy.permits(&hi, &hi, FlowCheck::ObserveAndModify));
+    }
+
+    #[test]
+    fn exempt_always_permits() {
+        let policy = FlowPolicy::default();
+        let a = class(0, &[0]);
+        let b = class(2, &[1]);
+        assert!(policy.permits(&a, &b, FlowCheck::Exempt));
+    }
+}

@@ -1,0 +1,352 @@
+//! The named lattice: level vocabulary + category vocabulary + parsing.
+
+use crate::category::{CategoryError, CategoryId, CategorySet, CategorySpace};
+use crate::class::SecurityClass;
+use crate::level::{LevelError, LevelOrder, TrustLevel};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Errors from building or using a [`Lattice`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LatticeError {
+    /// A level-registration error.
+    Level(LevelError),
+    /// A category-registration error.
+    Category(CategoryError),
+    /// A name used in a class expression is not registered.
+    UnknownName(String),
+    /// A class expression could not be parsed.
+    Parse(String),
+    /// A class refers to a level or category outside this lattice.
+    ForeignClass,
+    /// The lattice has no levels yet.
+    NoLevels,
+}
+
+impl fmt::Display for LatticeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LatticeError::Level(e) => write!(f, "level error: {e}"),
+            LatticeError::Category(e) => write!(f, "category error: {e}"),
+            LatticeError::UnknownName(n) => write!(f, "unknown name {n:?}"),
+            LatticeError::Parse(s) => write!(f, "malformed class expression {s:?}"),
+            LatticeError::ForeignClass => write!(f, "class does not belong to this lattice"),
+            LatticeError::NoLevels => write!(f, "lattice has no levels"),
+        }
+    }
+}
+
+impl std::error::Error for LatticeError {}
+
+impl From<LevelError> for LatticeError {
+    fn from(e: LevelError) -> Self {
+        LatticeError::Level(e)
+    }
+}
+
+impl From<CategoryError> for LatticeError {
+    fn from(e: CategoryError) -> Self {
+        LatticeError::Category(e)
+    }
+}
+
+/// A concrete security lattice: the level order and category space of one
+/// deployment, with helpers to build, parse, format and validate
+/// [`SecurityClass`]es against that vocabulary.
+///
+/// Class expressions use the syntax `level:{cat,cat,...}`; the category
+/// part may be omitted for the empty set (`"others"` ≡ `"others:{}"`).
+///
+/// # Examples
+///
+/// ```
+/// use extsec_mac::Lattice;
+///
+/// let mut lattice = Lattice::new();
+/// lattice.add_level("others").unwrap();
+/// lattice.add_level("organization").unwrap();
+/// lattice.add_level("local").unwrap();
+/// lattice.add_category("myself").unwrap();
+/// lattice.add_category("dept-1").unwrap();
+///
+/// let c = lattice.parse_class("organization:{dept-1}").unwrap();
+/// assert_eq!(lattice.format_class(&c), "organization:{dept-1}");
+/// assert!(lattice.top().dominates(&c));
+/// assert!(c.dominates(&lattice.bottom()));
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Lattice {
+    levels: LevelOrder,
+    categories: CategorySpace,
+}
+
+impl Lattice {
+    /// Creates an empty lattice (no levels, no categories).
+    pub fn new() -> Self {
+        Lattice::default()
+    }
+
+    /// Creates a lattice from ascending level names and category names.
+    pub fn build<L, C, S1, S2>(levels: L, categories: C) -> Result<Self, LatticeError>
+    where
+        L: IntoIterator<Item = S1>,
+        C: IntoIterator<Item = S2>,
+        S1: Into<String>,
+        S2: Into<String>,
+    {
+        let mut lattice = Lattice::new();
+        for l in levels {
+            lattice.add_level(l)?;
+        }
+        for c in categories {
+            lattice.add_category(c)?;
+        }
+        Ok(lattice)
+    }
+
+    /// Registers the next (more trusted) level.
+    pub fn add_level<S: Into<String>>(&mut self, name: S) -> Result<TrustLevel, LatticeError> {
+        Ok(self.levels.add(name)?)
+    }
+
+    /// Registers a new category.
+    pub fn add_category<S: Into<String>>(&mut self, name: S) -> Result<CategoryId, LatticeError> {
+        Ok(self.categories.add(name)?)
+    }
+
+    /// Returns the level order.
+    pub fn levels(&self) -> &LevelOrder {
+        &self.levels
+    }
+
+    /// Returns the category space.
+    pub fn categories(&self) -> &CategorySpace {
+        &self.categories
+    }
+
+    /// Looks a level up by name.
+    pub fn level(&self, name: &str) -> Result<TrustLevel, LatticeError> {
+        self.levels
+            .lookup(name)
+            .ok_or_else(|| LatticeError::UnknownName(name.to_string()))
+    }
+
+    /// Looks a category up by name.
+    pub fn category(&self, name: &str) -> Result<CategoryId, LatticeError> {
+        self.categories
+            .lookup(name)
+            .ok_or_else(|| LatticeError::UnknownName(name.to_string()))
+    }
+
+    /// Builds a class from a level name and category names.
+    pub fn class<'a, I>(&self, level: &str, cats: I) -> Result<SecurityClass, LatticeError>
+    where
+        I: IntoIterator<Item = &'a str>,
+    {
+        let level = self.level(level)?;
+        let mut set = CategorySet::new();
+        for name in cats {
+            set.insert(self.category(name)?);
+        }
+        Ok(SecurityClass::new(level, set))
+    }
+
+    /// The top of the lattice: most trusted level, all categories.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no levels are registered; use [`Lattice::try_top`] when
+    /// that is not statically known.
+    pub fn top(&self) -> SecurityClass {
+        self.try_top().expect("lattice has no levels")
+    }
+
+    /// The top of the lattice, or an error when no levels exist.
+    pub fn try_top(&self) -> Result<SecurityClass, LatticeError> {
+        let level = self.levels.top().ok_or(LatticeError::NoLevels)?;
+        Ok(SecurityClass::new(level, self.categories.full_set()))
+    }
+
+    /// The bottom of the lattice: least trusted level, no categories.
+    pub fn bottom(&self) -> SecurityClass {
+        SecurityClass::bottom()
+    }
+
+    /// Returns whether `class` only uses levels and categories registered
+    /// in this lattice.
+    pub fn validate(&self, class: &SecurityClass) -> Result<(), LatticeError> {
+        if !self.levels.contains(class.level()) {
+            return Err(LatticeError::ForeignClass);
+        }
+        if let Some(max) = class.categories().max_id() {
+            if !self.categories.contains(max) {
+                return Err(LatticeError::ForeignClass);
+            }
+        }
+        Ok(())
+    }
+
+    /// Parses a class expression of the form `level:{cat,...}` or `level`.
+    pub fn parse_class(&self, expr: &str) -> Result<SecurityClass, LatticeError> {
+        let expr = expr.trim();
+        let (level_part, cat_part) = match expr.split_once(':') {
+            Some((l, c)) => (l.trim(), Some(c.trim())),
+            None => (expr, None),
+        };
+        if level_part.is_empty() {
+            return Err(LatticeError::Parse(expr.to_string()));
+        }
+        let level = self.level(level_part)?;
+        let mut set = CategorySet::new();
+        if let Some(cats) = cat_part {
+            let inner = cats
+                .strip_prefix('{')
+                .and_then(|s| s.strip_suffix('}'))
+                .ok_or_else(|| LatticeError::Parse(expr.to_string()))?;
+            for name in inner.split(',') {
+                let name = name.trim();
+                if name.is_empty() {
+                    continue;
+                }
+                set.insert(self.category(name)?);
+            }
+        }
+        Ok(SecurityClass::new(level, set))
+    }
+
+    /// Formats a class using this lattice's vocabulary.
+    ///
+    /// Unregistered levels or categories fall back to their numeric form.
+    pub fn format_class(&self, class: &SecurityClass) -> String {
+        let level = self
+            .levels
+            .name(class.level())
+            .map(str::to_string)
+            .unwrap_or_else(|| class.level().to_string());
+        let cats: Vec<String> = class
+            .categories()
+            .iter()
+            .map(|id| {
+                self.categories
+                    .name(id)
+                    .map(str::to_string)
+                    .unwrap_or_else(|| id.to_string())
+            })
+            .collect();
+        if cats.is_empty() {
+            level
+        } else {
+            format!("{level}:{{{}}}", cats.join(","))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_lattice() -> Lattice {
+        // §2.2 example: levels descending "local, organization, others";
+        // categories "myself, department-1, department-2, outside".
+        Lattice::build(
+            ["others", "organization", "local"],
+            ["myself", "department-1", "department-2", "outside"],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn build_and_lookup() {
+        let l = paper_lattice();
+        assert_eq!(l.levels().len(), 3);
+        assert_eq!(l.categories().len(), 4);
+        assert!(l.level("local").unwrap() > l.level("organization").unwrap());
+        assert!(l.level("missing").is_err());
+        assert!(l.category("outside").is_ok());
+    }
+
+    #[test]
+    fn parse_and_format_round_trip() {
+        let l = paper_lattice();
+        for expr in [
+            "local:{myself,department-1,department-2,outside}",
+            "organization:{department-1}",
+            "others",
+        ] {
+            let c = l.parse_class(expr).unwrap();
+            assert_eq!(l.format_class(&c), expr);
+            assert_eq!(l.parse_class(&l.format_class(&c)).unwrap(), c);
+        }
+    }
+
+    #[test]
+    fn parse_tolerates_whitespace_and_empty_sets() {
+        let l = paper_lattice();
+        let a = l.parse_class(" organization : { department-1 , department-2 } ");
+        assert!(a.is_ok());
+        let empty = l.parse_class("others:{}").unwrap();
+        assert!(empty.categories().is_empty());
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        let l = paper_lattice();
+        assert!(matches!(
+            l.parse_class("organization:department-1"),
+            Err(LatticeError::Parse(_))
+        ));
+        assert!(matches!(l.parse_class(""), Err(LatticeError::Parse(_))));
+        assert!(matches!(
+            l.parse_class("organization:{nope}"),
+            Err(LatticeError::UnknownName(_))
+        ));
+        assert!(matches!(
+            l.parse_class("nope:{myself}"),
+            Err(LatticeError::UnknownName(_))
+        ));
+    }
+
+    #[test]
+    fn top_dominates_all_parsed_classes() {
+        let l = paper_lattice();
+        let top = l.top();
+        for expr in ["others", "organization:{department-2}", "local:{myself}"] {
+            let c = l.parse_class(expr).unwrap();
+            assert!(top.dominates(&c));
+            assert!(c.dominates(&l.bottom()));
+        }
+    }
+
+    #[test]
+    fn try_top_fails_without_levels() {
+        let l = Lattice::new();
+        assert_eq!(l.try_top(), Err(LatticeError::NoLevels));
+    }
+
+    #[test]
+    fn validate_rejects_foreign_classes() {
+        let l = paper_lattice();
+        let mut bigger = paper_lattice();
+        bigger.add_level("galactic").unwrap();
+        bigger.add_category("extra").unwrap();
+        let foreign_level = bigger.parse_class("galactic").unwrap();
+        let foreign_cat = bigger.parse_class("others:{extra}").unwrap();
+        assert_eq!(l.validate(&foreign_level), Err(LatticeError::ForeignClass));
+        assert_eq!(l.validate(&foreign_cat), Err(LatticeError::ForeignClass));
+        let fine = l.parse_class("organization:{myself}").unwrap();
+        assert!(l.validate(&fine).is_ok());
+    }
+
+    #[test]
+    fn class_builder() {
+        let l = paper_lattice();
+        let c = l
+            .class("organization", ["department-1", "department-2"])
+            .unwrap();
+        assert_eq!(
+            l.format_class(&c),
+            "organization:{department-1,department-2}"
+        );
+        assert!(l.class("organization", ["bogus"]).is_err());
+    }
+}

@@ -1,0 +1,293 @@
+//! Linearly ordered levels of trust.
+//!
+//! The paper's example uses three levels, listed in *descending* order of
+//! trust: `local`, `organization`, `others`. Internally a level is just a
+//! rank in a linear order; rank `0` is the *least* trusted level and higher
+//! ranks dominate lower ones. The mapping between names and ranks is kept
+//! in a [`LevelOrder`].
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A level of trust: a rank within a [`LevelOrder`].
+///
+/// Levels are totally ordered; a higher rank means *more* trusted and
+/// dominates every lower rank. `TrustLevel` is deliberately a thin,
+/// copyable wrapper so that security classes stay cheap to compare.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct TrustLevel(u16);
+
+impl TrustLevel {
+    /// The bottom level (least trusted); rank `0`.
+    pub const BOTTOM: TrustLevel = TrustLevel(0);
+
+    /// Creates a level from a raw rank.
+    pub const fn from_rank(rank: u16) -> Self {
+        TrustLevel(rank)
+    }
+
+    /// Returns the raw rank of this level.
+    pub const fn rank(self) -> u16 {
+        self.0
+    }
+
+    /// Returns whether this level dominates (is at least as trusted as)
+    /// `other`.
+    pub const fn dominates(self, other: TrustLevel) -> bool {
+        self.0 >= other.0
+    }
+
+    /// Returns the more trusted of the two levels.
+    pub fn max(self, other: TrustLevel) -> TrustLevel {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Returns the less trusted of the two levels.
+    pub fn min(self, other: TrustLevel) -> TrustLevel {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl fmt::Display for TrustLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+/// A named, linearly ordered set of trust levels.
+///
+/// Levels are registered in *ascending* order of trust: the first
+/// [`LevelOrder::add`] creates the least trusted level. This matches how a
+/// deployment is usually described bottom-up, while the paper's prose lists
+/// levels top-down ("local, organization and others in descending order").
+///
+/// # Examples
+///
+/// ```
+/// use extsec_mac::LevelOrder;
+///
+/// let mut order = LevelOrder::new();
+/// let others = order.add("others").unwrap();
+/// let organization = order.add("organization").unwrap();
+/// let local = order.add("local").unwrap();
+/// assert!(local.dominates(organization));
+/// assert!(organization.dominates(others));
+/// assert_eq!(order.name(local), Some("local"));
+/// assert_eq!(order.lookup("others"), Some(others));
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LevelOrder {
+    names: Vec<String>,
+}
+
+impl LevelOrder {
+    /// Creates an empty level order.
+    pub fn new() -> Self {
+        LevelOrder { names: Vec::new() }
+    }
+
+    /// Creates a level order from names listed in ascending order of trust.
+    ///
+    /// Returns `None` if any name is duplicated or empty.
+    pub fn from_ascending<I, S>(names: I) -> Option<Self>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut order = LevelOrder::new();
+        for name in names {
+            order.add(name).ok()?;
+        }
+        Some(order)
+    }
+
+    /// Registers the next (more trusted) level.
+    ///
+    /// Returns the new level, or an error message if the name is empty,
+    /// duplicated, or the order is full.
+    pub fn add<S: Into<String>>(&mut self, name: S) -> Result<TrustLevel, LevelError> {
+        let name = name.into();
+        if name.is_empty() {
+            return Err(LevelError::EmptyName);
+        }
+        if self.names.contains(&name) {
+            return Err(LevelError::DuplicateName(name));
+        }
+        if self.names.len() > u16::MAX as usize {
+            return Err(LevelError::TooManyLevels);
+        }
+        let rank = self.names.len() as u16;
+        self.names.push(name);
+        Ok(TrustLevel(rank))
+    }
+
+    /// Returns the number of registered levels.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Returns whether no levels are registered.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Returns the name of `level`, if it is registered.
+    pub fn name(&self, level: TrustLevel) -> Option<&str> {
+        self.names.get(level.0 as usize).map(String::as_str)
+    }
+
+    /// Looks a level up by name.
+    pub fn lookup(&self, name: &str) -> Option<TrustLevel> {
+        self.names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| TrustLevel(i as u16))
+    }
+
+    /// Returns whether `level` is registered in this order.
+    pub fn contains(&self, level: TrustLevel) -> bool {
+        (level.0 as usize) < self.names.len()
+    }
+
+    /// Returns the most trusted registered level, if any.
+    pub fn top(&self) -> Option<TrustLevel> {
+        if self.names.is_empty() {
+            None
+        } else {
+            Some(TrustLevel((self.names.len() - 1) as u16))
+        }
+    }
+
+    /// Returns the least trusted registered level, if any.
+    pub fn bottom(&self) -> Option<TrustLevel> {
+        if self.names.is_empty() {
+            None
+        } else {
+            Some(TrustLevel::BOTTOM)
+        }
+    }
+
+    /// Iterates over `(level, name)` pairs in ascending order of trust.
+    pub fn iter(&self) -> impl Iterator<Item = (TrustLevel, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (TrustLevel(i as u16), n.as_str()))
+    }
+}
+
+/// Errors from registering trust levels.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LevelError {
+    /// The level name was empty.
+    EmptyName,
+    /// The level name is already registered.
+    DuplicateName(String),
+    /// More than `u16::MAX + 1` levels were registered.
+    TooManyLevels,
+}
+
+impl fmt::Display for LevelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LevelError::EmptyName => write!(f, "level name must not be empty"),
+            LevelError::DuplicateName(name) => write!(f, "duplicate level name {name:?}"),
+            LevelError::TooManyLevels => write!(f, "too many levels"),
+        }
+    }
+}
+
+impl std::error::Error for LevelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_ascend_in_registration_order() {
+        let mut order = LevelOrder::new();
+        let a = order.add("others").unwrap();
+        let b = order.add("organization").unwrap();
+        let c = order.add("local").unwrap();
+        assert_eq!(a.rank(), 0);
+        assert_eq!(b.rank(), 1);
+        assert_eq!(c.rank(), 2);
+        assert!(c > b && b > a);
+    }
+
+    #[test]
+    fn dominates_is_reflexive_and_ordered() {
+        let lo = TrustLevel::from_rank(1);
+        let hi = TrustLevel::from_rank(3);
+        assert!(lo.dominates(lo));
+        assert!(hi.dominates(lo));
+        assert!(!lo.dominates(hi));
+    }
+
+    #[test]
+    fn max_min_behave_like_lattice_ops() {
+        let lo = TrustLevel::from_rank(1);
+        let hi = TrustLevel::from_rank(3);
+        assert_eq!(lo.max(hi), hi);
+        assert_eq!(hi.max(lo), hi);
+        assert_eq!(lo.min(hi), lo);
+        assert_eq!(hi.min(lo), lo);
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut order = LevelOrder::new();
+        order.add("x").unwrap();
+        assert_eq!(
+            order.add("x"),
+            Err(LevelError::DuplicateName("x".to_string()))
+        );
+    }
+
+    #[test]
+    fn empty_name_rejected() {
+        let mut order = LevelOrder::new();
+        assert_eq!(order.add(""), Err(LevelError::EmptyName));
+    }
+
+    #[test]
+    fn lookup_and_name_round_trip() {
+        let order = LevelOrder::from_ascending(["low", "mid", "high"]).unwrap();
+        for (level, name) in order.iter() {
+            assert_eq!(order.lookup(name), Some(level));
+            assert_eq!(order.name(level), Some(name));
+        }
+        assert_eq!(order.lookup("absent"), None);
+        assert_eq!(order.name(TrustLevel::from_rank(9)), None);
+    }
+
+    #[test]
+    fn top_and_bottom() {
+        let empty = LevelOrder::new();
+        assert_eq!(empty.top(), None);
+        assert_eq!(empty.bottom(), None);
+        let order = LevelOrder::from_ascending(["a", "b"]).unwrap();
+        assert_eq!(order.bottom(), Some(TrustLevel::from_rank(0)));
+        assert_eq!(order.top(), Some(TrustLevel::from_rank(1)));
+    }
+
+    #[test]
+    fn from_ascending_rejects_duplicates() {
+        assert!(LevelOrder::from_ascending(["a", "a"]).is_none());
+    }
+
+    #[test]
+    fn contains_checks_registration() {
+        let order = LevelOrder::from_ascending(["a"]).unwrap();
+        assert!(order.contains(TrustLevel::from_rank(0)));
+        assert!(!order.contains(TrustLevel::from_rank(1)));
+    }
+}

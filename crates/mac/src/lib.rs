@@ -1,0 +1,74 @@
+//! Lattice-based mandatory access control for extensible systems.
+//!
+//! This crate implements the mandatory access control (MAC) half of the
+//! access-control model from *Security for Extensible Systems* (Grimm &
+//! Bershad, HotOS 1997), §2.2. The model is the classic lattice model of
+//! secure information flow (Bell–LaPadula, Denning, Biba): every subject and
+//! object carries a **security class**, and the classes form a lattice that
+//! bounds how information may flow.
+//!
+//! A [`SecurityClass`] is the product of:
+//!
+//! * a **level of trust** drawn from a linearly ordered set of levels
+//!   (e.g. `others < organization < local`), and
+//! * a **category set**, a subset of a finite set of categories (e.g.
+//!   `{myself, dept-1, dept-2, outside}`), with all subsets partially
+//!   ordered by inclusion.
+//!
+//! Class `A` *dominates* class `B` when `level(A) >= level(B)` and
+//! `cats(A) ⊇ cats(B)`. Domination is a partial order; with
+//! [`SecurityClass::join`] and [`SecurityClass::meet`] the classes form a
+//! lattice.
+//!
+//! The flow rules (see [`flow`]) follow the paper:
+//!
+//! * a subject may **read** (observe) an object iff the subject's class
+//!   dominates the object's class (the simple security property), and
+//! * a subject may **write** (modify) an object iff the object's class
+//!   dominates the subject's class (the *-property); the paper singles out
+//!   the *write-append* mode so that lower-trust subjects can only blindly
+//!   append to higher-trust objects rather than overwrite them.
+//!
+//! The human-readable vocabulary — which level names exist and in what
+//! order, which category names exist — lives in a [`Lattice`], which also
+//! parses and formats classes (`"local:{myself,dept-1}"`).
+//!
+//! # Examples
+//!
+//! ```
+//! use extsec_mac::{Lattice, flow};
+//!
+//! let mut lattice = Lattice::new();
+//! // Levels in ascending order of trust (paper lists them descending).
+//! lattice.add_level("others").unwrap();
+//! lattice.add_level("organization").unwrap();
+//! lattice.add_level("local").unwrap();
+//! lattice.add_category("dept-1").unwrap();
+//! lattice.add_category("dept-2").unwrap();
+//!
+//! let alice = lattice.parse_class("organization:{dept-1}").unwrap();
+//! let bob = lattice.parse_class("organization:{dept-2}").unwrap();
+//! let audit = lattice.parse_class("organization:{dept-1,dept-2}").unwrap();
+//!
+//! // Departments are isolated from each other...
+//! assert!(!flow::can_read(&alice, &bob));
+//! assert!(!flow::can_read(&bob, &alice));
+//! // ...but the dual-labelled subject can observe both.
+//! assert!(flow::can_read(&audit, &alice));
+//! assert!(flow::can_read(&audit, &bob));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod category;
+pub mod class;
+pub mod flow;
+pub mod lattice;
+pub mod level;
+
+pub use category::{CategoryId, CategorySet, CategorySpace};
+pub use class::SecurityClass;
+pub use flow::{FlowCheck, FlowPolicy, OverwriteRule};
+pub use lattice::{Lattice, LatticeError};
+pub use level::{LevelOrder, TrustLevel};

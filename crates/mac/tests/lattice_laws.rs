@@ -1,0 +1,144 @@
+//! P1 — property tests: the security classes form a lattice and the flow
+//! rules admit no downward channel (DESIGN.md §4).
+
+use extsec_mac::{
+    flow, CategoryId, CategorySet, FlowPolicy, OverwriteRule, SecurityClass, TrustLevel,
+};
+use proptest::prelude::*;
+
+const MAX_LEVEL: u16 = 7;
+const MAX_CAT: u16 = 96;
+
+fn arb_class() -> impl Strategy<Value = SecurityClass> {
+    (
+        0..=MAX_LEVEL,
+        proptest::collection::btree_set(0..MAX_CAT, 0..12),
+    )
+        .prop_map(|(level, cats)| {
+            SecurityClass::new(
+                TrustLevel::from_rank(level),
+                cats.into_iter()
+                    .map(CategoryId::from_index)
+                    .collect::<CategorySet>(),
+            )
+        })
+}
+
+proptest! {
+    #[test]
+    fn domination_is_reflexive(a in arb_class()) {
+        prop_assert!(a.dominates(&a));
+    }
+
+    #[test]
+    fn domination_is_antisymmetric(a in arb_class(), b in arb_class()) {
+        if a.dominates(&b) && b.dominates(&a) {
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn domination_is_transitive(a in arb_class(), b in arb_class(), c in arb_class()) {
+        if a.dominates(&b) && b.dominates(&c) {
+            prop_assert!(a.dominates(&c));
+        }
+    }
+
+    #[test]
+    fn join_is_upper_bound(a in arb_class(), b in arb_class()) {
+        let j = a.join(&b);
+        prop_assert!(j.dominates(&a));
+        prop_assert!(j.dominates(&b));
+    }
+
+    #[test]
+    fn join_is_least_upper_bound(a in arb_class(), b in arb_class(), u in arb_class()) {
+        if u.dominates(&a) && u.dominates(&b) {
+            prop_assert!(u.dominates(&a.join(&b)));
+        }
+    }
+
+    #[test]
+    fn meet_is_lower_bound(a in arb_class(), b in arb_class()) {
+        let m = a.meet(&b);
+        prop_assert!(a.dominates(&m));
+        prop_assert!(b.dominates(&m));
+    }
+
+    #[test]
+    fn meet_is_greatest_lower_bound(a in arb_class(), b in arb_class(), l in arb_class()) {
+        if a.dominates(&l) && b.dominates(&l) {
+            prop_assert!(a.meet(&b).dominates(&l));
+        }
+    }
+
+    #[test]
+    fn join_meet_absorption(a in arb_class(), b in arb_class()) {
+        prop_assert_eq!(a.join(&a.meet(&b)), a.clone());
+        prop_assert_eq!(a.meet(&a.join(&b)), a);
+    }
+
+    #[test]
+    fn join_meet_commute(a in arb_class(), b in arb_class()) {
+        prop_assert_eq!(a.join(&b), b.join(&a));
+        prop_assert_eq!(a.meet(&b), b.meet(&a));
+    }
+
+    #[test]
+    fn join_meet_associate(a in arb_class(), b in arb_class(), c in arb_class()) {
+        prop_assert_eq!(a.join(&b).join(&c), a.join(&b.join(&c)));
+        prop_assert_eq!(a.meet(&b).meet(&c), a.meet(&b.meet(&c)));
+    }
+
+    /// No downward flow: if information can flow from A to B through any
+    /// combination of a read and a write step, B's class must dominate A's.
+    /// A subject S leaks A → B iff it can read A and write/append B.
+    #[test]
+    fn no_downward_channel(
+        a in arb_class(),
+        b in arb_class(),
+        s in arb_class(),
+    ) {
+        let policy = FlowPolicy::new(OverwriteRule::StarProperty);
+        let can_leak = flow::can_read(&s, &a)
+            && (policy.permits(&s, &b, extsec_mac::FlowCheck::Overwrite)
+                || flow::can_append(&s, &b));
+        if can_leak {
+            prop_assert!(b.dominates(&a), "flow {a} -> {b} via {s} violates the lattice");
+        }
+    }
+
+    #[test]
+    fn read_and_write_together_imply_equality(
+        s in arb_class(),
+        o in arb_class(),
+    ) {
+        if flow::can_read(&s, &o) && flow::can_append(&s, &o) {
+            prop_assert_eq!(s, o);
+        }
+    }
+
+    #[test]
+    fn overwrite_equality_is_stricter_than_star(
+        s in arb_class(),
+        o in arb_class(),
+    ) {
+        if flow::can_overwrite(&s, &o, OverwriteRule::RequireEquality) {
+            prop_assert!(flow::can_overwrite(&s, &o, OverwriteRule::StarProperty));
+        }
+    }
+
+    #[test]
+    fn category_set_ops_respect_inclusion(
+        xs in proptest::collection::btree_set(0..MAX_CAT, 0..16),
+        ys in proptest::collection::btree_set(0..MAX_CAT, 0..16),
+    ) {
+        let a: CategorySet = xs.into_iter().map(CategoryId::from_index).collect();
+        let b: CategorySet = ys.into_iter().map(CategoryId::from_index).collect();
+        prop_assert!(a.intersection(&b).is_subset(&a));
+        prop_assert!(a.intersection(&b).is_subset(&b));
+        prop_assert!(a.is_subset(&a.union(&b)));
+        prop_assert!(b.is_subset(&a.union(&b)));
+        prop_assert_eq!(a.difference(&b).intersection(&b), CategorySet::new());
+    }
+}

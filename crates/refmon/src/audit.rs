@@ -1,0 +1,263 @@
+//! Auditing of security-relevant events.
+//!
+//! The paper lists "the auditing of security relevant system events" among
+//! the aspects a complete security model must eventually cover. The
+//! [`AuditLog`] is a bounded in-memory ring of [`AuditEvent`]s; an optional
+//! crossbeam channel sink lets a deployment stream events to an external
+//! consumer without the monitor ever blocking on it.
+
+use crate::decision::Decision;
+use crate::subject::{Subject, ThreadId};
+use crossbeam::channel::Sender;
+use extsec_acl::{AccessMode, PrincipalId};
+use extsec_namespace::NsPath;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One audited access decision.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct AuditEvent {
+    /// Monotonic sequence number (per log).
+    pub seq: u64,
+    /// The requesting principal.
+    pub principal: PrincipalId,
+    /// The requesting thread.
+    pub thread: ThreadId,
+    /// The object path the access named.
+    pub path: NsPath,
+    /// The requested mode.
+    pub mode: AccessMode,
+    /// The decision taken.
+    pub decision: Decision,
+}
+
+impl fmt::Display for AuditEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "#{} {}@{} {} {} -> {}",
+            self.seq, self.principal, self.thread, self.mode, self.path, self.decision
+        )
+    }
+}
+
+/// A bounded, thread-safe audit log.
+///
+/// # Examples
+///
+/// ```
+/// use extsec_refmon::AuditLog;
+///
+/// let log = AuditLog::with_capacity(128);
+/// assert_eq!(log.len(), 0);
+/// ```
+#[derive(Debug)]
+pub struct AuditLog {
+    ring: Mutex<VecDeque<AuditEvent>>,
+    capacity: usize,
+    seq: AtomicU64,
+    dropped: AtomicU64,
+    sink: Mutex<Option<Sender<AuditEvent>>>,
+}
+
+impl AuditLog {
+    /// Default ring capacity.
+    pub const DEFAULT_CAPACITY: usize = 4096;
+
+    /// Creates a log with the default capacity.
+    pub fn new() -> Self {
+        AuditLog::with_capacity(Self::DEFAULT_CAPACITY)
+    }
+
+    /// Creates a log holding at most `capacity` events (older events are
+    /// dropped first).
+    pub fn with_capacity(capacity: usize) -> Self {
+        AuditLog {
+            ring: Mutex::new(VecDeque::with_capacity(capacity.min(1024))),
+            capacity: capacity.max(1),
+            seq: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            sink: Mutex::new(None),
+        }
+    }
+
+    /// Attaches a channel sink; every subsequent event is also sent there.
+    /// A full/disconnected sink never blocks the monitor — the send is
+    /// best-effort and failures are counted in [`AuditLog::dropped`].
+    pub fn set_sink(&self, sink: Sender<AuditEvent>) {
+        *self.sink.lock() = Some(sink);
+    }
+
+    /// Records a decision; returns the event's sequence number.
+    pub fn record(
+        &self,
+        subject: &Subject,
+        path: &NsPath,
+        mode: AccessMode,
+        decision: &Decision,
+    ) -> u64 {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let event = AuditEvent {
+            seq,
+            principal: subject.principal,
+            thread: subject.thread,
+            path: path.clone(),
+            mode,
+            decision: decision.clone(),
+        };
+        if let Some(sink) = self.sink.lock().as_ref() {
+            if sink.try_send(event.clone()).is_err() {
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let mut ring = self.ring.lock();
+        if ring.len() == self.capacity {
+            ring.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        ring.push_back(event);
+        seq
+    }
+
+    /// Returns the number of retained events.
+    pub fn len(&self) -> usize {
+        self.ring.lock().len()
+    }
+
+    /// Returns whether the log holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.ring.lock().is_empty()
+    }
+
+    /// Returns the number of events dropped (from the ring or the sink).
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Returns a snapshot of the retained events, oldest first.
+    pub fn snapshot(&self) -> Vec<AuditEvent> {
+        self.ring.lock().iter().cloned().collect()
+    }
+
+    /// Returns the retained events that were denials.
+    pub fn denials(&self) -> Vec<AuditEvent> {
+        self.ring
+            .lock()
+            .iter()
+            .filter(|e| !e.decision.allowed())
+            .cloned()
+            .collect()
+    }
+
+    /// Clears the ring (sequence numbers keep increasing).
+    pub fn clear(&self) {
+        self.ring.lock().clear();
+    }
+}
+
+impl Default for AuditLog {
+    fn default() -> Self {
+        AuditLog::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decision::DenyReason;
+    use extsec_mac::SecurityClass;
+
+    fn subject() -> Subject {
+        Subject::new(PrincipalId::from_raw(1), SecurityClass::bottom())
+    }
+
+    fn path() -> NsPath {
+        "/svc/fs/read".parse().unwrap()
+    }
+
+    #[test]
+    fn records_in_order() {
+        let log = AuditLog::new();
+        let s = subject();
+        let a = log.record(&s, &path(), AccessMode::Read, &Decision::Allow);
+        let b = log.record(
+            &s,
+            &path(),
+            AccessMode::Write,
+            &Decision::Deny(DenyReason::DacNoEntry),
+        );
+        assert!(b > a);
+        let events = log.snapshot();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].mode, AccessMode::Read);
+        assert_eq!(events[1].mode, AccessMode::Write);
+    }
+
+    #[test]
+    fn ring_is_bounded() {
+        let log = AuditLog::with_capacity(2);
+        let s = subject();
+        for _ in 0..5 {
+            log.record(&s, &path(), AccessMode::Read, &Decision::Allow);
+        }
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.dropped(), 3);
+        let events = log.snapshot();
+        assert_eq!(events[0].seq, 3);
+        assert_eq!(events[1].seq, 4);
+    }
+
+    #[test]
+    fn denials_filter() {
+        let log = AuditLog::new();
+        let s = subject();
+        log.record(&s, &path(), AccessMode::Read, &Decision::Allow);
+        log.record(
+            &s,
+            &path(),
+            AccessMode::Write,
+            &Decision::Deny(DenyReason::MacFlow),
+        );
+        let denials = log.denials();
+        assert_eq!(denials.len(), 1);
+        assert_eq!(denials[0].mode, AccessMode::Write);
+    }
+
+    #[test]
+    fn sink_receives_events() {
+        let log = AuditLog::new();
+        let (tx, rx) = crossbeam::channel::unbounded();
+        log.set_sink(tx);
+        log.record(&subject(), &path(), AccessMode::Read, &Decision::Allow);
+        let event = rx.try_recv().unwrap();
+        assert_eq!(event.mode, AccessMode::Read);
+    }
+
+    #[test]
+    fn full_sink_never_blocks() {
+        let log = AuditLog::new();
+        let (tx, _rx) = crossbeam::channel::bounded(1);
+        log.set_sink(tx);
+        let s = subject();
+        log.record(&s, &path(), AccessMode::Read, &Decision::Allow);
+        // Second send fails (bounded channel full, receiver not draining)
+        // but record still succeeds.
+        log.record(&s, &path(), AccessMode::Read, &Decision::Allow);
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.dropped(), 1);
+    }
+
+    #[test]
+    fn clear_keeps_sequence_monotone() {
+        let log = AuditLog::new();
+        let s = subject();
+        log.record(&s, &path(), AccessMode::Read, &Decision::Allow);
+        log.clear();
+        assert!(log.is_empty());
+        let seq = log.record(&s, &path(), AccessMode::Read, &Decision::Allow);
+        assert_eq!(seq, 1);
+    }
+}

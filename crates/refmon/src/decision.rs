@@ -1,0 +1,114 @@
+//! Access decisions and deny reasons.
+
+use extsec_namespace::NsPath;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Why an access was denied.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DenyReason {
+    /// No ACL entry grants the mode (default deny).
+    DacNoEntry,
+    /// A negative ACL entry denies the mode; carries the entry index.
+    DacNegativeEntry(usize),
+    /// The mandatory flow check failed on the target node.
+    MacFlow,
+    /// An interior node of the path is not visible to the subject
+    /// (discretionary `list` failed); carries the refusing prefix.
+    NotVisibleDac(NsPath),
+    /// An interior node of the path is not visible to the subject
+    /// (mandatory observation failed); carries the refusing prefix.
+    NotVisibleMac(NsPath),
+    /// The path does not name a node; carries the failing prefix.
+    NotFound(NsPath),
+    /// A structural error (e.g. traversing through a leaf).
+    Structure(String),
+}
+
+impl fmt::Display for DenyReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DenyReason::DacNoEntry => write!(f, "no ACL entry grants the mode"),
+            DenyReason::DacNegativeEntry(i) => write!(f, "denied by negative ACL entry {i}"),
+            DenyReason::MacFlow => write!(f, "mandatory flow check failed"),
+            DenyReason::NotVisibleDac(p) => write!(f, "{p} not visible (discretionary)"),
+            DenyReason::NotVisibleMac(p) => write!(f, "{p} not visible (mandatory)"),
+            DenyReason::NotFound(p) => write!(f, "{p} not found"),
+            DenyReason::Structure(s) => write!(f, "structural error: {s}"),
+        }
+    }
+}
+
+/// The outcome of one access check.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Decision {
+    /// Both halves of the model granted the access.
+    Allow,
+    /// The access was denied for the given reason.
+    Deny(DenyReason),
+}
+
+impl Decision {
+    /// Returns whether the access was allowed.
+    pub fn allowed(&self) -> bool {
+        matches!(self, Decision::Allow)
+    }
+
+    /// Returns the deny reason, if denied.
+    pub fn reason(&self) -> Option<&DenyReason> {
+        match self {
+            Decision::Allow => None,
+            Decision::Deny(r) => Some(r),
+        }
+    }
+
+    /// Maps this decision to a `Result`, with the reason as the error.
+    pub fn into_result(self) -> Result<(), DenyReason> {
+        match self {
+            Decision::Allow => Ok(()),
+            Decision::Deny(r) => Err(r),
+        }
+    }
+}
+
+impl fmt::Display for Decision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Decision::Allow => write!(f, "allow"),
+            Decision::Deny(r) => write!(f, "deny: {r}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allowed_and_reason() {
+        assert!(Decision::Allow.allowed());
+        assert_eq!(Decision::Allow.reason(), None);
+        let d = Decision::Deny(DenyReason::DacNoEntry);
+        assert!(!d.allowed());
+        assert_eq!(d.reason(), Some(&DenyReason::DacNoEntry));
+    }
+
+    #[test]
+    fn into_result() {
+        assert!(Decision::Allow.into_result().is_ok());
+        assert_eq!(
+            Decision::Deny(DenyReason::MacFlow).into_result(),
+            Err(DenyReason::MacFlow)
+        );
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Decision::Allow.to_string(), "allow");
+        let p: NsPath = "/svc".parse().unwrap();
+        assert_eq!(
+            Decision::Deny(DenyReason::NotFound(p)).to_string(),
+            "deny: /svc not found"
+        );
+    }
+}

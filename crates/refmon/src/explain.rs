@@ -1,0 +1,389 @@
+//! Decision explanations.
+//!
+//! The paper closes on *psychological acceptability*: users accept
+//! protection they can understand. [`ReferenceMonitor::explain`] produces
+//! the full reasoning trace behind a decision — every traversal step with
+//! its visibility outcome, the ACL evaluation with the winning entry, and
+//! the mandatory flow comparison — so administrators can answer "why was
+//! this denied?" without reverse-engineering the model.
+//!
+//! `explain` is diagnostics, not enforcement: it recomputes the decision
+//! with the same rules (a property test pins `explain().decision ==
+//! check()`) but is never on the hot path and is not audited.
+
+use crate::config::MonitorConfig;
+use crate::decision::{Decision, DenyReason};
+use crate::monitor::ReferenceMonitor;
+use crate::subject::Subject;
+use extsec_acl::{AccessMode, AclDecision};
+use extsec_mac::FlowCheck;
+use extsec_namespace::{NsError, NsPath};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One step of the reasoning trace.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum ExplainStep {
+    /// An interior node was traversed.
+    Traverse {
+        /// The node's path.
+        path: NsPath,
+        /// Whether the discretionary `list` visibility held.
+        dac_visible: bool,
+        /// Whether the mandatory observation held.
+        mac_visible: bool,
+        /// Whether visibility checking was enabled at all.
+        checked: bool,
+    },
+    /// The path failed to resolve.
+    NotFound {
+        /// The missing prefix.
+        path: NsPath,
+    },
+    /// The discretionary evaluation on the final node.
+    Dac {
+        /// The raw ACL decision.
+        decision: AclDecision,
+        /// The text of the winning entry, if one matched.
+        entry: Option<String>,
+    },
+    /// The mandatory evaluation on the final node.
+    Mac {
+        /// The flow kind the mode maps to under the configuration.
+        check: FlowCheck,
+        /// The subject's class, formatted against the lattice.
+        subject_class: String,
+        /// The object's label, formatted against the lattice.
+        object_label: String,
+        /// Whether the flow was permitted.
+        permitted: bool,
+    },
+}
+
+impl fmt::Display for ExplainStep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExplainStep::Traverse {
+                path,
+                dac_visible,
+                mac_visible,
+                checked,
+            } => {
+                if *checked {
+                    write!(
+                        f,
+                        "traverse {path}: dac={} mac={}",
+                        ok(*dac_visible),
+                        ok(*mac_visible)
+                    )
+                } else {
+                    write!(f, "traverse {path}: visibility checks disabled")
+                }
+            }
+            ExplainStep::NotFound { path } => write!(f, "resolve {path}: not found"),
+            ExplainStep::Dac { decision, entry } => match entry {
+                Some(entry) => write!(f, "dac: {decision} (entry {entry})"),
+                None => write!(f, "dac: {decision}"),
+            },
+            ExplainStep::Mac {
+                check,
+                subject_class,
+                object_label,
+                permitted,
+            } => write!(
+                f,
+                "mac: {check} subject={subject_class} object={object_label} -> {}",
+                ok(*permitted)
+            ),
+        }
+    }
+}
+
+fn ok(b: bool) -> &'static str {
+    if b {
+        "ok"
+    } else {
+        "DENIED"
+    }
+}
+
+/// A complete explanation: the trace plus the decision it justifies.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Explanation {
+    /// The requested mode.
+    pub mode: AccessMode,
+    /// The object path.
+    pub path: NsPath,
+    /// The reasoning steps, in evaluation order.
+    pub steps: Vec<ExplainStep>,
+    /// The resulting decision.
+    pub decision: Decision,
+}
+
+impl fmt::Display for Explanation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{} {} -> {}", self.mode, self.path, self.decision)?;
+        for step in &self.steps {
+            writeln!(f, "  {step}")?;
+        }
+        Ok(())
+    }
+}
+
+impl ReferenceMonitor {
+    /// Explains the decision for `(subject, path, mode)` step by step.
+    pub fn explain(&self, subject: &Subject, path: &NsPath, mode: AccessMode) -> Explanation {
+        let config: MonitorConfig = self.config();
+        let mut steps = Vec::new();
+
+        // Walk the interior prefixes in order, mirroring `evaluate`.
+        let prefixes: Vec<NsPath> = path.ancestors_from_root().collect();
+        let (interior, _last) = prefixes.split_at(prefixes.len().saturating_sub(1));
+        for prefix in interior {
+            let Ok(protection) = self.protection_of(prefix) else {
+                steps.push(ExplainStep::NotFound {
+                    path: prefix.clone(),
+                });
+                return Explanation {
+                    mode,
+                    path: path.clone(),
+                    steps,
+                    decision: Decision::Deny(DenyReason::NotFound(prefix.clone())),
+                };
+            };
+            let dac_visible = self.directory(|d| {
+                protection
+                    .acl
+                    .check(d, subject.principal, AccessMode::List)
+                    .granted()
+            });
+            let mac_visible =
+                config
+                    .flow
+                    .permits(&subject.class, &protection.label, FlowCheck::Observe);
+            steps.push(ExplainStep::Traverse {
+                path: prefix.clone(),
+                dac_visible,
+                mac_visible,
+                checked: config.check_visibility,
+            });
+            if config.check_visibility && !dac_visible {
+                return Explanation {
+                    mode,
+                    path: path.clone(),
+                    steps,
+                    decision: Decision::Deny(DenyReason::NotVisibleDac(prefix.clone())),
+                };
+            }
+            if config.check_visibility && !mac_visible {
+                return Explanation {
+                    mode,
+                    path: path.clone(),
+                    steps,
+                    decision: Decision::Deny(DenyReason::NotVisibleMac(prefix.clone())),
+                };
+            }
+        }
+
+        // The final node.
+        let protection = match self.protection_of(path) {
+            Ok(p) => p,
+            Err(crate::monitor::MonitorError::Ns(NsError::NotFound(missing))) => {
+                steps.push(ExplainStep::NotFound {
+                    path: missing.clone(),
+                });
+                return Explanation {
+                    mode,
+                    path: path.clone(),
+                    steps,
+                    decision: Decision::Deny(DenyReason::NotFound(missing)),
+                };
+            }
+            Err(e) => {
+                // Structural errors (e.g. traversal through a leaf)
+                // mirror the checker's wording exactly.
+                let reason = match e {
+                    crate::monitor::MonitorError::Ns(ns) => DenyReason::Structure(ns.to_string()),
+                    other => DenyReason::Structure(other.to_string()),
+                };
+                steps.push(ExplainStep::NotFound { path: path.clone() });
+                return Explanation {
+                    mode,
+                    path: path.clone(),
+                    steps,
+                    decision: Decision::Deny(reason),
+                };
+            }
+        };
+        let dac = self.directory(|d| protection.acl.check(d, subject.principal, mode));
+        let entry = match dac {
+            AclDecision::DeniedByEntry(i) => protection.acl.entries().get(i).map(|e| e.to_string()),
+            _ => None,
+        };
+        steps.push(ExplainStep::Dac {
+            decision: dac,
+            entry,
+        });
+        match dac {
+            AclDecision::Granted => {}
+            AclDecision::DeniedByEntry(i) => {
+                return Explanation {
+                    mode,
+                    path: path.clone(),
+                    steps,
+                    decision: Decision::Deny(DenyReason::DacNegativeEntry(i)),
+                };
+            }
+            AclDecision::NoMatchingEntry => {
+                return Explanation {
+                    mode,
+                    path: path.clone(),
+                    steps,
+                    decision: Decision::Deny(DenyReason::DacNoEntry),
+                };
+            }
+        }
+        let check = config.flow_check(mode);
+        let permitted = config
+            .flow
+            .permits(&subject.class, &protection.label, check);
+        let (subject_class, object_label) = self.lattice(|l| {
+            (
+                l.format_class(&subject.class),
+                l.format_class(&protection.label),
+            )
+        });
+        steps.push(ExplainStep::Mac {
+            check,
+            subject_class,
+            object_label,
+            permitted,
+        });
+        let decision = if permitted {
+            Decision::Allow
+        } else {
+            Decision::Deny(DenyReason::MacFlow)
+        };
+        Explanation {
+            mode,
+            path: path.clone(),
+            steps,
+            decision,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monitor::MonitorBuilder;
+    use extsec_acl::{Acl, AclEntry, ModeSet};
+    use extsec_mac::{Lattice, SecurityClass};
+    use extsec_namespace::{NodeKind, Protection};
+    use std::sync::Arc;
+
+    fn world() -> (Arc<ReferenceMonitor>, Subject) {
+        let lattice = Lattice::build(["low", "high"], ["k"]).unwrap();
+        let mut builder = MonitorBuilder::new(lattice.clone());
+        let alice = builder.add_principal("alice").unwrap();
+        let monitor = builder.build();
+        let high = lattice.parse_class("high").unwrap();
+        monitor
+            .bootstrap(|ns| {
+                let visible = Protection::new(
+                    Acl::public(ModeSet::only(AccessMode::List)),
+                    SecurityClass::bottom(),
+                );
+                ns.ensure_path(&"/svc/fs".parse().unwrap(), NodeKind::Domain, &visible)?;
+                ns.insert(
+                    &"/svc/fs".parse().unwrap(),
+                    "read",
+                    NodeKind::Procedure,
+                    Protection::new(
+                        Acl::from_entries([
+                            AclEntry::allow_principal(alice, AccessMode::Execute),
+                            AclEntry::deny_principal(alice, AccessMode::Extend),
+                        ]),
+                        high,
+                    ),
+                )?;
+                Ok(())
+            })
+            .unwrap();
+        (monitor, Subject::new(alice, SecurityClass::bottom()))
+    }
+
+    #[test]
+    fn explanation_matches_check() {
+        let (monitor, low_subject) = world();
+        let high = monitor.lattice(|l| l.parse_class("high").unwrap());
+        let subjects = [low_subject.clone(), low_subject.with_class(high)];
+        let paths: [NsPath; 4] = [
+            "/svc/fs/read".parse().unwrap(),
+            "/svc/fs/missing".parse().unwrap(),
+            "/nope/deeper".parse().unwrap(),
+            "/svc/fs/read/through-a-leaf".parse().unwrap(),
+        ];
+        for subject in &subjects {
+            for path in &paths {
+                for mode in AccessMode::ALL {
+                    let explained = monitor.explain(subject, path, mode).decision;
+                    let checked = monitor.check(subject, path, mode);
+                    assert_eq!(explained, checked, "{mode} {path}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn denied_mac_is_narrated() {
+        let (monitor, subject) = world();
+        let path: NsPath = "/svc/fs/read".parse().unwrap();
+        let explanation = monitor.explain(&subject, &path, AccessMode::Execute);
+        assert_eq!(explanation.decision, Decision::Deny(DenyReason::MacFlow));
+        let text = explanation.to_string();
+        assert!(text.contains("dac: granted"), "{text}");
+        assert!(text.contains("mac: observe"), "{text}");
+        assert!(text.contains("DENIED"), "{text}");
+    }
+
+    #[test]
+    fn negative_entry_is_cited() {
+        let (monitor, subject) = world();
+        let high = monitor.lattice(|l| l.parse_class("high").unwrap());
+        let subject = subject.with_class(high);
+        let path: NsPath = "/svc/fs/read".parse().unwrap();
+        let explanation = monitor.explain(&subject, &path, AccessMode::Extend);
+        assert!(matches!(
+            explanation.decision,
+            Decision::Deny(DenyReason::DacNegativeEntry(1))
+        ));
+        let text = explanation.to_string();
+        assert!(text.contains("denied by entry 1"), "{text}");
+        assert!(text.contains("-p0:e"), "{text}");
+    }
+
+    #[test]
+    fn traversal_steps_are_listed() {
+        let (monitor, subject) = world();
+        let path: NsPath = "/svc/fs/read".parse().unwrap();
+        let explanation = monitor.explain(&subject, &path, AccessMode::Execute);
+        let traverses = explanation
+            .steps
+            .iter()
+            .filter(|s| matches!(s, ExplainStep::Traverse { .. }))
+            .count();
+        assert_eq!(traverses, 3); // "/", "/svc", "/svc/fs"
+    }
+
+    #[test]
+    fn missing_prefix_is_reported() {
+        let (monitor, subject) = world();
+        let path: NsPath = "/ghost/leaf".parse().unwrap();
+        let explanation = monitor.explain(&subject, &path, AccessMode::Read);
+        assert!(explanation
+            .steps
+            .iter()
+            .any(|s| matches!(s, ExplainStep::NotFound { .. })));
+    }
+}

@@ -1,0 +1,831 @@
+//! The reference monitor proper.
+
+use crate::audit::AuditLog;
+use crate::config::MonitorConfig;
+use crate::decision::{Decision, DenyReason};
+use crate::subject::Subject;
+use extsec_acl::{
+    AccessMode, Acl, AclDecision, AclEntry, Directory, DirectoryError, GroupId, PrincipalId,
+};
+use extsec_mac::{FlowCheck, Lattice, LatticeError, SecurityClass};
+use extsec_namespace::{NameSpace, NodeId, NodeKind, NsError, NsPath, Protection};
+use parking_lot::RwLock;
+use std::fmt;
+use std::sync::Arc;
+
+/// Errors from guarded (administrative) monitor operations.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MonitorError {
+    /// The operation was denied by the access-control model.
+    Denied(DenyReason),
+    /// A name-space error (not found, already exists, ...).
+    Ns(NsError),
+    /// A lattice error (foreign class, unknown name, ...).
+    Lattice(LatticeError),
+    /// A principal-directory error.
+    Directory(DirectoryError),
+}
+
+impl fmt::Display for MonitorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MonitorError::Denied(r) => write!(f, "denied: {r}"),
+            MonitorError::Ns(e) => write!(f, "name space: {e}"),
+            MonitorError::Lattice(e) => write!(f, "lattice: {e}"),
+            MonitorError::Directory(e) => write!(f, "directory: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MonitorError {}
+
+impl From<NsError> for MonitorError {
+    fn from(e: NsError) -> Self {
+        MonitorError::Ns(e)
+    }
+}
+
+impl From<LatticeError> for MonitorError {
+    fn from(e: LatticeError) -> Self {
+        MonitorError::Lattice(e)
+    }
+}
+
+impl From<DirectoryError> for MonitorError {
+    fn from(e: DirectoryError) -> Self {
+        MonitorError::Directory(e)
+    }
+}
+
+impl From<DenyReason> for MonitorError {
+    fn from(r: DenyReason) -> Self {
+        MonitorError::Denied(r)
+    }
+}
+
+struct State {
+    namespace: NameSpace,
+    directory: Directory,
+    lattice: Lattice,
+    config: MonitorConfig,
+}
+
+/// Builder for a [`ReferenceMonitor`]: registers the security lattice and
+/// the initial principal population before the monitor goes live.
+pub struct MonitorBuilder {
+    lattice: Lattice,
+    directory: Directory,
+    config: MonitorConfig,
+}
+
+impl MonitorBuilder {
+    /// Starts a builder over the given security lattice.
+    pub fn new(lattice: Lattice) -> Self {
+        MonitorBuilder {
+            lattice,
+            directory: Directory::new(),
+            config: MonitorConfig::default(),
+        }
+    }
+
+    /// Registers a principal.
+    pub fn add_principal<S: Into<String>>(&mut self, name: S) -> Result<PrincipalId, MonitorError> {
+        Ok(self.directory.add_principal(name)?)
+    }
+
+    /// Registers a group.
+    pub fn add_group<S: Into<String>>(&mut self, name: S) -> Result<GroupId, MonitorError> {
+        Ok(self.directory.add_group(name)?)
+    }
+
+    /// Adds a principal to a group.
+    pub fn add_member(
+        &mut self,
+        group: GroupId,
+        principal: PrincipalId,
+    ) -> Result<(), MonitorError> {
+        Ok(self.directory.add_member(group, principal)?)
+    }
+
+    /// Nests a group inside another.
+    pub fn add_subgroup(&mut self, parent: GroupId, child: GroupId) -> Result<(), MonitorError> {
+        Ok(self.directory.add_subgroup(parent, child)?)
+    }
+
+    /// Overrides the monitor configuration.
+    pub fn config(&mut self, config: MonitorConfig) -> &mut Self {
+        self.config = config;
+        self
+    }
+
+    /// Returns a reference to the directory being built.
+    pub fn directory(&self) -> &Directory {
+        &self.directory
+    }
+
+    /// Finalizes the monitor. The name-space root is created with a
+    /// public-visibility ACL (`list` for everyone) and the lattice-bottom
+    /// label, so that traversal works until an administrator tightens it.
+    pub fn build(self) -> Arc<ReferenceMonitor> {
+        let root_protection = Protection::new(
+            Acl::public(extsec_acl::ModeSet::only(AccessMode::List)),
+            SecurityClass::bottom(),
+        );
+        Arc::new(ReferenceMonitor {
+            state: RwLock::new(State {
+                namespace: NameSpace::new(root_protection),
+                directory: self.directory,
+                lattice: self.lattice,
+                config: self.config,
+            }),
+            audit: AuditLog::new(),
+        })
+    }
+}
+
+/// The central facility enforcing the whole access-control model.
+///
+/// See the crate docs for the model; see [`MonitorBuilder`] for
+/// construction. The monitor is shared behind an [`Arc`] and is fully
+/// thread-safe: checks take a read lock, administration takes a write
+/// lock.
+pub struct ReferenceMonitor {
+    state: RwLock<State>,
+    audit: AuditLog,
+}
+
+impl ReferenceMonitor {
+    // ------------------------------------------------------------------
+    // The access check (the hot path).
+    // ------------------------------------------------------------------
+
+    /// Checks whether `subject` may perform `mode` on the object named by
+    /// `path`, recording the decision in the audit log when enabled.
+    pub fn check(&self, subject: &Subject, path: &NsPath, mode: AccessMode) -> Decision {
+        let state = self.state.read();
+        let decision = Self::evaluate(&state, subject, path, mode);
+        if state.config.audit {
+            self.audit.record(subject, path, mode, &decision);
+        }
+        decision
+    }
+
+    /// Checks and converts to a `Result` in one step.
+    pub fn require(
+        &self,
+        subject: &Subject,
+        path: &NsPath,
+        mode: AccessMode,
+    ) -> Result<(), MonitorError> {
+        self.check(subject, path, mode)
+            .into_result()
+            .map_err(MonitorError::Denied)
+    }
+
+    fn evaluate(state: &State, subject: &Subject, path: &NsPath, mode: AccessMode) -> Decision {
+        // Walk the path. Interior nodes must be visible; the final node
+        // gets the real mode check.
+        let mut deny: Option<DenyReason> = None;
+        let mut final_node: Option<NodeId> = None;
+        let resolved = state.namespace.resolve_with(path, |id, node, last| {
+            if last {
+                final_node = Some(id);
+                return true;
+            }
+            if !state.config.check_visibility {
+                return true;
+            }
+            // Discretionary visibility: `list` on the interior node.
+            let dac =
+                node.protection()
+                    .acl
+                    .check(&state.directory, subject.principal, AccessMode::List);
+            if !dac.granted() {
+                deny = Some(DenyReason::NotVisibleDac(NsPath::root()));
+                return false;
+            }
+            // Mandatory visibility: the subject must be able to observe
+            // the interior node.
+            if !state.config.flow.permits(
+                &subject.class,
+                &node.protection().label,
+                FlowCheck::Observe,
+            ) {
+                deny = Some(DenyReason::NotVisibleMac(NsPath::root()));
+                return false;
+            }
+            true
+        });
+        let node_id = match resolved {
+            Ok(id) => id,
+            Err(NsError::VisitDenied(prefix)) => {
+                let reason = match deny {
+                    Some(DenyReason::NotVisibleDac(_)) => DenyReason::NotVisibleDac(prefix),
+                    Some(DenyReason::NotVisibleMac(_)) => DenyReason::NotVisibleMac(prefix),
+                    _ => DenyReason::Structure("visit denied".to_string()),
+                };
+                return Decision::Deny(reason);
+            }
+            Err(NsError::NotFound(prefix)) => return Decision::Deny(DenyReason::NotFound(prefix)),
+            Err(e) => return Decision::Deny(DenyReason::Structure(e.to_string())),
+        };
+        debug_assert_eq!(final_node, Some(node_id));
+        Self::evaluate_at(state, subject, node_id, mode)
+    }
+
+    fn evaluate_at(state: &State, subject: &Subject, node: NodeId, mode: AccessMode) -> Decision {
+        let Ok(node) = state.namespace.node(node) else {
+            return Decision::Deny(DenyReason::Structure("stale node id".to_string()));
+        };
+        let protection = node.protection();
+        // Discretionary half.
+        match protection
+            .acl
+            .check(&state.directory, subject.principal, mode)
+        {
+            AclDecision::Granted => {}
+            AclDecision::DeniedByEntry(i) => {
+                return Decision::Deny(DenyReason::DacNegativeEntry(i));
+            }
+            AclDecision::NoMatchingEntry => return Decision::Deny(DenyReason::DacNoEntry),
+        }
+        // Mandatory half.
+        let check = state.config.flow_check(mode);
+        if !state
+            .config
+            .flow
+            .permits(&subject.class, &protection.label, check)
+        {
+            return Decision::Deny(DenyReason::MacFlow);
+        }
+        Decision::Allow
+    }
+
+    // ------------------------------------------------------------------
+    // Guarded administration (checked against the model itself).
+    // ------------------------------------------------------------------
+
+    /// Creates a node under `parent`; requires `write-append` on the
+    /// parent (adding a directory entry appends to the container without
+    /// observing or destroying existing entries, so it composes with the
+    /// MAC write-up rule).
+    pub fn create(
+        &self,
+        subject: &Subject,
+        parent: &NsPath,
+        name: &str,
+        kind: NodeKind,
+        protection: Protection,
+    ) -> Result<NodeId, MonitorError> {
+        let mut state = self.state.write();
+        let decision = Self::evaluate(&state, subject, parent, AccessMode::WriteAppend);
+        if state.config.audit {
+            self.audit
+                .record(subject, parent, AccessMode::WriteAppend, &decision);
+        }
+        decision.into_result()?;
+        state.lattice.validate(&protection.label)?;
+        Ok(state.namespace.insert(parent, name, kind, protection)?)
+    }
+
+    /// Removes the node at `path`; requires `delete` on the node itself.
+    pub fn remove(&self, subject: &Subject, path: &NsPath) -> Result<(), MonitorError> {
+        let mut state = self.state.write();
+        let decision = Self::evaluate(&state, subject, path, AccessMode::Delete);
+        if state.config.audit {
+            self.audit
+                .record(subject, path, AccessMode::Delete, &decision);
+        }
+        decision.into_result()?;
+        Ok(state.namespace.remove(path)?)
+    }
+
+    /// Lists the children of the container at `path`; requires `list`.
+    pub fn list(&self, subject: &Subject, path: &NsPath) -> Result<Vec<String>, MonitorError> {
+        let state = self.state.read();
+        let decision = Self::evaluate(&state, subject, path, AccessMode::List);
+        if state.config.audit {
+            self.audit
+                .record(subject, path, AccessMode::List, &decision);
+        }
+        decision.into_result()?;
+        Ok(state.namespace.list(path)?)
+    }
+
+    /// Appends an ACL entry to the node at `path`; requires `administrate`.
+    pub fn acl_push(
+        &self,
+        subject: &Subject,
+        path: &NsPath,
+        entry: AclEntry,
+    ) -> Result<(), MonitorError> {
+        self.administrate(subject, path, move |prot| {
+            prot.acl.push(entry);
+            Ok(())
+        })
+    }
+
+    /// Removes the ACL entry at `index`; requires `administrate`.
+    pub fn acl_remove(
+        &self,
+        subject: &Subject,
+        path: &NsPath,
+        index: usize,
+    ) -> Result<AclEntry, MonitorError> {
+        self.administrate(subject, path, move |prot| {
+            prot.acl.remove(index).ok_or_else(|| {
+                MonitorError::Denied(DenyReason::Structure(format!(
+                    "no ACL entry at index {index}"
+                )))
+            })
+        })
+    }
+
+    /// Replaces the whole ACL; requires `administrate`.
+    pub fn set_acl(&self, subject: &Subject, path: &NsPath, acl: Acl) -> Result<(), MonitorError> {
+        self.administrate(subject, path, move |prot| {
+            prot.acl = acl;
+            Ok(())
+        })
+    }
+
+    /// Relabels the node at `path`; requires `administrate`, and the new
+    /// label must belong to the lattice. The subject's class must dominate
+    /// the **new** label (no one may hand out labels they cannot
+    /// themselves reach), in addition to the `administrate` flow check
+    /// against the old label.
+    pub fn set_label(
+        &self,
+        subject: &Subject,
+        path: &NsPath,
+        label: SecurityClass,
+    ) -> Result<(), MonitorError> {
+        {
+            let state = self.state.read();
+            state.lattice.validate(&label)?;
+            if !subject.class.dominates(&label) {
+                return Err(MonitorError::Denied(DenyReason::MacFlow));
+            }
+        }
+        self.administrate(subject, path, move |prot| {
+            prot.label = label;
+            Ok(())
+        })
+    }
+
+    fn administrate<R>(
+        &self,
+        subject: &Subject,
+        path: &NsPath,
+        f: impl FnOnce(&mut Protection) -> Result<R, MonitorError>,
+    ) -> Result<R, MonitorError> {
+        let mut state = self.state.write();
+        let decision = Self::evaluate(&state, subject, path, AccessMode::Administrate);
+        if state.config.audit {
+            self.audit
+                .record(subject, path, AccessMode::Administrate, &decision);
+        }
+        decision.into_result()?;
+        let id = state.namespace.resolve(path)?;
+        let mut result: Option<Result<R, MonitorError>> = None;
+        state.namespace.update_protection(id, |prot| {
+            result = Some(f(prot));
+        })?;
+        result.expect("update_protection ran the closure")
+    }
+
+    // ------------------------------------------------------------------
+    // Subject transitions.
+    // ------------------------------------------------------------------
+
+    /// Returns the subject as it enters the code object at `path`: when
+    /// the node carries a static security class, the subject's class is
+    /// capped at `meet(current, static)`; otherwise it is unchanged.
+    pub fn enter(&self, subject: &Subject, path: &NsPath) -> Result<Subject, MonitorError> {
+        let state = self.state.read();
+        let id = state.namespace.resolve(path)?;
+        let node = state.namespace.node(id)?;
+        Ok(match &node.protection().static_class {
+            Some(static_class) => subject.capped_by(static_class),
+            None => subject.clone(),
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Trusted (TCB-internal) access. These bypass the model: they exist
+    // for system bootstrap and for services that are themselves part of
+    // the trusted computing base.
+    // ------------------------------------------------------------------
+
+    /// Runs `f` with mutable access to the name space, bypassing all
+    /// checks. For bootstrap and TCB services only.
+    pub fn bootstrap<R>(
+        &self,
+        f: impl FnOnce(&mut NameSpace) -> Result<R, NsError>,
+    ) -> Result<R, MonitorError> {
+        let mut state = self.state.write();
+        Ok(f(&mut state.namespace)?)
+    }
+
+    /// Runs `f` with read access to the name space, bypassing all checks.
+    pub fn inspect<R>(&self, f: impl FnOnce(&NameSpace) -> R) -> R {
+        f(&self.state.read().namespace)
+    }
+
+    /// Runs `f` with read access to the principal directory.
+    pub fn directory<R>(&self, f: impl FnOnce(&Directory) -> R) -> R {
+        f(&self.state.read().directory)
+    }
+
+    /// Runs `f` with mutable access to the principal directory (identity
+    /// management sits outside the access-control model; the paper leaves
+    /// authentication to future work).
+    pub fn directory_mut<R>(&self, f: impl FnOnce(&mut Directory) -> R) -> R {
+        f(&mut self.state.write().directory)
+    }
+
+    /// Runs `f` with read access to the lattice.
+    pub fn lattice<R>(&self, f: impl FnOnce(&Lattice) -> R) -> R {
+        f(&self.state.read().lattice)
+    }
+
+    /// Returns the current configuration.
+    pub fn config(&self) -> MonitorConfig {
+        self.state.read().config
+    }
+
+    /// Replaces the configuration (TCB operation).
+    pub fn set_config(&self, config: MonitorConfig) {
+        self.state.write().config = config;
+    }
+
+    /// Returns the audit log.
+    pub fn audit(&self) -> &AuditLog {
+        &self.audit
+    }
+
+    /// Convenience: the protection record of the node at `path` (TCB
+    /// inspection; not access-checked).
+    pub fn protection_of(&self, path: &NsPath) -> Result<Protection, MonitorError> {
+        let state = self.state.read();
+        let id = state.namespace.resolve(path)?;
+        Ok(state.namespace.node(id)?.protection().clone())
+    }
+}
+
+impl fmt::Debug for ReferenceMonitor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let state = self.state.read();
+        f.debug_struct("ReferenceMonitor")
+            .field("nodes", &state.namespace.len())
+            .field("principals", &state.directory.principal_count())
+            .field("config", &state.config)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use extsec_acl::ModeSet;
+
+    fn p(s: &str) -> NsPath {
+        s.parse().unwrap()
+    }
+
+    /// Standard fixture: lattice low<high with one category, two
+    /// principals, and `/svc/fs/read` with alice granted `rx`.
+    fn fixture() -> (Arc<ReferenceMonitor>, PrincipalId, PrincipalId) {
+        let lattice = Lattice::build(["low", "high"], ["c0"]).unwrap();
+        let mut builder = MonitorBuilder::new(lattice);
+        let alice = builder.add_principal("alice").unwrap();
+        let bob = builder.add_principal("bob").unwrap();
+        let monitor = builder.build();
+        monitor
+            .bootstrap(|ns| {
+                let visible = Protection::new(
+                    Acl::public(ModeSet::only(AccessMode::List)),
+                    SecurityClass::bottom(),
+                );
+                ns.ensure_path(&p("/svc/fs"), NodeKind::Domain, &visible)?;
+                let read = ns.insert(
+                    &p("/svc/fs"),
+                    "read",
+                    NodeKind::Procedure,
+                    Protection::default(),
+                )?;
+                ns.update_protection(read, |prot| {
+                    prot.acl.push(AclEntry::allow_principal_modes(
+                        alice,
+                        ModeSet::parse("rx").unwrap(),
+                    ));
+                })?;
+                Ok(())
+            })
+            .unwrap();
+        (monitor, alice, bob)
+    }
+
+    fn low_subject(principal: PrincipalId, monitor: &ReferenceMonitor) -> Subject {
+        Subject::new(
+            principal,
+            monitor.lattice(|l| l.parse_class("low").unwrap()),
+        )
+    }
+
+    #[test]
+    fn dac_grants_and_denies() {
+        let (monitor, alice, bob) = fixture();
+        let alice_s = low_subject(alice, &monitor);
+        let bob_s = low_subject(bob, &monitor);
+        assert!(monitor
+            .check(&alice_s, &p("/svc/fs/read"), AccessMode::Execute)
+            .allowed());
+        assert_eq!(
+            monitor.check(&bob_s, &p("/svc/fs/read"), AccessMode::Execute),
+            Decision::Deny(DenyReason::DacNoEntry)
+        );
+        assert_eq!(
+            monitor.check(&alice_s, &p("/svc/fs/read"), AccessMode::Extend),
+            Decision::Deny(DenyReason::DacNoEntry)
+        );
+    }
+
+    #[test]
+    fn mac_denies_read_up() {
+        let (monitor, alice, _) = fixture();
+        let high = monitor.lattice(|l| l.parse_class("high").unwrap());
+        // Raise the object label to high; alice (low) can no longer read.
+        monitor
+            .bootstrap(|ns| {
+                let id = ns.resolve(&p("/svc/fs/read"))?;
+                ns.update_protection(id, |prot| prot.label = high.clone())?;
+                Ok(())
+            })
+            .unwrap();
+        let alice_low = low_subject(alice, &monitor);
+        assert_eq!(
+            monitor.check(&alice_low, &p("/svc/fs/read"), AccessMode::Read),
+            Decision::Deny(DenyReason::MacFlow)
+        );
+        // At high, the read is fine again.
+        let alice_high = alice_low.with_class(high);
+        assert!(monitor
+            .check(&alice_high, &p("/svc/fs/read"), AccessMode::Read)
+            .allowed());
+    }
+
+    #[test]
+    fn traversal_requires_visibility() {
+        let (monitor, alice, _) = fixture();
+        // Hide /svc from everyone (empty ACL).
+        monitor
+            .bootstrap(|ns| {
+                let id = ns.resolve(&p("/svc"))?;
+                ns.update_protection(id, |prot| prot.acl = Acl::new())?;
+                Ok(())
+            })
+            .unwrap();
+        let alice_s = low_subject(alice, &monitor);
+        assert_eq!(
+            monitor.check(&alice_s, &p("/svc/fs/read"), AccessMode::Execute),
+            Decision::Deny(DenyReason::NotVisibleDac(p("/svc")))
+        );
+        // With visibility checking off, the access goes through again.
+        let mut config = monitor.config();
+        config.check_visibility = false;
+        monitor.set_config(config);
+        assert!(monitor
+            .check(&alice_s, &p("/svc/fs/read"), AccessMode::Execute)
+            .allowed());
+    }
+
+    #[test]
+    fn traversal_mac_visibility() {
+        let (monitor, alice, _) = fixture();
+        let high = monitor.lattice(|l| l.parse_class("high").unwrap());
+        monitor
+            .bootstrap(|ns| {
+                let id = ns.resolve(&p("/svc"))?;
+                ns.update_protection(id, |prot| prot.label = high.clone())?;
+                Ok(())
+            })
+            .unwrap();
+        let alice_s = low_subject(alice, &monitor);
+        assert_eq!(
+            monitor.check(&alice_s, &p("/svc/fs/read"), AccessMode::Execute),
+            Decision::Deny(DenyReason::NotVisibleMac(p("/svc")))
+        );
+    }
+
+    #[test]
+    fn missing_paths_report_prefix() {
+        let (monitor, alice, _) = fixture();
+        let alice_s = low_subject(alice, &monitor);
+        assert_eq!(
+            monitor.check(&alice_s, &p("/svc/net/send"), AccessMode::Execute),
+            Decision::Deny(DenyReason::NotFound(p("/svc/net")))
+        );
+    }
+
+    #[test]
+    fn guarded_create_requires_write_on_parent() {
+        let (monitor, alice, _) = fixture();
+        let alice_s = low_subject(alice, &monitor);
+        let err = monitor
+            .create(
+                &alice_s,
+                &p("/svc/fs"),
+                "write",
+                NodeKind::Procedure,
+                Protection::default(),
+            )
+            .unwrap_err();
+        assert_eq!(err, MonitorError::Denied(DenyReason::DacNoEntry));
+        // Grant write-append on the parent and retry.
+        monitor
+            .bootstrap(|ns| {
+                let id = ns.resolve(&p("/svc/fs"))?;
+                ns.update_protection(id, |prot| {
+                    prot.acl
+                        .push(AclEntry::allow_principal(alice, AccessMode::WriteAppend));
+                })?;
+                Ok(())
+            })
+            .unwrap();
+        let id = monitor
+            .create(
+                &alice_s,
+                &p("/svc/fs"),
+                "write",
+                NodeKind::Procedure,
+                Protection::default(),
+            )
+            .unwrap();
+        assert!(monitor.inspect(|ns| ns.node(id).is_ok()));
+    }
+
+    #[test]
+    fn guarded_remove_requires_delete() {
+        let (monitor, alice, _) = fixture();
+        let alice_s = low_subject(alice, &monitor);
+        let err = monitor.remove(&alice_s, &p("/svc/fs/read")).unwrap_err();
+        assert_eq!(err, MonitorError::Denied(DenyReason::DacNoEntry));
+        monitor
+            .bootstrap(|ns| {
+                let id = ns.resolve(&p("/svc/fs/read"))?;
+                ns.update_protection(id, |prot| {
+                    prot.acl
+                        .push(AclEntry::allow_principal(alice, AccessMode::Delete));
+                })?;
+                Ok(())
+            })
+            .unwrap();
+        monitor.remove(&alice_s, &p("/svc/fs/read")).unwrap();
+        assert!(monitor.inspect(|ns| ns.resolve(&p("/svc/fs/read")).is_err()));
+    }
+
+    #[test]
+    fn administrate_gates_acl_changes() {
+        let (monitor, alice, bob) = fixture();
+        let alice_s = low_subject(alice, &monitor);
+        let bob_s = low_subject(bob, &monitor);
+        let entry = AclEntry::allow_principal(bob, AccessMode::Execute);
+        // Bob cannot grant himself access.
+        assert!(matches!(
+            monitor.acl_push(&bob_s, &p("/svc/fs/read"), entry),
+            Err(MonitorError::Denied(_))
+        ));
+        // Give alice administrate; she can.
+        monitor
+            .bootstrap(|ns| {
+                let id = ns.resolve(&p("/svc/fs/read"))?;
+                ns.update_protection(id, |prot| {
+                    prot.acl
+                        .push(AclEntry::allow_principal(alice, AccessMode::Administrate));
+                })?;
+                Ok(())
+            })
+            .unwrap();
+        monitor
+            .acl_push(&alice_s, &p("/svc/fs/read"), entry)
+            .unwrap();
+        assert!(monitor
+            .check(&bob_s, &p("/svc/fs/read"), AccessMode::Execute)
+            .allowed());
+    }
+
+    #[test]
+    fn set_label_requires_domination_of_new_label() {
+        let (monitor, alice, _) = fixture();
+        let high = monitor.lattice(|l| l.parse_class("high").unwrap());
+        monitor
+            .bootstrap(|ns| {
+                let id = ns.resolve(&p("/svc/fs/read"))?;
+                ns.update_protection(id, |prot| {
+                    prot.acl
+                        .push(AclEntry::allow_principal(alice, AccessMode::Administrate));
+                })?;
+                Ok(())
+            })
+            .unwrap();
+        let alice_low = low_subject(alice, &monitor);
+        // Low subject cannot label an object high.
+        assert_eq!(
+            monitor.set_label(&alice_low, &p("/svc/fs/read"), high.clone()),
+            Err(MonitorError::Denied(DenyReason::MacFlow))
+        );
+        // At high... administrate maps to ObserveAndModify which needs
+        // class equality with the (bottom) object, so relabel from the
+        // object's own class.
+        let alice_bottom = alice_low.with_class(SecurityClass::bottom());
+        monitor
+            .set_label(&alice_bottom, &p("/svc/fs/read"), SecurityClass::bottom())
+            .unwrap();
+    }
+
+    #[test]
+    fn enter_caps_at_static_class() {
+        let (monitor, alice, _) = fixture();
+        let low = monitor.lattice(|l| l.parse_class("low").unwrap());
+        let high = monitor.lattice(|l| l.parse_class("high:{c0}").unwrap());
+        monitor
+            .bootstrap(|ns| {
+                let id = ns.resolve(&p("/svc/fs/read"))?;
+                ns.update_protection(id, |prot| prot.static_class = Some(low.clone()))?;
+                Ok(())
+            })
+            .unwrap();
+        let alice_high = Subject::new(alice, high);
+        let entered = monitor.enter(&alice_high, &p("/svc/fs/read")).unwrap();
+        assert_eq!(entered.class, low);
+        // No static class: unchanged.
+        let entered = monitor.enter(&alice_high, &p("/svc/fs")).unwrap();
+        assert_eq!(entered.class, alice_high.class);
+    }
+
+    #[test]
+    fn audit_records_checks() {
+        let (monitor, alice, bob) = fixture();
+        let alice_s = low_subject(alice, &monitor);
+        let bob_s = low_subject(bob, &monitor);
+        monitor.check(&alice_s, &p("/svc/fs/read"), AccessMode::Execute);
+        monitor.check(&bob_s, &p("/svc/fs/read"), AccessMode::Execute);
+        assert_eq!(monitor.audit().len(), 2);
+        assert_eq!(monitor.audit().denials().len(), 1);
+        // Disabling audit stops recording.
+        let mut config = monitor.config();
+        config.audit = false;
+        monitor.set_config(config);
+        monitor.check(&alice_s, &p("/svc/fs/read"), AccessMode::Execute);
+        assert_eq!(monitor.audit().len(), 2);
+    }
+
+    #[test]
+    fn list_requires_list_mode() {
+        let (monitor, alice, _) = fixture();
+        let alice_s = low_subject(alice, &monitor);
+        // /svc/fs is publicly listable in the fixture.
+        assert_eq!(monitor.list(&alice_s, &p("/svc/fs")).unwrap(), vec!["read"]);
+        monitor
+            .bootstrap(|ns| {
+                let id = ns.resolve(&p("/svc/fs"))?;
+                ns.update_protection(id, |prot| prot.acl = Acl::new())?;
+                Ok(())
+            })
+            .unwrap();
+        assert!(matches!(
+            monitor.list(&alice_s, &p("/svc/fs")),
+            Err(MonitorError::Denied(DenyReason::DacNoEntry))
+        ));
+    }
+
+    #[test]
+    fn create_validates_label_against_lattice() {
+        let (monitor, alice, _) = fixture();
+        monitor
+            .bootstrap(|ns| {
+                let id = ns.resolve(&p("/svc/fs"))?;
+                ns.update_protection(id, |prot| {
+                    prot.acl
+                        .push(AclEntry::allow_principal(alice, AccessMode::WriteAppend));
+                })?;
+                Ok(())
+            })
+            .unwrap();
+        let alice_s = low_subject(alice, &monitor);
+        let foreign = Lattice::build(["a", "b", "c", "d", "e"], Vec::<String>::new()).unwrap();
+        let _ = &foreign;
+        let bad_label = SecurityClass::at_level(extsec_mac::TrustLevel::from_rank(42));
+        let err = monitor
+            .create(
+                &alice_s,
+                &p("/svc/fs"),
+                "bad",
+                NodeKind::Procedure,
+                Protection::new(Acl::new(), bad_label),
+            )
+            .unwrap_err();
+        assert!(matches!(err, MonitorError::Lattice(_)));
+    }
+}

@@ -1,0 +1,54 @@
+//! The policy-engine abstraction shared with the baselines.
+//!
+//! Every access-control model the paper discusses — Unix bits, the Java
+//! sandbox, SPIN domain linking, and the paper's own DAC+MAC model — is
+//! exposed behind one trait so the expressiveness and attack-matrix
+//! experiments (T1/T4) and the engine-comparison figure (F5) can drive
+//! them with identical request streams.
+
+use crate::decision::Decision;
+use crate::monitor::ReferenceMonitor;
+use crate::subject::Subject;
+use extsec_acl::AccessMode;
+use extsec_namespace::NsPath;
+
+/// An access-control engine: given a subject, an object path, and a mode,
+/// decide.
+pub trait PolicyEngine: Send + Sync {
+    /// A short, stable engine name (used in experiment tables).
+    fn name(&self) -> &str;
+
+    /// Decides whether `subject` may perform `mode` on the object at
+    /// `path`.
+    fn decide(&self, subject: &Subject, path: &NsPath, mode: AccessMode) -> Decision;
+}
+
+impl PolicyEngine for ReferenceMonitor {
+    fn name(&self) -> &str {
+        "extsec"
+    }
+
+    fn decide(&self, subject: &Subject, path: &NsPath, mode: AccessMode) -> Decision {
+        self.check(subject, path, mode)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monitor::MonitorBuilder;
+    use extsec_mac::Lattice;
+
+    #[test]
+    fn monitor_is_an_engine() {
+        let lattice = Lattice::build(["low"], Vec::<String>::new()).unwrap();
+        let mut builder = MonitorBuilder::new(lattice);
+        let alice = builder.add_principal("alice").unwrap();
+        let monitor = builder.build();
+        let engine: &dyn PolicyEngine = monitor.as_ref();
+        assert_eq!(engine.name(), "extsec");
+        let subject = Subject::new(alice, extsec_mac::SecurityClass::bottom());
+        let decision = engine.decide(&subject, &"/nope".parse().unwrap(), AccessMode::Read);
+        assert!(!decision.allowed());
+    }
+}

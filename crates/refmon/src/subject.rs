@@ -1,0 +1,152 @@
+//! Subjects: threads of control bound to principals and security classes.
+
+use extsec_acl::PrincipalId;
+use extsec_mac::SecurityClass;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Identifier of a (logical) thread of control.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct ThreadId(u64);
+
+impl ThreadId {
+    /// The bootstrap thread.
+    pub const INIT: ThreadId = ThreadId(0);
+
+    /// Creates a thread id from a raw value.
+    pub const fn from_raw(raw: u64) -> Self {
+        ThreadId(raw)
+    }
+
+    /// Returns the raw value.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Allocates a fresh, process-unique thread id.
+    pub fn fresh() -> Self {
+        static NEXT: AtomicU64 = AtomicU64::new(1);
+        ThreadId(NEXT.fetch_add(1, Ordering::Relaxed))
+    }
+}
+
+impl fmt::Display for ThreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// A subject: the unit the reference monitor grants or denies access to.
+///
+/// Per the paper (§2.2), a subject is a thread of control operating on
+/// behalf of a principal at a security class. The class is *dynamic* — it
+/// travels with the thread as it calls from service to service — but can
+/// be *capped* when control enters a statically classed extension
+/// ([`Subject::capped_by`]), so untrusted code can never operate above its
+/// static class no matter which principal invoked it.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Subject {
+    /// The principal this thread operates on behalf of.
+    pub principal: PrincipalId,
+    /// The thread's current (dynamic) security class.
+    pub class: SecurityClass,
+    /// The thread of control itself.
+    pub thread: ThreadId,
+}
+
+impl Subject {
+    /// Creates a subject on a fresh thread.
+    pub fn new(principal: PrincipalId, class: SecurityClass) -> Self {
+        Subject {
+            principal,
+            class,
+            thread: ThreadId::fresh(),
+        }
+    }
+
+    /// Creates a subject on an explicit thread.
+    pub fn on_thread(principal: PrincipalId, class: SecurityClass, thread: ThreadId) -> Self {
+        Subject {
+            principal,
+            class,
+            thread,
+        }
+    }
+
+    /// Returns a copy of this subject running at a different class (same
+    /// principal, same thread) — used when the monitor re-labels a call.
+    pub fn with_class(&self, class: SecurityClass) -> Subject {
+        Subject {
+            principal: self.principal,
+            class,
+            thread: self.thread,
+        }
+    }
+
+    /// Returns this subject with its class capped at `static_class`:
+    /// the effective class is `meet(current, static)`.
+    ///
+    /// This is how statically classed extensions are entered (§2.2 and
+    /// DESIGN.md §3): the extension can never observe more than its static
+    /// class allows, even when called by a highly trusted principal, and a
+    /// lowly principal gains nothing by calling a highly classed extension.
+    pub fn capped_by(&self, static_class: &SecurityClass) -> Subject {
+        self.with_class(self.class.meet(static_class))
+    }
+}
+
+impl fmt::Display for Subject {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{} [{}]", self.principal, self.thread, self.class)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use extsec_mac::{CategoryId, CategorySet, TrustLevel};
+
+    fn class(level: u16, cats: &[u16]) -> SecurityClass {
+        SecurityClass::new(
+            TrustLevel::from_rank(level),
+            cats.iter()
+                .copied()
+                .map(CategoryId::from_index)
+                .collect::<CategorySet>(),
+        )
+    }
+
+    #[test]
+    fn fresh_thread_ids_are_unique() {
+        let a = ThreadId::fresh();
+        let b = ThreadId::fresh();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn with_class_keeps_identity() {
+        let p = PrincipalId::from_raw(1);
+        let s = Subject::new(p, class(2, &[0]));
+        let relabelled = s.with_class(class(1, &[]));
+        assert_eq!(relabelled.principal, p);
+        assert_eq!(relabelled.thread, s.thread);
+        assert_eq!(relabelled.class, class(1, &[]));
+    }
+
+    #[test]
+    fn capping_is_a_meet() {
+        let s = Subject::new(PrincipalId::from_raw(1), class(2, &[0, 1]));
+        let capped = s.capped_by(&class(1, &[1, 2]));
+        assert_eq!(capped.class, class(1, &[1]));
+        // Capping never raises.
+        assert!(s.class.dominates(&capped.class));
+    }
+
+    #[test]
+    fn capping_by_dominating_class_is_identity() {
+        let s = Subject::new(PrincipalId::from_raw(1), class(1, &[0]));
+        let capped = s.capped_by(&class(3, &[0, 1]));
+        assert_eq!(capped.class, s.class);
+    }
+}

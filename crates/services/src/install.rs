@@ -1,0 +1,92 @@
+//! Shared installation helpers for services.
+
+use extsec_acl::{AccessMode, Acl, AclEntry, ModeSet};
+use extsec_mac::SecurityClass;
+use extsec_namespace::{NodeKind, NsPath, Protection};
+use extsec_refmon::{MonitorError, ReferenceMonitor, Subject};
+
+/// Protection for interior nodes that must be traversable by everyone:
+/// public `list`, bottom label.
+pub fn visible_container() -> Protection {
+    Protection::new(
+        Acl::public(ModeSet::only(AccessMode::List)),
+        SecurityClass::bottom(),
+    )
+}
+
+/// Protection for a procedure node executable by everyone.
+pub fn public_procedure() -> Protection {
+    Protection::new(
+        Acl::public(ModeSet::only(AccessMode::Execute)),
+        SecurityClass::bottom(),
+    )
+}
+
+/// Installs a service's procedure leaves under `prefix`, creating the
+/// interior path with [`visible_container`] protection (TCB operation).
+///
+/// `procs` pairs each procedure name with its protection.
+pub fn install_procedures(
+    monitor: &ReferenceMonitor,
+    prefix: &NsPath,
+    procs: &[(&str, Protection)],
+) -> Result<(), MonitorError> {
+    monitor.bootstrap(|ns| {
+        ns.ensure_path(prefix, NodeKind::Domain, &visible_container())?;
+        for (name, protection) in procs {
+            ns.insert(prefix, name, NodeKind::Procedure, protection.clone())?;
+        }
+        Ok(())
+    })
+}
+
+/// The default protection of an object created by `subject`: the creator
+/// gets the full data-object mode set (read, write, write-append, delete,
+/// list, administrate), and the object is labelled with the creator's
+/// current security class, so information the subject produces stays at
+/// the subject's class.
+pub fn creator_protection(subject: &Subject) -> Protection {
+    let modes = ModeSet::of(&[
+        AccessMode::Read,
+        AccessMode::Write,
+        AccessMode::WriteAppend,
+        AccessMode::Delete,
+        AccessMode::List,
+        AccessMode::Administrate,
+    ]);
+    Protection::new(
+        Acl::from_entries([AclEntry::allow_principal_modes(subject.principal, modes)]),
+        subject.class.clone(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use extsec_acl::PrincipalId;
+    use extsec_mac::Lattice;
+    use extsec_refmon::MonitorBuilder;
+
+    #[test]
+    fn install_creates_nodes() {
+        let lattice = Lattice::build(["low"], Vec::<String>::new()).unwrap();
+        let monitor = MonitorBuilder::new(lattice).build();
+        let prefix: NsPath = "/svc/demo".parse().unwrap();
+        install_procedures(
+            &monitor,
+            &prefix,
+            &[("a", public_procedure()), ("b", public_procedure())],
+        )
+        .unwrap();
+        assert!(monitor.inspect(|ns| ns.resolve(&"/svc/demo/a".parse().unwrap()).is_ok()));
+        assert!(monitor.inspect(|ns| ns.resolve(&"/svc/demo/b".parse().unwrap()).is_ok()));
+    }
+
+    #[test]
+    fn creator_protection_grants_creator_only() {
+        let subject = Subject::new(PrincipalId::from_raw(3), SecurityClass::bottom());
+        let prot = creator_protection(&subject);
+        assert_eq!(prot.label, subject.class);
+        assert_eq!(prot.acl.len(), 1);
+    }
+}

@@ -1,0 +1,51 @@
+//! Simulated system services for the extensible system.
+//!
+//! The paper's model only matters when there is something to protect.
+//! This crate provides the services every example in the paper leans on,
+//! all registered in the universal name space and all guarded by the same
+//! reference monitor:
+//!
+//! * [`fs`] — an in-memory file system whose file and directory metadata
+//!   *are* name-space nodes under `/obj/fs`, so file protection and
+//!   extension protection are literally the same mechanism (§2.3: "a
+//!   single, universal name space that integrates all named objects").
+//! * [`mbuf`] — a buffer-pool manager (the paper's §1.1 example of an
+//!   existing service a new file system builds on), with per-principal
+//!   quotas.
+//! * [`applets`] — the applet/thread registry: threads are first-class
+//!   protected objects under `/obj/threads`, which is exactly the surface
+//!   the published *ThreadMurder* attack abused in the Java sandbox
+//!   (§1.2).
+//! * [`net`] — labeled loopback message ports; a port labeled above its
+//!   writers is a one-way data diode, the lattice model's signature
+//!   construction.
+//! * [`console`] — an append-only output service.
+//! * [`clock`] — a logical clock.
+//! * [`vfs`] — the extensible virtual-file-system interface whose
+//!   `open`/`read`/`write` procedures extensions specialize with new file
+//!   system types (§1.1's motivating example).
+//!
+//! Each service has an `install` routine that creates its procedure nodes
+//! (and object roots) in the name space with caller-supplied ACLs, and a
+//! [`Service`](extsec_ext::Service) implementation that the
+//! [`ExtRuntime`](extsec_ext::ExtRuntime) mounts at the service prefix.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod applets;
+pub mod clock;
+pub mod console;
+pub mod fs;
+pub mod install;
+pub mod mbuf;
+pub mod net;
+pub mod vfs;
+
+pub use applets::AppletService;
+pub use clock::ClockService;
+pub use console::ConsoleService;
+pub use fs::FsService;
+pub use mbuf::MbufService;
+pub use net::NetService;
+pub use vfs::VfsService;

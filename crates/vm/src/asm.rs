@@ -1,0 +1,729 @@
+//! A small text assembler for extension modules.
+//!
+//! The format keeps example extensions readable:
+//!
+//! ```text
+//! module logger
+//! import print = "/svc/console/print" (str)
+//! import read  = "/svc/fs/read" (str) -> str
+//!
+//! func main() -> int
+//!   locals n: int
+//!   push_str "hello"
+//!   syscall print
+//!   push_int 0
+//!   ret
+//! end
+//!
+//! export main = main
+//! ```
+//!
+//! Lines are one directive or instruction each; `#` starts a comment.
+//! Jump targets are written as label names (`label loop` ... `jump loop`);
+//! locals can be referenced by name or index; `push_str` takes a string
+//! literal and pools it automatically; `syscall` takes an import alias and
+//! `call` a function name.
+
+use crate::instr::Instr;
+use crate::module::{Export, Function, ImportDecl, Module, Signature};
+use crate::types::Ty;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// An assembly error with its 1-based source line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AsmError {
+    /// The 1-based line number.
+    pub line: usize,
+    /// The error message.
+    pub msg: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+fn err<T>(line: usize, msg: impl Into<String>) -> Result<T, AsmError> {
+    Err(AsmError {
+        line,
+        msg: msg.into(),
+    })
+}
+
+fn parse_ty(s: &str, line: usize) -> Result<Ty, AsmError> {
+    match s {
+        "int" => Ok(Ty::Int),
+        "bool" => Ok(Ty::Bool),
+        "str" => Ok(Ty::Str),
+        _ => err(line, format!("unknown type {s:?}")),
+    }
+}
+
+/// Parses `(ty, ty) -> ty` or `(ty)` into a signature, also returning
+/// parameter names when given as `name: ty`.
+fn parse_sig(s: &str, line: usize) -> Result<(Signature, Vec<String>), AsmError> {
+    let s = s.trim();
+    let Some(open) = s.find('(') else {
+        return err(line, "expected `(`");
+    };
+    let Some(close) = s.rfind(')') else {
+        return err(line, "expected `)`");
+    };
+    if open != 0 {
+        return err(line, "unexpected tokens before `(`");
+    }
+    let params_src = &s[open + 1..close];
+    let mut params = Vec::new();
+    let mut names = Vec::new();
+    for (i, piece) in params_src.split(',').enumerate() {
+        let piece = piece.trim();
+        if piece.is_empty() {
+            continue;
+        }
+        match piece.split_once(':') {
+            Some((name, ty)) => {
+                names.push(name.trim().to_string());
+                params.push(parse_ty(ty.trim(), line)?);
+            }
+            None => {
+                names.push(format!("arg{i}"));
+                params.push(parse_ty(piece, line)?);
+            }
+        }
+    }
+    let rest = s[close + 1..].trim();
+    let ret = if rest.is_empty() {
+        None
+    } else if let Some(ty) = rest.strip_prefix("->") {
+        Some(parse_ty(ty.trim(), line)?)
+    } else {
+        return err(line, format!("unexpected trailing tokens {rest:?}"));
+    };
+    Ok((Signature::new(params, ret), names))
+}
+
+/// Parses a double-quoted string literal with `\"`, `\\`, `\n`, `\t`
+/// escapes. Returns the value and the rest of the line.
+fn parse_string_literal(s: &str, line: usize) -> Result<(String, &str), AsmError> {
+    let s = s.trim_start();
+    let Some(rest) = s.strip_prefix('"') else {
+        return err(line, "expected string literal");
+    };
+    let mut out = String::new();
+    let mut chars = rest.char_indices();
+    while let Some((i, c)) = chars.next() {
+        match c {
+            '"' => return Ok((out, &rest[i + 1..])),
+            '\\' => match chars.next() {
+                Some((_, '"')) => out.push('"'),
+                Some((_, '\\')) => out.push('\\'),
+                Some((_, 'n')) => out.push('\n'),
+                Some((_, 't')) => out.push('\t'),
+                Some((_, other)) => return err(line, format!("bad escape \\{other}")),
+                None => return err(line, "unterminated escape"),
+            },
+            other => out.push(other),
+        }
+    }
+    err(line, "unterminated string literal")
+}
+
+#[derive(Debug)]
+enum Pending {
+    Done(Instr),
+    Jump(&'static str, String), // mnemonic, label
+    Call(String),
+    SysCall(String),
+}
+
+/// A function whose labels are resolved but whose `call`/`syscall` names
+/// still await module-wide resolution.
+#[derive(Debug)]
+enum Semi {
+    Done(Instr),
+    Call(usize, String),    // line, function name
+    SysCall(usize, String), // line, import alias
+}
+
+struct SemiFunction {
+    name: String,
+    sig: Signature,
+    extra_locals: Vec<Ty>,
+    code: Vec<Semi>,
+}
+
+struct FuncCtx {
+    name: String,
+    sig: Signature,
+    #[allow(dead_code)] // Kept for future diagnostics.
+    param_names: Vec<String>,
+    extra_locals: Vec<Ty>,
+    local_names: BTreeMap<String, u16>,
+    pending: Vec<(usize, Pending)>, // (line, instruction)
+    labels: BTreeMap<String, u32>,
+    started_code: bool,
+}
+
+/// Assembles `source` into an (unverified) [`Module`].
+pub fn assemble(source: &str) -> Result<Module, AsmError> {
+    let mut module = Module::default();
+    let mut strings: BTreeMap<String, u32> = BTreeMap::new();
+    let mut current: Option<FuncCtx> = None;
+    let mut semis: Vec<SemiFunction> = Vec::new();
+    let mut exports: Vec<(usize, String, String)> = Vec::new();
+
+    let mut intern = |module: &mut Module, s: String| -> u32 {
+        if let Some(&i) = strings.get(&s) {
+            return i;
+        }
+        let i = module.strings.len() as u32;
+        module.strings.push(s.clone());
+        strings.insert(s, i);
+        i
+    };
+
+    for (lineno, raw) in source.lines().enumerate() {
+        let lineno = lineno + 1;
+        // Strip comments, but not inside string literals.
+        let line = strip_comment(raw);
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (word, rest) = match line.split_once(char::is_whitespace) {
+            Some((w, r)) => (w, r.trim()),
+            None => (line, ""),
+        };
+
+        if let Some(ctx) = current.as_mut() {
+            // Inside a function body.
+            match word {
+                "end" => {
+                    let ctx = current.take().expect("checked above");
+                    semis.push(finish_function(ctx)?);
+                }
+                "locals" => {
+                    if ctx.started_code {
+                        return err(lineno, "`locals` must precede code");
+                    }
+                    for piece in rest.split(',') {
+                        let piece = piece.trim();
+                        if piece.is_empty() {
+                            continue;
+                        }
+                        let Some((name, ty)) = piece.split_once(':') else {
+                            return err(lineno, format!("expected `name: ty`, got {piece:?}"));
+                        };
+                        let index = (ctx.sig.params.len() + ctx.extra_locals.len()) as u16;
+                        ctx.extra_locals.push(parse_ty(ty.trim(), lineno)?);
+                        if ctx
+                            .local_names
+                            .insert(name.trim().to_string(), index)
+                            .is_some()
+                        {
+                            return err(lineno, format!("duplicate local {name:?}"));
+                        }
+                    }
+                }
+                "label" => {
+                    ctx.started_code = true;
+                    let name = rest.trim();
+                    if name.is_empty() {
+                        return err(lineno, "label needs a name");
+                    }
+                    if ctx
+                        .labels
+                        .insert(name.to_string(), ctx.pending.len() as u32)
+                        .is_some()
+                    {
+                        return err(lineno, format!("duplicate label {name:?}"));
+                    }
+                }
+                _ => {
+                    ctx.started_code = true;
+                    let pending = parse_instr(word, rest, lineno, ctx, |s| intern(&mut module, s))?;
+                    ctx.pending.push((lineno, pending));
+                }
+            }
+            continue;
+        }
+
+        // Top-level directives.
+        match word {
+            "module" => {
+                if rest.is_empty() {
+                    return err(lineno, "module needs a name");
+                }
+                module.name = rest.to_string();
+            }
+            "import" => {
+                let Some((alias, decl)) = rest.split_once('=') else {
+                    return err(lineno, "expected `import alias = \"path\" (sig)`");
+                };
+                let alias = alias.trim().to_string();
+                let (path, after) = parse_string_literal(decl.trim(), lineno)?;
+                let (sig, _) = parse_sig(after.trim(), lineno)?;
+                module.imports.push(ImportDecl { alias, path, sig });
+            }
+            "func" => {
+                let Some(open) = rest.find('(') else {
+                    return err(lineno, "expected `func name(params) [-> ty]`");
+                };
+                let name = rest[..open].trim().to_string();
+                if name.is_empty() {
+                    return err(lineno, "func needs a name");
+                }
+                let (sig, param_names) = parse_sig(&rest[open..], lineno)?;
+                let mut local_names = BTreeMap::new();
+                for (i, p) in param_names.iter().enumerate() {
+                    local_names.insert(p.clone(), i as u16);
+                }
+                current = Some(FuncCtx {
+                    name,
+                    sig,
+                    param_names,
+                    extra_locals: Vec::new(),
+                    local_names,
+                    pending: Vec::new(),
+                    labels: BTreeMap::new(),
+                    started_code: false,
+                });
+            }
+            "export" => {
+                let Some((ext, func)) = rest.split_once('=') else {
+                    return err(lineno, "expected `export name = func`");
+                };
+                exports.push((lineno, ext.trim().to_string(), func.trim().to_string()));
+            }
+            other => return err(lineno, format!("unknown directive {other:?}")),
+        }
+    }
+
+    if current.is_some() {
+        return err(
+            source.lines().count(),
+            "unterminated function (missing `end`)",
+        );
+    }
+
+    // Module-wide resolution: function names for `call`, import aliases
+    // for `syscall`.
+    let func_index: BTreeMap<String, u32> = semis
+        .iter()
+        .enumerate()
+        .map(|(i, f)| (f.name.clone(), i as u32))
+        .collect();
+    let import_index: BTreeMap<String, u32> = module
+        .imports
+        .iter()
+        .enumerate()
+        .map(|(i, d)| (d.alias.clone(), i as u32))
+        .collect();
+    for semi in semis {
+        let mut code = Vec::with_capacity(semi.code.len());
+        for s in semi.code {
+            code.push(match s {
+                Semi::Done(i) => i,
+                Semi::Call(line, name) => {
+                    let Some(&idx) = func_index.get(&name) else {
+                        return err(line, format!("call to unknown function {name:?}"));
+                    };
+                    Instr::Call(idx)
+                }
+                Semi::SysCall(line, alias) => {
+                    let Some(&idx) = import_index.get(&alias) else {
+                        return err(line, format!("syscall to unknown import {alias:?}"));
+                    };
+                    Instr::SysCall(idx)
+                }
+            });
+        }
+        module.functions.push(Function {
+            name: semi.name,
+            sig: semi.sig,
+            extra_locals: semi.extra_locals,
+            code,
+        });
+    }
+
+    for (lineno, ext, func) in exports {
+        let Some(idx) = module.functions.iter().position(|f| f.name == func) else {
+            return err(
+                lineno,
+                format!("export references unknown function {func:?}"),
+            );
+        };
+        module.exports.push(Export {
+            name: ext,
+            func: idx as u32,
+        });
+    }
+
+    Ok(module)
+}
+
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '\\' if in_str => escaped = !escaped,
+            '"' if !escaped => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => escaped = false,
+        }
+    }
+    line
+}
+
+fn parse_instr(
+    word: &str,
+    rest: &str,
+    line: usize,
+    ctx: &FuncCtx,
+    mut intern: impl FnMut(String) -> u32,
+) -> Result<Pending, AsmError> {
+    let local = |arg: &str| -> Result<u16, AsmError> {
+        if let Ok(i) = arg.parse::<u16>() {
+            return Ok(i);
+        }
+        ctx.local_names.get(arg).copied().ok_or_else(|| AsmError {
+            line,
+            msg: format!("unknown local {arg:?}"),
+        })
+    };
+    let int_arg = |arg: &str| -> Result<i64, AsmError> {
+        arg.parse::<i64>().map_err(|_| AsmError {
+            line,
+            msg: format!("expected integer, got {arg:?}"),
+        })
+    };
+
+    let done = |i: Instr| Ok(Pending::Done(i));
+    match word {
+        "push_int" => done(Instr::PushInt(int_arg(rest)?)),
+        "push_bool" => match rest {
+            "true" => done(Instr::PushBool(true)),
+            "false" => done(Instr::PushBool(false)),
+            other => err(line, format!("expected true/false, got {other:?}")),
+        },
+        "push_str" => {
+            let (s, after) = parse_string_literal(rest, line)?;
+            if !after.trim().is_empty() {
+                return err(line, "unexpected tokens after string literal");
+            }
+            done(Instr::PushStr(intern(s)))
+        }
+        "dup" => done(Instr::Dup),
+        "pop" => done(Instr::Pop),
+        "swap" => done(Instr::Swap),
+        "load_local" => done(Instr::LoadLocal(local(rest)?)),
+        "store_local" => done(Instr::StoreLocal(local(rest)?)),
+        "add" => done(Instr::Add),
+        "sub" => done(Instr::Sub),
+        "mul" => done(Instr::Mul),
+        "div" => done(Instr::Div),
+        "rem" => done(Instr::Rem),
+        "neg" => done(Instr::Neg),
+        "eq" => done(Instr::Eq),
+        "ne" => done(Instr::Ne),
+        "lt" => done(Instr::Lt),
+        "le" => done(Instr::Le),
+        "gt" => done(Instr::Gt),
+        "ge" => done(Instr::Ge),
+        "not" => done(Instr::Not),
+        "and" => done(Instr::And),
+        "or" => done(Instr::Or),
+        "concat" => done(Instr::Concat),
+        "str_len" => done(Instr::StrLen),
+        "int_to_str" => done(Instr::IntToStr),
+        "str_to_int" => done(Instr::StrToInt),
+        "jump" => Ok(Pending::Jump("jump", rest.to_string())),
+        "jump_if" => Ok(Pending::Jump("jump_if", rest.to_string())),
+        "jump_if_not" => Ok(Pending::Jump("jump_if_not", rest.to_string())),
+        "call" => Ok(Pending::Call(rest.to_string())),
+        "syscall" => Ok(Pending::SysCall(rest.to_string())),
+        "ret" => done(Instr::Return),
+        "trap" => done(Instr::Trap),
+        "nop" => done(Instr::Nop),
+        other => err(line, format!("unknown instruction {other:?}")),
+    }
+}
+
+fn finish_function(ctx: FuncCtx) -> Result<SemiFunction, AsmError> {
+    let FuncCtx {
+        name,
+        sig,
+        param_names: _,
+        extra_locals,
+        local_names: _,
+        pending,
+        labels,
+        started_code: _,
+    } = ctx;
+    let mut code = Vec::with_capacity(pending.len());
+    for (line, p) in pending {
+        code.push(match p {
+            Pending::Done(i) => Semi::Done(i),
+            Pending::Jump(kind, label) => {
+                let Some(&target) = labels.get(&label) else {
+                    return err(line, format!("unknown label {label:?}"));
+                };
+                Semi::Done(match kind {
+                    "jump" => Instr::Jump(target),
+                    "jump_if" => Instr::JumpIf(target),
+                    _ => Instr::JumpIfNot(target),
+                })
+            }
+            Pending::Call(name) => Semi::Call(line, name),
+            Pending::SysCall(alias) => Semi::SysCall(line, alias),
+        });
+    }
+    Ok(SemiFunction {
+        name,
+        sig,
+        extra_locals,
+        code,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    use crate::interp::{Machine, NullHost, SyscallHost};
+    use crate::types::Value;
+    use crate::verify::verify;
+
+    #[test]
+    fn full_program_assembles_verifies_and_runs() {
+        let m = assemble(
+            r#"
+            module counter
+            # Sum the integers below n.
+            func sum(n: int) -> int
+              locals i: int, acc: int
+              push_int 0
+              store_local i
+              push_int 0
+              store_local acc
+            label loop
+              load_local i
+              load_local n
+              lt
+              jump_if_not done
+              load_local acc
+              load_local i
+              add
+              store_local acc
+              load_local i
+              push_int 1
+              add
+              store_local i
+              jump loop
+            label done
+              load_local acc
+              ret
+            end
+            export sum = sum
+            "#,
+        )
+        .unwrap();
+        let verified = verify(m).unwrap();
+        let r = Machine::new(&verified)
+            .run("sum", &[Value::Int(100)], &mut NullHost)
+            .unwrap();
+        assert_eq!(r, Some(Value::Int(4950)));
+    }
+
+    #[test]
+    fn imports_and_syscalls_resolve_by_alias() {
+        struct Echo;
+        impl SyscallHost for Echo {
+            fn syscall(
+                &mut self,
+                import: &crate::module::ImportDecl,
+                args: &[Value],
+            ) -> Result<Option<Value>, String> {
+                assert_eq!(import.path, "/svc/echo");
+                Ok(Some(args[0].clone()))
+            }
+        }
+        let m = assemble(
+            r#"
+            module m
+            import echo = "/svc/echo" (str) -> str
+            func main() -> str
+              push_str "hi there"
+              syscall echo
+              ret
+            end
+            export main = main
+            "#,
+        )
+        .unwrap();
+        assert_eq!(m.imports.len(), 1);
+        let verified = verify(m).unwrap();
+        let r = Machine::new(&verified).run("main", &[], &mut Echo).unwrap();
+        assert_eq!(r, Some(Value::Str("hi there".into())));
+    }
+
+    #[test]
+    fn cross_function_calls_resolve_by_name() {
+        let m = assemble(
+            r#"
+            module m
+            func double(x: int) -> int
+              load_local x
+              push_int 2
+              mul
+              ret
+            end
+            func main() -> int
+              push_int 21
+              call double
+              ret
+            end
+            export main = main
+            "#,
+        )
+        .unwrap();
+        let verified = verify(m).unwrap();
+        let r = Machine::new(&verified)
+            .run("main", &[], &mut NullHost)
+            .unwrap();
+        assert_eq!(r, Some(Value::Int(42)));
+    }
+
+    #[test]
+    fn string_escapes_and_comments() {
+        let m = assemble(
+            r#"
+            module m
+            func f() -> str
+              push_str "a#b\"c\n" # this is a comment, the # above is not
+              ret
+            end
+            export f = f
+            "#,
+        )
+        .unwrap();
+        assert_eq!(m.strings, vec!["a#b\"c\n".to_string()]);
+    }
+
+    #[test]
+    fn string_pool_deduplicates() {
+        let m = assemble(
+            r#"
+            module m
+            func f() -> str
+              push_str "same"
+              pop
+              push_str "same"
+              ret
+            end
+            export f = f
+            "#,
+        )
+        .unwrap();
+        assert_eq!(m.strings.len(), 1);
+    }
+
+    #[test]
+    fn error_on_unknown_label() {
+        let e = assemble(
+            r#"
+            module m
+            func f()
+              jump nowhere
+              ret
+            end
+            "#,
+        )
+        .unwrap_err();
+        assert!(e.msg.contains("unknown label"));
+    }
+
+    #[test]
+    fn error_on_unknown_local_and_instruction() {
+        let e = assemble("module m\nfunc f()\n load_local ghost\n ret\nend\n").unwrap_err();
+        assert!(e.msg.contains("unknown local"));
+        let e = assemble("module m\nfunc f()\n warp 9\n ret\nend\n").unwrap_err();
+        assert!(e.msg.contains("unknown instruction"));
+        assert_eq!(e.line, 3);
+    }
+
+    #[test]
+    fn error_on_unknown_call_and_import() {
+        let e = assemble("module m\nfunc f()\n call ghost\nend\n").unwrap_err();
+        assert!(e.msg.contains("unknown function"));
+        let e = assemble("module m\nfunc f()\n syscall ghost\nend\n").unwrap_err();
+        assert!(e.msg.contains("unknown import"));
+    }
+
+    #[test]
+    fn error_on_missing_end() {
+        let e = assemble("module m\nfunc f()\n ret\n").unwrap_err();
+        assert!(e.msg.contains("missing `end`"));
+    }
+
+    #[test]
+    fn error_on_dangling_export() {
+        let e = assemble("module m\nexport main = ghost\n").unwrap_err();
+        assert!(e.msg.contains("unknown function"));
+    }
+
+    #[test]
+    fn locals_must_precede_code() {
+        let e = assemble("module m\nfunc f()\n nop\n locals x: int\n ret\nend\n").unwrap_err();
+        assert!(e.msg.contains("must precede code"));
+    }
+
+    #[test]
+    fn duplicate_labels_and_locals_rejected() {
+        let e = assemble("module m\nfunc f()\nlabel a\nlabel a\n ret\nend\n").unwrap_err();
+        assert!(e.msg.contains("duplicate label"));
+        let e = assemble("module m\nfunc f()\n locals x: int, x: int\n ret\nend\n").unwrap_err();
+        assert!(e.msg.contains("duplicate local"));
+    }
+
+    #[test]
+    fn void_functions_and_bare_param_types() {
+        let m = assemble(
+            r#"
+            module m
+            func f(int, bool)
+              ret
+            end
+            export f = f
+            "#,
+        )
+        .unwrap();
+        assert_eq!(m.functions[0].sig.params, vec![Ty::Int, Ty::Bool]);
+        assert_eq!(m.functions[0].sig.ret, None);
+        verify(m).unwrap();
+    }
+
+    #[test]
+    fn assembles_minimal_module() {
+        let m = assemble(
+            r#"
+            module hello
+            func f() -> int
+              push_int 42
+              ret
+            end
+            export f = f
+            "#,
+        )
+        .unwrap();
+        assert_eq!(m.name, "hello");
+        assert_eq!(m.functions.len(), 1);
+        assert_eq!(m.functions[0].code, vec![Instr::PushInt(42), Instr::Return]);
+        assert_eq!(m.exports[0].name, "f");
+    }
+}

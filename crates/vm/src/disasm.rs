@@ -1,0 +1,206 @@
+//! The disassembler: renders a [`Module`] back into assembler syntax.
+//!
+//! The output is accepted by [`crate::asm::assemble`], so
+//! `assemble ∘ disassemble` is the identity on module structure — which
+//! the round-trip tests (and a proptest over generated modules) pin
+//! down. Jump targets become synthetic `L<offset>` labels.
+
+use crate::instr::Instr;
+use crate::module::{Function, Module, Signature};
+use crate::types::Ty;
+use std::collections::BTreeSet;
+use std::fmt::Write;
+
+fn ty_name(ty: Ty) -> &'static str {
+    match ty {
+        Ty::Int => "int",
+        Ty::Bool => "bool",
+        Ty::Str => "str",
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+fn write_sig(out: &mut String, sig: &Signature, named: bool) {
+    out.push('(');
+    for (i, p) in sig.params.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        if named {
+            let _ = write!(out, "a{i}: {}", ty_name(*p));
+        } else {
+            out.push_str(ty_name(*p));
+        }
+    }
+    out.push(')');
+    if let Some(ret) = sig.ret {
+        let _ = write!(out, " -> {}", ty_name(ret));
+    }
+}
+
+fn jump_targets(function: &Function) -> BTreeSet<u32> {
+    function
+        .code
+        .iter()
+        .filter_map(|i| match i {
+            Instr::Jump(t) | Instr::JumpIf(t) | Instr::JumpIfNot(t) => Some(*t),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Disassembles a module into assembler source.
+pub fn disassemble(module: &Module) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "module {}", module.name);
+    for import in &module.imports {
+        let mut sig = String::new();
+        write_sig(&mut sig, &import.sig, false);
+        let _ = writeln!(
+            out,
+            "import {} = \"{}\" {}",
+            import.alias,
+            escape(&import.path),
+            sig
+        );
+    }
+    for function in &module.functions {
+        let mut sig = String::new();
+        write_sig(&mut sig, &function.sig, true);
+        let _ = writeln!(out, "func {}{}", function.name, sig);
+        if !function.extra_locals.is_empty() {
+            let locals: Vec<String> = function
+                .extra_locals
+                .iter()
+                .enumerate()
+                .map(|(i, ty)| format!("l{}: {}", i + function.sig.params.len(), ty_name(*ty)))
+                .collect();
+            let _ = writeln!(out, "  locals {}", locals.join(", "));
+        }
+        let targets = jump_targets(function);
+        for (offset, instr) in function.code.iter().enumerate() {
+            if targets.contains(&(offset as u32)) {
+                let _ = writeln!(out, "label L{offset}");
+            }
+            let line = match instr {
+                Instr::PushStr(i) => {
+                    format!("push_str \"{}\"", escape(&module.strings[*i as usize]))
+                }
+                Instr::Jump(t) => format!("jump L{t}"),
+                Instr::JumpIf(t) => format!("jump_if L{t}"),
+                Instr::JumpIfNot(t) => format!("jump_if_not L{t}"),
+                Instr::Call(i) => format!("call {}", module.functions[*i as usize].name),
+                Instr::SysCall(i) => format!("syscall {}", module.imports[*i as usize].alias),
+                other => other.to_string(),
+            };
+            let _ = writeln!(out, "  {line}");
+        }
+        // A jump may target one past the last instruction only in
+        // malformed modules; verified modules always end in a terminal
+        // instruction, so no trailing label is needed.
+        let _ = writeln!(out, "end");
+    }
+    for export in &module.exports {
+        let _ = writeln!(
+            out,
+            "export {} = {}",
+            export.name, module.functions[export.func as usize].name
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm;
+
+    const SRC: &str = r#"
+module demo
+import print = "/svc/console/print" (str)
+func sum(n: int) -> int
+  locals i: int, acc: int
+  push_int 0
+  store_local i
+label loop
+  load_local i
+  load_local n
+  lt
+  jump_if_not done
+  load_local acc
+  load_local i
+  add
+  store_local acc
+  load_local i
+  push_int 1
+  add
+  store_local i
+  jump loop
+label done
+  load_local acc
+  ret
+end
+func main()
+  push_str "total:\n"
+  syscall print
+  ret
+end
+export main = main
+export sum = sum
+"#;
+
+    #[test]
+    fn round_trip_preserves_structure() {
+        let module = asm::assemble(SRC).unwrap();
+        let text = disassemble(&module);
+        let again = asm::assemble(&text).unwrap();
+        // Code, signatures, imports and exports must be identical (local
+        // and label *names* are synthetic, but indices are what counts).
+        assert_eq!(module.imports, again.imports);
+        assert_eq!(module.exports, again.exports);
+        assert_eq!(module.strings, again.strings);
+        assert_eq!(module.functions.len(), again.functions.len());
+        for (a, b) in module.functions.iter().zip(again.functions.iter()) {
+            assert_eq!(a.sig, b.sig);
+            assert_eq!(a.extra_locals, b.extra_locals);
+            assert_eq!(a.code, b.code);
+        }
+    }
+
+    #[test]
+    fn round_trip_verifies_and_behaves_identically() {
+        use crate::interp::{Machine, NullHost};
+        use crate::types::Value;
+        let module = asm::assemble(SRC).unwrap();
+        let again = asm::assemble(&disassemble(&module)).unwrap();
+        let v1 = crate::verify(module).unwrap();
+        let v2 = crate::verify(again).unwrap();
+        let r1 = Machine::new(&v1).run("sum", &[Value::Int(10)], &mut NullHost);
+        let r2 = Machine::new(&v2).run("sum", &[Value::Int(10)], &mut NullHost);
+        assert_eq!(r1, r2);
+        assert_eq!(r1, Ok(Some(Value::Int(45))));
+    }
+
+    #[test]
+    fn escapes_survive() {
+        let module = asm::assemble(
+            "module m\nfunc f() -> str\n push_str \"a\\\"b\\\\c\\nd\"\n ret\nend\nexport f = f\n",
+        )
+        .unwrap();
+        let again = asm::assemble(&disassemble(&module)).unwrap();
+        assert_eq!(module.strings, again.strings);
+    }
+}

@@ -1,0 +1,155 @@
+//! The instruction set.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One bytecode instruction.
+///
+/// The machine is a typed stack machine. Operands come from the operand
+/// stack; `u16` local indices address the function's parameter+local
+/// frame; `u32` code offsets are absolute within the owning function;
+/// `u32` pool/function/import indices are module-global.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Instr {
+    // --- Constants ---------------------------------------------------
+    /// Push an integer constant.
+    PushInt(i64),
+    /// Push a boolean constant.
+    PushBool(bool),
+    /// Push a string from the module's string pool.
+    PushStr(u32),
+
+    // --- Stack shuffling ----------------------------------------------
+    /// Duplicate the top of stack.
+    Dup,
+    /// Discard the top of stack.
+    Pop,
+    /// Swap the two topmost slots.
+    Swap,
+
+    // --- Locals --------------------------------------------------------
+    /// Push local `n`.
+    LoadLocal(u16),
+    /// Pop into local `n`.
+    StoreLocal(u16),
+
+    // --- Integer arithmetic ---------------------------------------------
+    /// `a + b` (wrapping).
+    Add,
+    /// `a - b` (wrapping).
+    Sub,
+    /// `a * b` (wrapping).
+    Mul,
+    /// `a / b`; traps on division by zero or overflow.
+    Div,
+    /// `a % b`; traps on division by zero or overflow.
+    Rem,
+    /// `-a` (wrapping).
+    Neg,
+
+    // --- Comparisons (int × int → bool) ---------------------------------
+    /// `a == b` (any matching types).
+    Eq,
+    /// `a != b` (any matching types).
+    Ne,
+    /// `a < b`.
+    Lt,
+    /// `a <= b`.
+    Le,
+    /// `a > b`.
+    Gt,
+    /// `a >= b`.
+    Ge,
+
+    // --- Booleans --------------------------------------------------------
+    /// Logical not.
+    Not,
+    /// Logical and (strict, both operands already evaluated).
+    And,
+    /// Logical or (strict).
+    Or,
+
+    // --- Strings ----------------------------------------------------------
+    /// Concatenate two strings.
+    Concat,
+    /// String length as an integer.
+    StrLen,
+    /// Convert an integer to its decimal string.
+    IntToStr,
+    /// Parse a decimal string into an integer; traps on malformed input.
+    StrToInt,
+
+    // --- Control flow -------------------------------------------------------
+    /// Unconditional jump to an absolute code offset.
+    Jump(u32),
+    /// Pop a bool; jump when true.
+    JumpIf(u32),
+    /// Pop a bool; jump when false.
+    JumpIfNot(u32),
+    /// Call module function `n`.
+    Call(u32),
+    /// Invoke import `n` (a syscall gate into the host).
+    SysCall(u32),
+    /// Return from the current function (with the declared return value
+    /// on the stack, if any).
+    Return,
+    /// Abort execution with an explicit trap.
+    Trap,
+    /// Do nothing.
+    Nop,
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Instr::PushInt(v) => write!(f, "push_int {v}"),
+            Instr::PushBool(v) => write!(f, "push_bool {v}"),
+            Instr::PushStr(i) => write!(f, "push_str #{i}"),
+            Instr::Dup => write!(f, "dup"),
+            Instr::Pop => write!(f, "pop"),
+            Instr::Swap => write!(f, "swap"),
+            Instr::LoadLocal(i) => write!(f, "load_local {i}"),
+            Instr::StoreLocal(i) => write!(f, "store_local {i}"),
+            Instr::Add => write!(f, "add"),
+            Instr::Sub => write!(f, "sub"),
+            Instr::Mul => write!(f, "mul"),
+            Instr::Div => write!(f, "div"),
+            Instr::Rem => write!(f, "rem"),
+            Instr::Neg => write!(f, "neg"),
+            Instr::Eq => write!(f, "eq"),
+            Instr::Ne => write!(f, "ne"),
+            Instr::Lt => write!(f, "lt"),
+            Instr::Le => write!(f, "le"),
+            Instr::Gt => write!(f, "gt"),
+            Instr::Ge => write!(f, "ge"),
+            Instr::Not => write!(f, "not"),
+            Instr::And => write!(f, "and"),
+            Instr::Or => write!(f, "or"),
+            Instr::Concat => write!(f, "concat"),
+            Instr::StrLen => write!(f, "str_len"),
+            Instr::IntToStr => write!(f, "int_to_str"),
+            Instr::StrToInt => write!(f, "str_to_int"),
+            Instr::Jump(t) => write!(f, "jump @{t}"),
+            Instr::JumpIf(t) => write!(f, "jump_if @{t}"),
+            Instr::JumpIfNot(t) => write!(f, "jump_if_not @{t}"),
+            Instr::Call(i) => write!(f, "call {i}"),
+            Instr::SysCall(i) => write!(f, "syscall {i}"),
+            Instr::Return => write!(f, "ret"),
+            Instr::Trap => write!(f, "trap"),
+            Instr::Nop => write!(f, "nop"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Instr::PushInt(7).to_string(), "push_int 7");
+        assert_eq!(Instr::Jump(3).to_string(), "jump @3");
+        assert_eq!(Instr::SysCall(0).to_string(), "syscall 0");
+        assert_eq!(Instr::Return.to_string(), "ret");
+    }
+}

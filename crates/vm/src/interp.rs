@@ -1,0 +1,837 @@
+//! The fuel-limited interpreter.
+
+use crate::instr::Instr;
+use crate::module::ImportDecl;
+use crate::types::Value;
+use crate::verify::VerifiedModule;
+use std::fmt;
+
+/// Resource limits for one execution.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MachineLimits {
+    /// Total instruction budget. Every instruction costs one unit; a
+    /// syscall additionally costs [`MachineLimits::syscall_cost`].
+    pub fuel: u64,
+    /// Maximum call-frame depth.
+    pub max_call_depth: usize,
+    /// Extra fuel charged per syscall (gates are not free).
+    pub syscall_cost: u64,
+}
+
+impl Default for MachineLimits {
+    fn default() -> Self {
+        MachineLimits {
+            fuel: 1_000_000,
+            max_call_depth: 256,
+            syscall_cost: 16,
+        }
+    }
+}
+
+/// A runtime trap: why execution stopped abnormally.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Trap {
+    /// The fuel budget was exhausted (the denial-of-service backstop).
+    OutOfFuel,
+    /// Integer division or remainder by zero.
+    DivideByZero,
+    /// `i64::MIN / -1` style overflow in division.
+    IntegerOverflow,
+    /// The code executed an explicit `trap` instruction.
+    Explicit,
+    /// The call stack exceeded the configured depth.
+    CallDepthExceeded,
+    /// The host rejected or failed a syscall (e.g. access denied by the
+    /// reference monitor). Carries the host's message.
+    Host(String),
+    /// The requested export does not exist.
+    NoSuchExport(String),
+    /// The entry arguments did not match the export's signature.
+    BadEntryArgs,
+    /// `str_to_int` was applied to a non-numeric string.
+    BadParse,
+    /// Internal invariant violation — unreachable on verified code.
+    Internal(&'static str),
+}
+
+impl fmt::Display for Trap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Trap::OutOfFuel => write!(f, "out of fuel"),
+            Trap::DivideByZero => write!(f, "division by zero"),
+            Trap::IntegerOverflow => write!(f, "integer overflow"),
+            Trap::Explicit => write!(f, "explicit trap"),
+            Trap::CallDepthExceeded => write!(f, "call depth exceeded"),
+            Trap::Host(msg) => write!(f, "host: {msg}"),
+            Trap::NoSuchExport(name) => write!(f, "no such export {name:?}"),
+            Trap::BadEntryArgs => write!(f, "entry arguments do not match signature"),
+            Trap::BadParse => write!(f, "string does not parse as an integer"),
+            Trap::Internal(msg) => write!(f, "internal: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Trap {}
+
+/// The host side of a syscall gate.
+///
+/// The extension runtime implements this to route each declared import
+/// through the reference monitor and into the target system service. A
+/// host error becomes a [`Trap::Host`] in the extension.
+pub trait SyscallHost {
+    /// Performs the syscall named by `import` with the given arguments.
+    ///
+    /// On success the return value must match `import.sig.ret` (`None`
+    /// for `()` imports); the machine validates this and traps otherwise.
+    fn syscall(&mut self, import: &ImportDecl, args: &[Value]) -> Result<Option<Value>, String>;
+}
+
+/// A host that rejects every syscall. Useful for pure computations and
+/// for testing that verification confines an extension to its imports.
+pub struct NullHost;
+
+impl SyscallHost for NullHost {
+    fn syscall(&mut self, import: &ImportDecl, _args: &[Value]) -> Result<Option<Value>, String> {
+        Err(format!("no host service bound for {:?}", import.path))
+    }
+}
+
+struct Frame {
+    func: usize,
+    pc: usize,
+    locals: Vec<Value>,
+    stack: Vec<Value>,
+}
+
+/// An interpreter instance over one verified module.
+///
+/// See the crate docs for an end-to-end example.
+pub struct Machine<'m> {
+    verified: &'m VerifiedModule,
+    limits: MachineLimits,
+    fuel_used: u64,
+}
+
+impl<'m> Machine<'m> {
+    /// Creates a machine with default limits.
+    pub fn new(verified: &'m VerifiedModule) -> Self {
+        Machine::with_limits(verified, MachineLimits::default())
+    }
+
+    /// Creates a machine with explicit limits.
+    pub fn with_limits(verified: &'m VerifiedModule, limits: MachineLimits) -> Self {
+        Machine {
+            verified,
+            limits,
+            fuel_used: 0,
+        }
+    }
+
+    /// Returns the fuel consumed so far (cumulative across runs).
+    pub fn fuel_used(&self) -> u64 {
+        self.fuel_used
+    }
+
+    /// Runs the exported function `name` with `args`.
+    pub fn run(
+        &mut self,
+        name: &str,
+        args: &[Value],
+        host: &mut dyn SyscallHost,
+    ) -> Result<Option<Value>, Trap> {
+        let module = self.verified.module();
+        let export = module
+            .export(name)
+            .ok_or_else(|| Trap::NoSuchExport(name.to_string()))?;
+        let func_idx = export.func as usize;
+        let function = &module.functions[func_idx];
+        // Validate entry arguments against the signature.
+        if args.len() != function.sig.params.len()
+            || args
+                .iter()
+                .zip(function.sig.params.iter())
+                .any(|(v, ty)| v.ty() != *ty)
+        {
+            return Err(Trap::BadEntryArgs);
+        }
+        let mut locals: Vec<Value> = args.to_vec();
+        locals.extend(function.extra_locals.iter().map(|ty| Value::zero_of(*ty)));
+        let mut frames = vec![Frame {
+            func: func_idx,
+            pc: 0,
+            locals,
+            stack: Vec::new(),
+        }];
+
+        loop {
+            // Charge fuel.
+            self.fuel_used += 1;
+            if self.fuel_used > self.limits.fuel {
+                return Err(Trap::OutOfFuel);
+            }
+            let frame = frames.last_mut().expect("at least one frame");
+            let function = &module.functions[frame.func];
+            let instr = function.code[frame.pc];
+            frame.pc += 1;
+            match instr {
+                Instr::PushInt(v) => frame.stack.push(Value::Int(v)),
+                Instr::PushBool(v) => frame.stack.push(Value::Bool(v)),
+                Instr::PushStr(i) => frame
+                    .stack
+                    .push(Value::Str(module.strings[i as usize].clone())),
+                Instr::Dup => {
+                    let top = frame.stack.last().cloned().ok_or(Trap::Internal("dup"))?;
+                    frame.stack.push(top);
+                }
+                Instr::Pop => {
+                    frame.stack.pop().ok_or(Trap::Internal("pop"))?;
+                }
+                Instr::Swap => {
+                    let n = frame.stack.len();
+                    if n < 2 {
+                        return Err(Trap::Internal("swap"));
+                    }
+                    frame.stack.swap(n - 1, n - 2);
+                }
+                Instr::LoadLocal(i) => {
+                    let v = frame.locals[i as usize].clone();
+                    frame.stack.push(v);
+                }
+                Instr::StoreLocal(i) => {
+                    let v = frame.stack.pop().ok_or(Trap::Internal("store"))?;
+                    frame.locals[i as usize] = v;
+                }
+                Instr::Add | Instr::Sub | Instr::Mul => {
+                    let b = pop_int(frame)?;
+                    let a = pop_int(frame)?;
+                    let r = match instr {
+                        Instr::Add => a.wrapping_add(b),
+                        Instr::Sub => a.wrapping_sub(b),
+                        _ => a.wrapping_mul(b),
+                    };
+                    frame.stack.push(Value::Int(r));
+                }
+                Instr::Div | Instr::Rem => {
+                    let b = pop_int(frame)?;
+                    let a = pop_int(frame)?;
+                    if b == 0 {
+                        return Err(Trap::DivideByZero);
+                    }
+                    let r = if matches!(instr, Instr::Div) {
+                        a.checked_div(b).ok_or(Trap::IntegerOverflow)?
+                    } else {
+                        a.checked_rem(b).ok_or(Trap::IntegerOverflow)?
+                    };
+                    frame.stack.push(Value::Int(r));
+                }
+                Instr::Neg => {
+                    let a = pop_int(frame)?;
+                    frame.stack.push(Value::Int(a.wrapping_neg()));
+                }
+                Instr::Eq | Instr::Ne => {
+                    let b = frame.stack.pop().ok_or(Trap::Internal("eq"))?;
+                    let a = frame.stack.pop().ok_or(Trap::Internal("eq"))?;
+                    let eq = a == b;
+                    frame.stack.push(Value::Bool(if matches!(instr, Instr::Eq) {
+                        eq
+                    } else {
+                        !eq
+                    }));
+                }
+                Instr::Lt | Instr::Le | Instr::Gt | Instr::Ge => {
+                    let b = pop_int(frame)?;
+                    let a = pop_int(frame)?;
+                    let r = match instr {
+                        Instr::Lt => a < b,
+                        Instr::Le => a <= b,
+                        Instr::Gt => a > b,
+                        _ => a >= b,
+                    };
+                    frame.stack.push(Value::Bool(r));
+                }
+                Instr::Not => {
+                    let a = pop_bool(frame)?;
+                    frame.stack.push(Value::Bool(!a));
+                }
+                Instr::And | Instr::Or => {
+                    let b = pop_bool(frame)?;
+                    let a = pop_bool(frame)?;
+                    let r = if matches!(instr, Instr::And) {
+                        a && b
+                    } else {
+                        a || b
+                    };
+                    frame.stack.push(Value::Bool(r));
+                }
+                Instr::Concat => {
+                    let b = pop_str(frame)?;
+                    let mut a = pop_str(frame)?;
+                    a.push_str(&b);
+                    frame.stack.push(Value::Str(a));
+                }
+                Instr::StrLen => {
+                    let s = pop_str(frame)?;
+                    frame.stack.push(Value::Int(s.len() as i64));
+                }
+                Instr::IntToStr => {
+                    let a = pop_int(frame)?;
+                    frame.stack.push(Value::Str(a.to_string()));
+                }
+                Instr::StrToInt => {
+                    let s = pop_str(frame)?;
+                    let v: i64 = s.trim().parse().map_err(|_| Trap::BadParse)?;
+                    frame.stack.push(Value::Int(v));
+                }
+                Instr::Jump(target) => frame.pc = target as usize,
+                Instr::JumpIf(target) => {
+                    if pop_bool(frame)? {
+                        frame.pc = target as usize;
+                    }
+                }
+                Instr::JumpIfNot(target) => {
+                    if !pop_bool(frame)? {
+                        frame.pc = target as usize;
+                    }
+                }
+                Instr::Call(i) => {
+                    if frames.len() >= self.limits.max_call_depth {
+                        return Err(Trap::CallDepthExceeded);
+                    }
+                    let callee = &module.functions[i as usize];
+                    let n = callee.sig.params.len();
+                    let frame = frames.last_mut().expect("frame");
+                    let split = frame.stack.len() - n;
+                    let mut locals: Vec<Value> = frame.stack.split_off(split);
+                    locals.extend(callee.extra_locals.iter().map(|ty| Value::zero_of(*ty)));
+                    frames.push(Frame {
+                        func: i as usize,
+                        pc: 0,
+                        locals,
+                        stack: Vec::new(),
+                    });
+                }
+                Instr::SysCall(i) => {
+                    self.fuel_used += self.limits.syscall_cost;
+                    if self.fuel_used > self.limits.fuel {
+                        return Err(Trap::OutOfFuel);
+                    }
+                    let import = &module.imports[i as usize];
+                    let n = import.sig.params.len();
+                    let frame = frames.last_mut().expect("frame");
+                    let split = frame.stack.len() - n;
+                    let args: Vec<Value> = frame.stack.split_off(split);
+                    let result = host.syscall(import, &args).map_err(Trap::Host)?;
+                    match (import.sig.ret, result) {
+                        (Some(ty), Some(v)) if v.ty() == ty => frame.stack.push(v),
+                        (None, None) => {}
+                        _ => {
+                            return Err(Trap::Host(format!(
+                                "host returned a value not matching {} for {}",
+                                import.sig, import.path
+                            )))
+                        }
+                    }
+                }
+                Instr::Return => {
+                    let finished = frames.pop().expect("frame");
+                    let function = &module.functions[finished.func];
+                    let ret = match function.sig.ret {
+                        Some(_) => Some(
+                            finished
+                                .stack
+                                .into_iter()
+                                .next_back()
+                                .ok_or(Trap::Internal("ret"))?,
+                        ),
+                        None => None,
+                    };
+                    match frames.last_mut() {
+                        Some(caller) => {
+                            if let Some(v) = ret {
+                                caller.stack.push(v);
+                            }
+                        }
+                        None => return Ok(ret),
+                    }
+                }
+                Instr::Trap => return Err(Trap::Explicit),
+                Instr::Nop => {}
+            }
+        }
+    }
+}
+
+fn pop_int(frame: &mut Frame) -> Result<i64, Trap> {
+    match frame.stack.pop() {
+        Some(Value::Int(i)) => Ok(i),
+        _ => Err(Trap::Internal("expected int")),
+    }
+}
+
+fn pop_bool(frame: &mut Frame) -> Result<bool, Trap> {
+    match frame.stack.pop() {
+        Some(Value::Bool(b)) => Ok(b),
+        _ => Err(Trap::Internal("expected bool")),
+    }
+}
+
+fn pop_str(frame: &mut Frame) -> Result<String, Trap> {
+    match frame.stack.pop() {
+        Some(Value::Str(s)) => Ok(s),
+        _ => Err(Trap::Internal("expected str")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::module::{Export, Function, Module, Signature};
+    use crate::types::Ty;
+    use crate::verify::verify;
+
+    fn run_expr(code: Vec<Instr>, ret: Ty) -> Result<Option<Value>, Trap> {
+        let module = Module {
+            name: "t".into(),
+            strings: vec!["ab".into(), "cd".into()],
+            imports: vec![],
+            functions: vec![Function {
+                name: "main".into(),
+                sig: Signature::new(vec![], Some(ret)),
+                extra_locals: vec![],
+                code,
+            }],
+            exports: vec![Export {
+                name: "main".into(),
+                func: 0,
+            }],
+        };
+        let verified = verify(module).expect("test module must verify");
+        Machine::new(&verified).run("main", &[], &mut NullHost)
+    }
+
+    #[test]
+    fn arithmetic() {
+        let r = run_expr(
+            vec![
+                Instr::PushInt(6),
+                Instr::PushInt(7),
+                Instr::Mul,
+                Instr::Return,
+            ],
+            Ty::Int,
+        );
+        assert_eq!(r, Ok(Some(Value::Int(42))));
+    }
+
+    #[test]
+    fn division_traps() {
+        let r = run_expr(
+            vec![
+                Instr::PushInt(1),
+                Instr::PushInt(0),
+                Instr::Div,
+                Instr::Return,
+            ],
+            Ty::Int,
+        );
+        assert_eq!(r, Err(Trap::DivideByZero));
+        let r = run_expr(
+            vec![
+                Instr::PushInt(i64::MIN),
+                Instr::PushInt(-1),
+                Instr::Div,
+                Instr::Return,
+            ],
+            Ty::Int,
+        );
+        assert_eq!(r, Err(Trap::IntegerOverflow));
+    }
+
+    #[test]
+    fn subtraction_order() {
+        let r = run_expr(
+            vec![
+                Instr::PushInt(10),
+                Instr::PushInt(3),
+                Instr::Sub,
+                Instr::Return,
+            ],
+            Ty::Int,
+        );
+        assert_eq!(r, Ok(Some(Value::Int(7))));
+    }
+
+    #[test]
+    fn comparisons_and_logic() {
+        let r = run_expr(
+            vec![
+                Instr::PushInt(3),
+                Instr::PushInt(4),
+                Instr::Lt, // true
+                Instr::PushBool(false),
+                Instr::Or,  // true
+                Instr::Not, // false
+                Instr::Return,
+            ],
+            Ty::Bool,
+        );
+        assert_eq!(r, Ok(Some(Value::Bool(false))));
+    }
+
+    #[test]
+    fn strings() {
+        let r = run_expr(
+            vec![
+                Instr::PushStr(0),
+                Instr::PushStr(1),
+                Instr::Concat,
+                Instr::Return,
+            ],
+            Ty::Str,
+        );
+        assert_eq!(r, Ok(Some(Value::Str("abcd".into()))));
+        let r = run_expr(
+            vec![
+                Instr::PushInt(-42),
+                Instr::IntToStr,
+                Instr::StrLen,
+                Instr::Return,
+            ],
+            Ty::Int,
+        );
+        assert_eq!(r, Ok(Some(Value::Int(3))));
+    }
+
+    #[test]
+    fn loop_terminates_with_fuel() {
+        // sum = 0; for i in 0..100 { sum += i }; return sum
+        let module = Module {
+            name: "t".into(),
+            strings: vec![],
+            imports: vec![],
+            functions: vec![Function {
+                name: "main".into(),
+                sig: Signature::new(vec![], Some(Ty::Int)),
+                extra_locals: vec![Ty::Int, Ty::Int],
+                code: vec![
+                    Instr::PushInt(0),
+                    Instr::StoreLocal(0), // i = 0
+                    Instr::PushInt(0),
+                    Instr::StoreLocal(1), // sum = 0
+                    Instr::LoadLocal(0),  // 4: loop head
+                    Instr::PushInt(100),
+                    Instr::Lt,
+                    Instr::JumpIfNot(16),
+                    Instr::LoadLocal(1),
+                    Instr::LoadLocal(0),
+                    Instr::Add,
+                    Instr::StoreLocal(1),
+                    Instr::LoadLocal(0),
+                    Instr::PushInt(1),
+                    Instr::Add,
+                    Instr::StoreLocal(0),
+                    // Oops: offset 16 must be exit; the jump back sits here.
+                ],
+            }],
+            exports: vec![Export {
+                name: "main".into(),
+                func: 0,
+            }],
+        };
+        let mut module = module;
+        module.functions[0].code = vec![
+            Instr::PushInt(0),
+            Instr::StoreLocal(0),
+            Instr::PushInt(0),
+            Instr::StoreLocal(1),
+            Instr::LoadLocal(0), // 4: loop head
+            Instr::PushInt(100),
+            Instr::Lt,
+            Instr::JumpIfNot(17),
+            Instr::LoadLocal(1),
+            Instr::LoadLocal(0),
+            Instr::Add,
+            Instr::StoreLocal(1),
+            Instr::LoadLocal(0),
+            Instr::PushInt(1),
+            Instr::Add,
+            Instr::StoreLocal(0),
+            Instr::Jump(4),
+            Instr::LoadLocal(1), // 17: exit
+            Instr::Return,
+        ];
+        let verified = verify(module).unwrap();
+        let mut machine = Machine::new(&verified);
+        let r = machine.run("main", &[], &mut NullHost).unwrap();
+        assert_eq!(r, Some(Value::Int(4950)));
+        assert!(machine.fuel_used() > 100);
+    }
+
+    #[test]
+    fn infinite_loop_runs_out_of_fuel() {
+        let module = Module {
+            name: "t".into(),
+            strings: vec![],
+            imports: vec![],
+            functions: vec![Function {
+                name: "spin".into(),
+                sig: Signature::new(vec![], None),
+                extra_locals: vec![],
+                code: vec![Instr::Jump(0)],
+            }],
+            exports: vec![Export {
+                name: "spin".into(),
+                func: 0,
+            }],
+        };
+        let verified = verify(module).unwrap();
+        let mut machine = Machine::with_limits(
+            &verified,
+            MachineLimits {
+                fuel: 1000,
+                ..MachineLimits::default()
+            },
+        );
+        assert_eq!(
+            machine.run("spin", &[], &mut NullHost),
+            Err(Trap::OutOfFuel)
+        );
+        assert_eq!(machine.fuel_used(), 1001);
+    }
+
+    #[test]
+    fn calls_and_recursion_depth() {
+        // f(n) = n == 0 ? 0 : f(n - 1)
+        let module = Module {
+            name: "t".into(),
+            strings: vec![],
+            imports: vec![],
+            functions: vec![Function {
+                name: "f".into(),
+                sig: Signature::new(vec![Ty::Int], Some(Ty::Int)),
+                extra_locals: vec![],
+                code: vec![
+                    Instr::LoadLocal(0),
+                    Instr::PushInt(0),
+                    Instr::Eq,
+                    Instr::JumpIfNot(6),
+                    Instr::PushInt(0),
+                    Instr::Return,
+                    Instr::LoadLocal(0), // 6
+                    Instr::PushInt(1),
+                    Instr::Sub,
+                    Instr::Call(0),
+                    Instr::Return,
+                ],
+            }],
+            exports: vec![Export {
+                name: "f".into(),
+                func: 0,
+            }],
+        };
+        let verified = verify(module).unwrap();
+        let mut machine = Machine::new(&verified);
+        assert_eq!(
+            machine.run("f", &[Value::Int(10)], &mut NullHost),
+            Ok(Some(Value::Int(0)))
+        );
+        // Recursion deeper than the limit traps.
+        let mut machine = Machine::with_limits(
+            &verified,
+            MachineLimits {
+                max_call_depth: 8,
+                ..MachineLimits::default()
+            },
+        );
+        assert_eq!(
+            machine.run("f", &[Value::Int(100)], &mut NullHost),
+            Err(Trap::CallDepthExceeded)
+        );
+    }
+
+    #[test]
+    fn syscalls_reach_the_host() {
+        struct Recorder(Vec<(String, Vec<Value>)>);
+        impl SyscallHost for Recorder {
+            fn syscall(
+                &mut self,
+                import: &ImportDecl,
+                args: &[Value],
+            ) -> Result<Option<Value>, String> {
+                self.0.push((import.path.clone(), args.to_vec()));
+                Ok(Some(Value::Int(7)))
+            }
+        }
+        let module = Module {
+            name: "t".into(),
+            strings: vec!["x".into()],
+            imports: vec![crate::module::ImportDecl {
+                alias: "probe".into(),
+                path: "/svc/probe".into(),
+                sig: Signature::new(vec![Ty::Str, Ty::Int], Some(Ty::Int)),
+            }],
+            functions: vec![Function {
+                name: "main".into(),
+                sig: Signature::new(vec![], Some(Ty::Int)),
+                extra_locals: vec![],
+                code: vec![
+                    Instr::PushStr(0),
+                    Instr::PushInt(5),
+                    Instr::SysCall(0),
+                    Instr::Return,
+                ],
+            }],
+            exports: vec![Export {
+                name: "main".into(),
+                func: 0,
+            }],
+        };
+        let verified = verify(module).unwrap();
+        let mut host = Recorder(Vec::new());
+        let mut machine = Machine::new(&verified);
+        let r = machine.run("main", &[], &mut host).unwrap();
+        assert_eq!(r, Some(Value::Int(7)));
+        assert_eq!(host.0.len(), 1);
+        assert_eq!(host.0[0].0, "/svc/probe");
+        assert_eq!(host.0[0].1, vec![Value::Str("x".into()), Value::Int(5)]);
+    }
+
+    #[test]
+    fn host_denial_becomes_trap() {
+        let module = Module {
+            name: "t".into(),
+            strings: vec![],
+            imports: vec![crate::module::ImportDecl {
+                alias: "deny".into(),
+                path: "/svc/deny".into(),
+                sig: Signature::new(vec![], None),
+            }],
+            functions: vec![Function {
+                name: "main".into(),
+                sig: Signature::new(vec![], None),
+                extra_locals: vec![],
+                code: vec![Instr::SysCall(0), Instr::Return],
+            }],
+            exports: vec![Export {
+                name: "main".into(),
+                func: 0,
+            }],
+        };
+        let verified = verify(module).unwrap();
+        let r = Machine::new(&verified).run("main", &[], &mut NullHost);
+        assert!(matches!(r, Err(Trap::Host(_))));
+    }
+
+    #[test]
+    fn host_return_type_is_validated() {
+        struct LyingHost;
+        impl SyscallHost for LyingHost {
+            fn syscall(&mut self, _: &ImportDecl, _: &[Value]) -> Result<Option<Value>, String> {
+                Ok(Some(Value::Bool(true))) // import promises int
+            }
+        }
+        let module = Module {
+            name: "t".into(),
+            strings: vec![],
+            imports: vec![crate::module::ImportDecl {
+                alias: "lie".into(),
+                path: "/svc/lie".into(),
+                sig: Signature::new(vec![], Some(Ty::Int)),
+            }],
+            functions: vec![Function {
+                name: "main".into(),
+                sig: Signature::new(vec![], Some(Ty::Int)),
+                extra_locals: vec![],
+                code: vec![Instr::SysCall(0), Instr::Return],
+            }],
+            exports: vec![Export {
+                name: "main".into(),
+                func: 0,
+            }],
+        };
+        let verified = verify(module).unwrap();
+        let r = Machine::new(&verified).run("main", &[], &mut LyingHost);
+        assert!(matches!(r, Err(Trap::Host(_))));
+    }
+
+    #[test]
+    fn entry_argument_validation() {
+        let module = Module {
+            name: "t".into(),
+            strings: vec![],
+            imports: vec![],
+            functions: vec![Function {
+                name: "f".into(),
+                sig: Signature::new(vec![Ty::Int], Some(Ty::Int)),
+                extra_locals: vec![],
+                code: vec![Instr::LoadLocal(0), Instr::Return],
+            }],
+            exports: vec![Export {
+                name: "f".into(),
+                func: 0,
+            }],
+        };
+        let verified = verify(module).unwrap();
+        let mut machine = Machine::new(&verified);
+        assert_eq!(
+            machine.run("f", &[Value::Bool(true)], &mut NullHost),
+            Err(Trap::BadEntryArgs)
+        );
+        assert_eq!(
+            machine.run("f", &[], &mut NullHost),
+            Err(Trap::BadEntryArgs)
+        );
+        assert_eq!(
+            machine.run("missing", &[], &mut NullHost),
+            Err(Trap::NoSuchExport("missing".into()))
+        );
+    }
+
+    #[test]
+    fn explicit_trap() {
+        let module = Module {
+            name: "t".into(),
+            strings: vec![],
+            imports: vec![],
+            functions: vec![Function {
+                name: "boom".into(),
+                sig: Signature::new(vec![], None),
+                extra_locals: vec![],
+                code: vec![Instr::Trap],
+            }],
+            exports: vec![Export {
+                name: "boom".into(),
+                func: 0,
+            }],
+        };
+        let verified = verify(module).unwrap();
+        assert_eq!(
+            Machine::new(&verified).run("boom", &[], &mut NullHost),
+            Err(Trap::Explicit)
+        );
+    }
+
+    #[test]
+    fn extra_locals_zero_initialized() {
+        let module = Module {
+            name: "t".into(),
+            strings: vec![],
+            imports: vec![],
+            functions: vec![Function {
+                name: "f".into(),
+                sig: Signature::new(vec![], Some(Ty::Int)),
+                extra_locals: vec![Ty::Int],
+                code: vec![Instr::LoadLocal(0), Instr::Return],
+            }],
+            exports: vec![Export {
+                name: "f".into(),
+                func: 0,
+            }],
+        };
+        let verified = verify(module).unwrap();
+        assert_eq!(
+            Machine::new(&verified).run("f", &[], &mut NullHost),
+            Ok(Some(Value::Int(0)))
+        );
+    }
+}

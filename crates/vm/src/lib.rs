@@ -1,0 +1,69 @@
+//! A safe extension bytecode: the language-safety substrate.
+//!
+//! Extensible systems "rely on programming language support (using
+//! type-safe programming languages ...) and software fault isolation" for
+//! basic safety (paper §1.1). This crate provides the equivalent substrate
+//! for the reproduction: extensions are small bytecode modules that are
+//! **statically verified** before linking and then run in a fuel-limited
+//! interpreter. Verification guarantees that an extension
+//!
+//! * can never underflow or type-confuse the operand stack,
+//! * can never jump outside its own code or read unset locals,
+//! * can only leave its sandbox through declared **imports** — named
+//!   system-service procedures that the host resolves through the
+//!   reference monitor (the syscall *gates*), and
+//! * cannot run forever — every instruction costs fuel, which bounds the
+//!   damage of a denial-of-service loop (an aspect the paper explicitly
+//!   defers; see DESIGN.md).
+//!
+//! The [`mod@verify`] module implements the abstract-interpretation verifier;
+//! [`interp`] the interpreter; [`asm`] a small text assembler so that
+//! example extensions remain readable. The verifier hands back a
+//! [`VerifiedModule`] — the interpreter only accepts that type, so
+//! unverified code cannot run by construction.
+//!
+//! # Examples
+//!
+//! ```
+//! use extsec_vm::{asm, interp::{Machine, NullHost}, verify, Value};
+//!
+//! let module = asm::assemble(
+//!     r#"
+//!     module adder
+//!     func add(a: int, b: int) -> int
+//!       load_local 0
+//!       load_local 1
+//!       add
+//!       ret
+//!     end
+//!     export add = add
+//!     "#,
+//! )
+//! .unwrap();
+//! let verified = verify::verify(module).unwrap();
+//! let mut machine = Machine::new(&verified);
+//! let result = machine
+//!     .run("add", &[Value::Int(2), Value::Int(40)], &mut NullHost)
+//!     .unwrap();
+//! assert_eq!(result, Some(Value::Int(42)));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod asm;
+pub mod disasm;
+pub mod instr;
+pub mod interp;
+pub mod module;
+pub mod types;
+pub mod verify;
+pub mod wire;
+
+pub use disasm::disassemble;
+pub use instr::Instr;
+pub use interp::{Machine, MachineLimits, NullHost, SyscallHost, Trap};
+pub use module::{Export, Function, ImportDecl, Module, Signature};
+pub use types::{Ty, Value};
+pub use verify::{verify, VerifiedModule, VerifyError};
+pub use wire::{decode, encode, WireError};

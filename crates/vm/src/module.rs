@@ -1,0 +1,185 @@
+//! The extension module format.
+
+use crate::instr::Instr;
+use crate::types::Ty;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A function signature: parameter types and an optional return type.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Signature {
+    /// Parameter types, in order.
+    pub params: Vec<Ty>,
+    /// Return type; `None` means the function returns no value.
+    pub ret: Option<Ty>,
+}
+
+impl Signature {
+    /// Creates a signature.
+    pub fn new(params: Vec<Ty>, ret: Option<Ty>) -> Self {
+        Signature { params, ret }
+    }
+}
+
+impl fmt::Display for Signature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, p) in self.params.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{p}")?;
+        }
+        write!(f, ")")?;
+        if let Some(ret) = self.ret {
+            write!(f, " -> {ret}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A declared import: a named gate into a system-service procedure.
+///
+/// The `path` is a name in the universal name space (e.g.
+/// `/svc/fs/read`); the host resolves it at link time and checks
+/// `execute` access through the reference monitor on every invocation.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ImportDecl {
+    /// A module-local alias for the import.
+    pub alias: String,
+    /// The name-space path of the service procedure.
+    pub path: String,
+    /// The expected signature of the gate.
+    pub sig: Signature,
+}
+
+/// One bytecode function.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Function {
+    /// The function's name (for diagnostics and exports).
+    pub name: String,
+    /// The signature. Parameters occupy locals `0..params.len()`.
+    pub sig: Signature,
+    /// Types of additional locals beyond the parameters.
+    pub extra_locals: Vec<Ty>,
+    /// The code.
+    pub code: Vec<Instr>,
+}
+
+impl Function {
+    /// Returns the type of local `index`, spanning parameters and extra
+    /// locals.
+    pub fn local_ty(&self, index: u16) -> Option<Ty> {
+        let index = index as usize;
+        let n_params = self.sig.params.len();
+        if index < n_params {
+            Some(self.sig.params[index])
+        } else {
+            self.extra_locals.get(index - n_params).copied()
+        }
+    }
+
+    /// Returns the total number of locals (parameters + extras).
+    pub fn local_count(&self) -> usize {
+        self.sig.params.len() + self.extra_locals.len()
+    }
+}
+
+/// An exported entry point: an external name bound to a function index.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Export {
+    /// The external name.
+    pub name: String,
+    /// The index into [`Module::functions`].
+    pub func: u32,
+}
+
+/// An unverified extension module.
+///
+/// Produced by the assembler (or constructed programmatically) and turned
+/// into a [`crate::VerifiedModule`] by [`crate::verify()`].
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Module {
+    /// The module's name.
+    pub name: String,
+    /// The string constant pool.
+    pub strings: Vec<String>,
+    /// Declared imports (syscall gates).
+    pub imports: Vec<ImportDecl>,
+    /// The functions.
+    pub functions: Vec<Function>,
+    /// Exported entry points.
+    pub exports: Vec<Export>,
+}
+
+impl Module {
+    /// Looks an export up by name.
+    pub fn export(&self, name: &str) -> Option<&Export> {
+        self.exports.iter().find(|e| e.name == name)
+    }
+
+    /// Looks an import up by alias.
+    pub fn import_by_alias(&self, alias: &str) -> Option<(u32, &ImportDecl)> {
+        self.imports
+            .iter()
+            .enumerate()
+            .find(|(_, i)| i.alias == alias)
+            .map(|(i, d)| (i as u32, d))
+    }
+
+    /// Returns the total instruction count across all functions.
+    pub fn code_len(&self) -> usize {
+        self.functions.iter().map(|f| f.code.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_ty_spans_params_and_extras() {
+        let f = Function {
+            name: "f".into(),
+            sig: Signature::new(vec![Ty::Int, Ty::Str], Some(Ty::Int)),
+            extra_locals: vec![Ty::Bool],
+            code: vec![],
+        };
+        assert_eq!(f.local_ty(0), Some(Ty::Int));
+        assert_eq!(f.local_ty(1), Some(Ty::Str));
+        assert_eq!(f.local_ty(2), Some(Ty::Bool));
+        assert_eq!(f.local_ty(3), None);
+        assert_eq!(f.local_count(), 3);
+    }
+
+    #[test]
+    fn signature_display() {
+        let sig = Signature::new(vec![Ty::Int, Ty::Bool], Some(Ty::Str));
+        assert_eq!(sig.to_string(), "(int, bool) -> str");
+        let void = Signature::new(vec![], None);
+        assert_eq!(void.to_string(), "()");
+    }
+
+    #[test]
+    fn export_and_import_lookup() {
+        let module = Module {
+            name: "m".into(),
+            strings: vec![],
+            imports: vec![ImportDecl {
+                alias: "read".into(),
+                path: "/svc/fs/read".into(),
+                sig: Signature::new(vec![Ty::Str], Some(Ty::Str)),
+            }],
+            functions: vec![],
+            exports: vec![Export {
+                name: "main".into(),
+                func: 0,
+            }],
+        };
+        assert!(module.export("main").is_some());
+        assert!(module.export("other").is_none());
+        let (idx, decl) = module.import_by_alias("read").unwrap();
+        assert_eq!(idx, 0);
+        assert_eq!(decl.path, "/svc/fs/read");
+    }
+}

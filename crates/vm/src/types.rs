@@ -1,0 +1,158 @@
+//! Value and type domains of the extension bytecode.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The static type of a stack slot or local.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Ty {
+    /// 64-bit signed integer.
+    Int,
+    /// Boolean.
+    Bool,
+    /// Immutable string.
+    Str,
+}
+
+impl fmt::Display for Ty {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Ty::Int => "int",
+            Ty::Bool => "bool",
+            Ty::Str => "str",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A runtime value.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Value {
+    /// 64-bit signed integer.
+    Int(i64),
+    /// Boolean.
+    Bool(bool),
+    /// Immutable string.
+    Str(String),
+}
+
+impl Value {
+    /// Returns the value's type.
+    pub fn ty(&self) -> Ty {
+        match self {
+            Value::Int(_) => Ty::Int,
+            Value::Bool(_) => Ty::Bool,
+            Value::Str(_) => Ty::Str,
+        }
+    }
+
+    /// Returns the default (zero) value of a type.
+    pub fn zero_of(ty: Ty) -> Value {
+        match ty {
+            Ty::Int => Value::Int(0),
+            Ty::Bool => Value::Bool(false),
+            Ty::Str => Value::Str(String::new()),
+        }
+    }
+
+    /// Extracts an integer, if this is one.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Extracts a boolean, if this is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Extracts a string slice, if this is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_types() {
+        assert_eq!(Value::Int(1).ty(), Ty::Int);
+        assert_eq!(Value::Bool(true).ty(), Ty::Bool);
+        assert_eq!(Value::Str("x".into()).ty(), Ty::Str);
+    }
+
+    #[test]
+    fn zero_values() {
+        assert_eq!(Value::zero_of(Ty::Int), Value::Int(0));
+        assert_eq!(Value::zero_of(Ty::Bool), Value::Bool(false));
+        assert_eq!(Value::zero_of(Ty::Str), Value::Str(String::new()));
+    }
+
+    #[test]
+    fn extractors() {
+        assert_eq!(Value::Int(7).as_int(), Some(7));
+        assert_eq!(Value::Int(7).as_bool(), None);
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert_eq!(Value::Str("a".into()).as_str(), Some("a"));
+        assert_eq!(Value::Str("a".into()).as_int(), None);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Value::Int(-3).to_string(), "-3");
+        assert_eq!(Value::Bool(false).to_string(), "false");
+        assert_eq!(Value::Str("hi".into()).to_string(), "\"hi\"");
+        assert_eq!(Ty::Int.to_string(), "int");
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(3i64), Value::Int(3));
+        assert_eq!(Value::from(true), Value::Bool(true));
+        assert_eq!(Value::from("s"), Value::Str("s".into()));
+    }
+}

@@ -1,0 +1,563 @@
+//! The binary module format.
+//!
+//! Extensions travel between machines (the paper's motivating setting is
+//! applets fetched over the web), so modules need a compact, versioned
+//! wire encoding — the role slim binaries play for Juice in the paper's
+//! survey. The format is deliberately simple:
+//!
+//! ```text
+//! magic "XSEC" | version u16 | name | strings | imports | functions | exports
+//! ```
+//!
+//! Integers are little-endian with varint (LEB128) lengths; strings are
+//! UTF-8 length-prefixed. Decoding is fully validating (no trust in the
+//! producer: truncation, bad tags, over-long lengths and non-UTF-8 all
+//! yield typed errors) — and decoding is *not* verification: a decoded
+//! [`Module`] still has to pass [`crate::verify()`] before it can run.
+
+use crate::instr::Instr;
+use crate::module::{Export, Function, ImportDecl, Module, Signature};
+use crate::types::Ty;
+use std::fmt;
+
+/// The four magic bytes opening every encoded module.
+pub const MAGIC: &[u8; 4] = b"XSEC";
+/// The current format version.
+pub const VERSION: u16 = 1;
+/// Upper bound on any single collection length in the wire format,
+/// guarding length-bomb inputs.
+pub const MAX_LEN: usize = 1 << 20;
+
+/// Errors from decoding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// The input does not start with [`MAGIC`].
+    BadMagic,
+    /// The version is unsupported.
+    BadVersion(u16),
+    /// The input ended prematurely.
+    Truncated,
+    /// A length field exceeds [`MAX_LEN`].
+    LengthBomb(u64),
+    /// A string was not valid UTF-8.
+    BadUtf8,
+    /// An unknown type or instruction tag.
+    BadTag(u8),
+    /// Trailing bytes after the module.
+    TrailingBytes(usize),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::BadMagic => write!(f, "bad magic (not an extsec module)"),
+            WireError::BadVersion(v) => write!(f, "unsupported format version {v}"),
+            WireError::Truncated => write!(f, "truncated module"),
+            WireError::LengthBomb(n) => write!(f, "length {n} exceeds limit"),
+            WireError::BadUtf8 => write!(f, "string is not valid UTF-8"),
+            WireError::BadTag(t) => write!(f, "unknown tag {t:#04x}"),
+            WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+// ---------------------------------------------------------------------
+// Encoding.
+// ---------------------------------------------------------------------
+
+struct Encoder {
+    out: Vec<u8>,
+}
+
+impl Encoder {
+    fn u8(&mut self, v: u8) {
+        self.out.push(v);
+    }
+
+    fn u16(&mut self, v: u16) {
+        self.out.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Unsigned LEB128.
+    fn uleb(&mut self, mut v: u64) {
+        loop {
+            let byte = (v & 0x7f) as u8;
+            v >>= 7;
+            if v == 0 {
+                self.out.push(byte);
+                return;
+            }
+            self.out.push(byte | 0x80);
+        }
+    }
+
+    /// Signed LEB128 (zigzag).
+    fn sleb(&mut self, v: i64) {
+        self.uleb(((v << 1) ^ (v >> 63)) as u64);
+    }
+
+    fn str(&mut self, s: &str) {
+        self.uleb(s.len() as u64);
+        self.out.extend_from_slice(s.as_bytes());
+    }
+
+    fn ty(&mut self, ty: Ty) {
+        self.u8(match ty {
+            Ty::Int => 0,
+            Ty::Bool => 1,
+            Ty::Str => 2,
+        });
+    }
+
+    fn sig(&mut self, sig: &Signature) {
+        self.uleb(sig.params.len() as u64);
+        for &p in &sig.params {
+            self.ty(p);
+        }
+        match sig.ret {
+            None => self.u8(0xff),
+            Some(ty) => self.ty(ty),
+        }
+    }
+
+    fn instr(&mut self, instr: Instr) {
+        match instr {
+            Instr::PushInt(v) => {
+                self.u8(0x01);
+                self.sleb(v);
+            }
+            Instr::PushBool(v) => {
+                self.u8(0x02);
+                self.u8(v as u8);
+            }
+            Instr::PushStr(i) => {
+                self.u8(0x03);
+                self.uleb(i as u64);
+            }
+            Instr::Dup => self.u8(0x04),
+            Instr::Pop => self.u8(0x05),
+            Instr::Swap => self.u8(0x06),
+            Instr::LoadLocal(i) => {
+                self.u8(0x07);
+                self.uleb(i as u64);
+            }
+            Instr::StoreLocal(i) => {
+                self.u8(0x08);
+                self.uleb(i as u64);
+            }
+            Instr::Add => self.u8(0x10),
+            Instr::Sub => self.u8(0x11),
+            Instr::Mul => self.u8(0x12),
+            Instr::Div => self.u8(0x13),
+            Instr::Rem => self.u8(0x14),
+            Instr::Neg => self.u8(0x15),
+            Instr::Eq => self.u8(0x16),
+            Instr::Ne => self.u8(0x17),
+            Instr::Lt => self.u8(0x18),
+            Instr::Le => self.u8(0x19),
+            Instr::Gt => self.u8(0x1a),
+            Instr::Ge => self.u8(0x1b),
+            Instr::Not => self.u8(0x1c),
+            Instr::And => self.u8(0x1d),
+            Instr::Or => self.u8(0x1e),
+            Instr::Concat => self.u8(0x20),
+            Instr::StrLen => self.u8(0x21),
+            Instr::IntToStr => self.u8(0x22),
+            Instr::StrToInt => self.u8(0x23),
+            Instr::Jump(t) => {
+                self.u8(0x30);
+                self.uleb(t as u64);
+            }
+            Instr::JumpIf(t) => {
+                self.u8(0x31);
+                self.uleb(t as u64);
+            }
+            Instr::JumpIfNot(t) => {
+                self.u8(0x32);
+                self.uleb(t as u64);
+            }
+            Instr::Call(i) => {
+                self.u8(0x33);
+                self.uleb(i as u64);
+            }
+            Instr::SysCall(i) => {
+                self.u8(0x34);
+                self.uleb(i as u64);
+            }
+            Instr::Return => self.u8(0x35),
+            Instr::Trap => self.u8(0x36),
+            Instr::Nop => self.u8(0x37),
+        }
+    }
+}
+
+/// Encodes a module to its binary form.
+pub fn encode(module: &Module) -> Vec<u8> {
+    let mut enc = Encoder { out: Vec::new() };
+    enc.out.extend_from_slice(MAGIC);
+    enc.u16(VERSION);
+    enc.str(&module.name);
+    enc.uleb(module.strings.len() as u64);
+    for s in &module.strings {
+        enc.str(s);
+    }
+    enc.uleb(module.imports.len() as u64);
+    for import in &module.imports {
+        enc.str(&import.alias);
+        enc.str(&import.path);
+        enc.sig(&import.sig);
+    }
+    enc.uleb(module.functions.len() as u64);
+    for function in &module.functions {
+        enc.str(&function.name);
+        enc.sig(&function.sig);
+        enc.uleb(function.extra_locals.len() as u64);
+        for &ty in &function.extra_locals {
+            enc.ty(ty);
+        }
+        enc.uleb(function.code.len() as u64);
+        for &instr in &function.code {
+            enc.instr(instr);
+        }
+    }
+    enc.uleb(module.exports.len() as u64);
+    for export in &module.exports {
+        enc.str(&export.name);
+        enc.uleb(export.func as u64);
+    }
+    enc.out
+}
+
+// ---------------------------------------------------------------------
+// Decoding.
+// ---------------------------------------------------------------------
+
+struct Decoder<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    fn u8(&mut self) -> Result<u8, WireError> {
+        let b = *self.input.get(self.pos).ok_or(WireError::Truncated)?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn u16(&mut self) -> Result<u16, WireError> {
+        let lo = self.u8()? as u16;
+        let hi = self.u8()? as u16;
+        Ok(lo | (hi << 8))
+    }
+
+    fn uleb(&mut self) -> Result<u64, WireError> {
+        let mut result = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let byte = self.u8()?;
+            if shift >= 64 {
+                return Err(WireError::LengthBomb(u64::MAX));
+            }
+            result |= ((byte & 0x7f) as u64) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(result);
+            }
+            shift += 7;
+        }
+    }
+
+    fn sleb(&mut self) -> Result<i64, WireError> {
+        let z = self.uleb()?;
+        Ok(((z >> 1) as i64) ^ -((z & 1) as i64))
+    }
+
+    fn len(&mut self) -> Result<usize, WireError> {
+        let n = self.uleb()?;
+        if n as usize > MAX_LEN {
+            return Err(WireError::LengthBomb(n));
+        }
+        Ok(n as usize)
+    }
+
+    fn str(&mut self) -> Result<String, WireError> {
+        let n = self.len()?;
+        let end = self.pos.checked_add(n).ok_or(WireError::Truncated)?;
+        let bytes = self.input.get(self.pos..end).ok_or(WireError::Truncated)?;
+        self.pos = end;
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::BadUtf8)
+    }
+
+    fn ty(&mut self) -> Result<Ty, WireError> {
+        match self.u8()? {
+            0 => Ok(Ty::Int),
+            1 => Ok(Ty::Bool),
+            2 => Ok(Ty::Str),
+            t => Err(WireError::BadTag(t)),
+        }
+    }
+
+    fn sig(&mut self) -> Result<Signature, WireError> {
+        let n = self.len()?;
+        let mut params = Vec::with_capacity(n.min(64));
+        for _ in 0..n {
+            params.push(self.ty()?);
+        }
+        let ret = match self.u8()? {
+            0xff => None,
+            0 => Some(Ty::Int),
+            1 => Some(Ty::Bool),
+            2 => Some(Ty::Str),
+            t => return Err(WireError::BadTag(t)),
+        };
+        Ok(Signature::new(params, ret))
+    }
+
+    fn instr(&mut self) -> Result<Instr, WireError> {
+        let tag = self.u8()?;
+        Ok(match tag {
+            0x01 => Instr::PushInt(self.sleb()?),
+            0x02 => Instr::PushBool(self.u8()? != 0),
+            0x03 => Instr::PushStr(self.uleb()? as u32),
+            0x04 => Instr::Dup,
+            0x05 => Instr::Pop,
+            0x06 => Instr::Swap,
+            0x07 => Instr::LoadLocal(self.uleb()? as u16),
+            0x08 => Instr::StoreLocal(self.uleb()? as u16),
+            0x10 => Instr::Add,
+            0x11 => Instr::Sub,
+            0x12 => Instr::Mul,
+            0x13 => Instr::Div,
+            0x14 => Instr::Rem,
+            0x15 => Instr::Neg,
+            0x16 => Instr::Eq,
+            0x17 => Instr::Ne,
+            0x18 => Instr::Lt,
+            0x19 => Instr::Le,
+            0x1a => Instr::Gt,
+            0x1b => Instr::Ge,
+            0x1c => Instr::Not,
+            0x1d => Instr::And,
+            0x1e => Instr::Or,
+            0x20 => Instr::Concat,
+            0x21 => Instr::StrLen,
+            0x22 => Instr::IntToStr,
+            0x23 => Instr::StrToInt,
+            0x30 => Instr::Jump(self.uleb()? as u32),
+            0x31 => Instr::JumpIf(self.uleb()? as u32),
+            0x32 => Instr::JumpIfNot(self.uleb()? as u32),
+            0x33 => Instr::Call(self.uleb()? as u32),
+            0x34 => Instr::SysCall(self.uleb()? as u32),
+            0x35 => Instr::Return,
+            0x36 => Instr::Trap,
+            0x37 => Instr::Nop,
+            other => return Err(WireError::BadTag(other)),
+        })
+    }
+}
+
+/// Decodes a module from its binary form.
+///
+/// Decoding validates structure only; run the result through
+/// [`crate::verify()`] before executing it.
+pub fn decode(input: &[u8]) -> Result<Module, WireError> {
+    let mut dec = Decoder { input, pos: 0 };
+    let mut magic = [0u8; 4];
+    for b in &mut magic {
+        *b = dec.u8().map_err(|_| WireError::BadMagic)?;
+    }
+    if &magic != MAGIC {
+        return Err(WireError::BadMagic);
+    }
+    let version = dec.u16()?;
+    if version != VERSION {
+        return Err(WireError::BadVersion(version));
+    }
+    let name = dec.str()?;
+    let n = dec.len()?;
+    let mut strings = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        strings.push(dec.str()?);
+    }
+    let n = dec.len()?;
+    let mut imports = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        let alias = dec.str()?;
+        let path = dec.str()?;
+        let sig = dec.sig()?;
+        imports.push(ImportDecl { alias, path, sig });
+    }
+    let n = dec.len()?;
+    let mut functions = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        let name = dec.str()?;
+        let sig = dec.sig()?;
+        let ln = dec.len()?;
+        let mut extra_locals = Vec::with_capacity(ln.min(1024));
+        for _ in 0..ln {
+            extra_locals.push(dec.ty()?);
+        }
+        let cn = dec.len()?;
+        let mut code = Vec::with_capacity(cn.min(4096));
+        for _ in 0..cn {
+            code.push(dec.instr()?);
+        }
+        functions.push(Function {
+            name,
+            sig,
+            extra_locals,
+            code,
+        });
+    }
+    let n = dec.len()?;
+    let mut exports = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        let name = dec.str()?;
+        let func = dec.uleb()? as u32;
+        exports.push(Export { name, func });
+    }
+    if dec.pos != input.len() {
+        return Err(WireError::TrailingBytes(input.len() - dec.pos));
+    }
+    Ok(Module {
+        name,
+        strings,
+        imports,
+        functions,
+        exports,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm;
+
+    fn sample() -> Module {
+        asm::assemble(
+            r#"
+            module sample
+            import print = "/svc/console/print" (str)
+            import add = "/svc/echo/add" (int, int) -> int
+            func main(n: int) -> int
+              locals acc: int, flag: bool
+              push_str "hi \"there\""
+              syscall print
+              load_local n
+              push_int -42
+              syscall add
+              store_local acc
+              load_local flag
+              jump_if done
+              load_local acc
+              ret
+            label done
+              push_int 0
+              ret
+            end
+            func aux()
+              ret
+            end
+            export main = main
+            export helper = aux
+            "#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn round_trip() {
+        let module = sample();
+        let bytes = encode(&module);
+        let decoded = decode(&bytes).unwrap();
+        assert_eq!(module, decoded);
+    }
+
+    #[test]
+    fn decoded_module_verifies_and_runs() {
+        let module = sample();
+        let decoded = decode(&encode(&module)).unwrap();
+        crate::verify(decoded).unwrap();
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_version() {
+        assert_eq!(decode(b"nope"), Err(WireError::BadMagic));
+        assert_eq!(decode(b""), Err(WireError::BadMagic));
+        let mut bytes = encode(&sample());
+        bytes[4] = 0xff; // version low byte
+        assert!(matches!(decode(&bytes), Err(WireError::BadVersion(_))));
+    }
+
+    #[test]
+    fn rejects_truncation_at_every_point() {
+        let bytes = encode(&sample());
+        // Chop the module at every prefix length: must never panic, and
+        // must always error (except the full length).
+        for n in 0..bytes.len() {
+            let result = decode(&bytes[..n]);
+            assert!(result.is_err(), "prefix of {n} bytes decoded successfully");
+        }
+        assert!(decode(&bytes).is_ok());
+    }
+
+    #[test]
+    fn rejects_trailing_bytes() {
+        let mut bytes = encode(&sample());
+        bytes.push(0);
+        assert_eq!(decode(&bytes), Err(WireError::TrailingBytes(1)));
+    }
+
+    #[test]
+    fn rejects_bad_tags() {
+        let module = Module {
+            name: "t".into(),
+            strings: vec![],
+            imports: vec![],
+            functions: vec![Function {
+                name: "f".into(),
+                sig: Signature::new(vec![], None),
+                extra_locals: vec![],
+                code: vec![Instr::Return],
+            }],
+            exports: vec![],
+        };
+        let bytes = encode(&module);
+        // The last-but-N bytes include the Return tag (0x35); find and
+        // corrupt it.
+        let mut corrupted = bytes.clone();
+        let pos = corrupted.iter().rposition(|&b| b == 0x35).unwrap();
+        corrupted[pos] = 0xee;
+        assert!(matches!(decode(&corrupted), Err(WireError::BadTag(_))));
+    }
+
+    #[test]
+    fn rejects_length_bombs() {
+        // magic + version + name-length claiming 2^40 bytes.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&VERSION.to_le_bytes());
+        // ULEB for 2^40.
+        bytes.extend_from_slice(&[0x80, 0x80, 0x80, 0x80, 0x80, 0x20]);
+        assert!(matches!(decode(&bytes), Err(WireError::LengthBomb(_))));
+    }
+
+    #[test]
+    fn negative_ints_survive() {
+        let module = Module {
+            name: "neg".into(),
+            strings: vec![],
+            imports: vec![],
+            functions: vec![Function {
+                name: "f".into(),
+                sig: Signature::new(vec![], Some(Ty::Int)),
+                extra_locals: vec![],
+                code: vec![Instr::PushInt(i64::MIN), Instr::Return],
+            }],
+            exports: vec![],
+        };
+        let decoded = decode(&encode(&module)).unwrap();
+        assert_eq!(decoded.functions[0].code[0], Instr::PushInt(i64::MIN));
+    }
+}

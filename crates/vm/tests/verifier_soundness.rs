@@ -1,0 +1,125 @@
+//! The verifier-soundness property: any module the verifier accepts runs
+//! without internal faults — every abnormal stop is a *defined* trap
+//! (fuel, host, arithmetic, explicit), never a machine-integrity
+//! violation. This is the executable version of the safety claim the
+//! paper borrows from type-safe languages.
+
+use extsec_vm::{
+    verify, Export, Function, Instr, Machine, MachineLimits, Module, NullHost, Signature, Trap, Ty,
+    Value,
+};
+use proptest::prelude::*;
+
+fn arb_ty() -> impl Strategy<Value = Ty> {
+    prop_oneof![Just(Ty::Int), Just(Ty::Bool), Just(Ty::Str)]
+}
+
+/// Instructions biased toward *plausible* code so a useful fraction
+/// passes the verifier (purely random code almost never verifies).
+fn arb_instr(n_strings: u32, n_locals: u16, code_len: u32) -> impl Strategy<Value = Instr> {
+    prop_oneof![
+        8 => (-8i64..8).prop_map(Instr::PushInt),
+        4 => any::<bool>().prop_map(Instr::PushBool),
+        3 => (0..n_strings.max(1)).prop_map(Instr::PushStr),
+        2 => Just(Instr::Dup),
+        2 => Just(Instr::Pop),
+        1 => Just(Instr::Swap),
+        6 => (0..n_locals.max(1)).prop_map(Instr::LoadLocal),
+        4 => (0..n_locals.max(1)).prop_map(Instr::StoreLocal),
+        4 => prop_oneof![
+            Just(Instr::Add), Just(Instr::Sub), Just(Instr::Mul),
+            Just(Instr::Div), Just(Instr::Rem), Just(Instr::Neg)
+        ],
+        3 => prop_oneof![
+            Just(Instr::Eq), Just(Instr::Ne), Just(Instr::Lt),
+            Just(Instr::Le), Just(Instr::Gt), Just(Instr::Ge)
+        ],
+        2 => prop_oneof![Just(Instr::Not), Just(Instr::And), Just(Instr::Or)],
+        2 => prop_oneof![Just(Instr::Concat), Just(Instr::StrLen), Just(Instr::IntToStr), Just(Instr::StrToInt)],
+        2 => (0..code_len).prop_map(Instr::Jump),
+        2 => (0..code_len).prop_map(Instr::JumpIf),
+        2 => (0..code_len).prop_map(Instr::JumpIfNot),
+        3 => Just(Instr::Return),
+        1 => Just(Instr::Trap),
+        1 => Just(Instr::Nop),
+    ]
+}
+
+fn arb_module() -> impl Strategy<Value = Module> {
+    let code_len = 24u32;
+    (
+        proptest::collection::vec(arb_ty(), 0..3), // params
+        proptest::option::of(arb_ty()),
+        proptest::collection::vec(arb_ty(), 0..3), // extra locals
+        proptest::collection::vec(arb_instr(2, 6, code_len), 1..code_len as usize),
+    )
+        .prop_map(|(params, ret, extra_locals, code)| {
+            let sig = Signature::new(params, ret);
+            Module {
+                name: "fuzz".into(),
+                strings: vec!["12".into(), "abc".into()],
+                imports: vec![],
+                functions: vec![Function {
+                    name: "f".into(),
+                    sig,
+                    extra_locals,
+                    code,
+                }],
+                exports: vec![Export {
+                    name: "f".into(),
+                    func: 0,
+                }],
+            }
+        })
+}
+
+fn args_for(sig: &Signature) -> Vec<Value> {
+    sig.params
+        .iter()
+        .map(|ty| match ty {
+            Ty::Int => Value::Int(3),
+            Ty::Bool => Value::Bool(true),
+            Ty::Str => Value::Str("7".into()),
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2048))]
+
+    /// Verification is total (never panics) and every verified module
+    /// executes to a value or a defined trap — `Trap::Internal` is
+    /// unreachable.
+    #[test]
+    fn verified_modules_never_fault_internally(module in arb_module()) {
+        let sig = module.functions[0].sig.clone();
+        let Ok(verified) = verify(module) else {
+            // Rejected code never runs; nothing more to check.
+            return Ok(());
+        };
+        let mut machine = Machine::with_limits(
+            &verified,
+            MachineLimits { fuel: 10_000, ..MachineLimits::default() },
+        );
+        match machine.run("f", &args_for(&sig), &mut NullHost) {
+            Ok(value) => {
+                // The returned value's type matches the signature.
+                match (sig.ret, value) {
+                    (None, None) => {}
+                    (Some(ty), Some(v)) => prop_assert_eq!(v.ty(), ty),
+                    (expected, got) => {
+                        return Err(TestCaseError::fail(format!(
+                            "signature {expected:?} but returned {got:?}"
+                        )))
+                    }
+                }
+            }
+            Err(Trap::Internal(what)) => {
+                return Err(TestCaseError::fail(format!(
+                    "verified module faulted internally: {what}"
+                )))
+            }
+            Err(_defined_trap) => {}
+        }
+    }
+}

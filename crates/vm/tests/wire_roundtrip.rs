@@ -1,0 +1,129 @@
+//! Property tests: the binary wire format round-trips arbitrary module
+//! structure, and the decoder never panics on corrupted input.
+
+use extsec_vm::{decode, encode, Export, Function, ImportDecl, Instr, Module, Signature, Ty};
+use proptest::prelude::*;
+
+fn arb_ty() -> impl Strategy<Value = Ty> {
+    prop_oneof![Just(Ty::Int), Just(Ty::Bool), Just(Ty::Str)]
+}
+
+fn arb_sig() -> impl Strategy<Value = Signature> {
+    (
+        proptest::collection::vec(arb_ty(), 0..4),
+        proptest::option::of(arb_ty()),
+    )
+        .prop_map(|(params, ret)| Signature::new(params, ret))
+}
+
+fn arb_instr() -> impl Strategy<Value = Instr> {
+    prop_oneof![
+        any::<i64>().prop_map(Instr::PushInt),
+        any::<bool>().prop_map(Instr::PushBool),
+        (0u32..8).prop_map(Instr::PushStr),
+        Just(Instr::Dup),
+        Just(Instr::Pop),
+        Just(Instr::Swap),
+        (0u16..8).prop_map(Instr::LoadLocal),
+        (0u16..8).prop_map(Instr::StoreLocal),
+        Just(Instr::Add),
+        Just(Instr::Sub),
+        Just(Instr::Mul),
+        Just(Instr::Div),
+        Just(Instr::Rem),
+        Just(Instr::Neg),
+        Just(Instr::Eq),
+        Just(Instr::Ne),
+        Just(Instr::Lt),
+        Just(Instr::Le),
+        Just(Instr::Gt),
+        Just(Instr::Ge),
+        Just(Instr::Not),
+        Just(Instr::And),
+        Just(Instr::Or),
+        Just(Instr::Concat),
+        Just(Instr::StrLen),
+        Just(Instr::IntToStr),
+        Just(Instr::StrToInt),
+        (0u32..64).prop_map(Instr::Jump),
+        (0u32..64).prop_map(Instr::JumpIf),
+        (0u32..64).prop_map(Instr::JumpIfNot),
+        (0u32..8).prop_map(Instr::Call),
+        (0u32..8).prop_map(Instr::SysCall),
+        Just(Instr::Return),
+        Just(Instr::Trap),
+        Just(Instr::Nop),
+    ]
+}
+
+fn arb_function() -> impl Strategy<Value = Function> {
+    (
+        "[a-z][a-z0-9_]{0,8}",
+        arb_sig(),
+        proptest::collection::vec(arb_ty(), 0..4),
+        proptest::collection::vec(arb_instr(), 0..32),
+    )
+        .prop_map(|(name, sig, extra_locals, code)| Function {
+            name,
+            sig,
+            extra_locals,
+            code,
+        })
+}
+
+fn arb_module() -> impl Strategy<Value = Module> {
+    (
+        "[a-z][a-z0-9_]{0,8}",
+        proptest::collection::vec(".{0,16}", 0..4),
+        proptest::collection::vec(("[a-z]{1,6}", "/[a-z/]{1,12}", arb_sig()), 0..3),
+        proptest::collection::vec(arb_function(), 0..4),
+        proptest::collection::vec(("[a-z]{1,6}", 0u32..4), 0..3),
+    )
+        .prop_map(|(name, strings, imports, functions, exports)| Module {
+            name,
+            strings,
+            imports: imports
+                .into_iter()
+                .map(|(alias, path, sig)| ImportDecl { alias, path, sig })
+                .collect(),
+            functions,
+            exports: exports
+                .into_iter()
+                .map(|(name, func)| Export { name, func })
+                .collect(),
+        })
+}
+
+proptest! {
+    /// encode → decode is the identity on arbitrary module structure
+    /// (verifiability is irrelevant at the wire layer).
+    #[test]
+    fn round_trip(module in arb_module()) {
+        let bytes = encode(&module);
+        let decoded = decode(&bytes);
+        prop_assert_eq!(decoded, Ok(module));
+    }
+
+    /// Decoding never panics on random bytes (fuzz-lite).
+    #[test]
+    fn decode_total_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = decode(&bytes);
+    }
+
+    /// Decoding never panics on corrupted encodings of real modules.
+    #[test]
+    fn decode_total_on_corruption(
+        module in arb_module(),
+        flips in proptest::collection::vec((0usize..4096, any::<u8>()), 1..8),
+    ) {
+        let mut bytes = encode(&module);
+        if bytes.is_empty() {
+            return Ok(());
+        }
+        for (pos, value) in flips {
+            let n = bytes.len();
+            bytes[pos % n] = value;
+        }
+        let _ = decode(&bytes);
+    }
+}

@@ -1,0 +1,117 @@
+//! The paper's §1.1 motivating example: an extension provides a new file
+//! system. It *calls* the existing mbuf service to store data, and users
+//! reach it by the existing VFS interface that the extension *extends*.
+//!
+//! Run with `cargo run --example new_filesystem`.
+
+use extsec::scenarios::paper_lattice;
+use extsec::{AccessMode, AclEntry, ExtensionManifest, Origin, SystemBuilder, Value};
+
+const LOGFS_SRC: &str = r#"
+module logfs
+import alloc  = "/svc/mbuf/alloc" (int) -> int
+import mwrite = "/svc/mbuf/write" (int, str)
+import mread  = "/svc/mbuf/read" (int) -> str
+
+func handle(op: str, path: str, data: str) -> str
+  locals h: int
+  load_local op
+  push_str "write"
+  eq
+  jump_if_not do_read
+  load_local data
+  str_len
+  syscall alloc
+  store_local h
+  load_local h
+  load_local data
+  syscall mwrite
+  load_local h
+  int_to_str
+  ret
+label do_read
+  load_local path
+  str_to_int
+  syscall mread
+  ret
+end
+export handle = handle
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut builder = SystemBuilder::new(paper_lattice());
+    builder.principal("dev")?;
+    builder.principal("user")?;
+    let system = builder.build()?;
+    let dev = system.subject("dev", "others")?;
+    let user = system.subject("user", "others")?;
+
+    // Grant the developer the right to register new VFS types.
+    let dev_id = dev.principal;
+    system.monitor.bootstrap(|ns| {
+        let id = ns.resolve(&"/svc/vfs/types".parse().unwrap())?;
+        ns.update_protection(id, |prot| {
+            prot.acl
+                .push(AclEntry::allow_principal(dev_id, AccessMode::WriteAppend));
+        })?;
+        Ok(())
+    })?;
+
+    // 1. Load the extension (verified, linked, execute-checked imports).
+    println!("loading logfs extension...");
+    let ext = system.load_extension(
+        LOGFS_SRC,
+        ExtensionManifest {
+            name: "logfs".into(),
+            principal: dev.principal,
+            origin: Origin::Local,
+            static_class: None,
+        },
+    )?;
+    println!("  linked against: /svc/mbuf/{{alloc,write,read}} (execute checks passed)");
+
+    // 2. Register the type and extend the interface.
+    system.vfs.register_type(&system.monitor, &dev, "logfs")?;
+    system
+        .runtime
+        .extend(ext, &"/svc/vfs/types/logfs".parse()?, "handle")?;
+    println!("  registered as VFS type 'logfs' (extend check passed)");
+
+    // 3. Mount and use it through the unchanged VFS interface.
+    system.call(
+        &user,
+        "/svc/vfs/mount",
+        &[Value::Str("logs".into()), Value::Str("logfs".into())],
+    )?;
+    println!("\nmounted logfs at 'logs/'; writing through /svc/vfs/write:");
+    let mut tokens = Vec::new();
+    for line in ["boot: ok", "net: up", "disk: clean"] {
+        let token = system.call(
+            &user,
+            "/svc/vfs/write",
+            &[Value::Str("logs/system".into()), Value::Str(line.into())],
+        )?;
+        let Some(Value::Str(token)) = token else {
+            unreachable!("logfs returns a token")
+        };
+        println!("  wrote {line:?} -> record {token}");
+        tokens.push(token);
+    }
+
+    println!("\nreading back through /svc/vfs/read:");
+    for token in &tokens {
+        let data = system.call(
+            &user,
+            "/svc/vfs/read",
+            &[Value::Str(format!("logs/{token}"))],
+        )?;
+        println!("  record {token}: {data:?}");
+    }
+
+    println!(
+        "\nmbuf pool accounting for the caller: {} bytes",
+        system.mbuf.usage(user.principal)
+    );
+    println!("mounts: {:?}", system.vfs.mounts());
+    Ok(())
+}

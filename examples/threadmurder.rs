@@ -1,0 +1,54 @@
+//! The ThreadMurder attack (§1.2), replayed against the Java 1.x sandbox
+//! model and against the extsec model.
+//!
+//! Run with `cargo run --example threadmurder`.
+
+use extsec::scenarios::threadmurder_scenario;
+use extsec::{AccessMode, JavaSandboxPolicy, PolicyEngine, TrustTier};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let sc = threadmurder_scenario()?;
+    println!("two remote applets, each with one registered thread:");
+    println!("  victim-applet  owns /obj/threads/victim-worker");
+    println!("  murder-applet  owns /obj/threads/murder-worker\n");
+
+    // --- Under the Java sandbox model (decision replay). -------------
+    let java = JavaSandboxPolicy::classic();
+    java.set_tier(sc.user.principal, TrustTier::Trusted);
+    let murder_path = "/obj/threads/victim-worker".parse()?;
+    let verdict = java.decide(&sc.murderer, &murder_path, AccessMode::Delete);
+    println!("java sandbox: murder-applet deletes victim's thread -> {verdict}");
+    assert!(verdict.allowed(), "the published hole");
+    println!("  (the sandbox isolates applets from the SYSTEM, not from EACH OTHER)\n");
+
+    // --- Under extsec (actually executed). ---------------------------
+    println!("extsec: murder-applet enumerates threads:");
+    let visible = sc.system.applets.list(&sc.system.monitor, &sc.murderer)?;
+    println!("  visible to murderer: {visible:?} (category separation hides the victim)");
+
+    print!("extsec: murder-applet kills victim-worker -> ");
+    match sc
+        .system
+        .applets
+        .kill(&sc.system.monitor, &sc.murderer, "victim-worker")
+    {
+        Ok(()) => println!("KILLED (should not happen!)"),
+        Err(e) => println!("denied ({e})"),
+    }
+    assert_eq!(sc.system.applets.alive("victim-worker"), Some(true));
+    println!("  victim-worker is still alive\n");
+
+    // The owner retains full control over its own thread.
+    sc.system
+        .applets
+        .kill(&sc.system.monitor, &sc.victim, "victim-worker")?;
+    println!("extsec: victim-applet kills its own thread -> ok (owner right)");
+
+    // The audit log shows the denied murder attempt.
+    let denials = sc.system.monitor.audit().denials();
+    println!("\naudit: {} denied accesses recorded, e.g.:", denials.len());
+    if let Some(event) = denials.last() {
+        println!("  {event}");
+    }
+    Ok(())
+}

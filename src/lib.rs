@@ -1,0 +1,3 @@
+//! Facade for the extsec workspace: re-exports [`extsec_core`].
+#![forbid(unsafe_code)]
+pub use extsec_core::*;

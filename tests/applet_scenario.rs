@@ -1,0 +1,126 @@
+//! T2 — the paper's §2/§2.2 applet worked example, cell by cell.
+//!
+//! Regenerates the full (subject × file × mode) decision matrix for the
+//! scenario and checks every cell the paper's prose pins down. Run with
+//! `cargo test --test applet_scenario -- --nocapture` to see the table.
+
+use extsec::scenarios::{applet_scenario, APPLET_FILES};
+use extsec::{AccessMode, Subject};
+
+/// Computes one cell of the matrix directly against the monitor.
+fn cell(
+    sc: &extsec::scenarios::AppletScenario,
+    subject: &Subject,
+    file: &str,
+    mode: AccessMode,
+) -> bool {
+    let path = extsec::services::fs::FsService::node_path(file).expect("valid file path");
+    sc.system.monitor.check(subject, &path, mode).allowed()
+}
+
+#[test]
+fn t2_full_matrix_matches_paper() {
+    let sc = applet_scenario().unwrap();
+
+    // Expected (read, overwrite, append) per (subject, file). Derived
+    // from §2.2's rules: read ⟺ subject dominates file; append ⟺ file
+    // dominates subject; overwrite ⟺ classes equal (DESIGN.md §3).
+    #[rustfmt::skip]
+    let expected: &[(&str, &str, [bool; 3])] = &[
+        // user: local with all categories — reads everything, writes only
+        // its own class, appends only to its own class (nothing above it).
+        ("user", "user/profile",    [true,  true,  true ]),
+        ("user", "dept-1/report",   [true,  false, false]),
+        ("user", "dept-2/report",   [true,  false, false]),
+        ("user", "shared/bulletin", [true,  false, false]),
+        // applet-d1: organization:{department-1}.
+        ("applet-d1", "user/profile",    [false, false, true ]),
+        ("applet-d1", "dept-1/report",   [true,  true,  true ]),
+        ("applet-d1", "dept-2/report",   [false, false, false]),
+        ("applet-d1", "shared/bulletin", [true,  false, false]),
+        // applet-d2: the mirror image.
+        ("applet-d2", "user/profile",    [false, false, true ]),
+        ("applet-d2", "dept-1/report",   [false, false, false]),
+        ("applet-d2", "dept-2/report",   [true,  true,  true ]),
+        ("applet-d2", "shared/bulletin", [true,  false, false]),
+        // applet-d12: both departments — reads both reports.
+        ("applet-d12", "user/profile",    [false, false, true ]),
+        ("applet-d12", "dept-1/report",   [true,  false, false]),
+        ("applet-d12", "dept-2/report",   [true,  false, false]),
+        ("applet-d12", "shared/bulletin", [true,  false, false]),
+        // outsider: others — no access to anything labelled above it.
+        ("outsider", "user/profile",    [false, false, true ]),
+        ("outsider", "dept-1/report",   [false, false, true ]),
+        ("outsider", "dept-2/report",   [false, false, true ]),
+        ("outsider", "shared/bulletin", [true,  true,  true ]),
+    ];
+
+    println!("\nT2 — applet scenario access matrix (read/overwrite/append)");
+    println!(
+        "{:<12} {:<16} {:>5} {:>9} {:>6}",
+        "subject", "file", "read", "overwrite", "append"
+    );
+    let subjects = sc.subjects();
+    for (name, file, [want_r, want_w, want_a]) in expected {
+        let subject = subjects
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, s)| *s)
+            .expect("known subject");
+        let got_r = cell(&sc, subject, file, AccessMode::Read);
+        let got_w = cell(&sc, subject, file, AccessMode::Write);
+        let got_a = cell(&sc, subject, file, AccessMode::WriteAppend);
+        println!(
+            "{:<12} {:<16} {:>5} {:>9} {:>6}",
+            name, file, got_r, got_w, got_a
+        );
+        assert_eq!(got_r, *want_r, "{name} read {file}");
+        assert_eq!(got_w, *want_w, "{name} overwrite {file}");
+        assert_eq!(got_a, *want_a, "{name} append {file}");
+    }
+}
+
+#[test]
+fn t2_matrix_agrees_with_end_to_end_fs_calls() {
+    // The decision matrix must agree with what the file system service
+    // actually does, end to end.
+    let sc = applet_scenario().unwrap();
+    for (name, subject) in sc.subjects() {
+        for (file, _) in APPLET_FILES {
+            let decided = cell(&sc, subject, file, AccessMode::Read);
+            let did = sc.read(file, subject).is_ok();
+            assert_eq!(decided, did, "{name} read {file}: decision vs execution");
+            let decided = cell(&sc, subject, file, AccessMode::WriteAppend);
+            let did = sc.append(file, subject, "+").is_ok();
+            assert_eq!(decided, did, "{name} append {file}: decision vs execution");
+        }
+    }
+}
+
+#[test]
+fn t2_dual_label_bridges_compartments() {
+    // "More elaborate label assignments are certainly possible": the
+    // dual-department applet is exactly the paper's controlled-sharing
+    // bridge. Verify information can flow d1 → d12 but not d1 → d2.
+    let sc = applet_scenario().unwrap();
+    sc.write("dept-1/report", &sc.applet_d1, "dept-1 payload")
+        .unwrap();
+    assert_eq!(
+        sc.read("dept-1/report", &sc.applet_d12).unwrap(),
+        "dept-1 payload"
+    );
+    assert!(sc.read("dept-1/report", &sc.applet_d2).is_err());
+}
+
+#[test]
+fn t2_blind_append_is_really_blind() {
+    // A department applet appends to the user's profile but can never
+    // observe the result — including through `stat`-style probes.
+    let sc = applet_scenario().unwrap();
+    sc.append("user/profile", &sc.applet_d1, " [d1 was here]")
+        .unwrap();
+    assert!(sc.read("user/profile", &sc.applet_d1).is_err());
+    // The user sees the appended data.
+    let contents = sc.read("user/profile", &sc.user).unwrap();
+    assert!(contents.ends_with("[d1 was here]"));
+}

@@ -1,0 +1,267 @@
+//! T3 — §2.1: the execute and extend access modes, driven through full
+//! ACLs with positive and negative entries for individuals and groups.
+
+use extsec::scenarios::paper_lattice;
+use extsec::{
+    AccessMode, AclEntry, ExtError, ExtensionManifest, ModeSet, NodeKind, NsPath, Origin,
+    Protection, SecurityClass, Subject, SystemBuilder,
+};
+
+struct Fx {
+    system: extsec::ExtensibleSystem,
+    alice: Subject,
+    bob: Subject,
+    carol: Subject,
+}
+
+/// `/svc/iface/op` is an extensible procedure. The `plugins` group
+/// (alice, bob) may execute and extend it — except bob, who carries a
+/// negative extend entry. Carol is not in the group.
+fn fixture() -> Fx {
+    let mut builder = SystemBuilder::new(paper_lattice());
+    let alice_id = builder.principal("alice").unwrap();
+    let bob_id = builder.principal("bob").unwrap();
+    builder.principal("carol").unwrap();
+    let plugins = builder.group("plugins").unwrap();
+    builder.member(plugins, alice_id).unwrap();
+    builder.member(plugins, bob_id).unwrap();
+    let system = builder.build().unwrap();
+
+    system
+        .monitor
+        .bootstrap(|ns| {
+            let visible = Protection::new(
+                extsec::Acl::public(ModeSet::only(AccessMode::List)),
+                SecurityClass::bottom(),
+            );
+            ns.ensure_path(&p("/svc/iface"), NodeKind::Interface, &visible)?;
+            let mut protection = Protection::default();
+            protection.acl.push(AclEntry::allow_group_modes(
+                plugins,
+                ModeSet::of(&[AccessMode::Execute, AccessMode::Extend]),
+            ));
+            protection
+                .acl
+                .push(AclEntry::deny_principal(bob_id, AccessMode::Extend));
+            let id = ns.insert(&p("/svc/iface"), "op", NodeKind::Procedure, protection)?;
+            ns.set_extensible(id, true)?;
+            Ok(())
+        })
+        .unwrap();
+
+    let alice = system.subject("alice", "others").unwrap();
+    let bob = system.subject("bob", "others").unwrap();
+    let carol = system.subject("carol", "others").unwrap();
+    Fx {
+        system,
+        alice,
+        bob,
+        carol,
+    }
+}
+
+fn p(s: &str) -> NsPath {
+    s.parse().unwrap()
+}
+
+const HANDLER_SRC: &str = r#"
+module handler
+func handle(x: int) -> int
+  load_local x
+  push_int 1
+  add
+  ret
+end
+export handle = handle
+"#;
+
+fn manifest(subject: &Subject, name: &str) -> ExtensionManifest {
+    ExtensionManifest {
+        name: name.into(),
+        principal: subject.principal,
+        origin: Origin::Local,
+        static_class: None,
+    }
+}
+
+#[test]
+fn t3_group_grant_gives_execute_and_extend() {
+    let fx = fixture();
+    // Alice (group member, no negative entry) can call...
+    assert!(fx
+        .system
+        .monitor
+        .check(&fx.alice, &p("/svc/iface/op"), AccessMode::Execute)
+        .allowed());
+    // ...and extend.
+    let id = fx
+        .system
+        .load_extension(HANDLER_SRC, manifest(&fx.alice, "alice-ext"))
+        .unwrap();
+    fx.system
+        .runtime
+        .extend(id, &p("/svc/iface/op"), "handle")
+        .unwrap();
+    // And the specialization is live.
+    let r = fx
+        .system
+        .call(&fx.alice, "/svc/iface/op", &[extsec::Value::Int(41)])
+        .unwrap();
+    assert_eq!(r, Some(extsec::Value::Int(42)));
+}
+
+#[test]
+fn t3_negative_entry_revokes_extend_but_not_execute() {
+    let fx = fixture();
+    // Bob is in the group, but the negative entry strips extend.
+    assert!(fx
+        .system
+        .monitor
+        .check(&fx.bob, &p("/svc/iface/op"), AccessMode::Execute)
+        .allowed());
+    assert!(!fx
+        .system
+        .monitor
+        .check(&fx.bob, &p("/svc/iface/op"), AccessMode::Extend)
+        .allowed());
+    // The runtime honors it.
+    let id = fx
+        .system
+        .load_extension(HANDLER_SRC, manifest(&fx.bob, "bob-ext"))
+        .unwrap();
+    let e = fx
+        .system
+        .runtime
+        .extend(id, &p("/svc/iface/op"), "handle")
+        .unwrap_err();
+    assert!(matches!(e, ExtError::Monitor(_)));
+}
+
+#[test]
+fn t3_non_members_have_neither_mode() {
+    let fx = fixture();
+    for mode in [AccessMode::Execute, AccessMode::Extend] {
+        assert!(!fx
+            .system
+            .monitor
+            .check(&fx.carol, &p("/svc/iface/op"), mode)
+            .allowed());
+    }
+    // And the runtime rejects both interactions end to end.
+    let e = fx
+        .system
+        .call(&fx.carol, "/svc/iface/op", &[extsec::Value::Int(0)])
+        .unwrap_err();
+    assert!(matches!(e, extsec::SystemError::Ext(_)));
+}
+
+#[test]
+fn t3_execute_only_grants_cannot_extend() {
+    // A principal granted only execute can never register itself on the
+    // interface: the two modes are genuinely separate rights.
+    let mut builder = SystemBuilder::new(paper_lattice());
+    let dave_id = builder.principal("dave").unwrap();
+    let system = builder.build().unwrap();
+    system
+        .monitor
+        .bootstrap(|ns| {
+            let visible = Protection::new(
+                extsec::Acl::public(ModeSet::only(AccessMode::List)),
+                SecurityClass::bottom(),
+            );
+            ns.ensure_path(&p("/svc/iface"), NodeKind::Interface, &visible)?;
+            let mut protection = Protection::default();
+            protection
+                .acl
+                .push(AclEntry::allow_principal(dave_id, AccessMode::Execute));
+            let id = ns.insert(&p("/svc/iface"), "op", NodeKind::Procedure, protection)?;
+            ns.set_extensible(id, true)?;
+            Ok(())
+        })
+        .unwrap();
+    let dave = system.subject("dave", "others").unwrap();
+    let id = system
+        .load_extension(HANDLER_SRC, manifest(&dave, "dave-ext"))
+        .unwrap();
+    let e = system
+        .runtime
+        .extend(id, &p("/svc/iface/op"), "handle")
+        .unwrap_err();
+    assert!(matches!(e, ExtError::Monitor(_)));
+}
+
+#[test]
+fn t3_extend_only_grants_cannot_call() {
+    // The dual: a pure specializer may register but not invoke.
+    let mut builder = SystemBuilder::new(paper_lattice());
+    let eve_id = builder.principal("eve").unwrap();
+    let system = builder.build().unwrap();
+    system
+        .monitor
+        .bootstrap(|ns| {
+            let visible = Protection::new(
+                extsec::Acl::public(ModeSet::only(AccessMode::List)),
+                SecurityClass::bottom(),
+            );
+            ns.ensure_path(&p("/svc/iface"), NodeKind::Interface, &visible)?;
+            let mut protection = Protection::default();
+            protection
+                .acl
+                .push(AclEntry::allow_principal(eve_id, AccessMode::Extend));
+            let id = ns.insert(&p("/svc/iface"), "op", NodeKind::Procedure, protection)?;
+            ns.set_extensible(id, true)?;
+            Ok(())
+        })
+        .unwrap();
+    let eve = system.subject("eve", "others").unwrap();
+    let id = system
+        .load_extension(HANDLER_SRC, manifest(&eve, "eve-ext"))
+        .unwrap();
+    system
+        .runtime
+        .extend(id, &p("/svc/iface/op"), "handle")
+        .unwrap();
+    // Registered — but calling is denied.
+    let e = system
+        .call(&eve, "/svc/iface/op", &[extsec::Value::Int(0)])
+        .unwrap_err();
+    assert!(matches!(e, extsec::SystemError::Ext(ExtError::Monitor(_))));
+}
+
+#[test]
+fn t3_administrate_enables_delegation() {
+    // Administrate is itself just a mode: the owner of an interface can
+    // delegate extend to a new principal at runtime.
+    let fx = fixture();
+    let admin_entry = AclEntry::allow_principal(fx.carol.principal, AccessMode::Extend);
+    // Alice has no administrate right: denied.
+    assert!(fx
+        .system
+        .monitor
+        .acl_push(&fx.alice, &p("/svc/iface/op"), admin_entry)
+        .is_err());
+    // Grant alice administrate (bootstrap), then she can delegate.
+    let alice_id = fx.alice.principal;
+    fx.system
+        .monitor
+        .bootstrap(|ns| {
+            let id = ns.resolve(&p("/svc/iface/op"))?;
+            ns.update_protection(id, |prot| {
+                prot.acl.push(AclEntry::allow_principal(
+                    alice_id,
+                    AccessMode::Administrate,
+                ));
+            })?;
+            Ok(())
+        })
+        .unwrap();
+    fx.system
+        .monitor
+        .acl_push(&fx.alice, &p("/svc/iface/op"), admin_entry)
+        .unwrap();
+    assert!(fx
+        .system
+        .monitor
+        .check(&fx.carol, &p("/svc/iface/op"), AccessMode::Extend)
+        .allowed());
+}

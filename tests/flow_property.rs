@@ -1,0 +1,160 @@
+//! P3 — end-to-end information-flow property: random labels and classes,
+//! driven through the *whole* stack (monitor + file system service), must
+//! obey the lattice.
+
+use extsec::{
+    AccessMode, Acl, CategoryId, CategorySet, Lattice, ModeSet, MonitorBuilder, NodeKind,
+    Protection, SecurityClass, Subject, TrustLevel,
+};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+const LEVELS: u16 = 4;
+const CATS: u16 = 6;
+
+fn arb_class() -> impl Strategy<Value = SecurityClass> {
+    (0..LEVELS, proptest::collection::btree_set(0..CATS, 0..4)).prop_map(|(level, cats)| {
+        SecurityClass::new(
+            TrustLevel::from_rank(level),
+            cats.into_iter()
+                .map(CategoryId::from_index)
+                .collect::<CategorySet>(),
+        )
+    })
+}
+
+/// Builds a monitor with an open-ACL object at `/obj/f` labelled `label`.
+fn monitor_with_object(label: SecurityClass) -> Arc<extsec::ReferenceMonitor> {
+    let lattice = Lattice::build(
+        (0..LEVELS).map(|i| format!("L{i}")),
+        (0..CATS).map(|i| format!("c{i}")),
+    )
+    .unwrap();
+    let mut builder = MonitorBuilder::new(lattice);
+    builder.add_principal("p").unwrap();
+    let monitor = builder.build();
+    monitor
+        .bootstrap(|ns| {
+            let visible = Protection::new(
+                Acl::public(ModeSet::only(AccessMode::List)),
+                SecurityClass::bottom(),
+            );
+            ns.ensure_path(&"/obj".parse().unwrap(), NodeKind::Directory, &visible)?;
+            ns.insert(
+                &"/obj".parse().unwrap(),
+                "f",
+                NodeKind::Object,
+                Protection::new(Acl::public(ModeSet::parse("rwa").unwrap()), label),
+            )?;
+            Ok(())
+        })
+        .unwrap();
+    monitor
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The monitor's decisions on an open-ACL object coincide exactly
+    /// with the lattice rules, for every (class, label) pair.
+    #[test]
+    fn monitor_decisions_match_lattice(s in arb_class(), o in arb_class()) {
+        let monitor = monitor_with_object(o.clone());
+        let subject = Subject::new(extsec::PrincipalId::from_raw(0), s.clone());
+        let path = "/obj/f".parse().unwrap();
+        prop_assert_eq!(
+            monitor.check(&subject, &path, AccessMode::Read).allowed(),
+            s.dominates(&o),
+            "read: s={} o={}", s, o
+        );
+        prop_assert_eq!(
+            monitor.check(&subject, &path, AccessMode::WriteAppend).allowed(),
+            o.dominates(&s),
+            "append: s={} o={}", s, o
+        );
+        prop_assert_eq!(
+            monitor.check(&subject, &path, AccessMode::Write).allowed(),
+            s == o,
+            "overwrite: s={} o={}", s, o
+        );
+    }
+
+    /// Two-step non-interference: whenever A can put data into an object
+    /// (any write form) and B can take it out (read), B's class must
+    /// dominate A's — there is no two-step downward channel through any
+    /// object.
+    #[test]
+    fn no_two_step_downward_channel(
+        a in arb_class(),
+        b in arb_class(),
+        o in arb_class(),
+    ) {
+        let monitor = monitor_with_object(o.clone());
+        let writer = Subject::new(extsec::PrincipalId::from_raw(0), a.clone());
+        let reader = Subject::new(extsec::PrincipalId::from_raw(0), b.clone());
+        let path: extsec::NsPath = "/obj/f".parse().unwrap();
+        let can_put = monitor.check(&writer, &path, AccessMode::Write).allowed()
+            || monitor.check(&writer, &path, AccessMode::WriteAppend).allowed();
+        let can_get = monitor.check(&reader, &path, AccessMode::Read).allowed();
+        if can_put && can_get {
+            prop_assert!(
+                b.dominates(&a),
+                "channel {} -> {} via object {}", a, b, o
+            );
+        }
+    }
+
+    /// The same property holds through the real file-system service, not
+    /// just the decision procedure.
+    #[test]
+    fn fs_service_obeys_the_lattice(s in arb_class(), o in arb_class()) {
+        use extsec::scenarios::paper_lattice;
+        // Map the random classes into the paper lattice's shape (3
+        // levels, 4 categories) by clamping.
+        let clamp = |c: &SecurityClass| {
+            let level = TrustLevel::from_rank(c.level().rank().min(2));
+            let cats: CategorySet = c
+                .categories()
+                .iter()
+                .filter(|id| id.index() < 4)
+                .collect();
+            SecurityClass::new(level, cats)
+        };
+        let (s, o) = (clamp(&s), clamp(&o));
+        let mut builder = extsec::SystemBuilder::new(paper_lattice());
+        builder.principal("p").unwrap();
+        let system = builder.build().unwrap();
+        system
+            .fs
+            .bootstrap_file(
+                &system.monitor,
+                "f",
+                "data",
+                Protection::new(Acl::public(ModeSet::parse("rwa").unwrap()), o.clone()),
+                &Protection::new(
+                    Acl::public(ModeSet::only(AccessMode::List)),
+                    SecurityClass::bottom(),
+                ),
+            )
+            .unwrap();
+        let subject = Subject::new(system.principal("p").unwrap(), s.clone());
+        prop_assert_eq!(
+            system.fs.read_file(&system.monitor, &subject, "f").is_ok(),
+            s.dominates(&o)
+        );
+        prop_assert_eq!(
+            system
+                .fs
+                .append_file(&system.monitor, &subject, "f", "+")
+                .is_ok(),
+            o.dominates(&s)
+        );
+        prop_assert_eq!(
+            system
+                .fs
+                .write_file(&system.monitor, &subject, "f", "x")
+                .is_ok(),
+            s == o
+        );
+    }
+}

@@ -1,0 +1,261 @@
+//! T4b — the Windows NT column of the expressiveness comparison.
+//!
+//! The paper grants NT a "rich, though unnecessarily complicated" model;
+//! the reproduction shows exactly where that richness ends: NT expresses
+//! everything discretionary the extsec model does (negative entries,
+//! append-only objects, per-principal grants) but cannot separate
+//! `execute` from `extend` and has no mandatory layer.
+
+use extsec::baselines::nt::{rights, NtAce, NtAceType, NtAcl, NtPolicy, NtTrustee};
+use extsec::{AccessMode, Directory, NsPath, PolicyEngine, SecurityClass, Subject, TrustLevel};
+
+struct Fx {
+    policy: NtPolicy,
+    alice: Subject,
+    bob: Subject,
+    carol: Subject,
+    staff: extsec::GroupId,
+}
+
+fn fixture() -> Fx {
+    let mut dir = Directory::new();
+    let alice = dir.add_principal("alice").unwrap();
+    let bob = dir.add_principal("bob").unwrap();
+    let carol = dir.add_principal("carol").unwrap();
+    let staff = dir.add_group("staff").unwrap();
+    dir.add_member(staff, alice).unwrap();
+    dir.add_member(staff, bob).unwrap();
+    Fx {
+        policy: NtPolicy::new(dir),
+        alice: Subject::new(alice, SecurityClass::bottom()),
+        bob: Subject::new(bob, SecurityClass::bottom()),
+        carol: Subject::new(carol, SecurityClass::bottom()),
+        staff,
+    }
+}
+
+fn p(s: &str) -> NsPath {
+    s.parse().unwrap()
+}
+
+#[test]
+fn nt_expresses_negative_entries() {
+    // R2: staff read, except bob — NT deny ACEs make this work (in
+    // canonical deny-first order).
+    let fx = fixture();
+    fx.policy.set(
+        p("/obj/f"),
+        NtAcl::new(
+            fx.carol.principal,
+            vec![
+                NtAce {
+                    ace_type: NtAceType::Deny,
+                    trustee: NtTrustee::Principal(fx.bob.principal),
+                    mask: rights::FILE_READ_DATA,
+                },
+                NtAce {
+                    ace_type: NtAceType::Allow,
+                    trustee: NtTrustee::Group(fx.staff),
+                    mask: rights::FILE_READ_DATA,
+                },
+            ],
+        ),
+    );
+    assert!(fx
+        .policy
+        .decide(&fx.alice, &p("/obj/f"), AccessMode::Read)
+        .allowed());
+    assert!(!fx
+        .policy
+        .decide(&fx.bob, &p("/obj/f"), AccessMode::Read)
+        .allowed());
+}
+
+#[test]
+fn nt_expresses_append_only() {
+    // R8 (discretionary part): append without read or overwrite.
+    let fx = fixture();
+    fx.policy.set(
+        p("/obj/log"),
+        NtAcl::new(
+            fx.carol.principal,
+            vec![
+                NtAce {
+                    ace_type: NtAceType::Allow,
+                    trustee: NtTrustee::Principal(fx.alice.principal),
+                    mask: rights::FILE_APPEND_DATA,
+                },
+                NtAce {
+                    ace_type: NtAceType::Allow,
+                    trustee: NtTrustee::Principal(fx.carol.principal),
+                    mask: rights::GENERIC_READ,
+                },
+            ],
+        ),
+    );
+    assert!(fx
+        .policy
+        .decide(&fx.alice, &p("/obj/log"), AccessMode::WriteAppend)
+        .allowed());
+    assert!(!fx
+        .policy
+        .decide(&fx.alice, &p("/obj/log"), AccessMode::Write)
+        .allowed());
+    assert!(!fx
+        .policy
+        .decide(&fx.alice, &p("/obj/log"), AccessMode::Read)
+        .allowed());
+    assert!(fx
+        .policy
+        .decide(&fx.carol, &p("/obj/log"), AccessMode::Read)
+        .allowed());
+}
+
+#[test]
+fn nt_cannot_separate_execute_from_extend() {
+    // R3/R4: structurally impossible — one FILE_EXECUTE bit.
+    let fx = fixture();
+    fx.policy.set(
+        p("/svc/iface/op"),
+        NtAcl::new(
+            fx.carol.principal,
+            vec![NtAce {
+                ace_type: NtAceType::Allow,
+                trustee: NtTrustee::Principal(fx.alice.principal),
+                mask: rights::FILE_EXECUTE,
+            }],
+        ),
+    );
+    let exec = fx
+        .policy
+        .decide(&fx.alice, &p("/svc/iface/op"), AccessMode::Execute)
+        .allowed();
+    let extend = fx
+        .policy
+        .decide(&fx.alice, &p("/svc/iface/op"), AccessMode::Extend)
+        .allowed();
+    // Whatever you grant, you grant both.
+    assert_eq!(exec, extend);
+    assert!(exec);
+}
+
+#[test]
+fn nt_has_no_mandatory_layer() {
+    // R6: with the most permissive owner intent, any principal at any
+    // class reads — labels simply do not exist in the model.
+    let fx = fixture();
+    fx.policy.set(
+        p("/obj/secret"),
+        NtAcl::new(
+            fx.alice.principal,
+            vec![NtAce {
+                ace_type: NtAceType::Allow,
+                trustee: NtTrustee::Everyone,
+                mask: rights::GENERIC_READ,
+            }],
+        ),
+    );
+    let low = fx.carol.clone();
+    let high = fx
+        .carol
+        .with_class(SecurityClass::at_level(TrustLevel::from_rank(9)));
+    assert!(fx
+        .policy
+        .decide(&low, &p("/obj/secret"), AccessMode::Read)
+        .allowed());
+    assert!(fx
+        .policy
+        .decide(&high, &p("/obj/secret"), AccessMode::Read)
+        .allowed());
+}
+
+#[test]
+fn nt_order_dependence_vs_extsec_order_independence() {
+    // The same two entries in both orders: NT flips its answer, the
+    // extsec ACL does not. This is the "unnecessarily complicated" part
+    // of the paper's NT critique made concrete.
+    let fx = fixture();
+
+    // NT, allow-first: bob reads.
+    fx.policy.set(
+        p("/obj/x"),
+        NtAcl::new(
+            fx.carol.principal,
+            vec![
+                NtAce {
+                    ace_type: NtAceType::Allow,
+                    trustee: NtTrustee::Group(fx.staff),
+                    mask: rights::FILE_READ_DATA,
+                },
+                NtAce {
+                    ace_type: NtAceType::Deny,
+                    trustee: NtTrustee::Principal(fx.bob.principal),
+                    mask: rights::FILE_READ_DATA,
+                },
+            ],
+        ),
+    );
+    let nt_allow_first = fx
+        .policy
+        .decide(&fx.bob, &p("/obj/x"), AccessMode::Read)
+        .allowed();
+    // NT, deny-first: bob denied.
+    fx.policy.set(
+        p("/obj/x"),
+        NtAcl::new(
+            fx.carol.principal,
+            vec![
+                NtAce {
+                    ace_type: NtAceType::Deny,
+                    trustee: NtTrustee::Principal(fx.bob.principal),
+                    mask: rights::FILE_READ_DATA,
+                },
+                NtAce {
+                    ace_type: NtAceType::Allow,
+                    trustee: NtTrustee::Group(fx.staff),
+                    mask: rights::FILE_READ_DATA,
+                },
+            ],
+        ),
+    );
+    let nt_deny_first = fx
+        .policy
+        .decide(&fx.bob, &p("/obj/x"), AccessMode::Read)
+        .allowed();
+    assert_ne!(nt_allow_first, nt_deny_first, "NT is order-dependent");
+
+    // extsec: both orders deny.
+    let mut dir = Directory::new();
+    let _alice = dir.add_principal("alice").unwrap();
+    let bob = dir.add_principal("bob").unwrap();
+    let staff = dir.add_group("staff").unwrap();
+    dir.add_member(staff, bob).unwrap();
+    use extsec::{Acl, AclEntry};
+    let forward = Acl::from_entries([
+        AclEntry::allow_group(staff, AccessMode::Read),
+        AclEntry::deny_principal(bob, AccessMode::Read),
+    ]);
+    let backward = Acl::from_entries([
+        AclEntry::deny_principal(bob, AccessMode::Read),
+        AclEntry::allow_group(staff, AccessMode::Read),
+    ]);
+    assert!(!forward.check(&dir, bob, AccessMode::Read).granted());
+    assert!(!backward.check(&dir, bob, AccessMode::Read).granted());
+}
+
+#[test]
+fn nt_owner_can_always_rewrite_the_dacl() {
+    // Ownership implies WRITE_DAC: discretionary to the bone, which is
+    // exactly why it cannot provide mandatory guarantees.
+    let fx = fixture();
+    fx.policy
+        .set(p("/obj/f"), NtAcl::new(fx.alice.principal, vec![]));
+    assert!(fx
+        .policy
+        .decide(&fx.alice, &p("/obj/f"), AccessMode::Administrate)
+        .allowed());
+    assert!(!fx
+        .policy
+        .decide(&fx.bob, &p("/obj/f"), AccessMode::Administrate)
+        .allowed());
+}

@@ -1,0 +1,145 @@
+//! Scale smoke tests: thousands of nodes and principals, deep group
+//! nesting, snapshot round-trips at size — nothing in the model should
+//! degrade into a trap at realistic populations.
+
+use extsec::{
+    AccessMode, Acl, AclEntry, Lattice, ModeSet, MonitorBuilder, NodeKind, NsPath, Protection,
+    ReferenceMonitor, SecurityClass, Subject,
+};
+
+#[test]
+fn thousands_of_nodes_and_principals() {
+    let lattice = Lattice::build(
+        (0..4).map(|i| format!("L{i}")),
+        (0..16).map(|i| format!("c{i}")),
+    )
+    .unwrap();
+    let mut builder = MonitorBuilder::new(lattice);
+    let principals: Vec<_> = (0..1000)
+        .map(|i| builder.add_principal(format!("user{i}")).unwrap())
+        .collect();
+    let everyone = builder.add_group("everyone").unwrap();
+    for p in &principals {
+        builder.add_member(everyone, *p).unwrap();
+    }
+    let monitor = builder.build();
+
+    // 100 services × 50 procedures = 5000 leaves.
+    monitor
+        .bootstrap(|ns| {
+            let visible = Protection::new(
+                Acl::public(ModeSet::only(AccessMode::List)),
+                SecurityClass::bottom(),
+            );
+            for s in 0..100 {
+                let svc: NsPath = format!("/svc/service{s}").parse().unwrap();
+                let dom = ns.ensure_path(&svc, NodeKind::Domain, &visible)?;
+                for p in 0..50 {
+                    ns.insert_at(
+                        dom,
+                        &format!("op{p}"),
+                        NodeKind::Procedure,
+                        Protection::new(
+                            Acl::from_entries([AclEntry::allow_group(
+                                extsec::GroupId::from_raw(0),
+                                AccessMode::Execute,
+                            )]),
+                            SecurityClass::bottom(),
+                        ),
+                    )?;
+                }
+            }
+            Ok(())
+        })
+        .unwrap();
+    assert_eq!(monitor.inspect(|ns| ns.len()), 1 + 1 + 100 + 5000);
+
+    // Every 97th principal probes every 13th service: all allowed
+    // through the group grant.
+    for pi in (0..principals.len()).step_by(97) {
+        let subject = Subject::new(principals[pi], SecurityClass::bottom());
+        for s in (0..100).step_by(13) {
+            let path: NsPath = format!("/svc/service{s}/op7").parse().unwrap();
+            assert!(
+                monitor
+                    .check(&subject, &path, AccessMode::Execute)
+                    .allowed(),
+                "user{pi} on service{s}"
+            );
+        }
+    }
+
+    // Snapshot at size and restore: decisions must survive.
+    let snapshot = monitor.snapshot();
+    assert_eq!(snapshot.nodes.len(), 5102);
+    let restored = ReferenceMonitor::from_snapshot(snapshot).unwrap();
+    let subject = Subject::new(principals[500], SecurityClass::bottom());
+    let path: NsPath = "/svc/service42/op13".parse().unwrap();
+    assert_eq!(
+        monitor.check(&subject, &path, AccessMode::Execute),
+        restored.check(&subject, &path, AccessMode::Execute)
+    );
+}
+
+#[test]
+fn deep_group_nesting() {
+    let lattice = Lattice::build(["low"], Vec::<String>::new()).unwrap();
+    let mut builder = MonitorBuilder::new(lattice);
+    let user = builder.add_principal("user").unwrap();
+    // A 64-deep chain: user ∈ g0 ⊂ g1 ⊂ ... ⊂ g63.
+    let mut groups = Vec::new();
+    for i in 0..64 {
+        groups.push(builder.add_group(format!("g{i}")).unwrap());
+    }
+    builder.add_member(groups[0], user).unwrap();
+    for i in 1..64 {
+        builder.add_subgroup(groups[i], groups[i - 1]).unwrap();
+    }
+    let monitor = builder.build();
+    let outer = groups[63];
+    monitor
+        .bootstrap(|ns| {
+            let visible = Protection::new(
+                Acl::public(ModeSet::only(AccessMode::List)),
+                SecurityClass::bottom(),
+            );
+            ns.ensure_path(&"/svc".parse().unwrap(), NodeKind::Domain, &visible)?;
+            ns.insert(
+                &"/svc".parse().unwrap(),
+                "op",
+                NodeKind::Procedure,
+                Protection::new(
+                    Acl::from_entries([AclEntry::allow_group(outer, AccessMode::Execute)]),
+                    SecurityClass::bottom(),
+                ),
+            )?;
+            Ok(())
+        })
+        .unwrap();
+    // Transitive membership through 64 levels still grants.
+    let subject = Subject::new(user, SecurityClass::bottom());
+    assert!(monitor
+        .check(&subject, &"/svc/op".parse().unwrap(), AccessMode::Execute)
+        .allowed());
+    // A stranger is still denied.
+    let stranger = Subject::new(extsec::PrincipalId::from_raw(999), SecurityClass::bottom());
+    assert!(!monitor
+        .check(&stranger, &"/svc/op".parse().unwrap(), AccessMode::Execute)
+        .allowed());
+}
+
+#[test]
+fn wide_category_sets() {
+    // 512 categories: the bitset spans 8 words; domination still exact.
+    let lattice = Lattice::build(["low", "high"], (0..512).map(|i| format!("c{i}"))).unwrap();
+    let full = lattice.try_top().unwrap();
+    let mut almost = full.clone();
+    let _ = &mut almost;
+    let missing_one = extsec::SecurityClass::new(
+        full.level(),
+        (0..511).map(extsec::CategoryId::from_index).collect(),
+    );
+    assert!(full.dominates(&missing_one));
+    assert!(!missing_one.dominates(&full));
+    assert_eq!(full.categories().len(), 512);
+}

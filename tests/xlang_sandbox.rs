@@ -1,0 +1,231 @@
+//! The full stack with `xlang` extensions: language → compiler →
+//! verifier → runtime → monitor. Confinement must survive the nicer
+//! surface syntax.
+
+use extsec::scenarios::paper_lattice;
+use extsec::{
+    AccessMode, Acl, AclEntry, ExtensionManifest, ModeSet, Origin, Protection, SecurityClass,
+    SystemBuilder, Value,
+};
+
+fn system_with(principals: &[&str]) -> (extsec::ExtensibleSystem, Vec<extsec::PrincipalId>) {
+    let mut builder = SystemBuilder::new(paper_lattice());
+    let ids = principals
+        .iter()
+        .map(|p| builder.principal(*p).unwrap())
+        .collect();
+    (builder.build().unwrap(), ids)
+}
+
+#[test]
+fn xlang_extension_calls_through_gates() {
+    let (system, ids) = system_with(&["alice"]);
+    let alice = system.subject("alice", "others").unwrap();
+    let ext = system
+        .load_xlang(
+            r#"
+            extern fn now() -> int = "/svc/clock/now";
+            fn main() -> int {
+                let a = now();
+                let b = now();
+                return b - a;
+            }
+            "#,
+            ExtensionManifest {
+                name: "ticks".into(),
+                principal: ids[0],
+                origin: Origin::Local,
+                static_class: None,
+            },
+        )
+        .unwrap();
+    let r = system.runtime.run(ext, "main", &[], &alice).unwrap();
+    assert_eq!(r, Some(Value::Int(1)));
+}
+
+#[test]
+fn xlang_extension_is_confined_to_declared_externs() {
+    // A compiled extension has no way to reach services it did not
+    // declare: the only escape is `extern fn`, and each one is checked.
+    let (system, ids) = system_with(&["mallory"]);
+    // Revoke mallory's right to the fs read gate.
+    system
+        .monitor
+        .bootstrap(|ns| {
+            let id = ns.resolve(&"/svc/fs/read".parse().unwrap())?;
+            ns.update_protection(id, |prot| {
+                prot.acl =
+                    Acl::from_entries([AclEntry::deny_everyone(ModeSet::parse("x").unwrap())]);
+            })?;
+            Ok(())
+        })
+        .unwrap();
+    let e = system
+        .load_xlang(
+            r#"
+            extern fn read(p: str) -> str = "/svc/fs/read";
+            fn main() -> str { return read("secret"); }
+            "#,
+            ExtensionManifest {
+                name: "snoop".into(),
+                principal: ids[0],
+                origin: Origin::Remote("evil.example".into()),
+                static_class: None,
+            },
+        )
+        .unwrap_err();
+    // Caught at link time.
+    assert!(matches!(
+        e,
+        extsec::SystemError::Ext(extsec::ExtError::LinkDenied { .. })
+    ));
+}
+
+#[test]
+fn xlang_infinite_loop_is_fuel_bounded() {
+    let (system, ids) = system_with(&["mallory"]);
+    let mallory = system.subject("mallory", "others").unwrap();
+    let ext = system
+        .load_xlang(
+            "fn main() { while true { } }",
+            ExtensionManifest {
+                name: "spinner".into(),
+                principal: ids[0],
+                origin: Origin::Remote("evil.example".into()),
+                static_class: None,
+            },
+        )
+        .unwrap();
+    let e = system.runtime.run(ext, "main", &[], &mallory).unwrap_err();
+    assert_eq!(e, extsec::ExtError::Trap(extsec::Trap::OutOfFuel));
+}
+
+#[test]
+fn xlang_static_class_caps_apply() {
+    let (system, ids) = system_with(&["alice"]);
+    // A high-labelled probe service node.
+    let high = system.class("local:{myself}").unwrap();
+    system
+        .monitor
+        .bootstrap(|ns| {
+            let parent = ns.resolve(&"/svc/clock".parse().unwrap())?;
+            ns.insert_at(
+                parent,
+                "precise",
+                extsec::NodeKind::Procedure,
+                Protection::new(
+                    Acl::public(ModeSet::only(AccessMode::Execute)),
+                    high.clone(),
+                ),
+            )?;
+            Ok(())
+        })
+        .unwrap();
+    // The extension is statically classed at bottom ("remote applets
+    // always run at the least level of trust").
+    let src = r#"
+        extern fn precise() -> int = "/svc/clock/precise";
+        fn main() -> int { return precise(); }
+    "#;
+    let ext = system
+        .load_xlang(
+            src,
+            ExtensionManifest {
+                name: "probe".into(),
+                principal: ids[0],
+                origin: Origin::Remote("outside.example".into()),
+                static_class: Some(SecurityClass::bottom()),
+            },
+        )
+        .unwrap_err();
+    // Link-time subject is the static (bottom) class: MAC denies the
+    // high-labelled gate outright.
+    assert!(matches!(
+        ext,
+        extsec::SystemError::Ext(extsec::ExtError::LinkDenied { .. })
+    ));
+}
+
+#[test]
+fn xlang_and_asm_extensions_interoperate() {
+    // One interface, two implementations: an asm extension and an xlang
+    // extension registered at different classes; dispatch picks by
+    // caller, regardless of source language.
+    let (system, ids) = system_with(&["dev"]);
+    let dev_id = ids[0];
+    system
+        .monitor
+        .bootstrap(|ns| {
+            let visible = Protection::new(
+                Acl::public(ModeSet::only(AccessMode::List)),
+                SecurityClass::bottom(),
+            );
+            ns.ensure_path(
+                &"/svc/iface".parse().unwrap(),
+                extsec::NodeKind::Interface,
+                &visible,
+            )?;
+            let id = ns.insert(
+                &"/svc/iface".parse().unwrap(),
+                "op",
+                extsec::NodeKind::Procedure,
+                Protection::new(
+                    Acl::from_entries([AclEntry::allow_principal_modes(
+                        dev_id,
+                        ModeSet::parse("xe").unwrap(),
+                    )]),
+                    SecurityClass::bottom(),
+                ),
+            )?;
+            ns.set_extensible(id, true)?;
+            Ok(())
+        })
+        .unwrap();
+
+    let low = system.class("others").unwrap();
+    let high = system.class("organization:{department-1}").unwrap();
+    let asm_ext = system
+        .load_extension(
+            "module low_h\nfunc handle(x: int) -> int\n push_int 1\n ret\nend\nexport handle = handle\n",
+            ExtensionManifest {
+                name: "low-handler".into(),
+                principal: dev_id,
+                origin: Origin::Local,
+                static_class: Some(low),
+            },
+        )
+        .unwrap();
+    let xlang_ext = system
+        .load_xlang(
+            "fn handle(x: int) -> int { return 2; }",
+            ExtensionManifest {
+                name: "high-handler".into(),
+                principal: dev_id,
+                origin: Origin::Local,
+                static_class: Some(high.clone()),
+            },
+        )
+        .unwrap();
+    let iface = "/svc/iface/op".parse().unwrap();
+    system.runtime.extend(asm_ext, &iface, "handle").unwrap();
+    system.runtime.extend(xlang_ext, &iface, "handle").unwrap();
+
+    let dev_low = system.subject("dev", "others").unwrap();
+    let dev_high = system
+        .subject("dev", "organization:{department-1}")
+        .unwrap();
+    assert_eq!(
+        system
+            .runtime
+            .call(&dev_low, &iface, &[Value::Int(0)])
+            .unwrap(),
+        Some(Value::Int(1))
+    );
+    assert_eq!(
+        system
+            .runtime
+            .call(&dev_high, &iface, &[Value::Int(0)])
+            .unwrap(),
+        Some(Value::Int(2))
+    );
+}
