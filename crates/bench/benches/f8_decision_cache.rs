@@ -1,0 +1,138 @@
+//! F8 — what the generation-stamped decision cache buys on the monitor's
+//! hot path, measured on the F1 worst case: a tail grant in a long ACL.
+//!
+//! `uncached` pays path resolution with per-level visibility plus the
+//! full ACL scan on every call; `cached-warm` answers repeats from the
+//! sharded map after one miss. `cached-after-bump` re-evaluates once per
+//! policy mutation, bounding the cost of invalidation. The final line
+//! reports the warm-hit speedup ratio directly.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use extsec_core::{
+    AccessMode, Acl, AclEntry, Lattice, ModeSet, MonitorBuilder, MonitorConfig, NodeKind, NsPath,
+    Protection, ReferenceMonitor, SecurityClass, Subject,
+};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+
+fn p(s: &str) -> NsPath {
+    s.parse().unwrap()
+}
+
+/// A monitor whose `/svc/fs/read` carries `len` filler entries with the
+/// probing subject's grant at the tail — the F1 tail-grant shape lifted
+/// to the full monitor.
+fn tail_grant_world(len: usize, decision_cache: bool) -> (Arc<ReferenceMonitor>, Subject) {
+    let lattice = Lattice::build(["low", "high"], ["c0"]).unwrap();
+    let mut builder = MonitorBuilder::new(lattice);
+    let fillers: Vec<_> = (0..len)
+        .map(|i| builder.add_principal(format!("p{i}")).unwrap())
+        .collect();
+    let target = builder.add_principal("target").unwrap();
+    builder.config(MonitorConfig {
+        // Audit off so the measurement isolates the decision machinery.
+        audit: false,
+        decision_cache,
+        ..MonitorConfig::default()
+    });
+    let monitor = builder.build();
+    monitor
+        .bootstrap(|ns| {
+            let visible = Protection::new(
+                Acl::public(ModeSet::only(AccessMode::List)),
+                SecurityClass::bottom(),
+            );
+            ns.ensure_path(&p("/svc/fs"), NodeKind::Domain, &visible)?;
+            let mut entries: Vec<AclEntry> = fillers
+                .iter()
+                .map(|f| AclEntry::allow_principal_modes(*f, ModeSet::parse("rl").unwrap()))
+                .collect();
+            entries.push(AclEntry::allow_principal(target, AccessMode::Execute));
+            ns.insert(
+                &p("/svc/fs"),
+                "read",
+                NodeKind::Procedure,
+                Protection::new(Acl::from_entries(entries), SecurityClass::bottom()),
+            )?;
+            Ok(())
+        })
+        .unwrap();
+    let subject = Subject::new(target, SecurityClass::bottom());
+    (monitor, subject)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f8_decision_cache");
+    let path = p("/svc/fs/read");
+    for &len in &[16usize, 64, 256] {
+        let (uncached, subject_u) = tail_grant_world(len, false);
+        group.bench_with_input(BenchmarkId::new("uncached", len), &len, |b, _| {
+            b.iter(|| {
+                black_box(uncached.check(black_box(&subject_u), &path, AccessMode::Execute))
+            })
+        });
+
+        let (cached, subject_c) = tail_grant_world(len, true);
+        assert!(cached.check(&subject_c, &path, AccessMode::Execute).allowed());
+        group.bench_with_input(BenchmarkId::new("cached-warm", len), &len, |b, _| {
+            b.iter(|| black_box(cached.check(black_box(&subject_c), &path, AccessMode::Execute)))
+        });
+
+        // Every iteration invalidates, so every check is a miss plus the
+        // re-fill: the cache's worst case.
+        let (bumpy, subject_b) = tail_grant_world(len, true);
+        group.bench_with_input(BenchmarkId::new("cached-after-bump", len), &len, |b, _| {
+            b.iter(|| {
+                bumpy
+                    .bootstrap(|_| Ok(()))
+                    .expect("no-op bootstrap bumps the generation");
+                black_box(bumpy.check(black_box(&subject_b), &path, AccessMode::Execute))
+            })
+        });
+    }
+    group.finish();
+
+    report_warm_hit_ratio();
+}
+
+/// Measures and prints the acceptance-criterion ratio: warm cache hits
+/// versus uncached evaluation on the 256-entry tail-grant workload.
+fn report_warm_hit_ratio() {
+    const ITERS: u32 = 50_000;
+    let path = p("/svc/fs/read");
+
+    let (uncached, subject_u) = tail_grant_world(256, false);
+    let start = Instant::now();
+    for _ in 0..ITERS {
+        black_box(uncached.check(black_box(&subject_u), &path, AccessMode::Execute));
+    }
+    let uncached_ns = start.elapsed().as_nanos() as f64 / f64::from(ITERS);
+
+    let (cached, subject_c) = tail_grant_world(256, true);
+    cached.check(&subject_c, &path, AccessMode::Execute);
+    let start = Instant::now();
+    for _ in 0..ITERS {
+        black_box(cached.check(black_box(&subject_c), &path, AccessMode::Execute));
+    }
+    let cached_ns = start.elapsed().as_nanos() as f64 / f64::from(ITERS);
+
+    let stats = cached.cache_stats();
+    println!(
+        "f8 ratio (256-entry tail grant): uncached {uncached_ns:.0} ns/check, \
+         warm hit {cached_ns:.0} ns/check -> {:.1}x speedup ({} hits / {} misses)",
+        uncached_ns / cached_ns,
+        stats.hits,
+        stats.misses
+    );
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(600));
+    targets = bench
+}
+criterion_main!(benches);

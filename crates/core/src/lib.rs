@@ -67,8 +67,8 @@ pub use extsec_mac::{
 };
 pub use extsec_namespace::{NameSpace, NodeKind, NsPath, Protection};
 pub use extsec_refmon::{
-    AuditEvent, AuditLog, Decision, DenyReason, MacInteraction, MonitorBuilder, MonitorConfig,
-    MonitorError, PolicyEngine, ReferenceMonitor, Subject, ThreadId,
+    AuditEvent, AuditLog, CacheStats, Decision, DenyReason, MacInteraction, MonitorBuilder,
+    MonitorConfig, MonitorError, PolicyEngine, ReferenceMonitor, Subject, ThreadId,
 };
 pub use extsec_services::{
     AppletService, ClockService, ConsoleService, FsService, MbufService, NetService, VfsService,

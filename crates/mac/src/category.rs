@@ -166,9 +166,28 @@ impl std::error::Error for CategoryError {}
 /// Implemented as a growable bitset; trailing zero words are kept trimmed so
 /// that equality and hashing are canonical regardless of how the set was
 /// built up.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, Eq, Serialize, Deserialize)]
 pub struct CategorySet {
     words: Vec<u64>,
+}
+
+impl std::hash::Hash for CategorySet {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.words.hash(state);
+    }
+}
+
+// Derived `PartialEq` would compare `words` as a `[u64]` slice, which
+// lowers to a libc `memcmp` call — measurably dominant on the monitor's
+// hot path, and slowest of all for the empty set, the most common label.
+// An explicit word loop compares the handful of words inline. Trailing
+// zero words are trimmed, so structural equality is still canonical set
+// equality (and stays consistent with the derived `Hash`).
+impl PartialEq for CategorySet {
+    fn eq(&self, other: &Self) -> bool {
+        self.words.len() == other.words.len()
+            && self.words.iter().zip(&other.words).all(|(a, b)| a == b)
+    }
 }
 
 impl CategorySet {

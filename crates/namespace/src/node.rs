@@ -14,6 +14,13 @@ impl NodeId {
     /// The root node's id.
     pub const ROOT: NodeId = NodeId(0);
 
+    /// Creates a node id from a raw index. The id is only meaningful
+    /// against the name space it came from; this exists for callers that
+    /// persist or key on raw ids (snapshots, caches, tests).
+    pub const fn from_raw(raw: u32) -> Self {
+        NodeId(raw)
+    }
+
     /// Returns the raw index.
     pub const fn raw(self) -> u32 {
         self.0

@@ -1,0 +1,308 @@
+//! The generation-stamped access-decision cache.
+//!
+//! Access checks on the hot path repeat: the same subject asks for the
+//! same mode on the same node over and over (figure F1's tail-grant
+//! workload scans a 256-entry ACL on every call). The monitor therefore
+//! memoizes full decisions — allow *and* deny — in a sharded map keyed by
+//! `(principal, security class, node id, node epoch, mode)`.
+//!
+//! Coherence is by *generation stamping*, not by targeted eviction: the
+//! cache carries a global generation counter, every entry records the
+//! generation it was computed at, and every policy mutation (ACL edit,
+//! label change, node create/remove, group-membership edit, configuration
+//! swap, snapshot restore) bumps the counter while still holding the
+//! monitor's write lock. A lookup only hits when the entry's stamp equals
+//! the current generation, so a reader that acquires the read lock after
+//! a revocation can never see the revoked grant — stale entries simply
+//! stop matching and are dropped lazily. This trades recomputation after
+//! any mutation for an invalidation step that is a single atomic
+//! increment, the right trade for the paper's read-mostly policies.
+//!
+//! Node ids are recycled by the name-space arena, so raw ids are not
+//! stable keys; the key includes the slot's reuse epoch
+//! ([`extsec_namespace::NameSpace::epoch`]), which the arena bumps every
+//! time a slot is vacated. Floating-class subjects are never cached —
+//! their effective class is mutable interior state invisible to the
+//! generation counter — and the monitor routes them through its uncached
+//! path.
+
+use crate::decision::Decision;
+use extsec_acl::{AccessMode, PrincipalId};
+use extsec_mac::SecurityClass;
+use extsec_namespace::NodeId;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// FNV-1a. The cache key is a dozen small integers; the default SipHash
+/// costs more than the ACL scan it is meant to avoid, while FNV keeps
+/// the whole hash under a handful of cycles. Keys are not
+/// attacker-chosen strings (principal ids and node ids are dense small
+/// integers handed out by the TCB), so HashDoS resistance buys nothing
+/// here.
+#[derive(Default)]
+struct FnvHasher(u64);
+
+impl Hasher for FnvHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        let mut hash = if self.0 == 0 {
+            0xcbf2_9ce4_8422_2325
+        } else {
+            self.0
+        };
+        for &byte in bytes {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        self.0 = hash;
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+type FnvMap<K, V> = HashMap<K, V, BuildHasherDefault<FnvHasher>>;
+
+/// Number of independent shards; keys spread by subject-principal hash so
+/// concurrent readers checking as different principals rarely contend.
+const SHARD_COUNT: usize = 16;
+
+/// Per-shard entry bound. When a shard fills, stale generations are
+/// purged first and only then live entries, so a hot working set survives.
+const SHARD_CAPACITY: usize = 4096;
+
+/// One memoized decision's identity.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// The subject's principal.
+    pub principal: PrincipalId,
+    /// The subject's (static) security class.
+    pub class: SecurityClass,
+    /// The resolved final node.
+    pub node: NodeId,
+    /// The node slot's reuse epoch at resolution time.
+    pub epoch: u32,
+    /// The requested access mode.
+    pub mode: AccessMode,
+}
+
+struct Entry {
+    generation: u64,
+    decision: Decision,
+}
+
+/// Cache effectiveness counters, reported next to the audit log.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from a current-generation entry.
+    pub hits: u64,
+    /// Lookups that fell through to full evaluation (absent or stale).
+    pub misses: u64,
+    /// Generation bumps, i.e. whole-cache invalidations.
+    pub invalidations: u64,
+    /// Entries currently resident (stale entries count until evicted).
+    pub entries: usize,
+    /// The current policy generation.
+    pub generation: u64,
+}
+
+/// A sharded map of generation-stamped decisions.
+pub struct DecisionCache {
+    generation: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    invalidations: AtomicU64,
+    shards: Vec<Mutex<FnvMap<CacheKey, Entry>>>,
+}
+
+impl DecisionCache {
+    /// Creates an empty cache at generation zero.
+    pub fn new() -> Self {
+        DecisionCache {
+            generation: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
+            shards: (0..SHARD_COUNT)
+                .map(|_| Mutex::new(FnvMap::default()))
+                .collect(),
+        }
+    }
+
+    /// Reads the current policy generation. Callers must read it while
+    /// holding the monitor's state lock so the (state, generation) pair
+    /// is consistent.
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+
+    /// Advances the policy generation, lazily invalidating every cached
+    /// entry. Must be called while still holding the monitor's write
+    /// lock, so no reader can observe the mutated state under the old
+    /// generation.
+    pub fn bump(&self) {
+        self.generation.fetch_add(1, Ordering::Release);
+        self.invalidations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn shard(&self, key: &CacheKey) -> &Mutex<FnvMap<CacheKey, Entry>> {
+        // Fibonacci spread of the principal id: the issue pins sharding to
+        // the subject principal so one subject's churn stays in one shard.
+        let spread = (key.principal.raw() as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        &self.shards[(spread >> 32) as usize % SHARD_COUNT]
+    }
+
+    /// Looks `key` up at `generation`. Hits only on an entry stamped with
+    /// exactly that generation; a stale entry is evicted and counts as a
+    /// miss.
+    pub fn lookup(&self, key: &CacheKey, generation: u64) -> Option<Decision> {
+        let mut shard = self.shard(key).lock();
+        match shard.get(key) {
+            Some(entry) if entry.generation == generation => {
+                let decision = entry.decision.clone();
+                drop(shard);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(decision)
+            }
+            Some(_) => {
+                shard.remove(key);
+                drop(shard);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+            None => {
+                drop(shard);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Stores a decision computed at `generation`. A racing bump makes
+    /// the entry permanently stale, which is safe: it can never match a
+    /// later generation.
+    pub fn insert(&self, key: CacheKey, generation: u64, decision: Decision) {
+        let mut shard = self.shard(&key).lock();
+        if shard.len() >= SHARD_CAPACITY && !shard.contains_key(&key) {
+            shard.retain(|_, entry| entry.generation == generation);
+            if shard.len() >= SHARD_CAPACITY {
+                shard.clear();
+            }
+        }
+        shard.insert(
+            key,
+            Entry {
+                generation,
+                decision,
+            },
+        );
+    }
+
+    /// Drops every entry (the counters and generation are kept).
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.lock().clear();
+        }
+    }
+
+    /// Snapshots the effectiveness counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
+            entries: self.shards.iter().map(|s| s.lock().len()).sum(),
+            generation: self.generation(),
+        }
+    }
+}
+
+impl Default for DecisionCache {
+    fn default() -> Self {
+        DecisionCache::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decision::DenyReason;
+
+    fn key(principal: u32, node: u32, epoch: u32, mode: AccessMode) -> CacheKey {
+        CacheKey {
+            principal: PrincipalId::from_raw(principal),
+            class: SecurityClass::bottom(),
+            node: NodeId::from_raw(node),
+            epoch,
+            mode,
+        }
+    }
+
+    #[test]
+    fn hit_requires_matching_generation() {
+        let cache = DecisionCache::new();
+        let g = cache.generation();
+        cache.insert(key(1, 7, 0, AccessMode::Read), g, Decision::Allow);
+        assert_eq!(
+            cache.lookup(&key(1, 7, 0, AccessMode::Read), g),
+            Some(Decision::Allow)
+        );
+        cache.bump();
+        let g2 = cache.generation();
+        assert_eq!(cache.lookup(&key(1, 7, 0, AccessMode::Read), g2), None);
+        // The stale entry was evicted on that miss.
+        assert_eq!(cache.stats().entries, 0);
+    }
+
+    #[test]
+    fn epoch_distinguishes_recycled_node_ids() {
+        let cache = DecisionCache::new();
+        let g = cache.generation();
+        cache.insert(key(1, 7, 0, AccessMode::Read), g, Decision::Allow);
+        assert_eq!(cache.lookup(&key(1, 7, 1, AccessMode::Read), g), None);
+    }
+
+    #[test]
+    fn denials_are_cached_too() {
+        let cache = DecisionCache::new();
+        let g = cache.generation();
+        let deny = Decision::Deny(DenyReason::DacNoEntry);
+        cache.insert(key(2, 3, 0, AccessMode::Write), g, deny.clone());
+        assert_eq!(
+            cache.lookup(&key(2, 3, 0, AccessMode::Write), g),
+            Some(deny)
+        );
+    }
+
+    #[test]
+    fn stats_count_hits_misses_and_bumps() {
+        let cache = DecisionCache::new();
+        let g = cache.generation();
+        assert_eq!(cache.lookup(&key(1, 1, 0, AccessMode::Read), g), None);
+        cache.insert(key(1, 1, 0, AccessMode::Read), g, Decision::Allow);
+        cache.lookup(&key(1, 1, 0, AccessMode::Read), g);
+        cache.bump();
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.invalidations, 1);
+        assert_eq!(stats.generation, 1);
+    }
+
+    #[test]
+    fn capacity_purges_stale_before_live() {
+        let cache = DecisionCache::new();
+        // Fill one shard (single principal → single shard) with stale
+        // entries, then insert at a newer generation: the stale ones go.
+        let g = cache.generation();
+        for node in 0..SHARD_CAPACITY as u32 {
+            cache.insert(key(1, node, 0, AccessMode::Read), g, Decision::Allow);
+        }
+        cache.bump();
+        let g2 = cache.generation();
+        cache.insert(key(1, 0, 1, AccessMode::Read), g2, Decision::Allow);
+        assert_eq!(cache.stats().entries, 1);
+    }
+}

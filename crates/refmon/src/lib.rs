@@ -69,6 +69,7 @@
 #![warn(missing_docs)]
 
 pub mod audit;
+pub mod cache;
 pub mod config;
 pub mod decision;
 pub mod explain;
@@ -79,6 +80,7 @@ pub mod snapshot;
 pub mod subject;
 
 pub use audit::{AuditEvent, AuditLog};
+pub use cache::{CacheKey, CacheStats, DecisionCache};
 pub use config::{MacInteraction, MonitorConfig};
 pub use decision::{Decision, DenyReason};
 pub use explain::{ExplainStep, Explanation};

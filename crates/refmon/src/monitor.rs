@@ -1,6 +1,7 @@
 //! The reference monitor proper.
 
 use crate::audit::AuditLog;
+use crate::cache::{CacheKey, CacheStats, DecisionCache};
 use crate::config::MonitorConfig;
 use crate::decision::{Decision, DenyReason};
 use crate::subject::Subject;
@@ -139,6 +140,7 @@ impl MonitorBuilder {
                 config: self.config,
             }),
             audit: AuditLog::new(),
+            cache: DecisionCache::new(),
         })
     }
 }
@@ -152,6 +154,11 @@ impl MonitorBuilder {
 pub struct ReferenceMonitor {
     state: RwLock<State>,
     audit: AuditLog,
+    /// Memoized decisions, stamped with the policy generation. Mutators
+    /// bump the generation while still holding the write lock, so a
+    /// reader — which reads the generation under the read lock — can
+    /// never hit an entry computed against superseded policy.
+    cache: DecisionCache,
 }
 
 impl ReferenceMonitor {
@@ -161,9 +168,59 @@ impl ReferenceMonitor {
 
     /// Checks whether `subject` may perform `mode` on the object named by
     /// `path`, recording the decision in the audit log when enabled.
+    ///
+    /// When [`MonitorConfig::decision_cache`] is on, repeat checks are
+    /// answered from the generation-stamped cache: the generation is read
+    /// under the same read lock as the state, so a hit is exactly the
+    /// decision a fresh evaluation would produce. Audit records are
+    /// written on hits and misses alike.
     pub fn check(&self, subject: &Subject, path: &NsPath, mode: AccessMode) -> Decision {
         let state = self.state.read();
-        let decision = Self::evaluate(&state, subject, path, mode);
+        if !state.config.decision_cache {
+            return self.check_in(&state, subject, path, mode);
+        }
+        // A cheap, visitor-free resolve yields the key. When the path does
+        // not resolve, there is no stable node to key on; fall through to
+        // full evaluation, which also reproduces the exact deny reason
+        // (NotFound prefix vs. an earlier visibility denial).
+        let Ok(id) = state.namespace.resolve(path) else {
+            return self.check_in(&state, subject, path, mode);
+        };
+        let key = CacheKey {
+            principal: subject.principal,
+            class: subject.class.clone(),
+            node: id,
+            epoch: state.namespace.epoch(id),
+            mode,
+        };
+        let generation = self.cache.generation();
+        let decision = match self.cache.lookup(&key, generation) {
+            Some(decision) => decision,
+            None => {
+                let decision = Self::evaluate(&state, subject, path, mode);
+                self.cache.insert(key, generation, decision.clone());
+                decision
+            }
+        };
+        if state.config.audit {
+            self.audit.record(subject, path, mode, &decision);
+        }
+        decision
+    }
+
+    /// Checks without consulting or filling the decision cache. Used for
+    /// subjects whose effective class is interior mutable state the
+    /// generation counter cannot see (floating-class subjects), and as
+    /// the oracle in coherence tests.
+    pub fn check_uncached(&self, subject: &Subject, path: &NsPath, mode: AccessMode) -> Decision {
+        let state = self.state.read();
+        self.check_in(&state, subject, path, mode)
+    }
+
+    /// Evaluates and audits under an already-held lock (the uncached
+    /// path).
+    fn check_in(&self, state: &State, subject: &Subject, path: &NsPath, mode: AccessMode) -> Decision {
+        let decision = Self::evaluate(state, subject, path, mode);
         if state.config.audit {
             self.audit.record(subject, path, mode, &decision);
         }
@@ -285,7 +342,9 @@ impl ReferenceMonitor {
         }
         decision.into_result()?;
         state.lattice.validate(&protection.label)?;
-        Ok(state.namespace.insert(parent, name, kind, protection)?)
+        let id = state.namespace.insert(parent, name, kind, protection)?;
+        self.cache.bump();
+        Ok(id)
     }
 
     /// Removes the node at `path`; requires `delete` on the node itself.
@@ -297,7 +356,9 @@ impl ReferenceMonitor {
                 .record(subject, path, AccessMode::Delete, &decision);
         }
         decision.into_result()?;
-        Ok(state.namespace.remove(path)?)
+        state.namespace.remove(path)?;
+        self.cache.bump();
+        Ok(())
     }
 
     /// Lists the children of the container at `path`; requires `list`.
@@ -391,6 +452,11 @@ impl ReferenceMonitor {
         state.namespace.update_protection(id, |prot| {
             result = Some(f(prot));
         })?;
+        // The closure ran against the live protection record; invalidate
+        // before the write lock drops, even if it reported an error (a
+        // partial mutation before the error would otherwise leak through
+        // stale cache entries).
+        self.cache.bump();
         result.expect("update_protection ran the closure")
     }
 
@@ -424,7 +490,11 @@ impl ReferenceMonitor {
         f: impl FnOnce(&mut NameSpace) -> Result<R, NsError>,
     ) -> Result<R, MonitorError> {
         let mut state = self.state.write();
-        Ok(f(&mut state.namespace)?)
+        let result = f(&mut state.namespace);
+        // `f` had the whole name space; invalidate even on error, since a
+        // failing closure may have mutated before failing.
+        self.cache.bump();
+        Ok(result?)
     }
 
     /// Runs `f` with read access to the name space, bypassing all checks.
@@ -441,7 +511,11 @@ impl ReferenceMonitor {
     /// management sits outside the access-control model; the paper leaves
     /// authentication to future work).
     pub fn directory_mut<R>(&self, f: impl FnOnce(&mut Directory) -> R) -> R {
-        f(&mut self.state.write().directory)
+        let mut state = self.state.write();
+        let result = f(&mut state.directory);
+        // Group-membership edits change ACL group-entry outcomes.
+        self.cache.bump();
+        result
     }
 
     /// Runs `f` with read access to the lattice.
@@ -456,12 +530,21 @@ impl ReferenceMonitor {
 
     /// Replaces the configuration (TCB operation).
     pub fn set_config(&self, config: MonitorConfig) {
-        self.state.write().config = config;
+        let mut state = self.state.write();
+        state.config = config;
+        // Flow-policy or visibility changes alter decisions wholesale.
+        self.cache.bump();
     }
 
     /// Returns the audit log.
     pub fn audit(&self) -> &AuditLog {
         &self.audit
+    }
+
+    /// Returns the decision cache's effectiveness counters (hits, misses,
+    /// invalidations, resident entries, current generation).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
     }
 
     /// Convenience: the protection record of the node at `path` (TCB
@@ -779,6 +862,141 @@ mod tests {
         monitor.set_config(config);
         monitor.check(&alice_s, &p("/svc/fs/read"), AccessMode::Execute);
         assert_eq!(monitor.audit().len(), 2);
+    }
+
+    #[test]
+    fn cache_hits_on_repeat_checks() {
+        let (monitor, alice, _) = fixture();
+        let alice_s = low_subject(alice, &monitor);
+        let before = monitor.cache_stats();
+        monitor.check(&alice_s, &p("/svc/fs/read"), AccessMode::Execute);
+        monitor.check(&alice_s, &p("/svc/fs/read"), AccessMode::Execute);
+        monitor.check(&alice_s, &p("/svc/fs/read"), AccessMode::Execute);
+        let after = monitor.cache_stats();
+        assert_eq!(after.misses - before.misses, 1);
+        assert_eq!(after.hits - before.hits, 2);
+        // Audit saw every check, hit or miss.
+        assert_eq!(monitor.audit().len(), 3);
+    }
+
+    #[test]
+    fn cache_never_serves_across_revocation() {
+        let (monitor, alice, _) = fixture();
+        let alice_s = low_subject(alice, &monitor);
+        // Warm the cache with the grant.
+        assert!(monitor
+            .check(&alice_s, &p("/svc/fs/read"), AccessMode::Execute)
+            .allowed());
+        assert!(monitor
+            .check(&alice_s, &p("/svc/fs/read"), AccessMode::Execute)
+            .allowed());
+        // Revoke via the TCB path; the generation bump invalidates.
+        monitor
+            .bootstrap(|ns| {
+                let id = ns.resolve(&p("/svc/fs/read"))?;
+                ns.update_protection(id, |prot| prot.acl = Acl::new())?;
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(
+            monitor.check(&alice_s, &p("/svc/fs/read"), AccessMode::Execute),
+            Decision::Deny(DenyReason::DacNoEntry)
+        );
+    }
+
+    #[test]
+    fn cache_keys_on_recycled_node_epoch() {
+        let (monitor, alice, bob) = fixture();
+        let alice_s = low_subject(alice, &monitor);
+        let bob_s = low_subject(bob, &monitor);
+        // Warm an allow for alice on /svc/fs/read.
+        assert!(monitor
+            .check(&alice_s, &p("/svc/fs/read"), AccessMode::Execute)
+            .allowed());
+        // Replace the node: remove it and insert a same-named node that
+        // instead grants bob. The arena recycles the slot.
+        monitor
+            .bootstrap(|ns| {
+                let old = ns.resolve(&p("/svc/fs/read"))?;
+                ns.remove_id(old)?;
+                let new = ns.insert(
+                    &p("/svc/fs"),
+                    "read",
+                    NodeKind::Procedure,
+                    Protection::new(
+                        Acl::from_entries([AclEntry::allow_principal(bob, AccessMode::Execute)]),
+                        SecurityClass::bottom(),
+                    ),
+                )?;
+                assert_eq!(new, old, "slot must be recycled for this test");
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(
+            monitor.check(&alice_s, &p("/svc/fs/read"), AccessMode::Execute),
+            Decision::Deny(DenyReason::DacNoEntry)
+        );
+        assert!(monitor
+            .check(&bob_s, &p("/svc/fs/read"), AccessMode::Execute)
+            .allowed());
+    }
+
+    #[test]
+    fn cache_knob_off_bypasses_cache() {
+        let (monitor, alice, _) = fixture();
+        let mut config = monitor.config();
+        config.decision_cache = false;
+        monitor.set_config(config);
+        let alice_s = low_subject(alice, &monitor);
+        let before = monitor.cache_stats();
+        let first = monitor.check(&alice_s, &p("/svc/fs/read"), AccessMode::Execute);
+        let second = monitor.check(&alice_s, &p("/svc/fs/read"), AccessMode::Execute);
+        assert_eq!(first, second);
+        let after = monitor.cache_stats();
+        assert_eq!(after.hits, before.hits);
+        assert_eq!(after.misses, before.misses);
+        assert_eq!(after.entries, 0);
+    }
+
+    #[test]
+    fn group_membership_edits_invalidate() {
+        let lattice = Lattice::build(["low", "high"], ["c0"]).unwrap();
+        let mut builder = MonitorBuilder::new(lattice);
+        let carol = builder.add_principal("carol").unwrap();
+        let staff = builder.add_group("staff").unwrap();
+        let monitor = builder.build();
+        monitor
+            .bootstrap(|ns| {
+                let visible = Protection::new(
+                    Acl::public(ModeSet::only(AccessMode::List)),
+                    SecurityClass::bottom(),
+                );
+                ns.ensure_path(&p("/svc"), NodeKind::Domain, &visible)?;
+                ns.insert(
+                    &p("/svc"),
+                    "op",
+                    NodeKind::Procedure,
+                    Protection::new(
+                        Acl::from_entries([AclEntry::allow_group(staff, AccessMode::Execute)]),
+                        SecurityClass::bottom(),
+                    ),
+                )?;
+                Ok(())
+            })
+            .unwrap();
+        let carol_s = low_subject(carol, &monitor);
+        // Not a member yet: denied (and cached).
+        assert!(!monitor
+            .check(&carol_s, &p("/svc/op"), AccessMode::Execute)
+            .allowed());
+        assert!(!monitor
+            .check(&carol_s, &p("/svc/op"), AccessMode::Execute)
+            .allowed());
+        // Join the group; the cached denial must not survive.
+        monitor.directory_mut(|d| d.add_member(staff, carol).unwrap());
+        assert!(monitor
+            .check(&carol_s, &p("/svc/op"), AccessMode::Execute)
+            .allowed());
     }
 
     #[test]

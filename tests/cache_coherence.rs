@@ -1,0 +1,394 @@
+//! Cache coherence: the generation-stamped decision cache may never
+//! change what the monitor decides — only how fast it decides it.
+//!
+//! The property: take two monitors built from the same recipe, one with
+//! `decision_cache` on and one with it off, and drive both through the
+//! same random interleaving of checks, ACL edits, relabels, node
+//! replacement (exercising id recycling), group-membership edits and
+//! configuration flips. After every operation — and in a final exhaustive
+//! sweep over every (principal, class, path, mode) combination — the two
+//! monitors must agree decision-for-decision, including the full
+//! [`explain`](extsec::ReferenceMonitor::explain) trace.
+
+use extsec::refmon::Explanation;
+use extsec::{
+    AccessMode, Acl, AclEntry, GroupId, Lattice, ModeSet, MonitorBuilder, NodeKind, NsPath,
+    PrincipalId, Protection, ReferenceMonitor, SecurityClass, Subject,
+};
+use proptest::collection::vec;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+const PRINCIPALS: usize = 3;
+const CLASSES: usize = 4;
+
+/// The fixed path universe. The first four always exist; the leaves
+/// (indices 2, 3, 5) are replacement targets; index 6 never exists, so
+/// the not-found path stays covered.
+const PATHS: [&str; 7] = [
+    "/svc",
+    "/svc/fs",
+    "/svc/fs/read",
+    "/svc/fs/write",
+    "/obj",
+    "/obj/file",
+    "/svc/missing/leaf",
+];
+
+/// Leaf paths that `Replace` may remove and re-insert.
+const LEAVES: [usize; 3] = [2, 3, 5];
+
+const MODES: [AccessMode; 6] = [
+    AccessMode::Read,
+    AccessMode::Write,
+    AccessMode::Execute,
+    AccessMode::List,
+    AccessMode::Administrate,
+    AccessMode::Extend,
+];
+
+fn p(s: &str) -> NsPath {
+    s.parse().unwrap()
+}
+
+#[derive(Clone, Debug)]
+enum Op {
+    /// A plain access check by (principal, class) on (path, mode).
+    Check {
+        who: usize,
+        class: usize,
+        path: usize,
+        mode: usize,
+    },
+    /// TCB ACL replacement: the node's ACL becomes one entry granting
+    /// `who` the mode (plus a deny-entry variant).
+    SetAcl {
+        path: usize,
+        who: usize,
+        mode: usize,
+        negative: bool,
+    },
+    /// TCB relabel of the node at `path`.
+    SetLabel { path: usize, label: usize },
+    /// Membership edit on the single group.
+    Membership { who: usize, join: bool },
+    /// Guarded (access-checked) ACL replacement; the attempt itself must
+    /// produce the same outcome on both monitors.
+    GuardedSetAcl {
+        actor: usize,
+        class: usize,
+        path: usize,
+        who: usize,
+        mode: usize,
+    },
+    /// Remove a leaf and re-insert a same-named node with a fresh ACL:
+    /// the arena recycles the slot, so only the epoch in the cache key
+    /// keeps old entries from resurfacing.
+    Replace { leaf: usize, who: usize, mode: usize },
+    /// Flip per-level traversal visibility.
+    Visibility(bool),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0..PRINCIPALS, 0..CLASSES, 0..PATHS.len(), 0..MODES.len())
+            .prop_map(|(who, class, path, mode)| Op::Check { who, class, path, mode }),
+        2 => (0..PATHS.len(), 0..PRINCIPALS, 0..MODES.len(), proptest::bool::ANY)
+            .prop_map(|(path, who, mode, negative)| Op::SetAcl { path, who, mode, negative }),
+        2 => (0..PATHS.len(), 0..CLASSES).prop_map(|(path, label)| Op::SetLabel { path, label }),
+        1 => (0..PRINCIPALS, proptest::bool::ANY)
+            .prop_map(|(who, join)| Op::Membership { who, join }),
+        1 => (0..PRINCIPALS, 0..CLASSES, 0..PATHS.len(), 0..PRINCIPALS, 0..MODES.len())
+            .prop_map(|(actor, class, path, who, mode)| Op::GuardedSetAcl {
+                actor,
+                class,
+                path,
+                who,
+                mode
+            }),
+        1 => (0..LEAVES.len(), 0..PRINCIPALS, 0..MODES.len())
+            .prop_map(|(leaf, who, mode)| Op::Replace { leaf, who, mode }),
+        1 => proptest::bool::ANY.prop_map(Op::Visibility),
+    ]
+}
+
+struct World {
+    monitor: Arc<ReferenceMonitor>,
+    principals: Vec<PrincipalId>,
+    group: GroupId,
+    classes: Vec<SecurityClass>,
+}
+
+impl World {
+    /// Builds the fixture with the decision cache on or off; everything
+    /// else is identical.
+    fn build(decision_cache: bool) -> World {
+        let lattice = Lattice::build(["low", "high"], ["c0", "c1"]).unwrap();
+        let mut builder = MonitorBuilder::new(lattice.clone());
+        let principals: Vec<PrincipalId> = (0..PRINCIPALS)
+            .map(|i| builder.add_principal(format!("p{i}")).unwrap())
+            .collect();
+        let group = builder.add_group("g0").unwrap();
+        builder.add_member(group, principals[0]).unwrap();
+        builder.config(extsec::MonitorConfig {
+            decision_cache,
+            ..Default::default()
+        });
+        let monitor = builder.build();
+        let classes = vec![
+            SecurityClass::bottom(),
+            lattice.parse_class("low:{c0}").unwrap(),
+            lattice.parse_class("high:{c0}").unwrap(),
+            lattice.parse_class("high:{c0,c1}").unwrap(),
+        ];
+        monitor
+            .bootstrap(|ns| {
+                let visible = Protection::new(
+                    Acl::public(ModeSet::only(AccessMode::List)),
+                    SecurityClass::bottom(),
+                );
+                ns.ensure_path(&p("/svc/fs"), NodeKind::Domain, &visible)?;
+                ns.ensure_path(&p("/obj"), NodeKind::Directory, &visible)?;
+                ns.insert(
+                    &p("/svc/fs"),
+                    "read",
+                    NodeKind::Procedure,
+                    Protection::new(
+                        Acl::from_entries([AclEntry::allow_principal(
+                            principals[0],
+                            AccessMode::Execute,
+                        )]),
+                        SecurityClass::bottom(),
+                    ),
+                )?;
+                ns.insert(
+                    &p("/svc/fs"),
+                    "write",
+                    NodeKind::Procedure,
+                    Protection::new(
+                        Acl::from_entries([AclEntry::allow_group(group, AccessMode::Write)]),
+                        SecurityClass::bottom(),
+                    ),
+                )?;
+                ns.insert(
+                    &p("/obj"),
+                    "file",
+                    NodeKind::Object,
+                    Protection::new(
+                        Acl::public(ModeSet::parse("rl").unwrap()),
+                        SecurityClass::bottom(),
+                    ),
+                )?;
+                Ok(())
+            })
+            .unwrap();
+        World {
+            monitor,
+            principals,
+            group,
+            classes,
+        }
+    }
+
+    fn subject(&self, who: usize, class: usize) -> Subject {
+        Subject::new(self.principals[who], self.classes[class].clone())
+    }
+
+    /// Applies a mutation op. Checks are handled by the caller (they need
+    /// the cross-monitor comparison); everything else mutates this world
+    /// in a deterministic way shared by both monitors.
+    fn apply(&self, op: &Op) -> Option<String> {
+        match op {
+            Op::Check { .. } => None,
+            Op::SetAcl {
+                path,
+                who,
+                mode,
+                negative,
+            } => {
+                let target = p(PATHS[*path]);
+                let entry = if *negative {
+                    AclEntry::deny_principal(self.principals[*who], MODES[*mode])
+                } else {
+                    AclEntry::allow_principal(self.principals[*who], MODES[*mode])
+                };
+                let result = self.monitor.bootstrap(|ns| {
+                    let id = match ns.resolve(&target) {
+                        Ok(id) => id,
+                        // The leaf may currently not exist; a no-op must
+                        // still be a no-op on both monitors.
+                        Err(_) => return Ok(()),
+                    };
+                    ns.update_protection(id, |prot| {
+                        prot.acl = Acl::from_entries([
+                            AclEntry::allow_principal(self.principals[0], AccessMode::List),
+                            entry,
+                        ]);
+                    })
+                });
+                Some(format!("{result:?}"))
+            }
+            Op::SetLabel { path, label } => {
+                let target = p(PATHS[*path]);
+                let label = self.classes[*label].clone();
+                let result = self.monitor.bootstrap(|ns| {
+                    let id = match ns.resolve(&target) {
+                        Ok(id) => id,
+                        Err(_) => return Ok(()),
+                    };
+                    ns.update_protection(id, |prot| prot.label = label.clone())
+                });
+                Some(format!("{result:?}"))
+            }
+            Op::Membership { who, join } => {
+                let principal = self.principals[*who];
+                let group = self.group;
+                let result = self.monitor.directory_mut(|d| {
+                    if *join {
+                        format!("{:?}", d.add_member(group, principal))
+                    } else {
+                        format!("{:?}", d.remove_member(group, principal))
+                    }
+                });
+                Some(result)
+            }
+            Op::GuardedSetAcl {
+                actor,
+                class,
+                path,
+                who,
+                mode,
+            } => {
+                let subject = self.subject(*actor, *class);
+                let acl = Acl::from_entries([
+                    AclEntry::allow_principal(self.principals[0], AccessMode::List),
+                    AclEntry::allow_principal(self.principals[*who], MODES[*mode]),
+                ]);
+                let result = self.monitor.set_acl(&subject, &p(PATHS[*path]), acl);
+                Some(format!("{result:?}"))
+            }
+            Op::Replace { leaf, who, mode } => {
+                let target = p(PATHS[LEAVES[*leaf]]);
+                let parent = target.parent().unwrap();
+                let name = target.leaf().unwrap().to_string();
+                let entry = AclEntry::allow_principal(self.principals[*who], MODES[*mode]);
+                let result = self.monitor.bootstrap(move |ns| {
+                    if let Ok(id) = ns.resolve(&target) {
+                        ns.remove_id(id)?;
+                    }
+                    ns.insert(
+                        &parent,
+                        &name,
+                        NodeKind::Procedure,
+                        Protection::new(Acl::from_entries([entry]), SecurityClass::bottom()),
+                    )?;
+                    Ok(())
+                });
+                Some(format!("{result:?}"))
+            }
+            Op::Visibility(on) => {
+                let mut config = self.monitor.config();
+                config.check_visibility = *on;
+                self.monitor.set_config(config);
+                Some(String::new())
+            }
+        }
+    }
+}
+
+/// Compares one check end-to-end on both monitors: the decision, the
+/// explanation trace, and the explain/check agreement on each monitor
+/// individually.
+fn agree(
+    cached: &World,
+    uncached: &World,
+    who: usize,
+    class: usize,
+    path: usize,
+    mode: usize,
+) -> Result<(), proptest::test_runner::TestCaseError> {
+    let subject_c = cached.subject(who, class);
+    let subject_u = uncached.subject(who, class);
+    let target = p(PATHS[path]);
+    let mode = MODES[mode];
+    let d_cached = cached.monitor.check(&subject_c, &target, mode);
+    let d_uncached = uncached.monitor.check(&subject_u, &target, mode);
+    prop_assert_eq!(
+        &d_cached,
+        &d_uncached,
+        "decision diverged for p{} class{} {} {:?}",
+        who,
+        class,
+        target,
+        mode
+    );
+    let e_cached: Explanation = cached.monitor.explain(&subject_c, &target, mode);
+    let e_uncached: Explanation = uncached.monitor.explain(&subject_u, &target, mode);
+    prop_assert_eq!(&e_cached, &e_uncached, "explanations diverged");
+    prop_assert_eq!(
+        &e_cached.decision,
+        &d_cached,
+        "explain disagrees with check on the cached monitor"
+    );
+    Ok(())
+}
+
+proptest! {
+    /// ≥256 random interleavings of ≥32 operations: the cached monitor
+    /// tracks the uncached oracle exactly.
+    #[test]
+    fn cached_and_uncached_monitors_agree(
+        ops in vec(op_strategy(), 32..64),
+        probes in vec((0..PRINCIPALS, 0..CLASSES, 0..PATHS.len(), 0..MODES.len()), 32..64),
+    ) {
+        let cached = World::build(true);
+        let uncached = World::build(false);
+        for (i, op) in ops.iter().enumerate() {
+            match op {
+                Op::Check { who, class, path, mode } => {
+                    agree(&cached, &uncached, *who, *class, *path, *mode)?;
+                }
+                _ => {
+                    let r_cached = cached.apply(op);
+                    let r_uncached = uncached.apply(op);
+                    prop_assert_eq!(r_cached, r_uncached, "mutation outcome diverged at op {}", i);
+                }
+            }
+            // A probe after every op catches staleness the moment it
+            // appears, not just at the end.
+            let (who, class, path, mode) = probes[i % probes.len()];
+            agree(&cached, &uncached, who, class, path, mode)?;
+        }
+        // Exhaustive closing sweep over the whole decision surface.
+        for who in 0..PRINCIPALS {
+            for class in 0..CLASSES {
+                for path in 0..PATHS.len() {
+                    for mode in 0..MODES.len() {
+                        agree(&cached, &uncached, who, class, path, mode)?;
+                    }
+                }
+            }
+        }
+        // The run must actually have exercised the cache on one side and
+        // not the other.
+        let stats_cached = cached.monitor.cache_stats();
+        let stats_uncached = uncached.monitor.cache_stats();
+        prop_assert!(stats_cached.hits + stats_cached.misses > 0, "cache was never consulted");
+        prop_assert_eq!(stats_uncached.hits + stats_uncached.misses, 0, "uncached monitor used its cache");
+    }
+}
+
+/// The deny *reason* — not just the allow/deny bit — survives caching:
+/// repeat denials serve the identical reason object.
+#[test]
+fn cached_denials_preserve_reasons() {
+    let world = World::build(true);
+    let outsider = world.subject(2, 0);
+    let target = p("/svc/fs/read");
+    let first = world.monitor.check(&outsider, &target, AccessMode::Execute);
+    let second = world.monitor.check(&outsider, &target, AccessMode::Execute);
+    assert_eq!(first, second);
+    assert!(!second.allowed());
+    let stats = world.monitor.cache_stats();
+    assert!(stats.hits >= 1, "second denial should be a cache hit");
+}

@@ -121,6 +121,108 @@ fn parallel_checks_and_administration() {
     assert_eq!(acl.len(), 2);
 }
 
+/// Revocation visibility under the decision cache: once `set_acl`
+/// returns to the revoker, *no* subsequent check — however hot the
+/// cached entry was — may return the revoked grant. The generation bump
+/// happens inside the monitor's write lock, so a reader that starts
+/// after revocation observes both the new ACL and the new generation.
+#[test]
+fn revocation_is_immediately_visible_to_readers() {
+    let mut builder = SystemBuilder::new(paper_lattice());
+    let alice = builder.principal("alice").unwrap();
+    let bob = builder.principal("bob").unwrap();
+    let system = Arc::new(builder.build().unwrap());
+    assert!(system.monitor.config().decision_cache, "cache must be on");
+    system
+        .monitor
+        .bootstrap(|ns| {
+            let visible = Protection::new(
+                extsec::Acl::public(ModeSet::only(AccessMode::List)),
+                SecurityClass::bottom(),
+            );
+            ns.ensure_path(&p("/svc/x"), NodeKind::Domain, &visible)?;
+            ns.insert(
+                &p("/svc/x"),
+                "op",
+                NodeKind::Procedure,
+                Protection::new(
+                    extsec::Acl::from_entries([
+                        AclEntry::allow_principal(alice, AccessMode::Administrate),
+                        AclEntry::allow_principal(bob, AccessMode::Execute),
+                    ]),
+                    SecurityClass::bottom(),
+                ),
+            )?;
+            Ok(())
+        })
+        .unwrap();
+
+    // `revoked` is flipped *after* set_acl returns; any check that reads
+    // it as true before starting must deny.
+    let revoked = Arc::new(AtomicBool::new(false));
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let readers: Vec<_> = (0..4)
+        .map(|_| {
+            let system = Arc::clone(&system);
+            let revoked = Arc::clone(&revoked);
+            let stop = Arc::clone(&stop);
+            let subject = system.subject("bob", "others").unwrap();
+            std::thread::spawn(move || {
+                let mut grants_before = 0u64;
+                let mut stale_grants = 0u64;
+                while !stop.load(Ordering::SeqCst) {
+                    let was_revoked = revoked.load(Ordering::SeqCst);
+                    let allowed = system
+                        .monitor
+                        .check(&subject, &p("/svc/x/op"), AccessMode::Execute)
+                        .allowed();
+                    if allowed {
+                        if was_revoked {
+                            stale_grants += 1;
+                        } else {
+                            grants_before += 1;
+                        }
+                    }
+                }
+                (grants_before, stale_grants)
+            })
+        })
+        .collect();
+
+    // Let the readers warm the cached grant, then revoke.
+    std::thread::sleep(std::time::Duration::from_millis(100));
+    let admin = system.subject("alice", "others").unwrap();
+    system
+        .monitor
+        .set_acl(
+            &admin,
+            &p("/svc/x/op"),
+            extsec::Acl::from_entries([AclEntry::allow_principal(
+                alice,
+                AccessMode::Administrate,
+            )]),
+        )
+        .unwrap();
+    revoked.store(true, Ordering::SeqCst);
+
+    std::thread::sleep(std::time::Duration::from_millis(100));
+    stop.store(true, Ordering::SeqCst);
+    let results: Vec<(u64, u64)> = readers.into_iter().map(|h| h.join().unwrap()).collect();
+
+    let total_before: u64 = results.iter().map(|(b, _)| b).sum();
+    let total_stale: u64 = results.iter().map(|(_, s)| s).sum();
+    assert!(total_before > 0, "the grant was visible before revocation");
+    assert_eq!(
+        total_stale, 0,
+        "a reader saw the revoked grant after set_acl returned"
+    );
+    // The cache was actually in play while the grant was hot.
+    let stats = system.monitor.cache_stats();
+    assert!(stats.hits > 0, "readers never hit the cache");
+    assert!(stats.invalidations > 0, "revocation never bumped the generation");
+}
+
 #[test]
 fn parallel_extension_calls() {
     let mut builder = SystemBuilder::new(paper_lattice());

@@ -1,0 +1,264 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Keeps the harness API this workspace's benches use (`Criterion`,
+//! `benchmark_group`, `bench_with_input`, `BenchmarkId`, the
+//! `criterion_group!`/`criterion_main!` macros) but measures with a plain
+//! doubling-batch wall-clock loop and prints a one-line mean per bench —
+//! no statistics, plots, or persistence.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Top-level harness state: timing budgets shared by every bench.
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warm_up: Duration::from_millis(100),
+            measurement: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Accepted for API compatibility; this shim reports a mean, so the
+    /// sample count does not apply.
+    pub fn sample_size(self, _samples: usize) -> Self {
+        self
+    }
+
+    /// Sets the warm-up budget per bench.
+    pub fn warm_up_time(mut self, warm_up: Duration) -> Self {
+        self.warm_up = warm_up;
+        self
+    }
+
+    /// Sets the measurement budget per bench.
+    pub fn measurement_time(mut self, measurement: Duration) -> Self {
+        self.measurement = measurement;
+        self
+    }
+
+    /// Starts a named group of benches.
+    pub fn benchmark_group(&mut self, name: impl fmt::Display) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+
+    /// Runs a single bench outside any group.
+    pub fn bench_function<F>(&mut self, id: impl IntoLabel, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(self.warm_up, self.measurement, &id.into_label(), &mut f);
+        self
+    }
+}
+
+/// A named collection of related benches.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs a bench over a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoLabel,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.into_label());
+        run_bench(
+            self.criterion.warm_up,
+            self.criterion.measurement,
+            &label,
+            &mut |b| f(b, input),
+        );
+        self
+    }
+
+    /// Runs a bench with no external input.
+    pub fn bench_function<F>(&mut self, id: impl IntoLabel, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into_label());
+        run_bench(self.criterion.warm_up, self.criterion.measurement, &label, &mut f);
+        self
+    }
+
+    /// Ends the group (a no-op beyond API compatibility).
+    pub fn finish(self) {}
+}
+
+/// A two-part bench label (`function/parameter`).
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Creates `function/parameter`.
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{function}/{parameter}"),
+        }
+    }
+}
+
+/// Bench identifiers: `&str`, `String`, or [`BenchmarkId`].
+pub trait IntoLabel {
+    /// The printable label.
+    fn into_label(self) -> String;
+}
+
+impl IntoLabel for &str {
+    fn into_label(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoLabel for String {
+    fn into_label(self) -> String {
+        self
+    }
+}
+
+impl IntoLabel for BenchmarkId {
+    fn into_label(self) -> String {
+        self.label
+    }
+}
+
+/// Passed to bench closures; [`Bencher::iter`] runs the measurement.
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    /// Mean nanoseconds per iteration and total iterations, once measured.
+    result: Option<(f64, u64)>,
+}
+
+impl Bencher {
+    /// Measures `f`: warms up for the warm-up budget, then runs doubling
+    /// batches until the measurement budget elapses.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.warm_up {
+            black_box(f());
+        }
+
+        let mut total_iters: u64 = 0;
+        let mut batch: u64 = 1;
+        let start = Instant::now();
+        loop {
+            for _ in 0..batch {
+                black_box(f());
+            }
+            total_iters += batch;
+            let elapsed = start.elapsed();
+            if elapsed >= self.measurement {
+                let mean_ns = elapsed.as_nanos() as f64 / total_iters as f64;
+                self.result = Some((mean_ns, total_iters));
+                return;
+            }
+            batch = batch.saturating_mul(2).min(1 << 20);
+        }
+    }
+}
+
+fn run_bench(
+    warm_up: Duration,
+    measurement: Duration,
+    label: &str,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    let mut bencher = Bencher {
+        warm_up,
+        measurement,
+        result: None,
+    };
+    f(&mut bencher);
+    match bencher.result {
+        Some((mean_ns, iters)) => {
+            let (value, unit) = if mean_ns >= 1_000_000.0 {
+                (mean_ns / 1_000_000.0, "ms")
+            } else if mean_ns >= 1_000.0 {
+                (mean_ns / 1_000.0, "µs")
+            } else {
+                (mean_ns, "ns")
+            };
+            println!("{label:<56} time: {value:>10.3} {unit}/iter ({iters} iterations)");
+        }
+        None => println!("{label:<56} (no measurement: bencher.iter was not called)"),
+    }
+}
+
+/// Declares a bench group: either `criterion_group!(name, target, ...)` or
+/// the long `name = ...; config = ...; targets = ...` form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = <$crate::Criterion as ::std::default::Default>::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_reports() {
+        let mut c = Criterion::default()
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        let mut ran = 0u64;
+        {
+            let mut group = c.benchmark_group("g");
+            group.bench_with_input(BenchmarkId::new("f", 1), &2u64, |b, x| {
+                b.iter(|| {
+                    ran += 1;
+                    x + 1
+                })
+            });
+            group.bench_function("plain", |b| b.iter(|| 1 + 1));
+            group.finish();
+        }
+        c.bench_function("top", |b| b.iter(|| 40 + 2));
+        assert!(ran > 0);
+    }
+}

@@ -1,0 +1,142 @@
+//! Offline stand-in for the `crossbeam` crate: just the `channel` module,
+//! built over `std::sync::mpsc` with crossbeam's multi-producer API shape.
+
+#![forbid(unsafe_code)]
+
+pub mod channel {
+    //! MPMC-flavoured channels over `std::sync::mpsc`.
+    //!
+    //! `Sender` is `Clone` as with crossbeam; `Receiver` wraps the std
+    //! receiver behind a mutex so it stays `Sync`.
+
+    use std::sync::mpsc;
+    use std::sync::{Arc, Mutex};
+
+    pub use mpsc::{RecvError, SendError, TryRecvError};
+
+    /// Error from [`Sender::try_send`]: the channel is full or disconnected.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct TrySendError<T>(pub T);
+
+    /// The sending half of a channel.
+    #[derive(Debug)]
+    pub struct Sender<T> {
+        inner: SenderInner<T>,
+    }
+
+    #[derive(Debug)]
+    enum SenderInner<T> {
+        Unbounded(mpsc::Sender<T>),
+        Bounded(mpsc::SyncSender<T>),
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            let inner = match &self.inner {
+                SenderInner::Unbounded(tx) => SenderInner::Unbounded(tx.clone()),
+                SenderInner::Bounded(tx) => SenderInner::Bounded(tx.clone()),
+            };
+            Sender { inner }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Blocking send (never blocks for unbounded channels).
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            match &self.inner {
+                SenderInner::Unbounded(tx) => tx.send(value),
+                SenderInner::Bounded(tx) => tx.send(value),
+            }
+        }
+
+        /// Non-blocking send; fails when the channel is full or closed.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            match &self.inner {
+                SenderInner::Unbounded(tx) => tx.send(value).map_err(|e| TrySendError(e.0)),
+                SenderInner::Bounded(tx) => tx.try_send(value).map_err(|e| match e {
+                    mpsc::TrySendError::Full(v) | mpsc::TrySendError::Disconnected(v) => {
+                        TrySendError(v)
+                    }
+                }),
+            }
+        }
+    }
+
+    /// The receiving half of a channel (shareable, unlike `mpsc::Receiver`).
+    #[derive(Debug, Clone)]
+    pub struct Receiver<T> {
+        inner: Arc<Mutex<mpsc::Receiver<T>>>,
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocking receive.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.inner.lock().unwrap_or_else(|e| e.into_inner()).recv()
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.inner
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .try_recv()
+        }
+
+        /// Drains every value currently buffered.
+        pub fn try_iter(&self) -> Vec<T> {
+            let mut out = Vec::new();
+            while let Ok(v) = self.try_recv() {
+                out.push(v);
+            }
+            out
+        }
+    }
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (
+            Sender {
+                inner: SenderInner::Unbounded(tx),
+            },
+            Receiver {
+                inner: Arc::new(Mutex::new(rx)),
+            },
+        )
+    }
+
+    /// Creates a bounded channel holding at most `cap` values.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (
+            Sender {
+                inner: SenderInner::Bounded(tx),
+            },
+            Receiver {
+                inner: Arc::new(Mutex::new(rx)),
+            },
+        )
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn unbounded_round_trip() {
+            let (tx, rx) = unbounded();
+            tx.send(1).unwrap();
+            tx.try_send(2).unwrap();
+            assert_eq!(rx.try_recv(), Ok(1));
+            assert_eq!(rx.recv(), Ok(2));
+            assert!(rx.try_recv().is_err());
+        }
+
+        #[test]
+        fn bounded_try_send_fails_when_full() {
+            let (tx, _rx) = bounded(1);
+            tx.try_send(1).unwrap();
+            assert_eq!(tx.try_send(2), Err(TrySendError(2)));
+        }
+    }
+}

@@ -1,0 +1,869 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Keeps the API shape this workspace uses — `proptest!`, `Strategy` with
+//! `prop_map`/`prop_recursive`, range/tuple/collection strategies,
+//! `prop_oneof!`, `prop_assert*!` — on top of a deterministic xorshift
+//! generator. Differences from real proptest: no shrinking (a failing
+//! case panics with its case number; every run is deterministic per test
+//! name, so failures reproduce exactly) and no persistence files.
+
+#![forbid(unsafe_code)]
+
+pub mod test_runner {
+    //! Configuration, error type, and the deterministic generator.
+
+    use std::fmt;
+
+    /// Per-test configuration. Only `cases` is honoured.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of cases to run per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A configuration running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// A failed property case.
+    #[derive(Clone, Debug)]
+    pub struct TestCaseError(String);
+
+    impl TestCaseError {
+        /// Creates a failure with the given message.
+        pub fn fail(msg: impl fmt::Display) -> Self {
+            TestCaseError(msg.to_string())
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    /// Deterministic xorshift64* generator, seeded from the test name so
+    /// every test gets a stable, distinct stream.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeds the generator from an arbitrary tag (e.g. the test name).
+        pub fn deterministic(tag: &str) -> Self {
+            // FNV-1a over the tag, then splitmix64 to spread it.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in tag.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+            let mut z = h.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            TestRng {
+                state: (z ^ (z >> 31)) | 1,
+            }
+        }
+
+        /// Returns the next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            let mut x = self.state;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.state = x;
+            x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+        }
+
+        /// Returns a uniform value in `[0, bound)`.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            assert!(bound > 0, "below(0)");
+            self.next_u64() % bound
+        }
+    }
+}
+
+pub mod strategy {
+    //! The `Strategy` trait and core combinators.
+
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+    use std::sync::Arc;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Builds recursive values: `recurse` receives a strategy for the
+        /// previous depth level and returns the next level's strategy.
+        /// `_desired_size`/`_expected_branch_size` are accepted for API
+        /// compatibility but depth alone bounds recursion here.
+        fn prop_recursive<F, S>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            recurse: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> S,
+            S: Strategy<Value = Self::Value> + 'static,
+        {
+            let base = self.boxed();
+            let mut current = base.clone();
+            for _ in 0..depth {
+                let deeper = recurse(current.clone()).boxed();
+                let leaf = base.clone();
+                current = BoxedStrategy(Arc::new(move |rng: &mut TestRng| {
+                    // A leaf 1 time in 4 keeps expected sizes modest while
+                    // still exercising full depth.
+                    if rng.below(4) == 0 {
+                        leaf.generate(rng)
+                    } else {
+                        deeper.generate(rng)
+                    }
+                }));
+            }
+            current
+        }
+
+        /// Type-erases this strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+        {
+            BoxedStrategy(Arc::new(move |rng: &mut TestRng| self.generate(rng)))
+        }
+    }
+
+    /// A type-erased, cheaply clonable strategy.
+    pub struct BoxedStrategy<T>(pub(crate) Arc<dyn Fn(&mut TestRng) -> T>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> BoxedStrategy<T> {
+        /// Boxes `strategy`.
+        pub fn new<S>(strategy: S) -> Self
+        where
+            S: Strategy<Value = T> + 'static,
+            T: 'static,
+        {
+            strategy.boxed()
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.0)(rng)
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Clone, Debug)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, U, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Always yields a clone of the given value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// A weighted choice between type-erased strategies (`prop_oneof!`).
+    pub struct Union<T> {
+        arms: Vec<(u32, BoxedStrategy<T>)>,
+        total: u64,
+    }
+
+    impl<T> Union<T> {
+        /// Creates a union; weights must not all be zero.
+        pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+            let total = arms.iter().map(|(w, _)| *w as u64).sum();
+            assert!(total > 0, "prop_oneof! with zero total weight");
+            Union { arms, total }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let mut pick = rng.below(self.total);
+            for (weight, strategy) in &self.arms {
+                if pick < *weight as u64 {
+                    return strategy.generate(rng);
+                }
+                pick -= *weight as u64;
+            }
+            unreachable!("weighted pick out of range")
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let draw = (rng.next_u64() as u128) % span;
+                    (self.start as i128 + draw as i128) as $t
+                }
+            }
+
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "empty range strategy");
+                    let span = (end as i128 - start as i128) as u128 + 1;
+                    let draw = (rng.next_u64() as u128) % span;
+                    (start as i128 + draw as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// `&str` strategies are regexes generating matching strings, as in
+    /// real proptest. Supports the subset this workspace uses: literal
+    /// characters, `.`, character classes (`[a-z0-9_/]` with ranges and
+    /// singletons), and `{n}`/`{m,n}` quantifiers.
+    impl Strategy for &str {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let atoms = parse_regex(self);
+            let mut out = String::new();
+            for atom in &atoms {
+                let span = atom.max - atom.min + 1;
+                let count = atom.min + rng.below(span as u64) as u32;
+                for _ in 0..count {
+                    out.push(pick_char(&atom.ranges, rng));
+                }
+            }
+            out
+        }
+    }
+
+    struct RegexAtom {
+        ranges: Vec<(char, char)>,
+        min: u32,
+        max: u32,
+    }
+
+    fn parse_regex(pattern: &str) -> Vec<RegexAtom> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut atoms = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let ranges = match chars[i] {
+                '[' => {
+                    let mut ranges = Vec::new();
+                    i += 1;
+                    while i < chars.len() && chars[i] != ']' {
+                        if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                            ranges.push((chars[i], chars[i + 2]));
+                            i += 3;
+                        } else {
+                            ranges.push((chars[i], chars[i]));
+                            i += 1;
+                        }
+                    }
+                    assert!(i < chars.len(), "unterminated class in regex `{pattern}`");
+                    i += 1; // ']'
+                    ranges
+                }
+                '.' => {
+                    i += 1;
+                    // Printable ASCII plus a couple of multi-byte spans to
+                    // exercise UTF-8 handling downstream.
+                    vec![(' ', '~'), ('¡', 'ÿ'), ('一', '丐')]
+                }
+                '\\' => {
+                    i += 1;
+                    assert!(i < chars.len(), "trailing backslash in regex `{pattern}`");
+                    let c = chars[i];
+                    i += 1;
+                    vec![(c, c)]
+                }
+                c => {
+                    i += 1;
+                    vec![(c, c)]
+                }
+            };
+            let (min, max) = if i < chars.len() && chars[i] == '{' {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .expect("unterminated quantifier")
+                    + i;
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.parse().expect("bad quantifier"),
+                        hi.parse().expect("bad quantifier"),
+                    ),
+                    None => {
+                        let n = body.parse().expect("bad quantifier");
+                        (n, n)
+                    }
+                }
+            } else {
+                (1, 1)
+            };
+            atoms.push(RegexAtom { ranges, min, max });
+        }
+        atoms
+    }
+
+    fn pick_char(ranges: &[(char, char)], rng: &mut TestRng) -> char {
+        let total: u64 = ranges
+            .iter()
+            .map(|(lo, hi)| (*hi as u64) - (*lo as u64) + 1)
+            .sum();
+        let mut pick = rng.below(total);
+        for (lo, hi) in ranges {
+            let size = (*hi as u64) - (*lo as u64) + 1;
+            if pick < size {
+                return char::from_u32(*lo as u32 + pick as u32)
+                    .expect("non-scalar in regex class");
+            }
+            pick -= size;
+        }
+        unreachable!("char pick out of range")
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+    impl_tuple_strategy!(A, B, C, D, E, F, G);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` support.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical full-range strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws an arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// The strategy returned by [`any`].
+    #[derive(Clone, Debug)]
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// Full-range strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::collections::BTreeSet;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A half-open range of collection sizes.
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        min: usize,
+        max_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                min: n,
+                max_exclusive: n + 1,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max_exclusive: r.end,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange {
+                min: *r.start(),
+                max_exclusive: *r.end() + 1,
+            }
+        }
+    }
+
+    impl SizeRange {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            let span = (self.max_exclusive - self.min) as u64;
+            self.min + rng.below(span.max(1)) as usize
+        }
+    }
+
+    /// Strategy for `Vec<T>` with sizes drawn from `size`.
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.pick(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Generates vectors of `element` with lengths in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Strategy for `BTreeSet<T>`; duplicates collapse, so the set may be
+    /// smaller than the drawn size (as with real proptest under a tight
+    /// element domain).
+    #[derive(Clone, Debug)]
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let len = self.size.pick(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Generates sets of `element` with draw counts in `size`.
+    pub fn btree_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S> {
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod option {
+    //! `Option<T>` strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy yielding `Some` three times in four.
+    #[derive(Clone, Debug)]
+    pub struct OptionStrategy<S>(S);
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.0.generate(rng))
+            }
+        }
+    }
+
+    /// Generates `Option`s of `element`.
+    pub fn of<S: Strategy>(element: S) -> OptionStrategy<S> {
+        OptionStrategy(element)
+    }
+}
+
+pub mod sample {
+    //! Sampling from explicit collections.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy picking uniformly from a fixed list.
+    #[derive(Clone, Debug)]
+    pub struct Select<T: Clone>(Vec<T>);
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.0[rng.below(self.0.len() as u64) as usize].clone()
+        }
+    }
+
+    /// Picks uniformly from `items` (must be non-empty).
+    pub fn select<T: Clone>(items: Vec<T>) -> Select<T> {
+        assert!(!items.is_empty(), "select from empty list");
+        Select(items)
+    }
+}
+
+pub mod bool {
+    //! Boolean strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// The strategy type of [`ANY`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct BoolAny;
+
+    impl Strategy for BoolAny {
+        type Value = bool;
+
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// Either boolean, uniformly.
+    pub const ANY: BoolAny = BoolAny;
+}
+
+pub mod prop {
+    //! The `prop::` path alias used by `proptest::prelude::*`.
+
+    pub use crate::bool;
+    pub use crate::collection;
+    pub use crate::option;
+    pub use crate::sample;
+}
+
+pub mod prelude {
+    //! Everything tests import.
+
+    pub use crate::arbitrary::any;
+    pub use crate::prop;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Defines property tests. Each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            cfg = (<$crate::test_runner::ProptestConfig as ::std::default::Default>::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (cfg = ($cfg:expr);) => {};
+    (cfg = ($cfg:expr);
+     $(#[$attr:meta])*
+     fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$attr])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            let __strategy = ($($strategy,)+);
+            let mut __rng = $crate::test_runner::TestRng::deterministic(concat!(
+                ::std::module_path!(), "::", ::std::stringify!($name)
+            ));
+            for __case in 0..__config.cases {
+                let ($($arg,)+) =
+                    $crate::strategy::Strategy::generate(&__strategy, &mut __rng);
+                let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (move || {
+                        { $body };
+                        ::std::result::Result::Ok(())
+                    })();
+                if let ::std::result::Result::Err(__e) = __outcome {
+                    ::std::panic!(
+                        "proptest `{}` failed at case {}/{}: {}",
+                        ::std::stringify!($name),
+                        __case + 1,
+                        __config.cases,
+                        __e
+                    );
+                }
+            }
+        }
+        $crate::__proptest_items! { cfg = ($cfg); $($rest)* }
+    };
+}
+
+/// Weighted (`w => strategy`) or uniform choice between strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $(($weight as u32, $crate::strategy::BoxedStrategy::new($strategy)),)+
+        ])
+    };
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $((1u32, $crate::strategy::BoxedStrategy::new($strategy)),)+
+        ])
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", ::std::stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless the two values compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                $crate::prop_assert!(
+                    *__l == *__r,
+                    "assertion failed: `{:?}` == `{:?}`",
+                    __l,
+                    __r
+                );
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                $crate::prop_assert!(
+                    *__l == *__r,
+                    "assertion failed: `{:?}` == `{:?}`: {}",
+                    __l,
+                    __r,
+                    ::std::format!($($fmt)+)
+                );
+            }
+        }
+    };
+}
+
+/// Fails the current case unless the two values compare unequal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                $crate::prop_assert!(
+                    *__l != *__r,
+                    "assertion failed: `{:?}` != `{:?}`",
+                    __l,
+                    __r
+                );
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 0..10u32, y in -5i64..5, z in 0..=3usize) {
+            prop_assert!(x < 10);
+            prop_assert!((-5..5).contains(&y));
+            prop_assert!(z <= 3);
+        }
+
+        #[test]
+        fn collections_respect_sizes(
+            v in crate::collection::vec(0..100u8, 2..6),
+            s in crate::collection::btree_set(0..10u16, 0..5),
+            o in crate::option::of(0..4u32),
+        ) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert!(s.len() < 5);
+            if let Some(x) = o {
+                prop_assert!(x < 4);
+            }
+        }
+
+        #[test]
+        fn oneof_and_select_hit_only_listed_values(
+            a in prop_oneof![Just(1u8), Just(2), Just(3)],
+            b in prop_oneof![4 => Just(10u8), 1 => Just(20)],
+            c in prop::sample::select(vec!["x", "y"]),
+        ) {
+            prop_assert!(matches!(a, 1..=3));
+            prop_assert!(b == 10 || b == 20);
+            prop_assert!(c == "x" || c == "y");
+        }
+    }
+
+    #[derive(Clone, Debug, PartialEq)]
+    enum Tree {
+        Leaf(i64),
+        Node(Box<Tree>, Box<Tree>),
+    }
+
+    fn depth(t: &Tree) -> u32 {
+        match t {
+            Tree::Leaf(_) => 0,
+            Tree::Node(a, b) => 1 + depth(a).max(depth(b)),
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        #[test]
+        fn recursive_strategies_bound_depth(
+            t in (0i64..10).prop_map(Tree::Leaf).prop_recursive(4, 16, 2, |inner| {
+                (inner.clone(), inner).prop_map(|(a, b)| Tree::Node(Box::new(a), Box::new(b)))
+            })
+        ) {
+            prop_assert!(depth(&t) <= 4);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_test_name() {
+        let mut a = crate::test_runner::TestRng::deterministic("t1");
+        let mut b = crate::test_runner::TestRng::deterministic("t1");
+        let mut c = crate::test_runner::TestRng::deterministic("t2");
+        let (xa, xb, xc) = (a.next_u64(), b.next_u64(), c.next_u64());
+        assert_eq!(xa, xb);
+        assert_ne!(xa, xc);
+    }
+}

@@ -1,0 +1,424 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Parses the item with `proc_macro::TokenTree` directly (no syn/quote)
+//! and emits `serde::Serialize` / `serde::Deserialize` impls against the
+//! shim's `Content` tree, matching serde's default representation:
+//!
+//! - named struct        -> map of fields
+//! - newtype struct      -> the inner value, transparently
+//! - tuple struct        -> sequence
+//! - unit struct         -> null
+//! - enum                -> externally tagged (`"Variant"`,
+//!   `{"Variant": value}`, `{"Variant": [..]}`, `{"Variant": {..}}`)
+//!
+//! Supports exactly what this workspace needs: non-generic items, doc
+//! comments and inert attributes (`#[default]`), explicit discriminants
+//! (`Read = 0`). Generic items are rejected with a clear error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// A parsed field list.
+enum Fields {
+    /// `{ a: T, b: U }` with the names in order.
+    Named(Vec<String>),
+    /// `( T, U )` with the arity.
+    Tuple(usize),
+    /// No payload.
+    Unit,
+}
+
+/// A parsed enum variant.
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+/// A parsed `struct` or `enum` item.
+enum Item {
+    Struct { name: String, fields: Fields },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item {
+        Item::Struct { name, fields } => serialize_struct(name, fields),
+        Item::Enum { name, variants } => serialize_enum(name, variants),
+    };
+    let name = item_name(&item);
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn serialize(&self) -> ::serde::Content {{\n{body}\n}}\n\
+         }}"
+    )
+    .parse()
+    .expect("derive(Serialize): generated code failed to parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item {
+        Item::Struct { name, fields } => deserialize_struct(name, fields),
+        Item::Enum { name, variants } => deserialize_enum(name, variants),
+    };
+    let name = item_name(&item);
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn deserialize(__c: &::serde::Content) -> Result<Self, ::serde::Error> {{\n{body}\n}}\n\
+         }}"
+    )
+    .parse()
+    .expect("derive(Deserialize): generated code failed to parse")
+}
+
+fn item_name(item: &Item) -> &str {
+    match item {
+        Item::Struct { name, .. } => name,
+        Item::Enum { name, .. } => name,
+    }
+}
+
+// --- parsing ------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+
+    skip_attributes_and_visibility(&tokens, &mut pos);
+
+    let keyword = expect_ident(&tokens, &mut pos);
+    let name = expect_ident(&tokens, &mut pos);
+
+    if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("derive shim: generic type `{name}` is not supported");
+    }
+
+    match keyword.as_str() {
+        "struct" => {
+            let fields = match tokens.get(pos) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                other => panic!("derive shim: unexpected token after `struct {name}`: {other:?}"),
+            };
+            Item::Struct { name, fields }
+        }
+        "enum" => {
+            let body = match tokens.get(pos) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("derive shim: unexpected token after `enum {name}`: {other:?}"),
+            };
+            Item::Enum {
+                name,
+                variants: parse_variants(body),
+            }
+        }
+        other => panic!("derive shim: expected `struct` or `enum`, got `{other}`"),
+    }
+}
+
+/// Advances past `#[...]` attributes (incl. doc comments) and `pub`/
+/// `pub(...)` visibility markers.
+fn skip_attributes_and_visibility(tokens: &[TokenTree], pos: &mut usize) {
+    loop {
+        match tokens.get(*pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *pos += 2; // `#` and the `[...]` group
+            }
+            Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
+                *pos += 1;
+                if matches!(tokens.get(*pos), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *pos += 1; // `(crate)` etc.
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], pos: &mut usize) -> String {
+    match tokens.get(*pos) {
+        Some(TokenTree::Ident(i)) => {
+            *pos += 1;
+            i.to_string()
+        }
+        other => panic!("derive shim: expected identifier, got {other:?}"),
+    }
+}
+
+/// Parses `name: Type, ...` returning the field names in order.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0;
+    let mut names = Vec::new();
+    while pos < tokens.len() {
+        skip_attributes_and_visibility(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        names.push(expect_ident(&tokens, &mut pos));
+        // Skip `: Type` up to the next top-level comma. Generic angle
+        // brackets contain no commas at *token* top level only inside
+        // groups, so track `<`/`>` depth explicitly.
+        let mut angle_depth = 0i32;
+        while pos < tokens.len() {
+            match &tokens[pos] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    pos += 1;
+                    break;
+                }
+                _ => {}
+            }
+            pos += 1;
+        }
+    }
+    names
+}
+
+/// Counts the fields of a tuple struct/variant body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle_depth = 0i32;
+    let mut saw_token_since_comma = false;
+    for tok in &tokens {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                count += 1;
+                saw_token_since_comma = false;
+                continue;
+            }
+            _ => {}
+        }
+        saw_token_since_comma = true;
+    }
+    if !saw_token_since_comma {
+        count -= 1; // trailing comma
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0;
+    let mut variants = Vec::new();
+    while pos < tokens.len() {
+        skip_attributes_and_visibility(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut pos);
+        let fields = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                pos += 1;
+                Fields::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                pos += 1;
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an explicit discriminant (`= 0`) and the separating comma.
+        while pos < tokens.len() {
+            match &tokens[pos] {
+                TokenTree::Punct(p) if p.as_char() == ',' => {
+                    pos += 1;
+                    break;
+                }
+                _ => pos += 1,
+            }
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+// --- code generation ----------------------------------------------------
+
+fn serialize_struct(name: &str, fields: &Fields) -> String {
+    match fields {
+        Fields::Named(names) => {
+            let entries: Vec<String> = names
+                .iter()
+                .map(|f| {
+                    format!("(\"{f}\".to_string(), ::serde::Serialize::serialize(&self.{f}))")
+                })
+                .collect();
+            format!("::serde::Content::Map(vec![{}])", entries.join(", "))
+        }
+        Fields::Tuple(1) => "::serde::Serialize::serialize(&self.0)".to_string(),
+        Fields::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::serialize(&self.{i})"))
+                .collect();
+            format!("::serde::Content::Seq(vec![{}])", items.join(", "))
+        }
+        Fields::Unit => {
+            let _ = name;
+            "::serde::Content::Null".to_string()
+        }
+    }
+}
+
+fn deserialize_struct(name: &str, fields: &Fields) -> String {
+    match fields {
+        Fields::Named(names) => {
+            let inits: Vec<String> = names
+                .iter()
+                .map(|f| format!("{f}: ::serde::__field(__m, \"{f}\")?"))
+                .collect();
+            format!(
+                "let __m = __c.as_map().ok_or_else(|| ::serde::Error::custom(\
+                     format!(\"expected map for struct {name}, got {{}}\", __c.kind())))?;\n\
+                 Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Fields::Tuple(1) => format!("Ok({name}(::serde::Deserialize::deserialize(__c)?))"),
+        Fields::Tuple(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::deserialize(&__s[{i}])?"))
+                .collect();
+            format!(
+                "let __s = __c.as_seq().ok_or_else(|| ::serde::Error::custom(\
+                     format!(\"expected sequence for struct {name}, got {{}}\", __c.kind())))?;\n\
+                 if __s.len() != {n} {{\n\
+                     return Err(::serde::Error::custom(format!(\
+                         \"expected {n} elements for struct {name}, got {{}}\", __s.len())));\n\
+                 }}\n\
+                 Ok({name}({}))",
+                inits.join(", ")
+            )
+        }
+        Fields::Unit => format!("let _ = __c; Ok({name})"),
+    }
+}
+
+fn serialize_enum(name: &str, variants: &[Variant]) -> String {
+    let mut arms = Vec::new();
+    for v in variants {
+        let vn = &v.name;
+        let arm = match &v.fields {
+            Fields::Unit => format!(
+                "{name}::{vn} => ::serde::Content::Str(\"{vn}\".to_string()),"
+            ),
+            Fields::Tuple(1) => format!(
+                "{name}::{vn}(__f0) => ::serde::Content::Map(vec![\
+                     (\"{vn}\".to_string(), ::serde::Serialize::serialize(__f0))]),"
+            ),
+            Fields::Tuple(n) => {
+                let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Serialize::serialize(__f{i})"))
+                    .collect();
+                format!(
+                    "{name}::{vn}({}) => ::serde::Content::Map(vec![\
+                         (\"{vn}\".to_string(), ::serde::Content::Seq(vec![{}]))]),",
+                    binds.join(", "),
+                    items.join(", ")
+                )
+            }
+            Fields::Named(field_names) => {
+                let binds = field_names.join(", ");
+                let entries: Vec<String> = field_names
+                    .iter()
+                    .map(|f| {
+                        format!("(\"{f}\".to_string(), ::serde::Serialize::serialize({f}))")
+                    })
+                    .collect();
+                format!(
+                    "{name}::{vn} {{ {binds} }} => ::serde::Content::Map(vec![\
+                         (\"{vn}\".to_string(), ::serde::Content::Map(vec![{}]))]),",
+                    entries.join(", ")
+                )
+            }
+        };
+        arms.push(arm);
+    }
+    format!("match self {{\n{}\n}}", arms.join("\n"))
+}
+
+fn deserialize_enum(name: &str, variants: &[Variant]) -> String {
+    let mut unit_arms = Vec::new();
+    let mut payload_arms = Vec::new();
+    for v in variants {
+        let vn = &v.name;
+        match &v.fields {
+            Fields::Unit => {
+                unit_arms.push(format!("\"{vn}\" => Ok({name}::{vn}),"));
+            }
+            Fields::Tuple(1) => {
+                payload_arms.push(format!(
+                    "\"{vn}\" => Ok({name}::{vn}(::serde::Deserialize::deserialize(__v)?)),"
+                ));
+            }
+            Fields::Tuple(n) => {
+                let inits: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Deserialize::deserialize(&__s[{i}])?"))
+                    .collect();
+                payload_arms.push(format!(
+                    "\"{vn}\" => {{\n\
+                         let __s = __v.as_seq().ok_or_else(|| ::serde::Error::custom(\
+                             format!(\"expected sequence for variant {name}::{vn}, got {{}}\", __v.kind())))?;\n\
+                         if __s.len() != {n} {{\n\
+                             return Err(::serde::Error::custom(format!(\
+                                 \"expected {n} elements for variant {name}::{vn}, got {{}}\", __s.len())));\n\
+                         }}\n\
+                         Ok({name}::{vn}({}))\n\
+                     }}",
+                    inits.join(", ")
+                ));
+            }
+            Fields::Named(field_names) => {
+                let inits: Vec<String> = field_names
+                    .iter()
+                    .map(|f| format!("{f}: ::serde::__field(__m, \"{f}\")?"))
+                    .collect();
+                payload_arms.push(format!(
+                    "\"{vn}\" => {{\n\
+                         let __m = __v.as_map().ok_or_else(|| ::serde::Error::custom(\
+                             format!(\"expected map for variant {name}::{vn}, got {{}}\", __v.kind())))?;\n\
+                         Ok({name}::{vn} {{ {} }})\n\
+                     }}",
+                    inits.join(", ")
+                ));
+            }
+        }
+    }
+    format!(
+        "match __c {{\n\
+             ::serde::Content::Str(__tag) => match __tag.as_str() {{\n\
+                 {}\n\
+                 __other => Err(::serde::Error::custom(format!(\
+                     \"unknown unit variant `{{__other}}` for enum {name}\"))),\n\
+             }},\n\
+             ::serde::Content::Map(__entries) if __entries.len() == 1 => {{\n\
+                 let (__tag, __v) = &__entries[0];\n\
+                 match __tag.as_str() {{\n\
+                     {}\n\
+                     __other => Err(::serde::Error::custom(format!(\
+                         \"unknown variant `{{__other}}` for enum {name}\"))),\n\
+                 }}\n\
+             }}\n\
+             __other => Err(::serde::Error::custom(format!(\
+                 \"expected enum {name}, got {{}}\", __other.kind()))),\n\
+         }}",
+        unit_arms.join("\n"),
+        payload_arms.join("\n")
+    )
+}
