@@ -68,13 +68,13 @@ fn bench(c: &mut Criterion) {
     for &len in &[16usize, 64, 256] {
         let (uncached, subject_u) = tail_grant_world(len, false);
         group.bench_with_input(BenchmarkId::new("uncached", len), &len, |b, _| {
-            b.iter(|| {
-                black_box(uncached.check(black_box(&subject_u), &path, AccessMode::Execute))
-            })
+            b.iter(|| black_box(uncached.check(black_box(&subject_u), &path, AccessMode::Execute)))
         });
 
         let (cached, subject_c) = tail_grant_world(len, true);
-        assert!(cached.check(&subject_c, &path, AccessMode::Execute).allowed());
+        assert!(cached
+            .check(&subject_c, &path, AccessMode::Execute)
+            .allowed());
         group.bench_with_input(BenchmarkId::new("cached-warm", len), &len, |b, _| {
             b.iter(|| black_box(cached.check(black_box(&subject_c), &path, AccessMode::Execute)))
         });

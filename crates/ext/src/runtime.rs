@@ -326,13 +326,14 @@ impl ExtRuntime {
         if depth >= MAX_GATE_DEPTH {
             return Err(ExtError::GateDepthExceeded);
         }
-        self.monitor
-            .require(subject, path, AccessMode::Execute)
-            .map_err(ExtError::Monitor)?;
-        let effective = self
-            .monitor
-            .enter(subject, path)
-            .map_err(ExtError::Monitor)?;
+        // One pinned snapshot for the check + enter pair, so a policy
+        // republish between the two steps cannot split the decision.
+        let effective = {
+            let view = self.monitor.view();
+            view.require(subject, path, AccessMode::Execute)
+                .map_err(ExtError::Monitor)?;
+            view.enter(subject, path).map_err(ExtError::Monitor)?
+        };
 
         // Specialization first: §2.2 class-based selection.
         let selected = {

@@ -5,6 +5,17 @@
 //! [`AuditLog`] is a bounded in-memory ring of [`AuditEvent`]s; an optional
 //! crossbeam channel sink lets a deployment stream events to an external
 //! consumer without the monitor ever blocking on it.
+//!
+//! The ring is *sharded*: events land in one of a fixed set of per-shard
+//! rings (each behind its own small mutex), picked per recording thread,
+//! so concurrent checks on different cores do not serialize on one audit
+//! lock. Every event is stamped with a globally monotone sequence number
+//! at record time, and [`AuditLog::events`] merges the shards back into
+//! sequence order, so observers see the same ordered log a single ring
+//! would have produced. The total retained count is bounded by the
+//! configured capacity with a shared counter: a recording thread that
+//! pushes the log over capacity evicts the oldest events of its own shard,
+//! which keeps eviction lock-local while still bounding the whole log.
 
 use crate::decision::Decision;
 use crate::subject::{Subject, ThreadId};
@@ -15,7 +26,7 @@ use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 
 /// One audited access decision.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -44,6 +55,50 @@ impl fmt::Display for AuditEvent {
     }
 }
 
+/// Saturation counters for one audit shard.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AuditShardStats {
+    /// Events currently retained in this shard.
+    pub retained: usize,
+    /// Events this shard has evicted to stay under the log's capacity.
+    pub dropped: u64,
+}
+
+/// Observability counters for the whole audit log, reported next to the
+/// decision-cache stats so saturation is visible rather than silent.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct AuditStats {
+    /// The configured total capacity.
+    pub capacity: usize,
+    /// Events currently retained across all shards.
+    pub retained: usize,
+    /// Events evicted from the ring to stay under capacity.
+    pub ring_dropped: u64,
+    /// Events the optional channel sink refused (full or disconnected).
+    pub sink_dropped: u64,
+    /// Per-shard retained/dropped breakdown.
+    pub shards: Vec<AuditShardStats>,
+}
+
+/// One shard: its own ring behind its own lock, plus its eviction count.
+/// Cache-line aligned so two shards' locks never share a line.
+#[derive(Debug)]
+#[repr(align(64))]
+struct Shard {
+    ring: Mutex<VecDeque<AuditEvent>>,
+    dropped: AtomicU64,
+}
+
+/// Hands every recording thread a stable shard preference, spreading
+/// threads round-robin over the shard array.
+fn shard_hint() -> usize {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static HINT: usize = NEXT.fetch_add(1, Ordering::Relaxed);
+    }
+    HINT.with(|h| *h)
+}
+
 /// A bounded, thread-safe audit log.
 ///
 /// # Examples
@@ -56,10 +111,17 @@ impl fmt::Display for AuditEvent {
 /// ```
 #[derive(Debug)]
 pub struct AuditLog {
-    ring: Mutex<VecDeque<AuditEvent>>,
+    shards: Box<[Shard]>,
+    /// `shards.len() - 1`; the shard count is a power of two.
+    shard_mask: usize,
     capacity: usize,
     seq: AtomicU64,
-    dropped: AtomicU64,
+    /// Events retained across all shards; the capacity bound.
+    retained: AtomicUsize,
+    sink_dropped: AtomicU64,
+    /// Fast-path flag so `record` never touches the sink mutex while no
+    /// sink is attached.
+    sink_attached: AtomicBool,
     sink: Mutex<Option<Sender<AuditEvent>>>,
 }
 
@@ -67,19 +129,49 @@ impl AuditLog {
     /// Default ring capacity.
     pub const DEFAULT_CAPACITY: usize = 4096;
 
+    /// Aim for at least this many events per shard, so small logs stay
+    /// single-sharded (and exactly ring-ordered) while the default-sized
+    /// log spreads over [`MAX_SHARDS`](Self::MAX_SHARDS) shards.
+    const MIN_EVENTS_PER_SHARD: usize = 256;
+
+    /// Upper bound on the shard count (one per core is plenty).
+    pub const MAX_SHARDS: usize = 16;
+
+    /// Cap on the total preallocated ring slots, so a huge configured
+    /// capacity reserves lazily instead of eagerly committing memory.
+    const MAX_PREALLOC: usize = 65_536;
+
     /// Creates a log with the default capacity.
     pub fn new() -> Self {
         AuditLog::with_capacity(Self::DEFAULT_CAPACITY)
     }
 
-    /// Creates a log holding at most `capacity` events (older events are
-    /// dropped first).
+    /// Creates a log holding at most `capacity` events in total (older
+    /// events are dropped first).
     pub fn with_capacity(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        let shard_count = (capacity / Self::MIN_EVENTS_PER_SHARD)
+            .clamp(1, Self::MAX_SHARDS)
+            .next_power_of_two()
+            .min(Self::MAX_SHARDS);
+        // Reserve the real capacity (bounded), split across the shards —
+        // not a silent 1024-entry floor that under-reserves large rings.
+        let prealloc_per_shard = capacity.min(Self::MAX_PREALLOC).div_ceil(shard_count);
+        let shards = (0..shard_count)
+            .map(|_| Shard {
+                ring: Mutex::new(VecDeque::with_capacity(prealloc_per_shard)),
+                dropped: AtomicU64::new(0),
+            })
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
         AuditLog {
-            ring: Mutex::new(VecDeque::with_capacity(capacity.min(1024))),
-            capacity: capacity.max(1),
+            shard_mask: shards.len() - 1,
+            shards,
+            capacity,
             seq: AtomicU64::new(0),
-            dropped: AtomicU64::new(0),
+            retained: AtomicUsize::new(0),
+            sink_dropped: AtomicU64::new(0),
+            sink_attached: AtomicBool::new(false),
             sink: Mutex::new(None),
         }
     }
@@ -89,6 +181,7 @@ impl AuditLog {
     /// best-effort and failures are counted in [`AuditLog::dropped`].
     pub fn set_sink(&self, sink: Sender<AuditEvent>) {
         *self.sink.lock() = Some(sink);
+        self.sink_attached.store(true, Ordering::Release);
     }
 
     /// Records a decision; returns the event's sequence number.
@@ -108,53 +201,101 @@ impl AuditLog {
             mode,
             decision: decision.clone(),
         };
-        if let Some(sink) = self.sink.lock().as_ref() {
-            if sink.try_send(event.clone()).is_err() {
-                self.dropped.fetch_add(1, Ordering::Relaxed);
+        if self.sink_attached.load(Ordering::Acquire) {
+            if let Some(sink) = self.sink.lock().as_ref() {
+                if sink.try_send(event.clone()).is_err() {
+                    self.sink_dropped.fetch_add(1, Ordering::Relaxed);
+                }
             }
         }
-        let mut ring = self.ring.lock();
-        if ring.len() == self.capacity {
-            ring.pop_front();
-            self.dropped.fetch_add(1, Ordering::Relaxed);
-        }
+        let shard = &self.shards[shard_hint() & self.shard_mask];
+        let mut ring = shard.ring.lock();
         ring.push_back(event);
+        self.retained.fetch_add(1, Ordering::Relaxed);
+        // Over capacity: evict the oldest events of *this* shard (the lock
+        // we already hold). Each record adds one and removes at least one
+        // while over, so the total stays bounded by the capacity.
+        while self.retained.load(Ordering::Relaxed) > self.capacity {
+            if ring.pop_front().is_none() {
+                break;
+            }
+            self.retained.fetch_sub(1, Ordering::Relaxed);
+            shard.dropped.fetch_add(1, Ordering::Relaxed);
+        }
         seq
     }
 
     /// Returns the number of retained events.
     pub fn len(&self) -> usize {
-        self.ring.lock().len()
+        self.retained.load(Ordering::Relaxed)
     }
 
     /// Returns whether the log holds no events.
     pub fn is_empty(&self) -> bool {
-        self.ring.lock().is_empty()
+        self.len() == 0
     }
 
     /// Returns the number of events dropped (from the ring or the sink).
     pub fn dropped(&self) -> u64 {
-        self.dropped.load(Ordering::Relaxed)
+        let ring: u64 = self
+            .shards
+            .iter()
+            .map(|s| s.dropped.load(Ordering::Relaxed))
+            .sum();
+        ring + self.sink_dropped.load(Ordering::Relaxed)
+    }
+
+    /// Returns the retained events merged across shards into sequence
+    /// order (oldest first) — the same ordered log one unsharded ring
+    /// would have produced.
+    pub fn events(&self) -> Vec<AuditEvent> {
+        let mut events: Vec<AuditEvent> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.ring.lock().iter().cloned().collect::<Vec<_>>())
+            .collect();
+        events.sort_unstable_by_key(|e| e.seq);
+        events
     }
 
     /// Returns a snapshot of the retained events, oldest first.
     pub fn snapshot(&self) -> Vec<AuditEvent> {
-        self.ring.lock().iter().cloned().collect()
+        self.events()
     }
 
     /// Returns the retained events that were denials.
     pub fn denials(&self) -> Vec<AuditEvent> {
-        self.ring
-            .lock()
-            .iter()
-            .filter(|e| !e.decision.allowed())
-            .cloned()
-            .collect()
+        let mut events = self.events();
+        events.retain(|e| !e.decision.allowed());
+        events
     }
 
     /// Clears the ring (sequence numbers keep increasing).
     pub fn clear(&self) {
-        self.ring.lock().clear();
+        for shard in &self.shards {
+            let mut ring = shard.ring.lock();
+            self.retained.fetch_sub(ring.len(), Ordering::Relaxed);
+            ring.clear();
+        }
+    }
+
+    /// Snapshots the per-shard saturation counters.
+    pub fn stats(&self) -> AuditStats {
+        let shards: Vec<AuditShardStats> = self
+            .shards
+            .iter()
+            .map(|s| AuditShardStats {
+                retained: s.ring.lock().len(),
+                dropped: s.dropped.load(Ordering::Relaxed),
+            })
+            .collect();
+        AuditStats {
+            capacity: self.capacity,
+            retained: shards.iter().map(|s| s.retained).sum(),
+            ring_dropped: shards.iter().map(|s| s.dropped).sum(),
+            sink_dropped: self.sink_dropped.load(Ordering::Relaxed),
+            shards,
+        }
     }
 }
 
@@ -210,6 +351,70 @@ mod tests {
         assert_eq!(events[1].seq, 4);
     }
 
+    /// The wraparound regression for the preallocation fix: at a capacity
+    /// beyond the old silent 1024-slot floor, the ring still retains
+    /// exactly `capacity` events and evicts exactly the overflow.
+    #[test]
+    fn wraparound_at_configured_capacity() {
+        const CAPACITY: usize = 4096;
+        const OVERFLOW: usize = 37;
+        let log = AuditLog::with_capacity(CAPACITY);
+        let s = subject();
+        for _ in 0..CAPACITY + OVERFLOW {
+            log.record(&s, &path(), AccessMode::Read, &Decision::Allow);
+        }
+        assert_eq!(log.len(), CAPACITY);
+        assert_eq!(log.dropped(), OVERFLOW as u64);
+        let events = log.events();
+        assert_eq!(events.len(), CAPACITY);
+        // The survivors are exactly the newest `CAPACITY` events, in order.
+        assert_eq!(events[0].seq, OVERFLOW as u64);
+        assert_eq!(events[CAPACITY - 1].seq, (CAPACITY + OVERFLOW - 1) as u64);
+        assert!(events.windows(2).all(|w| w[0].seq < w[1].seq));
+    }
+
+    #[test]
+    fn stats_expose_shard_saturation() {
+        let log = AuditLog::with_capacity(2);
+        let s = subject();
+        for _ in 0..5 {
+            log.record(&s, &path(), AccessMode::Read, &Decision::Allow);
+        }
+        let stats = log.stats();
+        assert_eq!(stats.capacity, 2);
+        assert_eq!(stats.retained, 2);
+        assert_eq!(stats.ring_dropped, 3);
+        assert_eq!(stats.sink_dropped, 0);
+        assert_eq!(stats.shards.len(), 1, "tiny logs stay single-sharded");
+        // Per-shard counters add up to the totals.
+        assert_eq!(
+            stats.shards.iter().map(|s| s.dropped).sum::<u64>(),
+            stats.ring_dropped
+        );
+    }
+
+    #[test]
+    fn merged_events_from_many_threads_stay_sequenced() {
+        let log = std::sync::Arc::new(AuditLog::new());
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let log = std::sync::Arc::clone(&log);
+                std::thread::spawn(move || {
+                    let s = subject();
+                    for _ in 0..100 {
+                        log.record(&s, &path(), AccessMode::Read, &Decision::Allow);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let events = log.events();
+        assert_eq!(events.len(), 400);
+        assert!(events.windows(2).all(|w| w[0].seq < w[1].seq));
+    }
+
     #[test]
     fn denials_filter() {
         let log = AuditLog::new();
@@ -248,6 +453,7 @@ mod tests {
         log.record(&s, &path(), AccessMode::Read, &Decision::Allow);
         assert_eq!(log.len(), 2);
         assert_eq!(log.dropped(), 1);
+        assert_eq!(log.stats().sink_dropped, 1);
     }
 
     #[test]

@@ -4,19 +4,27 @@
 //! same mode on the same node over and over (figure F1's tail-grant
 //! workload scans a 256-entry ACL on every call). The monitor therefore
 //! memoizes full decisions — allow *and* deny — in a sharded map keyed by
-//! `(principal, security class, node id, node epoch, mode)`.
+//! `(principal, node id, node epoch, mode)` with the subject's security
+//! class discriminating entries under the key.
 //!
 //! Coherence is by *generation stamping*, not by targeted eviction: the
 //! cache carries a global generation counter, every entry records the
 //! generation it was computed at, and every policy mutation (ACL edit,
 //! label change, node create/remove, group-membership edit, configuration
-//! swap, snapshot restore) bumps the counter while still holding the
-//! monitor's write lock. A lookup only hits when the entry's stamp equals
-//! the current generation, so a reader that acquires the read lock after
-//! a revocation can never see the revoked grant — stale entries simply
-//! stop matching and are dropped lazily. This trades recomputation after
-//! any mutation for an invalidation step that is a single atomic
-//! increment, the right trade for the paper's read-mostly policies.
+//! swap, snapshot restore) bumps the counter inside the monitor's publish
+//! critical section and stamps the new generation into the state snapshot
+//! it publishes. A lookup only hits when the entry's stamp equals the
+//! generation of the snapshot the reader is checking against, so a reader
+//! holding the post-revocation snapshot can never see the revoked grant —
+//! stale entries simply stop matching and are dropped lazily. This trades
+//! recomputation after any mutation for an invalidation step that is a
+//! single atomic increment, the right trade for the paper's read-mostly
+//! policies.
+//!
+//! The key is deliberately `Copy` — four small integers — so the hot path
+//! never clones the subject's [`SecurityClass`] (a heap-backed category
+//! set) just to ask a question. Classes are compared *by reference* during
+//! lookup and cloned exactly once, when a decision is first inserted.
 //!
 //! Node ids are recycled by the name-space arena, so raw ids are not
 //! stable keys; the key includes the slot's reuse epoch
@@ -35,9 +43,9 @@ use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// FNV-1a. The cache key is a dozen small integers; the default SipHash
-/// costs more than the ACL scan it is meant to avoid, while FNV keeps
-/// the whole hash under a handful of cycles. Keys are not
+/// FNV-1a. The cache key is a handful of small integers; the default
+/// SipHash costs more than the ACL scan it is meant to avoid, while FNV
+/// keeps the whole hash under a handful of cycles. Keys are not
 /// attacker-chosen strings (principal ids and node ids are dense small
 /// integers handed out by the TCB), so HashDoS resistance buys nothing
 /// here.
@@ -69,17 +77,19 @@ type FnvMap<K, V> = HashMap<K, V, BuildHasherDefault<FnvHasher>>;
 /// concurrent readers checking as different principals rarely contend.
 const SHARD_COUNT: usize = 16;
 
-/// Per-shard entry bound. When a shard fills, stale generations are
-/// purged first and only then live entries, so a hot working set survives.
+/// Per-shard key bound. When a shard fills, stale generations are purged
+/// first and only then live entries, so a hot working set survives.
 const SHARD_CAPACITY: usize = 4096;
 
-/// One memoized decision's identity.
-#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+/// One memoized decision's identity: four small `Copy` integers. The
+/// subject's security class is *not* part of the key — cloning a
+/// category-set per lookup is exactly the hot-path cost this cache exists
+/// to avoid — but it still discriminates decisions: entries under one key
+/// store the class they were computed for and only match by equality.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct CacheKey {
     /// The subject's principal.
     pub principal: PrincipalId,
-    /// The subject's (static) security class.
-    pub class: SecurityClass,
     /// The resolved final node.
     pub node: NodeId,
     /// The node slot's reuse epoch at resolution time.
@@ -88,7 +98,11 @@ pub struct CacheKey {
     pub mode: AccessMode,
 }
 
-struct Entry {
+/// One decision for one (key, class) pair. Nearly every key sees exactly
+/// one class (a principal's subjects run at one clearance), so entries
+/// live in a short inline-scanned vector rather than a nested map.
+struct ClassEntry {
+    class: SecurityClass,
     generation: u64,
     decision: Decision,
 }
@@ -108,13 +122,20 @@ pub struct CacheStats {
     pub generation: u64,
 }
 
+/// One shard: its map plus its own hit/miss counters, cache-line aligned
+/// so readers on different shards never bounce a shared counter line.
+#[repr(align(64))]
+struct Shard {
+    map: Mutex<FnvMap<CacheKey, Vec<ClassEntry>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
 /// A sharded map of generation-stamped decisions.
 pub struct DecisionCache {
     generation: AtomicU64,
-    hits: AtomicU64,
-    misses: AtomicU64,
     invalidations: AtomicU64,
-    shards: Vec<Mutex<FnvMap<CacheKey, Entry>>>,
+    shards: Vec<Shard>,
 }
 
 impl DecisionCache {
@@ -122,98 +143,146 @@ impl DecisionCache {
     pub fn new() -> Self {
         DecisionCache {
             generation: AtomicU64::new(0),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
             invalidations: AtomicU64::new(0),
             shards: (0..SHARD_COUNT)
-                .map(|_| Mutex::new(FnvMap::default()))
+                .map(|_| Shard {
+                    map: Mutex::new(FnvMap::default()),
+                    hits: AtomicU64::new(0),
+                    misses: AtomicU64::new(0),
+                })
                 .collect(),
         }
     }
 
-    /// Reads the current policy generation. Callers must read it while
-    /// holding the monitor's state lock so the (state, generation) pair
-    /// is consistent.
+    /// Reads the current policy generation.
     pub fn generation(&self) -> u64 {
         self.generation.load(Ordering::Acquire)
     }
 
     /// Advances the policy generation, lazily invalidating every cached
-    /// entry. Must be called while still holding the monitor's write
-    /// lock, so no reader can observe the mutated state under the old
-    /// generation.
-    pub fn bump(&self) {
-        self.generation.fetch_add(1, Ordering::Release);
+    /// entry, and returns the *new* generation. Must be called inside the
+    /// monitor's publish critical section, and the returned value stamped
+    /// into the state snapshot published there, so no reader can pair the
+    /// mutated state with the old generation.
+    pub fn bump_get(&self) -> u64 {
+        let new = self.generation.fetch_add(1, Ordering::Release) + 1;
         self.invalidations.fetch_add(1, Ordering::Relaxed);
+        new
     }
 
-    fn shard(&self, key: &CacheKey) -> &Mutex<FnvMap<CacheKey, Entry>> {
-        // Fibonacci spread of the principal id: the issue pins sharding to
-        // the subject principal so one subject's churn stays in one shard.
+    /// Advances the policy generation (see [`DecisionCache::bump_get`]).
+    pub fn bump(&self) {
+        self.bump_get();
+    }
+
+    fn shard(&self, key: &CacheKey) -> &Shard {
+        // Fibonacci spread of the principal id: sharding is pinned to the
+        // subject principal so one subject's churn stays in one shard.
         let spread = (key.principal.raw() as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
         &self.shards[(spread >> 32) as usize % SHARD_COUNT]
     }
 
-    /// Looks `key` up at `generation`. Hits only on an entry stamped with
-    /// exactly that generation; a stale entry is evicted and counts as a
-    /// miss.
-    pub fn lookup(&self, key: &CacheKey, generation: u64) -> Option<Decision> {
-        let mut shard = self.shard(key).lock();
-        match shard.get(key) {
-            Some(entry) if entry.generation == generation => {
-                let decision = entry.decision.clone();
-                drop(shard);
-                self.hits.fetch_add(1, Ordering::Relaxed);
+    /// Looks `key` up for a subject of `class` at `generation`. Hits only
+    /// on an entry stamped with exactly that generation whose stored class
+    /// equals `class` (compared by reference — no clone); a stale entry
+    /// for the class is evicted and counts as a miss.
+    pub fn lookup(
+        &self,
+        key: &CacheKey,
+        class: &SecurityClass,
+        generation: u64,
+    ) -> Option<Decision> {
+        let shard = self.shard(key);
+        let mut map = shard.map.lock();
+        let found = match map.get_mut(key) {
+            Some(entries) => match entries.iter().position(|e| e.class == *class) {
+                Some(i) if entries[i].generation == generation => Some(entries[i].decision.clone()),
+                Some(i) => {
+                    entries.swap_remove(i);
+                    if entries.is_empty() {
+                        map.remove(key);
+                    }
+                    None
+                }
+                None => None,
+            },
+            None => None,
+        };
+        drop(map);
+        match found {
+            Some(decision) => {
+                shard.hits.fetch_add(1, Ordering::Relaxed);
                 Some(decision)
             }
-            Some(_) => {
-                shard.remove(key);
-                drop(shard);
-                self.misses.fetch_add(1, Ordering::Relaxed);
-                None
-            }
             None => {
-                drop(shard);
-                self.misses.fetch_add(1, Ordering::Relaxed);
+                shard.misses.fetch_add(1, Ordering::Relaxed);
                 None
             }
         }
     }
 
-    /// Stores a decision computed at `generation`. A racing bump makes
-    /// the entry permanently stale, which is safe: it can never match a
-    /// later generation.
-    pub fn insert(&self, key: CacheKey, generation: u64, decision: Decision) {
-        let mut shard = self.shard(&key).lock();
-        if shard.len() >= SHARD_CAPACITY && !shard.contains_key(&key) {
-            shard.retain(|_, entry| entry.generation == generation);
-            if shard.len() >= SHARD_CAPACITY {
-                shard.clear();
+    /// Stores a decision computed for `class` at `generation`, cloning the
+    /// class only if no entry for it exists yet under `key`. A racing bump
+    /// makes the entry permanently stale, which is safe: it can never
+    /// match a later generation.
+    pub fn insert(
+        &self,
+        key: CacheKey,
+        class: &SecurityClass,
+        generation: u64,
+        decision: Decision,
+    ) {
+        let shard = self.shard(&key);
+        let mut map = shard.map.lock();
+        if map.len() >= SHARD_CAPACITY && !map.contains_key(&key) {
+            map.retain(|_, entries| {
+                entries.retain(|e| e.generation == generation);
+                !entries.is_empty()
+            });
+            if map.len() >= SHARD_CAPACITY {
+                map.clear();
             }
         }
-        shard.insert(
-            key,
-            Entry {
+        let entries = map.entry(key).or_default();
+        match entries.iter_mut().find(|e| e.class == *class) {
+            Some(entry) => {
+                entry.generation = generation;
+                entry.decision = decision;
+            }
+            None => entries.push(ClassEntry {
+                class: class.clone(),
                 generation,
                 decision,
-            },
-        );
+            }),
+        }
     }
 
     /// Drops every entry (the counters and generation are kept).
     pub fn clear(&self) {
         for shard in &self.shards {
-            shard.lock().clear();
+            shard.map.lock().clear();
         }
     }
 
     /// Snapshots the effectiveness counters.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
+            hits: self
+                .shards
+                .iter()
+                .map(|s| s.hits.load(Ordering::Relaxed))
+                .sum(),
+            misses: self
+                .shards
+                .iter()
+                .map(|s| s.misses.load(Ordering::Relaxed))
+                .sum(),
             invalidations: self.invalidations.load(Ordering::Relaxed),
-            entries: self.shards.iter().map(|s| s.lock().len()).sum(),
+            entries: self
+                .shards
+                .iter()
+                .map(|s| s.map.lock().values().map(Vec::len).sum::<usize>())
+                .sum(),
             generation: self.generation(),
         }
     }
@@ -233,25 +302,35 @@ mod tests {
     fn key(principal: u32, node: u32, epoch: u32, mode: AccessMode) -> CacheKey {
         CacheKey {
             principal: PrincipalId::from_raw(principal),
-            class: SecurityClass::bottom(),
             node: NodeId::from_raw(node),
             epoch,
             mode,
         }
     }
 
+    fn bottom() -> SecurityClass {
+        SecurityClass::bottom()
+    }
+
     #[test]
     fn hit_requires_matching_generation() {
         let cache = DecisionCache::new();
         let g = cache.generation();
-        cache.insert(key(1, 7, 0, AccessMode::Read), g, Decision::Allow);
+        cache.insert(
+            key(1, 7, 0, AccessMode::Read),
+            &bottom(),
+            g,
+            Decision::Allow,
+        );
         assert_eq!(
-            cache.lookup(&key(1, 7, 0, AccessMode::Read), g),
+            cache.lookup(&key(1, 7, 0, AccessMode::Read), &bottom(), g),
             Some(Decision::Allow)
         );
-        cache.bump();
-        let g2 = cache.generation();
-        assert_eq!(cache.lookup(&key(1, 7, 0, AccessMode::Read), g2), None);
+        let g2 = cache.bump_get();
+        assert_eq!(
+            cache.lookup(&key(1, 7, 0, AccessMode::Read), &bottom(), g2),
+            None
+        );
         // The stale entry was evicted on that miss.
         assert_eq!(cache.stats().entries, 0);
     }
@@ -260,8 +339,44 @@ mod tests {
     fn epoch_distinguishes_recycled_node_ids() {
         let cache = DecisionCache::new();
         let g = cache.generation();
-        cache.insert(key(1, 7, 0, AccessMode::Read), g, Decision::Allow);
-        assert_eq!(cache.lookup(&key(1, 7, 1, AccessMode::Read), g), None);
+        cache.insert(
+            key(1, 7, 0, AccessMode::Read),
+            &bottom(),
+            g,
+            Decision::Allow,
+        );
+        assert_eq!(
+            cache.lookup(&key(1, 7, 1, AccessMode::Read), &bottom(), g),
+            None
+        );
+    }
+
+    #[test]
+    fn class_discriminates_entries_under_one_key() {
+        let cache = DecisionCache::new();
+        let g = cache.generation();
+        let high = SecurityClass::at_level(extsec_mac::TrustLevel::from_rank(1));
+        cache.insert(
+            key(1, 7, 0, AccessMode::Read),
+            &bottom(),
+            g,
+            Decision::Allow,
+        );
+        cache.insert(
+            key(1, 7, 0, AccessMode::Read),
+            &high,
+            g,
+            Decision::Deny(DenyReason::MacFlow),
+        );
+        assert_eq!(
+            cache.lookup(&key(1, 7, 0, AccessMode::Read), &bottom(), g),
+            Some(Decision::Allow)
+        );
+        assert_eq!(
+            cache.lookup(&key(1, 7, 0, AccessMode::Read), &high, g),
+            Some(Decision::Deny(DenyReason::MacFlow))
+        );
+        assert_eq!(cache.stats().entries, 2);
     }
 
     #[test]
@@ -269,9 +384,9 @@ mod tests {
         let cache = DecisionCache::new();
         let g = cache.generation();
         let deny = Decision::Deny(DenyReason::DacNoEntry);
-        cache.insert(key(2, 3, 0, AccessMode::Write), g, deny.clone());
+        cache.insert(key(2, 3, 0, AccessMode::Write), &bottom(), g, deny.clone());
         assert_eq!(
-            cache.lookup(&key(2, 3, 0, AccessMode::Write), g),
+            cache.lookup(&key(2, 3, 0, AccessMode::Write), &bottom(), g),
             Some(deny)
         );
     }
@@ -280,9 +395,17 @@ mod tests {
     fn stats_count_hits_misses_and_bumps() {
         let cache = DecisionCache::new();
         let g = cache.generation();
-        assert_eq!(cache.lookup(&key(1, 1, 0, AccessMode::Read), g), None);
-        cache.insert(key(1, 1, 0, AccessMode::Read), g, Decision::Allow);
-        cache.lookup(&key(1, 1, 0, AccessMode::Read), g);
+        assert_eq!(
+            cache.lookup(&key(1, 1, 0, AccessMode::Read), &bottom(), g),
+            None
+        );
+        cache.insert(
+            key(1, 1, 0, AccessMode::Read),
+            &bottom(),
+            g,
+            Decision::Allow,
+        );
+        cache.lookup(&key(1, 1, 0, AccessMode::Read), &bottom(), g);
         cache.bump();
         let stats = cache.stats();
         assert_eq!(stats.hits, 1);
@@ -298,11 +421,20 @@ mod tests {
         // entries, then insert at a newer generation: the stale ones go.
         let g = cache.generation();
         for node in 0..SHARD_CAPACITY as u32 {
-            cache.insert(key(1, node, 0, AccessMode::Read), g, Decision::Allow);
+            cache.insert(
+                key(1, node, 0, AccessMode::Read),
+                &bottom(),
+                g,
+                Decision::Allow,
+            );
         }
-        cache.bump();
-        let g2 = cache.generation();
-        cache.insert(key(1, 0, 1, AccessMode::Read), g2, Decision::Allow);
+        let g2 = cache.bump_get();
+        cache.insert(
+            key(1, 0, 1, AccessMode::Read),
+            &bottom(),
+            g2,
+            Decision::Allow,
+        );
         assert_eq!(cache.stats().entries, 1);
     }
 }

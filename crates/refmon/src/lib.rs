@@ -79,13 +79,13 @@ pub mod policy;
 pub mod snapshot;
 pub mod subject;
 
-pub use audit::{AuditEvent, AuditLog};
+pub use audit::{AuditEvent, AuditLog, AuditShardStats, AuditStats};
 pub use cache::{CacheKey, CacheStats, DecisionCache};
 pub use config::{MacInteraction, MonitorConfig};
 pub use decision::{Decision, DenyReason};
 pub use explain::{ExplainStep, Explanation};
 pub use floating::FloatingSubject;
-pub use monitor::{MonitorBuilder, MonitorError, ReferenceMonitor};
+pub use monitor::{MonitorBuilder, MonitorError, MonitorView, ReferenceMonitor};
 pub use policy::PolicyEngine;
 pub use snapshot::{NodeRecord, PolicySnapshot};
 pub use subject::{Subject, ThreadId};

@@ -1,6 +1,19 @@
 //! The reference monitor proper.
+//!
+//! # Concurrency model
+//!
+//! The monitor's state is published as an immutable snapshot behind an
+//! epoch-versioned pointer (read-copy-update in safe Rust): readers pin
+//! the current [`Arc`] of the state and never take a lock on the hot
+//! path, while writers rebuild the state under a small publish mutex and
+//! swap it in, bumping the decision-cache generation in the same critical
+//! section so the (state, generation) pair a reader sees is always
+//! internally consistent. Each thread caches the `Arc` it last pinned in
+//! thread-local storage keyed by `(monitor id, version)`, so a repeat
+//! check is one atomic version load plus a thread-local compare — no
+//! shared reference-count traffic at all.
 
-use crate::audit::AuditLog;
+use crate::audit::{AuditLog, AuditStats};
 use crate::cache::{CacheKey, CacheStats, DecisionCache};
 use crate::config::MonitorConfig;
 use crate::decision::{Decision, DenyReason};
@@ -10,8 +23,10 @@ use extsec_acl::{
 };
 use extsec_mac::{FlowCheck, Lattice, LatticeError, SecurityClass};
 use extsec_namespace::{NameSpace, NodeId, NodeKind, NsError, NsPath, Protection};
-use parking_lot::RwLock;
+use parking_lot::Mutex;
+use std::cell::RefCell;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Errors from guarded (administrative) monitor operations.
@@ -64,11 +79,40 @@ impl From<DenyReason> for MonitorError {
     }
 }
 
+/// The monitor's complete policy state, published as one immutable
+/// snapshot. The decision-cache generation the state was built under is
+/// stamped into the snapshot itself, so a reader can never pair a stale
+/// state with a newer generation (or vice versa).
+#[derive(Clone)]
 struct State {
     namespace: NameSpace,
     directory: Directory,
     lattice: Lattice,
     config: MonitorConfig,
+    /// The decision-cache generation this snapshot was published under.
+    generation: u64,
+}
+
+/// This thread's pinned snapshot of one monitor, revalidated against the
+/// monitor's version counter on every use.
+struct PinnedSnapshot {
+    monitor: u64,
+    version: u64,
+    state: Arc<State>,
+}
+
+thread_local! {
+    /// The snapshot this thread last pinned. Holding a strong `Arc` here
+    /// keeps one superseded state alive per thread at worst; it is
+    /// replaced the next time the thread touches any monitor.
+    static PINNED: RefCell<Option<PinnedSnapshot>> = const { RefCell::new(None) };
+}
+
+/// Hands every monitor instance a process-unique id so thread-local
+/// pinned snapshots never cross monitors.
+fn next_monitor_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
 }
 
 /// Builder for a [`ReferenceMonitor`]: registers the security lattice and
@@ -133,12 +177,15 @@ impl MonitorBuilder {
             SecurityClass::bottom(),
         );
         Arc::new(ReferenceMonitor {
-            state: RwLock::new(State {
+            published: Mutex::new(Arc::new(State {
                 namespace: NameSpace::new(root_protection),
                 directory: self.directory,
                 lattice: self.lattice,
                 config: self.config,
-            }),
+                generation: 0,
+            })),
+            version: AtomicU64::new(0),
+            id: next_monitor_id(),
             audit: AuditLog::new(),
             cache: DecisionCache::new(),
         })
@@ -149,19 +196,110 @@ impl MonitorBuilder {
 ///
 /// See the crate docs for the model; see [`MonitorBuilder`] for
 /// construction. The monitor is shared behind an [`Arc`] and is fully
-/// thread-safe: checks take a read lock, administration takes a write
-/// lock.
+/// thread-safe: checks pin the published state snapshot without taking
+/// any lock, administration rebuilds and republishes the snapshot under
+/// the publish mutex.
 pub struct ReferenceMonitor {
-    state: RwLock<State>,
+    /// The slot the current state snapshot is published in. Readers only
+    /// lock it to refresh their thread-local pin after a version change;
+    /// writers hold it across evaluate-rebuild-republish.
+    published: Mutex<Arc<State>>,
+    /// Bumped (with `Release`) after every republish, while the publish
+    /// lock is still held. A reader whose pinned version matches knows
+    /// its snapshot is the newest published one.
+    version: AtomicU64,
+    /// Process-unique monitor identity for the thread-local pins.
+    id: u64,
     audit: AuditLog,
     /// Memoized decisions, stamped with the policy generation. Mutators
-    /// bump the generation while still holding the write lock, so a
-    /// reader — which reads the generation under the read lock — can
+    /// advance the generation inside the publish critical section and the
+    /// new generation is stamped into the snapshot they publish, so a
+    /// reader — which takes the generation *from its snapshot* — can
     /// never hit an entry computed against superseded policy.
     cache: DecisionCache,
 }
 
 impl ReferenceMonitor {
+    // ------------------------------------------------------------------
+    // Snapshot plumbing.
+    // ------------------------------------------------------------------
+
+    /// Runs `f` against the current state snapshot. Fast path: one
+    /// `Acquire` load of the version counter plus a thread-local compare;
+    /// no lock, no shared reference-count update. Slow path (first use on
+    /// this thread, or the version moved): refresh the pin under the
+    /// publish lock.
+    fn with_snapshot<R>(&self, f: impl FnOnce(&State) -> R) -> R {
+        let version = self.version.load(Ordering::Acquire);
+        // Take the pin out of the slot (rather than borrowing across `f`)
+        // so a reentrant monitor call inside `f` finds the cell free.
+        let pinned = PINNED.with(|cell| {
+            let mut slot = cell.borrow_mut();
+            match slot.take() {
+                Some(pin) if pin.monitor == self.id && pin.version == version => Some(pin),
+                other => {
+                    *slot = other;
+                    None
+                }
+            }
+        });
+        if let Some(pin) = pinned {
+            let result = f(&pin.state);
+            PINNED.with(|cell| {
+                let mut slot = cell.borrow_mut();
+                if slot.is_none() {
+                    *slot = Some(pin);
+                }
+            });
+            return result;
+        }
+        let state = self.refresh_pin();
+        f(&state)
+    }
+
+    /// Re-pins this thread to the currently published snapshot and
+    /// returns it. The version is re-read under the publish lock so the
+    /// (state, version) pair is consistent.
+    fn refresh_pin(&self) -> Arc<State> {
+        let (state, version) = {
+            let slot = self.published.lock();
+            (Arc::clone(&slot), self.version.load(Ordering::Acquire))
+        };
+        PINNED.with(|cell| {
+            *cell.borrow_mut() = Some(PinnedSnapshot {
+                monitor: self.id,
+                version,
+                state: Arc::clone(&state),
+            });
+        });
+        state
+    }
+
+    /// Returns the current state snapshot as an owned `Arc` (for
+    /// [`ReferenceMonitor::view`], which must outlive the call).
+    fn snapshot_arc(&self) -> Arc<State> {
+        let version = self.version.load(Ordering::Acquire);
+        let pinned = PINNED.with(|cell| {
+            cell.borrow_mut().as_ref().and_then(|pin| {
+                (pin.monitor == self.id && pin.version == version).then(|| Arc::clone(&pin.state))
+            })
+        });
+        pinned.unwrap_or_else(|| self.refresh_pin())
+    }
+
+    /// Rebuilds the state held in `slot` (cloning it only when readers
+    /// still pin the old snapshot), advances the decision-cache
+    /// generation, applies `f`, and republishes. Must be called with the
+    /// publish lock held; the version bump is `Release` so the new state
+    /// is visible to any reader that observes the new version.
+    fn mutate_published<R>(&self, slot: &mut Arc<State>, f: impl FnOnce(&mut State) -> R) -> R {
+        let state = Arc::make_mut(slot);
+        state.generation = self.cache.bump_get();
+        let result = f(state);
+        self.version.fetch_add(1, Ordering::Release);
+        result
+    }
+
     // ------------------------------------------------------------------
     // The access check (the hot path).
     // ------------------------------------------------------------------
@@ -170,35 +308,57 @@ impl ReferenceMonitor {
     /// `path`, recording the decision in the audit log when enabled.
     ///
     /// When [`MonitorConfig::decision_cache`] is on, repeat checks are
-    /// answered from the generation-stamped cache: the generation is read
-    /// under the same read lock as the state, so a hit is exactly the
-    /// decision a fresh evaluation would produce. Audit records are
-    /// written on hits and misses alike.
+    /// answered from the generation-stamped cache: the generation comes
+    /// from the same immutable snapshot as the state, so a hit is exactly
+    /// the decision a fresh evaluation against that snapshot would
+    /// produce. Audit records are written on hits and misses alike.
     pub fn check(&self, subject: &Subject, path: &NsPath, mode: AccessMode) -> Decision {
-        let state = self.state.read();
+        self.with_snapshot(|state| self.check_at(state, subject, path, mode))
+    }
+
+    /// Checks without consulting or filling the decision cache. Used for
+    /// subjects whose effective class is interior mutable state the
+    /// generation counter cannot see (floating-class subjects), and as
+    /// the oracle in coherence tests.
+    pub fn check_uncached(&self, subject: &Subject, path: &NsPath, mode: AccessMode) -> Decision {
+        self.with_snapshot(|state| self.check_in(state, subject, path, mode))
+    }
+
+    /// The cached check against one pinned snapshot.
+    fn check_at(
+        &self,
+        state: &State,
+        subject: &Subject,
+        path: &NsPath,
+        mode: AccessMode,
+    ) -> Decision {
         if !state.config.decision_cache {
-            return self.check_in(&state, subject, path, mode);
+            return self.check_in(state, subject, path, mode);
         }
         // A cheap, visitor-free resolve yields the key. When the path does
         // not resolve, there is no stable node to key on; fall through to
         // full evaluation, which also reproduces the exact deny reason
         // (NotFound prefix vs. an earlier visibility denial).
         let Ok(id) = state.namespace.resolve(path) else {
-            return self.check_in(&state, subject, path, mode);
+            return self.check_in(state, subject, path, mode);
         };
         let key = CacheKey {
             principal: subject.principal,
-            class: subject.class.clone(),
             node: id,
             epoch: state.namespace.epoch(id),
             mode,
         };
-        let generation = self.cache.generation();
-        let decision = match self.cache.lookup(&key, generation) {
+        let decision = match self.cache.lookup(&key, &subject.class, state.generation) {
             Some(decision) => decision,
             None => {
-                let decision = Self::evaluate(&state, subject, path, mode);
-                self.cache.insert(key, generation, decision.clone());
+                let decision = Self::evaluate_resolved(state, subject, path, id, mode);
+                debug_assert_eq!(
+                    decision,
+                    Self::evaluate(state, subject, path, mode),
+                    "resolved-id evaluation must agree with the guarded walk"
+                );
+                self.cache
+                    .insert(key, &subject.class, state.generation, decision.clone());
                 decision
             }
         };
@@ -208,18 +368,14 @@ impl ReferenceMonitor {
         decision
     }
 
-    /// Checks without consulting or filling the decision cache. Used for
-    /// subjects whose effective class is interior mutable state the
-    /// generation counter cannot see (floating-class subjects), and as
-    /// the oracle in coherence tests.
-    pub fn check_uncached(&self, subject: &Subject, path: &NsPath, mode: AccessMode) -> Decision {
-        let state = self.state.read();
-        self.check_in(&state, subject, path, mode)
-    }
-
-    /// Evaluates and audits under an already-held lock (the uncached
-    /// path).
-    fn check_in(&self, state: &State, subject: &Subject, path: &NsPath, mode: AccessMode) -> Decision {
+    /// Evaluates and audits against one snapshot (the uncached path).
+    fn check_in(
+        &self,
+        state: &State,
+        subject: &Subject,
+        path: &NsPath,
+        mode: AccessMode,
+    ) -> Decision {
         let decision = Self::evaluate(state, subject, path, mode);
         if state.config.audit {
             self.audit.record(subject, path, mode, &decision);
@@ -290,6 +446,65 @@ impl ReferenceMonitor {
         Self::evaluate_at(state, subject, node_id, mode)
     }
 
+    /// Evaluates with the final node already resolved — the cache-miss
+    /// path, which would otherwise resolve the name twice (once for the
+    /// key, once inside the guarded walk). Visibility of the interior
+    /// levels is checked by climbing the parent chain of the resolved
+    /// node, top-down so the denied prefix matches what the guarded walk
+    /// reports.
+    fn evaluate_resolved(
+        state: &State,
+        subject: &Subject,
+        path: &NsPath,
+        id: NodeId,
+        mode: AccessMode,
+    ) -> Decision {
+        if state.config.check_visibility {
+            let stale = || Decision::Deny(DenyReason::Structure("stale node id".to_string()));
+            // Collect the ancestors leaf→root (the final node itself is
+            // exempt from the visibility check; it gets the mode check).
+            let mut chain = Vec::with_capacity(path.depth());
+            let mut cursor = match state.namespace.node(id) {
+                Ok(node) => node.parent(),
+                Err(_) => return stale(),
+            };
+            while let Some(ancestor) = cursor {
+                chain.push(ancestor);
+                cursor = match state.namespace.node(ancestor) {
+                    Ok(node) => node.parent(),
+                    Err(_) => return stale(),
+                };
+            }
+            for (depth, ancestor) in chain.iter().rev().enumerate() {
+                let Ok(node) = state.namespace.node(*ancestor) else {
+                    return stale();
+                };
+                let dac = node.protection().acl.check(
+                    &state.directory,
+                    subject.principal,
+                    AccessMode::List,
+                );
+                if !dac.granted() {
+                    return Decision::Deny(DenyReason::NotVisibleDac(Self::prefix_of(path, depth)));
+                }
+                if !state.config.flow.permits(
+                    &subject.class,
+                    &node.protection().label,
+                    FlowCheck::Observe,
+                ) {
+                    return Decision::Deny(DenyReason::NotVisibleMac(Self::prefix_of(path, depth)));
+                }
+            }
+        }
+        Self::evaluate_at(state, subject, id, mode)
+    }
+
+    /// The path prefix naming the ancestor at `depth` (0 = the root).
+    fn prefix_of(path: &NsPath, depth: usize) -> NsPath {
+        NsPath::from_components(path.components()[..depth].iter().cloned())
+            .expect("already-validated components")
+    }
+
     fn evaluate_at(state: &State, subject: &Subject, node: NodeId, mode: AccessMode) -> Decision {
         let Ok(node) = state.namespace.node(node) else {
             return Decision::Deny(DenyReason::Structure("stale node id".to_string()));
@@ -334,37 +549,51 @@ impl ReferenceMonitor {
         kind: NodeKind,
         protection: Protection,
     ) -> Result<NodeId, MonitorError> {
-        let mut state = self.state.write();
-        let decision = Self::evaluate(&state, subject, parent, AccessMode::WriteAppend);
-        if state.config.audit {
+        let mut slot = self.published.lock();
+        let decision = Self::evaluate(&slot, subject, parent, AccessMode::WriteAppend);
+        if slot.config.audit {
             self.audit
                 .record(subject, parent, AccessMode::WriteAppend, &decision);
         }
         decision.into_result()?;
-        state.lattice.validate(&protection.label)?;
+        slot.lattice.validate(&protection.label)?;
+        // Insert into a private copy first; only a successful insert is
+        // republished (a failed one leaves state and generation alone).
+        let state = Arc::make_mut(&mut slot);
         let id = state.namespace.insert(parent, name, kind, protection)?;
-        self.cache.bump();
+        state.generation = self.cache.bump_get();
+        self.version.fetch_add(1, Ordering::Release);
         Ok(id)
     }
 
     /// Removes the node at `path`; requires `delete` on the node itself.
     pub fn remove(&self, subject: &Subject, path: &NsPath) -> Result<(), MonitorError> {
-        let mut state = self.state.write();
-        let decision = Self::evaluate(&state, subject, path, AccessMode::Delete);
-        if state.config.audit {
+        let mut slot = self.published.lock();
+        let decision = Self::evaluate(&slot, subject, path, AccessMode::Delete);
+        if slot.config.audit {
             self.audit
                 .record(subject, path, AccessMode::Delete, &decision);
         }
         decision.into_result()?;
+        let state = Arc::make_mut(&mut slot);
         state.namespace.remove(path)?;
-        self.cache.bump();
+        state.generation = self.cache.bump_get();
+        self.version.fetch_add(1, Ordering::Release);
         Ok(())
     }
 
     /// Lists the children of the container at `path`; requires `list`.
     pub fn list(&self, subject: &Subject, path: &NsPath) -> Result<Vec<String>, MonitorError> {
-        let state = self.state.read();
-        let decision = Self::evaluate(&state, subject, path, AccessMode::List);
+        self.with_snapshot(|state| self.list_at(state, subject, path))
+    }
+
+    fn list_at(
+        &self,
+        state: &State,
+        subject: &Subject,
+        path: &NsPath,
+    ) -> Result<Vec<String>, MonitorError> {
+        let decision = Self::evaluate(state, subject, path, AccessMode::List);
         if state.config.audit {
             self.audit
                 .record(subject, path, AccessMode::List, &decision);
@@ -421,13 +650,13 @@ impl ReferenceMonitor {
         path: &NsPath,
         label: SecurityClass,
     ) -> Result<(), MonitorError> {
-        {
-            let state = self.state.read();
+        self.with_snapshot(|state| {
             state.lattice.validate(&label)?;
             if !subject.class.dominates(&label) {
                 return Err(MonitorError::Denied(DenyReason::MacFlow));
             }
-        }
+            Ok(())
+        })?;
         self.administrate(subject, path, move |prot| {
             prot.label = label;
             Ok(())
@@ -440,23 +669,23 @@ impl ReferenceMonitor {
         path: &NsPath,
         f: impl FnOnce(&mut Protection) -> Result<R, MonitorError>,
     ) -> Result<R, MonitorError> {
-        let mut state = self.state.write();
-        let decision = Self::evaluate(&state, subject, path, AccessMode::Administrate);
-        if state.config.audit {
+        let mut slot = self.published.lock();
+        let decision = Self::evaluate(&slot, subject, path, AccessMode::Administrate);
+        if slot.config.audit {
             self.audit
                 .record(subject, path, AccessMode::Administrate, &decision);
         }
         decision.into_result()?;
-        let id = state.namespace.resolve(path)?;
+        let id = slot.namespace.resolve(path)?;
         let mut result: Option<Result<R, MonitorError>> = None;
-        state.namespace.update_protection(id, |prot| {
-            result = Some(f(prot));
+        // The closure runs against the new state; invalidate and publish
+        // even when it reports an error (a partial mutation before the
+        // error would otherwise leak through stale cache entries).
+        self.mutate_published(&mut slot, |state| {
+            state.namespace.update_protection(id, |prot| {
+                result = Some(f(prot));
+            })
         })?;
-        // The closure ran against the live protection record; invalidate
-        // before the write lock drops, even if it reported an error (a
-        // partial mutation before the error would otherwise leak through
-        // stale cache entries).
-        self.cache.bump();
         result.expect("update_protection ran the closure")
     }
 
@@ -468,13 +697,27 @@ impl ReferenceMonitor {
     /// the node carries a static security class, the subject's class is
     /// capped at `meet(current, static)`; otherwise it is unchanged.
     pub fn enter(&self, subject: &Subject, path: &NsPath) -> Result<Subject, MonitorError> {
-        let state = self.state.read();
+        self.with_snapshot(|state| Self::enter_at(state, subject, path))
+    }
+
+    fn enter_at(state: &State, subject: &Subject, path: &NsPath) -> Result<Subject, MonitorError> {
         let id = state.namespace.resolve(path)?;
         let node = state.namespace.node(id)?;
         Ok(match &node.protection().static_class {
             Some(static_class) => subject.capped_by(static_class),
             None => subject.clone(),
         })
+    }
+
+    /// Pins the current snapshot and returns a [`MonitorView`] over it,
+    /// so a compound operation (check-then-enter, list-then-filter) reads
+    /// one consistent policy state instead of racing republishes between
+    /// its steps.
+    pub fn view(&self) -> MonitorView<'_> {
+        MonitorView {
+            monitor: self,
+            state: self.snapshot_arc(),
+        }
     }
 
     // ------------------------------------------------------------------
@@ -489,51 +732,47 @@ impl ReferenceMonitor {
         &self,
         f: impl FnOnce(&mut NameSpace) -> Result<R, NsError>,
     ) -> Result<R, MonitorError> {
-        let mut state = self.state.write();
-        let result = f(&mut state.namespace);
-        // `f` had the whole name space; invalidate even on error, since a
-        // failing closure may have mutated before failing.
-        self.cache.bump();
+        let mut slot = self.published.lock();
+        // `f` gets the whole name space; invalidate and publish even on
+        // error, since a failing closure may have mutated before failing.
+        let result = self.mutate_published(&mut slot, |state| f(&mut state.namespace));
         Ok(result?)
     }
 
     /// Runs `f` with read access to the name space, bypassing all checks.
     pub fn inspect<R>(&self, f: impl FnOnce(&NameSpace) -> R) -> R {
-        f(&self.state.read().namespace)
+        self.with_snapshot(|state| f(&state.namespace))
     }
 
     /// Runs `f` with read access to the principal directory.
     pub fn directory<R>(&self, f: impl FnOnce(&Directory) -> R) -> R {
-        f(&self.state.read().directory)
+        self.with_snapshot(|state| f(&state.directory))
     }
 
     /// Runs `f` with mutable access to the principal directory (identity
     /// management sits outside the access-control model; the paper leaves
     /// authentication to future work).
     pub fn directory_mut<R>(&self, f: impl FnOnce(&mut Directory) -> R) -> R {
-        let mut state = self.state.write();
-        let result = f(&mut state.directory);
+        let mut slot = self.published.lock();
         // Group-membership edits change ACL group-entry outcomes.
-        self.cache.bump();
-        result
+        self.mutate_published(&mut slot, |state| f(&mut state.directory))
     }
 
     /// Runs `f` with read access to the lattice.
     pub fn lattice<R>(&self, f: impl FnOnce(&Lattice) -> R) -> R {
-        f(&self.state.read().lattice)
+        self.with_snapshot(|state| f(&state.lattice))
     }
 
     /// Returns the current configuration.
     pub fn config(&self) -> MonitorConfig {
-        self.state.read().config
+        self.with_snapshot(|state| state.config)
     }
 
     /// Replaces the configuration (TCB operation).
     pub fn set_config(&self, config: MonitorConfig) {
-        let mut state = self.state.write();
-        state.config = config;
+        let mut slot = self.published.lock();
         // Flow-policy or visibility changes alter decisions wholesale.
-        self.cache.bump();
+        self.mutate_published(&mut slot, |state| state.config = config);
     }
 
     /// Returns the audit log.
@@ -547,23 +786,89 @@ impl ReferenceMonitor {
         self.cache.stats()
     }
 
+    /// Returns the audit ring's saturation counters (per-shard retained
+    /// and dropped events, sink drops), the observability companion to
+    /// [`ReferenceMonitor::cache_stats`].
+    pub fn audit_stats(&self) -> AuditStats {
+        self.audit.stats()
+    }
+
     /// Convenience: the protection record of the node at `path` (TCB
     /// inspection; not access-checked).
     pub fn protection_of(&self, path: &NsPath) -> Result<Protection, MonitorError> {
-        let state = self.state.read();
-        let id = state.namespace.resolve(path)?;
-        Ok(state.namespace.node(id)?.protection().clone())
+        self.with_snapshot(|state| {
+            let id = state.namespace.resolve(path)?;
+            Ok(state.namespace.node(id)?.protection().clone())
+        })
     }
 }
 
 impl fmt::Debug for ReferenceMonitor {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let state = self.state.read();
-        f.debug_struct("ReferenceMonitor")
-            .field("nodes", &state.namespace.len())
-            .field("principals", &state.directory.principal_count())
-            .field("config", &state.config)
-            .finish()
+        self.with_snapshot(|state| {
+            f.debug_struct("ReferenceMonitor")
+                .field("nodes", &state.namespace.len())
+                .field("principals", &state.directory.principal_count())
+                .field("config", &state.config)
+                .finish()
+        })
+    }
+}
+
+/// One pinned, immutable snapshot of the monitor's policy state.
+///
+/// Every method reads the same snapshot, so a compound operation — check
+/// then enter, list then per-item check — is atomic against concurrent
+/// administration: either all of it sees the old policy or all of it sees
+/// the new one, never a mix. Decisions still go through the shared
+/// decision cache and audit log.
+///
+/// The view pins the snapshot for as long as it lives; drop it promptly
+/// (writers fall back to cloning the state while any pin is held).
+pub struct MonitorView<'m> {
+    monitor: &'m ReferenceMonitor,
+    state: Arc<State>,
+}
+
+impl MonitorView<'_> {
+    /// Checks `subject`'s access against this snapshot (cached, audited).
+    pub fn check(&self, subject: &Subject, path: &NsPath, mode: AccessMode) -> Decision {
+        self.monitor.check_at(&self.state, subject, path, mode)
+    }
+
+    /// Checks and converts to a `Result` in one step.
+    pub fn require(
+        &self,
+        subject: &Subject,
+        path: &NsPath,
+        mode: AccessMode,
+    ) -> Result<(), MonitorError> {
+        self.check(subject, path, mode)
+            .into_result()
+            .map_err(MonitorError::Denied)
+    }
+
+    /// Returns the subject as it enters the code object at `path` (see
+    /// [`ReferenceMonitor::enter`]), resolved against this snapshot.
+    pub fn enter(&self, subject: &Subject, path: &NsPath) -> Result<Subject, MonitorError> {
+        ReferenceMonitor::enter_at(&self.state, subject, path)
+    }
+
+    /// Lists the children of the container at `path`; requires `list`.
+    pub fn list(&self, subject: &Subject, path: &NsPath) -> Result<Vec<String>, MonitorError> {
+        self.monitor.list_at(&self.state, subject, path)
+    }
+
+    /// The configuration this snapshot was published with.
+    pub fn config(&self) -> MonitorConfig {
+        self.state.config
+    }
+
+    /// The protection record of the node at `path` in this snapshot (TCB
+    /// inspection; not access-checked).
+    pub fn protection_of(&self, path: &NsPath) -> Result<Protection, MonitorError> {
+        let id = self.state.namespace.resolve(path)?;
+        Ok(self.state.namespace.node(id)?.protection().clone())
     }
 }
 
@@ -1045,5 +1350,92 @@ mod tests {
             )
             .unwrap_err();
         assert!(matches!(err, MonitorError::Lattice(_)));
+    }
+
+    /// A view reads one consistent snapshot: a republish between its
+    /// steps does not leak into it, and a fresh view sees the new state.
+    #[test]
+    fn view_is_atomic_across_republish() {
+        let (monitor, alice, _) = fixture();
+        let alice_s = low_subject(alice, &monitor);
+        let view = monitor.view();
+        assert!(view
+            .check(&alice_s, &p("/svc/fs/read"), AccessMode::Execute)
+            .allowed());
+        // Revoke behind the view's back.
+        monitor
+            .bootstrap(|ns| {
+                let id = ns.resolve(&p("/svc/fs/read"))?;
+                ns.update_protection(id, |prot| prot.acl = Acl::new())?;
+                Ok(())
+            })
+            .unwrap();
+        // The old view still answers from its snapshot (and its compound
+        // steps agree with each other)...
+        assert!(view
+            .check(&alice_s, &p("/svc/fs/read"), AccessMode::Execute)
+            .allowed());
+        assert!(view.enter(&alice_s, &p("/svc/fs/read")).is_ok());
+        drop(view);
+        // ...while a fresh view (and the monitor itself) see the new policy.
+        assert_eq!(
+            monitor
+                .view()
+                .check(&alice_s, &p("/svc/fs/read"), AccessMode::Execute),
+            Decision::Deny(DenyReason::DacNoEntry)
+        );
+        assert_eq!(
+            monitor.check(&alice_s, &p("/svc/fs/read"), AccessMode::Execute),
+            Decision::Deny(DenyReason::DacNoEntry)
+        );
+    }
+
+    /// The deny-prefix reported by the resolved-id fast path matches the
+    /// guarded walk at every level of a deep hierarchy.
+    #[test]
+    fn resolved_path_reports_same_prefix_as_walk() {
+        let (monitor, alice, _) = fixture();
+        monitor
+            .bootstrap(|ns| {
+                let visible = Protection::new(
+                    Acl::public(ModeSet::only(AccessMode::List)),
+                    SecurityClass::bottom(),
+                );
+                ns.ensure_path(&p("/svc/deep/a/b"), NodeKind::Domain, &visible)?;
+                ns.insert(
+                    &p("/svc/deep/a/b"),
+                    "leaf",
+                    NodeKind::Procedure,
+                    Protection::new(
+                        Acl::from_entries([AclEntry::allow_principal(alice, AccessMode::Execute)]),
+                        SecurityClass::bottom(),
+                    ),
+                )?;
+                Ok(())
+            })
+            .unwrap();
+        let alice_s = low_subject(alice, &monitor);
+        let leaf = p("/svc/deep/a/b/leaf");
+        assert!(monitor
+            .check(&alice_s, &leaf, AccessMode::Execute)
+            .allowed());
+        // Hide an interior level; both the cached (resolved) path and the
+        // uncached walk must name the same denied prefix.
+        monitor
+            .bootstrap(|ns| {
+                let id = ns.resolve(&p("/svc/deep/a"))?;
+                ns.update_protection(id, |prot| prot.acl = Acl::new())?;
+                Ok(())
+            })
+            .unwrap();
+        let expected = Decision::Deny(DenyReason::NotVisibleDac(p("/svc/deep/a")));
+        assert_eq!(
+            monitor.check(&alice_s, &leaf, AccessMode::Execute),
+            expected
+        );
+        assert_eq!(
+            monitor.check_uncached(&alice_s, &leaf, AccessMode::Execute),
+            expected
+        );
     }
 }

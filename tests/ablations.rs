@@ -283,8 +283,14 @@ fn ablation_snapshot_restore_invalidates_cache() {
     let path = extsec::services::fs::FsService::node_path("dept-1/report").unwrap();
 
     // Warm the cache, then capture policy.
-    let before = sc.system.monitor.check(&sc.applet_d1, &path, AccessMode::Read);
-    let warmed = sc.system.monitor.check(&sc.applet_d1, &path, AccessMode::Read);
+    let before = sc
+        .system
+        .monitor
+        .check(&sc.applet_d1, &path, AccessMode::Read);
+    let warmed = sc
+        .system
+        .monitor
+        .check(&sc.applet_d1, &path, AccessMode::Read);
     assert_eq!(before, warmed);
     assert!(sc.system.monitor.cache_stats().hits > 0);
     let snapshot = sc.system.monitor.snapshot();

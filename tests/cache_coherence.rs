@@ -84,7 +84,11 @@ enum Op {
     /// Remove a leaf and re-insert a same-named node with a fresh ACL:
     /// the arena recycles the slot, so only the epoch in the cache key
     /// keeps old entries from resurfacing.
-    Replace { leaf: usize, who: usize, mode: usize },
+    Replace {
+        leaf: usize,
+        who: usize,
+        mode: usize,
+    },
     /// Flip per-level traversal visibility.
     Visibility(bool),
 }

@@ -198,10 +198,7 @@ fn revocation_is_immediately_visible_to_readers() {
         .set_acl(
             &admin,
             &p("/svc/x/op"),
-            extsec::Acl::from_entries([AclEntry::allow_principal(
-                alice,
-                AccessMode::Administrate,
-            )]),
+            extsec::Acl::from_entries([AclEntry::allow_principal(alice, AccessMode::Administrate)]),
         )
         .unwrap();
     revoked.store(true, Ordering::SeqCst);
@@ -220,7 +217,10 @@ fn revocation_is_immediately_visible_to_readers() {
     // The cache was actually in play while the grant was hot.
     let stats = system.monitor.cache_stats();
     assert!(stats.hits > 0, "readers never hit the cache");
-    assert!(stats.invalidations > 0, "revocation never bumped the generation");
+    assert!(
+        stats.invalidations > 0,
+        "revocation never bumped the generation"
+    );
 }
 
 #[test]
@@ -270,6 +270,209 @@ export main = main
     }
     // 8 threads × 200 calls each advanced the clock exactly 1600 times.
     assert_eq!(system.clock.ticks(), 1600);
+}
+
+/// Multi-writer/multi-reader stress: readers issue a mix of cached and
+/// uncached checks against a node whose ACL and label are being rewritten
+/// concurrently by two writers — but every shape either writer publishes
+/// still grants the reader. A single denial during that phase would mean
+/// a reader saw a torn state (half-applied ACL, or an ACL paired with a
+/// label from a different publication). A final revocation then asserts
+/// the other direction: once `set_acl` returns, no reader — cached or
+/// uncached — may see the old grant.
+#[test]
+fn stress_mixed_readers_race_acl_and_label_writers() {
+    let mut builder = SystemBuilder::new(paper_lattice());
+    let carol = builder.principal("carol").unwrap();
+    let admin = builder.principal("dora").unwrap();
+    let system = Arc::new(builder.build().unwrap());
+    let org = system.class("organization").unwrap();
+    let others = system.class("others").unwrap();
+    system
+        .monitor
+        .bootstrap(|ns| {
+            let visible = Protection::new(
+                extsec::Acl::public(ModeSet::only(AccessMode::List)),
+                SecurityClass::bottom(),
+            );
+            ns.ensure_path(&p("/svc/s"), NodeKind::Domain, &visible)?;
+            ns.insert(
+                &p("/svc/s"),
+                "op",
+                NodeKind::Procedure,
+                Protection::new(
+                    extsec::Acl::from_entries([
+                        AclEntry::allow_principal(admin, AccessMode::Administrate),
+                        AclEntry::allow_principal(carol, AccessMode::Execute),
+                    ]),
+                    // Starts at `organization` so the admin (whose
+                    // `administrate` flow needs class equality) can act.
+                    org.clone(),
+                ),
+            )?;
+            Ok(())
+        })
+        .unwrap();
+
+    let writers_stop = Arc::new(AtomicBool::new(false));
+    let readers_stop = Arc::new(AtomicBool::new(false));
+    let revoked = Arc::new(AtomicBool::new(false));
+
+    // Writer 1: rewrites the whole ACL through the guarded path,
+    // alternating between two carol-granting shapes. The label writer
+    // below races it, so the administrate flow check sometimes denies
+    // (label != admin class at that instant) — those attempts just retry.
+    let acl_writer = {
+        let system = Arc::clone(&system);
+        let stop = Arc::clone(&writers_stop);
+        let admin_s = system.subject("dora", "organization").unwrap();
+        std::thread::spawn(move || {
+            let shapes = [
+                extsec::Acl::from_entries([
+                    AclEntry::allow_principal(admin, AccessMode::Administrate),
+                    AclEntry::allow_principal(carol, AccessMode::Execute),
+                ]),
+                extsec::Acl::from_entries([
+                    AclEntry::allow_principal_modes(carol, ModeSet::parse("rx").unwrap()),
+                    AclEntry::allow_principal(admin, AccessMode::Administrate),
+                ]),
+            ];
+            let mut rewrites = 0u64;
+            let mut i = 0usize;
+            while !stop.load(Ordering::Relaxed) {
+                if system
+                    .monitor
+                    .set_acl(&admin_s, &p("/svc/s/op"), shapes[i % 2].clone())
+                    .is_ok()
+                {
+                    rewrites += 1;
+                }
+                i += 1;
+            }
+            rewrites
+        })
+    };
+
+    // Writer 2: flips the node's label between `others` and
+    // `organization` through the TCB path. Carol (at `organization`)
+    // dominates both, so her execute stays legal throughout.
+    let label_writer = {
+        let system = Arc::clone(&system);
+        let stop = Arc::clone(&writers_stop);
+        let org = org.clone();
+        let others = others.clone();
+        std::thread::spawn(move || {
+            let mut flips = 0u64;
+            let mut i = 0usize;
+            while !stop.load(Ordering::Relaxed) {
+                let label = if i.is_multiple_of(2) {
+                    others.clone()
+                } else {
+                    org.clone()
+                };
+                system
+                    .monitor
+                    .bootstrap(|ns| {
+                        let id = ns.resolve(&p("/svc/s/op"))?;
+                        ns.update_protection(id, |prot| prot.label = label.clone())?;
+                        Ok(())
+                    })
+                    .unwrap();
+                flips += 1;
+                i += 1;
+            }
+            flips
+        })
+    };
+
+    // Readers: alternate cached and uncached checks. During the mutation
+    // phase every published state grants carol, so any denial that is not
+    // explained by the final revocation is a torn read.
+    let readers: Vec<_> = (0..4)
+        .map(|_| {
+            let system = Arc::clone(&system);
+            let stop = Arc::clone(&readers_stop);
+            let revoked = Arc::clone(&revoked);
+            let subject = system.subject("carol", "organization").unwrap();
+            std::thread::spawn(move || {
+                let mut grants = 0u64;
+                let mut torn = 0u64;
+                let mut stale = 0u64;
+                let mut i = 0usize;
+                while !stop.load(Ordering::SeqCst) {
+                    let was_revoked = revoked.load(Ordering::SeqCst);
+                    let path = p("/svc/s/op");
+                    let allowed = if i.is_multiple_of(2) {
+                        system
+                            .monitor
+                            .check(&subject, &path, AccessMode::Execute)
+                            .allowed()
+                    } else {
+                        system
+                            .monitor
+                            .check_uncached(&subject, &path, AccessMode::Execute)
+                            .allowed()
+                    };
+                    if allowed {
+                        if was_revoked {
+                            stale += 1;
+                        } else {
+                            grants += 1;
+                        }
+                    } else if !revoked.load(Ordering::SeqCst) {
+                        // Still not revoked after the check returned, so
+                        // the denial cannot be the revocation landing.
+                        torn += 1;
+                    }
+                    i += 1;
+                }
+                (grants, torn, stale)
+            })
+        })
+        .collect();
+
+    std::thread::sleep(std::time::Duration::from_millis(200));
+    writers_stop.store(true, Ordering::Relaxed);
+    let rewrites = acl_writer.join().unwrap();
+    let flips = label_writer.join().unwrap();
+
+    // Revoke: normalize the label (writers are quiesced), then remove
+    // carol through the guarded path and raise the flag only after
+    // `set_acl` has returned.
+    system
+        .monitor
+        .bootstrap(|ns| {
+            let id = ns.resolve(&p("/svc/s/op"))?;
+            ns.update_protection(id, |prot| prot.label = org.clone())?;
+            Ok(())
+        })
+        .unwrap();
+    let admin_s = system.subject("dora", "organization").unwrap();
+    system
+        .monitor
+        .set_acl(
+            &admin_s,
+            &p("/svc/s/op"),
+            extsec::Acl::from_entries([AclEntry::allow_principal(admin, AccessMode::Administrate)]),
+        )
+        .unwrap();
+    revoked.store(true, Ordering::SeqCst);
+
+    std::thread::sleep(std::time::Duration::from_millis(100));
+    readers_stop.store(true, Ordering::SeqCst);
+    let results: Vec<(u64, u64, u64)> = readers.into_iter().map(|h| h.join().unwrap()).collect();
+
+    let grants: u64 = results.iter().map(|(g, _, _)| g).sum();
+    let torn: u64 = results.iter().map(|(_, t, _)| t).sum();
+    let stale: u64 = results.iter().map(|(_, _, s)| s).sum();
+    assert!(grants > 0, "readers observed the grant during mutation");
+    assert!(rewrites > 0, "the ACL writer made progress");
+    assert!(flips > 0, "the label writer made progress");
+    assert_eq!(torn, 0, "a reader saw a torn (non-published) state");
+    assert_eq!(stale, 0, "a reader saw the grant after revocation");
+    // The racing writers really did publish and invalidate.
+    let stats = system.monitor.cache_stats();
+    assert!(stats.invalidations > 0);
 }
 
 #[test]
