@@ -7,7 +7,7 @@ use crate::service::{CallCtx, Reenter, Service, ServiceError};
 use extsec_acl::AccessMode;
 use extsec_mac::SecurityClass;
 use extsec_namespace::{NsPath, PathError};
-use extsec_refmon::{MonitorError, ReferenceMonitor, Subject};
+use extsec_refmon::{DispatchOutcome, MonitorError, ReferenceMonitor, Subject};
 use extsec_vm::{Machine, Module, SyscallHost, Trap, Value, VerifyError};
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
@@ -343,6 +343,9 @@ impl ExtRuntime {
                 .map(|reg| (reg.ext, reg.export.clone()))
         };
         if let Some((ext_id, export)) = selected {
+            self.monitor
+                .telemetry()
+                .count_dispatch(DispatchOutcome::Specialized);
             return self.run_extension(ext_id, &export, args, &effective, depth);
         }
 
@@ -362,8 +365,14 @@ impl ExtRuntime {
             best
         };
         let Some((prefix, service)) = service else {
+            self.monitor
+                .telemetry()
+                .count_dispatch(DispatchOutcome::Unrouted);
             return Err(ExtError::NoService(path.clone()));
         };
+        self.monitor
+            .telemetry()
+            .count_dispatch(DispatchOutcome::Base);
         let op = path.components()[prefix.depth()..].join("/");
         let reenter = RuntimeReenter {
             runtime: self,
@@ -402,6 +411,9 @@ impl ExtRuntime {
             return Err(ExtError::GateDepthExceeded);
         }
         let ext = self.extension(id)?;
+        self.monitor
+            .telemetry()
+            .count_dispatch(DispatchOutcome::ExtensionRun);
         // Entering a statically classed extension caps the thread's class
         // (§2.2); the principal stays the caller's.
         let effective = match &ext.manifest.static_class {

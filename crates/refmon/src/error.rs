@@ -1,0 +1,112 @@
+//! The monitor's top-level error type.
+//!
+//! Every fallible monitor operation returns [`Error`], which wraps the
+//! error enums of the crates the monitor composes — name space, path
+//! parsing, principal directory, lattice — plus the model's own
+//! [`DenyReason`]. Each wrapped error is reachable through
+//! [`std::error::Error::source`], so callers can match on the monitor
+//! layer or walk down to the underlying cause without caring which crate
+//! produced it.
+
+use crate::decision::DenyReason;
+use extsec_acl::DirectoryError;
+use extsec_mac::LatticeError;
+use extsec_namespace::{NsError, PathError};
+use std::fmt;
+
+/// Errors from guarded (administrative) monitor operations.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Error {
+    /// The operation was denied by the access-control model.
+    Denied(DenyReason),
+    /// A name-space error (not found, already exists, ...).
+    Ns(NsError),
+    /// A path parse or manipulation error.
+    Path(PathError),
+    /// A lattice error (foreign class, unknown name, ...).
+    Lattice(LatticeError),
+    /// A principal-directory error.
+    Directory(DirectoryError),
+}
+
+/// The historical name of [`Error`], kept so existing callers and the
+/// `MonitorError::*` variant paths keep compiling.
+pub type MonitorError = Error;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Denied(r) => write!(f, "denied: {r}"),
+            Error::Ns(e) => write!(f, "name space: {e}"),
+            Error::Path(e) => write!(f, "path: {e}"),
+            Error::Lattice(e) => write!(f, "lattice: {e}"),
+            Error::Directory(e) => write!(f, "directory: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Denied(_) => None,
+            Error::Ns(e) => Some(e),
+            Error::Path(e) => Some(e),
+            Error::Lattice(e) => Some(e),
+            Error::Directory(e) => Some(e),
+        }
+    }
+}
+
+impl From<NsError> for Error {
+    fn from(e: NsError) -> Self {
+        Error::Ns(e)
+    }
+}
+
+impl From<PathError> for Error {
+    fn from(e: PathError) -> Self {
+        Error::Path(e)
+    }
+}
+
+impl From<LatticeError> for Error {
+    fn from(e: LatticeError) -> Self {
+        Error::Lattice(e)
+    }
+}
+
+impl From<DirectoryError> for Error {
+    fn from(e: DirectoryError) -> Self {
+        Error::Directory(e)
+    }
+}
+
+impl From<DenyReason> for Error {
+    fn from(r: DenyReason) -> Self {
+        Error::Denied(r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error as _;
+
+    #[test]
+    fn wraps_every_layer_with_source() {
+        let ns: Error = NsError::RootImmutable.into();
+        assert!(ns.source().is_some());
+        let path: Error = PathError::NotAbsolute("x".into()).into();
+        assert!(path.source().is_some());
+        let denied: Error = DenyReason::DacNoEntry.into();
+        assert!(denied.source().is_none());
+        assert!(denied.to_string().starts_with("denied:"));
+        assert!(path.to_string().contains("not absolute"));
+    }
+
+    #[test]
+    fn historical_alias_names_the_same_type() {
+        let e: MonitorError = Error::Denied(DenyReason::DacNoEntry);
+        assert_eq!(e, MonitorError::Denied(DenyReason::DacNoEntry));
+    }
+}

@@ -188,7 +188,7 @@ impl ReferenceMonitor {
         // The final node.
         let protection = match self.protection_of(path) {
             Ok(p) => p,
-            Err(crate::monitor::MonitorError::Ns(NsError::NotFound(missing))) => {
+            Err(crate::error::MonitorError::Ns(NsError::NotFound(missing))) => {
                 steps.push(ExplainStep::NotFound {
                     path: missing.clone(),
                 });
@@ -203,7 +203,7 @@ impl ReferenceMonitor {
                 // Structural errors (e.g. traversal through a leaf)
                 // mirror the checker's wording exactly.
                 let reason = match e {
-                    crate::monitor::MonitorError::Ns(ns) => DenyReason::Structure(ns.to_string()),
+                    crate::error::MonitorError::Ns(ns) => DenyReason::Structure(ns.to_string()),
                     other => DenyReason::Structure(other.to_string()),
                 };
                 steps.push(ExplainStep::NotFound { path: path.clone() });

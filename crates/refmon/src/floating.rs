@@ -105,10 +105,10 @@ impl FloatingSubject {
         // class floats with every successful observation, so a memoized
         // decision could outlive the class it was computed for.
         if !observes {
-            return monitor.check_uncached(&self.subject, path, mode);
+            return monitor.check_unmemoized(&self.subject, path, mode);
         }
         let at_clearance = self.subject.with_class(self.clearance.clone());
-        let decision = monitor.check_uncached(&at_clearance, path, mode);
+        let decision = monitor.check_unmemoized(&at_clearance, path, mode);
         if decision.allowed() {
             if let Ok(protection) = monitor.protection_of(path) {
                 let joined = self.subject.class.join(&protection.label);

@@ -72,6 +72,7 @@ pub mod audit;
 pub mod cache;
 pub mod config;
 pub mod decision;
+pub mod error;
 pub mod explain;
 pub mod floating;
 pub mod monitor;
@@ -83,9 +84,14 @@ pub use audit::{AuditEvent, AuditLog, AuditShardStats, AuditStats};
 pub use cache::{CacheKey, CacheStats, DecisionCache};
 pub use config::{MacInteraction, MonitorConfig};
 pub use decision::{Decision, DenyReason};
+pub use error::{Error, MonitorError};
 pub use explain::{ExplainStep, Explanation};
+pub use extsec_telemetry::{
+    DispatchOutcome, HistogramSnapshot, LastSnapshotSink, ServiceKind, Stage, StageSnapshot,
+    Telemetry, TelemetrySink, TelemetrySnapshot,
+};
 pub use floating::FloatingSubject;
-pub use monitor::{MonitorBuilder, MonitorError, MonitorView, ReferenceMonitor};
+pub use monitor::{MonitorBuilder, MonitorView, ReferenceMonitor};
 pub use policy::PolicyEngine;
 pub use snapshot::{NodeRecord, PolicySnapshot};
 pub use subject::{Subject, ThreadId};

@@ -17,67 +17,18 @@ use crate::audit::{AuditLog, AuditStats};
 use crate::cache::{CacheKey, CacheStats, DecisionCache};
 use crate::config::MonitorConfig;
 use crate::decision::{Decision, DenyReason};
+use crate::error::MonitorError;
 use crate::subject::Subject;
-use extsec_acl::{
-    AccessMode, Acl, AclDecision, AclEntry, Directory, DirectoryError, GroupId, PrincipalId,
-};
-use extsec_mac::{FlowCheck, Lattice, LatticeError, SecurityClass};
+use extsec_acl::{AccessMode, Acl, AclDecision, AclEntry, Directory, GroupId, PrincipalId};
+use extsec_mac::{FlowCheck, Lattice, SecurityClass};
 use extsec_namespace::{NameSpace, NodeId, NodeKind, NsError, NsPath, Protection};
+use extsec_telemetry::{Stage, Telemetry, TelemetrySnapshot};
 use parking_lot::Mutex;
 use std::cell::RefCell;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-
-/// Errors from guarded (administrative) monitor operations.
-#[derive(Clone, Debug, PartialEq)]
-pub enum MonitorError {
-    /// The operation was denied by the access-control model.
-    Denied(DenyReason),
-    /// A name-space error (not found, already exists, ...).
-    Ns(NsError),
-    /// A lattice error (foreign class, unknown name, ...).
-    Lattice(LatticeError),
-    /// A principal-directory error.
-    Directory(DirectoryError),
-}
-
-impl fmt::Display for MonitorError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            MonitorError::Denied(r) => write!(f, "denied: {r}"),
-            MonitorError::Ns(e) => write!(f, "name space: {e}"),
-            MonitorError::Lattice(e) => write!(f, "lattice: {e}"),
-            MonitorError::Directory(e) => write!(f, "directory: {e}"),
-        }
-    }
-}
-
-impl std::error::Error for MonitorError {}
-
-impl From<NsError> for MonitorError {
-    fn from(e: NsError) -> Self {
-        MonitorError::Ns(e)
-    }
-}
-
-impl From<LatticeError> for MonitorError {
-    fn from(e: LatticeError) -> Self {
-        MonitorError::Lattice(e)
-    }
-}
-
-impl From<DirectoryError> for MonitorError {
-    fn from(e: DirectoryError) -> Self {
-        MonitorError::Directory(e)
-    }
-}
-
-impl From<DenyReason> for MonitorError {
-    fn from(r: DenyReason) -> Self {
-        MonitorError::Denied(r)
-    }
-}
+use std::time::Instant;
 
 /// The monitor's complete policy state, published as one immutable
 /// snapshot. The decision-cache generation the state was built under is
@@ -188,6 +139,7 @@ impl MonitorBuilder {
             id: next_monitor_id(),
             audit: AuditLog::new(),
             cache: DecisionCache::new(),
+            telemetry: Telemetry::new(),
         })
     }
 }
@@ -217,6 +169,10 @@ pub struct ReferenceMonitor {
     /// reader — which takes the generation *from its snapshot* — can
     /// never hit an entry computed against superseded policy.
     cache: DecisionCache,
+    /// Pipeline telemetry: stage timings, mode/service/dispatch counters.
+    /// Starts disabled; when disabled every recording call is a single
+    /// relaxed load, so the hot path pays (almost) nothing.
+    telemetry: Telemetry,
 }
 
 impl ReferenceMonitor {
@@ -307,21 +263,56 @@ impl ReferenceMonitor {
     /// Checks whether `subject` may perform `mode` on the object named by
     /// `path`, recording the decision in the audit log when enabled.
     ///
+    /// This is exactly `self.view().check(...)` against the snapshot the
+    /// call pins — the monitor-level method exists so a single check does
+    /// not pay the view's `Arc` pin. For compound operations that must
+    /// read one consistent policy state, open a [`MonitorView`] (the
+    /// blessed entry point) and make all the calls through it.
+    ///
     /// When [`MonitorConfig::decision_cache`] is on, repeat checks are
     /// answered from the generation-stamped cache: the generation comes
     /// from the same immutable snapshot as the state, so a hit is exactly
     /// the decision a fresh evaluation against that snapshot would
     /// produce. Audit records are written on hits and misses alike.
     pub fn check(&self, subject: &Subject, path: &NsPath, mode: AccessMode) -> Decision {
-        self.with_snapshot(|state| self.check_at(state, subject, path, mode))
+        self.with_snapshot(|state| {
+            ViewRef {
+                monitor: self,
+                state,
+            }
+            .check(subject, path, mode)
+        })
     }
 
     /// Checks without consulting or filling the decision cache. Used for
     /// subjects whose effective class is interior mutable state the
     /// generation counter cannot see (floating-class subjects), and as
-    /// the oracle in coherence tests.
+    /// the oracle in coherence benchmarks.
+    pub(crate) fn check_unmemoized(
+        &self,
+        subject: &Subject,
+        path: &NsPath,
+        mode: AccessMode,
+    ) -> Decision {
+        self.with_snapshot(|state| {
+            let whole = self.telemetry.start();
+            self.telemetry.count_mode(mode);
+            let decision = self.check_in(state, subject, path, mode);
+            self.telemetry.finish(Stage::Check, whole);
+            decision
+        })
+    }
+
+    /// Checks without consulting or filling the decision cache — the
+    /// oracle the benchmarks compare the cached path against.
+    ///
+    /// This bypass is **not** part of the public surface: the one check
+    /// path is [`ReferenceMonitor::check`] /
+    /// [`MonitorView::check`]. It is only compiled under the
+    /// `bench-internals` feature, for the workspace's benchmark harness.
+    #[cfg(feature = "bench-internals")]
     pub fn check_uncached(&self, subject: &Subject, path: &NsPath, mode: AccessMode) -> Decision {
-        self.with_snapshot(|state| self.check_in(state, subject, path, mode))
+        self.check_unmemoized(subject, path, mode)
     }
 
     /// The cached check against one pinned snapshot.
@@ -339,7 +330,10 @@ impl ReferenceMonitor {
         // not resolve, there is no stable node to key on; fall through to
         // full evaluation, which also reproduces the exact deny reason
         // (NotFound prefix vs. an earlier visibility denial).
-        let Ok(id) = state.namespace.resolve(path) else {
+        let resolve_t = self.telemetry.start();
+        let resolved = state.namespace.resolve(path);
+        self.telemetry.finish(Stage::Resolve, resolve_t);
+        let Ok(id) = resolved else {
             return self.check_in(state, subject, path, mode);
         };
         let key = CacheKey {
@@ -348,13 +342,20 @@ impl ReferenceMonitor {
             epoch: state.namespace.epoch(id),
             mode,
         };
-        let decision = match self.cache.lookup(&key, &subject.class, state.generation) {
+        let probe_t = self.telemetry.start();
+        let hit = self.cache.lookup(&key, &subject.class, state.generation);
+        self.telemetry.finish(Stage::Cache, probe_t);
+        let decision = match hit {
             Some(decision) => decision,
             None => {
-                let decision = Self::evaluate_resolved(state, subject, path, id, mode);
+                let decision =
+                    Self::evaluate_resolved(state, subject, path, id, mode, &self.telemetry);
                 debug_assert_eq!(
                     decision,
-                    Self::evaluate(state, subject, path, mode),
+                    // The cross-check re-runs the pipeline; record it into
+                    // the permanently disabled hub so debug builds count
+                    // each stage once, like release builds.
+                    Self::evaluate(state, subject, path, mode, Telemetry::disabled()),
                     "resolved-id evaluation must agree with the guarded walk"
                 );
                 self.cache
@@ -363,7 +364,9 @@ impl ReferenceMonitor {
             }
         };
         if state.config.audit {
+            let audit_t = self.telemetry.start();
             self.audit.record(subject, path, mode, &decision);
+            self.telemetry.finish(Stage::Audit, audit_t);
         }
         decision
     }
@@ -376,30 +379,49 @@ impl ReferenceMonitor {
         path: &NsPath,
         mode: AccessMode,
     ) -> Decision {
-        let decision = Self::evaluate(state, subject, path, mode);
+        let decision = Self::evaluate(state, subject, path, mode, &self.telemetry);
         if state.config.audit {
+            let audit_t = self.telemetry.start();
             self.audit.record(subject, path, mode, &decision);
+            self.telemetry.finish(Stage::Audit, audit_t);
         }
         decision
     }
 
-    /// Checks and converts to a `Result` in one step.
+    /// Checks and converts to a `Result` in one step. Like
+    /// [`ReferenceMonitor::check`], this is the single-call form of
+    /// [`MonitorView::require`].
     pub fn require(
         &self,
         subject: &Subject,
         path: &NsPath,
         mode: AccessMode,
     ) -> Result<(), MonitorError> {
-        self.check(subject, path, mode)
-            .into_result()
-            .map_err(MonitorError::Denied)
+        self.with_snapshot(|state| {
+            ViewRef {
+                monitor: self,
+                state,
+            }
+            .require(subject, path, mode)
+        })
     }
 
-    fn evaluate(state: &State, subject: &Subject, path: &NsPath, mode: AccessMode) -> Decision {
+    /// The guarded walk. Interior-node visibility checks happen inside
+    /// the resolve visitor, so their cost is recorded under
+    /// [`Stage::Resolve`]; the final node's ACL and MAC checks are
+    /// recorded by [`ReferenceMonitor::evaluate_at`].
+    fn evaluate(
+        state: &State,
+        subject: &Subject,
+        path: &NsPath,
+        mode: AccessMode,
+        tele: &Telemetry,
+    ) -> Decision {
         // Walk the path. Interior nodes must be visible; the final node
         // gets the real mode check.
         let mut deny: Option<DenyReason> = None;
         let mut final_node: Option<NodeId> = None;
+        let resolve_t = tele.start();
         let resolved = state.namespace.resolve_with(path, |id, node, last| {
             if last {
                 final_node = Some(id);
@@ -429,6 +451,7 @@ impl ReferenceMonitor {
             }
             true
         });
+        tele.finish(Stage::Resolve, resolve_t);
         let node_id = match resolved {
             Ok(id) => id,
             Err(NsError::VisitDenied(prefix)) => {
@@ -443,7 +466,7 @@ impl ReferenceMonitor {
             Err(e) => return Decision::Deny(DenyReason::Structure(e.to_string())),
         };
         debug_assert_eq!(final_node, Some(node_id));
-        Self::evaluate_at(state, subject, node_id, mode)
+        Self::evaluate_at(state, subject, node_id, mode, tele)
     }
 
     /// Evaluates with the final node already resolved — the cache-miss
@@ -451,15 +474,18 @@ impl ReferenceMonitor {
     /// key, once inside the guarded walk). Visibility of the interior
     /// levels is checked by climbing the parent chain of the resolved
     /// node, top-down so the denied prefix matches what the guarded walk
-    /// reports.
+    /// reports. The climb is the resolved-path stand-in for the guarded
+    /// walk, so its cost is recorded under [`Stage::Resolve`].
     fn evaluate_resolved(
         state: &State,
         subject: &Subject,
         path: &NsPath,
         id: NodeId,
         mode: AccessMode,
+        tele: &Telemetry,
     ) -> Decision {
         if state.config.check_visibility {
+            let climb_t = tele.start();
             let stale = || Decision::Deny(DenyReason::Structure("stale node id".to_string()));
             // Collect the ancestors leaf→root (the final node itself is
             // exempt from the visibility check; it gets the mode check).
@@ -495,8 +521,9 @@ impl ReferenceMonitor {
                     return Decision::Deny(DenyReason::NotVisibleMac(Self::prefix_of(path, depth)));
                 }
             }
+            tele.finish(Stage::Resolve, climb_t);
         }
-        Self::evaluate_at(state, subject, id, mode)
+        Self::evaluate_at(state, subject, id, mode, tele)
     }
 
     /// The path prefix naming the ancestor at `depth` (0 = the root).
@@ -505,16 +532,26 @@ impl ReferenceMonitor {
             .expect("already-validated components")
     }
 
-    fn evaluate_at(state: &State, subject: &Subject, node: NodeId, mode: AccessMode) -> Decision {
+    /// The final-node mode check: the discretionary half is recorded
+    /// under [`Stage::Acl`], the mandatory half under [`Stage::Mac`].
+    fn evaluate_at(
+        state: &State,
+        subject: &Subject,
+        node: NodeId,
+        mode: AccessMode,
+        tele: &Telemetry,
+    ) -> Decision {
         let Ok(node) = state.namespace.node(node) else {
             return Decision::Deny(DenyReason::Structure("stale node id".to_string()));
         };
         let protection = node.protection();
         // Discretionary half.
-        match protection
+        let acl_t = tele.start();
+        let dac = protection
             .acl
-            .check(&state.directory, subject.principal, mode)
-        {
+            .check(&state.directory, subject.principal, mode);
+        tele.finish(Stage::Acl, acl_t);
+        match dac {
             AclDecision::Granted => {}
             AclDecision::DeniedByEntry(i) => {
                 return Decision::Deny(DenyReason::DacNegativeEntry(i));
@@ -523,11 +560,13 @@ impl ReferenceMonitor {
         }
         // Mandatory half.
         let check = state.config.flow_check(mode);
-        if !state
+        let mac_t = tele.start();
+        let permitted = state
             .config
             .flow
-            .permits(&subject.class, &protection.label, check)
-        {
+            .permits(&subject.class, &protection.label, check);
+        tele.finish(Stage::Mac, mac_t);
+        if !permitted {
             return Decision::Deny(DenyReason::MacFlow);
         }
         Decision::Allow
@@ -550,7 +589,13 @@ impl ReferenceMonitor {
         protection: Protection,
     ) -> Result<NodeId, MonitorError> {
         let mut slot = self.published.lock();
-        let decision = Self::evaluate(&slot, subject, parent, AccessMode::WriteAppend);
+        let decision = Self::evaluate(
+            &slot,
+            subject,
+            parent,
+            AccessMode::WriteAppend,
+            &self.telemetry,
+        );
         if slot.config.audit {
             self.audit
                 .record(subject, parent, AccessMode::WriteAppend, &decision);
@@ -569,7 +614,7 @@ impl ReferenceMonitor {
     /// Removes the node at `path`; requires `delete` on the node itself.
     pub fn remove(&self, subject: &Subject, path: &NsPath) -> Result<(), MonitorError> {
         let mut slot = self.published.lock();
-        let decision = Self::evaluate(&slot, subject, path, AccessMode::Delete);
+        let decision = Self::evaluate(&slot, subject, path, AccessMode::Delete, &self.telemetry);
         if slot.config.audit {
             self.audit
                 .record(subject, path, AccessMode::Delete, &decision);
@@ -583,8 +628,15 @@ impl ReferenceMonitor {
     }
 
     /// Lists the children of the container at `path`; requires `list`.
+    /// The single-call form of [`MonitorView::list`].
     pub fn list(&self, subject: &Subject, path: &NsPath) -> Result<Vec<String>, MonitorError> {
-        self.with_snapshot(|state| self.list_at(state, subject, path))
+        self.with_snapshot(|state| {
+            ViewRef {
+                monitor: self,
+                state,
+            }
+            .list(subject, path)
+        })
     }
 
     fn list_at(
@@ -593,7 +645,7 @@ impl ReferenceMonitor {
         subject: &Subject,
         path: &NsPath,
     ) -> Result<Vec<String>, MonitorError> {
-        let decision = Self::evaluate(state, subject, path, AccessMode::List);
+        let decision = Self::evaluate(state, subject, path, AccessMode::List, &self.telemetry);
         if state.config.audit {
             self.audit
                 .record(subject, path, AccessMode::List, &decision);
@@ -670,7 +722,13 @@ impl ReferenceMonitor {
         f: impl FnOnce(&mut Protection) -> Result<R, MonitorError>,
     ) -> Result<R, MonitorError> {
         let mut slot = self.published.lock();
-        let decision = Self::evaluate(&slot, subject, path, AccessMode::Administrate);
+        let decision = Self::evaluate(
+            &slot,
+            subject,
+            path,
+            AccessMode::Administrate,
+            &self.telemetry,
+        );
         if slot.config.audit {
             self.audit
                 .record(subject, path, AccessMode::Administrate, &decision);
@@ -695,9 +753,16 @@ impl ReferenceMonitor {
 
     /// Returns the subject as it enters the code object at `path`: when
     /// the node carries a static security class, the subject's class is
-    /// capped at `meet(current, static)`; otherwise it is unchanged.
+    /// capped at `meet(current, static)`; otherwise it is unchanged. The
+    /// single-call form of [`MonitorView::enter`].
     pub fn enter(&self, subject: &Subject, path: &NsPath) -> Result<Subject, MonitorError> {
-        self.with_snapshot(|state| Self::enter_at(state, subject, path))
+        self.with_snapshot(|state| {
+            ViewRef {
+                monitor: self,
+                state,
+            }
+            .enter(subject, path)
+        })
     }
 
     fn enter_at(state: &State, subject: &Subject, path: &NsPath) -> Result<Subject, MonitorError> {
@@ -712,11 +777,20 @@ impl ReferenceMonitor {
     /// Pins the current snapshot and returns a [`MonitorView`] over it,
     /// so a compound operation (check-then-enter, list-then-filter) reads
     /// one consistent policy state instead of racing republishes between
-    /// its steps.
+    /// its steps. This is the blessed entry point for all read-side use;
+    /// the monitor-level `check`/`require`/`list`/`enter` are the
+    /// single-call forms of the same four view methods.
+    ///
+    /// When telemetry is enabled, opening a view starts one trace: the
+    /// view counts each operation made through it and records its whole
+    /// lifetime (pin to drop) in the `view-span` histogram — one pin, one
+    /// trace.
     pub fn view(&self) -> MonitorView<'_> {
+        self.telemetry.count_view();
         MonitorView {
             monitor: self,
             state: self.snapshot_arc(),
+            opened: self.telemetry.start(),
         }
     }
 
@@ -793,6 +867,23 @@ impl ReferenceMonitor {
         self.audit.stats()
     }
 
+    /// Returns the pipeline telemetry hub: toggle collection with
+    /// [`Telemetry::set_enabled`], register sinks, or read counters.
+    /// Collection starts disabled and costs one relaxed atomic load per
+    /// recording point while it stays that way.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Takes an immutable snapshot of the pipeline telemetry — per-stage
+    /// latency histograms (resolve, cache, acl, mac, audit, whole
+    /// checks), per-mode counters and view spans — completing the
+    /// observability triple with [`ReferenceMonitor::cache_stats`] and
+    /// [`ReferenceMonitor::audit_stats`].
+    pub fn telemetry_snapshot(&self) -> TelemetrySnapshot {
+        self.telemetry.snapshot()
+    }
+
     /// Convenience: the protection record of the node at `path` (TCB
     /// inspection; not access-checked).
     pub fn protection_of(&self, path: &NsPath) -> Result<Protection, MonitorError> {
@@ -815,29 +906,30 @@ impl fmt::Debug for ReferenceMonitor {
     }
 }
 
-/// One pinned, immutable snapshot of the monitor's policy state.
-///
-/// Every method reads the same snapshot, so a compound operation — check
-/// then enter, list then per-item check — is atomic against concurrent
-/// administration: either all of it sees the old policy or all of it sees
-/// the new one, never a mix. Decisions still go through the shared
-/// decision cache and audit log.
-///
-/// The view pins the snapshot for as long as it lives; drop it promptly
-/// (writers fall back to cloning the state while any pin is held).
-pub struct MonitorView<'m> {
-    monitor: &'m ReferenceMonitor,
-    state: Arc<State>,
+/// The one implementation of the read API, borrowed against a single
+/// state snapshot. Both entry-point families delegate here —
+/// [`ReferenceMonitor`]'s single-call methods via the thread-local pin
+/// (no `Arc` traffic) and [`MonitorView`]'s compound methods via the
+/// view's owned pin — so there is exactly one check path to instrument,
+/// test, and reason about.
+struct ViewRef<'a> {
+    monitor: &'a ReferenceMonitor,
+    state: &'a State,
 }
 
-impl MonitorView<'_> {
-    /// Checks `subject`'s access against this snapshot (cached, audited).
-    pub fn check(&self, subject: &Subject, path: &NsPath, mode: AccessMode) -> Decision {
-        self.monitor.check_at(&self.state, subject, path, mode)
+impl ViewRef<'_> {
+    /// The whole-check span: one `check` stage sample and one per-mode
+    /// count, wrapped around the cached pipeline.
+    fn check(&self, subject: &Subject, path: &NsPath, mode: AccessMode) -> Decision {
+        let tele = &self.monitor.telemetry;
+        let whole = tele.start();
+        tele.count_mode(mode);
+        let decision = self.monitor.check_at(self.state, subject, path, mode);
+        tele.finish(Stage::Check, whole);
+        decision
     }
 
-    /// Checks and converts to a `Result` in one step.
-    pub fn require(
+    fn require(
         &self,
         subject: &Subject,
         path: &NsPath,
@@ -848,15 +940,81 @@ impl MonitorView<'_> {
             .map_err(MonitorError::Denied)
     }
 
+    fn list(&self, subject: &Subject, path: &NsPath) -> Result<Vec<String>, MonitorError> {
+        self.monitor.list_at(self.state, subject, path)
+    }
+
+    fn enter(&self, subject: &Subject, path: &NsPath) -> Result<Subject, MonitorError> {
+        ReferenceMonitor::enter_at(self.state, subject, path)
+    }
+
+    fn protection_of(&self, path: &NsPath) -> Result<Protection, MonitorError> {
+        let id = self.state.namespace.resolve(path)?;
+        Ok(self.state.namespace.node(id)?.protection().clone())
+    }
+}
+
+/// One pinned, immutable snapshot of the monitor's policy state — the
+/// blessed entry point for the read side of the monitor API.
+///
+/// Every method reads the same snapshot, so a compound operation — check
+/// then enter, list then per-item check — is atomic against concurrent
+/// administration: either all of it sees the old policy or all of it sees
+/// the new one, never a mix. Decisions still go through the shared
+/// decision cache and audit log, and the monitor-level
+/// `check`/`require`/`list`/`enter` are exactly these methods against a
+/// freshly pinned snapshot.
+///
+/// When telemetry is enabled the view is one trace: it counts the
+/// operations made through it and records its pin-to-drop lifetime in
+/// the `view-span` histogram.
+///
+/// The view pins the snapshot for as long as it lives; drop it promptly
+/// (writers fall back to cloning the state while any pin is held).
+pub struct MonitorView<'m> {
+    monitor: &'m ReferenceMonitor,
+    state: Arc<State>,
+    /// Trace start; `Some` only when telemetry was enabled at pin time.
+    opened: Option<Instant>,
+}
+
+impl MonitorView<'_> {
+    /// The shared read-API implementation against this view's snapshot.
+    fn as_view_ref(&self) -> ViewRef<'_> {
+        ViewRef {
+            monitor: self.monitor,
+            state: &self.state,
+        }
+    }
+
+    /// Checks `subject`'s access against this snapshot (cached, audited).
+    pub fn check(&self, subject: &Subject, path: &NsPath, mode: AccessMode) -> Decision {
+        self.monitor.telemetry.count_view_op();
+        self.as_view_ref().check(subject, path, mode)
+    }
+
+    /// Checks and converts to a `Result` in one step.
+    pub fn require(
+        &self,
+        subject: &Subject,
+        path: &NsPath,
+        mode: AccessMode,
+    ) -> Result<(), MonitorError> {
+        self.monitor.telemetry.count_view_op();
+        self.as_view_ref().require(subject, path, mode)
+    }
+
     /// Returns the subject as it enters the code object at `path` (see
     /// [`ReferenceMonitor::enter`]), resolved against this snapshot.
     pub fn enter(&self, subject: &Subject, path: &NsPath) -> Result<Subject, MonitorError> {
-        ReferenceMonitor::enter_at(&self.state, subject, path)
+        self.monitor.telemetry.count_view_op();
+        self.as_view_ref().enter(subject, path)
     }
 
     /// Lists the children of the container at `path`; requires `list`.
     pub fn list(&self, subject: &Subject, path: &NsPath) -> Result<Vec<String>, MonitorError> {
-        self.monitor.list_at(&self.state, subject, path)
+        self.monitor.telemetry.count_view_op();
+        self.as_view_ref().list(subject, path)
     }
 
     /// The configuration this snapshot was published with.
@@ -867,8 +1025,17 @@ impl MonitorView<'_> {
     /// The protection record of the node at `path` in this snapshot (TCB
     /// inspection; not access-checked).
     pub fn protection_of(&self, path: &NsPath) -> Result<Protection, MonitorError> {
-        let id = self.state.namespace.resolve(path)?;
-        Ok(self.state.namespace.node(id)?.protection().clone())
+        self.as_view_ref().protection_of(path)
+    }
+}
+
+impl Drop for MonitorView<'_> {
+    fn drop(&mut self) {
+        // Close the trace: the span from pin to drop, recorded only when
+        // telemetry was already enabled when the view was opened.
+        self.monitor
+            .telemetry
+            .finish(Stage::ViewSpan, self.opened.take());
     }
 }
 
@@ -1434,7 +1601,7 @@ mod tests {
             expected
         );
         assert_eq!(
-            monitor.check_uncached(&alice_s, &leaf, AccessMode::Execute),
+            monitor.check_unmemoized(&alice_s, &leaf, AccessMode::Execute),
             expected
         );
     }

@@ -12,7 +12,8 @@
 //! re-established by their owners.
 
 use crate::config::MonitorConfig;
-use crate::monitor::{MonitorBuilder, MonitorError, ReferenceMonitor};
+use crate::error::MonitorError;
+use crate::monitor::{MonitorBuilder, ReferenceMonitor};
 use extsec_acl::Directory;
 use extsec_mac::Lattice;
 use extsec_namespace::{NodeKind, NsPath, Protection};

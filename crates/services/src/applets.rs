@@ -21,7 +21,7 @@
 use crate::install::{self, visible_container};
 use extsec_ext::{CallCtx, Service, ServiceError};
 use extsec_namespace::{NodeKind, NsPath, Protection};
-use extsec_refmon::{MonitorError, ReferenceMonitor, Subject, ThreadId};
+use extsec_refmon::{MonitorError, ReferenceMonitor, ServiceKind, Subject, ThreadId};
 use extsec_vm::Value;
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
@@ -209,6 +209,7 @@ impl Service for AppletService {
         op: &str,
         args: &[Value],
     ) -> Result<Option<Value>, ServiceError> {
+        ctx.monitor.telemetry().count_service(ServiceKind::Applets);
         let arg = |i: usize| -> Result<&str, ServiceError> {
             args.get(i)
                 .and_then(Value::as_str)

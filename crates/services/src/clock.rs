@@ -8,7 +8,7 @@
 use crate::install;
 use extsec_ext::{CallCtx, Service, ServiceError};
 use extsec_namespace::{NsPath, Protection};
-use extsec_refmon::{MonitorError, ReferenceMonitor};
+use extsec_refmon::{MonitorError, ReferenceMonitor, ServiceKind};
 use extsec_vm::Value;
 use std::sync::atomic::{AtomicI64, Ordering};
 
@@ -70,10 +70,11 @@ impl Service for ClockService {
 
     fn invoke(
         &self,
-        _ctx: &CallCtx<'_>,
+        ctx: &CallCtx<'_>,
         op: &str,
         _args: &[Value],
     ) -> Result<Option<Value>, ServiceError> {
+        ctx.monitor.telemetry().count_service(ServiceKind::Clock);
         match op {
             "now" => Ok(Some(Value::Int(self.now()))),
             "ticks" => Ok(Some(Value::Int(self.ticks()))),

@@ -9,7 +9,7 @@ use crate::install;
 use extsec_acl::PrincipalId;
 use extsec_ext::{CallCtx, Service, ServiceError};
 use extsec_namespace::{NsPath, Protection};
-use extsec_refmon::{MonitorError, ReferenceMonitor};
+use extsec_refmon::{MonitorError, ReferenceMonitor, ServiceKind};
 use extsec_vm::Value;
 use parking_lot::Mutex;
 
@@ -99,6 +99,7 @@ impl Service for ConsoleService {
         op: &str,
         args: &[Value],
     ) -> Result<Option<Value>, ServiceError> {
+        ctx.monitor.telemetry().count_service(ServiceKind::Console);
         match op {
             "print" => {
                 let line = args

@@ -17,7 +17,7 @@ use bytes::BytesMut;
 use extsec_acl::PrincipalId;
 use extsec_ext::{CallCtx, Service, ServiceError};
 use extsec_namespace::{NsPath, Protection};
-use extsec_refmon::{MonitorError, ReferenceMonitor};
+use extsec_refmon::{MonitorError, ReferenceMonitor, ServiceKind};
 use extsec_vm::Value;
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
@@ -211,6 +211,7 @@ impl Service for MbufService {
         op: &str,
         args: &[Value],
     ) -> Result<Option<Value>, ServiceError> {
+        ctx.monitor.telemetry().count_service(ServiceKind::Mbuf);
         let who = ctx.subject.principal;
         match op {
             "alloc" => {

@@ -21,7 +21,7 @@ use crate::install::{self, visible_container};
 use extsec_acl::AccessMode;
 use extsec_ext::{CallCtx, Service, ServiceError};
 use extsec_namespace::{NodeKind, NsPath, Protection};
-use extsec_refmon::{MonitorError, ReferenceMonitor, Subject};
+use extsec_refmon::{MonitorError, ReferenceMonitor, ServiceKind, Subject};
 use extsec_vm::Value;
 use parking_lot::Mutex;
 use std::collections::{BTreeMap, VecDeque};
@@ -194,6 +194,7 @@ impl Service for NetService {
         op: &str,
         args: &[Value],
     ) -> Result<Option<Value>, ServiceError> {
+        ctx.monitor.telemetry().count_service(ServiceKind::Net);
         let arg = |i: usize| -> Result<&str, ServiceError> {
             args.get(i)
                 .and_then(Value::as_str)

@@ -29,7 +29,7 @@
 use crate::install::{self, visible_container};
 use extsec_ext::{CallCtx, Service, ServiceError};
 use extsec_namespace::{NodeKind, NsPath, Protection};
-use extsec_refmon::{MonitorError, ReferenceMonitor, Subject};
+use extsec_refmon::{MonitorError, ReferenceMonitor, ServiceKind, Subject};
 use extsec_vm::Value;
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
@@ -237,6 +237,7 @@ impl Service for VfsService {
         op: &str,
         args: &[Value],
     ) -> Result<Option<Value>, ServiceError> {
+        ctx.monitor.telemetry().count_service(ServiceKind::Vfs);
         let arg = |i: usize| -> Result<&str, ServiceError> {
             args.get(i)
                 .and_then(Value::as_str)

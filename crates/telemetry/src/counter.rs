@@ -1,0 +1,119 @@
+//! Sharded atomic counters.
+//!
+//! A single shared `AtomicU64` turns every increment into a bounce of one
+//! cache line between cores — exactly the serialization the lock-free
+//! read path (DESIGN.md §6.7) was built to avoid. A [`ShardedCounter`]
+//! spreads increments over a fixed set of cache-line-aligned shards,
+//! picked per recording thread, so concurrent checks on different cores
+//! increment different lines; reads sum the shards, which is fine because
+//! reads happen at snapshot time, not on the hot path.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Number of independent shards. Power of two so the thread hint masks.
+const SHARD_COUNT: usize = 8;
+
+/// One shard, alone on its cache line.
+#[repr(align(64))]
+#[derive(Default)]
+struct Shard(AtomicU64);
+
+/// Hands every recording thread a stable shard preference, spreading
+/// threads round-robin over the shard array.
+fn shard_hint() -> usize {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static HINT: usize = NEXT.fetch_add(1, Ordering::Relaxed);
+    }
+    HINT.with(|h| *h)
+}
+
+/// A monotone counter sharded across cache lines.
+///
+/// Each shard only ever increases, so a sum taken by one observer thread
+/// is monotone across successive reads even while writers race.
+#[derive(Default)]
+pub struct ShardedCounter {
+    shards: [Shard; SHARD_COUNT],
+}
+
+impl ShardedCounter {
+    /// Creates a zeroed counter.
+    pub fn new() -> Self {
+        ShardedCounter::default()
+    }
+
+    /// Adds `n` to this thread's shard.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.shards[shard_hint() & (SHARD_COUNT - 1)]
+            .0
+            .fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Increments this thread's shard.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Sums the shards.
+    pub fn get(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.0.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
+impl std::fmt::Debug for ShardedCounter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("ShardedCounter").field(&self.get()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn counts_across_threads() {
+        let counter = Arc::new(ShardedCounter::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let counter = Arc::clone(&counter);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        counter.incr();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(counter.get(), 4000);
+    }
+
+    #[test]
+    fn reads_are_monotone_under_writers() {
+        let counter = Arc::new(ShardedCounter::new());
+        let writer = {
+            let counter = Arc::clone(&counter);
+            std::thread::spawn(move || {
+                for _ in 0..100_000 {
+                    counter.incr();
+                }
+            })
+        };
+        let mut last = 0;
+        for _ in 0..1000 {
+            let now = counter.get();
+            assert!(now >= last, "counter went backwards: {last} -> {now}");
+            last = now;
+        }
+        writer.join().unwrap();
+        assert_eq!(counter.get(), 100_000);
+    }
+}

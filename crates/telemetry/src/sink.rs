@@ -1,0 +1,40 @@
+//! Pluggable snapshot exporters.
+
+use crate::TelemetrySnapshot;
+use std::sync::Mutex;
+
+/// A destination for telemetry snapshots.
+///
+/// Sinks are pulled, not pushed: the pipeline never calls a sink from the
+/// hot path. [`Telemetry::publish`](crate::Telemetry::publish) takes one
+/// snapshot and hands the same immutable value to every registered sink,
+/// so an expensive exporter costs the caller of `publish`, never a check.
+pub trait TelemetrySink: Send + Sync {
+    /// Exports one snapshot.
+    fn export(&self, snapshot: &TelemetrySnapshot);
+}
+
+/// A sink that keeps the most recent snapshot in memory, for tests and
+/// for polling-style exporters that want the latest value on demand.
+#[derive(Default)]
+pub struct LastSnapshotSink {
+    last: Mutex<Option<TelemetrySnapshot>>,
+}
+
+impl LastSnapshotSink {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        LastSnapshotSink::default()
+    }
+
+    /// The most recently published snapshot, if any.
+    pub fn last(&self) -> Option<TelemetrySnapshot> {
+        self.last.lock().expect("snapshot sink poisoned").clone()
+    }
+}
+
+impl TelemetrySink for LastSnapshotSink {
+    fn export(&self, snapshot: &TelemetrySnapshot) {
+        *self.last.lock().expect("snapshot sink poisoned") = Some(snapshot.clone());
+    }
+}

@@ -1,0 +1,133 @@
+//! Immutable telemetry snapshots and their prose rendering.
+
+use crate::histogram::HistogramSnapshot;
+use crate::{DispatchOutcome, ServiceKind, Stage};
+use extsec_acl::AccessMode;
+use std::fmt;
+
+/// One stage's distribution at snapshot time.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StageSnapshot {
+    /// Which pipeline stage this is.
+    pub stage: Stage,
+    /// The stage's latency distribution; `hist.count` is how many times
+    /// the stage fired.
+    pub hist: HistogramSnapshot,
+}
+
+/// An immutable, internally consistent view of every telemetry counter
+/// and histogram, exported alongside
+/// `cache_stats()`/`audit_stats()`. Taking a snapshot never blocks the
+/// pipeline; all counters are monotone, so fields from two successive
+/// snapshots of the same [`Telemetry`](crate::Telemetry) never decrease.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TelemetrySnapshot {
+    /// Whether collection was enabled when the snapshot was taken.
+    pub enabled: bool,
+    /// Per-stage latency distributions, in [`Stage::ALL`] order.
+    pub stages: Vec<StageSnapshot>,
+    /// Checks seen per access mode, in [`AccessMode::ALL`] order.
+    pub modes: Vec<(AccessMode, u64)>,
+    /// Operations seen per service, in [`ServiceKind::ALL`] order.
+    pub services: Vec<(ServiceKind, u64)>,
+    /// Call routings per outcome, in [`DispatchOutcome::ALL`] order.
+    pub dispatch: Vec<(DispatchOutcome, u64)>,
+    /// Monitor views (pinned snapshots) opened.
+    pub views: u64,
+    /// Operations performed through a view (one pin, many steps).
+    pub view_ops: u64,
+}
+
+impl TelemetrySnapshot {
+    /// The distribution of one stage.
+    pub fn stage(&self, stage: Stage) -> &HistogramSnapshot {
+        &self.stages[stage as usize].hist
+    }
+
+    /// Checks seen for one access mode.
+    pub fn mode(&self, mode: AccessMode) -> u64 {
+        self.modes[mode as usize].1
+    }
+
+    /// Operations seen by one service.
+    pub fn service(&self, kind: ServiceKind) -> u64 {
+        self.services[kind as usize].1
+    }
+
+    /// Call routings with one outcome.
+    pub fn dispatch(&self, outcome: DispatchOutcome) -> u64 {
+        self.dispatch[outcome as usize].1
+    }
+
+    /// Total checks observed (the `Check` stage count).
+    pub fn checks(&self) -> u64 {
+        self.stage(Stage::Check).count
+    }
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000 {
+        format!("{:.1}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+impl fmt::Display for TelemetrySnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "telemetry ({}): {} checks, {} views ({} ops through views)",
+            if self.enabled { "enabled" } else { "disabled" },
+            self.checks(),
+            self.views,
+            self.view_ops,
+        )?;
+        writeln!(f, "  stage timings (count, mean, p50, p99, max):")?;
+        for s in &self.stages {
+            if s.hist.count == 0 {
+                continue;
+            }
+            writeln!(
+                f,
+                "    {:<10} {:>10} x {:>8} mean, {:>8} p50, {:>8} p99, {:>8} max",
+                s.stage.name(),
+                s.hist.count,
+                fmt_ns(s.hist.mean_ns()),
+                fmt_ns(s.hist.quantile_ns(0.5)),
+                fmt_ns(s.hist.quantile_ns(0.99)),
+                fmt_ns(s.hist.max_ns),
+            )?;
+        }
+        let modes: Vec<String> = self
+            .modes
+            .iter()
+            .filter(|(_, n)| *n > 0)
+            .map(|(m, n)| format!("{m}: {n}"))
+            .collect();
+        if !modes.is_empty() {
+            writeln!(f, "  checks by mode: {}", modes.join(", "))?;
+        }
+        let services: Vec<String> = self
+            .services
+            .iter()
+            .filter(|(_, n)| *n > 0)
+            .map(|(s, n)| format!("{}: {n}", s.name()))
+            .collect();
+        if !services.is_empty() {
+            writeln!(f, "  service operations: {}", services.join(", "))?;
+        }
+        let dispatch: Vec<String> = self
+            .dispatch
+            .iter()
+            .filter(|(_, n)| *n > 0)
+            .map(|(d, n)| format!("{}: {n}", d.name()))
+            .collect();
+        if !dispatch.is_empty() {
+            writeln!(f, "  call dispatch: {}", dispatch.join(", "))?;
+        }
+        Ok(())
+    }
+}

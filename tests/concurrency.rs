@@ -408,9 +408,12 @@ fn stress_mixed_readers_race_acl_and_label_writers() {
                             .check(&subject, &path, AccessMode::Execute)
                             .allowed()
                     } else {
-                        system
-                            .monitor
-                            .check_uncached(&subject, &path, AccessMode::Execute)
+                        // A fresh floating subject with clearance == class
+                        // takes the cache-bypassing path through the
+                        // public API and decides exactly like a plain
+                        // check (execute maps to observe-at-same-class).
+                        extsec::FloatingSubject::new(subject.clone())
+                            .check(&system.monitor, &path, AccessMode::Execute)
                             .allowed()
                     };
                     if allowed {
