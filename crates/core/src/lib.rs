@@ -68,9 +68,10 @@ pub use extsec_mac::{
 pub use extsec_namespace::{NameSpace, NodeKind, NsPath, Protection};
 pub use extsec_refmon::{
     AuditEvent, AuditLog, AuditStats, CacheStats, Decision, DenyReason, DispatchOutcome,
-    FloatingSubject, HistogramSnapshot, LastSnapshotSink, MacInteraction, MonitorBuilder,
-    MonitorConfig, MonitorError, MonitorView, PolicyEngine, ReferenceMonitor, ServiceKind, Stage,
-    StageSnapshot, Subject, Telemetry, TelemetrySink, TelemetrySnapshot, ThreadId,
+    FloatingSubject, HistogramSnapshot, JsonSink, JsonSnapshot, JsonStage, LastSnapshotSink,
+    MacInteraction, MonitorBuilder, MonitorConfig, MonitorError, MonitorView, PolicyEngine,
+    ReferenceMonitor, ServiceKind, Stage, StageSnapshot, Subject, Telemetry, TelemetrySink,
+    TelemetrySnapshot, ThreadId,
 };
 pub use extsec_services::{
     AppletService, ClockService, ConsoleService, FsService, MbufService, NetService, VfsService,

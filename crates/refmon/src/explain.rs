@@ -13,7 +13,7 @@
 
 use crate::config::MonitorConfig;
 use crate::decision::{Decision, DenyReason};
-use crate::monitor::ReferenceMonitor;
+use crate::monitor::{MonitorView, ReferenceMonitor};
 use crate::subject::Subject;
 use extsec_acl::{AccessMode, AclDecision};
 use extsec_mac::FlowCheck;
@@ -131,7 +131,22 @@ impl fmt::Display for Explanation {
 }
 
 impl ReferenceMonitor {
+    /// Explains the decision for `(subject, path, mode)` step by step,
+    /// against a freshly pinned snapshot. The single-call form of
+    /// [`MonitorView::explain`].
+    pub fn explain(&self, subject: &Subject, path: &NsPath, mode: AccessMode) -> Explanation {
+        self.view().explain(subject, path, mode)
+    }
+}
+
+impl MonitorView<'_> {
     /// Explains the decision for `(subject, path, mode)` step by step.
+    ///
+    /// The whole trace — every traversal prefix, the ACL evaluation, the
+    /// flow comparison — reads this view's one pinned snapshot, so a
+    /// concurrent republish can never make the narrated steps disagree
+    /// with the decision they justify (the race the old monitor-level
+    /// walk, which re-read the published state per prefix, allowed).
     pub fn explain(&self, subject: &Subject, path: &NsPath, mode: AccessMode) -> Explanation {
         let config: MonitorConfig = self.config();
         let mut steps = Vec::new();

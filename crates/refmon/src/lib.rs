@@ -87,8 +87,8 @@ pub use decision::{Decision, DenyReason};
 pub use error::{Error, MonitorError};
 pub use explain::{ExplainStep, Explanation};
 pub use extsec_telemetry::{
-    DispatchOutcome, HistogramSnapshot, LastSnapshotSink, ServiceKind, Stage, StageSnapshot,
-    Telemetry, TelemetrySink, TelemetrySnapshot,
+    DispatchOutcome, HistogramSnapshot, JsonSink, JsonSnapshot, JsonStage, LastSnapshotSink,
+    ServiceKind, Stage, StageSnapshot, Telemetry, TelemetrySink, TelemetrySnapshot,
 };
 pub use floating::FloatingSubject;
 pub use monitor::{MonitorBuilder, MonitorView, ReferenceMonitor};

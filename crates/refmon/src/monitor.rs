@@ -1022,6 +1022,18 @@ impl MonitorView<'_> {
         self.state.config
     }
 
+    /// Runs `f` with read access to this snapshot's principal directory.
+    /// Unlike [`ReferenceMonitor::directory`], repeated calls through one
+    /// view always see the same membership state.
+    pub fn directory<R>(&self, f: impl FnOnce(&Directory) -> R) -> R {
+        f(&self.state.directory)
+    }
+
+    /// Runs `f` with read access to this snapshot's security lattice.
+    pub fn lattice<R>(&self, f: impl FnOnce(&Lattice) -> R) -> R {
+        f(&self.state.lattice)
+    }
+
     /// The protection record of the node at `path` in this snapshot (TCB
     /// inspection; not access-checked).
     pub fn protection_of(&self, path: &NsPath) -> Result<Protection, MonitorError> {

@@ -1,0 +1,295 @@
+//! The client: connection reuse, request pipelining, and retry.
+//!
+//! A [`Client`] owns at most one TCP connection and reuses it across
+//! calls. [`Client::pipeline`] writes a whole slice of requests before
+//! reading the first response — the server answers each frame with
+//! exactly one response frame, in order, so a pipeline of `n` requests
+//! costs one round trip instead of `n`.
+//!
+//! On a *transient* transport error (reset, broken pipe, timeout, a
+//! server that closed an idle connection) the client drops the dead
+//! connection, reconnects, and retries the whole pipeline. That is safe
+//! here because every protocol operation is an idempotent read — checks,
+//! listings, explanations, telemetry pulls mutate nothing — so replaying
+//! a pipeline whose responses were lost cannot change the outcome, only
+//! re-observe it. Server-sent `Error` responses are *answers*, not
+//! failures: they are returned (or surfaced as [`ClientError::Server`])
+//! and never retried.
+
+use crate::proto::{
+    self, BatchItem, ErrorCode, FrameError, ProtoError, Request, Response, MAX_FRAME,
+};
+use extsec_acl::AccessMode;
+use extsec_namespace::NsPath;
+use extsec_refmon::{Decision, Explanation, Subject};
+use std::fmt;
+use std::io;
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Tuning knobs for a [`Client`].
+#[derive(Clone, Debug)]
+pub struct ClientConfig {
+    /// Per-response read timeout.
+    pub read_timeout: Duration,
+    /// Write timeout for the request side of a pipeline.
+    pub write_timeout: Duration,
+    /// How many times a pipeline is retried on a fresh connection after
+    /// a transient transport error (0 disables retry).
+    pub retries: u32,
+    /// Largest accepted response frame payload, bytes.
+    pub max_frame: u32,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            read_timeout: Duration::from_secs(2),
+            write_timeout: Duration::from_secs(2),
+            retries: 2,
+            max_frame: MAX_FRAME,
+        }
+    }
+}
+
+/// Client-side failures.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The transport failed and retries (if any) were exhausted.
+    Io(io::Error),
+    /// The server sent bytes that violate the protocol.
+    Proto(ProtoError),
+    /// The server answered with an `Error` response.
+    Server {
+        /// The error class.
+        code: ErrorCode,
+        /// The server's description.
+        message: String,
+    },
+    /// The server answered with a well-formed response of the wrong
+    /// kind for the request (a server bug or a confused proxy).
+    Unexpected(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io: {e}"),
+            ClientError::Proto(e) => write!(f, "protocol: {e}"),
+            ClientError::Server { code, message } => write!(f, "server [{code}]: {message}"),
+            ClientError::Unexpected(what) => write!(f, "unexpected response: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// A connected (or reconnecting) client for one server address.
+pub struct Client {
+    addr: SocketAddr,
+    config: ClientConfig,
+    stream: Option<TcpStream>,
+}
+
+impl Client {
+    /// Resolves `addr` and connects eagerly.
+    pub fn connect(addr: impl ToSocketAddrs, config: ClientConfig) -> io::Result<Client> {
+        let addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "address resolved empty"))?;
+        let mut client = Client {
+            addr,
+            config,
+            stream: None,
+        };
+        client.reconnect()?;
+        Ok(client)
+    }
+
+    fn reconnect(&mut self) -> io::Result<()> {
+        let stream = TcpStream::connect(self.addr)?;
+        stream.set_read_timeout(Some(self.config.read_timeout))?;
+        stream.set_write_timeout(Some(self.config.write_timeout))?;
+        stream.set_nodelay(true)?;
+        self.stream = Some(stream);
+        Ok(())
+    }
+
+    /// Whether an error is worth a reconnect-and-retry.
+    fn transient(kind: io::ErrorKind) -> bool {
+        matches!(
+            kind,
+            io::ErrorKind::ConnectionReset
+                | io::ErrorKind::ConnectionAborted
+                | io::ErrorKind::BrokenPipe
+                | io::ErrorKind::UnexpectedEof
+                | io::ErrorKind::TimedOut
+                | io::ErrorKind::WouldBlock
+        )
+    }
+
+    /// Sends every request, then reads one response per request, in
+    /// order. Retries the whole pipeline on a fresh connection after a
+    /// transient transport error (safe: all operations are reads).
+    pub fn pipeline(&mut self, requests: &[Request]) -> Result<Vec<Response>, ClientError> {
+        let mut attempt = 0;
+        loop {
+            match self.try_pipeline(requests) {
+                Ok(responses) => return Ok(responses),
+                Err(ClientError::Io(e))
+                    if attempt < self.config.retries && Self::transient(e.kind()) =>
+                {
+                    attempt += 1;
+                    self.stream = None;
+                }
+                Err(other) => return Err(other),
+            }
+        }
+    }
+
+    fn try_pipeline(&mut self, requests: &[Request]) -> Result<Vec<Response>, ClientError> {
+        if self.stream.is_none() {
+            self.reconnect()?;
+        }
+        let stream = self.stream.as_mut().expect("just connected");
+        for request in requests {
+            proto::write_frame(stream, &request.encode())?;
+        }
+        let mut responses = Vec::with_capacity(requests.len());
+        for _ in requests {
+            let frame = match proto::read_frame(stream, self.config.max_frame) {
+                Ok(frame) => frame,
+                Err(FrameError::Eof) => {
+                    return Err(ClientError::Io(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "server closed mid-pipeline",
+                    )))
+                }
+                Err(FrameError::Idle) => {
+                    return Err(ClientError::Io(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        "no response before the read timeout",
+                    )))
+                }
+                Err(FrameError::Io(e)) => return Err(ClientError::Io(e)),
+                Err(FrameError::Proto(e)) => return Err(ClientError::Proto(e)),
+            };
+            responses
+                .push(Response::decode(frame.opcode, &frame.payload).map_err(ClientError::Proto)?);
+        }
+        Ok(responses)
+    }
+
+    fn one(&mut self, request: Request) -> Result<Response, ClientError> {
+        let mut responses = self.pipeline(std::slice::from_ref(&request))?;
+        Ok(responses.remove(0))
+    }
+
+    /// Round-trips a liveness probe.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        match self.one(Request::Ping)? {
+            Response::Pong => Ok(()),
+            other => Err(unexpected("Pong", &other)),
+        }
+    }
+
+    /// Runs one access check on the server.
+    pub fn check(
+        &mut self,
+        subject: &Subject,
+        path: &NsPath,
+        mode: AccessMode,
+    ) -> Result<Decision, ClientError> {
+        let request = Request::Check {
+            subject: subject.clone(),
+            path: path.clone(),
+            mode,
+        };
+        match self.one(request)? {
+            Response::Decision(decision) => Ok(decision),
+            other => Err(unexpected("Decision", &other)),
+        }
+    }
+
+    /// Runs a batch of checks against one server-side snapshot; the
+    /// decisions come back in item order and are mutually consistent.
+    pub fn batch_check(
+        &mut self,
+        subject: &Subject,
+        items: &[(NsPath, AccessMode)],
+    ) -> Result<Vec<Decision>, ClientError> {
+        let request = Request::BatchCheck {
+            subject: subject.clone(),
+            items: items
+                .iter()
+                .map(|(path, mode)| BatchItem {
+                    path: path.clone(),
+                    mode: *mode,
+                })
+                .collect(),
+        };
+        match self.one(request)? {
+            Response::Batch(decisions) => Ok(decisions),
+            other => Err(unexpected("Batch", &other)),
+        }
+    }
+
+    /// Lists the children of the container at `path`.
+    pub fn list(&mut self, subject: &Subject, path: &NsPath) -> Result<Vec<String>, ClientError> {
+        let request = Request::List {
+            subject: subject.clone(),
+            path: path.clone(),
+        };
+        match self.one(request)? {
+            Response::Listing(names) => Ok(names),
+            other => Err(unexpected("Listing", &other)),
+        }
+    }
+
+    /// Fetches and parses the reasoning trace for one check.
+    pub fn explain(
+        &mut self,
+        subject: &Subject,
+        path: &NsPath,
+        mode: AccessMode,
+    ) -> Result<Explanation, ClientError> {
+        let request = Request::Explain {
+            subject: subject.clone(),
+            path: path.clone(),
+            mode,
+        };
+        match self.one(request)? {
+            Response::Explanation(json) => serde_json::from_str(&json)
+                .map_err(|e| ClientError::Unexpected(format!("unparseable explanation: {e}"))),
+            other => Err(unexpected("Explanation", &other)),
+        }
+    }
+
+    /// Pulls the combined monitor + server telemetry JSON document.
+    pub fn telemetry(&mut self) -> Result<String, ClientError> {
+        match self.one(Request::Telemetry)? {
+            Response::Telemetry(json) => Ok(json),
+            other => Err(unexpected("Telemetry", &other)),
+        }
+    }
+}
+
+fn unexpected(wanted: &str, got: &Response) -> ClientError {
+    match got {
+        Response::Error { code, message } => ClientError::Server {
+            code: *code,
+            message: message.clone(),
+        },
+        other => ClientError::Unexpected(format!(
+            "wanted {wanted}, got opcode {:#04x}",
+            other.opcode()
+        )),
+    }
+}

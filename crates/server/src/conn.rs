@@ -1,0 +1,263 @@
+//! Per-connection service loop.
+//!
+//! One worker thread runs [`serve`] for one connection at a time: read a
+//! frame, decode, dispatch against the monitor, answer with exactly one
+//! response frame. The loop's error discipline is the protocol's
+//! security story in miniature:
+//!
+//! - malformed bytes (bad version, bad opcode, truncated or oversize
+//!   frames, garbage payloads) produce one `Error` response (best
+//!   effort) and close the connection — a peer that cannot frame
+//!   correctly cannot be trusted to resynchronize;
+//! - *semantic* refusals (batch over the operational limit, a subject
+//!   class foreign to the lattice, a denied `list`) answer with an
+//!   `Error` response and keep the connection open — the frame itself
+//!   was well-formed;
+//! - every exit path, including panics in decode or dispatch, passes
+//!   through a drop guard so the open/closed connection accounting can
+//!   never leak a slot.
+
+use crate::proto::{self, ErrorCode, Frame, FrameError, ProtoError, Request, Response, HEADER_LEN};
+use crate::server::ServerConfig;
+use crate::telemetry::ServerTelemetry;
+use extsec_refmon::{JsonSnapshot, MonitorError, MonitorView, ReferenceMonitor, Subject};
+use serde::Serialize;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+
+/// The combined document answering a `Telemetry` request.
+#[derive(Serialize)]
+struct WireTelemetry {
+    monitor: JsonSnapshot,
+    server: crate::telemetry::ServerTelemetrySnapshot,
+}
+
+/// Balances [`ServerTelemetry::conn_opened`] on every exit path.
+struct CloseGuard<'t>(&'t ServerTelemetry);
+
+impl Drop for CloseGuard<'_> {
+    fn drop(&mut self) {
+        self.0.conn_closed();
+    }
+}
+
+/// Serves one connection to completion.
+pub(crate) fn serve(
+    mut stream: TcpStream,
+    monitor: &ReferenceMonitor,
+    tele: &ServerTelemetry,
+    config: &ServerConfig,
+    shutdown: &AtomicBool,
+) {
+    tele.conn_opened();
+    let _guard = CloseGuard(tele);
+    loop {
+        let frame = match proto::read_frame(&mut stream, config.max_frame) {
+            Ok(frame) => frame,
+            Err(FrameError::Eof) => return,
+            Err(FrameError::Idle) => {
+                if shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                continue;
+            }
+            Err(FrameError::Io(e)) => {
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) {
+                    tele.count_timeout();
+                } else {
+                    tele.count_io_error();
+                }
+                return;
+            }
+            Err(FrameError::Proto(e)) => {
+                tele.count_protocol_error();
+                let code = match e {
+                    ProtoError::BadVersion(_) => ErrorCode::Version,
+                    ProtoError::Oversize(_) => {
+                        tele.count_oversize();
+                        ErrorCode::Oversize
+                    }
+                    _ => ErrorCode::Protocol,
+                };
+                close_with_error(&mut stream, &error(code, e.to_string()), tele);
+                return;
+            }
+        };
+        tele.record_frame_bytes((frame.payload.len() + HEADER_LEN) as u64);
+        let response = match handle(&frame, monitor, tele, config) {
+            Ok(response) => response,
+            Err(e) => {
+                // The frame was framed correctly but its payload was not:
+                // answer, then drop the peer like any protocol violator.
+                tele.count_protocol_error();
+                let code = match e {
+                    ProtoError::BadOpcode(_) => ErrorCode::Opcode,
+                    _ => ErrorCode::Protocol,
+                };
+                close_with_error(&mut stream, &error(code, e.to_string()), tele);
+                return;
+            }
+        };
+        if send(&mut stream, &response, tele).is_err() {
+            return;
+        }
+        if shutdown.load(Ordering::Acquire) {
+            return;
+        }
+    }
+}
+
+/// Decodes and dispatches one well-framed request.
+fn handle(
+    frame: &Frame,
+    monitor: &ReferenceMonitor,
+    tele: &ServerTelemetry,
+    config: &ServerConfig,
+) -> Result<Response, ProtoError> {
+    let request = Request::decode(frame.opcode, &frame.payload)?;
+    tele.count_request(request.opcode());
+    Ok(match request {
+        Request::Ping => Response::Pong,
+        Request::Check {
+            subject,
+            path,
+            mode,
+        } => {
+            let view = monitor.view();
+            match validate_subject(&view, &subject) {
+                Some(refusal) => refusal,
+                None => Response::Decision(view.check(&subject, &path, mode)),
+            }
+        }
+        Request::BatchCheck { subject, items } => {
+            if items.len() > config.max_batch {
+                return Ok(error(
+                    ErrorCode::BatchTooLarge,
+                    format!(
+                        "batch of {} exceeds the server limit of {}",
+                        items.len(),
+                        config.max_batch
+                    ),
+                ));
+            }
+            let started = Instant::now();
+            // The point of batching: one snapshot pin, one subject
+            // validation, then every item answered from the same
+            // immutable policy state.
+            let view = monitor.view();
+            if let Some(refusal) = validate_subject(&view, &subject) {
+                return Ok(refusal);
+            }
+            let decisions = items
+                .iter()
+                .map(|item| view.check(&subject, &item.path, item.mode))
+                .collect();
+            tele.count_batched_checks(items.len() as u64);
+            tele.record_batch_latency(started.elapsed());
+            Response::Batch(decisions)
+        }
+        Request::List { subject, path } => {
+            let view = monitor.view();
+            match validate_subject(&view, &subject) {
+                Some(refusal) => refusal,
+                None => match view.list(&subject, &path) {
+                    Ok(names) => Response::Listing(names),
+                    Err(MonitorError::Denied(reason)) => {
+                        error(ErrorCode::Denied, format!("denied: {reason}"))
+                    }
+                    Err(e) => error(ErrorCode::Denied, e.to_string()),
+                },
+            }
+        }
+        Request::Explain {
+            subject,
+            path,
+            mode,
+        } => {
+            let view = monitor.view();
+            match validate_subject(&view, &subject) {
+                Some(refusal) => refusal,
+                None => {
+                    let explanation = view.explain(&subject, &path, mode);
+                    match serde_json::to_string(&explanation) {
+                        Ok(json) => Response::Explanation(json),
+                        Err(e) => error(ErrorCode::Internal, e.to_string()),
+                    }
+                }
+            }
+        }
+        Request::Telemetry => {
+            // Feed the registered pull-path sinks, then ship the same
+            // shape (plus the server's own block) to the caller.
+            monitor.telemetry().publish();
+            let document = WireTelemetry {
+                monitor: JsonSnapshot::from(&monitor.telemetry_snapshot()),
+                server: tele.snapshot(),
+            };
+            match serde_json::to_string(&document) {
+                Ok(json) => Response::Telemetry(json),
+                Err(e) => error(ErrorCode::Internal, e.to_string()),
+            }
+        }
+    })
+}
+
+/// Refuses subjects whose claimed class is foreign to the lattice.
+///
+/// The server trusts the client's *identity* claim (authentication is
+/// outside the paper's model and this reproduction — see DESIGN.md
+/// §6.9), but it never lets a malformed class reach the monitor.
+fn validate_subject(view: &MonitorView<'_>, subject: &Subject) -> Option<Response> {
+    match view.lattice(|l| l.validate(&subject.class)) {
+        Ok(()) => None,
+        Err(e) => Some(error(ErrorCode::InvalidSubject, e.to_string())),
+    }
+}
+
+fn error(code: ErrorCode, message: String) -> Response {
+    Response::Error { code, message }
+}
+
+/// Sends a final error reply, then closes *gracefully*: half-close the
+/// write side and drain (bounded) whatever the peer already sent.
+/// Dropping a socket with unread bytes makes the kernel send an RST,
+/// which can destroy the error reply still in flight — a refusal should
+/// arrive as a readable answer followed by a clean EOF.
+fn close_with_error(stream: &mut TcpStream, response: &Response, tele: &ServerTelemetry) {
+    if send(stream, response, tele).is_err() {
+        return;
+    }
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let _ = stream.set_read_timeout(Some(std::time::Duration::from_millis(50)));
+    let mut sink = [0u8; 4096];
+    // Bounded: a peer that keeps streaming gets its RST after all.
+    for _ in 0..8 {
+        match std::io::Read::read(stream, &mut sink) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+    }
+}
+
+/// Writes one response, mapping failures into the telemetry counters.
+fn send(stream: &mut TcpStream, response: &Response, tele: &ServerTelemetry) -> Result<(), ()> {
+    let frame = response.encode();
+    match proto::write_frame(stream, &frame) {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            if matches!(
+                e.kind(),
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+            ) {
+                tele.count_timeout();
+            } else {
+                tele.count_io_error();
+            }
+            Err(())
+        }
+    }
+}

@@ -1,0 +1,939 @@
+//! The versioned, length-prefixed binary wire protocol.
+//!
+//! Every message is one **frame**: a six-byte header — protocol version,
+//! opcode, and a little-endian `u32` payload length — followed by the
+//! payload. Inside the payload, lengths and integers use the same ULEB128
+//! encoding as the module format (`extsec_vm::wire`), and the decoder
+//! follows the same discipline: every length is bounded *before* a byte
+//! of it is read, every tag is validated, strings must be UTF-8, and a
+//! payload must be consumed exactly — trailing bytes are an error. A
+//! malformed or hostile frame can produce a [`ProtoError`], never a
+//! panic or an attempt to allocate what the length prefix claims.
+//!
+//! The request set mirrors the monitor's read API: single [`Check`],
+//! batched [`BatchCheck`] (the reason this protocol exists — one frame,
+//! one snapshot pin, many decisions), [`List`], [`Explain`], and a
+//! [`Telemetry`] pull. Structured results (explanations, telemetry) ride
+//! as JSON documents so they stay debuggable with standard tooling;
+//! decisions, the hot path, stay binary.
+//!
+//! [`Check`]: Request::Check
+//! [`BatchCheck`]: Request::BatchCheck
+//! [`List`]: Request::List
+//! [`Explain`]: Request::Explain
+//! [`Telemetry`]: Request::Telemetry
+
+use extsec_acl::{AccessMode, PrincipalId};
+use extsec_mac::{CategoryId, CategorySet, SecurityClass, TrustLevel};
+use extsec_namespace::NsPath;
+use extsec_refmon::{Decision, DenyReason, Subject, ThreadId};
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// The protocol version carried in every frame header.
+pub const VERSION: u8 = 1;
+
+/// Bytes in a frame header: version, opcode, and a `u32` payload length.
+pub const HEADER_LEN: usize = 6;
+
+/// Hard ceiling on a frame's payload length. The reader rejects larger
+/// length prefixes before allocating, so a hostile header cannot trigger
+/// a large allocation (the length-bomb guard, as in `vm::wire`).
+pub const MAX_FRAME: u32 = 1 << 20;
+
+/// Hard protocol ceiling on the number of items in one batch. Servers may
+/// (and by default do) enforce a lower operational limit.
+pub const MAX_BATCH: usize = 4096;
+
+/// Ceiling on one path component or error message on the wire.
+pub const MAX_STR: usize = 4096;
+
+/// Ceiling on the number of components in one path.
+pub const MAX_COMPONENTS: usize = 64;
+
+/// Ceiling on the number of categories in one subject's class.
+pub const MAX_CATEGORIES: usize = 4096;
+
+/// Ceiling on the number of names in one listing response.
+pub const MAX_LIST: usize = 1 << 16;
+
+/// Request opcodes. Values are the wire bytes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Opcode {
+    /// Liveness probe; answered with `Pong`.
+    Ping = 0x00,
+    /// One access check.
+    Check = 0x01,
+    /// Many checks against one pinned snapshot.
+    BatchCheck = 0x02,
+    /// List the children of a container.
+    List = 0x03,
+    /// Full reasoning trace for one check.
+    Explain = 0x04,
+    /// Pull a combined monitor + server telemetry snapshot.
+    Telemetry = 0x05,
+}
+
+impl Opcode {
+    /// Every request opcode, in wire order.
+    pub const ALL: [Opcode; 6] = [
+        Opcode::Ping,
+        Opcode::Check,
+        Opcode::BatchCheck,
+        Opcode::List,
+        Opcode::Explain,
+        Opcode::Telemetry,
+    ];
+
+    /// Number of request opcodes (for per-opcode counter arrays).
+    pub const COUNT: usize = Opcode::ALL.len();
+
+    /// Decodes a wire byte, if it names a request opcode.
+    pub fn from_u8(byte: u8) -> Option<Opcode> {
+        Opcode::ALL.into_iter().find(|op| *op as u8 == byte)
+    }
+
+    /// A short stable name, for telemetry keys and logs.
+    pub fn name(self) -> &'static str {
+        match self {
+            Opcode::Ping => "ping",
+            Opcode::Check => "check",
+            Opcode::BatchCheck => "batch-check",
+            Opcode::List => "list",
+            Opcode::Explain => "explain",
+            Opcode::Telemetry => "telemetry",
+        }
+    }
+}
+
+impl fmt::Display for Opcode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+// Response opcodes (high bit set, so the two spaces never collide).
+const OP_PONG: u8 = 0x80;
+const OP_DECISION: u8 = 0x81;
+const OP_BATCH: u8 = 0x82;
+const OP_LISTING: u8 = 0x83;
+const OP_EXPLANATION: u8 = 0x84;
+const OP_TELEMETRY: u8 = 0x85;
+const OP_ERROR: u8 = 0xBF;
+
+/// Error classes a server can answer with.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ErrorCode {
+    /// The frame could not be decoded.
+    Protocol = 0,
+    /// The frame's version byte is not [`VERSION`].
+    Version = 1,
+    /// The opcode names no request.
+    Opcode = 2,
+    /// The payload length exceeds the server's frame limit.
+    Oversize = 3,
+    /// A batch exceeds the server's batch limit (the frame itself is
+    /// well-formed; the connection stays open).
+    BatchTooLarge = 4,
+    /// The claimed subject's class is not valid in the server's lattice.
+    InvalidSubject = 5,
+    /// The operation itself was denied or failed (e.g. `list` on a path
+    /// the subject may not see).
+    Denied = 6,
+    /// The server failed internally.
+    Internal = 7,
+}
+
+impl ErrorCode {
+    /// Decodes a wire byte, if it names an error code.
+    pub fn from_u8(byte: u8) -> Option<ErrorCode> {
+        const ALL: [ErrorCode; 8] = [
+            ErrorCode::Protocol,
+            ErrorCode::Version,
+            ErrorCode::Opcode,
+            ErrorCode::Oversize,
+            ErrorCode::BatchTooLarge,
+            ErrorCode::InvalidSubject,
+            ErrorCode::Denied,
+            ErrorCode::Internal,
+        ];
+        ALL.into_iter().find(|c| *c as u8 == byte)
+    }
+
+    /// A short stable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ErrorCode::Protocol => "protocol",
+            ErrorCode::Version => "version",
+            ErrorCode::Opcode => "opcode",
+            ErrorCode::Oversize => "oversize",
+            ErrorCode::BatchTooLarge => "batch-too-large",
+            ErrorCode::InvalidSubject => "invalid-subject",
+            ErrorCode::Denied => "denied",
+            ErrorCode::Internal => "internal",
+        }
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Decode errors. Every variant is a refusal, never a panic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProtoError {
+    /// The frame header carries an unknown protocol version.
+    BadVersion(u8),
+    /// The opcode byte names neither a request nor a response.
+    BadOpcode(u8),
+    /// The payload ended before the structure it promised.
+    Truncated,
+    /// A length prefix exceeds its limit; carries the claimed length.
+    Oversize(u64),
+    /// A string is not valid UTF-8.
+    BadUtf8,
+    /// An enum tag byte is out of range.
+    BadTag(u8),
+    /// The payload has bytes left after its structure; carries the count.
+    TrailingBytes(usize),
+    /// The components do not form a valid path.
+    BadPath(String),
+    /// A count prefix exceeds its limit; carries the claimed count.
+    TooMany(u64),
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtoError::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
+            ProtoError::BadOpcode(op) => write!(f, "unknown opcode {op:#04x}"),
+            ProtoError::Truncated => write!(f, "truncated payload"),
+            ProtoError::Oversize(n) => write!(f, "length {n} exceeds limit"),
+            ProtoError::BadUtf8 => write!(f, "string is not valid UTF-8"),
+            ProtoError::BadTag(t) => write!(f, "tag {t:#04x} out of range"),
+            ProtoError::TrailingBytes(n) => write!(f, "{n} trailing bytes after payload"),
+            ProtoError::BadPath(e) => write!(f, "invalid path: {e}"),
+            ProtoError::TooMany(n) => write!(f, "count {n} exceeds limit"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+/// One item of a batched check.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BatchItem {
+    /// The object path.
+    pub path: NsPath,
+    /// The requested mode.
+    pub mode: AccessMode,
+}
+
+/// A client-to-server message.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// One access check.
+    Check {
+        /// The claimed subject (see the crate docs on the trust model).
+        subject: Subject,
+        /// The object path.
+        path: NsPath,
+        /// The requested mode.
+        mode: AccessMode,
+    },
+    /// Many checks answered against one pinned snapshot.
+    BatchCheck {
+        /// The claimed subject, shared by every item.
+        subject: Subject,
+        /// The checks to run.
+        items: Vec<BatchItem>,
+    },
+    /// List the children of the container at `path`.
+    List {
+        /// The claimed subject.
+        subject: Subject,
+        /// The container path.
+        path: NsPath,
+    },
+    /// Full reasoning trace for one check.
+    Explain {
+        /// The claimed subject.
+        subject: Subject,
+        /// The object path.
+        path: NsPath,
+        /// The requested mode.
+        mode: AccessMode,
+    },
+    /// Pull a combined monitor + server telemetry snapshot.
+    Telemetry,
+}
+
+impl Request {
+    /// This request's opcode.
+    pub fn opcode(&self) -> Opcode {
+        match self {
+            Request::Ping => Opcode::Ping,
+            Request::Check { .. } => Opcode::Check,
+            Request::BatchCheck { .. } => Opcode::BatchCheck,
+            Request::List { .. } => Opcode::List,
+            Request::Explain { .. } => Opcode::Explain,
+            Request::Telemetry => Opcode::Telemetry,
+        }
+    }
+
+    /// Encodes the complete frame: header plus payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut enc = Enc::new();
+        match self {
+            Request::Ping | Request::Telemetry => {}
+            Request::Check {
+                subject,
+                path,
+                mode,
+            }
+            | Request::Explain {
+                subject,
+                path,
+                mode,
+            } => {
+                enc.subject(subject);
+                enc.path(path);
+                enc.mode(*mode);
+            }
+            Request::BatchCheck { subject, items } => {
+                enc.subject(subject);
+                enc.uleb(items.len() as u64);
+                for item in items {
+                    enc.path(&item.path);
+                    enc.mode(item.mode);
+                }
+            }
+            Request::List { subject, path } => {
+                enc.subject(subject);
+                enc.path(path);
+            }
+        }
+        enc.frame(self.opcode() as u8)
+    }
+
+    /// Decodes a request payload for `opcode`.
+    pub fn decode(opcode: u8, payload: &[u8]) -> Result<Request, ProtoError> {
+        let op = Opcode::from_u8(opcode).ok_or(ProtoError::BadOpcode(opcode))?;
+        let mut dec = Dec::new(payload);
+        let req = match op {
+            Opcode::Ping => Request::Ping,
+            Opcode::Telemetry => Request::Telemetry,
+            Opcode::Check => Request::Check {
+                subject: dec.subject()?,
+                path: dec.path()?,
+                mode: dec.mode()?,
+            },
+            Opcode::Explain => Request::Explain {
+                subject: dec.subject()?,
+                path: dec.path()?,
+                mode: dec.mode()?,
+            },
+            Opcode::BatchCheck => {
+                let subject = dec.subject()?;
+                let count = dec.count(MAX_BATCH)?;
+                let mut items = Vec::with_capacity(count);
+                for _ in 0..count {
+                    items.push(BatchItem {
+                        path: dec.path()?,
+                        mode: dec.mode()?,
+                    });
+                }
+                Request::BatchCheck { subject, items }
+            }
+            Opcode::List => Request::List {
+                subject: dec.subject()?,
+                path: dec.path()?,
+            },
+        };
+        dec.finish()?;
+        Ok(req)
+    }
+}
+
+/// A server-to-client message. Each request frame is answered by exactly
+/// one response frame, in order.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// Answer to `Ping`.
+    Pong,
+    /// Answer to `Check`.
+    Decision(Decision),
+    /// Answer to `BatchCheck`; one decision per item, in item order, all
+    /// from the same snapshot.
+    Batch(Vec<Decision>),
+    /// Answer to `List`.
+    Listing(Vec<String>),
+    /// Answer to `Explain`: a JSON document of the monitor's
+    /// `Explanation`.
+    Explanation(String),
+    /// Answer to `Telemetry`: a JSON document with `monitor` and
+    /// `server` members.
+    Telemetry(String),
+    /// Any request may be refused with an error instead.
+    Error {
+        /// The error class.
+        code: ErrorCode,
+        /// A human-readable description.
+        message: String,
+    },
+}
+
+impl Response {
+    /// This response's wire opcode.
+    pub fn opcode(&self) -> u8 {
+        match self {
+            Response::Pong => OP_PONG,
+            Response::Decision(_) => OP_DECISION,
+            Response::Batch(_) => OP_BATCH,
+            Response::Listing(_) => OP_LISTING,
+            Response::Explanation(_) => OP_EXPLANATION,
+            Response::Telemetry(_) => OP_TELEMETRY,
+            Response::Error { .. } => OP_ERROR,
+        }
+    }
+
+    /// Encodes the complete frame: header plus payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut enc = Enc::new();
+        match self {
+            Response::Pong => {}
+            Response::Decision(decision) => enc.decision(decision),
+            Response::Batch(decisions) => {
+                enc.uleb(decisions.len() as u64);
+                for decision in decisions {
+                    enc.decision(decision);
+                }
+            }
+            Response::Listing(names) => {
+                enc.uleb(names.len() as u64);
+                for name in names {
+                    enc.str(name);
+                }
+            }
+            Response::Explanation(json) | Response::Telemetry(json) => enc.str(json),
+            Response::Error { code, message } => {
+                enc.u8(*code as u8);
+                enc.str(message);
+            }
+        }
+        enc.frame(self.opcode())
+    }
+
+    /// Decodes a response payload for `opcode`.
+    pub fn decode(opcode: u8, payload: &[u8]) -> Result<Response, ProtoError> {
+        let mut dec = Dec::new(payload);
+        let resp = match opcode {
+            OP_PONG => Response::Pong,
+            OP_DECISION => Response::Decision(dec.decision()?),
+            OP_BATCH => {
+                let count = dec.count(MAX_BATCH)?;
+                let mut decisions = Vec::with_capacity(count);
+                for _ in 0..count {
+                    decisions.push(dec.decision()?);
+                }
+                Response::Batch(decisions)
+            }
+            OP_LISTING => {
+                let count = dec.count(MAX_LIST)?;
+                let mut names = Vec::with_capacity(count);
+                for _ in 0..count {
+                    names.push(dec.str(MAX_STR)?);
+                }
+                Response::Listing(names)
+            }
+            OP_EXPLANATION => Response::Explanation(dec.str(MAX_FRAME as usize)?),
+            OP_TELEMETRY => Response::Telemetry(dec.str(MAX_FRAME as usize)?),
+            OP_ERROR => {
+                let byte = dec.u8()?;
+                let code = ErrorCode::from_u8(byte).ok_or(ProtoError::BadTag(byte))?;
+                let message = dec.str(MAX_STR)?;
+                Response::Error { code, message }
+            }
+            other => return Err(ProtoError::BadOpcode(other)),
+        };
+        dec.finish()?;
+        Ok(resp)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Payload codec.
+
+struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    fn new() -> Self {
+        Enc { buf: Vec::new() }
+    }
+
+    fn u8(&mut self, byte: u8) {
+        self.buf.push(byte);
+    }
+
+    fn uleb(&mut self, mut value: u64) {
+        loop {
+            let byte = (value & 0x7f) as u8;
+            value >>= 7;
+            if value == 0 {
+                self.buf.push(byte);
+                return;
+            }
+            self.buf.push(byte | 0x80);
+        }
+    }
+
+    fn str(&mut self, s: &str) {
+        self.uleb(s.len() as u64);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    fn mode(&mut self, mode: AccessMode) {
+        self.u8(mode as u8);
+    }
+
+    fn subject(&mut self, subject: &Subject) {
+        self.uleb(u64::from(subject.principal.raw()));
+        self.uleb(subject.thread.raw());
+        self.uleb(u64::from(subject.class.level().rank()));
+        let cats: Vec<CategoryId> = subject.class.categories().iter().collect();
+        self.uleb(cats.len() as u64);
+        for cat in cats {
+            self.uleb(u64::from(cat.index()));
+        }
+    }
+
+    fn path(&mut self, path: &NsPath) {
+        let components = path.components();
+        self.uleb(components.len() as u64);
+        for component in components {
+            self.str(component);
+        }
+    }
+
+    fn decision(&mut self, decision: &Decision) {
+        match decision {
+            Decision::Allow => self.u8(0x00),
+            Decision::Deny(reason) => {
+                self.u8(0x01);
+                match reason {
+                    DenyReason::DacNoEntry => self.u8(0),
+                    DenyReason::DacNegativeEntry(index) => {
+                        self.u8(1);
+                        self.uleb(*index as u64);
+                    }
+                    DenyReason::MacFlow => self.u8(2),
+                    DenyReason::NotVisibleDac(path) => {
+                        self.u8(3);
+                        self.path(path);
+                    }
+                    DenyReason::NotVisibleMac(path) => {
+                        self.u8(4);
+                        self.path(path);
+                    }
+                    DenyReason::NotFound(path) => {
+                        self.u8(5);
+                        self.path(path);
+                    }
+                    DenyReason::Structure(message) => {
+                        self.u8(6);
+                        self.str(message);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Wraps the accumulated payload in a frame header.
+    fn frame(self, opcode: u8) -> Vec<u8> {
+        let mut frame = Vec::with_capacity(6 + self.buf.len());
+        frame.push(VERSION);
+        frame.push(opcode);
+        frame.extend_from_slice(&(self.buf.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&self.buf);
+        frame
+    }
+}
+
+struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Dec { buf, pos: 0 }
+    }
+
+    fn u8(&mut self) -> Result<u8, ProtoError> {
+        let byte = *self.buf.get(self.pos).ok_or(ProtoError::Truncated)?;
+        self.pos += 1;
+        Ok(byte)
+    }
+
+    fn uleb(&mut self) -> Result<u64, ProtoError> {
+        let mut value: u64 = 0;
+        let mut shift = 0u32;
+        loop {
+            let byte = self.u8()?;
+            if shift == 63 && byte > 1 {
+                return Err(ProtoError::Oversize(u64::MAX));
+            }
+            value |= u64::from(byte & 0x7f) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(value);
+            }
+            shift += 7;
+            if shift > 63 {
+                return Err(ProtoError::Oversize(u64::MAX));
+            }
+        }
+    }
+
+    /// Reads a count prefix, bounded by `max` before any allocation.
+    fn count(&mut self, max: usize) -> Result<usize, ProtoError> {
+        let count = self.uleb()?;
+        if count > max as u64 {
+            return Err(ProtoError::TooMany(count));
+        }
+        Ok(count as usize)
+    }
+
+    fn bytes(&mut self, len: usize) -> Result<&'a [u8], ProtoError> {
+        let end = self.pos.checked_add(len).ok_or(ProtoError::Truncated)?;
+        let slice = self.buf.get(self.pos..end).ok_or(ProtoError::Truncated)?;
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn str(&mut self, max: usize) -> Result<String, ProtoError> {
+        let len = self.uleb()?;
+        if len > max as u64 {
+            return Err(ProtoError::Oversize(len));
+        }
+        let bytes = self.bytes(len as usize)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| ProtoError::BadUtf8)
+    }
+
+    fn mode(&mut self) -> Result<AccessMode, ProtoError> {
+        let byte = self.u8()?;
+        AccessMode::ALL
+            .get(byte as usize)
+            .copied()
+            .ok_or(ProtoError::BadTag(byte))
+    }
+
+    fn subject(&mut self) -> Result<Subject, ProtoError> {
+        let principal = self.uleb()?;
+        if principal > u64::from(u32::MAX) {
+            return Err(ProtoError::Oversize(principal));
+        }
+        let thread = self.uleb()?;
+        let rank = self.uleb()?;
+        if rank > u64::from(u16::MAX) {
+            return Err(ProtoError::Oversize(rank));
+        }
+        let count = self.count(MAX_CATEGORIES)?;
+        let mut categories = Vec::with_capacity(count);
+        for _ in 0..count {
+            let index = self.uleb()?;
+            if index > u64::from(u16::MAX) {
+                return Err(ProtoError::Oversize(index));
+            }
+            categories.push(CategoryId::from_index(index as u16));
+        }
+        let class = SecurityClass::new(
+            TrustLevel::from_rank(rank as u16),
+            CategorySet::from_ids(categories),
+        );
+        Ok(Subject::on_thread(
+            PrincipalId::from_raw(principal as u32),
+            class,
+            ThreadId::from_raw(thread),
+        ))
+    }
+
+    fn path(&mut self) -> Result<NsPath, ProtoError> {
+        let count = self.count(MAX_COMPONENTS)?;
+        let mut components = Vec::with_capacity(count);
+        for _ in 0..count {
+            components.push(self.str(MAX_STR)?);
+        }
+        NsPath::from_components(components).map_err(|e| ProtoError::BadPath(e.to_string()))
+    }
+
+    fn decision(&mut self) -> Result<Decision, ProtoError> {
+        match self.u8()? {
+            0x00 => Ok(Decision::Allow),
+            0x01 => {
+                let reason = match self.u8()? {
+                    0 => DenyReason::DacNoEntry,
+                    1 => {
+                        let index = self.uleb()?;
+                        let index =
+                            usize::try_from(index).map_err(|_| ProtoError::Oversize(index))?;
+                        DenyReason::DacNegativeEntry(index)
+                    }
+                    2 => DenyReason::MacFlow,
+                    3 => DenyReason::NotVisibleDac(self.path()?),
+                    4 => DenyReason::NotVisibleMac(self.path()?),
+                    5 => DenyReason::NotFound(self.path()?),
+                    6 => DenyReason::Structure(self.str(MAX_STR)?),
+                    tag => return Err(ProtoError::BadTag(tag)),
+                };
+                Ok(Decision::Deny(reason))
+            }
+            tag => Err(ProtoError::BadTag(tag)),
+        }
+    }
+
+    /// Asserts the payload was consumed exactly.
+    fn finish(&self) -> Result<(), ProtoError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(ProtoError::TrailingBytes(self.buf.len() - self.pos))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Framed IO.
+
+/// One frame off the wire: the opcode byte and the raw payload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Frame {
+    /// The opcode byte (request or response space).
+    pub opcode: u8,
+    /// The payload, at most the reader's frame limit.
+    pub payload: Vec<u8>,
+}
+
+/// What reading a frame can produce besides a frame.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The peer closed the connection cleanly between frames.
+    Eof,
+    /// The read timed out *between* frames — no bytes consumed; the
+    /// caller may poll a shutdown flag and try again.
+    Idle,
+    /// The transport failed (including timeouts mid-frame).
+    Io(io::Error),
+    /// The bytes violate the protocol.
+    Proto(ProtoError),
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Eof => write!(f, "connection closed"),
+            FrameError::Idle => write!(f, "idle (no frame before the read timeout)"),
+            FrameError::Io(e) => write!(f, "io: {e}"),
+            FrameError::Proto(e) => write!(f, "protocol: {e}"),
+        }
+    }
+}
+
+fn is_timeout(kind: io::ErrorKind) -> bool {
+    matches!(kind, io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut)
+}
+
+/// Reads one frame.
+///
+/// The first header byte is read on its own so a clean close ([`Eof`])
+/// and an idle timeout ([`Idle`]) are distinguishable from a peer that
+/// dies mid-frame (an [`Io`] or [`Proto`] error). The length prefix is
+/// validated against `max_frame` before the payload is allocated.
+///
+/// [`Eof`]: FrameError::Eof
+/// [`Idle`]: FrameError::Idle
+/// [`Io`]: FrameError::Io
+/// [`Proto`]: FrameError::Proto
+pub fn read_frame(reader: &mut impl Read, max_frame: u32) -> Result<Frame, FrameError> {
+    let mut first = [0u8; 1];
+    loop {
+        match reader.read(&mut first) {
+            Ok(0) => return Err(FrameError::Eof),
+            Ok(_) => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) if is_timeout(e.kind()) => return Err(FrameError::Idle),
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    if first[0] != VERSION {
+        return Err(FrameError::Proto(ProtoError::BadVersion(first[0])));
+    }
+    let mut rest = [0u8; 5];
+    read_exact_frame(reader, &mut rest)?;
+    let opcode = rest[0];
+    let len = u32::from_le_bytes([rest[1], rest[2], rest[3], rest[4]]);
+    if len > max_frame {
+        return Err(FrameError::Proto(ProtoError::Oversize(u64::from(len))));
+    }
+    let mut payload = vec![0u8; len as usize];
+    read_exact_frame(reader, &mut payload)?;
+    Ok(Frame { opcode, payload })
+}
+
+/// `read_exact` with mid-frame errors mapped: a peer that stops mid-frame
+/// is a protocol violation ([`ProtoError::Truncated`]), not a clean EOF.
+fn read_exact_frame(reader: &mut impl Read, buf: &mut [u8]) -> Result<(), FrameError> {
+    match reader.read_exact(buf) {
+        Ok(()) => Ok(()),
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => {
+            Err(FrameError::Proto(ProtoError::Truncated))
+        }
+        Err(e) => Err(FrameError::Io(e)),
+    }
+}
+
+/// Writes one already-encoded frame.
+pub fn write_frame(writer: &mut impl Write, frame: &[u8]) -> io::Result<()> {
+    writer.write_all(frame)?;
+    writer.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn subject() -> Subject {
+        Subject::on_thread(
+            PrincipalId::from_raw(7),
+            SecurityClass::new(
+                TrustLevel::from_rank(2),
+                CategorySet::from_ids([CategoryId::from_index(0), CategoryId::from_index(3)]),
+            ),
+            ThreadId::from_raw(99),
+        )
+    }
+
+    fn roundtrip_request(req: Request) {
+        let frame = req.encode();
+        assert_eq!(frame[0], VERSION);
+        let parsed = read_frame(&mut &frame[..], MAX_FRAME).unwrap();
+        assert_eq!(parsed.opcode, req.opcode() as u8);
+        assert_eq!(
+            Request::decode(parsed.opcode, &parsed.payload).unwrap(),
+            req
+        );
+    }
+
+    fn roundtrip_response(resp: Response) {
+        let frame = resp.encode();
+        let parsed = read_frame(&mut &frame[..], MAX_FRAME).unwrap();
+        assert_eq!(parsed.opcode, resp.opcode());
+        assert_eq!(
+            Response::decode(parsed.opcode, &parsed.payload).unwrap(),
+            resp
+        );
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        let path: NsPath = "/svc/fs/read".parse().unwrap();
+        roundtrip_request(Request::Ping);
+        roundtrip_request(Request::Telemetry);
+        roundtrip_request(Request::Check {
+            subject: subject(),
+            path: path.clone(),
+            mode: AccessMode::Execute,
+        });
+        roundtrip_request(Request::List {
+            subject: subject(),
+            path: path.clone(),
+        });
+        roundtrip_request(Request::BatchCheck {
+            subject: subject(),
+            items: AccessMode::ALL
+                .into_iter()
+                .map(|mode| BatchItem {
+                    path: path.clone(),
+                    mode,
+                })
+                .collect(),
+        });
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let path: NsPath = "/a/b".parse().unwrap();
+        roundtrip_response(Response::Pong);
+        roundtrip_response(Response::Decision(Decision::Allow));
+        roundtrip_response(Response::Batch(vec![
+            Decision::Allow,
+            Decision::Deny(DenyReason::DacNoEntry),
+            Decision::Deny(DenyReason::DacNegativeEntry(4)),
+            Decision::Deny(DenyReason::MacFlow),
+            Decision::Deny(DenyReason::NotVisibleDac(path.clone())),
+            Decision::Deny(DenyReason::NotVisibleMac(path.clone())),
+            Decision::Deny(DenyReason::NotFound(path.clone())),
+            Decision::Deny(DenyReason::Structure("loop".into())),
+        ]));
+        roundtrip_response(Response::Listing(vec!["read".into(), "write".into()]));
+        roundtrip_response(Response::Explanation("{\"steps\":[]}".into()));
+        roundtrip_response(Response::Telemetry("{}".into()));
+        roundtrip_response(Response::Error {
+            code: ErrorCode::Denied,
+            message: "denied: no entry".into(),
+        });
+    }
+
+    #[test]
+    fn oversize_length_prefix_is_rejected_before_allocation() {
+        // Header claims a 256 MiB payload; the reader must refuse at the
+        // header, not try to read (or allocate) the payload.
+        let mut frame = vec![VERSION, Opcode::Ping as u8];
+        frame.extend_from_slice(&(256u32 << 20).to_le_bytes());
+        match read_frame(&mut &frame[..], MAX_FRAME) {
+            Err(FrameError::Proto(ProtoError::Oversize(_))) => {}
+            other => panic!("expected oversize, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wrong_version_is_rejected_on_the_first_byte() {
+        let frame = [9u8, 0, 0, 0, 0, 0];
+        match read_frame(&mut &frame[..], MAX_FRAME) {
+            Err(FrameError::Proto(ProtoError::BadVersion(9))) => {}
+            other => panic!("expected bad version, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn batch_count_is_bounded() {
+        // A hand-built BatchCheck payload claiming u32::MAX items.
+        let mut enc = Enc::new();
+        enc.subject(&subject());
+        enc.uleb(u64::from(u32::MAX));
+        let payload = enc.buf;
+        match Request::decode(Opcode::BatchCheck as u8, &payload) {
+            Err(ProtoError::TooMany(_)) => {}
+            other => panic!("expected too-many, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut frame = Request::Ping.encode();
+        frame[2..6].copy_from_slice(&1u32.to_le_bytes());
+        frame.push(0xEE);
+        let parsed = read_frame(&mut &frame[..], MAX_FRAME).unwrap();
+        match Request::decode(parsed.opcode, &parsed.payload) {
+            Err(ProtoError::TrailingBytes(1)) => {}
+            other => panic!("expected trailing bytes, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! The multithreaded TCP front end.
+//!
+//! One listener thread accepts connections and feeds them through a
+//! *bounded* crossbeam channel to a fixed pool of worker threads; each
+//! worker serves one connection at a time (see [`crate::conn`]). The
+//! bounded queue is the backpressure valve: when every worker is busy
+//! and the queue is full, new connections are dropped at accept and
+//! counted, instead of piling up unbounded — the same "refuse early,
+//! account always" posture the decoder takes toward hostile frames.
+//!
+//! Shutdown is graceful: the shutdown flag is raised, the listener is
+//! unblocked with a loopback connection and exits, dropping the channel
+//! sender; workers finish the request in flight, notice the flag at the
+//! next idle tick, drain the queue, and exit. [`Server::shutdown`] joins
+//! them all and hands back the final telemetry snapshot.
+
+use crate::conn;
+use crate::proto::MAX_FRAME;
+use crate::telemetry::{ServerTelemetry, ServerTelemetrySnapshot};
+use crossbeam::channel::{self, Receiver, TrySendError};
+use extsec_refmon::ReferenceMonitor;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+/// Tuning knobs for a [`Server`].
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Worker threads (each serves one connection at a time).
+    pub workers: usize,
+    /// Accepted connections that may wait for a free worker before new
+    /// ones are dropped at accept.
+    pub accept_queue: usize,
+    /// Per-connection read timeout. Doubles as the idle tick at which a
+    /// worker polls the shutdown flag between frames.
+    pub read_timeout: Duration,
+    /// Per-connection write timeout.
+    pub write_timeout: Duration,
+    /// Largest accepted frame payload, bytes (at most [`MAX_FRAME`]).
+    pub max_frame: u32,
+    /// Largest accepted batch, items (at most the protocol's hard cap).
+    pub max_batch: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 4,
+            accept_queue: 64,
+            read_timeout: Duration::from_millis(250),
+            write_timeout: Duration::from_secs(1),
+            max_frame: MAX_FRAME,
+            max_batch: 1024,
+        }
+    }
+}
+
+/// A running server: a listener, a worker pool, and their shared state.
+pub struct Server {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    listener: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    telemetry: Arc<ServerTelemetry>,
+}
+
+impl Server {
+    /// Binds `addr` (use port 0 for an ephemeral port) and spawns the
+    /// listener and `config.workers` worker threads.
+    pub fn spawn(
+        monitor: Arc<ReferenceMonitor>,
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+    ) -> io::Result<Server> {
+        let config = Arc::new(ServerConfig {
+            max_frame: config.max_frame.min(MAX_FRAME),
+            workers: config.workers.max(1),
+            ..config
+        });
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let telemetry = Arc::new(ServerTelemetry::new());
+        let (tx, rx) = channel::bounded::<TcpStream>(config.accept_queue);
+        // The vendored Receiver is only Clone for cloneable payloads;
+        // share it through an Arc instead (it is Sync).
+        let rx: Arc<Receiver<TcpStream>> = Arc::new(rx);
+
+        let mut workers = Vec::with_capacity(config.workers);
+        for index in 0..config.workers {
+            let rx = Arc::clone(&rx);
+            let monitor = Arc::clone(&monitor);
+            let telemetry = Arc::clone(&telemetry);
+            let config = Arc::clone(&config);
+            let shutdown = Arc::clone(&shutdown);
+            workers.push(
+                thread::Builder::new()
+                    .name(format!("extsec-server-worker-{index}"))
+                    .spawn(move || {
+                        // recv() fails only once the listener has exited
+                        // and the queue is drained — the drain half of
+                        // graceful shutdown.
+                        while let Ok(stream) = rx.recv() {
+                            conn::serve(stream, &monitor, &telemetry, &config, &shutdown);
+                        }
+                    })?,
+            );
+        }
+
+        let accept_shutdown = Arc::clone(&shutdown);
+        let accept_tele = Arc::clone(&telemetry);
+        let accept_config = Arc::clone(&config);
+        let listener_handle = thread::Builder::new()
+            .name("extsec-server-listener".into())
+            .spawn(move || {
+                // `tx` lives in this closure: when the loop breaks, the
+                // sender drops and the workers' recv() starts failing.
+                for stream in listener.incoming() {
+                    if accept_shutdown.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let stream = match stream {
+                        Ok(stream) => stream,
+                        Err(_) => continue,
+                    };
+                    let _ = stream.set_read_timeout(Some(accept_config.read_timeout));
+                    let _ = stream.set_write_timeout(Some(accept_config.write_timeout));
+                    let _ = stream.set_nodelay(true);
+                    match tx.try_send(stream) {
+                        Ok(()) => {}
+                        // The vendored channel folds "full" and
+                        // "disconnected" into one error; workers only
+                        // disconnect at shutdown, which the flag covers.
+                        Err(TrySendError(stream)) => {
+                            // Backpressure: refuse at the door rather
+                            // than queue without bound.
+                            accept_tele.count_rejected_accept();
+                            drop(stream);
+                            if accept_shutdown.load(Ordering::Acquire) {
+                                break;
+                            }
+                        }
+                    }
+                }
+            })?;
+
+        Ok(Server {
+            addr: local,
+            shutdown,
+            listener: Some(listener_handle),
+            workers,
+            telemetry,
+        })
+    }
+
+    /// The bound address (with the real port when spawned on port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The server's live telemetry.
+    pub fn telemetry(&self) -> &ServerTelemetry {
+        &self.telemetry
+    }
+
+    /// Stops accepting, drains, joins every thread, and returns the
+    /// final telemetry snapshot.
+    pub fn shutdown(mut self) -> ServerTelemetrySnapshot {
+        self.stop();
+        self.telemetry.snapshot()
+    }
+
+    fn stop(&mut self) {
+        if self.listener.is_none() {
+            return;
+        }
+        self.shutdown.store(true, Ordering::Release);
+        // Unblock accept(): the listener checks the flag on the next
+        // connection, and this one is it.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.listener.take() {
+            let _ = handle.join();
+        }
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}

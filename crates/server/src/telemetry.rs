@@ -1,0 +1,261 @@
+//! Server-side telemetry, layered on the `extsec-telemetry` primitives.
+//!
+//! The server reuses the monitor's counter and histogram machinery —
+//! [`ShardedCounter`] for contended counts, [`LatencyHistogram`] for
+//! distributions — and follows the same pull discipline: nothing here is
+//! exported from the hot path; [`ServerTelemetry::snapshot`] reads a
+//! consistent-enough view on demand (counters are relaxed, so totals can
+//! be one update apart under load, exactly like the monitor's own hub).
+
+use crate::proto::Opcode;
+use extsec_telemetry::{HistogramSnapshot, LatencyHistogram, ShardedCounter};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::time::Duration;
+
+/// Live server counters and distributions. One instance per [`Server`],
+/// shared by the listener and every connection worker.
+///
+/// [`Server`]: crate::server::Server
+#[derive(Default)]
+pub struct ServerTelemetry {
+    /// Requests handled, per request opcode (in [`Opcode::ALL`] order).
+    requests: [ShardedCounter; Opcode::COUNT],
+    /// Connections handed to a worker.
+    accepted: ShardedCounter,
+    /// Connections a worker finished with (whatever the reason).
+    closed: ShardedCounter,
+    /// Connections dropped at accept because the queue was full.
+    rejected_accept: ShardedCounter,
+    /// Frames refused for violating the protocol.
+    protocol_errors: ShardedCounter,
+    /// Subset of protocol errors: length prefix over the frame limit.
+    oversize: ShardedCounter,
+    /// Connections closed for timing out mid-frame or mid-write.
+    timeouts: ShardedCounter,
+    /// Connections closed on other transport errors.
+    io_errors: ShardedCounter,
+    /// Individual checks served through `BatchCheck` frames.
+    checks_in_batches: ShardedCounter,
+    /// Request frame sizes. The histogram buckets are log₂ *nanosecond*
+    /// slots; we record bytes in them, so read the statistics as bytes.
+    frame_bytes: LatencyHistogram,
+    /// Wall-clock latency of whole `BatchCheck` frames.
+    batch_latency: LatencyHistogram,
+}
+
+impl ServerTelemetry {
+    /// Creates a zeroed telemetry block.
+    pub fn new() -> Self {
+        ServerTelemetry::default()
+    }
+
+    pub(crate) fn count_request(&self, opcode: Opcode) {
+        self.requests[opcode as usize].incr();
+    }
+
+    pub(crate) fn conn_opened(&self) {
+        self.accepted.incr();
+    }
+
+    pub(crate) fn conn_closed(&self) {
+        self.closed.incr();
+    }
+
+    pub(crate) fn count_rejected_accept(&self) {
+        self.rejected_accept.incr();
+    }
+
+    pub(crate) fn count_protocol_error(&self) {
+        self.protocol_errors.incr();
+    }
+
+    pub(crate) fn count_oversize(&self) {
+        self.oversize.incr();
+    }
+
+    pub(crate) fn count_timeout(&self) {
+        self.timeouts.incr();
+    }
+
+    pub(crate) fn count_io_error(&self) {
+        self.io_errors.incr();
+    }
+
+    pub(crate) fn count_batched_checks(&self, n: u64) {
+        self.checks_in_batches.add(n);
+    }
+
+    pub(crate) fn record_frame_bytes(&self, bytes: u64) {
+        self.frame_bytes.record(Duration::from_nanos(bytes));
+    }
+
+    pub(crate) fn record_batch_latency(&self, elapsed: Duration) {
+        self.batch_latency.record(elapsed);
+    }
+
+    /// Captures the current totals.
+    pub fn snapshot(&self) -> ServerTelemetrySnapshot {
+        let accepted = self.accepted.get();
+        let closed = self.closed.get();
+        ServerTelemetrySnapshot {
+            requests: Opcode::ALL
+                .into_iter()
+                .map(|op| OpcodeCount {
+                    opcode: op.name().to_string(),
+                    count: self.requests[op as usize].get(),
+                })
+                .collect(),
+            accepted,
+            closed,
+            active: accepted.saturating_sub(closed),
+            rejected_accept: self.rejected_accept.get(),
+            protocol_errors: self.protocol_errors.get(),
+            oversize: self.oversize.get(),
+            timeouts: self.timeouts.get(),
+            io_errors: self.io_errors.get(),
+            checks_in_batches: self.checks_in_batches.get(),
+            frame_bytes: HistStat::from(&self.frame_bytes.snapshot()),
+            batch_latency: HistStat::from(&self.batch_latency.snapshot()),
+        }
+    }
+}
+
+/// Requests served for one opcode.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OpcodeCount {
+    /// The opcode's name (see [`Opcode::name`]).
+    pub opcode: String,
+    /// How many requests were handled.
+    pub count: u64,
+}
+
+/// A histogram flattened to summary statistics (as in the JSON sink).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistStat {
+    /// Samples recorded.
+    pub count: u64,
+    /// Mean value.
+    pub mean: u64,
+    /// Median (log₂-bucket resolution).
+    pub p50: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// Largest observed value.
+    pub max: u64,
+}
+
+impl From<&HistogramSnapshot> for HistStat {
+    fn from(hist: &HistogramSnapshot) -> Self {
+        HistStat {
+            count: hist.count,
+            mean: hist.mean_ns(),
+            p50: hist.quantile_ns(0.5),
+            p99: hist.quantile_ns(0.99),
+            max: hist.max_ns,
+        }
+    }
+}
+
+/// A point-in-time copy of [`ServerTelemetry`], shippable as JSON (the
+/// `server` member of the telemetry opcode's response document).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServerTelemetrySnapshot {
+    /// Requests handled, per opcode.
+    pub requests: Vec<OpcodeCount>,
+    /// Connections handed to a worker.
+    pub accepted: u64,
+    /// Connections finished.
+    pub closed: u64,
+    /// Connections currently being served (`accepted - closed`).
+    pub active: u64,
+    /// Connections dropped at accept (queue full).
+    pub rejected_accept: u64,
+    /// Frames refused as protocol violations.
+    pub protocol_errors: u64,
+    /// Length prefixes over the frame limit (subset of protocol errors).
+    pub oversize: u64,
+    /// Connections closed on mid-frame or write timeouts.
+    pub timeouts: u64,
+    /// Connections closed on other transport errors.
+    pub io_errors: u64,
+    /// Individual checks served inside batches.
+    pub checks_in_batches: u64,
+    /// Request frame sizes, in bytes.
+    pub frame_bytes: HistStat,
+    /// Whole-batch service latency, in nanoseconds.
+    pub batch_latency: HistStat,
+}
+
+impl fmt::Display for ServerTelemetrySnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "connections: accepted={} closed={} active={} rejected={}",
+            self.accepted, self.closed, self.active, self.rejected_accept
+        )?;
+        writeln!(
+            f,
+            "errors: protocol={} oversize={} timeouts={} io={}",
+            self.protocol_errors, self.oversize, self.timeouts, self.io_errors
+        )?;
+        write!(f, "requests:")?;
+        for entry in &self.requests {
+            write!(f, " {}={}", entry.opcode, entry.count)?;
+        }
+        writeln!(f)?;
+        writeln!(
+            f,
+            "batches: checks={} latency mean={}ns p99={}ns",
+            self.checks_in_batches, self.batch_latency.mean, self.batch_latency.p99
+        )?;
+        write!(
+            f,
+            "frames: count={} mean={}B max={}B",
+            self.frame_bytes.count, self.frame_bytes.mean, self.frame_bytes.max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_counts_and_round_trips_as_json() {
+        let tele = ServerTelemetry::new();
+        tele.conn_opened();
+        tele.conn_opened();
+        tele.conn_closed();
+        tele.count_request(Opcode::Check);
+        tele.count_request(Opcode::BatchCheck);
+        tele.count_batched_checks(64);
+        tele.record_frame_bytes(512);
+        tele.record_batch_latency(Duration::from_micros(3));
+        tele.count_protocol_error();
+        tele.count_oversize();
+
+        let snap = tele.snapshot();
+        assert_eq!(snap.accepted, 2);
+        assert_eq!(snap.closed, 1);
+        assert_eq!(snap.active, 1);
+        assert_eq!(snap.checks_in_batches, 64);
+        assert_eq!(snap.protocol_errors, 1);
+        assert_eq!(snap.oversize, 1);
+        let by_name = |name: &str| {
+            snap.requests
+                .iter()
+                .find(|r| r.opcode == name)
+                .map(|r| r.count)
+        };
+        assert_eq!(by_name("check"), Some(1));
+        assert_eq!(by_name("batch-check"), Some(1));
+        assert_eq!(by_name("ping"), Some(0));
+        assert_eq!(snap.frame_bytes.count, 1);
+        assert!(snap.batch_latency.mean > 0);
+
+        let json = serde_json::to_string(&snap).unwrap();
+        let parsed: ServerTelemetrySnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed, snap);
+    }
+}

@@ -1,0 +1,191 @@
+//! Property tests for the wire protocol: encode → decode is the
+//! identity on every frame type, truncation at any point is a refusal
+//! (never a panic), and the decoder is total on garbage and corruption.
+
+use extsec_acl::{AccessMode, PrincipalId};
+use extsec_mac::{CategoryId, CategorySet, SecurityClass, TrustLevel};
+use extsec_namespace::NsPath;
+use extsec_refmon::{Decision, DenyReason, Subject, ThreadId};
+use extsec_server::proto::{read_frame, FrameError, ProtoError};
+use extsec_server::{BatchItem, ErrorCode, Request, Response, MAX_FRAME};
+use proptest::prelude::*;
+
+fn arb_mode() -> impl Strategy<Value = AccessMode> {
+    (0usize..AccessMode::ALL.len()).prop_map(|i| AccessMode::ALL[i])
+}
+
+fn arb_subject() -> impl Strategy<Value = Subject> {
+    (
+        any::<u32>(),
+        any::<u64>(),
+        any::<u16>(),
+        proptest::collection::vec(0u16..512, 0..8),
+    )
+        .prop_map(|(principal, thread, rank, cats)| {
+            Subject::on_thread(
+                PrincipalId::from_raw(principal),
+                SecurityClass::new(
+                    TrustLevel::from_rank(rank),
+                    CategorySet::from_ids(cats.into_iter().map(CategoryId::from_index)),
+                ),
+                ThreadId::from_raw(thread),
+            )
+        })
+}
+
+fn arb_path() -> impl Strategy<Value = NsPath> {
+    proptest::collection::vec("[a-z][a-z0-9._-]{0,12}", 0..6)
+        .prop_map(|components| NsPath::from_components(components).expect("valid components"))
+}
+
+fn arb_request() -> impl Strategy<Value = Request> {
+    prop_oneof![
+        Just(Request::Ping),
+        Just(Request::Telemetry),
+        (arb_subject(), arb_path(), arb_mode()).prop_map(|(subject, path, mode)| {
+            Request::Check {
+                subject,
+                path,
+                mode,
+            }
+        }),
+        (arb_subject(), arb_path(), arb_mode()).prop_map(|(subject, path, mode)| {
+            Request::Explain {
+                subject,
+                path,
+                mode,
+            }
+        }),
+        (arb_subject(), arb_path()).prop_map(|(subject, path)| Request::List { subject, path }),
+        (
+            arb_subject(),
+            proptest::collection::vec((arb_path(), arb_mode()), 0..16)
+        )
+            .prop_map(|(subject, items)| Request::BatchCheck {
+                subject,
+                items: items
+                    .into_iter()
+                    .map(|(path, mode)| BatchItem { path, mode })
+                    .collect(),
+            }),
+    ]
+}
+
+fn arb_decision() -> impl Strategy<Value = Decision> {
+    prop_oneof![
+        Just(Decision::Allow),
+        Just(Decision::Deny(DenyReason::DacNoEntry)),
+        (0usize..64).prop_map(|i| Decision::Deny(DenyReason::DacNegativeEntry(i))),
+        Just(Decision::Deny(DenyReason::MacFlow)),
+        arb_path().prop_map(|p| Decision::Deny(DenyReason::NotVisibleDac(p))),
+        arb_path().prop_map(|p| Decision::Deny(DenyReason::NotVisibleMac(p))),
+        arb_path().prop_map(|p| Decision::Deny(DenyReason::NotFound(p))),
+        ".{0,24}".prop_map(|s| Decision::Deny(DenyReason::Structure(s))),
+    ]
+}
+
+fn arb_error_code() -> impl Strategy<Value = ErrorCode> {
+    prop_oneof![
+        Just(ErrorCode::Protocol),
+        Just(ErrorCode::Version),
+        Just(ErrorCode::Opcode),
+        Just(ErrorCode::Oversize),
+        Just(ErrorCode::BatchTooLarge),
+        Just(ErrorCode::InvalidSubject),
+        Just(ErrorCode::Denied),
+        Just(ErrorCode::Internal),
+    ]
+}
+
+fn arb_response() -> impl Strategy<Value = Response> {
+    prop_oneof![
+        Just(Response::Pong),
+        arb_decision().prop_map(Response::Decision),
+        proptest::collection::vec(arb_decision(), 0..16).prop_map(Response::Batch),
+        proptest::collection::vec("[a-z]{1,10}", 0..12).prop_map(Response::Listing),
+        ".{0,64}".prop_map(Response::Explanation),
+        ".{0,64}".prop_map(Response::Telemetry),
+        (arb_error_code(), ".{0,32}").prop_map(|(code, message)| Response::Error { code, message }),
+    ]
+}
+
+proptest! {
+    /// encode → decode is the identity on every request frame type.
+    #[test]
+    fn requests_round_trip(request in arb_request()) {
+        let bytes = request.encode();
+        let frame = read_frame(&mut &bytes[..], MAX_FRAME).expect("own frames parse");
+        prop_assert_eq!(frame.opcode, request.opcode() as u8);
+        prop_assert_eq!(Request::decode(frame.opcode, &frame.payload), Ok(request));
+    }
+
+    /// encode → decode is the identity on every response frame type.
+    #[test]
+    fn responses_round_trip(response in arb_response()) {
+        let bytes = response.encode();
+        let frame = read_frame(&mut &bytes[..], MAX_FRAME).expect("own frames parse");
+        prop_assert_eq!(frame.opcode, response.opcode());
+        prop_assert_eq!(Response::decode(frame.opcode, &frame.payload), Ok(response));
+    }
+
+    /// Truncating a valid frame at *any* prefix length is a refusal —
+    /// EOF, truncation, or idle for a zero-length read — never a panic
+    /// and never a successful parse of a shorter structure.
+    #[test]
+    fn truncation_at_every_prefix_is_refused(request in arb_request()) {
+        let bytes = request.encode();
+        for len in 0..bytes.len() {
+            match read_frame(&mut &bytes[..len], MAX_FRAME) {
+                Ok(frame) => {
+                    // The header parsed because the payload length fit
+                    // the prefix; the payload itself must then refuse.
+                    prop_assert!(
+                        Request::decode(frame.opcode, &frame.payload) != Ok(request.clone()),
+                        "prefix of {len} bytes decoded as the full request"
+                    );
+                }
+                Err(FrameError::Eof | FrameError::Proto(_)) => {}
+                Err(other) => prop_assert!(false, "unexpected error: {other:?}"),
+            }
+        }
+    }
+
+    /// The frame reader and payload decoders are total on garbage.
+    #[test]
+    fn decode_total_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        if let Ok(frame) = read_frame(&mut &bytes[..], MAX_FRAME) {
+            let _ = Request::decode(frame.opcode, &frame.payload);
+            let _ = Response::decode(frame.opcode, &frame.payload);
+        }
+    }
+
+    /// Decoders are total on corrupted encodings of real frames.
+    #[test]
+    fn decode_total_on_corruption(
+        request in arb_request(),
+        flips in proptest::collection::vec((0usize..4096, any::<u8>()), 1..8),
+    ) {
+        let mut bytes = request.encode();
+        for (pos, value) in flips {
+            let n = bytes.len();
+            bytes[pos % n] = value;
+        }
+        if let Ok(frame) = read_frame(&mut &bytes[..], MAX_FRAME) {
+            let _ = Request::decode(frame.opcode, &frame.payload);
+        }
+    }
+
+    /// A length prefix larger than the reader's limit is refused before
+    /// any payload is read, whatever the claimed size.
+    #[test]
+    fn oversize_length_prefix_is_refused(len in (MAX_FRAME + 1)..=u32::MAX) {
+        let mut bytes = vec![extsec_server::VERSION, 0x00];
+        bytes.extend_from_slice(&len.to_le_bytes());
+        match read_frame(&mut &bytes[..], MAX_FRAME) {
+            Err(FrameError::Proto(ProtoError::Oversize(claimed))) => {
+                prop_assert_eq!(claimed, u64::from(len));
+            }
+            other => prop_assert!(false, "expected oversize refusal, got {other:?}"),
+        }
+    }
+}

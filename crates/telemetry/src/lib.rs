@@ -30,7 +30,7 @@ mod snapshot;
 
 pub use counter::ShardedCounter;
 pub use histogram::{HistogramSnapshot, LatencyHistogram, BUCKETS};
-pub use sink::{LastSnapshotSink, TelemetrySink};
+pub use sink::{JsonSink, JsonSnapshot, JsonStage, LastSnapshotSink, TelemetrySink};
 pub use snapshot::{StageSnapshot, TelemetrySnapshot};
 
 use extsec_acl::AccessMode;

@@ -1,3 +1,5 @@
-//! Facade for the extsec workspace: re-exports [`extsec_core`].
+//! Facade for the extsec workspace: re-exports [`extsec_core`] plus the
+//! networked front end as [`server`].
 #![forbid(unsafe_code)]
 pub use extsec_core::*;
+pub use extsec_server as server;
