@@ -48,6 +48,7 @@ pub use system::{ExtensibleSystem, SystemBuilder, SystemError};
 pub use extsec_acl as acl;
 pub use extsec_baselines as baselines;
 pub use extsec_ext as ext;
+pub use extsec_faults as faults;
 pub use extsec_lang as lang;
 pub use extsec_mac as mac;
 pub use extsec_namespace as namespace;
@@ -59,8 +60,10 @@ pub use extsec_vm as vm;
 pub use extsec_acl::{AccessMode, Acl, AclEntry, Directory, GroupId, ModeSet, PrincipalId, Who};
 pub use extsec_baselines::{JavaSandboxPolicy, SpinDomainPolicy, TrustTier, UnixPerm, UnixPolicy};
 pub use extsec_ext::{
-    CallCtx, ExtError, ExtRuntime, ExtensionId, ExtensionManifest, Origin, Service, ServiceError,
+    CallCtx, ExtError, ExtRuntime, ExtensionId, ExtensionManifest, HealthConfig, HealthLedger,
+    HealthReport, HealthState, Origin, QuarantineInfo, Service, ServiceError,
 };
+pub use extsec_faults::{FaultAction, FaultPlan, FaultStats, InjectedFault};
 pub use extsec_mac::{
     CategoryId, CategorySet, FlowCheck, FlowPolicy, Lattice, OverwriteRule, SecurityClass,
     TrustLevel,

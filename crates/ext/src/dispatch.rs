@@ -101,10 +101,23 @@ impl Dispatcher {
         interface: &NsPath,
         caller_class: &SecurityClass,
     ) -> Option<&Registration> {
+        self.select_where(interface, caller_class, |_| true)
+    }
+
+    /// Like [`select`](Dispatcher::select), but only considers
+    /// registrations accepted by `routable` — the hook the runtime uses
+    /// to unroute quarantined extensions so their callers fall back to
+    /// the base service instead of faulting again.
+    pub fn select_where(
+        &self,
+        interface: &NsPath,
+        caller_class: &SecurityClass,
+        routable: impl Fn(&Registration) -> bool,
+    ) -> Option<&Registration> {
         let regs = self.table.get(interface)?;
         let mut best: Option<&Registration> = None;
         for reg in regs {
-            if !caller_class.dominates(&reg.class) {
+            if !caller_class.dominates(&reg.class) || !routable(reg) {
                 continue;
             }
             best = match best {

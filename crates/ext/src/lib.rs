@@ -42,11 +42,13 @@
 pub mod authenticate;
 pub mod dispatch;
 pub mod extension;
+pub mod health;
 pub mod runtime;
 pub mod service;
 
 pub use authenticate::{sign, AuthError, KeyRing, ModuleSignature, SigningKey};
 pub use dispatch::{Dispatcher, Registration};
 pub use extension::{Extension, ExtensionId, ExtensionManifest, Origin};
+pub use health::{Admit, HealthConfig, HealthLedger, HealthReport, HealthState, QuarantineInfo};
 pub use runtime::{ExtError, ExtRuntime};
 pub use service::{CallCtx, Service, ServiceError};

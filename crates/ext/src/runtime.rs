@@ -3,15 +3,19 @@
 use crate::authenticate::{AuthError, KeyRing, ModuleSignature};
 use crate::dispatch::Dispatcher;
 use crate::extension::{Extension, ExtensionId, ExtensionManifest};
+use crate::health::{Admit, HealthConfig, HealthLedger, HealthReport, QuarantineInfo};
 use crate::service::{CallCtx, Reenter, Service, ServiceError};
 use extsec_acl::AccessMode;
 use extsec_mac::SecurityClass;
 use extsec_namespace::{NsPath, PathError};
-use extsec_refmon::{DispatchOutcome, MonitorError, ReferenceMonitor, Subject};
+use extsec_refmon::{
+    Decision, DenyReason, DispatchOutcome, ExtFault, MonitorError, ReferenceMonitor, Subject,
+};
 use extsec_vm::{Machine, Module, SyscallHost, Trap, Value, VerifyError};
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
 use std::fmt;
+use std::panic::{self, AssertUnwindSafe};
 use std::sync::Arc;
 
 /// Maximum nesting of gate crossings (extension → service → extension →
@@ -50,6 +54,17 @@ pub enum ExtError {
     GateDepthExceeded,
     /// The extension failed authentication (bad or mismatched signature).
     Auth(AuthError),
+    /// The extension is quarantined by the health circuit breaker.
+    Quarantined {
+        /// The quarantined extension.
+        id: ExtensionId,
+        /// The fault class that tripped the breaker.
+        cause: ExtFault,
+        /// Milliseconds until a probation trial will be admitted.
+        retry_after_ms: u64,
+    },
+    /// A panic crossed the dispatch boundary and was contained.
+    HostPanic(String),
 }
 
 impl fmt::Display for ExtError {
@@ -69,6 +84,17 @@ impl fmt::Display for ExtError {
             ExtError::Trap(t) => write!(f, "trap: {t}"),
             ExtError::GateDepthExceeded => write!(f, "gate depth exceeded"),
             ExtError::Auth(e) => write!(f, "authentication failed: {e}"),
+            ExtError::Quarantined {
+                id,
+                cause,
+                retry_after_ms,
+            } => write!(
+                f,
+                "extension {id} is quarantined (cause: {cause}; probation in {retry_after_ms}ms)"
+            ),
+            ExtError::HostPanic(msg) => {
+                write!(f, "panic contained at dispatch boundary: {msg}")
+            }
         }
     }
 }
@@ -120,6 +146,7 @@ pub struct ExtRuntime {
     services: RwLock<BTreeMap<NsPath, Arc<dyn Service>>>,
     extensions: RwLock<Vec<Option<Arc<Extension>>>>,
     dispatcher: RwLock<Dispatcher>,
+    health: HealthLedger,
 }
 
 impl ExtRuntime {
@@ -130,12 +157,29 @@ impl ExtRuntime {
             services: RwLock::new(BTreeMap::new()),
             extensions: RwLock::new(Vec::new()),
             dispatcher: RwLock::new(Dispatcher::new()),
+            health: HealthLedger::new(HealthConfig::default()),
         })
     }
 
     /// Returns the reference monitor.
     pub fn monitor(&self) -> &Arc<ReferenceMonitor> {
         &self.monitor
+    }
+
+    /// The per-extension health ledger (circuit breaker).
+    pub fn health(&self) -> &HealthLedger {
+        &self.health
+    }
+
+    /// Replaces the circuit-breaker configuration.
+    pub fn set_health_config(&self, config: HealthConfig) {
+        self.health.set_config(config);
+    }
+
+    /// The diagnostic health report for an extension — what `explain`
+    /// shows for a quarantine refusal.
+    pub fn explain_health(&self, id: ExtensionId) -> HealthReport {
+        self.health.report(id)
     }
 
     /// Mounts a service at `prefix` (TCB operation). The service's
@@ -162,7 +206,18 @@ impl ExtRuntime {
         module: Module,
         manifest: ExtensionManifest,
     ) -> Result<ExtensionId, ExtError> {
-        let verified = extsec_vm::verify(module)?;
+        let verified = match extsec_vm::verify(module) {
+            Ok(v) => v,
+            Err(e) => {
+                // No ExtensionId exists yet for rejected code, so the
+                // ledger has nothing to pin the fault to; the global
+                // counter still records the rejection.
+                self.monitor
+                    .telemetry()
+                    .count_ext_fault(ExtFault::VerifyReject);
+                return Err(ExtError::Verify(e));
+            }
+        };
         let link_subject = self.link_subject(&manifest);
         let mut resolved = Vec::with_capacity(verified.module().imports.len());
         for import in &verified.module().imports {
@@ -219,6 +274,7 @@ impl ExtRuntime {
         }
         drop(extensions);
         self.dispatcher.write().unregister_extension(id);
+        self.health.forget(id);
         Ok(())
     }
 
@@ -335,11 +391,15 @@ impl ExtRuntime {
             view.enter(subject, path).map_err(ExtError::Monitor)?
         };
 
-        // Specialization first: §2.2 class-based selection.
+        // Specialization first: §2.2 class-based selection. Quarantined
+        // extensions are unrouted, so their callers fall back to the
+        // base service instead of the breaker refusing the call.
         let selected = {
             let dispatcher = self.dispatcher.read();
             dispatcher
-                .select(path, &effective.class)
+                .select_where(path, &effective.class, |reg| {
+                    self.health.route_allowed(reg.ext)
+                })
                 .map(|reg| (reg.ext, reg.export.clone()))
         };
         if let Some((ext_id, export)) = selected {
@@ -411,25 +471,119 @@ impl ExtRuntime {
             return Err(ExtError::GateDepthExceeded);
         }
         let ext = self.extension(id)?;
-        self.monitor
-            .telemetry()
-            .count_dispatch(DispatchOutcome::ExtensionRun);
+        let tele = self.monitor.telemetry();
+        tele.count_dispatch(DispatchOutcome::ExtensionRun);
+        // Circuit-breaker gate: a quarantined extension is refused with
+        // a typed error before any of its code runs.
+        match self.health.admit(id) {
+            Ok(Admit::Normal) => {}
+            Ok(Admit::Trial) => tele.count_probation_trial(),
+            Err(refusal) => {
+                tele.count_quarantine_denial();
+                self.audit_quarantine(subject, id, &refusal, "dispatch refused");
+                return Err(ExtError::Quarantined {
+                    id,
+                    cause: refusal.cause,
+                    retry_after_ms: refusal.retry_after.as_millis() as u64,
+                });
+            }
+        }
         // Entering a statically classed extension caps the thread's class
         // (§2.2); the principal stays the caller's.
         let effective = match &ext.manifest.static_class {
             Some(static_class) => subject.capped_by(static_class),
             None => subject.clone(),
         };
-        let mut host = GateHost {
-            runtime: self,
-            subject: &effective,
-            depth,
+        // The dispatch boundary is the one place a panic from extension
+        // hosting (or an injected one) is contained: the breaker records
+        // it and the caller sees a typed error, not an unwinding thread.
+        let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
+            if let Some(fault) = extsec_faults::fire_panicky("ext.dispatch") {
+                return Err(Trap::Host(fault.to_string()));
+            }
+            let mut host = GateHost {
+                runtime: self,
+                subject: &effective,
+                depth,
+            };
+            let mut machine = Machine::new(&ext.module);
+            machine.run(export, args, &mut host)
+        }));
+        let result = match outcome {
+            Ok(result) => result,
+            Err(payload) => {
+                self.note_fault(id, subject, ExtFault::HostPanic);
+                return Err(ExtError::HostPanic(panic_message(payload)));
+            }
         };
-        let mut machine = Machine::new(&ext.module);
-        machine.run(export, args, &mut host).map_err(|t| match t {
-            Trap::NoSuchExport(name) => ExtError::NoSuchExport(name),
-            other => ExtError::Trap(other),
-        })
+        match result {
+            Ok(value) => {
+                if self.health.record_success(id) {
+                    tele.count_probation_readmit();
+                }
+                Ok(value)
+            }
+            // Asking for a missing export is a caller error, not a fault
+            // of the extension; the ledger ignores it.
+            Err(Trap::NoSuchExport(name)) => Err(ExtError::NoSuchExport(name)),
+            Err(trap) => {
+                let kind = if matches!(trap, Trap::OutOfFuel) {
+                    ExtFault::Fuel
+                } else {
+                    ExtFault::Trap
+                };
+                self.note_fault(id, subject, kind);
+                Err(ExtError::Trap(trap))
+            }
+        }
+    }
+
+    /// Records one fault against `id`; when it trips the breaker, counts
+    /// the quarantine and emits an audit event naming the cause.
+    fn note_fault(&self, id: ExtensionId, subject: &Subject, kind: ExtFault) {
+        let tele = self.monitor.telemetry();
+        tele.count_ext_fault(kind);
+        if let Some(cause) = self.health.record_fault(id, kind) {
+            tele.count_quarantine();
+            let info = QuarantineInfo {
+                cause,
+                retry_after: self.health.config().cooldown,
+            };
+            self.audit_quarantine(subject, id, &info, "breaker tripped");
+        }
+    }
+
+    /// Appends a quarantine event to the audit log under a synthetic
+    /// `/ext/<id>` path, so the containment action is as reviewable as
+    /// any denial the monitor itself makes.
+    fn audit_quarantine(
+        &self,
+        subject: &Subject,
+        id: ExtensionId,
+        info: &QuarantineInfo,
+        what: &str,
+    ) {
+        if let Ok(path) = format!("/ext/{id}").parse::<NsPath>() {
+            self.monitor.audit().record(
+                subject,
+                &path,
+                AccessMode::Execute,
+                &Decision::Deny(DenyReason::Structure(format!(
+                    "quarantine: {what} (cause: {})",
+                    info.cause
+                ))),
+            );
+        }
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
     }
 }
 

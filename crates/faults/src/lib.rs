@@ -1,0 +1,392 @@
+//! Deterministic, seeded fault injection at tagged points.
+//!
+//! The repository's load-bearing robustness claim is that every fault
+//! **fails closed**: no trap, error, delay, or panic at any internal
+//! point may convert a Deny into a Grant or leak a connection slot. That
+//! claim is only worth stating if it is exercised, so the subsystems that
+//! sit on the decision path — the namespace arena, the system services,
+//! the extension dispatch boundary, and the server's connection loop —
+//! each carry named *fault points*: calls to [`fire`] (or
+//! [`fire_panicky`] where the caller is panic-safe) with a stable tag.
+//!
+//! A test installs a [`FaultPlan`] — either a seeded random storm
+//! ([`FaultPlan::seeded`] plus a firing [`rate`](FaultPlan::rate)) or a
+//! scripted schedule ([`FaultPlan::at`]: "the 3rd hit of `ns.resolve`
+//! errors") — and the points start firing deterministically: the decision
+//! for the *n*-th hit of a tag is a pure function of `(seed, tag, n)`, so
+//! the same plan over the same workload injects the same faults.
+//!
+//! # Zero cost when compiled out
+//!
+//! Everything here is gated on the `active` cargo feature. Without it
+//! (the default for release builds), [`fire`] is an `#[inline(always)]`
+//! function returning a constant `None` — the points compile to nothing.
+//! Consumers therefore depend on this crate unconditionally and never
+//! `cfg`-gate their call sites; the `fault-injection` features on the
+//! workspace crates simply forward to `extsec-faults/active`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::Duration;
+
+/// What an injection point is asked to do when it fires.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Return a typed error from the point.
+    Error,
+    /// Return a trap-flavoured error (the dispatch boundary maps this to
+    /// a VM-style trap; elsewhere it behaves like [`FaultAction::Error`]).
+    Trap,
+    /// Sleep for the given duration, then continue normally. Models a
+    /// stall, not a failure; the operation still runs.
+    Delay(Duration),
+    /// Panic at the point. Only honoured by [`fire_panicky`] sites,
+    /// which sit under a `catch_unwind` or drop-guard boundary;
+    /// [`fire`] downgrades it to [`FaultAction::Error`].
+    Panic,
+}
+
+impl fmt::Display for FaultAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultAction::Error => write!(f, "error"),
+            FaultAction::Trap => write!(f, "trap"),
+            FaultAction::Delay(d) => write!(f, "delay({d:?})"),
+            FaultAction::Panic => write!(f, "panic"),
+        }
+    }
+}
+
+/// A fault that an injection point must now surface as a typed error.
+///
+/// Returned by [`fire`]/[`fire_panicky`] for the `Error` and `Trap`
+/// actions (delays are served internally and panics unwind); the caller
+/// converts it into its own error type and returns it — failing closed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InjectedFault {
+    /// The tag of the point that fired.
+    pub tag: &'static str,
+    /// Whether the point should surface a trap or a plain error.
+    pub action: FaultAction,
+}
+
+impl fmt::Display for InjectedFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "injected {} at {}", self.action, self.tag)
+    }
+}
+
+/// A deterministic injection schedule.
+///
+/// Random mode: every hit of every tag fires with probability
+/// `rate`/1024, choosing uniformly among the plan's allowed
+/// [`actions`](FaultPlan::actions); both draws come from a splitmix of
+/// `(seed, tag, hit-index)`, so a plan replays identically. Scripted
+/// entries ([`FaultPlan::at`]) take precedence and fire exactly once at
+/// the named hit.
+#[derive(Clone, Debug)]
+pub struct FaultPlan {
+    seed: u64,
+    rate_per_1024: u32,
+    actions: Vec<FaultAction>,
+    script: Vec<(&'static str, u64, FaultAction)>,
+}
+
+impl FaultPlan {
+    /// A plan with the given seed, firing nowhere until configured with
+    /// [`rate`](FaultPlan::rate) or [`at`](FaultPlan::at).
+    pub fn seeded(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            rate_per_1024: 0,
+            actions: vec![FaultAction::Error],
+            script: Vec::new(),
+        }
+    }
+
+    /// Sets the random firing probability to `per_1024`/1024 per hit
+    /// (clamped to 1024).
+    pub fn rate(mut self, per_1024: u32) -> Self {
+        self.rate_per_1024 = per_1024.min(1024);
+        self
+    }
+
+    /// Sets the actions random firings choose among (uniformly).
+    pub fn actions(mut self, actions: &[FaultAction]) -> Self {
+        if !actions.is_empty() {
+            self.actions = actions.to_vec();
+        }
+        self
+    }
+
+    /// Scripts `action` at the `nth` hit (0-based) of `tag`.
+    pub fn at(mut self, tag: &'static str, nth: u64, action: FaultAction) -> Self {
+        self.script.push((tag, nth, action));
+        self
+    }
+
+    /// The decision for the `hit`-th occurrence of `tag`: pure in
+    /// `(seed, tag, hit)`, so a plan can be inspected (or replayed by a
+    /// test oracle) without installing it.
+    pub fn decide(&self, tag: &'static str, hit: u64) -> Option<FaultAction> {
+        for (t, nth, action) in &self.script {
+            if *t == tag && *nth == hit {
+                return Some(action.clone());
+            }
+        }
+        if self.rate_per_1024 == 0 {
+            return None;
+        }
+        let h = splitmix64(self.seed ^ splitmix64(hash_tag(tag)) ^ splitmix64(hit));
+        if (h % 1024) as u32 >= self.rate_per_1024 {
+            return None;
+        }
+        let pick = (splitmix64(h) % self.actions.len() as u64) as usize;
+        Some(self.actions[pick].clone())
+    }
+}
+
+/// Counts of what an installed plan actually did, per action class.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Points that surfaced an injected error.
+    pub errors: u64,
+    /// Points that surfaced an injected trap.
+    pub traps: u64,
+    /// Points that served an injected delay.
+    pub delays: u64,
+    /// Points that panicked on request.
+    pub panics: u64,
+}
+
+impl FaultStats {
+    /// Total injections of any kind.
+    pub fn total(&self) -> u64 {
+        self.errors + self.traps + self.delays + self.panics
+    }
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+fn hash_tag(tag: &str) -> u64 {
+    // FNV-1a: stable across runs and platforms, unlike `DefaultHasher`.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in tag.as_bytes() {
+        h ^= u64::from(*byte);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(feature = "active")]
+mod active {
+    use super::{FaultAction, FaultPlan, FaultStats, InjectedFault};
+    use std::collections::HashMap;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Mutex;
+
+    struct Installed {
+        plan: FaultPlan,
+        hits: HashMap<&'static str, u64>,
+        stats: FaultStats,
+    }
+
+    static ARMED: AtomicBool = AtomicBool::new(false);
+    static INSTALLED: Mutex<Option<Installed>> = Mutex::new(None);
+
+    /// Installs `plan` process-wide, replacing any previous plan (and
+    /// resetting hit counters and stats).
+    pub fn install(plan: FaultPlan) {
+        let mut slot = INSTALLED.lock().unwrap_or_else(|e| e.into_inner());
+        *slot = Some(Installed {
+            plan,
+            hits: HashMap::new(),
+            stats: FaultStats::default(),
+        });
+        ARMED.store(true, Ordering::Release);
+    }
+
+    /// Uninstalls the plan, returning what it injected.
+    pub fn clear() -> FaultStats {
+        ARMED.store(false, Ordering::Release);
+        let mut slot = INSTALLED.lock().unwrap_or_else(|e| e.into_inner());
+        slot.take().map(|i| i.stats).unwrap_or_default()
+    }
+
+    /// The running stats of the installed plan, if any.
+    pub fn stats() -> FaultStats {
+        let slot = INSTALLED.lock().unwrap_or_else(|e| e.into_inner());
+        slot.as_ref().map(|i| i.stats).unwrap_or_default()
+    }
+
+    fn consult(tag: &'static str, allow_panic: bool) -> Option<InjectedFault> {
+        if !ARMED.load(Ordering::Acquire) {
+            return None;
+        }
+        let action = {
+            let mut slot = INSTALLED.lock().unwrap_or_else(|e| e.into_inner());
+            let installed = slot.as_mut()?;
+            let hit = installed.hits.entry(tag).or_insert(0);
+            let index = *hit;
+            *hit += 1;
+            let mut action = installed.plan.decide(tag, index)?;
+            if matches!(action, FaultAction::Panic) && !allow_panic {
+                action = FaultAction::Error;
+            }
+            match action {
+                FaultAction::Error => installed.stats.errors += 1,
+                FaultAction::Trap => installed.stats.traps += 1,
+                FaultAction::Delay(_) => installed.stats.delays += 1,
+                FaultAction::Panic => installed.stats.panics += 1,
+            }
+            action
+        };
+        // The lock is released before sleeping or unwinding.
+        match action {
+            FaultAction::Delay(d) => {
+                std::thread::sleep(d.min(std::time::Duration::from_millis(50)));
+                None
+            }
+            FaultAction::Panic => panic!("injected panic at {tag}"),
+            action => Some(InjectedFault { tag, action }),
+        }
+    }
+
+    /// Consults the installed plan at a point that must not panic.
+    /// `Panic` actions are downgraded to `Error`; delays are served
+    /// in-place. Returns the fault the caller must surface, if any.
+    #[inline]
+    pub fn fire(tag: &'static str) -> Option<InjectedFault> {
+        consult(tag, false)
+    }
+
+    /// Consults the plan at a point whose callers are panic-safe (a
+    /// `catch_unwind` or drop-guard boundary); `Panic` actions unwind.
+    #[inline]
+    pub fn fire_panicky(tag: &'static str) -> Option<InjectedFault> {
+        consult(tag, true)
+    }
+}
+
+#[cfg(feature = "active")]
+pub use active::{clear, fire, fire_panicky, install, stats};
+
+#[cfg(not(feature = "active"))]
+mod inactive {
+    use super::{FaultPlan, FaultStats, InjectedFault};
+
+    /// Fault injection is compiled out; nothing to install.
+    pub fn install(_plan: FaultPlan) {}
+
+    /// Fault injection is compiled out; nothing to clear.
+    pub fn clear() -> FaultStats {
+        FaultStats::default()
+    }
+
+    /// Fault injection is compiled out; nothing was injected.
+    pub fn stats() -> FaultStats {
+        FaultStats::default()
+    }
+
+    /// Fault injection is compiled out: a constant `None` the optimizer
+    /// erases along with the call.
+    #[inline(always)]
+    pub fn fire(_tag: &'static str) -> Option<InjectedFault> {
+        None
+    }
+
+    /// Fault injection is compiled out: a constant `None`.
+    #[inline(always)]
+    pub fn fire_panicky(_tag: &'static str) -> Option<InjectedFault> {
+        None
+    }
+}
+
+#[cfg(not(feature = "active"))]
+pub use inactive::{clear, fire, fire_panicky, install, stats};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_decisions_are_deterministic() {
+        let plan = FaultPlan::seeded(42).rate(512);
+        for hit in 0..64 {
+            assert_eq!(plan.decide("a.tag", hit), plan.decide("a.tag", hit));
+        }
+    }
+
+    #[test]
+    fn rate_zero_never_fires_randomly() {
+        let plan = FaultPlan::seeded(7);
+        for hit in 0..256 {
+            assert_eq!(plan.decide("quiet", hit), None);
+        }
+    }
+
+    #[test]
+    fn script_fires_exactly_at_the_named_hit() {
+        let plan = FaultPlan::seeded(0).at("svc.fs", 2, FaultAction::Trap);
+        assert_eq!(plan.decide("svc.fs", 0), None);
+        assert_eq!(plan.decide("svc.fs", 1), None);
+        assert_eq!(plan.decide("svc.fs", 2), Some(FaultAction::Trap));
+        assert_eq!(plan.decide("svc.fs", 3), None);
+        assert_eq!(plan.decide("other", 2), None);
+    }
+
+    #[test]
+    fn full_rate_always_fires() {
+        let plan = FaultPlan::seeded(9).rate(1024);
+        for hit in 0..64 {
+            assert!(plan.decide("loud", hit).is_some());
+        }
+    }
+
+    #[test]
+    fn rates_land_near_the_requested_probability() {
+        let plan = FaultPlan::seeded(1).rate(256); // 1/4
+        let fired = (0..4096)
+            .filter(|hit| plan.decide("sampled", *hit).is_some())
+            .count();
+        assert!((700..=1350).contains(&fired), "fired {fired}/4096");
+    }
+
+    /// The install/clear tests share the process-wide plan slot; this
+    /// serializes them.
+    #[cfg(feature = "active")]
+    fn exclusive() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[cfg(feature = "active")]
+    #[test]
+    fn installed_plan_fires_and_counts() {
+        let _x = exclusive();
+        install(FaultPlan::seeded(3).at("test.point", 1, FaultAction::Error));
+        assert_eq!(fire("test.point"), None);
+        let fault = fire("test.point").expect("second hit scripted");
+        assert_eq!(fault.tag, "test.point");
+        let stats = clear();
+        assert_eq!(stats.errors, 1);
+        assert_eq!(fire("test.point"), None, "cleared plan is silent");
+    }
+
+    #[cfg(feature = "active")]
+    #[test]
+    fn fire_downgrades_panic_to_error() {
+        let _x = exclusive();
+        install(FaultPlan::seeded(3).at("no.panic", 0, FaultAction::Panic));
+        let fault = fire("no.panic").expect("scripted");
+        assert_eq!(fault.action, FaultAction::Error);
+        clear();
+    }
+}

@@ -22,6 +22,10 @@ pub enum NsError {
     BadNodeId(NodeId),
     /// A per-level visitor aborted resolution at the given prefix.
     VisitDenied(NsPath),
+    /// An internal fault (in practice, an injected one) interrupted the
+    /// operation. The reference monitor maps this to a structural denial,
+    /// so a faulting traversal fails closed.
+    Fault(String),
 }
 
 impl fmt::Display for NsError {
@@ -34,6 +38,7 @@ impl fmt::Display for NsError {
             NsError::RootImmutable => write!(f, "the root node is immutable"),
             NsError::BadNodeId(id) => write!(f, "bad node id {id}"),
             NsError::VisitDenied(p) => write!(f, "{p}: traversal denied"),
+            NsError::Fault(msg) => write!(f, "name-space fault: {msg}"),
         }
     }
 }
@@ -129,6 +134,9 @@ impl NameSpace {
     where
         F: FnMut(NodeId, &Node, bool) -> bool,
     {
+        if let Some(fault) = extsec_faults::fire("ns.resolve") {
+            return Err(NsError::Fault(fault.to_string()));
+        }
         let mut current = NodeId::ROOT;
         let components = path.components();
         // Visit the root first.
@@ -189,6 +197,9 @@ impl NameSpace {
         kind: NodeKind,
         protection: Protection,
     ) -> Result<NodeId, NsError> {
+        if let Some(fault) = extsec_faults::fire("ns.insert") {
+            return Err(NsError::Fault(fault.to_string()));
+        }
         if !NsPath::valid_component(name) {
             return Err(NsError::NotFound(NsPath::root()));
         }
@@ -240,6 +251,9 @@ impl NameSpace {
 
     /// Removes the node `id`. Containers must be empty.
     pub fn remove_id(&mut self, id: NodeId) -> Result<(), NsError> {
+        if let Some(fault) = extsec_faults::fire("ns.remove") {
+            return Err(NsError::Fault(fault.to_string()));
+        }
         if id == NodeId::ROOT {
             return Err(NsError::RootImmutable);
         }

@@ -87,8 +87,9 @@ pub use decision::{Decision, DenyReason};
 pub use error::{Error, MonitorError};
 pub use explain::{ExplainStep, Explanation};
 pub use extsec_telemetry::{
-    DispatchOutcome, HistogramSnapshot, JsonSink, JsonSnapshot, JsonStage, LastSnapshotSink,
-    ServiceKind, Stage, StageSnapshot, Telemetry, TelemetrySink, TelemetrySnapshot,
+    DispatchOutcome, ExtFault, HistogramSnapshot, JsonSink, JsonSnapshot, JsonStage,
+    LastSnapshotSink, ServiceKind, Stage, StageSnapshot, Telemetry, TelemetrySink,
+    TelemetrySnapshot,
 };
 pub use floating::FloatingSubject;
 pub use monitor::{MonitorBuilder, MonitorView, ReferenceMonitor};

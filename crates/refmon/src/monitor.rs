@@ -528,8 +528,11 @@ impl ReferenceMonitor {
 
     /// The path prefix naming the ancestor at `depth` (0 = the root).
     fn prefix_of(path: &NsPath, depth: usize) -> NsPath {
+        // A prefix of an already-validated path re-validates; the root
+        // fallback keeps a (structurally impossible) failure on the deny
+        // path instead of panicking inside a check.
         NsPath::from_components(path.components()[..depth].iter().cloned())
-            .expect("already-validated components")
+            .unwrap_or_else(|_| NsPath::root())
     }
 
     /// The final-node mode check: the discretionary half is recorded
@@ -744,7 +747,14 @@ impl ReferenceMonitor {
                 result = Some(f(prot));
             })
         })?;
-        result.expect("update_protection ran the closure")
+        // `update_protection` runs the closure whenever the id resolves,
+        // and it just did; if that invariant ever breaks, refuse rather
+        // than panic while holding the policy lock.
+        result.unwrap_or_else(|| {
+            Err(MonitorError::Ns(NsError::Fault(
+                "update_protection did not run the closure".to_string(),
+            )))
+        })
     }
 
     // ------------------------------------------------------------------

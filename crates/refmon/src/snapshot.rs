@@ -16,7 +16,7 @@ use crate::error::MonitorError;
 use crate::monitor::{MonitorBuilder, ReferenceMonitor};
 use extsec_acl::Directory;
 use extsec_mac::Lattice;
-use extsec_namespace::{NodeKind, NsPath, Protection};
+use extsec_namespace::{NodeKind, NsError, NsPath, Protection};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
@@ -92,9 +92,13 @@ impl ReferenceMonitor {
                     ns.set_protection(root, record.protection)?;
                     continue;
                 }
-                let parent = record.path.parent().expect("non-root paths have parents");
+                let parent = record.path.parent().ok_or_else(|| {
+                    NsError::Fault("snapshot record lacks a parent path".to_string())
+                })?;
                 let parent_id = ns.resolve(&parent)?;
-                let name = record.path.leaf().expect("non-root paths have leaves");
+                let name = record.path.leaf().ok_or_else(|| {
+                    NsError::Fault("snapshot record lacks a leaf name".to_string())
+                })?;
                 let id = ns.insert_at(parent_id, name, record.kind, record.protection)?;
                 if record.extensible {
                     ns.set_extensible(id, true)?;

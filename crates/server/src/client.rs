@@ -35,10 +35,14 @@ pub struct ClientConfig {
     /// Write timeout for the request side of a pipeline.
     pub write_timeout: Duration,
     /// How many times a pipeline is retried on a fresh connection after
-    /// a transient transport error (0 disables retry).
+    /// a transient transport error or a `Busy` shed (0 disables retry).
     pub retries: u32,
     /// Largest accepted response frame payload, bytes.
     pub max_frame: u32,
+    /// First retry's backoff; each further retry doubles it (jittered).
+    pub backoff_base: Duration,
+    /// Ceiling on the exponential backoff between retries.
+    pub backoff_cap: Duration,
 }
 
 impl Default for ClientConfig {
@@ -48,6 +52,8 @@ impl Default for ClientConfig {
             write_timeout: Duration::from_secs(2),
             retries: 2,
             max_frame: MAX_FRAME,
+            backoff_base: Duration::from_millis(10),
+            backoff_cap: Duration::from_millis(250),
         }
     }
 }
@@ -59,6 +65,12 @@ pub enum ClientError {
     Io(io::Error),
     /// The server sent bytes that violate the protocol.
     Proto(ProtoError),
+    /// The server shed the connection (or request) with a `Busy`
+    /// response and retries were exhausted.
+    Busy {
+        /// The server's suggested minimum backoff, in milliseconds.
+        retry_after_ms: u64,
+    },
     /// The server answered with an `Error` response.
     Server {
         /// The error class.
@@ -76,6 +88,9 @@ impl fmt::Display for ClientError {
         match self {
             ClientError::Io(e) => write!(f, "io: {e}"),
             ClientError::Proto(e) => write!(f, "protocol: {e}"),
+            ClientError::Busy { retry_after_ms } => {
+                write!(f, "server busy (retry after {retry_after_ms}ms)")
+            }
             ClientError::Server { code, message } => write!(f, "server [{code}]: {message}"),
             ClientError::Unexpected(what) => write!(f, "unexpected response: {what}"),
         }
@@ -137,19 +152,36 @@ impl Client {
 
     /// Sends every request, then reads one response per request, in
     /// order. Retries the whole pipeline on a fresh connection after a
-    /// transient transport error (safe: all operations are reads).
+    /// transient transport error or a server `Busy` shed (safe: all
+    /// operations are reads), sleeping a jittered exponential backoff
+    /// between attempts so a fleet of shed clients does not return in
+    /// lockstep.
     pub fn pipeline(&mut self, requests: &[Request]) -> Result<Vec<Response>, ClientError> {
         let mut attempt = 0;
         loop {
-            match self.try_pipeline(requests) {
+            let retry_floor = match self.try_pipeline(requests) {
                 Ok(responses) => return Ok(responses),
                 Err(ClientError::Io(e))
                     if attempt < self.config.retries && Self::transient(e.kind()) =>
                 {
-                    attempt += 1;
-                    self.stream = None;
+                    Duration::ZERO
+                }
+                Err(ClientError::Busy { retry_after_ms }) if attempt < self.config.retries => {
+                    Duration::from_millis(retry_after_ms)
                 }
                 Err(other) => return Err(other),
+            };
+            attempt += 1;
+            self.stream = None;
+            let delay = backoff_delay(
+                self.config.backoff_base,
+                self.config.backoff_cap,
+                attempt,
+                jitter_salt(),
+            )
+            .max(retry_floor);
+            if !delay.is_zero() {
+                std::thread::sleep(delay);
             }
         }
     }
@@ -158,7 +190,15 @@ impl Client {
         if self.stream.is_none() {
             self.reconnect()?;
         }
-        let stream = self.stream.as_mut().expect("just connected");
+        let Some(stream) = self.stream.as_mut() else {
+            // reconnect() above either set the stream or bailed with its
+            // own error; this is unreachable, but refuse rather than
+            // panic inside a retry loop.
+            return Err(ClientError::Io(io::Error::new(
+                io::ErrorKind::NotConnected,
+                "reconnect left no stream",
+            )));
+        };
         for request in requests {
             proto::write_frame(stream, &request.encode())?;
         }
@@ -181,8 +221,14 @@ impl Client {
                 Err(FrameError::Io(e)) => return Err(ClientError::Io(e)),
                 Err(FrameError::Proto(e)) => return Err(ClientError::Proto(e)),
             };
-            responses
-                .push(Response::decode(frame.opcode, &frame.payload).map_err(ClientError::Proto)?);
+            let response =
+                Response::decode(frame.opcode, &frame.payload).map_err(ClientError::Proto)?;
+            if let Response::Busy { retry_after_ms } = response {
+                // The server shed us and will close; surface it so the
+                // retry loop can back off for at least the server's hint.
+                return Err(ClientError::Busy { retry_after_ms });
+            }
+            responses.push(response);
         }
         Ok(responses)
     }
@@ -291,5 +337,69 @@ fn unexpected(wanted: &str, got: &Response) -> ClientError {
             "wanted {wanted}, got opcode {:#04x}",
             other.opcode()
         )),
+    }
+}
+
+/// A jittered exponential backoff: attempt 1 sleeps about `base`, each
+/// further attempt doubles it up to `cap`, and the actual delay is drawn
+/// uniformly from the upper half of that window (`[delay/2, delay]`), so
+/// clients shed at the same instant spread their retries out.
+fn backoff_delay(base: Duration, cap: Duration, attempt: u32, salt: u64) -> Duration {
+    let exp = base
+        .saturating_mul(1u32 << attempt.saturating_sub(1).min(16))
+        .min(cap);
+    let nanos = exp.as_nanos() as u64;
+    if nanos == 0 {
+        return Duration::ZERO;
+    }
+    // splitmix64-style scramble; good enough spread for retry jitter
+    // without pulling a RNG into the client.
+    let mut z = salt.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 31;
+    Duration::from_nanos(nanos / 2 + z % (nanos / 2 + 1))
+}
+
+/// Per-call jitter seed from the standard library's randomized hasher.
+fn jitter_salt() -> u64 {
+    use std::hash::{BuildHasher, Hasher};
+    std::collections::hash_map::RandomState::new()
+        .build_hasher()
+        .finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_and_caps() {
+        let base = Duration::from_millis(10);
+        let cap = Duration::from_millis(250);
+        for salt in [0u64, 1, 0xDEAD_BEEF, u64::MAX] {
+            let mut previous_window = Duration::ZERO;
+            for attempt in 1..=10 {
+                let delay = backoff_delay(base, cap, attempt, salt);
+                let window = base.saturating_mul(1u32 << (attempt - 1).min(16)).min(cap);
+                assert!(delay <= window, "attempt {attempt}: {delay:?} > {window:?}");
+                assert!(
+                    delay >= window / 2,
+                    "attempt {attempt}: {delay:?} below half of {window:?}"
+                );
+                assert!(window >= previous_window, "window must be monotone");
+                previous_window = window;
+            }
+            // Far past the doubling range the cap holds.
+            assert!(backoff_delay(base, cap, 1000, salt) <= cap);
+        }
+    }
+
+    #[test]
+    fn zero_base_backoff_is_zero() {
+        assert_eq!(
+            backoff_delay(Duration::ZERO, Duration::ZERO, 3, 42),
+            Duration::ZERO
+        );
     }
 }

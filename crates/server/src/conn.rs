@@ -52,6 +52,7 @@ pub(crate) fn serve(
 ) {
     tele.conn_opened();
     let _guard = CloseGuard(tele);
+    let mut served: u64 = 0;
     loop {
         let frame = match proto::read_frame(&mut stream, config.max_frame) {
             Ok(frame) => frame,
@@ -83,11 +84,34 @@ pub(crate) fn serve(
                     }
                     _ => ErrorCode::Protocol,
                 };
-                close_with_error(&mut stream, &error(code, e.to_string()), tele);
+                close_with_reply(&mut stream, &error(code, e.to_string()), tele);
                 return;
             }
         };
         tele.record_frame_bytes((frame.payload.len() + HEADER_LEN) as u64);
+        // Graceful degradation: a connection that exhausts its request
+        // budget is shed with a typed Busy answer, not starved silently.
+        if served >= config.conn_request_budget {
+            tele.count_shed_budget();
+            let busy = Response::Busy {
+                retry_after_ms: config.shed_retry_after.as_millis() as u64,
+            };
+            close_with_reply(&mut stream, &busy, tele);
+            return;
+        }
+        served += 1;
+        // Injected connection faults fail closed: an Error/Trap answer
+        // plus a close; a Panic unwinds through the close guard (the
+        // slot is still accounted) into the worker's containment.
+        if let Some(fault) = extsec_faults::fire_panicky("server.conn") {
+            tele.count_io_error();
+            close_with_reply(
+                &mut stream,
+                &error(ErrorCode::Internal, fault.to_string()),
+                tele,
+            );
+            return;
+        }
         let response = match handle(&frame, monitor, tele, config) {
             Ok(response) => response,
             Err(e) => {
@@ -98,7 +122,7 @@ pub(crate) fn serve(
                     ProtoError::BadOpcode(_) => ErrorCode::Opcode,
                     _ => ErrorCode::Protocol,
                 };
-                close_with_error(&mut stream, &error(code, e.to_string()), tele);
+                close_with_reply(&mut stream, &error(code, e.to_string()), tele);
                 return;
             }
         };
@@ -227,7 +251,7 @@ fn error(code: ErrorCode, message: String) -> Response {
 /// Dropping a socket with unread bytes makes the kernel send an RST,
 /// which can destroy the error reply still in flight — a refusal should
 /// arrive as a readable answer followed by a clean EOF.
-fn close_with_error(stream: &mut TcpStream, response: &Response, tele: &ServerTelemetry) {
+fn close_with_reply(stream: &mut TcpStream, response: &Response, tele: &ServerTelemetry) {
     if send(stream, response, tele).is_err() {
         return;
     }

@@ -120,6 +120,7 @@ const OP_BATCH: u8 = 0x82;
 const OP_LISTING: u8 = 0x83;
 const OP_EXPLANATION: u8 = 0x84;
 const OP_TELEMETRY: u8 = 0x85;
+const OP_BUSY: u8 = 0x86;
 const OP_ERROR: u8 = 0xBF;
 
 /// Error classes a server can answer with.
@@ -380,6 +381,14 @@ pub enum Response {
     /// Answer to `Telemetry`: a JSON document with `monitor` and
     /// `server` members.
     Telemetry(String),
+    /// The server is saturated and sheds this connection (or request)
+    /// instead of serving it. Unlike an [`Error`](Response::Error), this
+    /// is an explicit invitation to retry: the client should back off
+    /// for at least `retry_after_ms` and reconnect.
+    Busy {
+        /// Suggested minimum backoff before retrying, in milliseconds.
+        retry_after_ms: u64,
+    },
     /// Any request may be refused with an error instead.
     Error {
         /// The error class.
@@ -399,6 +408,7 @@ impl Response {
             Response::Listing(_) => OP_LISTING,
             Response::Explanation(_) => OP_EXPLANATION,
             Response::Telemetry(_) => OP_TELEMETRY,
+            Response::Busy { .. } => OP_BUSY,
             Response::Error { .. } => OP_ERROR,
         }
     }
@@ -422,6 +432,7 @@ impl Response {
                 }
             }
             Response::Explanation(json) | Response::Telemetry(json) => enc.str(json),
+            Response::Busy { retry_after_ms } => enc.uleb(*retry_after_ms),
             Response::Error { code, message } => {
                 enc.u8(*code as u8);
                 enc.str(message);
@@ -454,6 +465,9 @@ impl Response {
             }
             OP_EXPLANATION => Response::Explanation(dec.str(MAX_FRAME as usize)?),
             OP_TELEMETRY => Response::Telemetry(dec.str(MAX_FRAME as usize)?),
+            OP_BUSY => Response::Busy {
+                retry_after_ms: dec.uleb()?,
+            },
             OP_ERROR => {
                 let byte = dec.u8()?;
                 let code = ErrorCode::from_u8(byte).ok_or(ProtoError::BadTag(byte))?;
@@ -885,6 +899,9 @@ mod tests {
         roundtrip_response(Response::Listing(vec!["read".into(), "write".into()]));
         roundtrip_response(Response::Explanation("{\"steps\":[]}".into()));
         roundtrip_response(Response::Telemetry("{}".into()));
+        roundtrip_response(Response::Busy {
+            retry_after_ms: 250,
+        });
         roundtrip_response(Response::Error {
             code: ErrorCode::Denied,
             message: "denied: no entry".into(),

@@ -15,12 +15,13 @@
 //! them all and hands back the final telemetry snapshot.
 
 use crate::conn;
-use crate::proto::MAX_FRAME;
+use crate::proto::{self, Response, MAX_FRAME};
 use crate::telemetry::{ServerTelemetry, ServerTelemetrySnapshot};
 use crossbeam::channel::{self, Receiver, TrySendError};
 use extsec_refmon::ReferenceMonitor;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
@@ -43,6 +44,12 @@ pub struct ServerConfig {
     pub max_frame: u32,
     /// Largest accepted batch, items (at most the protocol's hard cap).
     pub max_batch: usize,
+    /// Requests one connection may issue before it is shed with a
+    /// `Busy` response (graceful degradation under a monopolizing
+    /// client). Effectively unlimited by default.
+    pub conn_request_budget: u64,
+    /// The backoff hint carried in `Busy` responses.
+    pub shed_retry_after: Duration,
 }
 
 impl Default for ServerConfig {
@@ -54,6 +61,8 @@ impl Default for ServerConfig {
             write_timeout: Duration::from_secs(1),
             max_frame: MAX_FRAME,
             max_batch: 1024,
+            conn_request_budget: u64::MAX,
+            shed_retry_after: Duration::from_millis(100),
         }
     }
 }
@@ -102,9 +111,18 @@ impl Server {
                     .spawn(move || {
                         // recv() fails only once the listener has exited
                         // and the queue is drained — the drain half of
-                        // graceful shutdown.
+                        // graceful shutdown. A panic while serving one
+                        // connection (contained here) must not take the
+                        // worker down with it: the slot accounting runs
+                        // in `serve`'s drop guard during the unwind, and
+                        // the worker moves on to the next connection.
                         while let Ok(stream) = rx.recv() {
-                            conn::serve(stream, &monitor, &telemetry, &config, &shutdown);
+                            let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                                conn::serve(stream, &monitor, &telemetry, &config, &shutdown);
+                            }));
+                            if caught.is_err() {
+                                telemetry.count_worker_panic();
+                            }
                         }
                     })?,
             );
@@ -136,9 +154,11 @@ impl Server {
                         // disconnect at shutdown, which the flag covers.
                         Err(TrySendError(stream)) => {
                             // Backpressure: refuse at the door rather
-                            // than queue without bound.
-                            accept_tele.count_rejected_accept();
-                            drop(stream);
+                            // than queue without bound — but refuse
+                            // *legibly*, with a typed Busy frame naming
+                            // a backoff, instead of a silent RST.
+                            accept_tele.count_shed_accept();
+                            shed(stream, &accept_config);
                             if accept_shutdown.load(Ordering::Acquire) {
                                 break;
                             }
@@ -193,5 +213,18 @@ impl Server {
 impl Drop for Server {
     fn drop(&mut self) {
         self.stop();
+    }
+}
+
+/// Sheds one connection at accept: answer `Busy` (best effort), half-close
+/// the write side so the frame survives in flight, and drop the socket.
+/// The shed connection never enters the accepted/closed accounting — it
+/// was refused, not served.
+fn shed(mut stream: TcpStream, config: &ServerConfig) {
+    let busy = Response::Busy {
+        retry_after_ms: config.shed_retry_after.as_millis() as u64,
+    };
+    if proto::write_frame(&mut stream, &busy.encode()).is_ok() {
+        let _ = stream.shutdown(std::net::Shutdown::Write);
     }
 }

@@ -25,8 +25,13 @@ pub struct ServerTelemetry {
     accepted: ShardedCounter,
     /// Connections a worker finished with (whatever the reason).
     closed: ShardedCounter,
-    /// Connections dropped at accept because the queue was full.
-    rejected_accept: ShardedCounter,
+    /// Connections shed at accept (queue full): answered `Busy`
+    /// (best effort) and closed instead of queued without bound.
+    shed_accept: ShardedCounter,
+    /// Connections shed mid-stream for exhausting their request budget.
+    shed_budget: ShardedCounter,
+    /// Panics contained at the worker boundary (the worker survives).
+    worker_panics: ShardedCounter,
     /// Frames refused for violating the protocol.
     protocol_errors: ShardedCounter,
     /// Subset of protocol errors: length prefix over the frame limit.
@@ -62,8 +67,16 @@ impl ServerTelemetry {
         self.closed.incr();
     }
 
-    pub(crate) fn count_rejected_accept(&self) {
-        self.rejected_accept.incr();
+    pub(crate) fn count_shed_accept(&self) {
+        self.shed_accept.incr();
+    }
+
+    pub(crate) fn count_shed_budget(&self) {
+        self.shed_budget.incr();
+    }
+
+    pub(crate) fn count_worker_panic(&self) {
+        self.worker_panics.incr();
     }
 
     pub(crate) fn count_protocol_error(&self) {
@@ -109,7 +122,9 @@ impl ServerTelemetry {
             accepted,
             closed,
             active: accepted.saturating_sub(closed),
-            rejected_accept: self.rejected_accept.get(),
+            shed_accept: self.shed_accept.get(),
+            shed_budget: self.shed_budget.get(),
+            worker_panics: self.worker_panics.get(),
             protocol_errors: self.protocol_errors.get(),
             oversize: self.oversize.get(),
             timeouts: self.timeouts.get(),
@@ -169,8 +184,12 @@ pub struct ServerTelemetrySnapshot {
     pub closed: u64,
     /// Connections currently being served (`accepted - closed`).
     pub active: u64,
-    /// Connections dropped at accept (queue full).
-    pub rejected_accept: u64,
+    /// Connections shed at accept (queue full, answered `Busy`).
+    pub shed_accept: u64,
+    /// Connections shed for exhausting their request budget.
+    pub shed_budget: u64,
+    /// Panics contained at the worker boundary.
+    pub worker_panics: u64,
     /// Frames refused as protocol violations.
     pub protocol_errors: u64,
     /// Length prefixes over the frame limit (subset of protocol errors).
@@ -191,13 +210,13 @@ impl fmt::Display for ServerTelemetrySnapshot {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "connections: accepted={} closed={} active={} rejected={}",
-            self.accepted, self.closed, self.active, self.rejected_accept
+            "connections: accepted={} closed={} active={} shed_accept={} shed_budget={}",
+            self.accepted, self.closed, self.active, self.shed_accept, self.shed_budget
         )?;
         writeln!(
             f,
-            "errors: protocol={} oversize={} timeouts={} io={}",
-            self.protocol_errors, self.oversize, self.timeouts, self.io_errors
+            "errors: protocol={} oversize={} timeouts={} io={} worker_panics={}",
+            self.protocol_errors, self.oversize, self.timeouts, self.io_errors, self.worker_panics
         )?;
         write!(f, "requests:")?;
         for entry in &self.requests {
@@ -234,8 +253,14 @@ mod tests {
         tele.record_batch_latency(Duration::from_micros(3));
         tele.count_protocol_error();
         tele.count_oversize();
+        tele.count_shed_accept();
+        tele.count_shed_budget();
+        tele.count_worker_panic();
 
         let snap = tele.snapshot();
+        assert_eq!(snap.shed_accept, 1);
+        assert_eq!(snap.shed_budget, 1);
+        assert_eq!(snap.worker_panics, 1);
         assert_eq!(snap.accepted, 2);
         assert_eq!(snap.closed, 1);
         assert_eq!(snap.active, 1);

@@ -210,6 +210,9 @@ impl Service for AppletService {
         args: &[Value],
     ) -> Result<Option<Value>, ServiceError> {
         ctx.monitor.telemetry().count_service(ServiceKind::Applets);
+        if let Some(fault) = extsec_faults::fire("svc.applets") {
+            return Err(ServiceError::Failed(fault.to_string()));
+        }
         let arg = |i: usize| -> Result<&str, ServiceError> {
             args.get(i)
                 .and_then(Value::as_str)

@@ -75,6 +75,9 @@ impl Service for ClockService {
         _args: &[Value],
     ) -> Result<Option<Value>, ServiceError> {
         ctx.monitor.telemetry().count_service(ServiceKind::Clock);
+        if let Some(fault) = extsec_faults::fire("svc.clock") {
+            return Err(ServiceError::Failed(fault.to_string()));
+        }
         match op {
             "now" => Ok(Some(Value::Int(self.now()))),
             "ticks" => Ok(Some(Value::Int(self.ticks()))),

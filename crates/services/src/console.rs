@@ -100,6 +100,9 @@ impl Service for ConsoleService {
         args: &[Value],
     ) -> Result<Option<Value>, ServiceError> {
         ctx.monitor.telemetry().count_service(ServiceKind::Console);
+        if let Some(fault) = extsec_faults::fire("svc.console") {
+            return Err(ServiceError::Failed(fault.to_string()));
+        }
         match op {
             "print" => {
                 let line = args

@@ -276,6 +276,9 @@ impl Service for FsService {
         args: &[Value],
     ) -> Result<Option<Value>, ServiceError> {
         ctx.monitor.telemetry().count_service(ServiceKind::Fs);
+        if let Some(fault) = extsec_faults::fire("svc.fs") {
+            return Err(ServiceError::Failed(fault.to_string()));
+        }
         let monitor = ctx.monitor.as_ref();
         match op {
             "create" => {

@@ -212,6 +212,9 @@ impl Service for MbufService {
         args: &[Value],
     ) -> Result<Option<Value>, ServiceError> {
         ctx.monitor.telemetry().count_service(ServiceKind::Mbuf);
+        if let Some(fault) = extsec_faults::fire("svc.mbuf") {
+            return Err(ServiceError::Failed(fault.to_string()));
+        }
         let who = ctx.subject.principal;
         match op {
             "alloc" => {

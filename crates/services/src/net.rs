@@ -195,6 +195,9 @@ impl Service for NetService {
         args: &[Value],
     ) -> Result<Option<Value>, ServiceError> {
         ctx.monitor.telemetry().count_service(ServiceKind::Net);
+        if let Some(fault) = extsec_faults::fire("svc.net") {
+            return Err(ServiceError::Failed(fault.to_string()));
+        }
         let arg = |i: usize| -> Result<&str, ServiceError> {
             args.get(i)
                 .and_then(Value::as_str)

@@ -238,6 +238,9 @@ impl Service for VfsService {
         args: &[Value],
     ) -> Result<Option<Value>, ServiceError> {
         ctx.monitor.telemetry().count_service(ServiceKind::Vfs);
+        if let Some(fault) = extsec_faults::fire("svc.vfs") {
+            return Err(ServiceError::Failed(fault.to_string()));
+        }
         let arg = |i: usize| -> Result<&str, ServiceError> {
             args.get(i)
                 .and_then(Value::as_str)

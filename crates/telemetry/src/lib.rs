@@ -191,6 +191,50 @@ impl std::fmt::Display for DispatchOutcome {
     }
 }
 
+/// A fault class recorded by the extension health ledger.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum ExtFault {
+    /// The extension trapped at runtime (divide by zero, explicit trap,
+    /// a refused syscall, ...).
+    Trap = 0,
+    /// The extension exhausted its fuel budget.
+    Fuel = 1,
+    /// A module failed bytecode verification at load time.
+    VerifyReject = 2,
+    /// A panic crossed the dispatch boundary and was caught there.
+    HostPanic = 3,
+}
+
+impl ExtFault {
+    /// All fault classes, in declaration order.
+    pub const ALL: [ExtFault; 4] = [
+        ExtFault::Trap,
+        ExtFault::Fuel,
+        ExtFault::VerifyReject,
+        ExtFault::HostPanic,
+    ];
+
+    /// Number of fault classes.
+    pub const COUNT: usize = ExtFault::ALL.len();
+
+    /// Short human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ExtFault::Trap => "trap",
+            ExtFault::Fuel => "fuel",
+            ExtFault::VerifyReject => "verify-reject",
+            ExtFault::HostPanic => "host-panic",
+        }
+    }
+}
+
+impl std::fmt::Display for ExtFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// The recording hub for one monitor's pipeline.
 ///
 /// Collection starts disabled; flip it with [`set_enabled`]. The flag is
@@ -204,6 +248,11 @@ pub struct Telemetry {
     modes: [ShardedCounter; AccessMode::ALL.len()],
     services: [ShardedCounter; ServiceKind::COUNT],
     dispatch: [ShardedCounter; DispatchOutcome::COUNT],
+    ext_faults: [ShardedCounter; ExtFault::COUNT],
+    quarantines: ShardedCounter,
+    quarantine_denials: ShardedCounter,
+    probation_trials: ShardedCounter,
+    probation_readmits: ShardedCounter,
     views: ShardedCounter,
     view_ops: ShardedCounter,
     sinks: RwLock<Vec<Arc<dyn TelemetrySink>>>,
@@ -218,6 +267,11 @@ impl Telemetry {
             modes: std::array::from_fn(|_| ShardedCounter::new()),
             services: std::array::from_fn(|_| ShardedCounter::new()),
             dispatch: std::array::from_fn(|_| ShardedCounter::new()),
+            ext_faults: std::array::from_fn(|_| ShardedCounter::new()),
+            quarantines: ShardedCounter::new(),
+            quarantine_denials: ShardedCounter::new(),
+            probation_trials: ShardedCounter::new(),
+            probation_readmits: ShardedCounter::new(),
             views: ShardedCounter::new(),
             view_ops: ShardedCounter::new(),
             sinks: RwLock::new(Vec::new()),
@@ -297,6 +351,48 @@ impl Telemetry {
         }
     }
 
+    /// Counts one recorded extension fault of class `fault`.
+    #[inline]
+    pub fn count_ext_fault(&self, fault: ExtFault) {
+        if self.enabled() {
+            self.ext_faults[fault as usize].incr();
+        }
+    }
+
+    /// Counts one circuit-breaker trip (an extension entering
+    /// quarantine).
+    #[inline]
+    pub fn count_quarantine(&self) {
+        if self.enabled() {
+            self.quarantines.incr();
+        }
+    }
+
+    /// Counts one dispatch refused because the extension is quarantined.
+    #[inline]
+    pub fn count_quarantine_denial(&self) {
+        if self.enabled() {
+            self.quarantine_denials.incr();
+        }
+    }
+
+    /// Counts one probation (half-open) trial dispatch.
+    #[inline]
+    pub fn count_probation_trial(&self) {
+        if self.enabled() {
+            self.probation_trials.incr();
+        }
+    }
+
+    /// Counts one probation trial that succeeded and re-admitted the
+    /// extension.
+    #[inline]
+    pub fn count_probation_readmit(&self) {
+        if self.enabled() {
+            self.probation_readmits.incr();
+        }
+    }
+
     /// Counts one opened monitor view.
     #[inline]
     pub fn count_view(&self) {
@@ -338,6 +434,14 @@ impl Telemetry {
                 .into_iter()
                 .map(|d| (d, self.dispatch[d as usize].get()))
                 .collect(),
+            ext_faults: ExtFault::ALL
+                .into_iter()
+                .map(|fault| (fault, self.ext_faults[fault as usize].get()))
+                .collect(),
+            quarantines: self.quarantines.get(),
+            quarantine_denials: self.quarantine_denials.get(),
+            probation_trials: self.probation_trials.get(),
+            probation_readmits: self.probation_readmits.get(),
             views: self.views.get(),
             view_ops: self.view_ops.get(),
         }

@@ -81,6 +81,17 @@ pub struct JsonSnapshot {
     pub services: BTreeMap<String, u64>,
     /// Dispatch routings per outcome, keyed by outcome name.
     pub dispatch: BTreeMap<String, u64>,
+    /// Extension faults recorded by the health ledger, keyed by fault
+    /// class name.
+    pub ext_faults: BTreeMap<String, u64>,
+    /// Circuit-breaker trips (extensions entering quarantine).
+    pub quarantines: u64,
+    /// Dispatches refused because the extension was quarantined.
+    pub quarantine_denials: u64,
+    /// Probation (half-open) trial dispatches.
+    pub probation_trials: u64,
+    /// Probation trials that re-admitted the extension.
+    pub probation_readmits: u64,
 }
 
 impl From<&TelemetrySnapshot> for JsonSnapshot {
@@ -117,6 +128,15 @@ impl From<&TelemetrySnapshot> for JsonSnapshot {
                 .iter()
                 .map(|(d, n)| (d.name().to_string(), *n))
                 .collect(),
+            ext_faults: snapshot
+                .ext_faults
+                .iter()
+                .map(|(fault, n)| (fault.name().to_string(), *n))
+                .collect(),
+            quarantines: snapshot.quarantines,
+            quarantine_denials: snapshot.quarantine_denials,
+            probation_trials: snapshot.probation_trials,
+            probation_readmits: snapshot.probation_readmits,
         }
     }
 }

@@ -1,7 +1,7 @@
 //! Immutable telemetry snapshots and their prose rendering.
 
 use crate::histogram::HistogramSnapshot;
-use crate::{DispatchOutcome, ServiceKind, Stage};
+use crate::{DispatchOutcome, ExtFault, ServiceKind, Stage};
 use extsec_acl::AccessMode;
 use std::fmt;
 
@@ -32,6 +32,17 @@ pub struct TelemetrySnapshot {
     pub services: Vec<(ServiceKind, u64)>,
     /// Call routings per outcome, in [`DispatchOutcome::ALL`] order.
     pub dispatch: Vec<(DispatchOutcome, u64)>,
+    /// Extension faults recorded by the health ledger, in
+    /// [`ExtFault::ALL`] order.
+    pub ext_faults: Vec<(ExtFault, u64)>,
+    /// Circuit-breaker trips (extensions entering quarantine).
+    pub quarantines: u64,
+    /// Dispatches refused because the extension was quarantined.
+    pub quarantine_denials: u64,
+    /// Probation (half-open) trial dispatches.
+    pub probation_trials: u64,
+    /// Probation trials that succeeded and re-admitted the extension.
+    pub probation_readmits: u64,
     /// Monitor views (pinned snapshots) opened.
     pub views: u64,
     /// Operations performed through a view (one pin, many steps).
@@ -57,6 +68,11 @@ impl TelemetrySnapshot {
     /// Call routings with one outcome.
     pub fn dispatch(&self, outcome: DispatchOutcome) -> u64 {
         self.dispatch[outcome as usize].1
+    }
+
+    /// Extension faults recorded for one class.
+    pub fn ext_fault(&self, fault: ExtFault) -> u64 {
+        self.ext_faults[fault as usize].1
     }
 
     /// Total checks observed (the `Check` stage count).
@@ -127,6 +143,25 @@ impl fmt::Display for TelemetrySnapshot {
             .collect();
         if !dispatch.is_empty() {
             writeln!(f, "  call dispatch: {}", dispatch.join(", "))?;
+        }
+        let faults: Vec<String> = self
+            .ext_faults
+            .iter()
+            .filter(|(_, n)| *n > 0)
+            .map(|(fault, n)| format!("{}: {n}", fault.name()))
+            .collect();
+        if !faults.is_empty() {
+            writeln!(f, "  extension faults: {}", faults.join(", "))?;
+        }
+        if self.quarantines > 0 || self.quarantine_denials > 0 {
+            writeln!(
+                f,
+                "  quarantine: {} trips, {} denials, {} trials ({} re-admitted)",
+                self.quarantines,
+                self.quarantine_denials,
+                self.probation_trials,
+                self.probation_readmits,
+            )?;
         }
         Ok(())
     }

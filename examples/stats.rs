@@ -89,7 +89,31 @@ export main = main
     system.runtime.run(ext, "main", &[], &alice_staff)?;
     let _ = Value::Int(0);
 
-    // 5. Print the whole observability surface. `publish()` also pushes
+    // 5. A misbehaving extension: every run traps, the health ledger
+    //    counts the faults, and the circuit breaker quarantines it —
+    //    visible below in the fault/quarantine counters and the report.
+    let flaky = system.load_extension(
+        r#"
+module flaky
+func main() -> int
+  trap
+end
+export main = main
+"#,
+        ExtensionManifest {
+            name: "flaky".into(),
+            principal: alice,
+            origin: Origin::Local,
+            static_class: None,
+        },
+    )?;
+    let budget = system.runtime.health().config().fault_budget;
+    for _ in 0..=budget {
+        let _ = system.runtime.run(flaky, "main", &[], &alice_staff);
+    }
+    println!("{}", system.runtime.explain_health(flaky));
+
+    // 6. Print the whole observability surface. `publish()` also pushes
     //    the same snapshot to every registered sink.
     system.monitor.telemetry().publish();
     println!("{}", system.monitor.telemetry_snapshot());

@@ -252,3 +252,73 @@ fn t1_java_sandbox_admits_any_untrusted_principal() {
         )
         .allowed());
 }
+
+#[test]
+fn t1_threadmurder_by_extension_trips_quarantine() {
+    // The murderer packages the attack as a loaded extension that
+    // syscalls `/svc/threads/kill`. Every attempt is denied by the
+    // victim's node ACL (a refused gate is a trap at the extension
+    // boundary), the health ledger counts the faults, and the breaker
+    // quarantines the extension — the attacker loses its dispatch
+    // privilege without any policy change.
+    use extsec::{ExtError, ExtensionManifest, HealthConfig, HealthState, Origin};
+    use std::time::Duration;
+
+    let sc = threadmurder_scenario().unwrap();
+    sc.system.runtime.set_health_config(HealthConfig {
+        fault_budget: 3,
+        window: Duration::from_secs(60),
+        cooldown: Duration::from_secs(5),
+    });
+
+    let src = r#"
+module murder
+import kill = "/svc/threads/kill" (str)
+func main()
+  push_str "victim-worker"
+  syscall kill
+  ret
+end
+export main = main
+"#;
+    let id = sc
+        .system
+        .runtime
+        .load(
+            extsec::vm::asm::assemble(src).unwrap(),
+            ExtensionManifest {
+                name: "murder-ext".into(),
+                principal: sc.murderer.principal,
+                origin: Origin::Remote("evil.example".into()),
+                static_class: None,
+            },
+        )
+        .unwrap();
+
+    // Each run is denied at the gate and recorded as a fault.
+    for _ in 0..3 {
+        let e = sc
+            .system
+            .runtime
+            .run(id, "main", &[], &sc.murderer)
+            .unwrap_err();
+        assert!(matches!(e, ExtError::Trap(_)), "got {e:?}");
+        assert_eq!(sc.system.applets.alive("victim-worker"), Some(true));
+    }
+
+    // The breaker has tripped: the murderous extension no longer runs
+    // at all, and the refusal is typed and explained.
+    let e = sc
+        .system
+        .runtime
+        .run(id, "main", &[], &sc.murderer)
+        .unwrap_err();
+    assert!(matches!(e, ExtError::Quarantined { .. }), "got {e:?}");
+    let report = sc.system.runtime.explain_health(id);
+    assert!(
+        matches!(report.state, HealthState::Quarantined { .. }),
+        "got {report}"
+    );
+    // The victim outlives the whole campaign.
+    assert_eq!(sc.system.applets.alive("victim-worker"), Some(true));
+}

@@ -1,0 +1,342 @@
+//! Fault containment: every injected fault fails closed.
+//!
+//! The robustness claim these tests pin down: no trap, error, or panic
+//! injected at any internal fault point may convert a Deny into a Grant
+//! (the monitor answers every internal fault with a structural denial),
+//! and no fault may leak a server connection slot (the accounting drop
+//! guard runs on every exit path, including unwinds).
+//!
+//! The fault points are armed by the `fault-injection` feature, which
+//! this package's dev-dependencies turn on for test builds; release
+//! builds compile the points to nothing. Should the tests ever run with
+//! the machinery compiled out, [`armed`] detects it and they pass
+//! vacuously rather than asserting on faults that cannot fire.
+
+use extsec::faults::{self, FaultAction, FaultPlan};
+use extsec::server::{Client, ClientConfig, Server, ServerConfig};
+use extsec::{
+    AccessMode, Acl, AclEntry, Decision, ExtError, ExtRuntime, ExtensionManifest, HealthConfig,
+    Lattice, ModeSet, MonitorBuilder, MonitorConfig, NodeKind, NsPath, Origin, Protection,
+    ReferenceMonitor, SecurityClass, Subject,
+};
+use proptest::prelude::*;
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Duration;
+
+fn p(s: &str) -> NsPath {
+    s.parse().unwrap()
+}
+
+/// The installed fault plan is process-global; every test that installs
+/// one holds this lock so plans never bleed across tests.
+fn exclusive() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Whether the fault machinery is compiled in (the `fault-injection`
+/// feature). Callers hold [`exclusive`] already.
+fn armed() -> bool {
+    faults::install(FaultPlan::seeded(0).at("containment.probe", 0, FaultAction::Error));
+    let armed = faults::fire("containment.probe").is_some();
+    faults::clear();
+    armed
+}
+
+/// A small world with both grants and denials on record: alice holds
+/// `rx` on `/svc/fs/read`, bob holds nothing. The decision cache is off
+/// so every check walks the name space and meets the fault points.
+fn world() -> (Arc<ReferenceMonitor>, Subject, Subject) {
+    let lattice = Lattice::build(["low", "high"], ["c0"]).unwrap();
+    let mut builder = MonitorBuilder::new(lattice);
+    let alice = builder.add_principal("alice").unwrap();
+    let bob = builder.add_principal("bob").unwrap();
+    builder.config(MonitorConfig {
+        decision_cache: false,
+        ..MonitorConfig::default()
+    });
+    let monitor = builder.build();
+    monitor
+        .bootstrap(|ns| {
+            let visible = Protection::new(
+                Acl::public(ModeSet::only(AccessMode::List)),
+                SecurityClass::bottom(),
+            );
+            ns.ensure_path(&p("/svc/fs"), NodeKind::Domain, &visible)?;
+            let read = ns.insert(
+                &p("/svc/fs"),
+                "read",
+                NodeKind::Procedure,
+                Protection::default(),
+            )?;
+            ns.update_protection(read, |prot| {
+                prot.acl.push(AclEntry::allow_principal_modes(
+                    alice,
+                    ModeSet::parse("rx").unwrap(),
+                ));
+            })?;
+            Ok(())
+        })
+        .unwrap();
+    let class = monitor.lattice(|l| l.parse_class("low").unwrap());
+    (
+        monitor,
+        Subject::new(alice, class.clone()),
+        Subject::new(bob, class),
+    )
+}
+
+/// The probe battery: a mix of grants, ACL denials, and a missing path.
+fn probes(alice: &Subject, bob: &Subject) -> Vec<(Subject, NsPath, AccessMode)> {
+    let mut out = Vec::new();
+    for subject in [alice, bob] {
+        for path in ["/svc/fs/read", "/svc/fs", "/svc/ghost"] {
+            for mode in [AccessMode::Read, AccessMode::Execute, AccessMode::List] {
+                out.push((subject.clone(), p(path), mode));
+            }
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The fail-closed invariant, under randomized fault storms: for
+    /// every probe, the decision under an arbitrary seeded fault plan is
+    /// either identical to the fault-free oracle or a denial. A fault
+    /// may *lose* a grant; it may never *mint* one.
+    #[test]
+    fn injected_faults_never_flip_deny_into_grant(seed in any::<u64>(), rate in 0u32..=1024) {
+        let _x = exclusive();
+        faults::clear();
+        let (monitor, alice, bob) = world();
+        let battery = probes(&alice, &bob);
+        let oracle: Vec<Decision> = battery
+            .iter()
+            .map(|(s, path, mode)| monitor.check(s, path, *mode))
+            .collect();
+        prop_assert!(oracle.iter().any(|d| d.allowed()), "oracle must grant something");
+        prop_assert!(oracle.iter().any(|d| !d.allowed()), "oracle must deny something");
+
+        faults::install(
+            FaultPlan::seeded(seed)
+                .rate(rate)
+                .actions(&[FaultAction::Error, FaultAction::Trap, FaultAction::Panic]),
+        );
+        for ((subject, path, mode), expect) in battery.iter().zip(oracle.iter()) {
+            let got = monitor.check(subject, path, *mode);
+            if got.allowed() {
+                prop_assert_eq!(
+                    &got, expect,
+                    "fault plan (seed {}, rate {}) minted a grant on {} {:?}",
+                    seed, rate, path, mode
+                );
+            }
+        }
+        faults::clear();
+    }
+}
+
+#[test]
+fn scripted_resolve_fault_denies_structurally() {
+    let _x = exclusive();
+    if !armed() {
+        return;
+    }
+    let (monitor, alice, _) = world();
+    let path = p("/svc/fs/read");
+    assert!(monitor.check(&alice, &path, AccessMode::Read).allowed());
+
+    // The very next resolution faults: the same request is now denied,
+    // with the injected fault named in the reason.
+    faults::install(FaultPlan::seeded(1).at("ns.resolve", 0, FaultAction::Error));
+    match monitor.check(&alice, &path, AccessMode::Read) {
+        Decision::Deny(reason) => {
+            assert!(
+                reason.to_string().contains("fault"),
+                "reason should name the fault: {reason}"
+            );
+        }
+        Decision::Allow => panic!("injected resolve fault must deny"),
+    }
+    let stats = faults::clear();
+    assert_eq!(stats.errors, 1);
+
+    // With the plan gone the grant is back — the fault left no residue.
+    assert!(monitor.check(&alice, &path, AccessMode::Read).allowed());
+}
+
+#[test]
+fn dispatch_panic_is_contained_and_recorded() {
+    let _x = exclusive();
+    if !armed() {
+        return;
+    }
+    let (monitor, alice, _) = world();
+    let runtime = ExtRuntime::new(Arc::clone(&monitor));
+    runtime.set_health_config(HealthConfig {
+        fault_budget: 100,
+        window: Duration::from_secs(60),
+        cooldown: Duration::from_secs(5),
+    });
+    let src = r#"
+module calm
+func main() -> int
+  push_int 1
+  ret
+end
+export main = main
+"#;
+    let id = runtime
+        .load(
+            extsec::vm::asm::assemble(src).unwrap(),
+            ExtensionManifest {
+                name: "calm".into(),
+                principal: alice.principal,
+                origin: Origin::Local,
+                static_class: None,
+            },
+        )
+        .unwrap();
+
+    // A panic injected inside the dispatch boundary surfaces as a typed
+    // error — the calling thread does not unwind — and the health
+    // ledger records it.
+    faults::install(FaultPlan::seeded(2).at("ext.dispatch", 0, FaultAction::Panic));
+    let e = runtime.run(id, "main", &[], &alice).unwrap_err();
+    assert!(matches!(e, ExtError::HostPanic(_)), "got {e:?}");
+    let stats = faults::clear();
+    assert_eq!(stats.panics, 1);
+    assert_eq!(runtime.explain_health(id).total_faults, 1);
+
+    // The extension itself is fine and runs normally afterwards.
+    assert_eq!(
+        runtime.run(id, "main", &[], &alice).unwrap(),
+        Some(extsec::vm::Value::Int(1))
+    );
+}
+
+#[test]
+fn service_faults_surface_as_errors_not_grants() {
+    let _x = exclusive();
+    if !armed() {
+        return;
+    }
+    use extsec::vm::Value;
+    let sc = extsec::scenarios::applet_scenario().unwrap();
+    let read = |subject| {
+        sc.system.call(
+            subject,
+            "/svc/fs/read",
+            &[Value::Str("dept-1/report".into())],
+        )
+    };
+    assert!(read(&sc.user).is_ok());
+
+    // An injected service fault turns the gated read into a typed
+    // failure...
+    faults::install(FaultPlan::seeded(3).at("svc.fs", 0, FaultAction::Error));
+    let e = read(&sc.user).unwrap_err();
+    assert!(e.to_string().contains("injected"), "got {e}");
+    faults::clear();
+
+    // ...and a read the oracle denies stays denied under faults too.
+    faults::install(
+        FaultPlan::seeded(4)
+            .rate(256)
+            .actions(&[FaultAction::Error]),
+    );
+    assert!(read(&sc.applet_d2).is_err());
+    faults::clear();
+}
+
+#[test]
+fn budget_shed_answers_busy_and_client_retries_through() {
+    let _x = exclusive();
+    faults::clear();
+    let (monitor, _, _) = world();
+    let server = Server::spawn(
+        monitor,
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 2,
+            conn_request_budget: 2,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let mut client = Client::connect(server.local_addr(), ClientConfig::default()).unwrap();
+    // Every ping succeeds even though the server sheds the connection
+    // after two requests: the client sees the typed Busy, backs off,
+    // reconnects, and retries.
+    for _ in 0..5 {
+        client.ping().unwrap();
+    }
+    drop(client);
+    let snap = server.shutdown();
+    assert!(snap.shed_budget >= 1, "budget shed never fired: {snap}");
+    assert_eq!(snap.accepted, snap.closed, "slot leak: {snap}");
+}
+
+#[test]
+fn server_fault_storm_leaks_no_slots() {
+    let _x = exclusive();
+    if !armed() {
+        return;
+    }
+    let (monitor, alice, _) = world();
+    let server = Server::spawn(
+        Arc::clone(&monitor),
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 3,
+            accept_queue: 4,
+            conn_request_budget: 8,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let path = p("/svc/fs/read");
+    // The fault-free oracle, fixed before the storm starts.
+    let oracle_allows = monitor.check(&alice, &path, AccessMode::Read).allowed();
+    assert!(oracle_allows);
+
+    // A storm across every fault point, panics included: the connection
+    // loop's injected panics unwind through the slot guard into the
+    // worker's containment.
+    faults::install(FaultPlan::seeded(0xdead_beef).rate(300).actions(&[
+        FaultAction::Error,
+        FaultAction::Trap,
+        FaultAction::Panic,
+    ]));
+    for round in 0..24 {
+        let mut client = match Client::connect(
+            server.local_addr(),
+            ClientConfig {
+                retries: 1,
+                ..ClientConfig::default()
+            },
+        ) {
+            Ok(client) => client,
+            Err(_) => continue,
+        };
+        // Outcomes are irrelevant — only the accounting is under test —
+        // but any *granted* decision must match the fault-free policy.
+        let _ = client.ping();
+        if let Ok(decision) = client.check(&alice, &path, AccessMode::Read) {
+            if decision.allowed() {
+                assert!(oracle_allows, "round {round}: storm minted a grant");
+            }
+        }
+        let _ = client.ping();
+    }
+    let stats = faults::clear();
+    let snap = server.shutdown();
+    assert_eq!(snap.accepted, snap.closed, "slot leak under storm: {snap}");
+    assert_eq!(snap.active, 0, "active connections after shutdown: {snap}");
+    assert!(
+        stats.total() > 0,
+        "the storm never fired; the test proved nothing"
+    );
+}
