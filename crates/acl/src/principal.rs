@@ -8,7 +8,7 @@
 //! through nested groups; the closure computation is cycle-safe.
 
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashSet};
 use std::fmt;
 
 /// Identifier of a principal (an individual subject identity).
@@ -125,10 +125,52 @@ impl std::error::Error for DirectoryError {}
 /// // Membership is transitive through nesting.
 /// assert!(dir.is_member(alice, all));
 /// ```
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Debug, Default)]
 pub struct Directory {
     principals: Vec<Principal>,
     groups: Vec<Group>,
+    /// Uniqueness index over principal names, kept out of the
+    /// serialized form (the manual impls below rebuild it).
+    /// Registration is append-only, so a `len` mismatch against
+    /// `principals` is the (only) sign the index is stale.
+    principal_names: HashSet<String>,
+}
+
+impl Clone for Directory {
+    fn clone(&self) -> Self {
+        Directory {
+            principals: self.principals.clone(),
+            groups: self.groups.clone(),
+            // Left empty: clones happen on the monitor's copy-on-write
+            // publish path, which never registers principals. The next
+            // `add_principal` on the clone rebuilds the index once.
+            principal_names: HashSet::new(),
+        }
+    }
+}
+
+impl Serialize for Directory {
+    fn serialize(&self) -> serde::Content {
+        serde::Content::Map(vec![
+            ("principals".to_string(), self.principals.serialize()),
+            ("groups".to_string(), self.groups.serialize()),
+        ])
+    }
+}
+
+impl Deserialize for Directory {
+    fn deserialize(content: &serde::Content) -> Result<Self, serde::Error> {
+        let map = content.as_map().ok_or_else(|| {
+            serde::Error::custom(format!("Directory: expected map, got {}", content.kind()))
+        })?;
+        let principals: Vec<Principal> = serde::__field(map, "principals")?;
+        let groups: Vec<Group> = serde::__field(map, "groups")?;
+        Ok(Directory {
+            principal_names: principals.iter().map(|p| p.name.clone()).collect(),
+            principals,
+            groups,
+        })
+    }
 }
 
 impl Directory {
@@ -146,7 +188,10 @@ impl Directory {
         if name.is_empty() {
             return Err(DirectoryError::EmptyName);
         }
-        if self.principals.iter().any(|p| p.name == name) {
+        if self.principal_names.len() != self.principals.len() {
+            self.principal_names = self.principals.iter().map(|p| p.name.clone()).collect();
+        }
+        if !self.principal_names.insert(name.clone()) {
             return Err(DirectoryError::DuplicateName(name));
         }
         let id = PrincipalId(self.principals.len() as u32);

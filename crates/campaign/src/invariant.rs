@@ -1,0 +1,315 @@
+//! The machine-checked campaign invariants.
+//!
+//! Each checker is a standalone function over public monitor/runtime
+//! surfaces, so `tests/fault_containment.rs` and
+//! `tests/attack_matrix.rs` reuse exactly the predicates the explorer
+//! runs, instead of maintaining parallel ad-hoc assertions.
+
+use extsec_core::{
+    AccessMode, Acl, Decision, ExtError, HealthReport, HealthState, NsPath, PrincipalId,
+    ReferenceMonitor, Subject, Value,
+};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::str::FromStr;
+use std::time::Duration;
+
+/// The invariant classes a campaign is checked against.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Invariant {
+    /// A check was granted that the post-revocation ACL no longer
+    /// grants: the revocation did not take effect (or a cached grant
+    /// outlived it).
+    StaleGrant,
+    /// An allowed check whose mandatory lattice flow re-derivation
+    /// fails: information flowed against the lattice.
+    MacFlow,
+    /// A quarantined extension (with its cooldown still running) was
+    /// dispatched anyway.
+    QuarantineBypass,
+    /// The cached decision path and the uncached oracle disagree.
+    CacheCoherence,
+    /// An injected fault minted a grant the fault-free oracle denies.
+    FailClosed,
+}
+
+impl fmt::Display for Invariant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Invariant::StaleGrant => "stale-grant",
+            Invariant::MacFlow => "mac-flow",
+            Invariant::QuarantineBypass => "quarantine-bypass",
+            Invariant::CacheCoherence => "cache-coherence",
+            Invariant::FailClosed => "fail-closed",
+        };
+        write!(f, "{name}")
+    }
+}
+
+impl FromStr for Invariant {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "stale-grant" => Ok(Invariant::StaleGrant),
+            "mac-flow" => Ok(Invariant::MacFlow),
+            "quarantine-bypass" => Ok(Invariant::QuarantineBypass),
+            "cache-coherence" => Ok(Invariant::CacheCoherence),
+            "fail-closed" => Ok(Invariant::FailClosed),
+            other => Err(format!("unknown invariant {other:?}")),
+        }
+    }
+}
+
+/// A detected invariant violation: which invariant, at which campaign
+/// step (0 when the checker ran outside a campaign), and the evidence.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Violation {
+    /// The violated invariant.
+    pub invariant: Invariant,
+    /// The campaign step during which the violation was detected.
+    pub step: usize,
+    /// Human-readable evidence.
+    pub detail: String,
+}
+
+impl Violation {
+    pub(crate) fn new(invariant: Invariant, detail: String) -> Self {
+        Violation {
+            invariant,
+            step: 0,
+            detail,
+        }
+    }
+
+    /// Stamps the campaign step the violation was detected at.
+    pub fn at_step(mut self, step: usize) -> Self {
+        self.step = step;
+        self
+    }
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} at step {}: {}",
+            self.invariant, self.step, self.detail
+        )
+    }
+}
+
+/// Whether a denial names an injected fault — the one denial class a
+/// fault storm is *allowed* to introduce (faults may lose grants, never
+/// mint them).
+pub fn is_injected_denial(decision: &Decision) -> bool {
+    match decision {
+        Decision::Allow => false,
+        Decision::Deny(reason) => reason.to_string().contains("injected"),
+    }
+}
+
+/// Decision-cache coherence: evaluates the request through the cached
+/// path and through the uncached oracle and requires them to agree.
+/// Under a storm (`storm = true`) the two evaluations meet independent
+/// injected faults, so a disagreement is tolerated exactly when the
+/// denying side names an injected fault.
+pub fn coherent(
+    monitor: &ReferenceMonitor,
+    subject: &Subject,
+    path: &NsPath,
+    mode: AccessMode,
+    storm: bool,
+) -> Result<Decision, Violation> {
+    let cached = monitor.check(subject, path, mode);
+    let oracle = monitor.check_unmemoized(subject, path, mode);
+    let ok = if storm {
+        cached.allowed() == oracle.allowed()
+            || (cached.allowed() && is_injected_denial(&oracle))
+            || (oracle.allowed() && is_injected_denial(&cached))
+    } else {
+        cached == oracle
+    };
+    if ok {
+        Ok(cached)
+    } else {
+        Err(Violation::new(
+            Invariant::CacheCoherence,
+            format!("{path} {mode:?}: cached {cached:?} but uncached oracle {oracle:?}"),
+        ))
+    }
+}
+
+/// MAC lattice flow: an allowed decision is re-derived against the
+/// node's current label under the monitor's configured flow policy. A
+/// denial trivially satisfies the invariant; an unresolvable node (e.g.
+/// an injected resolve fault on the TCB inspection path) is skipped.
+pub fn mac_flow(
+    monitor: &ReferenceMonitor,
+    subject: &Subject,
+    path: &NsPath,
+    mode: AccessMode,
+    decision: &Decision,
+) -> Result<(), Violation> {
+    if !decision.allowed() {
+        return Ok(());
+    }
+    let config = monitor.config();
+    let Ok(prot) = monitor.protection_of(path) else {
+        return Ok(());
+    };
+    if config
+        .flow
+        .permits(&subject.class, &prot.label, config.flow_check(mode))
+    {
+        Ok(())
+    } else {
+        Err(Violation::new(
+            Invariant::MacFlow,
+            format!(
+                "{path} {mode:?} allowed, but flow {:?} from {} to {} is not permitted",
+                config.flow_check(mode),
+                subject.class,
+                prot.label
+            ),
+        ))
+    }
+}
+
+/// Fail-closed: an observed decision may only be a grant if the
+/// fault-free oracle also grants. Used probe-by-probe under storms.
+pub fn fail_closed(oracle: &Decision, observed: &Decision) -> Result<(), Violation> {
+    if observed.allowed() && !oracle.allowed() {
+        Err(Violation::new(
+            Invariant::FailClosed,
+            format!("oracle denied ({oracle:?}) but the observed decision granted"),
+        ))
+    } else {
+        Ok(())
+    }
+}
+
+/// Quarantine honoured: given the extension's health report *before* a
+/// dispatch and the dispatch outcome, a quarantined extension whose
+/// cooldown is still comfortably running must have been refused with
+/// the typed error. (A cooldown within 5 s of expiry is not asserted —
+/// real time elapses between the report and the dispatch.)
+pub fn quarantine_honoured(
+    report: &HealthReport,
+    outcome: &Result<Option<Value>, ExtError>,
+) -> Result<(), Violation> {
+    let HealthState::Quarantined { retry_after, .. } = &report.state else {
+        return Ok(());
+    };
+    if *retry_after < Duration::from_secs(5) {
+        return Ok(());
+    }
+    match outcome {
+        Err(ExtError::Quarantined { .. }) => Ok(()),
+        other => Err(Violation::new(
+            Invariant::QuarantineBypass,
+            format!(
+                "{} quarantined ({}ms cooldown left) but dispatch returned {other:?}",
+                report.id,
+                retry_after.as_millis()
+            ),
+        )),
+    }
+}
+
+/// The revocation ledger: for each leaf with a completed guarded
+/// revocation, the ACL the monitor acknowledged and the principal
+/// indices it revoked. Probes compare live decisions against this
+/// ground truth until the next ACL-touching operation supersedes it.
+#[derive(Default)]
+pub struct RevocationLedger {
+    expected: BTreeMap<usize, Expectation>,
+}
+
+/// One leaf's post-revocation ground truth.
+pub struct Expectation {
+    /// The ACL the guarded `set_acl` acknowledged.
+    pub acl: Acl,
+    /// Principal indices revoked against that ACL (most recent last,
+    /// capped — older revocations are superseded by the newer ACL).
+    pub principals: Vec<usize>,
+}
+
+impl RevocationLedger {
+    /// Records a completed revocation of `principal` on `leaf`,
+    /// replacing any previous expectation for the leaf.
+    pub fn note(&mut self, leaf: usize, acl: Acl, principal: usize) {
+        let entry = self.expected.entry(leaf).or_insert_with(|| Expectation {
+            acl: Acl::new(),
+            principals: Vec::new(),
+        });
+        entry.acl = acl;
+        if !entry.principals.contains(&principal) {
+            entry.principals.push(principal);
+            if entry.principals.len() > 4 {
+                entry.principals.remove(0);
+            }
+        }
+    }
+
+    /// Drops the expectation for `leaf` (its ACL was legitimately
+    /// changed by a later operation).
+    pub fn clear(&mut self, leaf: usize) {
+        self.expected.remove(&leaf);
+    }
+
+    /// The expectation for `leaf`, if one is live.
+    pub fn expectation(&self, leaf: usize) -> Option<&Expectation> {
+        self.expected.get(&leaf)
+    }
+
+    /// Up to `n` live expectations in deterministic (leaf-index) order:
+    /// the post-mutation re-probe targets.
+    pub fn sample(&self, n: usize) -> Vec<(usize, Vec<usize>)> {
+        self.expected
+            .iter()
+            .take(n)
+            .map(|(leaf, e)| (*leaf, e.principals.clone()))
+            .collect()
+    }
+
+    /// Verifies one allowed decision against the ledger: if the leaf
+    /// has a live expectation covering this principal and the expected
+    /// ACL no longer grants the mode, the grant is stale.
+    pub fn verify_grant(
+        &self,
+        monitor: &ReferenceMonitor,
+        leaf: usize,
+        principal_index: usize,
+        principal: PrincipalId,
+        mode: AccessMode,
+    ) -> Result<(), Violation> {
+        let Some(expectation) = self.expected.get(&leaf) else {
+            return Ok(());
+        };
+        if !expectation.principals.contains(&principal_index) {
+            return Ok(());
+        }
+        let granted = monitor.directory(|d| expectation.acl.check(d, principal, mode).granted());
+        if granted {
+            Ok(())
+        } else {
+            Err(Violation::new(
+                Invariant::StaleGrant,
+                format!(
+                    "leaf {leaf} still grants {mode:?} to revoked principal index \
+                     {principal_index} ({principal})"
+                ),
+            ))
+        }
+    }
+
+    /// Number of leaves with live expectations.
+    pub fn len(&self) -> usize {
+        self.expected.len()
+    }
+
+    /// Whether the ledger has no live expectations.
+    pub fn is_empty(&self) -> bool {
+        self.expected.is_empty()
+    }
+}

@@ -1,0 +1,102 @@
+//! Replay and automatic campaign minimization.
+//!
+//! Every violation an exploration finds is shrunk with delta debugging
+//! (ddmin): remove chunks of the op list, replay, and keep any removal
+//! under which the *same invariant* still fires. The result is a short,
+//! human-readable campaign suitable for `tests/corpus/`.
+
+use crate::invariant::Violation;
+use crate::op::Campaign;
+use crate::session::Session;
+
+/// Replays a recorded campaign from scratch — fresh world, fresh fault
+/// plan — and returns the first violation, if the campaign still
+/// produces one. Deterministic for a fixed campaign text.
+pub fn replay(campaign: &Campaign) -> Option<Violation> {
+    let plan = campaign.build_plan();
+    let mut session = Session::start(&campaign.spec, plan, campaign.storm.is_some());
+    let mut violation = None;
+    for op in &campaign.ops {
+        if let Err(v) = session.apply(op) {
+            violation = Some(v);
+            break;
+        }
+    }
+    session.finish();
+    violation
+}
+
+/// What minimization did: the shrunk campaign and how many replays it
+/// spent.
+#[derive(Debug)]
+pub struct MinimizeReport {
+    /// The minimized campaign (ops are a subsequence of the input's;
+    /// `expect` is preserved).
+    pub campaign: Campaign,
+    /// Replays spent shrinking.
+    pub replays: usize,
+}
+
+/// Shrinks `campaign` to a locally minimal op list that still violates
+/// the same invariant (`campaign.expect`; if unset, any violation
+/// counts), spending at most `max_replays` replays. The returned
+/// campaign always still reproduces.
+pub fn minimize(campaign: &Campaign, max_replays: usize) -> MinimizeReport {
+    let mut best = campaign.clone();
+    let mut replays = 0usize;
+    let target = campaign.expect;
+    let still_fails = |candidate: &Campaign, replays: &mut usize| -> bool {
+        *replays += 1;
+        match replay(candidate) {
+            Some(v) => target.is_none_or(|t| v.invariant == t),
+            None => false,
+        }
+    };
+
+    // Classic ddmin over chunk complements.
+    let mut chunks = 2usize;
+    while best.ops.len() > 1 && chunks <= best.ops.len() && replays < max_replays {
+        let chunk = best.ops.len().div_ceil(chunks);
+        let mut shrunk = false;
+        let mut start = 0usize;
+        while start < best.ops.len() && replays < max_replays {
+            let end = (start + chunk).min(best.ops.len());
+            let mut candidate = best.clone();
+            candidate.ops.drain(start..end);
+            if !candidate.ops.is_empty() && still_fails(&candidate, &mut replays) {
+                best = candidate;
+                shrunk = true;
+                // Re-chunk against the shorter list; keep scanning from
+                // the same offset.
+                chunks = chunks.max(2).min(best.ops.len().max(2));
+            } else {
+                start = end;
+            }
+        }
+        if !shrunk {
+            if chunk == 1 {
+                break;
+            }
+            chunks = (chunks * 2).min(best.ops.len());
+        }
+    }
+
+    // Final singleton sweep, back to front, to catch stragglers.
+    let mut i = best.ops.len();
+    while i > 0 && replays < max_replays {
+        i -= 1;
+        if best.ops.len() <= 1 {
+            break;
+        }
+        let mut candidate = best.clone();
+        candidate.ops.remove(i);
+        if still_fails(&candidate, &mut replays) {
+            best = candidate;
+        }
+    }
+
+    MinimizeReport {
+        campaign: best,
+        replays,
+    }
+}

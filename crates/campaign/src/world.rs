@@ -1,0 +1,565 @@
+//! Deterministic scenario generator: campus and app-store worlds built
+//! from a [`WorldSpec`], at populations from a handful of principals up
+//! to 10^6. The same generator seeds the explorer's starting states and
+//! the F15 scale harness, so "the world the invariants were checked in"
+//! and "the world the benchmarks measure" are one artifact.
+
+use extsec_core::acl::DirectoryError;
+use extsec_core::{
+    AccessMode, Acl, AclEntry, CategoryId, ExtError, ExtRuntime, ExtensionId, ExtensionManifest,
+    GroupId, HealthConfig, Lattice, ModeSet, MonitorBuilder, NodeKind, NsPath, Origin, PrincipalId,
+    Protection, ReferenceMonitor, SecurityClass, Subject, TrustLevel, Who,
+};
+use std::collections::HashMap;
+use std::fmt;
+use std::str::FromStr;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Which flavour of world to generate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Profile {
+    /// A campus: departments as categories, `public < internal <
+    /// restricted` trust levels, department file trees.
+    Campus,
+    /// An app store: vendors as categories, `sandbox < store < system`
+    /// trust levels, per-vendor app trees.
+    AppStore,
+}
+
+impl Profile {
+    fn level_names(self) -> [&'static str; 3] {
+        match self {
+            Profile::Campus => ["public", "internal", "restricted"],
+            Profile::AppStore => ["sandbox", "store", "system"],
+        }
+    }
+
+    fn category_prefix(self) -> &'static str {
+        match self {
+            Profile::Campus => "dept",
+            Profile::AppStore => "vendor",
+        }
+    }
+
+    fn root(self) -> &'static str {
+        match self {
+            Profile::Campus => "campus",
+            Profile::AppStore => "store",
+        }
+    }
+}
+
+impl fmt::Display for Profile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Profile::Campus => write!(f, "campus"),
+            Profile::AppStore => write!(f, "app-store"),
+        }
+    }
+}
+
+impl FromStr for Profile {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "campus" => Ok(Profile::Campus),
+            "app-store" => Ok(Profile::AppStore),
+            other => Err(format!("unknown profile {other:?}")),
+        }
+    }
+}
+
+/// The deterministic recipe for a generated world. Equal specs build
+/// byte-for-byte identical worlds (same ids, same paths, same policies).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WorldSpec {
+    /// World flavour.
+    pub profile: Profile,
+    /// Number of ordinary principals (`p0..`), not counting the admin.
+    pub principals: usize,
+    /// Number of departments/vendors — both the lattice categories and
+    /// the principal groups.
+    pub departments: usize,
+    /// Interior namespace depth below the profile root.
+    pub depth: usize,
+    /// Branching factor of the interior tree.
+    pub branching: usize,
+    /// Number of leaf objects hung off the deepest directories.
+    pub leaves: usize,
+    /// Seed for the generator's own deterministic choices.
+    pub seed: u64,
+}
+
+impl WorldSpec {
+    /// A small campus world, sized for explorer campaigns.
+    pub fn campus(seed: u64) -> Self {
+        WorldSpec {
+            profile: Profile::Campus,
+            principals: 8,
+            departments: 3,
+            depth: 3,
+            branching: 2,
+            leaves: 12,
+            seed,
+        }
+    }
+
+    /// A small app-store world, sized for explorer campaigns.
+    pub fn app_store(seed: u64) -> Self {
+        WorldSpec {
+            profile: Profile::AppStore,
+            principals: 10,
+            departments: 4,
+            depth: 2,
+            branching: 3,
+            leaves: 9,
+            seed,
+        }
+    }
+
+    /// A scale-harness world: `principals` principals with deep
+    /// namespaces and layered policies (the F15 configuration).
+    pub fn scaled(profile: Profile, principals: usize, seed: u64) -> Self {
+        WorldSpec {
+            profile,
+            principals,
+            departments: 16,
+            depth: 4,
+            branching: 8,
+            leaves: (principals / 20).max(50),
+            seed,
+        }
+    }
+}
+
+impl fmt::Display for WorldSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} principals={} departments={} depth={} branching={} leaves={} seed={}",
+            self.profile,
+            self.principals,
+            self.departments,
+            self.depth,
+            self.branching,
+            self.leaves,
+            self.seed
+        )
+    }
+}
+
+impl FromStr for WorldSpec {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut words = s.split_whitespace();
+        let profile: Profile = words.next().ok_or("empty world spec")?.parse()?;
+        let mut spec = WorldSpec {
+            profile,
+            principals: 0,
+            departments: 1,
+            depth: 1,
+            branching: 1,
+            leaves: 1,
+            seed: 0,
+        };
+        for word in words {
+            let (key, value) = word
+                .split_once('=')
+                .ok_or_else(|| format!("expected key=value, got {word:?}"))?;
+            let n: u64 = value
+                .parse()
+                .map_err(|e| format!("bad value for {key}: {e}"))?;
+            match key {
+                "principals" => spec.principals = n as usize,
+                "departments" => spec.departments = n as usize,
+                "depth" => spec.depth = n as usize,
+                "branching" => spec.branching = n as usize,
+                "leaves" => spec.leaves = n as usize,
+                "seed" => spec.seed = n,
+                other => return Err(format!("unknown world key {other:?}")),
+            }
+        }
+        if spec.principals == 0 || spec.leaves == 0 || spec.departments == 0 {
+            return Err("world needs at least one principal, leaf, and department".into());
+        }
+        Ok(spec)
+    }
+}
+
+/// What [`World::build_timed`] measured — the F15 build-side numbers.
+#[derive(Clone, Copy, Debug)]
+pub struct BuildStats {
+    /// Principals registered (admin included).
+    pub principals: usize,
+    /// Name-space nodes created.
+    pub nodes: usize,
+    /// Wall-clock build time.
+    pub build: Duration,
+}
+
+/// A generated world: monitor, extension runtime, and the dramatis
+/// personae the campaign operations index into.
+///
+/// Index vectors only ever grow during a campaign (removed leaves keep
+/// their slot and simply stop resolving), so an operation recorded
+/// against one world state stays meaningful — if blunted — after
+/// minimization removes the operations that came before it.
+pub struct World {
+    /// The spec this world was built from.
+    pub spec: WorldSpec,
+    /// The reference monitor over the generated namespace.
+    pub monitor: Arc<ReferenceMonitor>,
+    /// The extension runtime (quarantine breaker armed with a tight
+    /// budget so campaigns exercise it).
+    pub runtime: Arc<ExtRuntime>,
+    /// The distinguished administrator, holder of `Administrate` on
+    /// every generated leaf.
+    pub admin: PrincipalId,
+    /// Ordinary principals; campaign ops address them by index.
+    pub principals: Vec<PrincipalId>,
+    /// The group every principal belongs to.
+    pub everyone: GroupId,
+    /// Department/vendor groups; principal `i` starts in `depts[i % d]`.
+    pub depts: Vec<GroupId>,
+    /// The deepest interior directories (creation sites for new leaves).
+    pub domains: Vec<NsPath>,
+    /// Leaf objects; campaign ops address them by index.
+    pub leaves: Vec<NsPath>,
+    /// Installed extensions with their owner's principal index.
+    pub extensions: Vec<(ExtensionId, usize)>,
+    /// Lattice-valid classes for relabel/create operations.
+    pub palette: Vec<SecurityClass>,
+    levels: Vec<TrustLevel>,
+    index: HashMap<PrincipalId, usize>,
+    created: u64,
+}
+
+/// A well-behaved extension: returns 1.
+const CALM_SRC: &str =
+    "module calm\nfunc main() -> int\n  push_int 1\n  ret\nend\nexport main = main\n";
+/// A hostile extension: spins until the fuel meter traps it.
+const HOSTILE_SRC: &str =
+    "module hostile\nfunc main()\nlabel spin\n  jump spin\nend\nexport main = main\n";
+
+impl World {
+    /// Builds the world described by `spec`. Deterministic: equal specs
+    /// yield identical worlds.
+    pub fn build(spec: &WorldSpec) -> World {
+        World::build_timed(spec).0
+    }
+
+    /// Builds the world and reports the F15 build-side measurements.
+    pub fn build_timed(spec: &WorldSpec) -> (World, BuildStats) {
+        let start = Instant::now();
+        let departments = spec.departments.max(1);
+        let lattice = Lattice::build(
+            spec.profile.level_names(),
+            (0..departments).map(|d| format!("{}{d}", spec.profile.category_prefix())),
+        )
+        .expect("world lattice");
+        let levels: Vec<TrustLevel> = spec
+            .profile
+            .level_names()
+            .iter()
+            .map(|name| lattice.level(name).expect("world level"))
+            .collect();
+
+        let mut builder = MonitorBuilder::new(lattice);
+        let admin = builder.add_principal("admin").expect("admin principal");
+        let principals: Vec<PrincipalId> = (0..spec.principals)
+            .map(|i| builder.add_principal(format!("p{i}")).expect("principal"))
+            .collect();
+        let everyone = builder.add_group("everyone").expect("everyone group");
+        let depts: Vec<GroupId> = (0..departments)
+            .map(|d| {
+                builder
+                    .add_group(format!("{}{d}", spec.profile.category_prefix()))
+                    .expect("department group")
+            })
+            .collect();
+        for (i, p) in principals.iter().enumerate() {
+            builder.add_member(everyone, *p).expect("everyone member");
+            builder
+                .add_member(depts[i % departments], *p)
+                .expect("department member");
+        }
+        let monitor = builder.build();
+
+        // The interior tree: `domains` deepest directories addressed by
+        // their base-`branching` digit strings, all publicly listable so
+        // layering comes from leaf policies (interior churn is a
+        // campaign op, not a build-time feature).
+        let fanout = spec
+            .branching
+            .max(1)
+            .saturating_pow(spec.depth.min(8) as u32)
+            .min(4096);
+        let ndomains = (spec.leaves / 8).clamp(1, fanout);
+        let mut domains = Vec::with_capacity(ndomains);
+        for j in 0..ndomains {
+            let mut path = format!("/{}", spec.profile.root());
+            let mut digits = Vec::with_capacity(spec.depth);
+            let mut v = j;
+            for _ in 0..spec.depth.max(1) {
+                digits.push(v % spec.branching.max(1));
+                v /= spec.branching.max(1);
+            }
+            for digit in digits.iter().rev() {
+                path.push_str(&format!("/d{digit}"));
+            }
+            domains.push(path.parse::<NsPath>().expect("domain path"));
+        }
+
+        let runtime = ExtRuntime::new(Arc::clone(&monitor));
+        runtime.set_health_config(HealthConfig {
+            fault_budget: 2,
+            window: Duration::from_secs(3600),
+            cooldown: Duration::from_secs(30),
+        });
+        let mut world = World {
+            spec: spec.clone(),
+            monitor,
+            runtime,
+            admin,
+            principals,
+            everyone,
+            depts,
+            domains,
+            leaves: Vec::with_capacity(spec.leaves),
+            extensions: Vec::new(),
+            palette: Vec::new(),
+            levels,
+            index: HashMap::new(),
+            created: 0,
+        };
+        world.index = world
+            .principals
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (*p, i))
+            .collect();
+        world.palette = world.build_palette();
+
+        let leaf_protections: Vec<Protection> =
+            (0..spec.leaves).map(|i| world.leaf_protection(i)).collect();
+        let domains = world.domains.clone();
+        world
+            .monitor
+            .bootstrap(|ns| {
+                let visible = Protection::new(
+                    Acl::public(ModeSet::only(AccessMode::List)),
+                    SecurityClass::bottom(),
+                );
+                let mut domain_ids = Vec::with_capacity(domains.len());
+                for path in &domains {
+                    domain_ids.push(ns.ensure_path(path, NodeKind::Directory, &visible)?);
+                }
+                for (i, prot) in leaf_protections.iter().enumerate() {
+                    ns.insert_at(
+                        domain_ids[i % domain_ids.len()],
+                        &format!("o{i}"),
+                        NodeKind::Procedure,
+                        prot.clone(),
+                    )?;
+                }
+                Ok(())
+            })
+            .expect("world namespace");
+        for (i, domain) in (0..spec.leaves).map(|i| (i, &world.domains[i % world.domains.len()])) {
+            let path = format!("{domain}/o{i}")
+                .parse::<NsPath>()
+                .expect("leaf path");
+            world.leaves.push(path);
+        }
+
+        let stats = BuildStats {
+            principals: world.principals.len() + 1,
+            nodes: world.monitor.inspect(|ns| ns.len()),
+            build: start.elapsed(),
+        };
+        (world, stats)
+    }
+
+    fn build_palette(&self) -> Vec<SecurityClass> {
+        let d = self.spec.departments.max(1);
+        let mut palette = Vec::new();
+        for (li, lvl) in self.levels.iter().enumerate() {
+            palette.push(SecurityClass::new(*lvl, std::iter::empty().collect()));
+            palette.push(SecurityClass::new(
+                *lvl,
+                [CategoryId::from_index((li % d) as u16)]
+                    .into_iter()
+                    .collect(),
+            ));
+            if d > 1 {
+                palette.push(SecurityClass::new(
+                    *lvl,
+                    [CategoryId::from_index(0), CategoryId::from_index(1)]
+                        .into_iter()
+                        .collect(),
+                ));
+            }
+        }
+        palette
+    }
+
+    /// The layered policy of generated leaf `i`: an admin entry, a
+    /// department grant, one per-principal grant, periodic negative
+    /// entries, and a deterministic MAC label.
+    fn leaf_protection(&self, i: usize) -> Protection {
+        let d = self.spec.departments.max(1);
+        let np = self.principals.len().max(1);
+        let mut acl = Acl::from_entries([
+            AclEntry::allow_principal_modes(self.admin, ModeSet::all()),
+            AclEntry::allow_group_modes(self.depts[i % d], ModeSet::parse("rx").unwrap()),
+            AclEntry::allow_principal_modes(
+                self.principals[i % np],
+                ModeSet::parse("rwx").unwrap(),
+            ),
+        ]);
+        if i.is_multiple_of(5) {
+            acl.push(AclEntry::deny_group(
+                self.depts[(i + 1) % d],
+                AccessMode::Write,
+            ));
+        }
+        Protection::new(acl, self.leaf_label(i))
+    }
+
+    fn leaf_label(&self, i: usize) -> SecurityClass {
+        let lvl = [0, 0, 1, 0, 1, 0, 2, 1][i % 8].min(self.levels.len() - 1);
+        let cats: Vec<CategoryId> = if i.is_multiple_of(3) {
+            Vec::new()
+        } else {
+            vec![CategoryId::from_index(
+                (i % self.spec.departments.max(1)) as u16,
+            )]
+        };
+        SecurityClass::new(self.levels[lvl], cats.into_iter().collect())
+    }
+
+    /// The fixed security class of principal `i` (mostly mid-level with
+    /// the principal's own department; a sprinkling of low- and
+    /// high-clearance subjects).
+    pub fn class_of(&self, i: usize) -> SecurityClass {
+        let d = self.spec.departments.max(1);
+        let lvl = [1, 1, 0, 1, 1, 2, 1, 1][i % 8].min(self.levels.len() - 1);
+        let mut cats = vec![CategoryId::from_index((i % d) as u16)];
+        if i % 16 == 5 {
+            cats.push(CategoryId::from_index(((i + 1) % d) as u16));
+        }
+        SecurityClass::new(self.levels[lvl], cats.into_iter().collect())
+    }
+
+    /// The subject for principal index `i` (indices wrap).
+    pub fn subject(&self, i: usize) -> Subject {
+        let i = i % self.principals.len().max(1);
+        Subject::new(self.principals[i], self.class_of(i))
+    }
+
+    /// The administrator acting at exactly `label` — `Administrate`
+    /// maps to an observe-and-modify flow check, which requires class
+    /// equality with the node being administered.
+    pub fn admin_subject(&self, label: &SecurityClass) -> Subject {
+        Subject::new(self.admin, label.clone())
+    }
+
+    /// Maps a principal id back to its campaign index.
+    pub fn principal_index(&self, p: PrincipalId) -> Option<usize> {
+        self.index.get(&p).copied()
+    }
+
+    /// Registers a fresh principal (joins `everyone` and a department),
+    /// returning its index.
+    pub fn add_principal(&mut self) -> usize {
+        let n = self.principals.len();
+        let everyone = self.everyone;
+        let dept = self.depts[n % self.depts.len()];
+        let id = self
+            .monitor
+            .directory_mut(|d| {
+                let id = d.add_principal(format!("px{n}"))?;
+                d.add_member(everyone, id)?;
+                d.add_member(dept, id)?;
+                Ok::<_, DirectoryError>(id)
+            })
+            .expect("fresh principal");
+        self.principals.push(id);
+        self.index.insert(id, n);
+        n
+    }
+
+    /// Creates a fresh leaf under `domains[domain]` with palette class
+    /// `class` (TCB operation). Returns the new leaf's index, or `None`
+    /// if the insert failed (e.g. an injected namespace fault).
+    pub fn create_leaf(&mut self, domain: usize, class: usize) -> Option<usize> {
+        let domain = &self.domains[domain % self.domains.len()];
+        let name = format!("n{}", self.created);
+        self.created += 1;
+        let d = self.spec.departments.max(1);
+        let serial = self.created as usize;
+        let prot = Protection::new(
+            Acl::from_entries([
+                AclEntry::allow_principal_modes(self.admin, ModeSet::all()),
+                AclEntry::allow_group_modes(self.depts[serial % d], ModeSet::parse("rx").unwrap()),
+            ]),
+            self.palette[class % self.palette.len()].clone(),
+        );
+        let path: NsPath = format!("{domain}/{name}").parse().expect("leaf path");
+        let inserted = self
+            .monitor
+            .bootstrap(|ns| {
+                let parent = ns.resolve(domain)?;
+                ns.insert_at(parent, &name, NodeKind::Procedure, prot)?;
+                Ok(())
+            })
+            .is_ok();
+        if !inserted {
+            return None;
+        }
+        self.leaves.push(path);
+        Some(self.leaves.len() - 1)
+    }
+
+    /// Loads a calm or hostile extension owned by principal index
+    /// `owner`; hostile ones spin until the fuel meter traps them, which
+    /// is what feeds the quarantine breaker during campaigns.
+    pub fn install_ext(&mut self, owner: usize, hostile: bool) -> Result<ExtensionId, ExtError> {
+        let owner = owner % self.principals.len().max(1);
+        let src = if hostile { HOSTILE_SRC } else { CALM_SRC };
+        let module = extsec_core::vm::asm::assemble(src).expect("extension source");
+        let n = self.extensions.len();
+        let id = self.runtime.load(
+            module,
+            ExtensionManifest {
+                name: format!("e{n}"),
+                principal: self.principals[owner],
+                origin: if hostile {
+                    Origin::Remote("campaign.adversary".into())
+                } else {
+                    Origin::Local
+                },
+                static_class: None,
+            },
+        )?;
+        self.extensions.push((id, owner));
+        Ok(id)
+    }
+
+    /// The per-principal allow entries of `path`'s ACL, as campaign
+    /// principal indices — the revocation candidates.
+    pub fn granted_principals(&self, path: &NsPath) -> Vec<usize> {
+        let Ok(prot) = self.monitor.protection_of(path) else {
+            return Vec::new();
+        };
+        prot.acl
+            .entries()
+            .iter()
+            .filter_map(|e| match e.who {
+                Who::Principal(p) if p != self.admin => self.principal_index(p),
+                _ => None,
+            })
+            .collect()
+    }
+}

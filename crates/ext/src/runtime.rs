@@ -479,13 +479,20 @@ impl ExtRuntime {
             Ok(Admit::Normal) => {}
             Ok(Admit::Trial) => tele.count_probation_trial(),
             Err(refusal) => {
-                tele.count_quarantine_denial();
-                self.audit_quarantine(subject, id, &refusal, "dispatch refused");
-                return Err(ExtError::Quarantined {
-                    id,
-                    cause: refusal.cause,
-                    retry_after_ms: refusal.retry_after.as_millis() as u64,
-                });
+                // Mutant point, scripted-only: a fired `ext.admit.bypass`
+                // drops the refusal and lets the quarantined extension
+                // run — the planted quarantine-bypass bug the campaign
+                // explorer's self-test must detect. Random fault storms
+                // never reach it; release builds compile it to nothing.
+                if extsec_faults::fire_mutant("ext.admit.bypass").is_none() {
+                    tele.count_quarantine_denial();
+                    self.audit_quarantine(subject, id, &refusal, "dispatch refused");
+                    return Err(ExtError::Quarantined {
+                        id,
+                        cause: refusal.cause,
+                        retry_after_ms: refusal.retry_after.as_millis() as u64,
+                    });
+                }
             }
         }
         // Entering a statically classed extension caps the thread's class

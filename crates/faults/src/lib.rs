@@ -16,6 +16,13 @@
 //! for the *n*-th hit of a tag is a pure function of `(seed, tag, n)`, so
 //! the same plan over the same workload injects the same faults.
 //!
+//! A third kind of point, [`fire_mutant`], marks *planted bugs* (a
+//! silently skipped revocation, a bypassed quarantine gate) used by the
+//! campaign explorer's self-tests. Mutants are fail-open, which is why
+//! they only honour scripted plan entries and are invisible to random
+//! storms: the storm contract — faults may lose grants, never mint them
+//! — would otherwise be broken by the plan itself.
+//!
 //! # Zero cost when compiled out
 //!
 //! Everything here is gated on the `active` cargo feature. Without it
@@ -91,7 +98,7 @@ pub struct FaultPlan {
     seed: u64,
     rate_per_1024: u32,
     actions: Vec<FaultAction>,
-    script: Vec<(&'static str, u64, FaultAction)>,
+    script: Vec<(&'static str, Option<u64>, FaultAction)>,
 }
 
 impl FaultPlan {
@@ -123,7 +130,15 @@ impl FaultPlan {
 
     /// Scripts `action` at the `nth` hit (0-based) of `tag`.
     pub fn at(mut self, tag: &'static str, nth: u64, action: FaultAction) -> Self {
-        self.script.push((tag, nth, action));
+        self.script.push((tag, Some(nth), action));
+        self
+    }
+
+    /// Scripts `action` at **every** hit of `tag`. Used to arm mutant
+    /// points ([`fire_mutant`]) unconditionally, e.g. "every
+    /// `refmon.set_acl.apply` is silently skipped".
+    pub fn always(mut self, tag: &'static str, action: FaultAction) -> Self {
+        self.script.push((tag, None, action));
         self
     }
 
@@ -131,10 +146,8 @@ impl FaultPlan {
     /// `(seed, tag, hit)`, so a plan can be inspected (or replayed by a
     /// test oracle) without installing it.
     pub fn decide(&self, tag: &'static str, hit: u64) -> Option<FaultAction> {
-        for (t, nth, action) in &self.script {
-            if *t == tag && *nth == hit {
-                return Some(action.clone());
-            }
+        if let Some(action) = self.decide_scripted(tag, hit) {
+            return Some(action);
         }
         if self.rate_per_1024 == 0 {
             return None;
@@ -145,6 +158,20 @@ impl FaultPlan {
         }
         let pick = (splitmix64(h) % self.actions.len() as u64) as usize;
         Some(self.actions[pick].clone())
+    }
+
+    /// Like [`decide`](FaultPlan::decide), but consults only the scripted
+    /// entries ([`at`](FaultPlan::at)/[`always`](FaultPlan::always)) —
+    /// never the random rate. This is the decision function of *mutant*
+    /// points ([`fire_mutant`]): planted bugs that must be opted into
+    /// explicitly and can never be triggered by a random storm.
+    pub fn decide_scripted(&self, tag: &'static str, hit: u64) -> Option<FaultAction> {
+        for (t, nth, action) in &self.script {
+            if *t == tag && nth.is_none_or(|n| n == hit) {
+                return Some(action.clone());
+            }
+        }
+        None
     }
 }
 
@@ -159,12 +186,15 @@ pub struct FaultStats {
     pub delays: u64,
     /// Points that panicked on request.
     pub panics: u64,
+    /// Mutant points ([`fire_mutant`]) that fired — planted bugs, only
+    /// ever armed by an explicit script entry.
+    pub mutants: u64,
 }
 
 impl FaultStats {
     /// Total injections of any kind.
     pub fn total(&self) -> u64 {
-        self.errors + self.traps + self.delays + self.panics
+        self.errors + self.traps + self.delays + self.panics + self.mutants
     }
 }
 
@@ -273,10 +303,33 @@ mod active {
     pub fn fire_panicky(tag: &'static str) -> Option<InjectedFault> {
         consult(tag, true)
     }
+
+    /// Consults the plan at a **mutant** point: a planted bug (e.g. "the
+    /// guarded ACL replacement is silently skipped") rather than an
+    /// environmental fault. Mutants are *fail-open* by nature, so only
+    /// scripted entries ([`FaultPlan::at`]/[`FaultPlan::always`]) can
+    /// fire them — a random storm, whose contract is that every injected
+    /// fault fails closed, never reaches a mutant. Firing is recorded in
+    /// [`FaultStats::mutants`]; the action kind is carried but not
+    /// served (no delay, no panic) — the point's semantics *is* the bug.
+    #[inline]
+    pub fn fire_mutant(tag: &'static str) -> Option<InjectedFault> {
+        if !ARMED.load(Ordering::Acquire) {
+            return None;
+        }
+        let mut slot = INSTALLED.lock().unwrap_or_else(|e| e.into_inner());
+        let installed = slot.as_mut()?;
+        let hit = installed.hits.entry(tag).or_insert(0);
+        let index = *hit;
+        *hit += 1;
+        let action = installed.plan.decide_scripted(tag, index)?;
+        installed.stats.mutants += 1;
+        Some(InjectedFault { tag, action })
+    }
 }
 
 #[cfg(feature = "active")]
-pub use active::{clear, fire, fire_panicky, install, stats};
+pub use active::{clear, fire, fire_mutant, fire_panicky, install, stats};
 
 #[cfg(not(feature = "active"))]
 mod inactive {
@@ -307,10 +360,17 @@ mod inactive {
     pub fn fire_panicky(_tag: &'static str) -> Option<InjectedFault> {
         None
     }
+
+    /// Fault injection is compiled out: a constant `None`, so mutant
+    /// points (planted bugs) cannot exist in release builds.
+    #[inline(always)]
+    pub fn fire_mutant(_tag: &'static str) -> Option<InjectedFault> {
+        None
+    }
 }
 
 #[cfg(not(feature = "active"))]
-pub use inactive::{clear, fire, fire_panicky, install, stats};
+pub use inactive::{clear, fire, fire_mutant, fire_panicky, install, stats};
 
 #[cfg(test)]
 mod tests {
@@ -388,5 +448,44 @@ mod tests {
         let fault = fire("no.panic").expect("scripted");
         assert_eq!(fault.action, FaultAction::Error);
         clear();
+    }
+
+    #[test]
+    fn always_fires_at_every_hit_of_its_tag_only() {
+        let plan = FaultPlan::seeded(0).always("mut.point", FaultAction::Error);
+        for hit in 0..16 {
+            assert_eq!(
+                plan.decide_scripted("mut.point", hit),
+                Some(FaultAction::Error)
+            );
+            assert_eq!(plan.decide_scripted("other", hit), None);
+        }
+    }
+
+    #[test]
+    fn scripted_decisions_ignore_the_random_rate() {
+        // A full-rate storm fires `decide` everywhere, but the scripted
+        // view — what mutant points consult — stays silent.
+        let plan = FaultPlan::seeded(9).rate(1024);
+        for hit in 0..64 {
+            assert!(plan.decide("loud", hit).is_some());
+            assert_eq!(plan.decide_scripted("loud", hit), None);
+        }
+    }
+
+    #[cfg(feature = "active")]
+    #[test]
+    fn mutant_points_never_fire_under_a_random_storm() {
+        let _x = exclusive();
+        install(FaultPlan::seeded(5).rate(1024));
+        for _ in 0..32 {
+            assert_eq!(fire_mutant("mut.storm"), None);
+        }
+        assert_eq!(clear().mutants, 0);
+
+        install(FaultPlan::seeded(5).always("mut.armed", FaultAction::Error));
+        assert!(fire_mutant("mut.armed").is_some());
+        assert!(fire_mutant("mut.armed").is_some());
+        assert_eq!(clear().mutants, 2);
     }
 }

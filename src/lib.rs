@@ -1,5 +1,7 @@
 //! Facade for the extsec workspace: re-exports [`extsec_core`] plus the
-//! networked front end as [`server`].
+//! networked front end as [`server`] and the adversarial campaign
+//! explorer as [`campaign`].
 #![forbid(unsafe_code)]
+pub use extsec_campaign as campaign;
 pub use extsec_core::*;
 pub use extsec_server as server;

@@ -9,6 +9,7 @@
 //! extsec blocks all four.
 
 use extsec::baselines::unix::bits;
+use extsec::campaign::{coherent, mac_flow, quarantine_honoured};
 use extsec::scenarios::threadmurder_scenario;
 use extsec::{
     AccessMode, Acl, AclEntry, GroupId, JavaSandboxPolicy, ModeSet, NsPath, PolicyEngine,
@@ -148,6 +149,15 @@ fn t1_attack_matrix() {
             .iter()
             .map(|e| e.decide(attacker, &path, attack.mode).allowed())
             .collect();
+        // The extsec cell is additionally held to the campaign
+        // invariants: the cached decision must agree with the uncached
+        // oracle, and were the attack admitted, the grant would have to
+        // re-derive under the MAC lattice.
+        let decision = coherent(&sc.system.monitor, attacker, &path, attack.mode, false)
+            .unwrap_or_else(|v| panic!("{}: {v}", attack.name));
+        mac_flow(&sc.system.monitor, attacker, &path, attack.mode, &decision)
+            .unwrap_or_else(|v| panic!("{}: {v}", attack.name));
+        assert_eq!(decision.allowed(), got[3], "{}", attack.name);
         println!(
             "{:<18} {:>14} {:>7} {:>13} {:>7}",
             attack.name, got[0], got[1], got[2], got[3]
@@ -268,7 +278,7 @@ fn t1_threadmurder_by_extension_trips_quarantine() {
     sc.system.runtime.set_health_config(HealthConfig {
         fault_budget: 3,
         window: Duration::from_secs(60),
-        cooldown: Duration::from_secs(5),
+        cooldown: Duration::from_secs(30),
     });
 
     let src = r#"
@@ -307,17 +317,18 @@ export main = main
     }
 
     // The breaker has tripped: the murderous extension no longer runs
-    // at all, and the refusal is typed and explained.
-    let e = sc
-        .system
-        .runtime
-        .run(id, "main", &[], &sc.murderer)
-        .unwrap_err();
-    assert!(matches!(e, ExtError::Quarantined { .. }), "got {e:?}");
+    // at all, and the refusal honours the campaign quarantine invariant
+    // (report says quarantined, dispatch must return the typed error).
     let report = sc.system.runtime.explain_health(id);
     assert!(
         matches!(report.state, HealthState::Quarantined { .. }),
         "got {report}"
+    );
+    let outcome = sc.system.runtime.run(id, "main", &[], &sc.murderer);
+    quarantine_honoured(&report, &outcome).expect("quarantine honoured");
+    assert!(
+        matches!(outcome, Err(ExtError::Quarantined { .. })),
+        "got {outcome:?}"
     );
     // The victim outlives the whole campaign.
     assert_eq!(sc.system.applets.alive("victim-worker"), Some(true));

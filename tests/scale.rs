@@ -2,6 +2,7 @@
 //! nesting, snapshot round-trips at size — nothing in the model should
 //! degrade into a trap at realistic populations.
 
+use extsec::campaign::{Profile, World, WorldSpec};
 use extsec::{
     AccessMode, Acl, AclEntry, Lattice, ModeSet, MonitorBuilder, NodeKind, NsPath, Protection,
     ReferenceMonitor, SecurityClass, Subject,
@@ -79,6 +80,76 @@ fn thousands_of_nodes_and_principals() {
         monitor.check(&subject, &path, AccessMode::Execute),
         restored.check(&subject, &path, AccessMode::Execute)
     );
+}
+
+/// Exercises a generator-built world at a given principal count:
+/// build, then a deterministic probe sweep plus one admin-guarded
+/// revocation, asserting the monitor answers (and agrees with its
+/// uncached oracle) at population.
+fn generated_world_at(principals: usize, seed: u64) {
+    let spec = WorldSpec::scaled(Profile::Campus, principals, seed);
+    let (world, stats) = World::build_timed(&spec);
+    println!(
+        "scale: {} principals, {} nodes, built in {:?}",
+        stats.principals, stats.nodes, stats.build
+    );
+    assert_eq!(world.principals.len(), principals);
+    assert!(world.leaves.len() >= principals / 20);
+
+    // A strided probe sweep across the population: cached and uncached
+    // paths must agree on every answer.
+    let pstride = (principals / 64).max(1);
+    let lstride = (world.leaves.len() / 32).max(1);
+    let mut granted = 0usize;
+    let mut probes = 0usize;
+    for pi in (0..principals).step_by(pstride) {
+        let subject = world.subject(pi);
+        for li in (0..world.leaves.len()).step_by(lstride) {
+            let path = &world.leaves[li];
+            let cached = world.monitor.check(&subject, path, AccessMode::Read);
+            let oracle = world
+                .monitor
+                .check_unmemoized(&subject, path, AccessMode::Read);
+            assert_eq!(
+                cached, oracle,
+                "probe ({pi},{li}) cache incoherent at scale"
+            );
+            probes += 1;
+            if cached.allowed() {
+                granted += 1;
+            }
+        }
+    }
+    // The layered policies produce a mixed decision surface, not a
+    // degenerate all-deny (or all-allow) world.
+    assert!(granted > 0 && granted < probes, "{granted}/{probes} grants");
+
+    // One guarded revocation still lands at population.
+    let leaf = world.leaves.len() / 2;
+    let path = world.leaves[leaf].clone();
+    let prot = world.monitor.protection_of(&path).unwrap();
+    let admin = world.admin_subject(&prot.label);
+    world
+        .monitor
+        .set_acl(&admin, &path, prot.acl.clone())
+        .expect("admin-guarded set_acl at scale");
+}
+
+#[test]
+fn generated_world_hundred_thousand_principals() {
+    generated_world_at(100_000, 15);
+}
+
+/// The full F15 measurement at 10^6 principals. Minutes of work and
+/// gigabytes of residency in debug builds, so gated:
+/// `EXTSEC_SCALE_FULL=1 cargo test --release --test scale million -- --nocapture`.
+#[test]
+fn generated_world_million_principals() {
+    if std::env::var("EXTSEC_SCALE_FULL").is_err() {
+        eprintln!("set EXTSEC_SCALE_FULL=1 to run the 10^6-principal scale test");
+        return;
+    }
+    generated_world_at(1_000_000, 16);
 }
 
 #[test]
