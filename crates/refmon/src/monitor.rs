@@ -25,6 +25,7 @@ use extsec_namespace::{NameSpace, NodeId, NodeKind, NsError, NsPath, Protection}
 use extsec_telemetry::{Stage, Telemetry, TelemetrySnapshot};
 use parking_lot::Mutex;
 use std::cell::RefCell;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -281,6 +282,20 @@ impl ReferenceMonitor {
                 state,
             }
             .check(subject, path, mode)
+        })
+    }
+
+    /// Checks a whole batch against one pinned snapshot with shared-work
+    /// vectorization (see [`MonitorView::check_batch`]). Decision-for-
+    /// decision equivalent to calling [`ReferenceMonitor::check`] per
+    /// item, except that every item sees the same snapshot.
+    pub fn check_batch(&self, subject: &Subject, items: &[(NsPath, AccessMode)]) -> Vec<Decision> {
+        self.with_snapshot(|state| {
+            ViewRef {
+                monitor: self,
+                state,
+            }
+            .check_batch(subject, items)
         })
     }
 
@@ -955,6 +970,236 @@ impl ViewRef<'_> {
         decision
     }
 
+    /// The vectorized batch check: one snapshot, one sorted pass.
+    ///
+    /// The item list is walked in path-sorted order so identical paths
+    /// and shared prefixes are adjacent, and resolution proceeds
+    /// incrementally: only the suffix that differs from the previous path
+    /// is re-walked through the directory B-tree. On top of that sit
+    /// three batch-local memos — resolved visibility per interior node,
+    /// one decision per distinct `(node, mode)` (filled from the shared
+    /// generation-stamped cache or a single fresh evaluation), and the
+    /// resolution chain itself. Decisions are written back in item order,
+    /// and audit records are emitted in item order afterwards, so the
+    /// result is indistinguishable from the sequential per-item path
+    /// except in speed: every stage of every decision is computed by the
+    /// same code against the same snapshot.
+    ///
+    /// When the decision cache is configured off, the batch degrades to
+    /// the sequential guarded walk per item (the uncached configuration
+    /// is a verification surface, not the production path).
+    fn check_batch(&self, subject: &Subject, items: &[(NsPath, AccessMode)]) -> Vec<Decision> {
+        let monitor = self.monitor;
+        let state = self.state;
+        let tele = &monitor.telemetry;
+        let whole = tele.start();
+        for (_, mode) in items {
+            tele.count_mode(*mode);
+        }
+
+        let mut decisions: Vec<Option<Decision>> = vec![None; items.len()];
+        if !state.config.decision_cache {
+            // Uncached configuration: the sequential path does a full
+            // guarded walk per item; keep that behavior exactly.
+            for (slot, (path, mode)) in decisions.iter_mut().zip(items) {
+                *slot = Some(ReferenceMonitor::evaluate(
+                    state, subject, path, *mode, tele,
+                ));
+            }
+        } else {
+            self.check_batch_vectorized(subject, items, &mut decisions);
+        }
+
+        let decisions: Vec<Decision> = decisions
+            .into_iter()
+            .map(|d| d.expect("every batch item gets a decision"))
+            .collect();
+        if state.config.audit {
+            let audit_t = tele.start();
+            for ((path, mode), decision) in items.iter().zip(&decisions) {
+                monitor.audit.record(subject, path, *mode, decision);
+            }
+            tele.finish(Stage::Audit, audit_t);
+        }
+        tele.finish(Stage::Check, whole);
+        decisions
+    }
+
+    /// The sorted, memoized pass behind [`ViewRef::check_batch`]
+    /// (decision-cache configuration only).
+    fn check_batch_vectorized(
+        &self,
+        subject: &Subject,
+        items: &[(NsPath, AccessMode)],
+        decisions: &mut [Option<Decision>],
+    ) {
+        let monitor = self.monitor;
+        let state = self.state;
+        let tele = &monitor.telemetry;
+
+        // Root resolution seeds the incremental walk; it is also the one
+        // place the namespace fault-injection point fires for the fast
+        // path. If even the root will not resolve (only an injected fault
+        // can do that), fall back to the sequential walk per item.
+        let root = match state.namespace.resolve(&NsPath::root()) {
+            Ok(id) => id,
+            Err(_) => {
+                for (slot, (path, mode)) in decisions.iter_mut().zip(items) {
+                    *slot = Some(ReferenceMonitor::evaluate(
+                        state, subject, path, *mode, tele,
+                    ));
+                }
+                return;
+            }
+        };
+
+        let mut order: Vec<usize> = (0..items.len()).collect();
+        order.sort_unstable_by(|&a, &b| items[a].0.components().cmp(items[b].0.components()));
+
+        // chain[k] is the node the first k components resolve to; the
+        // previous item's chain is reused up to the longest shared prefix.
+        let mut chain: Vec<NodeId> = vec![root];
+        let mut prev: &[String] = &[];
+        let mut prev_resolved: Option<NodeId> = Some(root);
+        let mut first = true;
+        // Batch-local memos: interior nodes proven visible (the full
+        // ancestor chain above them included), and one decision per
+        // distinct (final node, mode).
+        let mut visible: HashSet<NodeId> = HashSet::new();
+        let mut decided: HashMap<(NodeId, AccessMode), Decision> = HashMap::new();
+
+        for idx in order {
+            let (path, mode) = &items[idx];
+            let comps = path.components();
+            if first || comps != prev {
+                first = false;
+                let resolve_t = tele.start();
+                let mut common = 0;
+                while common < comps.len() && common < prev.len() && comps[common] == prev[common] {
+                    common += 1;
+                }
+                // The previous chain may be shorter than the shared
+                // prefix if the previous path failed to resolve.
+                chain.truncate(common.min(chain.len() - 1) + 1);
+                let mut ok = true;
+                for name in &comps[chain.len() - 1..] {
+                    let parent = match state.namespace.node(*chain.last().expect("seeded")) {
+                        Ok(node) => node,
+                        Err(_) => {
+                            ok = false;
+                            break;
+                        }
+                    };
+                    if !parent.kind().is_container() {
+                        ok = false;
+                        break;
+                    }
+                    match parent.children().get(name) {
+                        Some(&child) => chain.push(child),
+                        None => {
+                            ok = false;
+                            break;
+                        }
+                    }
+                }
+                prev = comps;
+                prev_resolved =
+                    (ok && chain.len() == comps.len() + 1).then(|| *chain.last().expect("seeded"));
+                tele.finish(Stage::Resolve, resolve_t);
+            }
+
+            let Some(id) = prev_resolved else {
+                // No stable node to key on: the sequential path falls back
+                // to the full guarded walk, which also reproduces the
+                // exact deny reason. No memo — exact parity, and failed
+                // resolutions are the cold path.
+                decisions[idx] = Some(ReferenceMonitor::evaluate(
+                    state, subject, path, *mode, tele,
+                ));
+                continue;
+            };
+
+            if let Some(decision) = decided.get(&(id, *mode)) {
+                decisions[idx] = Some(decision.clone());
+                continue;
+            }
+            let key = CacheKey {
+                principal: subject.principal,
+                node: id,
+                epoch: state.namespace.epoch(id),
+                mode: *mode,
+            };
+            let probe_t = tele.start();
+            let hit = monitor.cache.lookup(&key, &subject.class, state.generation);
+            tele.finish(Stage::Cache, probe_t);
+            let decision = match hit {
+                Some(decision) => decision,
+                None => {
+                    let decision =
+                        self.evaluate_on_chain(subject, path, &chain, *mode, &mut visible);
+                    monitor
+                        .cache
+                        .insert(key, &subject.class, state.generation, decision.clone());
+                    decision
+                }
+            };
+            decided.insert((id, *mode), decision.clone());
+            decisions[idx] = Some(decision);
+        }
+    }
+
+    /// [`ReferenceMonitor::evaluate_resolved`] with the ancestor chain
+    /// already in hand from the incremental resolver, and a batch-local
+    /// memo of interior nodes already proven visible. `chain` holds the
+    /// root at index 0 and the final node last; `visible` only ever
+    /// contains nodes whose whole ancestor chain passed the visibility
+    /// check, so a memo hit is exactly a re-check skipped.
+    fn evaluate_on_chain(
+        &self,
+        subject: &Subject,
+        path: &NsPath,
+        chain: &[NodeId],
+        mode: AccessMode,
+        visible: &mut HashSet<NodeId>,
+    ) -> Decision {
+        let state = self.state;
+        let tele = &self.monitor.telemetry;
+        let (final_node, ancestors) = chain.split_last().expect("chain holds at least the root");
+        if state.config.check_visibility {
+            let climb_t = tele.start();
+            for (depth, ancestor) in ancestors.iter().enumerate() {
+                if visible.contains(ancestor) {
+                    continue;
+                }
+                let Ok(node) = state.namespace.node(*ancestor) else {
+                    return Decision::Deny(DenyReason::Structure("stale node id".to_string()));
+                };
+                let dac = node.protection().acl.check(
+                    &state.directory,
+                    subject.principal,
+                    AccessMode::List,
+                );
+                if !dac.granted() {
+                    return Decision::Deny(DenyReason::NotVisibleDac(ReferenceMonitor::prefix_of(
+                        path, depth,
+                    )));
+                }
+                if !state.config.flow.permits(
+                    &subject.class,
+                    &node.protection().label,
+                    FlowCheck::Observe,
+                ) {
+                    return Decision::Deny(DenyReason::NotVisibleMac(ReferenceMonitor::prefix_of(
+                        path, depth,
+                    )));
+                }
+                visible.insert(*ancestor);
+            }
+            tele.finish(Stage::Resolve, climb_t);
+        }
+        ReferenceMonitor::evaluate_at(state, subject, *final_node, mode, tele)
+    }
+
     fn require(
         &self,
         subject: &Subject,
@@ -1017,6 +1262,22 @@ impl MonitorView<'_> {
     pub fn check(&self, subject: &Subject, path: &NsPath, mode: AccessMode) -> Decision {
         self.monitor.telemetry.count_view_op();
         self.as_view_ref().check(subject, path, mode)
+    }
+
+    /// Checks a whole batch against this snapshot in one vectorized pass:
+    /// items are walked in path-sorted order so shared prefixes resolve
+    /// once, visibility of interior nodes is proven once per node, and
+    /// distinct `(node, mode)` pairs hit the decision cache exactly once.
+    /// Returns one decision per item, in item order; audit records are
+    /// also emitted in item order. Decision-for-decision identical to
+    /// calling [`MonitorView::check`] on each item in sequence (the
+    /// permutation-equivalence property is proptested in
+    /// `tests/batch_equivalence.rs`).
+    pub fn check_batch(&self, subject: &Subject, items: &[(NsPath, AccessMode)]) -> Vec<Decision> {
+        for _ in items {
+            self.monitor.telemetry.count_view_op();
+        }
+        self.as_view_ref().check_batch(subject, items)
     }
 
     /// Checks and converts to a `Result` in one step.
@@ -1219,6 +1480,57 @@ mod tests {
             monitor.check(&alice_s, &p("/svc/net/send"), AccessMode::Execute),
             Decision::Deny(DenyReason::NotFound(p("/svc/net")))
         );
+    }
+
+    #[test]
+    fn batch_check_matches_sequential_per_item() {
+        let (monitor, alice, bob) = fixture();
+        // Widen the fixture with a sibling service and a hidden subtree so
+        // the batch exercises allow, DAC deny, MAC deny, visibility deny,
+        // and not-found in one pass.
+        let high = monitor.lattice(|l| l.parse_class("high").unwrap());
+        monitor
+            .bootstrap(|ns| {
+                let visible = Protection::new(
+                    Acl::public(ModeSet::only(AccessMode::List)),
+                    SecurityClass::bottom(),
+                );
+                ns.ensure_path(&p("/svc/net"), NodeKind::Domain, &visible)?;
+                let send = ns.insert(
+                    &p("/svc/net"),
+                    "send",
+                    NodeKind::Procedure,
+                    Protection::default(),
+                )?;
+                ns.update_protection(send, |prot| {
+                    prot.acl.push(AclEntry::allow_principal_modes(
+                        alice,
+                        ModeSet::parse("x").unwrap(),
+                    ));
+                    prot.label = high.clone();
+                })?;
+                ns.ensure_path(&p("/hidden/sub"), NodeKind::Domain, &Protection::default())?;
+                Ok(())
+            })
+            .unwrap();
+        for subject in [low_subject(alice, &monitor), low_subject(bob, &monitor)] {
+            let items: Vec<(NsPath, AccessMode)> = vec![
+                (p("/svc/fs/read"), AccessMode::Execute),
+                (p("/svc/net/send"), AccessMode::Execute),
+                (p("/svc/fs/read"), AccessMode::Execute), // duplicate
+                (p("/hidden/sub"), AccessMode::Read),     // invisible prefix
+                (p("/svc/missing"), AccessMode::Read),    // not found
+                (p("/svc/fs/read"), AccessMode::Read),    // same node, new mode
+                (p("/svc/fs"), AccessMode::List),         // shared prefix, shorter
+            ];
+            let view = monitor.view();
+            let batch = view.check_batch(&subject, &items);
+            let sequential: Vec<Decision> = items
+                .iter()
+                .map(|(path, mode)| view.check(&subject, path, *mode))
+                .collect();
+            assert_eq!(batch, sequential);
+        }
     }
 
     #[test]

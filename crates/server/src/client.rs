@@ -1,10 +1,16 @@
-//! The client: connection reuse, request pipelining, and retry.
+//! The client: connection reuse, streaming pipelining, and retry.
 //!
 //! A [`Client`] owns at most one TCP connection and reuses it across
-//! calls. [`Client::pipeline`] writes a whole slice of requests before
-//! reading the first response — the server answers each frame with
-//! exactly one response frame, in order, so a pipeline of `n` requests
-//! costs one round trip instead of `n`.
+//! calls. [`Client::pipeline`] *streams*: the connection is non-blocking
+//! and the client interleaves writing requests with reading whatever
+//! responses have already arrived, instead of writing the whole pipeline
+//! and only then reading. The server answers each frame with exactly one
+//! response frame, in order, so a pipeline of `n` requests still costs
+//! one round trip — but responses are consumed as they land, so a large
+//! pipeline never deadlocks on mutual backpressure (both sides' socket
+//! buffers full, each waiting for the other to drain), and a `Busy` shed
+//! is observed as soon as the server sends it, not after the whole
+//! request burst is flushed.
 //!
 //! On a *transient* transport error (reset, broken pipe, timeout, a
 //! server that closed an idle connection) the client drops the dead
@@ -14,18 +20,20 @@
 //! a pipeline whose responses were lost cannot change the outcome, only
 //! re-observe it. Server-sent `Error` responses are *answers*, not
 //! failures: they are returned (or surfaced as [`ClientError::Server`])
-//! and never retried.
+//! and never retried. Every retry, reconnect, and backoff sleep is
+//! counted in [`ClientStats`].
 
 use crate::proto::{
-    self, BatchItem, ErrorCode, FrameError, ProtoError, Request, Response, MAX_FRAME,
+    self, BatchItem, ErrorCode, FrameScan, ProtoError, Request, Response, MAX_FRAME,
 };
 use extsec_acl::AccessMode;
 use extsec_namespace::NsPath;
 use extsec_refmon::{Decision, Explanation, Subject};
+use polling::{Event, Events, Poller};
 use std::fmt;
-use std::io;
+use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Tuning knobs for a [`Client`].
 #[derive(Clone, Debug)]
@@ -105,11 +113,75 @@ impl From<io::Error> for ClientError {
     }
 }
 
+/// Counters for the client's resilience machinery: how often pipelines
+/// were retried, why, and how long was spent backing off. Cheap to copy;
+/// read them with [`Client::stats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ClientStats {
+    /// Pipelines that completed successfully.
+    pub pipelines: u64,
+    /// Requests sent across all successful pipelines.
+    pub requests: u64,
+    /// Responses consumed while the request side of the same pipeline
+    /// was still being written — the streaming overlap at work.
+    pub responses_streamed_early: u64,
+    /// Pipeline attempts retried after a transient transport error.
+    pub retries_io: u64,
+    /// Pipeline attempts retried after a server `Busy` shed.
+    pub retries_busy: u64,
+    /// Fresh connections dialed (the first connect counts).
+    pub reconnects: u64,
+    /// Total time slept in retry backoff, milliseconds.
+    pub backoff_ms: u64,
+}
+
+/// One live connection: the socket (non-blocking), the poller that
+/// waits on it, and the read-side reassembly buffer.
+struct Transport {
+    stream: TcpStream,
+    poller: Poller,
+    rbuf: Vec<u8>,
+    rpos: usize,
+    reg_writable: bool,
+}
+
+/// The transport's poller key for its one socket.
+const SOCKET_KEY: usize = 0;
+
+impl Transport {
+    fn open(addr: SocketAddr) -> io::Result<Transport> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_nonblocking(true)?;
+        let poller = Poller::new()?;
+        poller.add(&stream, Event::all(SOCKET_KEY))?;
+        Ok(Transport {
+            stream,
+            poller,
+            rbuf: Vec::new(),
+            rpos: 0,
+            reg_writable: true,
+        })
+    }
+
+    /// Aligns poller interest with whether output is still pending.
+    fn want_writable(&mut self, wanted: bool) -> io::Result<()> {
+        if wanted != self.reg_writable {
+            let mut interest = Event::readable(SOCKET_KEY);
+            interest.writable = wanted;
+            self.poller.modify(&self.stream, interest)?;
+            self.reg_writable = wanted;
+        }
+        Ok(())
+    }
+}
+
 /// A connected (or reconnecting) client for one server address.
 pub struct Client {
     addr: SocketAddr,
     config: ClientConfig,
-    stream: Option<TcpStream>,
+    conn: Option<Transport>,
+    stats: ClientStats,
 }
 
 impl Client {
@@ -122,18 +194,21 @@ impl Client {
         let mut client = Client {
             addr,
             config,
-            stream: None,
+            conn: None,
+            stats: ClientStats::default(),
         };
         client.reconnect()?;
         Ok(client)
     }
 
+    /// The retry/backoff counters accumulated so far.
+    pub fn stats(&self) -> ClientStats {
+        self.stats
+    }
+
     fn reconnect(&mut self) -> io::Result<()> {
-        let stream = TcpStream::connect(self.addr)?;
-        stream.set_read_timeout(Some(self.config.read_timeout))?;
-        stream.set_write_timeout(Some(self.config.write_timeout))?;
-        stream.set_nodelay(true)?;
-        self.stream = Some(stream);
+        self.conn = Some(Transport::open(self.addr)?);
+        self.stats.reconnects += 1;
         Ok(())
     }
 
@@ -150,8 +225,9 @@ impl Client {
         )
     }
 
-    /// Sends every request, then reads one response per request, in
-    /// order. Retries the whole pipeline on a fresh connection after a
+    /// Streams a pipeline: requests are written and responses consumed
+    /// concurrently, in order, until one response per request is in
+    /// hand. Retries the whole pipeline on a fresh connection after a
     /// transient transport error or a server `Busy` shed (safe: all
     /// operations are reads), sleeping a jittered exponential backoff
     /// between attempts so a fleet of shed clients does not return in
@@ -160,19 +236,25 @@ impl Client {
         let mut attempt = 0;
         loop {
             let retry_floor = match self.try_pipeline(requests) {
-                Ok(responses) => return Ok(responses),
+                Ok(responses) => {
+                    self.stats.pipelines += 1;
+                    self.stats.requests += requests.len() as u64;
+                    return Ok(responses);
+                }
                 Err(ClientError::Io(e))
                     if attempt < self.config.retries && Self::transient(e.kind()) =>
                 {
+                    self.stats.retries_io += 1;
                     Duration::ZERO
                 }
                 Err(ClientError::Busy { retry_after_ms }) if attempt < self.config.retries => {
+                    self.stats.retries_busy += 1;
                     Duration::from_millis(retry_after_ms)
                 }
                 Err(other) => return Err(other),
             };
             attempt += 1;
-            self.stream = None;
+            self.conn = None;
             let delay = backoff_delay(
                 self.config.backoff_base,
                 self.config.backoff_cap,
@@ -181,54 +263,146 @@ impl Client {
             )
             .max(retry_floor);
             if !delay.is_zero() {
+                self.stats.backoff_ms += delay.as_millis() as u64;
                 std::thread::sleep(delay);
             }
         }
     }
 
     fn try_pipeline(&mut self, requests: &[Request]) -> Result<Vec<Response>, ClientError> {
-        if self.stream.is_none() {
+        if self.conn.is_none() {
             self.reconnect()?;
         }
-        let Some(stream) = self.stream.as_mut() else {
-            // reconnect() above either set the stream or bailed with its
-            // own error; this is unreachable, but refuse rather than
+        let max_frame = self.config.max_frame;
+        let Some(conn) = self.conn.as_mut() else {
+            // reconnect() above either set the transport or bailed with
+            // its own error; this is unreachable, but refuse rather than
             // panic inside a retry loop.
             return Err(ClientError::Io(io::Error::new(
                 io::ErrorKind::NotConnected,
-                "reconnect left no stream",
+                "reconnect left no connection",
             )));
         };
+        // One contiguous request burst; flushed as the socket accepts it.
+        let mut out = Vec::new();
         for request in requests {
-            proto::write_frame(stream, &request.encode())?;
+            out.extend_from_slice(&request.encode());
         }
+        let mut opos = 0;
         let mut responses = Vec::with_capacity(requests.len());
-        for _ in requests {
-            let frame = match proto::read_frame(stream, self.config.max_frame) {
-                Ok(frame) => frame,
-                Err(FrameError::Eof) => {
-                    return Err(ClientError::Io(io::Error::new(
-                        io::ErrorKind::UnexpectedEof,
-                        "server closed mid-pipeline",
-                    )))
+        let mut events = Events::new();
+        // The timeout is on *progress*, not on the whole pipeline: any
+        // byte moved in either direction resets the clock.
+        let mut last_progress = Instant::now();
+        while responses.len() < requests.len() {
+            let mut progressed = false;
+            // Push pending requests while the socket takes them.
+            while opos < out.len() {
+                match conn.stream.write(&out[opos..]) {
+                    Ok(0) => {
+                        return Err(ClientError::Io(io::Error::new(
+                            io::ErrorKind::WriteZero,
+                            "socket accepted no bytes",
+                        )))
+                    }
+                    Ok(n) => {
+                        opos += n;
+                        progressed = true;
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(e) => return Err(ClientError::Io(e)),
                 }
-                Err(FrameError::Idle) => {
-                    return Err(ClientError::Io(io::Error::new(
-                        io::ErrorKind::TimedOut,
-                        "no response before the read timeout",
-                    )))
-                }
-                Err(FrameError::Io(e)) => return Err(ClientError::Io(e)),
-                Err(FrameError::Proto(e)) => return Err(ClientError::Proto(e)),
-            };
-            let response =
-                Response::decode(frame.opcode, &frame.payload).map_err(ClientError::Proto)?;
-            if let Response::Busy { retry_after_ms } = response {
-                // The server shed us and will close; surface it so the
-                // retry loop can back off for at least the server's hint.
-                return Err(ClientError::Busy { retry_after_ms });
             }
-            responses.push(response);
+            // Consume whatever responses have already landed.
+            loop {
+                match proto::scan_frame(&conn.rbuf[conn.rpos..], max_frame)
+                    .map_err(ClientError::Proto)?
+                {
+                    FrameScan::Complete {
+                        opcode,
+                        payload_start,
+                        consumed,
+                    } => {
+                        let payload = &conn.rbuf[conn.rpos + payload_start..conn.rpos + consumed];
+                        let response =
+                            Response::decode(opcode, payload).map_err(ClientError::Proto)?;
+                        conn.rpos += consumed;
+                        if let Response::Busy { retry_after_ms } = response {
+                            // The server shed us and will close; surface
+                            // it so the retry loop can back off for at
+                            // least the server's hint.
+                            return Err(ClientError::Busy { retry_after_ms });
+                        }
+                        if opos < out.len() {
+                            self.stats.responses_streamed_early += 1;
+                        }
+                        responses.push(response);
+                        progressed = true;
+                        if responses.len() == requests.len() {
+                            break;
+                        }
+                    }
+                    FrameScan::Partial => {
+                        // Reclaim the consumed prefix, then try the wire.
+                        if conn.rpos > 0 {
+                            conn.rbuf.copy_within(conn.rpos.., 0);
+                            let keep = conn.rbuf.len() - conn.rpos;
+                            conn.rbuf.truncate(keep);
+                            conn.rpos = 0;
+                        }
+                        let len = conn.rbuf.len();
+                        conn.rbuf.resize(len + 16 * 1024, 0);
+                        match conn.stream.read(&mut conn.rbuf[len..]) {
+                            Ok(0) => {
+                                conn.rbuf.truncate(len);
+                                return Err(ClientError::Io(io::Error::new(
+                                    io::ErrorKind::UnexpectedEof,
+                                    "server closed mid-pipeline",
+                                )));
+                            }
+                            Ok(n) => {
+                                conn.rbuf.truncate(len + n);
+                                progressed = true;
+                            }
+                            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                                conn.rbuf.truncate(len);
+                                break;
+                            }
+                            Err(e) if e.kind() == io::ErrorKind::Interrupted => {
+                                conn.rbuf.truncate(len);
+                            }
+                            Err(e) => {
+                                conn.rbuf.truncate(len);
+                                return Err(ClientError::Io(e));
+                            }
+                        }
+                    }
+                }
+            }
+            if responses.len() == requests.len() {
+                break;
+            }
+            if progressed {
+                last_progress = Instant::now();
+                continue;
+            }
+            // Both directions blocked: wait for readiness, bounded by
+            // the progress timeout.
+            let budget = if opos < out.len() {
+                self.config.read_timeout.min(self.config.write_timeout)
+            } else {
+                self.config.read_timeout
+            };
+            let waited = last_progress.elapsed();
+            if waited >= budget {
+                return Err(ClientError::Io(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    "no response before the read timeout",
+                )));
+            }
+            conn.want_writable(opos < out.len())?;
+            conn.poller.wait(&mut events, Some(budget - waited))?;
         }
         Ok(responses)
     }

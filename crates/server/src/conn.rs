@@ -1,9 +1,16 @@
-//! Per-connection service loop.
+//! Per-connection state machine for the reactor server.
 //!
-//! One worker thread runs [`serve`] for one connection at a time: read a
-//! frame, decode, dispatch against the monitor, answer with exactly one
-//! response frame. The loop's error discipline is the protocol's
-//! security story in miniature:
+//! A connection is no longer a blocking loop owned by one worker thread
+//! (the pre-reactor design): it is a small state machine driven by
+//! readiness events from its shard's poller (see [`crate::reactor`]).
+//! Each turn the shard hands the machine the readiness it observed and
+//! the machine makes whatever progress the socket allows without ever
+//! blocking: it reassembles frames from a reused read buffer, dispatches
+//! every complete request, coalesces all the replies into one write
+//! buffer, and flushes them with a single `write` per turn.
+//!
+//! The error discipline is unchanged from the blocking server — it is
+//! the protocol's security story in miniature:
 //!
 //! - malformed bytes (bad version, bad opcode, truncated or oversize
 //!   frames, garbage payloads) produce one `Error` response (best
@@ -13,18 +20,51 @@
 //!   class foreign to the lattice, a denied `list`) answer with an
 //!   `Error` response and keep the connection open — the frame itself
 //!   was well-formed;
-//! - every exit path, including panics in decode or dispatch, passes
-//!   through a drop guard so the open/closed connection accounting can
-//!   never leak a slot.
+//! - every exit path, including panics in decode or dispatch, funnels
+//!   through the shard's single close path, so the open/closed
+//!   connection accounting can never leak a slot.
+//!
+//! Closing after a refusal is still graceful: the final reply is
+//! flushed, the write side is half-closed, and a bounded amount of
+//! whatever the peer keeps sending is drained so the kernel does not
+//! destroy the in-flight reply with an RST.
 
-use crate::proto::{self, ErrorCode, Frame, FrameError, ProtoError, Request, Response, HEADER_LEN};
+use crate::proto::{self, ErrorCode, FrameScan, ProtoError, Request, Response, HEADER_LEN};
 use crate::server::ServerConfig;
 use crate::telemetry::ServerTelemetry;
+use extsec_acl::AccessMode;
+use extsec_namespace::NsPath;
 use extsec_refmon::{JsonSnapshot, MonitorError, MonitorView, ReferenceMonitor, Subject};
 use serde::Serialize;
-use std::net::TcpStream;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::time::Instant;
+use std::io::{Read, Write};
+use std::net::{Shutdown, TcpStream};
+use std::time::{Duration, Instant};
+
+/// Pending-write backlog at which request parsing pauses (and read
+/// interest drops) until the peer drains some of it — the backpressure
+/// valve against a client that pipelines faster than it reads.
+const WRITE_HIGH_WATER: usize = 256 * 1024;
+
+/// Capacity either per-connection buffer may keep across frames. The
+/// buffers are reused from frame to frame (no per-frame allocation);
+/// the clamp releases the memory a one-off giant frame or reply
+/// inflated, so it is not pinned for the connection's lifetime.
+const BUF_CLAMP: usize = 64 * 1024;
+
+/// Bytes read from one connection per readiness turn. Level-triggered
+/// polling re-reports whatever remains, so this bounds how long one
+/// noisy connection can monopolize its shard — fairness, not a limit.
+const READ_BUDGET: usize = 256 * 1024;
+
+/// Read chunk size (the granularity the read buffer grows by).
+const READ_CHUNK: usize = 16 * 1024;
+
+/// Hostile bytes drained after a final refusal before the RST is let
+/// through after all.
+const DRAIN_BUDGET: usize = 32 * 1024;
+
+/// How long a refused connection may linger in the drain state.
+const DRAIN_TIMEOUT: Duration = Duration::from_millis(200);
 
 /// The combined document answering a `Telemetry` request.
 #[derive(Serialize)]
@@ -33,117 +73,510 @@ struct WireTelemetry {
     server: crate::telemetry::ServerTelemetrySnapshot,
 }
 
-/// Balances [`ServerTelemetry::conn_opened`] on every exit path.
-struct CloseGuard<'t>(&'t ServerTelemetry);
+/// Dispatch context a shard lends the state machine for one turn.
+pub(crate) struct Ctx<'a> {
+    pub(crate) monitor: &'a ReferenceMonitor,
+    pub(crate) tele: &'a ServerTelemetry,
+    pub(crate) config: &'a ServerConfig,
+}
 
-impl Drop for CloseGuard<'_> {
-    fn drop(&mut self) {
-        self.0.conn_closed();
+/// What a connection is currently doing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Phase {
+    /// Reading requests and queueing replies.
+    Serving,
+    /// The peer half-closed cleanly; flush the queued replies, then
+    /// close.
+    Flushing,
+    /// A final reply (error or busy) is queued: flush it, half-close the
+    /// write side, drain a bounded amount of input, then close.
+    Draining {
+        /// Whether the write side has been shut down yet (it is, as soon
+        /// as the final reply is fully flushed).
+        shut: bool,
+        /// Drain budget remaining, bytes.
+        remaining: usize,
+    },
+}
+
+/// Which deadline is armed, so a timer that fires is counted correctly.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum DeadlineKind {
+    /// Mid-frame silence (the peer stalled inside a frame).
+    Read,
+    /// A pending reply the peer will not drain.
+    Write,
+    /// The bounded post-refusal drain window.
+    Drain,
+}
+
+impl DeadlineKind {
+    /// Whether a fired deadline of this kind counts as a timeout (the
+    /// drain window expiring is the plan, not a failure).
+    pub(crate) fn is_timeout(self) -> bool {
+        !matches!(self, DeadlineKind::Drain)
     }
 }
 
-/// Serves one connection to completion.
-pub(crate) fn serve(
-    mut stream: TcpStream,
-    monitor: &ReferenceMonitor,
-    tele: &ServerTelemetry,
-    config: &ServerConfig,
-    shutdown: &AtomicBool,
-) {
-    tele.conn_opened();
-    let _guard = CloseGuard(tele);
-    let mut served: u64 = 0;
-    loop {
-        let frame = match proto::read_frame(&mut stream, config.max_frame) {
-            Ok(frame) => frame,
-            Err(FrameError::Eof) => return,
-            Err(FrameError::Idle) => {
-                if shutdown.load(Ordering::Acquire) {
-                    return;
-                }
-                continue;
+/// What the shard should do with the connection after a turn.
+#[derive(Debug, PartialEq, Eq)]
+pub(crate) enum Turn {
+    /// Keep it registered; interest and deadline fields are current.
+    Keep,
+    /// Close it (the shard's close funnel does the accounting).
+    Close,
+}
+
+/// How far frame processing got through the buffered bytes.
+#[derive(Debug, PartialEq, Eq)]
+enum Parsed {
+    /// The buffer holds (at most) a frame prefix; more bytes are needed.
+    NeedMore,
+    /// Paused at the write high-watermark with complete frames still
+    /// buffered; resumes when the backlog drains.
+    Paused,
+    /// The phase changed (refusal or shed); stop reading input.
+    Transitioned,
+}
+
+/// One connection's entire state: socket, reassembly and reply buffers,
+/// request budget, phase, and the posture (interest + deadline) its
+/// shard mirrors into the poller and timer wheel.
+pub(crate) struct Conn {
+    pub(crate) stream: TcpStream,
+    /// Reassembly buffer; unparsed bytes live at `rbuf[rpos..]`.
+    rbuf: Vec<u8>,
+    rpos: usize,
+    /// Coalesced replies; unsent bytes live at `wbuf[wpos..]`.
+    wbuf: Vec<u8>,
+    wpos: usize,
+    /// Replies queued since the last counted flush.
+    unflushed: u64,
+    served: u64,
+    phase: Phase,
+    /// The peer's read side is done (clean EOF observed).
+    eof: bool,
+    /// Desired poller interest, recomputed each turn.
+    pub(crate) want_read: bool,
+    pub(crate) want_write: bool,
+    /// Interest actually registered with the poller (shard-maintained).
+    pub(crate) reg_read: bool,
+    pub(crate) reg_write: bool,
+    /// Armed deadline, if any. `timer_seq` bumps whenever it changes, so
+    /// stale wheel entries are recognized and skipped (lazy cancel).
+    pub(crate) deadline: Option<(Instant, DeadlineKind)>,
+    pub(crate) timer_seq: u64,
+    /// The seq the shard last inserted into its wheel.
+    pub(crate) armed_seq: u64,
+}
+
+impl Conn {
+    pub(crate) fn new(stream: TcpStream) -> Conn {
+        Conn {
+            stream,
+            rbuf: Vec::new(),
+            rpos: 0,
+            wbuf: Vec::new(),
+            wpos: 0,
+            unflushed: 0,
+            served: 0,
+            phase: Phase::Serving,
+            eof: false,
+            want_read: true,
+            want_write: false,
+            reg_read: true,
+            reg_write: false,
+            deadline: None,
+            timer_seq: 0,
+            armed_seq: 0,
+        }
+    }
+
+    fn pending_write(&self) -> usize {
+        self.wbuf.len() - self.wpos
+    }
+
+    fn buffered_input(&self) -> usize {
+        self.rbuf.len() - self.rpos
+    }
+
+    /// One readiness turn: flush what the socket will take, consume what
+    /// it offers, dispatch every complete frame, and recompute the
+    /// posture. Never blocks.
+    pub(crate) fn drive(&mut self, readable: bool, writable: bool, ctx: &Ctx<'_>) -> Turn {
+        let mut wrote = false;
+        if writable || self.pending_write() > 0 {
+            match self.flush(ctx, &mut wrote) {
+                Ok(()) => {}
+                Err(()) => return Turn::Close,
             }
-            Err(FrameError::Io(e)) => {
-                if matches!(
-                    e.kind(),
-                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
-                ) {
-                    tele.count_timeout();
+        }
+        let mut read_any = false;
+        let turn = match self.phase {
+            Phase::Serving => self.serve_input(readable, ctx, &mut read_any, &mut wrote),
+            Phase::Flushing => {
+                if self.pending_write() == 0 {
+                    Turn::Close
                 } else {
-                    tele.count_io_error();
+                    Turn::Keep
                 }
-                return;
             }
-            Err(FrameError::Proto(e)) => {
-                tele.count_protocol_error();
-                let code = match e {
-                    ProtoError::BadVersion(_) => ErrorCode::Version,
-                    ProtoError::Oversize(_) => {
-                        tele.count_oversize();
-                        ErrorCode::Oversize
-                    }
-                    _ => ErrorCode::Protocol,
-                };
-                close_with_reply(&mut stream, &error(code, e.to_string()), tele);
-                return;
-            }
+            Phase::Draining { .. } => self.drain_input(readable),
         };
-        tele.record_frame_bytes((frame.payload.len() + HEADER_LEN) as u64);
+        if turn == Turn::Close {
+            return Turn::Close;
+        }
+        // A refusal mid-parse queued a final reply: push it toward the
+        // peer in the same turn (it usually completes here, arming the
+        // drain window immediately).
+        if matches!(self.phase, Phase::Draining { .. })
+            && self.pending_write() > 0
+            && self.flush(ctx, &mut wrote).is_err()
+        {
+            return Turn::Close;
+        }
+        if matches!(self.phase, Phase::Draining { .. }) && self.eof && self.pending_write() == 0 {
+            return Turn::Close;
+        }
+        self.posture(read_any, wrote);
+        Turn::Keep
+    }
+
+    /// Parse buffered bytes, read more if the turn offered readability,
+    /// and dispatch every complete frame.
+    fn serve_input(
+        &mut self,
+        mut readable: bool,
+        ctx: &Ctx<'_>,
+        read_any: &mut bool,
+        wrote: &mut bool,
+    ) -> Turn {
+        let mut budget = READ_BUDGET;
+        readable = readable && !self.eof;
+        loop {
+            match self.process_buffered(ctx) {
+                Parsed::Transitioned => return Turn::Keep,
+                Parsed::Paused => return Turn::Keep,
+                Parsed::NeedMore => {}
+            }
+            if !readable || budget == 0 {
+                return Turn::Keep;
+            }
+            let len = self.rbuf.len();
+            self.rbuf.resize(len + READ_CHUNK, 0);
+            match self.stream.read(&mut self.rbuf[len..]) {
+                Ok(0) => {
+                    self.rbuf.truncate(len);
+                    self.eof = true;
+                    return if self.buffered_input() > 0 {
+                        // The peer died mid-frame: a protocol violation,
+                        // answered and closed like any other.
+                        ctx.tele.count_protocol_error();
+                        self.refuse(ErrorCode::Protocol, ProtoError::Truncated.to_string());
+                        // Flush happens in `drive`'s epilogue; the drain
+                        // window then sees the EOF and closes.
+                        Turn::Keep
+                    } else if self.pending_write() > 0 {
+                        self.phase = Phase::Flushing;
+                        Turn::Keep
+                    } else {
+                        Turn::Close
+                    };
+                }
+                Ok(n) => {
+                    self.rbuf.truncate(len + n);
+                    budget = budget.saturating_sub(n);
+                    *read_any = true;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    self.rbuf.truncate(len);
+                    readable = false;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {
+                    self.rbuf.truncate(len);
+                }
+                Err(_) => {
+                    self.rbuf.truncate(len);
+                    ctx.tele.count_io_error();
+                    return Turn::Close;
+                }
+            }
+            // Opportunistic flush between parse rounds keeps the reply
+            // pipeline moving for heavily pipelined peers.
+            if self.pending_write() >= WRITE_HIGH_WATER && self.flush(ctx, wrote).is_err() {
+                return Turn::Close;
+            }
+        }
+    }
+
+    /// Dispatch every complete frame at the front of the read buffer.
+    fn process_buffered(&mut self, ctx: &Ctx<'_>) -> Parsed {
+        loop {
+            if self.pending_write() >= WRITE_HIGH_WATER {
+                return Parsed::Paused;
+            }
+            match proto::scan_frame(&self.rbuf[self.rpos..], ctx.config.max_frame) {
+                Ok(FrameScan::Partial) => {
+                    self.compact(ctx);
+                    return Parsed::NeedMore;
+                }
+                Ok(FrameScan::Complete {
+                    opcode,
+                    payload_start,
+                    consumed,
+                }) => {
+                    let payload = self.rpos + payload_start..self.rpos + consumed;
+                    self.rpos += consumed;
+                    if self.handle_frame(opcode, payload, ctx) {
+                        return Parsed::Transitioned;
+                    }
+                }
+                Err(e) => {
+                    ctx.tele.count_protocol_error();
+                    let code = match e {
+                        ProtoError::BadVersion(_) => ErrorCode::Version,
+                        ProtoError::Oversize(_) => {
+                            ctx.tele.count_oversize();
+                            ErrorCode::Oversize
+                        }
+                        _ => ErrorCode::Protocol,
+                    };
+                    self.refuse(code, e.to_string());
+                    return Parsed::Transitioned;
+                }
+            }
+        }
+    }
+
+    /// One well-framed request: budget, fault injection, dispatch.
+    /// Returns true when the connection transitioned out of `Serving`.
+    fn handle_frame(&mut self, opcode: u8, payload: std::ops::Range<usize>, ctx: &Ctx<'_>) -> bool {
+        ctx.tele
+            .record_frame_bytes((payload.len() + HEADER_LEN) as u64);
         // Graceful degradation: a connection that exhausts its request
         // budget is shed with a typed Busy answer, not starved silently.
-        if served >= config.conn_request_budget {
-            tele.count_shed_budget();
+        if self.served >= ctx.config.conn_request_budget {
+            ctx.tele.count_shed_budget();
             let busy = Response::Busy {
-                retry_after_ms: config.shed_retry_after.as_millis() as u64,
+                retry_after_ms: ctx.config.shed_retry_after.as_millis() as u64,
             };
-            close_with_reply(&mut stream, &busy, tele);
-            return;
+            self.enqueue(&busy);
+            self.enter_drain();
+            return true;
         }
-        served += 1;
+        self.served += 1;
         // Injected connection faults fail closed: an Error/Trap answer
-        // plus a close; a Panic unwinds through the close guard (the
-        // slot is still accounted) into the worker's containment.
+        // plus a close; a Panic unwinds into the shard's containment
+        // (the close funnel still accounts the slot).
         if let Some(fault) = extsec_faults::fire_panicky("server.conn") {
-            tele.count_io_error();
-            close_with_reply(
-                &mut stream,
-                &error(ErrorCode::Internal, fault.to_string()),
-                tele,
-            );
-            return;
+            ctx.tele.count_io_error();
+            self.enqueue(&error(ErrorCode::Internal, fault.to_string()));
+            self.enter_drain();
+            return true;
         }
-        let response = match handle(&frame, monitor, tele, config) {
-            Ok(response) => response,
+        match handle(opcode, &self.rbuf[payload], ctx) {
+            Ok(response) => {
+                self.enqueue(&response);
+                false
+            }
             Err(e) => {
                 // The frame was framed correctly but its payload was not:
                 // answer, then drop the peer like any protocol violator.
-                tele.count_protocol_error();
+                ctx.tele.count_protocol_error();
                 let code = match e {
                     ProtoError::BadOpcode(_) => ErrorCode::Opcode,
                     _ => ErrorCode::Protocol,
                 };
-                close_with_reply(&mut stream, &error(code, e.to_string()), tele);
-                return;
+                self.refuse(code, e.to_string());
+                true
             }
-        };
-        if send(&mut stream, &response, tele).is_err() {
-            return;
         }
-        if shutdown.load(Ordering::Acquire) {
-            return;
+    }
+
+    /// Queue one encoded response behind the ones already pending.
+    fn enqueue(&mut self, response: &Response) {
+        self.wbuf.extend_from_slice(&response.encode());
+        self.unflushed += 1;
+    }
+
+    /// Queue a final error reply and enter the graceful-refusal drain.
+    fn refuse(&mut self, code: ErrorCode, message: String) {
+        self.enqueue(&error(code, message));
+        self.enter_drain();
+    }
+
+    fn enter_drain(&mut self) {
+        self.phase = Phase::Draining {
+            shut: false,
+            remaining: DRAIN_BUDGET,
+        };
+        // Whatever the peer already pipelined is not getting answered;
+        // it only counts against the drain budget.
+        self.discard_input();
+    }
+
+    fn discard_input(&mut self) {
+        self.rbuf.clear();
+        self.rpos = 0;
+    }
+
+    /// Read-and-discard during the post-refusal drain window.
+    fn drain_input(&mut self, readable: bool) -> Turn {
+        let Phase::Draining { remaining, .. } = &mut self.phase else {
+            return Turn::Keep;
+        };
+        if !readable || self.eof {
+            return Turn::Keep;
+        }
+        let mut sink = [0u8; 4096];
+        loop {
+            match self.stream.read(&mut sink) {
+                Ok(0) => {
+                    self.eof = true;
+                    return if self.pending_write() == 0 {
+                        Turn::Close
+                    } else {
+                        Turn::Keep
+                    };
+                }
+                Ok(n) => {
+                    if n >= *remaining {
+                        // Budget exhausted: the peer gets its RST after
+                        // all.
+                        return Turn::Close;
+                    }
+                    *remaining -= n;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return Turn::Keep,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => return Turn::Close,
+            }
+        }
+    }
+
+    /// Write as much of the pending reply bytes as the socket takes —
+    /// the single coalesced flush per turn. Completing the flush while
+    /// draining half-closes the write side so the final reply arrives as
+    /// a readable answer followed by a clean EOF, not an RST.
+    fn flush(&mut self, ctx: &Ctx<'_>, wrote: &mut bool) -> Result<(), ()> {
+        while self.pending_write() > 0 {
+            match self.stream.write(&self.wbuf[self.wpos..]) {
+                Ok(0) => {
+                    ctx.tele.count_io_error();
+                    return Err(());
+                }
+                Ok(n) => {
+                    self.wpos += n;
+                    *wrote = true;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    ctx.tele.count_io_error();
+                    return Err(());
+                }
+            }
+        }
+        if *wrote && self.unflushed > 0 {
+            ctx.tele.count_flush(self.unflushed);
+            self.unflushed = 0;
+        }
+        if self.pending_write() == 0 {
+            self.wpos = 0;
+            self.wbuf.clear();
+            if self.wbuf.capacity() > BUF_CLAMP {
+                self.wbuf.shrink_to(BUF_CLAMP);
+                ctx.tele.count_buf_shrink();
+            }
+            if let Phase::Draining { shut, .. } = &mut self.phase {
+                if !*shut {
+                    *shut = true;
+                    let _ = self.stream.shutdown(Shutdown::Write);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Reclaim the read buffer: drop the consumed prefix and release
+    /// capacity a giant frame pinned once the remainder fits the clamp.
+    fn compact(&mut self, ctx: &Ctx<'_>) {
+        if self.rpos > 0 {
+            if self.rpos == self.rbuf.len() {
+                self.rbuf.clear();
+            } else {
+                self.rbuf.copy_within(self.rpos.., 0);
+                self.rbuf.truncate(self.rbuf.len() - self.rpos);
+            }
+            self.rpos = 0;
+        }
+        if self.rbuf.capacity() > BUF_CLAMP && self.rbuf.len() <= BUF_CLAMP {
+            self.rbuf.shrink_to(BUF_CLAMP);
+            ctx.tele.count_buf_shrink();
+        }
+    }
+
+    /// Recompute the interest set and deadline for the turn that just
+    /// ended. The shard mirrors any change into its poller and wheel.
+    fn posture(&mut self, read_progress: bool, write_progress: bool) {
+        self.want_write = self.pending_write() > 0;
+        self.want_read = match self.phase {
+            Phase::Serving => !self.eof && self.pending_write() < WRITE_HIGH_WATER,
+            Phase::Flushing => false,
+            Phase::Draining { .. } => !self.eof,
+        };
+        let desired: Option<DeadlineKind> = if matches!(self.phase, Phase::Draining { .. }) {
+            Some(DeadlineKind::Drain)
+        } else if self.pending_write() > 0 {
+            Some(DeadlineKind::Write)
+        } else if matches!(self.phase, Phase::Serving) && self.buffered_input() > 0 {
+            // A partial frame is sitting in the buffer: the peer must
+            // finish it within the read timeout.
+            Some(DeadlineKind::Read)
+        } else {
+            None
+        };
+        let current = self.deadline.map(|(_, kind)| kind);
+        let progressed = match desired {
+            Some(DeadlineKind::Read) => read_progress,
+            Some(DeadlineKind::Write) => write_progress,
+            Some(DeadlineKind::Drain) => false,
+            None => false,
+        };
+        if desired != current || progressed {
+            self.set_deadline(desired);
+        }
+    }
+
+    /// The deadline horizon for `kind`, measured from now.
+    pub(crate) fn deadline_after(kind: DeadlineKind, config: &ServerConfig) -> Duration {
+        match kind {
+            DeadlineKind::Read => config.read_timeout,
+            DeadlineKind::Write => config.write_timeout,
+            DeadlineKind::Drain => DRAIN_TIMEOUT,
+        }
+    }
+
+    fn set_deadline(&mut self, kind: Option<DeadlineKind>) {
+        self.timer_seq += 1;
+        // The instant is filled by the shard (it owns "now" for the
+        // wheel); store the kind with a placeholder refreshed on arm.
+        self.deadline = kind.map(|k| (Instant::now(), k));
+    }
+
+    /// Best-effort final flush at server shutdown (never blocks).
+    pub(crate) fn final_flush(&mut self) {
+        if self.pending_write() > 0 {
+            let _ = self.stream.write(&self.wbuf[self.wpos..]);
         }
     }
 }
 
 /// Decodes and dispatches one well-framed request.
-fn handle(
-    frame: &Frame,
-    monitor: &ReferenceMonitor,
-    tele: &ServerTelemetry,
-    config: &ServerConfig,
-) -> Result<Response, ProtoError> {
-    let request = Request::decode(frame.opcode, &frame.payload)?;
-    tele.count_request(request.opcode());
+fn handle(opcode: u8, payload: &[u8], ctx: &Ctx<'_>) -> Result<Response, ProtoError> {
+    let monitor = ctx.monitor;
+    let request = Request::decode(opcode, payload)?;
+    ctx.tele.count_request(request.opcode());
     Ok(match request {
         Request::Ping => Response::Pong,
         Request::Check {
@@ -158,30 +591,33 @@ fn handle(
             }
         }
         Request::BatchCheck { subject, items } => {
-            if items.len() > config.max_batch {
+            if items.len() > ctx.config.max_batch {
                 return Ok(error(
                     ErrorCode::BatchTooLarge,
                     format!(
                         "batch of {} exceeds the server limit of {}",
                         items.len(),
-                        config.max_batch
+                        ctx.config.max_batch
                     ),
                 ));
             }
             let started = Instant::now();
             // The point of batching: one snapshot pin, one subject
-            // validation, then every item answered from the same
-            // immutable policy state.
+            // validation, then the whole batch answered from the same
+            // immutable policy state by the monitor's vectorized path
+            // (sorted shared-prefix resolution, one cache-probe loop).
             let view = monitor.view();
             if let Some(refusal) = validate_subject(&view, &subject) {
                 return Ok(refusal);
             }
-            let decisions = items
-                .iter()
-                .map(|item| view.check(&subject, &item.path, item.mode))
+            let count = items.len() as u64;
+            let pairs: Vec<(NsPath, AccessMode)> = items
+                .into_iter()
+                .map(|item| (item.path, item.mode))
                 .collect();
-            tele.count_batched_checks(items.len() as u64);
-            tele.record_batch_latency(started.elapsed());
+            let decisions = view.check_batch(&subject, &pairs);
+            ctx.tele.count_batched_checks(count);
+            ctx.tele.record_batch_latency(started.elapsed());
             Response::Batch(decisions)
         }
         Request::List { subject, path } => {
@@ -220,7 +656,7 @@ fn handle(
             monitor.telemetry().publish();
             let document = WireTelemetry {
                 monitor: JsonSnapshot::from(&monitor.telemetry_snapshot()),
-                server: tele.snapshot(),
+                server: ctx.tele.snapshot(),
             };
             match serde_json::to_string(&document) {
                 Ok(json) => Response::Telemetry(json),
@@ -244,44 +680,4 @@ fn validate_subject(view: &MonitorView<'_>, subject: &Subject) -> Option<Respons
 
 fn error(code: ErrorCode, message: String) -> Response {
     Response::Error { code, message }
-}
-
-/// Sends a final error reply, then closes *gracefully*: half-close the
-/// write side and drain (bounded) whatever the peer already sent.
-/// Dropping a socket with unread bytes makes the kernel send an RST,
-/// which can destroy the error reply still in flight — a refusal should
-/// arrive as a readable answer followed by a clean EOF.
-fn close_with_reply(stream: &mut TcpStream, response: &Response, tele: &ServerTelemetry) {
-    if send(stream, response, tele).is_err() {
-        return;
-    }
-    let _ = stream.shutdown(std::net::Shutdown::Write);
-    let _ = stream.set_read_timeout(Some(std::time::Duration::from_millis(50)));
-    let mut sink = [0u8; 4096];
-    // Bounded: a peer that keeps streaming gets its RST after all.
-    for _ in 0..8 {
-        match std::io::Read::read(stream, &mut sink) {
-            Ok(0) | Err(_) => break,
-            Ok(_) => {}
-        }
-    }
-}
-
-/// Writes one response, mapping failures into the telemetry counters.
-fn send(stream: &mut TcpStream, response: &Response, tele: &ServerTelemetry) -> Result<(), ()> {
-    let frame = response.encode();
-    match proto::write_frame(stream, &frame) {
-        Ok(()) => Ok(()),
-        Err(e) => {
-            if matches!(
-                e.kind(),
-                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
-            ) {
-                tele.count_timeout();
-            } else {
-                tele.count_io_error();
-            }
-            Err(())
-        }
-    }
 }

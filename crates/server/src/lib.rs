@@ -65,10 +65,11 @@
 pub mod client;
 mod conn;
 pub mod proto;
+mod reactor;
 pub mod server;
 pub mod telemetry;
 
-pub use client::{Client, ClientConfig, ClientError};
+pub use client::{Client, ClientConfig, ClientError, ClientStats};
 pub use proto::{
     BatchItem, ErrorCode, Frame, FrameError, Opcode, ProtoError, Request, Response, MAX_BATCH,
     MAX_FRAME, VERSION,

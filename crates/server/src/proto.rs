@@ -819,6 +819,55 @@ pub fn write_frame(writer: &mut impl Write, frame: &[u8]) -> io::Result<()> {
     writer.flush()
 }
 
+/// What scanning a reassembly buffer for one frame found.
+#[derive(Debug, PartialEq, Eq)]
+pub enum FrameScan {
+    /// A complete frame sits at the front of the buffer: the opcode, the
+    /// byte range of the payload within the buffer, and the total bytes
+    /// the frame occupies (header included).
+    Complete {
+        /// The opcode byte (request or response space).
+        opcode: u8,
+        /// Payload start offset (always [`HEADER_LEN`]).
+        payload_start: usize,
+        /// Total frame length in bytes: header plus payload.
+        consumed: usize,
+    },
+    /// The buffer holds a prefix of a frame; more bytes are needed.
+    Partial,
+}
+
+/// Scans the front of `buf` for one complete frame without consuming or
+/// copying anything — the non-blocking counterpart of [`read_frame`],
+/// with the identical validation order: version byte first (so a bad
+/// peer is refused on its first byte), then the length prefix against
+/// `max_frame` *before* the payload is awaited.
+pub fn scan_frame(buf: &[u8], max_frame: u32) -> Result<FrameScan, ProtoError> {
+    let Some(&version) = buf.first() else {
+        return Ok(FrameScan::Partial);
+    };
+    if version != VERSION {
+        return Err(ProtoError::BadVersion(version));
+    }
+    if buf.len() < HEADER_LEN {
+        return Ok(FrameScan::Partial);
+    }
+    let opcode = buf[1];
+    let len = u32::from_le_bytes([buf[2], buf[3], buf[4], buf[5]]);
+    if len > max_frame {
+        return Err(ProtoError::Oversize(u64::from(len)));
+    }
+    let consumed = HEADER_LEN + len as usize;
+    if buf.len() < consumed {
+        return Ok(FrameScan::Partial);
+    }
+    Ok(FrameScan::Complete {
+        opcode,
+        payload_start: HEADER_LEN,
+        consumed,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -940,6 +989,46 @@ mod tests {
             Err(ProtoError::TooMany(_)) => {}
             other => panic!("expected too-many, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn scan_frame_agrees_with_read_frame() {
+        // Complete frame at the front: the scan names the same opcode and
+        // payload bytes the blocking reader would produce.
+        let frame = Request::Ping.encode();
+        let mut buf = frame.clone();
+        buf.extend_from_slice(&frame); // a second pipelined frame behind it
+        match scan_frame(&buf, MAX_FRAME).unwrap() {
+            FrameScan::Complete {
+                opcode,
+                payload_start,
+                consumed,
+            } => {
+                let read = read_frame(&mut &frame[..], MAX_FRAME).unwrap();
+                assert_eq!(opcode, read.opcode);
+                assert_eq!(&buf[payload_start..consumed], &read.payload[..]);
+                assert_eq!(consumed, frame.len());
+            }
+            other => panic!("expected a complete frame, got {other:?}"),
+        }
+        // Every strict prefix scans as partial.
+        for cut in 0..frame.len() {
+            assert_eq!(
+                scan_frame(&frame[..cut], MAX_FRAME).unwrap(),
+                FrameScan::Partial
+            );
+        }
+        // Bad version refused on the first byte, oversize on the header.
+        assert!(matches!(
+            scan_frame(&[9u8], MAX_FRAME),
+            Err(ProtoError::BadVersion(9))
+        ));
+        let mut oversize = vec![VERSION, Opcode::Ping as u8];
+        oversize.extend_from_slice(&(256u32 << 20).to_le_bytes());
+        assert!(matches!(
+            scan_frame(&oversize, MAX_FRAME),
+            Err(ProtoError::Oversize(_))
+        ));
     }
 
     #[test]

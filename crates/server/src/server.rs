@@ -1,28 +1,30 @@
-//! The multithreaded TCP front end.
+//! The sharded, event-driven TCP front end.
 //!
-//! One listener thread accepts connections and feeds them through a
-//! *bounded* crossbeam channel to a fixed pool of worker threads; each
-//! worker serves one connection at a time (see [`crate::conn`]). The
-//! bounded queue is the backpressure valve: when every worker is busy
-//! and the queue is full, new connections are dropped at accept and
-//! counted, instead of piling up unbounded — the same "refuse early,
-//! account always" posture the decoder takes toward hostile frames.
+//! `config.workers` shard threads each run a readiness event loop (see
+//! [`crate::reactor`]) multiplexing many non-blocking connections —
+//! thousands of mostly-idle peers cost a fixed number of threads, not a
+//! thread apiece or a queue slot apiece. Shard 0 owns the listener and
+//! hands accepted sockets to the other shards round-robin.
 //!
-//! Shutdown is graceful: the shutdown flag is raised, the listener is
-//! unblocked with a loopback connection and exits, dropping the channel
-//! sender; workers finish the request in flight, notice the flag at the
-//! next idle tick, drain the queue, and exit. [`Server::shutdown`] joins
-//! them all and hands back the final telemetry snapshot.
+//! Admission control happens at the door, with a typed `Busy` frame
+//! rather than a silent RST: a global `max_connections` cap on live
+//! slots, plus the bounded per-shard handoff queue (`accept_queue`) —
+//! the same "refuse early, account always" posture the decoder takes
+//! toward hostile frames.
+//!
+//! Shutdown is graceful: the flag is raised, every shard is woken
+//! through its poller, each shard flushes what it can, closes and
+//! accounts every owned connection, and exits. [`Server::shutdown`]
+//! joins them all and hands back the final telemetry snapshot.
 
-use crate::conn;
-use crate::proto::{self, Response, MAX_FRAME};
+use crate::proto::MAX_FRAME;
+use crate::reactor::{Shard, ShardHandle, Shared, LISTENER_KEY};
 use crate::telemetry::{ServerTelemetry, ServerTelemetrySnapshot};
-use crossbeam::channel::{self, Receiver, TrySendError};
 use extsec_refmon::ReferenceMonitor;
+use polling::Event;
 use std::io;
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::panic::AssertUnwindSafe;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::Duration;
@@ -30,15 +32,16 @@ use std::time::Duration;
 /// Tuning knobs for a [`Server`].
 #[derive(Clone, Debug)]
 pub struct ServerConfig {
-    /// Worker threads (each serves one connection at a time).
+    /// Shard (event-loop) threads; each multiplexes many connections.
     pub workers: usize,
-    /// Accepted connections that may wait for a free worker before new
-    /// ones are dropped at accept.
+    /// Accepted connections that may sit in one shard's handoff queue
+    /// awaiting registration before new ones are shed at accept.
     pub accept_queue: usize,
-    /// Per-connection read timeout. Doubles as the idle tick at which a
-    /// worker polls the shutdown flag between frames.
+    /// How long a peer may stall mid-frame before the connection is
+    /// timed out (idle connections *between* frames are not timed out).
     pub read_timeout: Duration,
-    /// Per-connection write timeout.
+    /// How long a pending reply may sit unread before the connection is
+    /// timed out.
     pub write_timeout: Duration,
     /// Largest accepted frame payload, bytes (at most [`MAX_FRAME`]).
     pub max_frame: u32,
@@ -50,6 +53,9 @@ pub struct ServerConfig {
     pub conn_request_budget: u64,
     /// The backoff hint carried in `Busy` responses.
     pub shed_retry_after: Duration,
+    /// Live connections the server will hold across all shards before
+    /// shedding new ones at accept with a `Busy` frame.
+    pub max_connections: usize,
 }
 
 impl Default for ServerConfig {
@@ -63,22 +69,22 @@ impl Default for ServerConfig {
             max_batch: 1024,
             conn_request_budget: u64::MAX,
             shed_retry_after: Duration::from_millis(100),
+            max_connections: 8192,
         }
     }
 }
 
-/// A running server: a listener, a worker pool, and their shared state.
+/// A running server: shard threads and their shared state.
 pub struct Server {
     addr: SocketAddr,
-    shutdown: Arc<AtomicBool>,
-    listener: Option<JoinHandle<()>>,
-    workers: Vec<JoinHandle<()>>,
-    telemetry: Arc<ServerTelemetry>,
+    shared: Arc<Shared>,
+    handles: Vec<Arc<ShardHandle>>,
+    shards: Vec<JoinHandle<()>>,
 }
 
 impl Server {
-    /// Binds `addr` (use port 0 for an ephemeral port) and spawns the
-    /// listener and `config.workers` worker threads.
+    /// Binds `addr` (use port 0 for an ephemeral port) and spawns
+    /// `config.workers` shard event loops; shard 0 owns the listener.
     pub fn spawn(
         monitor: Arc<ReferenceMonitor>,
         addr: impl ToSocketAddrs,
@@ -87,92 +93,54 @@ impl Server {
         let config = Arc::new(ServerConfig {
             max_frame: config.max_frame.min(MAX_FRAME),
             workers: config.workers.max(1),
+            max_connections: config.max_connections.max(1),
             ..config
         });
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
-        let shutdown = Arc::new(AtomicBool::new(false));
+        listener.set_nonblocking(true)?;
         let telemetry = Arc::new(ServerTelemetry::new());
-        let (tx, rx) = channel::bounded::<TcpStream>(config.accept_queue);
-        // The vendored Receiver is only Clone for cloneable payloads;
-        // share it through an Arc instead (it is Sync).
-        let rx: Arc<Receiver<TcpStream>> = Arc::new(rx);
+        let shared = Arc::new(Shared {
+            monitor,
+            telemetry: Arc::clone(&telemetry),
+            config: Arc::clone(&config),
+            shutdown: AtomicBool::new(false),
+            conns: AtomicUsize::new(0),
+        });
 
-        let mut workers = Vec::with_capacity(config.workers);
+        let mut handles = Vec::with_capacity(config.workers);
+        for _ in 0..config.workers {
+            handles.push(Arc::new(ShardHandle::new()?));
+        }
+        handles[0]
+            .poller
+            .add(&listener, Event::readable(LISTENER_KEY))?;
+
+        let mut shards = Vec::with_capacity(config.workers);
         for index in 0..config.workers {
-            let rx = Arc::clone(&rx);
-            let monitor = Arc::clone(&monitor);
-            let telemetry = Arc::clone(&telemetry);
-            let config = Arc::clone(&config);
-            let shutdown = Arc::clone(&shutdown);
-            workers.push(
+            let shard = Shard::new(
+                index,
+                Arc::clone(&shared),
+                handles.clone(),
+                if index == 0 {
+                    Some(listener.try_clone()?)
+                } else {
+                    None
+                },
+            );
+            shards.push(
                 thread::Builder::new()
-                    .name(format!("extsec-server-worker-{index}"))
-                    .spawn(move || {
-                        // recv() fails only once the listener has exited
-                        // and the queue is drained — the drain half of
-                        // graceful shutdown. A panic while serving one
-                        // connection (contained here) must not take the
-                        // worker down with it: the slot accounting runs
-                        // in `serve`'s drop guard during the unwind, and
-                        // the worker moves on to the next connection.
-                        while let Ok(stream) = rx.recv() {
-                            let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
-                                conn::serve(stream, &monitor, &telemetry, &config, &shutdown);
-                            }));
-                            if caught.is_err() {
-                                telemetry.count_worker_panic();
-                            }
-                        }
-                    })?,
+                    .name(format!("extsec-server-shard-{index}"))
+                    .spawn(move || shard.run())?,
             );
         }
-
-        let accept_shutdown = Arc::clone(&shutdown);
-        let accept_tele = Arc::clone(&telemetry);
-        let accept_config = Arc::clone(&config);
-        let listener_handle = thread::Builder::new()
-            .name("extsec-server-listener".into())
-            .spawn(move || {
-                // `tx` lives in this closure: when the loop breaks, the
-                // sender drops and the workers' recv() starts failing.
-                for stream in listener.incoming() {
-                    if accept_shutdown.load(Ordering::Acquire) {
-                        break;
-                    }
-                    let stream = match stream {
-                        Ok(stream) => stream,
-                        Err(_) => continue,
-                    };
-                    let _ = stream.set_read_timeout(Some(accept_config.read_timeout));
-                    let _ = stream.set_write_timeout(Some(accept_config.write_timeout));
-                    let _ = stream.set_nodelay(true);
-                    match tx.try_send(stream) {
-                        Ok(()) => {}
-                        // The vendored channel folds "full" and
-                        // "disconnected" into one error; workers only
-                        // disconnect at shutdown, which the flag covers.
-                        Err(TrySendError(stream)) => {
-                            // Backpressure: refuse at the door rather
-                            // than queue without bound — but refuse
-                            // *legibly*, with a typed Busy frame naming
-                            // a backoff, instead of a silent RST.
-                            accept_tele.count_shed_accept();
-                            shed(stream, &accept_config);
-                            if accept_shutdown.load(Ordering::Acquire) {
-                                break;
-                            }
-                        }
-                    }
-                }
-            })?;
+        drop(listener);
 
         Ok(Server {
             addr: local,
-            shutdown,
-            listener: Some(listener_handle),
-            workers,
-            telemetry,
+            shared,
+            handles,
+            shards,
         })
     }
 
@@ -183,28 +151,27 @@ impl Server {
 
     /// The server's live telemetry.
     pub fn telemetry(&self) -> &ServerTelemetry {
-        &self.telemetry
+        &self.shared.telemetry
     }
 
-    /// Stops accepting, drains, joins every thread, and returns the
-    /// final telemetry snapshot.
+    /// Stops accepting, closes every connection, joins every shard, and
+    /// returns the final telemetry snapshot.
     pub fn shutdown(mut self) -> ServerTelemetrySnapshot {
         self.stop();
-        self.telemetry.snapshot()
+        self.shared.telemetry.snapshot()
     }
 
     fn stop(&mut self) {
-        if self.listener.is_none() {
+        if self.shards.is_empty() {
             return;
         }
-        self.shutdown.store(true, Ordering::Release);
-        // Unblock accept(): the listener checks the flag on the next
-        // connection, and this one is it.
-        let _ = TcpStream::connect(self.addr);
-        if let Some(handle) = self.listener.take() {
-            let _ = handle.join();
+        self.shared.shutdown.store(true, Ordering::Release);
+        // Wake every shard out of its poller wait; each notices the flag
+        // and runs its shutdown sweep.
+        for handle in &self.handles {
+            let _ = handle.poller.notify();
         }
-        for handle in self.workers.drain(..) {
+        for handle in self.shards.drain(..) {
             let _ = handle.join();
         }
     }
@@ -213,18 +180,5 @@ impl Server {
 impl Drop for Server {
     fn drop(&mut self) {
         self.stop();
-    }
-}
-
-/// Sheds one connection at accept: answer `Busy` (best effort), half-close
-/// the write side so the frame survives in flight, and drop the socket.
-/// The shed connection never enters the accepted/closed accounting — it
-/// was refused, not served.
-fn shed(mut stream: TcpStream, config: &ServerConfig) {
-    let busy = Response::Busy {
-        retry_after_ms: config.shed_retry_after.as_millis() as u64,
-    };
-    if proto::write_frame(&mut stream, &busy.encode()).is_ok() {
-        let _ = stream.shutdown(std::net::Shutdown::Write);
     }
 }

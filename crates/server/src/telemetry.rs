@@ -42,6 +42,20 @@ pub struct ServerTelemetry {
     io_errors: ShardedCounter,
     /// Individual checks served through `BatchCheck` frames.
     checks_in_batches: ShardedCounter,
+    /// Reactor poll calls that returned (readiness waits, per shard).
+    polls: ShardedCounter,
+    /// Readiness events delivered across all poll returns.
+    ready_events: ShardedCounter,
+    /// Cross-shard wakeups (connection handoffs and shutdown nudges).
+    wakeups: ShardedCounter,
+    /// Coalesced write flushes issued (one per connection per turn).
+    flushes: ShardedCounter,
+    /// Responses carried by those flushes — `flushed_responses /
+    /// flushes` is the batch-coalescing ratio.
+    flushed_responses: ShardedCounter,
+    /// Connection buffers shrunk back under the capacity clamp after a
+    /// large frame or reply inflated them.
+    buf_shrinks: ShardedCounter,
     /// Request frame sizes. The histogram buckets are log₂ *nanosecond*
     /// slots; we record bytes in them, so read the statistics as bytes.
     frame_bytes: LatencyHistogram,
@@ -99,6 +113,24 @@ impl ServerTelemetry {
         self.checks_in_batches.add(n);
     }
 
+    pub(crate) fn count_poll(&self, ready: u64) {
+        self.polls.incr();
+        self.ready_events.add(ready);
+    }
+
+    pub(crate) fn count_wakeup(&self) {
+        self.wakeups.incr();
+    }
+
+    pub(crate) fn count_flush(&self, responses: u64) {
+        self.flushes.incr();
+        self.flushed_responses.add(responses);
+    }
+
+    pub(crate) fn count_buf_shrink(&self) {
+        self.buf_shrinks.incr();
+    }
+
     pub(crate) fn record_frame_bytes(&self, bytes: u64) {
         self.frame_bytes.record(Duration::from_nanos(bytes));
     }
@@ -130,6 +162,12 @@ impl ServerTelemetry {
             timeouts: self.timeouts.get(),
             io_errors: self.io_errors.get(),
             checks_in_batches: self.checks_in_batches.get(),
+            polls: self.polls.get(),
+            ready_events: self.ready_events.get(),
+            wakeups: self.wakeups.get(),
+            flushes: self.flushes.get(),
+            flushed_responses: self.flushed_responses.get(),
+            buf_shrinks: self.buf_shrinks.get(),
             frame_bytes: HistStat::from(&self.frame_bytes.snapshot()),
             batch_latency: HistStat::from(&self.batch_latency.snapshot()),
         }
@@ -200,6 +238,18 @@ pub struct ServerTelemetrySnapshot {
     pub io_errors: u64,
     /// Individual checks served inside batches.
     pub checks_in_batches: u64,
+    /// Reactor poll calls that returned.
+    pub polls: u64,
+    /// Readiness events delivered across all polls.
+    pub ready_events: u64,
+    /// Cross-shard wakeups (handoffs and shutdown nudges).
+    pub wakeups: u64,
+    /// Coalesced write flushes issued.
+    pub flushes: u64,
+    /// Responses carried by those flushes.
+    pub flushed_responses: u64,
+    /// Connection buffers shrunk back under the capacity clamp.
+    pub buf_shrinks: u64,
     /// Request frame sizes, in bytes.
     pub frame_bytes: HistStat,
     /// Whole-batch service latency, in nanoseconds.
@@ -227,6 +277,16 @@ impl fmt::Display for ServerTelemetrySnapshot {
             f,
             "batches: checks={} latency mean={}ns p99={}ns",
             self.checks_in_batches, self.batch_latency.mean, self.batch_latency.p99
+        )?;
+        writeln!(
+            f,
+            "reactor: polls={} ready={} wakeups={} flushes={} flushed_responses={} buf_shrinks={}",
+            self.polls,
+            self.ready_events,
+            self.wakeups,
+            self.flushes,
+            self.flushed_responses,
+            self.buf_shrinks
         )?;
         write!(
             f,
@@ -256,8 +316,19 @@ mod tests {
         tele.count_shed_accept();
         tele.count_shed_budget();
         tele.count_worker_panic();
+        tele.count_poll(3);
+        tele.count_poll(2);
+        tele.count_wakeup();
+        tele.count_flush(4);
+        tele.count_buf_shrink();
 
         let snap = tele.snapshot();
+        assert_eq!(snap.polls, 2);
+        assert_eq!(snap.ready_events, 5);
+        assert_eq!(snap.wakeups, 1);
+        assert_eq!(snap.flushes, 1);
+        assert_eq!(snap.flushed_responses, 4);
+        assert_eq!(snap.buf_shrinks, 1);
         assert_eq!(snap.shed_accept, 1);
         assert_eq!(snap.shed_budget, 1);
         assert_eq!(snap.worker_panics, 1);

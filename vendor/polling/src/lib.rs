@@ -1,0 +1,593 @@
+//! Offline stand-in for the `polling` crate: a minimal readiness poller.
+//!
+//! Provides a safe, level-triggered interface over the operating system's
+//! readiness notification facility: `epoll(7)` on Linux and `poll(2)` on
+//! other Unix platforms. No async runtime, no callbacks — callers register
+//! file descriptors under a `usize` key, block in [`Poller::wait`], and get
+//! back a list of [`Event`]s naming which keys are ready.
+//!
+//! Divergences from the real crate, for offline builds:
+//! - always level-triggered (the real crate defaults to oneshot mode);
+//! - registration is a safe call — callers are responsible for deleting a
+//!   source before closing its descriptor;
+//! - only the epoll and poll backends exist.
+
+#![warn(missing_docs)]
+
+use std::io;
+use std::os::unix::io::AsRawFd;
+use std::time::Duration;
+
+/// Key reserved for the internal wakeup channel; user registrations must
+/// not use it.
+const NOTIFY_KEY: usize = usize::MAX;
+
+/// Readiness interest or readiness result for one registered source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Caller-chosen identifier for the registered source.
+    pub key: usize,
+    /// Interest in (or occurrence of) read readiness.
+    pub readable: bool,
+    /// Interest in (or occurrence of) write readiness.
+    pub writable: bool,
+}
+
+impl Event {
+    /// Interest in read readiness only.
+    pub fn readable(key: usize) -> Self {
+        Event { key, readable: true, writable: false }
+    }
+
+    /// Interest in write readiness only.
+    pub fn writable(key: usize) -> Self {
+        Event { key, readable: false, writable: true }
+    }
+
+    /// Interest in both read and write readiness.
+    pub fn all(key: usize) -> Self {
+        Event { key, readable: true, writable: true }
+    }
+
+    /// No interest; the source stays registered but reports nothing.
+    pub fn none(key: usize) -> Self {
+        Event { key, readable: false, writable: false }
+    }
+}
+
+/// Reusable buffer of readiness events filled by [`Poller::wait`].
+#[derive(Debug, Default)]
+pub struct Events {
+    inner: Vec<Event>,
+}
+
+impl Events {
+    /// New, empty event buffer.
+    pub fn new() -> Self {
+        Events { inner: Vec::with_capacity(1024) }
+    }
+
+    /// Iterate over the events reported by the last `wait`.
+    pub fn iter(&self) -> impl Iterator<Item = Event> + '_ {
+        self.inner.iter().copied()
+    }
+
+    /// Number of events reported by the last `wait`.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Whether the last `wait` reported no events.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Drop all buffered events.
+    pub fn clear(&mut self) {
+        self.inner.clear();
+    }
+}
+
+/// A readiness poller multiplexing many registered file descriptors.
+#[derive(Debug)]
+pub struct Poller {
+    sys: sys::Poller,
+}
+
+impl Poller {
+    /// Create a new poller with an internal wakeup channel.
+    pub fn new() -> io::Result<Self> {
+        Ok(Poller { sys: sys::Poller::new()? })
+    }
+
+    /// Register `source` under `interest.key`. The key must be unique among
+    /// live registrations and must not be `usize::MAX` (reserved).
+    pub fn add(&self, source: &impl AsRawFd, interest: Event) -> io::Result<()> {
+        assert_ne!(interest.key, NOTIFY_KEY, "poller key usize::MAX is reserved");
+        self.sys.add(source.as_raw_fd(), interest)
+    }
+
+    /// Change the interest set of an already-registered source.
+    pub fn modify(&self, source: &impl AsRawFd, interest: Event) -> io::Result<()> {
+        assert_ne!(interest.key, NOTIFY_KEY, "poller key usize::MAX is reserved");
+        self.sys.modify(source.as_raw_fd(), interest)
+    }
+
+    /// Remove a source from the poller. Must be called before the source's
+    /// descriptor is closed.
+    pub fn delete(&self, source: &impl AsRawFd) -> io::Result<()> {
+        self.sys.delete(source.as_raw_fd())
+    }
+
+    /// Block until at least one registered source is ready, `timeout`
+    /// elapses (`None` blocks indefinitely), or [`Poller::notify`] is
+    /// called. Returns the number of events appended to `events`
+    /// (the buffer is cleared first).
+    pub fn wait(&self, events: &mut Events, timeout: Option<Duration>) -> io::Result<usize> {
+        events.clear();
+        self.sys.wait(&mut events.inner, timeout)
+    }
+
+    /// Wake up a concurrent or future [`Poller::wait`] call from any thread.
+    pub fn notify(&self) -> io::Result<()> {
+        self.sys.notify()
+    }
+}
+
+/// Round a timeout up to whole milliseconds so sub-millisecond waits do not
+/// degenerate into busy loops; `None` means block forever.
+fn timeout_ms(timeout: Option<Duration>) -> i32 {
+    match timeout {
+        None => -1,
+        Some(d) => {
+            if d.is_zero() {
+                0
+            } else {
+                let ms = d.as_millis().max(1);
+                i32::try_from(ms).unwrap_or(i32::MAX)
+            }
+        }
+    }
+}
+
+#[cfg(target_os = "linux")]
+mod sys {
+    //! epoll backend: raw FFI against the libc that std already links.
+
+    use super::{timeout_ms, Event, NOTIFY_KEY};
+    use std::io;
+    use std::os::unix::io::RawFd;
+    use std::time::Duration;
+
+    const EPOLL_CLOEXEC: i32 = 0o2000000;
+    const EPOLL_CTL_ADD: i32 = 1;
+    const EPOLL_CTL_DEL: i32 = 2;
+    const EPOLL_CTL_MOD: i32 = 3;
+    const EPOLLIN: u32 = 0x001;
+    const EPOLLOUT: u32 = 0x004;
+    const EPOLLERR: u32 = 0x008;
+    const EPOLLHUP: u32 = 0x010;
+    const EPOLLRDHUP: u32 = 0x2000;
+    const EFD_CLOEXEC: i32 = 0o2000000;
+    const EFD_NONBLOCK: i32 = 0o4000;
+
+    // The kernel ABI packs epoll_event on x86-64 (no padding between the
+    // mask and the payload); other architectures use natural alignment.
+    #[cfg(target_arch = "x86_64")]
+    #[repr(C, packed)]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    #[cfg(not(target_arch = "x86_64"))]
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    extern "C" {
+        fn epoll_create1(flags: i32) -> i32;
+        fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+        fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+        fn eventfd(initval: u32, flags: i32) -> i32;
+        fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+        fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+        fn close(fd: i32) -> i32;
+    }
+
+    fn cvt(ret: i32) -> io::Result<i32> {
+        if ret < 0 {
+            Err(io::Error::last_os_error())
+        } else {
+            Ok(ret)
+        }
+    }
+
+    fn interest_mask(interest: Event) -> u32 {
+        let mut mask = EPOLLRDHUP;
+        if interest.readable {
+            mask |= EPOLLIN;
+        }
+        if interest.writable {
+            mask |= EPOLLOUT;
+        }
+        mask
+    }
+
+    #[derive(Debug)]
+    pub(super) struct Poller {
+        epfd: RawFd,
+        event_fd: RawFd,
+    }
+
+    // The poller only hands out `&self` operations that epoll already
+    // serializes in the kernel.
+    unsafe impl Send for Poller {}
+    unsafe impl Sync for Poller {}
+
+    impl Poller {
+        pub(super) fn new() -> io::Result<Self> {
+            let epfd = cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
+            let event_fd = match cvt(unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) }) {
+                Ok(fd) => fd,
+                Err(e) => {
+                    unsafe { close(epfd) };
+                    return Err(e);
+                }
+            };
+            let poller = Poller { epfd, event_fd };
+            poller.ctl(
+                EPOLL_CTL_ADD,
+                event_fd,
+                EpollEvent { events: EPOLLIN, data: NOTIFY_KEY as u64 },
+            )?;
+            Ok(poller)
+        }
+
+        fn ctl(&self, op: i32, fd: RawFd, mut ev: EpollEvent) -> io::Result<()> {
+            cvt(unsafe { epoll_ctl(self.epfd, op, fd, &mut ev) }).map(|_| ())
+        }
+
+        pub(super) fn add(&self, fd: RawFd, interest: Event) -> io::Result<()> {
+            self.ctl(
+                EPOLL_CTL_ADD,
+                fd,
+                EpollEvent { events: interest_mask(interest), data: interest.key as u64 },
+            )
+        }
+
+        pub(super) fn modify(&self, fd: RawFd, interest: Event) -> io::Result<()> {
+            self.ctl(
+                EPOLL_CTL_MOD,
+                fd,
+                EpollEvent { events: interest_mask(interest), data: interest.key as u64 },
+            )
+        }
+
+        pub(super) fn delete(&self, fd: RawFd) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_DEL, fd, EpollEvent { events: 0, data: 0 })
+        }
+
+        pub(super) fn wait(
+            &self,
+            out: &mut Vec<Event>,
+            timeout: Option<Duration>,
+        ) -> io::Result<usize> {
+            let mut buf = [EpollEvent { events: 0, data: 0 }; 1024];
+            let ret = unsafe {
+                epoll_wait(self.epfd, buf.as_mut_ptr(), buf.len() as i32, timeout_ms(timeout))
+            };
+            let n = match cvt(ret) {
+                Ok(n) => n as usize,
+                // A signal interrupted the wait: report an empty set and
+                // let the caller recompute its deadline and re-enter.
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => 0,
+                Err(e) => return Err(e),
+            };
+            for ev in &buf[..n] {
+                let key = { ev.data } as usize;
+                if key == NOTIFY_KEY {
+                    // Drain the eventfd so the next wait can block again.
+                    let mut scratch = [0u8; 8];
+                    unsafe { read(self.event_fd, scratch.as_mut_ptr(), scratch.len()) };
+                    continue;
+                }
+                let bits = { ev.events };
+                out.push(Event {
+                    key,
+                    readable: bits & (EPOLLIN | EPOLLHUP | EPOLLERR | EPOLLRDHUP) != 0,
+                    writable: bits & (EPOLLOUT | EPOLLHUP | EPOLLERR) != 0,
+                });
+            }
+            Ok(out.len())
+        }
+
+        pub(super) fn notify(&self) -> io::Result<()> {
+            let one: u64 = 1;
+            let ret = unsafe { write(self.event_fd, one.to_ne_bytes().as_ptr(), 8) };
+            // A full eventfd counter (EAGAIN) already guarantees a wakeup.
+            if ret < 0 {
+                let err = io::Error::last_os_error();
+                if err.kind() != io::ErrorKind::WouldBlock {
+                    return Err(err);
+                }
+            }
+            Ok(())
+        }
+    }
+
+    impl Drop for Poller {
+        fn drop(&mut self) {
+            unsafe {
+                close(self.event_fd);
+                close(self.epfd);
+            }
+        }
+    }
+}
+
+#[cfg(all(unix, not(target_os = "linux")))]
+mod sys {
+    //! poll(2) backend for non-Linux Unix platforms: a registration table
+    //! rebuilt into a pollfd array on every wait. Correct, not fast — the
+    //! reactor's hot deployments are Linux/epoll.
+
+    use super::{timeout_ms, Event, NOTIFY_KEY};
+    use std::collections::HashMap;
+    use std::io;
+    use std::os::unix::io::RawFd;
+    use std::sync::Mutex;
+    use std::time::Duration;
+
+    const POLLIN: i16 = 0x001;
+    const POLLOUT: i16 = 0x004;
+    const POLLERR: i16 = 0x008;
+    const POLLHUP: i16 = 0x010;
+    const F_SETFL: i32 = 4;
+    const O_NONBLOCK: i32 = if cfg!(any(
+        target_os = "macos",
+        target_os = "ios",
+        target_os = "freebsd",
+        target_os = "netbsd",
+        target_os = "openbsd"
+    )) {
+        0x4
+    } else {
+        0o4000
+    };
+
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    struct PollFd {
+        fd: i32,
+        events: i16,
+        revents: i16,
+    }
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: u64, timeout: i32) -> i32;
+        fn pipe(fds: *mut i32) -> i32;
+        fn fcntl(fd: i32, cmd: i32, arg: i32) -> i32;
+        fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+        fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+        fn close(fd: i32) -> i32;
+    }
+
+    #[derive(Debug)]
+    pub(super) struct Poller {
+        registry: Mutex<HashMap<RawFd, Event>>,
+        wake_rx: RawFd,
+        wake_tx: RawFd,
+    }
+
+    unsafe impl Send for Poller {}
+    unsafe impl Sync for Poller {}
+
+    impl Poller {
+        pub(super) fn new() -> io::Result<Self> {
+            let mut fds = [0i32; 2];
+            if unsafe { pipe(fds.as_mut_ptr()) } < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            for fd in fds {
+                unsafe { fcntl(fd, F_SETFL, O_NONBLOCK) };
+            }
+            Ok(Poller {
+                registry: Mutex::new(HashMap::new()),
+                wake_rx: fds[0],
+                wake_tx: fds[1],
+            })
+        }
+
+        pub(super) fn add(&self, fd: RawFd, interest: Event) -> io::Result<()> {
+            let mut reg = self.registry.lock().unwrap();
+            if reg.insert(fd, interest).is_some() {
+                return Err(io::Error::new(io::ErrorKind::AlreadyExists, "fd already registered"));
+            }
+            Ok(())
+        }
+
+        pub(super) fn modify(&self, fd: RawFd, interest: Event) -> io::Result<()> {
+            let mut reg = self.registry.lock().unwrap();
+            match reg.get_mut(&fd) {
+                Some(slot) => {
+                    *slot = interest;
+                    Ok(())
+                }
+                None => Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered")),
+            }
+        }
+
+        pub(super) fn delete(&self, fd: RawFd) -> io::Result<()> {
+            let mut reg = self.registry.lock().unwrap();
+            match reg.remove(&fd) {
+                Some(_) => Ok(()),
+                None => Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered")),
+            }
+        }
+
+        pub(super) fn wait(
+            &self,
+            out: &mut Vec<Event>,
+            timeout: Option<Duration>,
+        ) -> io::Result<usize> {
+            let mut fds = vec![PollFd { fd: self.wake_rx, events: POLLIN, revents: 0 }];
+            let mut keys = vec![NOTIFY_KEY];
+            {
+                let reg = self.registry.lock().unwrap();
+                for (&fd, interest) in reg.iter() {
+                    let mut events = 0i16;
+                    if interest.readable {
+                        events |= POLLIN;
+                    }
+                    if interest.writable {
+                        events |= POLLOUT;
+                    }
+                    fds.push(PollFd { fd, events, revents: 0 });
+                    keys.push(interest.key);
+                }
+            }
+            let ret =
+                unsafe { poll(fds.as_mut_ptr(), fds.len() as u64, timeout_ms(timeout)) };
+            if ret < 0 {
+                let err = io::Error::last_os_error();
+                if err.kind() == io::ErrorKind::Interrupted {
+                    return Ok(0);
+                }
+                return Err(err);
+            }
+            for (slot, &key) in fds.iter().zip(keys.iter()) {
+                if slot.revents == 0 {
+                    continue;
+                }
+                if key == NOTIFY_KEY {
+                    let mut scratch = [0u8; 64];
+                    while unsafe { read(self.wake_rx, scratch.as_mut_ptr(), scratch.len()) } > 0 {}
+                    continue;
+                }
+                out.push(Event {
+                    key,
+                    readable: slot.revents & (POLLIN | POLLHUP | POLLERR) != 0,
+                    writable: slot.revents & (POLLOUT | POLLHUP | POLLERR) != 0,
+                });
+            }
+            Ok(out.len())
+        }
+
+        pub(super) fn notify(&self) -> io::Result<()> {
+            let byte = [1u8];
+            unsafe { write(self.wake_tx, byte.as_ptr(), 1) };
+            Ok(())
+        }
+    }
+
+    impl Drop for Poller {
+        fn drop(&mut self) {
+            unsafe {
+                close(self.wake_rx);
+                close(self.wake_tx);
+            }
+        }
+    }
+}
+
+#[cfg(not(unix))]
+compile_error!("the vendored polling stand-in supports Unix platforms only");
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::time::Instant;
+
+    #[test]
+    fn reports_read_readiness_when_data_arrives() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut tx = TcpStream::connect(addr).unwrap();
+        let (rx, _) = listener.accept().unwrap();
+        rx.set_nonblocking(true).unwrap();
+
+        let poller = Poller::new().unwrap();
+        poller.add(&rx, Event::readable(7)).unwrap();
+
+        let mut events = Events::new();
+        let n = poller.wait(&mut events, Some(Duration::from_millis(50))).unwrap();
+        assert_eq!(n, 0, "no data yet, wait should time out");
+
+        tx.write_all(b"ping").unwrap();
+        let n = poller.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
+        assert_eq!(n, 1);
+        let ev = events.iter().next().unwrap();
+        assert_eq!(ev.key, 7);
+        assert!(ev.readable);
+
+        let mut rx = rx;
+        let mut buf = [0u8; 16];
+        assert_eq!(rx.read(&mut buf).unwrap(), 4);
+        poller.delete(&rx).unwrap();
+    }
+
+    #[test]
+    fn level_triggered_until_drained() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut tx = TcpStream::connect(addr).unwrap();
+        let (rx, _) = listener.accept().unwrap();
+        rx.set_nonblocking(true).unwrap();
+        tx.write_all(b"data").unwrap();
+
+        let poller = Poller::new().unwrap();
+        poller.add(&rx, Event::readable(1)).unwrap();
+        let mut events = Events::new();
+        for _ in 0..3 {
+            let n = poller.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
+            assert_eq!(n, 1, "level-triggered: readiness repeats until drained");
+        }
+        poller.delete(&rx).unwrap();
+    }
+
+    #[test]
+    fn notify_wakes_a_blocked_wait() {
+        let poller = std::sync::Arc::new(Poller::new().unwrap());
+        let remote = poller.clone();
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            remote.notify().unwrap();
+        });
+        let mut events = Events::new();
+        let start = Instant::now();
+        let n = poller.wait(&mut events, Some(Duration::from_secs(30))).unwrap();
+        assert_eq!(n, 0, "notify produces a wakeup without user events");
+        assert!(start.elapsed() < Duration::from_secs(10));
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn modify_enables_write_interest() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let tx = TcpStream::connect(addr).unwrap();
+        let (_rx, _) = listener.accept().unwrap();
+        tx.set_nonblocking(true).unwrap();
+
+        let poller = Poller::new().unwrap();
+        poller.add(&tx, Event::none(3)).unwrap();
+        let mut events = Events::new();
+        let n = poller.wait(&mut events, Some(Duration::from_millis(50))).unwrap();
+        assert_eq!(n, 0, "no interest registered yet");
+
+        poller.modify(&tx, Event::writable(3)).unwrap();
+        let n = poller.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
+        assert_eq!(n, 1);
+        let ev = events.iter().next().unwrap();
+        assert_eq!(ev.key, 3);
+        assert!(ev.writable);
+        poller.delete(&tx).unwrap();
+    }
+}
