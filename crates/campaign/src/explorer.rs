@@ -130,7 +130,7 @@ fn focus(rng: &mut Rng, session: &Session) -> (usize, usize) {
 fn next_op(rng: &mut Rng, session: &Session) -> Op {
     let world = &session.world;
     // (cumulative-weight, op-kind) table; one draw picks the kind.
-    const WEIGHTS: [(u32, u8); 14] = [
+    const WEIGHTS: [(u32, u8); 15] = [
         (30, 0), // Check
         (12, 1), // Grant
         (12, 2), // Revoke
@@ -144,6 +144,7 @@ fn next_op(rng: &mut Rng, session: &Session) -> Op {
         (9, 10), // RunExt
         (4, 11), // Clock
         (3, 12), // Burst
+        (2, 14), // BundleCycle
         (1, 13), // AddPrincipal
     ];
     let total: u32 = WEIGHTS.iter().map(|(w, _)| w).sum();
@@ -230,6 +231,10 @@ fn next_op(rng: &mut Rng, session: &Session) -> Op {
                 leaf,
                 mode: check_mode(rng),
             }
+        }
+        14 => {
+            let (principal, leaf) = focus(rng, session);
+            Op::BundleCycle { leaf, principal }
         }
         _ => Op::AddPrincipal,
     }

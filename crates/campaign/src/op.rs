@@ -113,6 +113,15 @@ pub enum Op {
         /// Access mode requested.
         mode: AccessMode,
     },
+    /// A full policy-bundle lifecycle against one (leaf, principal)
+    /// pair: stage a one-edit diff granting the principal read on the
+    /// leaf, shadow it across a probe, activate, probe, then roll back.
+    BundleCycle {
+        /// Leaf index.
+        leaf: usize,
+        /// Principal index the staged diff grants.
+        principal: usize,
+    },
     /// A 3-thread concurrent burst of the same check against a fixed
     /// uncached oracle — the F9 lock-free read path under campaign load.
     Burst {
@@ -162,6 +171,9 @@ impl fmt::Display for Op {
             }
             Op::RunExt { ext } => write!(f, "run ext={ext}"),
             Op::Clock { ms } => write!(f, "clock ms={ms}"),
+            Op::BundleCycle { leaf, principal } => {
+                write!(f, "bundle leaf={leaf} principal={principal}")
+            }
             Op::Check {
                 principal,
                 leaf,
@@ -263,6 +275,10 @@ impl FromStr for Op {
             }),
             "clock" => Ok(Op::Clock {
                 ms: want_usize(&map, "ms")? as u64,
+            }),
+            "bundle" => Ok(Op::BundleCycle {
+                leaf: want_usize(&map, "leaf")?,
+                principal: want_usize(&map, "principal")?,
             }),
             "check" => Ok(Op::Check {
                 principal: want_usize(&map, "principal")?,
@@ -479,6 +495,10 @@ mod tests {
             },
             Op::RunExt { ext: 0 },
             Op::Clock { ms: 500 },
+            Op::BundleCycle {
+                leaf: 3,
+                principal: 1,
+            },
         ];
         for op in ops {
             let text = op.to_string();

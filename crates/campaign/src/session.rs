@@ -212,6 +212,10 @@ impl Session {
                 self.burst(*principal, *leaf, *mode)?;
                 false
             }
+            Op::BundleCycle { leaf, principal } => {
+                self.bundle_cycle(*leaf, *principal)?;
+                true
+            }
         };
         if mutated {
             self.reprobe()?;
@@ -253,6 +257,42 @@ impl Session {
         {
             self.ledger.note(li, new_acl, pi);
         }
+    }
+
+    /// A full bundle lifecycle: stage a one-edit diff that appends a
+    /// read grant for the principal on the leaf, shadow it across one
+    /// probe (enforcement must not move), activate it, probe under the
+    /// new surface, then roll back and probe again. A bundle refusal
+    /// (an injected fault, a principal name that no longer resolves)
+    /// ends the cycle quietly — the invariants only care about what
+    /// the monitor actually published.
+    fn bundle_cycle(&mut self, leaf: usize, principal: usize) -> Result<(), Violation> {
+        let li = leaf % self.world.leaves.len();
+        let pi = principal % self.world.principals.len();
+        let path = self.world.leaves[li].clone();
+        let p = self.world.principals[pi];
+        let name = self.world.monitor.directory(|d| d.principal_name(p));
+        let source = format!(
+            "bundle \"campaign-{step}\" version 1 base current;\nacl-add {path} \"+{name}:r\";\n",
+            step = self.step
+        );
+        let Ok(staged) = self.world.monitor.stage_bundle(&source) else {
+            return Ok(());
+        };
+        if self.world.monitor.shadow_bundle(staged.id, true).is_ok() {
+            self.probe(pi, li, AccessMode::Read)?;
+            let _ = self.world.monitor.shadow_bundle(staged.id, false);
+        }
+        if self.world.monitor.activate_bundle(staged.id).is_err() {
+            return Ok(());
+        }
+        // The appended grant supersedes any pending revocation
+        // expectation on this leaf, and rollback below restores the
+        // pre-bundle ACL, so the expectation stays cleared either way.
+        self.ledger.clear(li);
+        self.probe(pi, li, AccessMode::Read)?;
+        let _ = self.world.monitor.rollback();
+        self.probe(pi, li, AccessMode::Read)
     }
 
     fn run_ext(&mut self, ext: usize) -> Result<(), Violation> {

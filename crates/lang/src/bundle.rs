@@ -1,0 +1,443 @@
+//! The policy-bundle dialect: a versioned, reviewable policy diff.
+//!
+//! A bundle is the administrative counterpart of an extension module:
+//! where `fn` bodies describe *behavior*, a bundle describes a *policy
+//! change* — ACL edits, label changes, and subtree relabels — as one
+//! reviewable document that the reference monitor stages, shadows, and
+//! activates atomically. This module is pure syntax: paths, ACLs, and
+//! security classes stay strings here, and the monitor compiles them
+//! against its live directory and lattice (names must resolve *there*,
+//! not in the parser, because the parser has no policy to resolve
+//! against).
+//!
+//! ```text
+//! # Tighten the fs read gate, move the vault up.
+//! bundle "q3-tighten" version 2 base 17;
+//!
+//! set-acl /svc/fs/read "+alice:rx -bob:w";
+//! acl-add /svc/fs/write "+@staff:w";
+//! set-label /svc/net/send high:{c0};
+//! relabel-subtree /vault secret;
+//! ```
+//!
+//! Grammar, one statement per `;`:
+//!
+//! * `bundle "NAME" version N base G;` — mandatory header; `G` is a
+//!   generation number or the word `current` (resolved at stage time);
+//! * `set-acl PATH "ACL";` — replace the node's ACL (the quoted string
+//!   is the `extsec-acl` text format);
+//! * `acl-add PATH "ACL";` — append entries to the node's ACL;
+//! * `set-label PATH CLASS;` — replace the node's security label;
+//! * `relabel-subtree PATH CLASS;` — relabel the node and everything
+//!   beneath it (the namespace-label move);
+//! * `#` starts a comment running to end of line.
+
+use crate::{err, CompileError};
+use std::fmt;
+
+/// How a bundle names the generation it was authored against.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BaseRef {
+    /// Resolve to whatever generation is active when the bundle is
+    /// staged (`base current`).
+    Current,
+    /// A specific generation number; activation refuses if the active
+    /// generation has moved past it.
+    Generation(u64),
+}
+
+impl fmt::Display for BaseRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BaseRef::Current => write!(f, "current"),
+            BaseRef::Generation(g) => write!(f, "{g}"),
+        }
+    }
+}
+
+/// One policy edit, still textual: the monitor resolves paths, ACL
+/// entries, and class names against its own state at stage time.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BundleOp {
+    /// Replace the ACL on `path` with the parsed form of `acl`.
+    SetAcl {
+        /// Absolute namespace path of the target node.
+        path: String,
+        /// The new ACL in the `extsec-acl` text format.
+        acl: String,
+    },
+    /// Append the parsed entries of `acl` to the ACL on `path`.
+    AclAdd {
+        /// Absolute namespace path of the target node.
+        path: String,
+        /// Entries to append, in the `extsec-acl` text format.
+        acl: String,
+    },
+    /// Replace the security label on `path` with `class`.
+    SetLabel {
+        /// Absolute namespace path of the target node.
+        path: String,
+        /// The new label, in the lattice's class text format.
+        class: String,
+    },
+    /// Relabel `path` and every node beneath it to `class`.
+    RelabelSubtree {
+        /// Absolute namespace path of the subtree root.
+        path: String,
+        /// The new label, in the lattice's class text format.
+        class: String,
+    },
+}
+
+impl fmt::Display for BundleOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BundleOp::SetAcl { path, acl } => write!(f, "set-acl {path} {acl:?};"),
+            BundleOp::AclAdd { path, acl } => write!(f, "acl-add {path} {acl:?};"),
+            BundleOp::SetLabel { path, class } => write!(f, "set-label {path} {class};"),
+            BundleOp::RelabelSubtree { path, class } => {
+                write!(f, "relabel-subtree {path} {class};")
+            }
+        }
+    }
+}
+
+/// One statement with the source line it came from, for error reports
+/// that survive the trip from the monitor back to an admin client.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BundleStatement {
+    /// 1-based source line of the statement's first token.
+    pub line: usize,
+    /// The edit itself.
+    pub op: BundleOp,
+}
+
+/// A parsed bundle document: header plus the ordered edit list.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BundleDoc {
+    /// The bundle's name (for audit trails and status reports).
+    pub name: String,
+    /// The author's version counter, echoed in status reports.
+    pub version: u64,
+    /// The base generation the diff was authored against.
+    pub base: BaseRef,
+    /// The edits, in application order.
+    pub ops: Vec<BundleStatement>,
+}
+
+impl fmt::Display for BundleDoc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "bundle {:?} version {} base {};",
+            self.name, self.version, self.base
+        )?;
+        for statement in &self.ops {
+            writeln!(f, "{}", statement.op)?;
+        }
+        Ok(())
+    }
+}
+
+/// One token with its source line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Token {
+    Word(String, usize),
+    Str(String, usize),
+    Semi(usize),
+}
+
+impl Token {
+    fn line(&self) -> usize {
+        match self {
+            Token::Word(_, line) | Token::Str(_, line) | Token::Semi(line) => *line,
+        }
+    }
+}
+
+/// Splits the source into words, quoted strings, and semicolons,
+/// stripping `#` comments. Quoted strings support `\"` and `\\`.
+fn tokenize(source: &str) -> Result<Vec<Token>, CompileError> {
+    let mut tokens = Vec::new();
+    let mut line = 1usize;
+    let mut chars = source.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '\n' => line += 1,
+            c if c.is_whitespace() => {}
+            '#' => {
+                for c in chars.by_ref() {
+                    if c == '\n' {
+                        line += 1;
+                        break;
+                    }
+                }
+            }
+            ';' => tokens.push(Token::Semi(line)),
+            '"' => {
+                let start = line;
+                let mut value = String::new();
+                loop {
+                    match chars.next() {
+                        None => return err(start, "unterminated string"),
+                        Some('"') => break,
+                        Some('\\') => match chars.next() {
+                            Some('"') => value.push('"'),
+                            Some('\\') => value.push('\\'),
+                            Some(other) => return err(start, format!("unknown escape \\{other}")),
+                            None => return err(start, "unterminated string"),
+                        },
+                        Some('\n') => return err(start, "unterminated string"),
+                        Some(other) => value.push(other),
+                    }
+                }
+                tokens.push(Token::Str(value, start));
+            }
+            other => {
+                let mut word = String::from(other);
+                while let Some(&next) = chars.peek() {
+                    if next.is_whitespace() || next == ';' || next == '"' || next == '#' {
+                        break;
+                    }
+                    word.push(next);
+                    chars.next();
+                }
+                tokens.push(Token::Word(word, line));
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+/// A statement: the tokens between two semicolons.
+fn statements(tokens: Vec<Token>) -> Result<Vec<Vec<Token>>, CompileError> {
+    let mut out = Vec::new();
+    let mut current: Vec<Token> = Vec::new();
+    for token in tokens {
+        match token {
+            Token::Semi(line) => {
+                if current.is_empty() {
+                    return err(line, "empty statement");
+                }
+                out.push(std::mem::take(&mut current));
+            }
+            other => current.push(other),
+        }
+    }
+    if let Some(first) = current.first() {
+        return err(first.line(), "statement missing terminating ';'");
+    }
+    Ok(out)
+}
+
+fn want_word(token: Option<&Token>, what: &str, line: usize) -> Result<String, CompileError> {
+    match token {
+        Some(Token::Word(word, _)) => Ok(word.clone()),
+        Some(Token::Str(_, line)) => err(*line, format!("expected {what}, got a quoted string")),
+        Some(Token::Semi(line)) => err(*line, format!("expected {what}")),
+        None => err(line, format!("expected {what}")),
+    }
+}
+
+fn want_str(token: Option<&Token>, what: &str, line: usize) -> Result<String, CompileError> {
+    match token {
+        Some(Token::Str(value, _)) => Ok(value.clone()),
+        Some(other) => err(other.line(), format!("expected a quoted {what}")),
+        None => err(line, format!("expected a quoted {what}")),
+    }
+}
+
+fn want_path(token: Option<&Token>, line: usize) -> Result<String, CompileError> {
+    let word = want_word(token, "a path", line)?;
+    if !word.starts_with('/') {
+        return err(
+            token.map(Token::line).unwrap_or(line),
+            format!("paths are absolute; got {word:?}"),
+        );
+    }
+    Ok(word)
+}
+
+fn want_end(statement: &[Token], used: usize) -> Result<(), CompileError> {
+    if let Some(extra) = statement.get(used) {
+        return err(extra.line(), "unexpected trailing tokens");
+    }
+    Ok(())
+}
+
+/// Parses a bundle document. The first statement must be the `bundle`
+/// header; every following statement is one edit.
+pub fn parse_bundle(source: &str) -> Result<BundleDoc, CompileError> {
+    let statements = statements(tokenize(source)?)?;
+    let mut iter = statements.into_iter();
+    let header = match iter.next() {
+        Some(header) => header,
+        None => return err(1, "empty bundle: missing 'bundle' header"),
+    };
+    let line = header[0].line();
+    if want_word(header.first(), "'bundle'", line)? != "bundle" {
+        return err(
+            line,
+            "a bundle starts with: bundle \"NAME\" version N base G;",
+        );
+    }
+    let name = want_str(header.get(1), "bundle name", line)?;
+    if want_word(header.get(2), "'version'", line)? != "version" {
+        return err(line, "expected 'version' after the bundle name");
+    }
+    let version: u64 = want_word(header.get(3), "a version number", line)?
+        .parse()
+        .map_err(|_| CompileError {
+            line,
+            msg: "version must be a non-negative integer".into(),
+        })?;
+    if want_word(header.get(4), "'base'", line)? != "base" {
+        return err(line, "expected 'base' after the version");
+    }
+    let base_word = want_word(header.get(5), "a base generation", line)?;
+    let base = if base_word == "current" {
+        BaseRef::Current
+    } else {
+        BaseRef::Generation(base_word.parse().map_err(|_| CompileError {
+            line,
+            msg: format!("base must be a generation number or 'current', got {base_word:?}"),
+        })?)
+    };
+    want_end(&header, 6)?;
+
+    let mut ops = Vec::new();
+    for statement in iter {
+        let line = statement[0].line();
+        let head = want_word(statement.first(), "an operation", line)?;
+        let op = match head.as_str() {
+            "set-acl" => {
+                let path = want_path(statement.get(1), line)?;
+                let acl = want_str(statement.get(2), "ACL", line)?;
+                want_end(&statement, 3)?;
+                BundleOp::SetAcl { path, acl }
+            }
+            "acl-add" => {
+                let path = want_path(statement.get(1), line)?;
+                let acl = want_str(statement.get(2), "ACL", line)?;
+                want_end(&statement, 3)?;
+                BundleOp::AclAdd { path, acl }
+            }
+            "set-label" => {
+                let path = want_path(statement.get(1), line)?;
+                let class = want_word(statement.get(2), "a class", line)?;
+                want_end(&statement, 3)?;
+                BundleOp::SetLabel { path, class }
+            }
+            "relabel-subtree" => {
+                let path = want_path(statement.get(1), line)?;
+                let class = want_word(statement.get(2), "a class", line)?;
+                want_end(&statement, 3)?;
+                BundleOp::RelabelSubtree { path, class }
+            }
+            other => {
+                return err(
+                    line,
+                    format!(
+                        "unknown operation {other:?} (expected set-acl, acl-add, \
+                         set-label, or relabel-subtree)"
+                    ),
+                )
+            }
+        };
+        ops.push(BundleStatement { line, op });
+    }
+    Ok(BundleDoc {
+        name,
+        version,
+        base,
+        ops,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+        # Quarterly tightening.
+        bundle "q3-tighten" version 2 base 17;
+        set-acl /svc/fs/read "+alice:rx -bob:w";
+        acl-add /svc/fs/write "+@staff:w";
+        set-label /svc/net/send high:{c0};
+        relabel-subtree /vault secret;
+    "#;
+
+    #[test]
+    fn parses_the_full_grammar() {
+        let doc = parse_bundle(SAMPLE).unwrap();
+        assert_eq!(doc.name, "q3-tighten");
+        assert_eq!(doc.version, 2);
+        assert_eq!(doc.base, BaseRef::Generation(17));
+        assert_eq!(doc.ops.len(), 4);
+        assert_eq!(
+            doc.ops[0].op,
+            BundleOp::SetAcl {
+                path: "/svc/fs/read".into(),
+                acl: "+alice:rx -bob:w".into(),
+            }
+        );
+        assert_eq!(
+            doc.ops[3].op,
+            BundleOp::RelabelSubtree {
+                path: "/vault".into(),
+                class: "secret".into(),
+            }
+        );
+    }
+
+    #[test]
+    fn base_current_resolves_at_stage_time() {
+        let doc = parse_bundle("bundle \"b\" version 1 base current;").unwrap();
+        assert_eq!(doc.base, BaseRef::Current);
+        assert!(doc.ops.is_empty());
+    }
+
+    #[test]
+    fn display_round_trips() {
+        let doc = parse_bundle(SAMPLE).unwrap();
+        let rendered = doc.to_string();
+        let reparsed = parse_bundle(&rendered).unwrap();
+        // Line numbers move when comments are stripped; the semantic
+        // content must survive exactly.
+        assert_eq!(reparsed.name, doc.name);
+        assert_eq!(reparsed.version, doc.version);
+        assert_eq!(reparsed.base, doc.base);
+        let ops = |d: &BundleDoc| d.ops.iter().map(|s| s.op.clone()).collect::<Vec<_>>();
+        assert_eq!(ops(&reparsed), ops(&doc));
+    }
+
+    #[test]
+    fn errors_carry_lines() {
+        let e = parse_bundle("bundle \"b\" version 1 base current;\nset-acl relative \"+*:r\";")
+            .unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.msg.contains("absolute"), "{e}");
+
+        let e = parse_bundle("bundle \"b\" version 1 base nope;").unwrap_err();
+        assert!(e.msg.contains("generation"), "{e}");
+
+        let e = parse_bundle("bundle \"b\" version 1 base current;\nfrobnicate /x y;").unwrap_err();
+        assert!(e.msg.contains("unknown operation"), "{e}");
+
+        let e =
+            parse_bundle("bundle \"b\" version 1 base current;\nset-acl /x \"+*:r\"").unwrap_err();
+        assert!(e.msg.contains("terminating"), "{e}");
+    }
+
+    #[test]
+    fn strings_unescape() {
+        let doc = parse_bundle("bundle \"quo\\\"te\" version 0 base current;").unwrap();
+        assert_eq!(doc.name, "quo\"te");
+    }
+
+    #[test]
+    fn header_is_mandatory_and_first() {
+        assert!(parse_bundle("").is_err());
+        assert!(parse_bundle("set-acl /x \"+*:r\";").is_err());
+    }
+}

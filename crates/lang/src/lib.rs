@@ -58,6 +58,7 @@
 #![warn(missing_docs)]
 
 pub mod ast;
+pub mod bundle;
 pub mod codegen;
 pub mod lexer;
 pub mod parser;

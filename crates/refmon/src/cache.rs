@@ -34,6 +34,7 @@
 //! generation counter — and the monitor routes them through its uncached
 //! path.
 
+use crate::bundle::Generation;
 use crate::decision::Decision;
 use extsec_acl::{AccessMode, PrincipalId};
 use extsec_mac::SecurityClass;
@@ -103,7 +104,7 @@ pub struct CacheKey {
 /// live in a short inline-scanned vector rather than a nested map.
 struct ClassEntry {
     class: SecurityClass,
-    generation: u64,
+    generation: Generation,
     decision: Decision,
 }
 
@@ -119,7 +120,7 @@ pub struct CacheStats {
     /// Entries currently resident (stale entries count until evicted).
     pub entries: usize,
     /// The current policy generation.
-    pub generation: u64,
+    pub generation: Generation,
 }
 
 /// One shard: its map plus its own hit/miss counters, cache-line aligned
@@ -155,8 +156,8 @@ impl DecisionCache {
     }
 
     /// Reads the current policy generation.
-    pub fn generation(&self) -> u64 {
-        self.generation.load(Ordering::Acquire)
+    pub fn generation(&self) -> Generation {
+        Generation::from_raw(self.generation.load(Ordering::Acquire))
     }
 
     /// Advances the policy generation, lazily invalidating every cached
@@ -164,10 +165,10 @@ impl DecisionCache {
     /// monitor's publish critical section, and the returned value stamped
     /// into the state snapshot published there, so no reader can pair the
     /// mutated state with the old generation.
-    pub fn bump_get(&self) -> u64 {
+    pub fn bump_get(&self) -> Generation {
         let new = self.generation.fetch_add(1, Ordering::Release) + 1;
         self.invalidations.fetch_add(1, Ordering::Relaxed);
-        new
+        Generation::from_raw(new)
     }
 
     /// Advances the policy generation (see [`DecisionCache::bump_get`]).
@@ -190,7 +191,7 @@ impl DecisionCache {
         &self,
         key: &CacheKey,
         class: &SecurityClass,
-        generation: u64,
+        generation: Generation,
     ) -> Option<Decision> {
         let shard = self.shard(key);
         let mut map = shard.map.lock();
@@ -229,7 +230,7 @@ impl DecisionCache {
         &self,
         key: CacheKey,
         class: &SecurityClass,
-        generation: u64,
+        generation: Generation,
         decision: Decision,
     ) {
         let shard = self.shard(&key);
@@ -411,7 +412,7 @@ mod tests {
         assert_eq!(stats.hits, 1);
         assert_eq!(stats.misses, 1);
         assert_eq!(stats.invalidations, 1);
-        assert_eq!(stats.generation, 1);
+        assert_eq!(stats.generation, Generation::from_raw(1));
     }
 
     #[test]

@@ -69,6 +69,7 @@
 #![warn(missing_docs)]
 
 pub mod audit;
+pub mod bundle;
 pub mod cache;
 pub mod config;
 pub mod decision;
@@ -81,6 +82,9 @@ pub mod snapshot;
 pub mod subject;
 
 pub use audit::{AuditEvent, AuditLog, AuditShardStats, AuditStats};
+pub use bundle::{
+    BundleError, BundleId, BundleStatusReport, FlipRecord, Generation, ShadowReport, StagedBundle,
+};
 pub use cache::{CacheKey, CacheStats, DecisionCache};
 pub use config::{MacInteraction, MonitorConfig};
 pub use decision::{Decision, DenyReason};

@@ -14,6 +14,10 @@
 //! shared reference-count traffic at all.
 
 use crate::audit::{AuditLog, AuditStats};
+use crate::bundle::{
+    self, BundleError, BundleId, BundleStatusReport, CompiledBundle, CompiledOp, Generation,
+    ShadowStats, StagedBundle,
+};
 use crate::cache::{CacheKey, CacheStats, DecisionCache};
 use crate::config::MonitorConfig;
 use crate::decision::{Decision, DenyReason};
@@ -25,7 +29,7 @@ use extsec_namespace::{NameSpace, NodeId, NodeKind, NsError, NsPath, Protection}
 use extsec_telemetry::{Stage, Telemetry, TelemetrySnapshot};
 use parking_lot::Mutex;
 use std::cell::RefCell;
-use std::collections::{HashMap, HashSet};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -42,7 +46,32 @@ struct State {
     lattice: Lattice,
     config: MonitorConfig,
     /// The decision-cache generation this snapshot was published under.
-    generation: u64,
+    generation: Generation,
+    /// The staged policy being shadow-evaluated next to this one, when
+    /// shadow mode is on. Riding inside the published state means the
+    /// check path discovers shadow mode from the snapshot it already
+    /// pinned — one `Option` test, no extra synchronization — and a
+    /// toggle is itself an atomic publish.
+    shadow: Option<Arc<ShadowPolicy>>,
+}
+
+/// The shadowed (staged) policy: the bundle it came from plus the state
+/// the bundle's edits produce when applied to the base snapshot. Its own
+/// `shadow` field is always `None`.
+struct ShadowPolicy {
+    bundle: BundleId,
+    state: State,
+}
+
+/// How many prior activated snapshots the rollback ring keeps.
+const ROLLBACK_RING: usize = 8;
+
+/// Staged bundles and the rollback ring, touched only on the admin path.
+#[derive(Default)]
+struct BundleRegistry {
+    next_id: u64,
+    staged: Vec<CompiledBundle>,
+    history: VecDeque<Arc<State>>,
 }
 
 /// This thread's pinned snapshot of one monitor, revalidated against the
@@ -134,13 +163,16 @@ impl MonitorBuilder {
                 directory: self.directory,
                 lattice: self.lattice,
                 config: self.config,
-                generation: 0,
+                generation: Generation::ZERO,
+                shadow: None,
             })),
             version: AtomicU64::new(0),
             id: next_monitor_id(),
             audit: AuditLog::new(),
             cache: DecisionCache::new(),
             telemetry: Telemetry::new(),
+            bundles: Mutex::new(BundleRegistry::default()),
+            shadow_stats: Mutex::new(ShadowStats::default()),
         })
     }
 }
@@ -174,6 +206,15 @@ pub struct ReferenceMonitor {
     /// Starts disabled; when disabled every recording call is a single
     /// relaxed load, so the hot path pays (almost) nothing.
     telemetry: Telemetry,
+    /// Staged policy bundles and the bounded ring of prior activated
+    /// snapshots (rollback targets). Admin path only; the check path
+    /// never touches this lock.
+    bundles: Mutex<BundleRegistry>,
+    /// Shadow-mode flip accumulators, reset whenever shadow mode turns
+    /// on (or the shadowed policy is activated or rolled away). Locked
+    /// once per check *only while shadow mode is on* — the explicit
+    /// price of dual evaluation.
+    shadow_stats: Mutex<ShadowStats>,
 }
 
 impl ReferenceMonitor {
@@ -890,6 +931,283 @@ impl ReferenceMonitor {
         self.mutate_published(&mut slot, |state| state.config = config);
     }
 
+    // ------------------------------------------------------------------
+    // Policy bundles: stage / shadow / activate / rollback (TCB admin).
+    // See DESIGN.md §6.13 for the lifecycle state machine.
+    // ------------------------------------------------------------------
+
+    /// Parses and compiles a policy bundle against the current snapshot,
+    /// staging it for activation or shadowing. Every path must resolve,
+    /// every ACL entry must name a known principal or group, and every
+    /// class must belong to the lattice — a bundle that stages cleanly
+    /// cannot half-apply later. A `base current` header resolves to the
+    /// generation active right now; activation compare-and-swaps that
+    /// base against the active generation, so staging is free of
+    /// time-of-check races.
+    pub fn stage_bundle(&self, source: &str) -> Result<StagedBundle, BundleError> {
+        let doc = extsec_lang::bundle::parse_bundle(source).map_err(|e| BundleError::Compile {
+            line: e.line,
+            msg: e.msg,
+        })?;
+        self.with_snapshot(|state| {
+            let ops =
+                bundle::compile_ops(&doc, &state.namespace, &state.directory, &state.lattice)?;
+            let base = bundle::resolve_base(doc.base, state.generation);
+            let mut registry = self.bundles.lock();
+            registry.next_id += 1;
+            let id = BundleId::from_raw(registry.next_id);
+            let staged = StagedBundle {
+                id,
+                name: doc.name.clone(),
+                version: doc.version,
+                base,
+                ops: ops.len(),
+            };
+            registry.staged.push(CompiledBundle {
+                id,
+                name: doc.name,
+                version: doc.version,
+                base,
+                ops,
+            });
+            Ok(staged)
+        })
+    }
+
+    /// Activates a staged bundle: one atomic publish. The bundle's base
+    /// generation must still be the active one
+    /// ([`BundleError::BaseConflict`] otherwise — some other mutation
+    /// landed since it was staged), which also guarantees the compiled
+    /// ops still apply to exactly the state they were validated against.
+    /// The pre-activation snapshot joins the rollback ring (capacity
+    /// [`ROLLBACK_RING`](crate); the oldest entry is dropped when full),
+    /// shadow mode is cleared, and the new generation is returned. No
+    /// concurrent batch ever observes half the bundle: a reader is
+    /// pinned either to the pre-activation snapshot or the
+    /// post-activation one.
+    pub fn activate_bundle(&self, id: BundleId) -> Result<Generation, BundleError> {
+        let mut slot = self.published.lock();
+        let mut registry = self.bundles.lock();
+        let pos = registry
+            .staged
+            .iter()
+            .position(|b| b.id == id)
+            .ok_or(BundleError::UnknownBundle(id))?;
+        if registry.staged[pos].base != slot.generation {
+            return Err(BundleError::BaseConflict {
+                expected: registry.staged[pos].base,
+                actual: slot.generation,
+            });
+        }
+        let staged = registry.staged.remove(pos);
+        let mut next = State::clone(&slot);
+        next.shadow = None;
+        if let Err(e) = Self::apply_bundle_ops(&mut next, &staged.ops) {
+            // Structurally unreachable (the base CAS pins the state the
+            // ops compiled against), but if it ever fires the published
+            // state must stay untouched and the bundle stay staged.
+            registry.staged.insert(pos, staged);
+            return Err(e);
+        }
+        registry.history.push_back(Arc::clone(&slot));
+        while registry.history.len() > ROLLBACK_RING {
+            registry.history.pop_front();
+        }
+        next.generation = self.cache.bump_get();
+        let generation = next.generation;
+        *slot = Arc::new(next);
+        self.version.fetch_add(1, Ordering::Release);
+        *self.shadow_stats.lock() = ShadowStats::default();
+        Ok(generation)
+    }
+
+    /// Turns shadow mode on for a staged bundle (or off). While on,
+    /// every check through the real check path is also evaluated against
+    /// the staged policy and would-be flips are counted into telemetry
+    /// and the status report — *enforced decisions never change*. The
+    /// toggle is an atomic publish that deliberately does **not** bump
+    /// the cache generation: the enforced policy is untouched, so every
+    /// warm cache entry stays valid and the fast path keeps its hit
+    /// rate. Shadowing requires the same base-generation match as
+    /// activation (the diff is relative to that base).
+    pub fn shadow_bundle(&self, id: BundleId, on: bool) -> Result<Generation, BundleError> {
+        let mut slot = self.published.lock();
+        if !on {
+            if slot.shadow.is_some() {
+                let mut next = State::clone(&slot);
+                next.shadow = None;
+                *slot = Arc::new(next);
+                self.version.fetch_add(1, Ordering::Release);
+            }
+            return Ok(slot.generation);
+        }
+        let registry = self.bundles.lock();
+        let staged = registry
+            .staged
+            .iter()
+            .find(|b| b.id == id)
+            .ok_or(BundleError::UnknownBundle(id))?;
+        if staged.base != slot.generation {
+            return Err(BundleError::BaseConflict {
+                expected: staged.base,
+                actual: slot.generation,
+            });
+        }
+        let mut shadow_state = State::clone(&slot);
+        shadow_state.shadow = None;
+        Self::apply_bundle_ops(&mut shadow_state, &staged.ops)?;
+        let bundle_id = staged.id;
+        drop(registry);
+        let mut next = State::clone(&slot);
+        next.shadow = Some(Arc::new(ShadowPolicy {
+            bundle: bundle_id,
+            state: shadow_state,
+        }));
+        *slot = Arc::new(next);
+        self.version.fetch_add(1, Ordering::Release);
+        *self.shadow_stats.lock() = ShadowStats::default();
+        Ok(slot.generation)
+    }
+
+    /// Rolls back to the most recent pre-activation snapshot: one atomic
+    /// publish restoring that snapshot's policy byte-for-byte (under a
+    /// fresh generation, so stale cache entries cannot resurface).
+    /// Returns [`BundleError::NoHistory`] when the ring is empty.
+    pub fn rollback(&self) -> Result<Generation, BundleError> {
+        let mut slot = self.published.lock();
+        let mut registry = self.bundles.lock();
+        let prior = registry.history.pop_back().ok_or(BundleError::NoHistory)?;
+        let mut next = State::clone(&prior);
+        next.shadow = None;
+        next.generation = self.cache.bump_get();
+        let generation = next.generation;
+        *slot = Arc::new(next);
+        self.version.fetch_add(1, Ordering::Release);
+        *self.shadow_stats.lock() = ShadowStats::default();
+        Ok(generation)
+    }
+
+    /// Reports the bundle subsystem's state: the active generation,
+    /// every staged bundle, the shadow flip counts when shadow mode is
+    /// on, and the rollback ring's depth.
+    pub fn bundle_status(&self) -> BundleStatusReport {
+        let state = self.snapshot_arc();
+        let registry = self.bundles.lock();
+        let staged = registry
+            .staged
+            .iter()
+            .map(|b| StagedBundle {
+                id: b.id,
+                name: b.name.clone(),
+                version: b.version,
+                base: b.base,
+                ops: b.ops.len(),
+            })
+            .collect();
+        let history = registry.history.len();
+        drop(registry);
+        let shadow = state
+            .shadow
+            .as_ref()
+            .map(|sp| self.shadow_stats.lock().report(sp.bundle));
+        BundleStatusReport {
+            active: state.generation,
+            staged,
+            shadow,
+            history,
+        }
+    }
+
+    /// Replays a compiled bundle onto a state clone. Infallible for a
+    /// bundle whose base generation matches the state (compilation
+    /// resolved every target against exactly this state), so a failure
+    /// here is reported rather than partially published.
+    fn apply_bundle_ops(state: &mut State, ops: &[CompiledOp]) -> Result<(), BundleError> {
+        let fail = |op: &CompiledOp, e: NsError| BundleError::Compile {
+            line: 0,
+            msg: format!("{} failed to apply: {e}", op.name()),
+        };
+        for op in ops {
+            match op {
+                CompiledOp::SetAcl(path, acl) => {
+                    let id = state.namespace.resolve(path).map_err(|e| fail(op, e))?;
+                    state
+                        .namespace
+                        .update_protection(id, |prot| prot.acl = acl.clone())
+                        .map_err(|e| fail(op, e))?;
+                }
+                CompiledOp::AclAdd(path, acl) => {
+                    let id = state.namespace.resolve(path).map_err(|e| fail(op, e))?;
+                    state
+                        .namespace
+                        .update_protection(id, |prot| {
+                            for entry in acl.entries() {
+                                prot.acl.push(*entry);
+                            }
+                        })
+                        .map_err(|e| fail(op, e))?;
+                }
+                CompiledOp::SetLabel(path, class) => {
+                    let id = state.namespace.resolve(path).map_err(|e| fail(op, e))?;
+                    state
+                        .namespace
+                        .update_protection(id, |prot| prot.label = class.clone())
+                        .map_err(|e| fail(op, e))?;
+                }
+                CompiledOp::RelabelSubtree(path, class) => {
+                    let base = path.components();
+                    let targets: Vec<NodeId> = state
+                        .namespace
+                        .walk()
+                        .into_iter()
+                        .filter(|(_, node_path)| {
+                            let comps = node_path.components();
+                            comps.len() >= base.len() && comps[..base.len()] == *base
+                        })
+                        .map(|(id, _)| id)
+                        .collect();
+                    for id in targets {
+                        state
+                            .namespace
+                            .update_protection(id, |prot| prot.label = class.clone())
+                            .map_err(|e| fail(op, e))?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Dual-evaluates one already-enforced decision against the shadowed
+    /// policy and folds the outcome into the flip accumulators. Called
+    /// from the check path only while shadow mode is on.
+    fn record_shadow(
+        &self,
+        shadow: &ShadowPolicy,
+        subject: &Subject,
+        path: &NsPath,
+        mode: AccessMode,
+        enforced: &Decision,
+    ) {
+        // The shadow evaluation is an uncached guarded walk recorded into
+        // the permanently disabled hub, so it never pollutes the enforced
+        // pipeline's stage histograms or the decision cache.
+        let shadowed = Self::evaluate(&shadow.state, subject, path, mode, Telemetry::disabled());
+        let enforced_allows = matches!(enforced, Decision::Allow);
+        let shadowed_allows = matches!(shadowed, Decision::Allow);
+        self.telemetry.count_shadow_check();
+        if enforced_allows != shadowed_allows {
+            if enforced_allows {
+                self.telemetry.count_shadow_allow_to_deny();
+            } else {
+                self.telemetry.count_shadow_deny_to_allow();
+            }
+        }
+        self.shadow_stats
+            .lock()
+            .record(subject.principal, path, enforced, &shadowed);
+    }
+
     /// Returns the audit log.
     pub fn audit(&self) -> &AuditLog {
         &self.audit
@@ -967,6 +1285,14 @@ impl ViewRef<'_> {
         tele.count_mode(mode);
         let decision = self.monitor.check_at(self.state, subject, path, mode);
         tele.finish(Stage::Check, whole);
+        // Shadow mode: dual-evaluate against the staged policy riding in
+        // this snapshot. Off (the common case) this is one `Option` test
+        // on already-pinned state; the enforced decision is final either
+        // way.
+        if let Some(shadow) = self.state.shadow.as_deref() {
+            self.monitor
+                .record_shadow(shadow, subject, path, mode, &decision);
+        }
         decision
     }
 
@@ -1022,6 +1348,13 @@ impl ViewRef<'_> {
             tele.finish(Stage::Audit, audit_t);
         }
         tele.finish(Stage::Check, whole);
+        // Shadow mode: dual-evaluate every item of the batch against the
+        // staged policy pinned in this same snapshot.
+        if let Some(shadow) = state.shadow.as_deref() {
+            for ((path, mode), decision) in items.iter().zip(&decisions) {
+                monitor.record_shadow(shadow, subject, path, *mode, decision);
+            }
+        }
         decisions
     }
 
@@ -1954,5 +2287,216 @@ mod tests {
             monitor.check_unmemoized(&alice_s, &leaf, AccessMode::Execute),
             expected
         );
+    }
+
+    // ------------------------------------------------------------------
+    // Policy bundle lifecycle: stage → shadow → activate → rollback.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn bundle_stage_and_activate_applies_atomically() {
+        let (monitor, alice, bob) = fixture();
+        let alice_s = low_subject(alice, &monitor);
+        let bob_s = low_subject(bob, &monitor);
+        assert!(!monitor
+            .check(&bob_s, &p("/svc/fs/read"), AccessMode::Execute)
+            .allowed());
+        let staged = monitor
+            .stage_bundle(
+                "bundle \"grant-bob\" version 1 base current;\n\
+                 acl-add /svc/fs/read \"+bob:x\";",
+            )
+            .unwrap();
+        assert_eq!(staged.ops, 1);
+        // Staging alone changes nothing.
+        assert!(!monitor
+            .check(&bob_s, &p("/svc/fs/read"), AccessMode::Execute)
+            .allowed());
+        let generation = monitor.activate_bundle(staged.id).unwrap();
+        assert_eq!(monitor.cache_stats().generation, generation);
+        assert!(monitor
+            .check(&bob_s, &p("/svc/fs/read"), AccessMode::Execute)
+            .allowed());
+        assert!(monitor
+            .check(&alice_s, &p("/svc/fs/read"), AccessMode::Execute)
+            .allowed());
+        // The bundle is consumed and the pre-activation snapshot banked.
+        let status = monitor.bundle_status();
+        assert!(status.staged.is_empty());
+        assert_eq!(status.history, 1);
+        assert_eq!(status.active, generation);
+        // Replaying the consumed handle is refused.
+        assert_eq!(
+            monitor.activate_bundle(staged.id),
+            Err(BundleError::UnknownBundle(staged.id))
+        );
+    }
+
+    #[test]
+    fn bundle_base_conflict_refuses_stale_diff() {
+        let (monitor, alice, _) = fixture();
+        let staged = monitor
+            .stage_bundle(
+                "bundle \"stale\" version 1 base current;\n\
+                 acl-add /svc/fs/read \"+bob:x\";",
+            )
+            .unwrap();
+        // Another mutation lands in between: the bundle's base is stale.
+        monitor
+            .bootstrap(|ns| {
+                let id = ns.resolve(&p("/svc/fs"))?;
+                ns.update_protection(id, |prot| {
+                    prot.acl
+                        .push(AclEntry::allow_principal(alice, AccessMode::List));
+                })?;
+                Ok(())
+            })
+            .unwrap();
+        let err = monitor.activate_bundle(staged.id).unwrap_err();
+        assert!(matches!(err, BundleError::BaseConflict { expected, .. }
+            if expected == staged.base));
+        // Shadowing a stale bundle is refused the same way, and the
+        // bundle stays staged for the operator to restage.
+        assert!(matches!(
+            monitor.shadow_bundle(staged.id, true),
+            Err(BundleError::BaseConflict { .. })
+        ));
+        let status = monitor.bundle_status();
+        assert_eq!(status.staged.len(), 1);
+        assert_eq!(status.history, 0);
+    }
+
+    #[test]
+    fn bundle_stage_rejects_unknown_targets() {
+        let (monitor, _, _) = fixture();
+        // Unknown path.
+        let err = monitor
+            .stage_bundle(
+                "bundle \"bad\" version 1 base current;\n\
+                 set-label /no/such/node high;",
+            )
+            .unwrap_err();
+        assert!(matches!(err, BundleError::Compile { line: 2, .. }));
+        // Unknown class.
+        let err = monitor
+            .stage_bundle(
+                "bundle \"bad\" version 1 base current;\n\
+                 set-label /svc/fs/read cosmic;",
+            )
+            .unwrap_err();
+        assert!(matches!(err, BundleError::Compile { line: 2, .. }));
+        // Unknown principal in an ACL.
+        let err = monitor
+            .stage_bundle(
+                "bundle \"bad\" version 1 base current;\n\
+                 acl-add /svc/fs/read \"+mallory:x\";",
+            )
+            .unwrap_err();
+        assert!(matches!(err, BundleError::Compile { line: 2, .. }));
+        // Nothing half-staged.
+        assert!(monitor.bundle_status().staged.is_empty());
+    }
+
+    #[test]
+    fn rollback_restores_prior_decision_surface() {
+        let (monitor, alice, bob) = fixture();
+        let alice_s = low_subject(alice, &monitor);
+        let bob_s = low_subject(bob, &monitor);
+        let items: Vec<(NsPath, AccessMode)> = vec![
+            (p("/svc/fs/read"), AccessMode::Execute),
+            (p("/svc/fs/read"), AccessMode::Read),
+            (p("/svc/fs"), AccessMode::List),
+        ];
+        let surface = |m: &ReferenceMonitor| -> Vec<String> {
+            [&alice_s, &bob_s]
+                .iter()
+                .flat_map(|s| {
+                    items
+                        .iter()
+                        .map(|(path, mode)| format!("{:?}", m.check(s, path, *mode)))
+                })
+                .collect()
+        };
+        let before = surface(&monitor);
+        let staged = monitor
+            .stage_bundle(
+                "bundle \"swap\" version 1 base current;\n\
+                 set-acl /svc/fs/read \"+bob:x\";",
+            )
+            .unwrap();
+        monitor.activate_bundle(staged.id).unwrap();
+        let after = surface(&monitor);
+        assert_ne!(before, after, "the bundle must actually change decisions");
+        // Rollback restores every decision byte-for-byte.
+        monitor.rollback().unwrap();
+        assert_eq!(surface(&monitor), before);
+        // One activation banked one snapshot; the ring is now empty.
+        assert_eq!(monitor.rollback(), Err(BundleError::NoHistory));
+    }
+
+    #[test]
+    fn shadow_counts_flips_without_changing_enforcement() {
+        let (monitor, alice, bob) = fixture();
+        monitor.telemetry().set_enabled(true);
+        let alice_s = low_subject(alice, &monitor);
+        let bob_s = low_subject(bob, &monitor);
+        let staged = monitor
+            .stage_bundle(
+                "bundle \"swap\" version 1 base current;\n\
+                 set-acl /svc/fs/read \"+bob:x\";",
+            )
+            .unwrap();
+        monitor.shadow_bundle(staged.id, true).unwrap();
+        // Shadow mode must not bump the cache generation: warm entries
+        // stay valid and the enforced fast path is untouched.
+        assert_eq!(monitor.cache_stats().generation, staged.base);
+        // Enforced outcomes are exactly the active policy's.
+        assert!(monitor
+            .check(&alice_s, &p("/svc/fs/read"), AccessMode::Execute)
+            .allowed());
+        assert!(!monitor
+            .check(&bob_s, &p("/svc/fs/read"), AccessMode::Execute)
+            .allowed());
+        let status = monitor.bundle_status();
+        let report = status.shadow.expect("shadow mode is on");
+        assert_eq!(report.bundle, staged.id);
+        assert_eq!(report.checks, 2);
+        assert_eq!(report.allow_to_deny, 1);
+        assert_eq!(report.deny_to_allow, 1);
+        assert_eq!(report.flips.len(), 2);
+        // The hub carries the same totals.
+        let tele = monitor.telemetry_snapshot();
+        assert_eq!(tele.shadow_checks, 2);
+        assert_eq!(tele.shadow_allow_to_deny, 1);
+        assert_eq!(tele.shadow_deny_to_allow, 1);
+        // Batch checks feed the same accumulators.
+        let view = monitor.view();
+        view.check_batch(&alice_s, &[(p("/svc/fs/read"), AccessMode::Execute)]);
+        drop(view);
+        assert_eq!(monitor.bundle_status().shadow.unwrap().checks, 3);
+        // Turning shadow off clears the report; the staged bundle and the
+        // enforced policy are untouched.
+        monitor.shadow_bundle(staged.id, false).unwrap();
+        assert!(monitor.bundle_status().shadow.is_none());
+        assert_eq!(monitor.bundle_status().staged.len(), 1);
+        assert!(monitor
+            .check(&alice_s, &p("/svc/fs/read"), AccessMode::Execute)
+            .allowed());
+    }
+
+    #[test]
+    fn rollback_ring_is_bounded() {
+        let (monitor, _, _) = fixture();
+        for i in 0..(ROLLBACK_RING + 3) {
+            let staged = monitor
+                .stage_bundle(&format!(
+                    "bundle \"b{i}\" version {} base current;\n\
+                     acl-add /svc/fs/read \"+bob:x\";",
+                    i + 1
+                ))
+                .unwrap();
+            monitor.activate_bundle(staged.id).unwrap();
+        }
+        assert_eq!(monitor.bundle_status().history, ROLLBACK_RING);
     }
 }

@@ -11,6 +11,7 @@
 //! pools and loaded extensions are outside the monitor and must be
 //! re-established by their owners.
 
+use crate::bundle::Generation;
 use crate::config::MonitorConfig;
 use crate::error::MonitorError;
 use crate::monitor::{MonitorBuilder, ReferenceMonitor};
@@ -42,6 +43,9 @@ pub struct PolicySnapshot {
     pub directory: Directory,
     /// The monitor configuration.
     pub config: MonitorConfig,
+    /// The policy generation at capture time. Informational provenance:
+    /// restoring starts a fresh generation lineage.
+    pub generation: Generation,
     /// Every node, in depth-first order (parents before children).
     pub nodes: Vec<NodeRecord>,
 }
@@ -70,6 +74,7 @@ impl ReferenceMonitor {
             lattice,
             directory,
             config,
+            generation: self.cache_stats().generation,
             nodes,
         }
     }

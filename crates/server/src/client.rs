@@ -15,20 +15,28 @@
 //! On a *transient* transport error (reset, broken pipe, timeout, a
 //! server that closed an idle connection) the client drops the dead
 //! connection, reconnects, and retries the whole pipeline. That is safe
-//! here because every protocol operation is an idempotent read — checks,
-//! listings, explanations, telemetry pulls mutate nothing — so replaying
-//! a pipeline whose responses were lost cannot change the outcome, only
-//! re-observe it. Server-sent `Error` responses are *answers*, not
-//! failures: they are returned (or surfaced as [`ClientError::Server`])
-//! and never retried. Every retry, reconnect, and backoff sleep is
-//! counted in [`ClientStats`].
+//! for the read set — checks, listings, explanations, telemetry pulls
+//! mutate nothing, so a replay only re-observes — and it stays safe for
+//! the bundle admin set because those operations are guarded: replaying
+//! an [`activate`](Client::activate) whose response was lost fails
+//! closed with [`ErrorCode::GenerationConflict`] (the first application
+//! moved the active generation past the bundle's base, and the consumed
+//! handle is unknown), never double-applies; re-staging the same source
+//! just stages a second identical bundle under a fresh handle; a
+//! replayed [`rollback`](Client::rollback) *does* pop one more ring
+//! entry, so treat a rollback timeout as unknown-outcome and check
+//! [`bundle_status`](Client::bundle_status) before retrying by hand.
+//! Server-sent `Error` responses are *answers*, not failures: they are
+//! returned (or surfaced as [`ClientError::Server`]) and never retried.
+//! Every retry, reconnect, and backoff sleep is counted in
+//! [`ClientStats`].
 
 use crate::proto::{
     self, BatchItem, ErrorCode, FrameScan, ProtoError, Request, Response, MAX_FRAME,
 };
 use extsec_acl::AccessMode;
 use extsec_namespace::NsPath;
-use extsec_refmon::{Decision, Explanation, Subject};
+use extsec_refmon::{BundleId, BundleStatusReport, Decision, Explanation, Generation, Subject};
 use polling::{Event, Events, Poller};
 use std::fmt;
 use std::io::{self, Read, Write};
@@ -497,6 +505,69 @@ impl Client {
         match self.one(Request::Telemetry)? {
             Response::Telemetry(json) => Ok(json),
             other => Err(unexpected("Telemetry", &other)),
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // The bundle admin API.
+    // -----------------------------------------------------------------
+
+    /// Stages a policy bundle from source text; returns the handle to
+    /// activate or shadow it by, and the base generation it was pinned
+    /// to. Compile refusals surface as [`ClientError::Server`] with
+    /// [`ErrorCode::InvalidBundle`].
+    pub fn load_bundle(&mut self, source: &str) -> Result<(BundleId, Generation), ClientError> {
+        let request = Request::LoadBundle {
+            source: source.to_string(),
+        };
+        match self.one(request)? {
+            Response::BundleStaged { bundle, base } => Ok((bundle, base)),
+            other => Err(unexpected("BundleStaged", &other)),
+        }
+    }
+
+    /// Activates a staged bundle in one atomic publish; returns the
+    /// now-active generation. Safe under the client's automatic retry: a
+    /// replayed activation finds its handle consumed and its base stale,
+    /// so it fails closed with [`ErrorCode::GenerationConflict`] instead
+    /// of double-applying.
+    pub fn activate(&mut self, bundle: BundleId) -> Result<Generation, ClientError> {
+        match self.one(Request::Activate { bundle })? {
+            Response::BundleAck { generation } => Ok(generation),
+            other => Err(unexpected("BundleAck", &other)),
+        }
+    }
+
+    /// Toggles shadow evaluation of a staged bundle; returns the (still
+    /// active, unchanged) generation. Idempotent, so retry-safe.
+    pub fn shadow(&mut self, bundle: BundleId, on: bool) -> Result<Generation, ClientError> {
+        match self.one(Request::Shadow { bundle, on })? {
+            Response::BundleAck { generation } => Ok(generation),
+            other => Err(unexpected("BundleAck", &other)),
+        }
+    }
+
+    /// Rolls back to the most recent pre-activation snapshot; returns
+    /// the fresh generation. Deliberately a **single attempt** — a
+    /// replayed rollback would pop one more ring entry — so a transport
+    /// failure here is an unknown outcome: consult
+    /// [`bundle_status`](Client::bundle_status) before retrying by hand.
+    pub fn rollback(&mut self) -> Result<Generation, ClientError> {
+        let mut responses = self.try_pipeline(&[Request::Rollback])?;
+        match responses.remove(0) {
+            Response::BundleAck { generation } => Ok(generation),
+            other => Err(unexpected("BundleAck", &other)),
+        }
+    }
+
+    /// Fetches and parses the bundle subsystem's status report: the
+    /// active generation, staged bundles, shadow flip counts, and the
+    /// rollback ring's depth.
+    pub fn bundle_status(&mut self) -> Result<BundleStatusReport, ClientError> {
+        match self.one(Request::BundleStatus)? {
+            Response::BundleStatus(json) => serde_json::from_str(&json)
+                .map_err(|e| ClientError::Unexpected(format!("unparseable bundle status: {e}"))),
+            other => Err(unexpected("BundleStatus", &other)),
         }
     }
 }

@@ -34,7 +34,9 @@ use crate::server::ServerConfig;
 use crate::telemetry::ServerTelemetry;
 use extsec_acl::AccessMode;
 use extsec_namespace::NsPath;
-use extsec_refmon::{JsonSnapshot, MonitorError, MonitorView, ReferenceMonitor, Subject};
+use extsec_refmon::{
+    BundleError, JsonSnapshot, MonitorError, MonitorView, ReferenceMonitor, Subject,
+};
 use serde::Serialize;
 use std::io::{Read, Write};
 use std::net::{Shutdown, TcpStream};
@@ -335,6 +337,7 @@ impl Conn {
                     ctx.tele.count_protocol_error();
                     let code = match e {
                         ProtoError::BadVersion(_) => ErrorCode::Version,
+                        ProtoError::BadOpcode(_) => ErrorCode::Opcode,
                         ProtoError::Oversize(_) => {
                             ctx.tele.count_oversize();
                             ErrorCode::Oversize
@@ -663,7 +666,44 @@ fn handle(opcode: u8, payload: &[u8], ctx: &Ctx<'_>) -> Result<Response, ProtoEr
                 Err(e) => error(ErrorCode::Internal, e.to_string()),
             }
         }
+        // The bundle admin set. Refusals are semantic (the frame itself
+        // was well-formed), so the connection stays open — an operator
+        // fixing a bundle should not have to reconnect per attempt.
+        Request::LoadBundle { source } => match monitor.stage_bundle(&source) {
+            Ok(staged) => Response::BundleStaged {
+                bundle: staged.id,
+                base: staged.base,
+            },
+            Err(e) => bundle_error(&e),
+        },
+        Request::Activate { bundle } => match monitor.activate_bundle(bundle) {
+            Ok(generation) => Response::BundleAck { generation },
+            Err(e) => bundle_error(&e),
+        },
+        Request::Shadow { bundle, on } => match monitor.shadow_bundle(bundle, on) {
+            Ok(generation) => Response::BundleAck { generation },
+            Err(e) => bundle_error(&e),
+        },
+        Request::Rollback => match monitor.rollback() {
+            Ok(generation) => Response::BundleAck { generation },
+            Err(e) => bundle_error(&e),
+        },
+        Request::BundleStatus => match serde_json::to_string(&monitor.bundle_status()) {
+            Ok(json) => Response::BundleStatus(json),
+            Err(e) => error(ErrorCode::Internal, e.to_string()),
+        },
     })
+}
+
+/// Maps a bundle refusal to its typed wire error: base-generation races
+/// get their own code so clients can restage-and-retry mechanically;
+/// everything else is a bundle the operator must fix.
+fn bundle_error(e: &BundleError) -> Response {
+    let code = match e {
+        BundleError::BaseConflict { .. } => ErrorCode::GenerationConflict,
+        _ => ErrorCode::InvalidBundle,
+    };
+    error(code, e.to_string())
 }
 
 /// Refuses subjects whose claimed class is foreign to the lattice.

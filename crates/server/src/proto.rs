@@ -13,25 +13,38 @@
 //! The request set mirrors the monitor's read API: single [`Check`],
 //! batched [`BatchCheck`] (the reason this protocol exists — one frame,
 //! one snapshot pin, many decisions), [`List`], [`Explain`], and a
-//! [`Telemetry`] pull. Structured results (explanations, telemetry) ride
-//! as JSON documents so they stay debuggable with standard tooling;
-//! decisions, the hot path, stay binary.
+//! [`Telemetry`] pull. Version 2 adds the policy-bundle admin set:
+//! [`LoadBundle`], [`Activate`], [`Shadow`], [`Rollback`], and
+//! [`BundleStatus`]. Structured results (explanations, telemetry, bundle
+//! status) ride as JSON documents so they stay debuggable with standard
+//! tooling; decisions, the hot path, stay binary.
+//!
+//! Both message enums implement [`WireMessage`]: one `opcode()` /
+//! `encode_payload()` / `decode_payload()` surface over a shared set of
+//! ULEB128 and bounded-length combinators, so a new frame is a new match
+//! arm against the combinators, never a new hand-rolled byte layout.
 //!
 //! [`Check`]: Request::Check
 //! [`BatchCheck`]: Request::BatchCheck
 //! [`List`]: Request::List
 //! [`Explain`]: Request::Explain
 //! [`Telemetry`]: Request::Telemetry
+//! [`LoadBundle`]: Request::LoadBundle
+//! [`Activate`]: Request::Activate
+//! [`Shadow`]: Request::Shadow
+//! [`Rollback`]: Request::Rollback
+//! [`BundleStatus`]: Request::BundleStatus
 
 use extsec_acl::{AccessMode, PrincipalId};
 use extsec_mac::{CategoryId, CategorySet, SecurityClass, TrustLevel};
 use extsec_namespace::NsPath;
-use extsec_refmon::{Decision, DenyReason, Subject, ThreadId};
+use extsec_refmon::{BundleId, Decision, DenyReason, Generation, Subject, ThreadId};
 use std::fmt;
 use std::io::{self, Read, Write};
 
-/// The protocol version carried in every frame header.
-pub const VERSION: u8 = 1;
+/// The protocol version carried in every frame header. Version 2 added
+/// the policy-bundle admin frames.
+pub const VERSION: u8 = 2;
 
 /// Bytes in a frame header: version, opcode, and a `u32` payload length.
 pub const HEADER_LEN: usize = 6;
@@ -57,6 +70,9 @@ pub const MAX_CATEGORIES: usize = 4096;
 /// Ceiling on the number of names in one listing response.
 pub const MAX_LIST: usize = 1 << 16;
 
+/// Ceiling on a policy-bundle source document on the wire.
+pub const MAX_BUNDLE: usize = 1 << 16;
+
 /// Request opcodes. Values are the wire bytes.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 #[repr(u8)]
@@ -73,17 +89,32 @@ pub enum Opcode {
     Explain = 0x04,
     /// Pull a combined monitor + server telemetry snapshot.
     Telemetry = 0x05,
+    /// Stage a policy bundle from source text (admin).
+    LoadBundle = 0x06,
+    /// Activate a staged bundle in one atomic publish (admin).
+    Activate = 0x07,
+    /// Toggle shadow evaluation of a staged bundle (admin).
+    Shadow = 0x08,
+    /// Roll back to the most recent pre-activation snapshot (admin).
+    Rollback = 0x09,
+    /// Pull the bundle subsystem's status report (admin).
+    BundleStatus = 0x0A,
 }
 
 impl Opcode {
     /// Every request opcode, in wire order.
-    pub const ALL: [Opcode; 6] = [
+    pub const ALL: [Opcode; 11] = [
         Opcode::Ping,
         Opcode::Check,
         Opcode::BatchCheck,
         Opcode::List,
         Opcode::Explain,
         Opcode::Telemetry,
+        Opcode::LoadBundle,
+        Opcode::Activate,
+        Opcode::Shadow,
+        Opcode::Rollback,
+        Opcode::BundleStatus,
     ];
 
     /// Number of request opcodes (for per-opcode counter arrays).
@@ -103,6 +134,11 @@ impl Opcode {
             Opcode::List => "list",
             Opcode::Explain => "explain",
             Opcode::Telemetry => "telemetry",
+            Opcode::LoadBundle => "load-bundle",
+            Opcode::Activate => "activate",
+            Opcode::Shadow => "shadow",
+            Opcode::Rollback => "rollback",
+            Opcode::BundleStatus => "bundle-status",
         }
     }
 }
@@ -121,7 +157,30 @@ const OP_LISTING: u8 = 0x83;
 const OP_EXPLANATION: u8 = 0x84;
 const OP_TELEMETRY: u8 = 0x85;
 const OP_BUSY: u8 = 0x86;
+const OP_BUNDLE_STAGED: u8 = 0x87;
+const OP_GENERATION: u8 = 0x88;
+const OP_BUNDLE_STATUS: u8 = 0x89;
 const OP_ERROR: u8 = 0xBF;
+
+/// Every response opcode, in wire order. The header scanners use this to
+/// refuse an unknown opcode byte before a payload byte is read.
+const RESPONSE_OPCODES: [u8; 10] = [
+    OP_PONG,
+    OP_DECISION,
+    OP_BATCH,
+    OP_LISTING,
+    OP_EXPLANATION,
+    OP_TELEMETRY,
+    OP_BUSY,
+    OP_BUNDLE_STAGED,
+    OP_GENERATION,
+    OP_BUNDLE_STATUS,
+];
+
+/// Whether a wire byte names a known request or response opcode.
+fn known_opcode(byte: u8) -> bool {
+    byte == OP_ERROR || Opcode::from_u8(byte).is_some() || RESPONSE_OPCODES.contains(&byte)
+}
 
 /// Error classes a server can answer with.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -145,12 +204,18 @@ pub enum ErrorCode {
     Denied = 6,
     /// The server failed internally.
     Internal = 7,
+    /// A bundle failed to parse or compile against the live policy (the
+    /// frame itself is well-formed; the connection stays open).
+    InvalidBundle = 8,
+    /// A bundle's base generation no longer matches the active one:
+    /// policy moved between staging and activation.
+    GenerationConflict = 9,
 }
 
 impl ErrorCode {
     /// Decodes a wire byte, if it names an error code.
     pub fn from_u8(byte: u8) -> Option<ErrorCode> {
-        const ALL: [ErrorCode; 8] = [
+        const ALL: [ErrorCode; 10] = [
             ErrorCode::Protocol,
             ErrorCode::Version,
             ErrorCode::Opcode,
@@ -159,6 +224,8 @@ impl ErrorCode {
             ErrorCode::InvalidSubject,
             ErrorCode::Denied,
             ErrorCode::Internal,
+            ErrorCode::InvalidBundle,
+            ErrorCode::GenerationConflict,
         ];
         ALL.into_iter().find(|c| *c as u8 == byte)
     }
@@ -174,6 +241,8 @@ impl ErrorCode {
             ErrorCode::InvalidSubject => "invalid-subject",
             ErrorCode::Denied => "denied",
             ErrorCode::Internal => "internal",
+            ErrorCode::InvalidBundle => "invalid-bundle",
+            ErrorCode::GenerationConflict => "generation-conflict",
         }
     }
 }
@@ -273,6 +342,58 @@ pub enum Request {
     },
     /// Pull a combined monitor + server telemetry snapshot.
     Telemetry,
+    /// Stage a policy bundle from source text (admin). Answered with
+    /// [`Response::BundleStaged`] or a typed error
+    /// ([`ErrorCode::InvalidBundle`]).
+    LoadBundle {
+        /// The bundle document in the `extsec_lang::bundle` dialect.
+        source: String,
+    },
+    /// Activate a staged bundle: one atomic publish (admin). Answered
+    /// with [`Response::BundleAck`], or [`ErrorCode::GenerationConflict`]
+    /// when the bundle's base generation is stale.
+    Activate {
+        /// The handle `LoadBundle` returned.
+        bundle: BundleId,
+    },
+    /// Toggle shadow evaluation of a staged bundle (admin). While on,
+    /// checks are dual-evaluated and would-be flips counted; enforced
+    /// decisions never change.
+    Shadow {
+        /// The handle `LoadBundle` returned (ignored when turning off).
+        bundle: BundleId,
+        /// `true` to enter shadow mode, `false` to leave it.
+        on: bool,
+    },
+    /// Roll back to the most recent pre-activation snapshot (admin).
+    Rollback,
+    /// Pull the bundle subsystem's status report (admin).
+    BundleStatus,
+}
+
+/// The typed wire codec surface shared by [`Request`] and [`Response`]:
+/// an opcode byte plus a payload codec built from the module's shared
+/// ULEB128 and bounded-length combinators. `encode()` is provided — it
+/// frames the payload under the message's opcode — so a new message kind
+/// only ever supplies the three primitives.
+pub trait WireMessage: Sized {
+    /// The wire opcode byte this message is framed under.
+    fn opcode_byte(&self) -> u8;
+
+    /// Appends the payload bytes (no header) to `buf`.
+    fn encode_payload(&self, buf: &mut Vec<u8>);
+
+    /// Decodes a payload for `opcode`. Implementations must consume the
+    /// payload exactly and refuse unknown opcodes with
+    /// [`ProtoError::BadOpcode`] carrying the byte.
+    fn decode_payload(opcode: u8, payload: &[u8]) -> Result<Self, ProtoError>;
+
+    /// Encodes the complete frame: header plus payload.
+    fn encode(&self) -> Vec<u8> {
+        let mut payload = Vec::new();
+        self.encode_payload(&mut payload);
+        frame(self.opcode_byte(), &payload)
+    }
 }
 
 impl Request {
@@ -285,14 +406,34 @@ impl Request {
             Request::List { .. } => Opcode::List,
             Request::Explain { .. } => Opcode::Explain,
             Request::Telemetry => Opcode::Telemetry,
+            Request::LoadBundle { .. } => Opcode::LoadBundle,
+            Request::Activate { .. } => Opcode::Activate,
+            Request::Shadow { .. } => Opcode::Shadow,
+            Request::Rollback => Opcode::Rollback,
+            Request::BundleStatus => Opcode::BundleStatus,
         }
     }
 
     /// Encodes the complete frame: header plus payload.
     pub fn encode(&self) -> Vec<u8> {
-        let mut enc = Enc::new();
+        WireMessage::encode(self)
+    }
+
+    /// Decodes a request payload for `opcode`.
+    pub fn decode(opcode: u8, payload: &[u8]) -> Result<Request, ProtoError> {
+        Request::decode_payload(opcode, payload)
+    }
+}
+
+impl WireMessage for Request {
+    fn opcode_byte(&self) -> u8 {
+        self.opcode() as u8
+    }
+
+    fn encode_payload(&self, buf: &mut Vec<u8>) {
+        let mut enc = Enc::new(buf);
         match self {
-            Request::Ping | Request::Telemetry => {}
+            Request::Ping | Request::Telemetry | Request::Rollback | Request::BundleStatus => {}
             Request::Check {
                 subject,
                 path,
@@ -319,17 +460,23 @@ impl Request {
                 enc.subject(subject);
                 enc.path(path);
             }
+            Request::LoadBundle { source } => enc.str(source),
+            Request::Activate { bundle } => enc.uleb(bundle.raw()),
+            Request::Shadow { bundle, on } => {
+                enc.uleb(bundle.raw());
+                enc.u8(u8::from(*on));
+            }
         }
-        enc.frame(self.opcode() as u8)
     }
 
-    /// Decodes a request payload for `opcode`.
-    pub fn decode(opcode: u8, payload: &[u8]) -> Result<Request, ProtoError> {
+    fn decode_payload(opcode: u8, payload: &[u8]) -> Result<Request, ProtoError> {
         let op = Opcode::from_u8(opcode).ok_or(ProtoError::BadOpcode(opcode))?;
         let mut dec = Dec::new(payload);
         let req = match op {
             Opcode::Ping => Request::Ping,
             Opcode::Telemetry => Request::Telemetry,
+            Opcode::Rollback => Request::Rollback,
+            Opcode::BundleStatus => Request::BundleStatus,
             Opcode::Check => Request::Check {
                 subject: dec.subject()?,
                 path: dec.path()?,
@@ -355,6 +502,16 @@ impl Request {
             Opcode::List => Request::List {
                 subject: dec.subject()?,
                 path: dec.path()?,
+            },
+            Opcode::LoadBundle => Request::LoadBundle {
+                source: dec.str(MAX_BUNDLE)?,
+            },
+            Opcode::Activate => Request::Activate {
+                bundle: BundleId::from_raw(dec.uleb()?),
+            },
+            Opcode::Shadow => Request::Shadow {
+                bundle: BundleId::from_raw(dec.uleb()?),
+                on: dec.flag()?,
             },
         };
         dec.finish()?;
@@ -389,6 +546,24 @@ pub enum Response {
         /// Suggested minimum backoff before retrying, in milliseconds.
         retry_after_ms: u64,
     },
+    /// Answer to `LoadBundle`: the staged bundle's handle and the base
+    /// generation it was pinned to.
+    BundleStaged {
+        /// The handle to activate or shadow the bundle by.
+        bundle: BundleId,
+        /// The resolved base generation (a `base current` header resolves
+        /// at stage time).
+        base: Generation,
+    },
+    /// Answer to `Activate`, `Shadow`, and `Rollback`: the generation
+    /// active once the publish landed.
+    BundleAck {
+        /// The now-active policy generation.
+        generation: Generation,
+    },
+    /// Answer to `BundleStatus`: a JSON document of the monitor's
+    /// `BundleStatusReport`.
+    BundleStatus(String),
     /// Any request may be refused with an error instead.
     Error {
         /// The error class.
@@ -409,13 +584,31 @@ impl Response {
             Response::Explanation(_) => OP_EXPLANATION,
             Response::Telemetry(_) => OP_TELEMETRY,
             Response::Busy { .. } => OP_BUSY,
+            Response::BundleStaged { .. } => OP_BUNDLE_STAGED,
+            Response::BundleAck { .. } => OP_GENERATION,
+            Response::BundleStatus(_) => OP_BUNDLE_STATUS,
             Response::Error { .. } => OP_ERROR,
         }
     }
 
     /// Encodes the complete frame: header plus payload.
     pub fn encode(&self) -> Vec<u8> {
-        let mut enc = Enc::new();
+        WireMessage::encode(self)
+    }
+
+    /// Decodes a response payload for `opcode`.
+    pub fn decode(opcode: u8, payload: &[u8]) -> Result<Response, ProtoError> {
+        Response::decode_payload(opcode, payload)
+    }
+}
+
+impl WireMessage for Response {
+    fn opcode_byte(&self) -> u8 {
+        self.opcode()
+    }
+
+    fn encode_payload(&self, buf: &mut Vec<u8>) {
+        let mut enc = Enc::new(buf);
         match self {
             Response::Pong => {}
             Response::Decision(decision) => enc.decision(decision),
@@ -431,18 +624,23 @@ impl Response {
                     enc.str(name);
                 }
             }
-            Response::Explanation(json) | Response::Telemetry(json) => enc.str(json),
+            Response::Explanation(json)
+            | Response::Telemetry(json)
+            | Response::BundleStatus(json) => enc.str(json),
             Response::Busy { retry_after_ms } => enc.uleb(*retry_after_ms),
+            Response::BundleStaged { bundle, base } => {
+                enc.uleb(bundle.raw());
+                enc.uleb(base.raw());
+            }
+            Response::BundleAck { generation } => enc.uleb(generation.raw()),
             Response::Error { code, message } => {
                 enc.u8(*code as u8);
                 enc.str(message);
             }
         }
-        enc.frame(self.opcode())
     }
 
-    /// Decodes a response payload for `opcode`.
-    pub fn decode(opcode: u8, payload: &[u8]) -> Result<Response, ProtoError> {
+    fn decode_payload(opcode: u8, payload: &[u8]) -> Result<Response, ProtoError> {
         let mut dec = Dec::new(payload);
         let resp = match opcode {
             OP_PONG => Response::Pong,
@@ -468,6 +666,14 @@ impl Response {
             OP_BUSY => Response::Busy {
                 retry_after_ms: dec.uleb()?,
             },
+            OP_BUNDLE_STAGED => Response::BundleStaged {
+                bundle: BundleId::from_raw(dec.uleb()?),
+                base: Generation::from_raw(dec.uleb()?),
+            },
+            OP_GENERATION => Response::BundleAck {
+                generation: Generation::from_raw(dec.uleb()?),
+            },
+            OP_BUNDLE_STATUS => Response::BundleStatus(dec.str(MAX_FRAME as usize)?),
             OP_ERROR => {
                 let byte = dec.u8()?;
                 let code = ErrorCode::from_u8(byte).ok_or(ProtoError::BadTag(byte))?;
@@ -482,15 +688,27 @@ impl Response {
 }
 
 // ---------------------------------------------------------------------
-// Payload codec.
+// Payload codec: the shared combinators behind every WireMessage.
 
-struct Enc {
-    buf: Vec<u8>,
+/// Wraps an already-encoded payload in a frame header.
+fn frame(opcode: u8, payload: &[u8]) -> Vec<u8> {
+    let mut frame = Vec::with_capacity(HEADER_LEN + payload.len());
+    frame.push(VERSION);
+    frame.push(opcode);
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(payload);
+    frame
 }
 
-impl Enc {
-    fn new() -> Self {
-        Enc { buf: Vec::new() }
+/// The encoding combinators, borrowing the caller's buffer so nested
+/// structures compose without copies.
+struct Enc<'a> {
+    buf: &'a mut Vec<u8>,
+}
+
+impl<'a> Enc<'a> {
+    fn new(buf: &'a mut Vec<u8>) -> Self {
+        Enc { buf }
     }
 
     fn u8(&mut self, byte: u8) {
@@ -569,16 +787,6 @@ impl Enc {
             }
         }
     }
-
-    /// Wraps the accumulated payload in a frame header.
-    fn frame(self, opcode: u8) -> Vec<u8> {
-        let mut frame = Vec::with_capacity(6 + self.buf.len());
-        frame.push(VERSION);
-        frame.push(opcode);
-        frame.extend_from_slice(&(self.buf.len() as u32).to_le_bytes());
-        frame.extend_from_slice(&self.buf);
-        frame
-    }
 }
 
 struct Dec<'a> {
@@ -647,6 +855,15 @@ impl<'a> Dec<'a> {
             .get(byte as usize)
             .copied()
             .ok_or(ProtoError::BadTag(byte))
+    }
+
+    /// A strict boolean byte: anything but 0 or 1 is a bad tag.
+    fn flag(&mut self) -> Result<bool, ProtoError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            tag => Err(ProtoError::BadTag(tag)),
+        }
     }
 
     fn subject(&mut self) -> Result<Subject, ProtoError> {
@@ -792,6 +1009,11 @@ pub fn read_frame(reader: &mut impl Read, max_frame: u32) -> Result<Frame, Frame
     let mut rest = [0u8; 5];
     read_exact_frame(reader, &mut rest)?;
     let opcode = rest[0];
+    // An unknown opcode is refused at the header — before the payload is
+    // allocated or read — so it cannot silently desynchronize the stream.
+    if !known_opcode(opcode) {
+        return Err(FrameError::Proto(ProtoError::BadOpcode(opcode)));
+    }
     let len = u32::from_le_bytes([rest[1], rest[2], rest[3], rest[4]]);
     if len > max_frame {
         return Err(FrameError::Proto(ProtoError::Oversize(u64::from(len))));
@@ -840,8 +1062,9 @@ pub enum FrameScan {
 /// Scans the front of `buf` for one complete frame without consuming or
 /// copying anything — the non-blocking counterpart of [`read_frame`],
 /// with the identical validation order: version byte first (so a bad
-/// peer is refused on its first byte), then the length prefix against
-/// `max_frame` *before* the payload is awaited.
+/// peer is refused on its first byte), then the opcode byte, then the
+/// length prefix against `max_frame` — all *before* the payload is
+/// awaited.
 pub fn scan_frame(buf: &[u8], max_frame: u32) -> Result<FrameScan, ProtoError> {
     let Some(&version) = buf.first() else {
         return Ok(FrameScan::Partial);
@@ -853,6 +1076,11 @@ pub fn scan_frame(buf: &[u8], max_frame: u32) -> Result<FrameScan, ProtoError> {
         return Ok(FrameScan::Partial);
     }
     let opcode = buf[1];
+    // Same discipline as `read_frame`: an unknown opcode is refused at
+    // the header, before any payload byte is awaited.
+    if !known_opcode(opcode) {
+        return Err(ProtoError::BadOpcode(opcode));
+    }
     let len = u32::from_le_bytes([buf[2], buf[3], buf[4], buf[5]]);
     if len > max_frame {
         return Err(ProtoError::Oversize(u64::from(len)));
@@ -904,30 +1132,62 @@ mod tests {
         );
     }
 
+    /// One sample request per opcode, covering all of [`Opcode::ALL`].
+    fn sample_requests() -> Vec<Request> {
+        let path: NsPath = "/svc/fs/read".parse().unwrap();
+        vec![
+            Request::Ping,
+            Request::Check {
+                subject: subject(),
+                path: path.clone(),
+                mode: AccessMode::Execute,
+            },
+            Request::BatchCheck {
+                subject: subject(),
+                items: AccessMode::ALL
+                    .into_iter()
+                    .map(|mode| BatchItem {
+                        path: path.clone(),
+                        mode,
+                    })
+                    .collect(),
+            },
+            Request::List {
+                subject: subject(),
+                path: path.clone(),
+            },
+            Request::Explain {
+                subject: subject(),
+                path,
+                mode: AccessMode::Read,
+            },
+            Request::Telemetry,
+            Request::LoadBundle {
+                source: "bundle \"b\" version 1 base current;".into(),
+            },
+            Request::Activate {
+                bundle: BundleId::from_raw(7),
+            },
+            Request::Shadow {
+                bundle: BundleId::from_raw(7),
+                on: true,
+            },
+            Request::Rollback,
+            Request::BundleStatus,
+        ]
+    }
+
     #[test]
     fn requests_round_trip() {
-        let path: NsPath = "/svc/fs/read".parse().unwrap();
-        roundtrip_request(Request::Ping);
-        roundtrip_request(Request::Telemetry);
-        roundtrip_request(Request::Check {
-            subject: subject(),
-            path: path.clone(),
-            mode: AccessMode::Execute,
-        });
-        roundtrip_request(Request::List {
-            subject: subject(),
-            path: path.clone(),
-        });
-        roundtrip_request(Request::BatchCheck {
-            subject: subject(),
-            items: AccessMode::ALL
-                .into_iter()
-                .map(|mode| BatchItem {
-                    path: path.clone(),
-                    mode,
-                })
-                .collect(),
-        });
+        let samples = sample_requests();
+        // Every request opcode is exercised, none twice.
+        let mut seen: Vec<Opcode> = samples.iter().map(Request::opcode).collect();
+        seen.sort_by_key(|op| *op as u8);
+        seen.dedup();
+        assert_eq!(seen.len(), Opcode::COUNT);
+        for req in samples {
+            roundtrip_request(req);
+        }
     }
 
     #[test]
@@ -951,10 +1211,48 @@ mod tests {
         roundtrip_response(Response::Busy {
             retry_after_ms: 250,
         });
-        roundtrip_response(Response::Error {
-            code: ErrorCode::Denied,
-            message: "denied: no entry".into(),
+        roundtrip_response(Response::BundleStaged {
+            bundle: BundleId::from_raw(3),
+            base: Generation::from_raw(17),
         });
+        roundtrip_response(Response::BundleAck {
+            generation: Generation::from_raw(18),
+        });
+        roundtrip_response(Response::BundleStatus("{\"staged\":[]}".into()));
+        for code in [
+            ErrorCode::Denied,
+            ErrorCode::InvalidBundle,
+            ErrorCode::GenerationConflict,
+        ] {
+            roundtrip_response(Response::Error {
+                code,
+                message: "refused".into(),
+            });
+        }
+    }
+
+    #[test]
+    fn unknown_opcode_is_refused_at_the_header() {
+        // 0x3F names no request; 0xA0 names no response. Both scanners
+        // must answer with the typed error carrying the byte, before any
+        // payload is read.
+        for bad in [0x3Fu8, 0xA0] {
+            let frame = frame(bad, &[]);
+            match read_frame(&mut &frame[..], MAX_FRAME) {
+                Err(FrameError::Proto(ProtoError::BadOpcode(byte))) => assert_eq!(byte, bad),
+                other => panic!("expected bad opcode, got {other:?}"),
+            }
+            match scan_frame(&frame, MAX_FRAME) {
+                Err(ProtoError::BadOpcode(byte)) => assert_eq!(byte, bad),
+                other => panic!("expected bad opcode, got {other:?}"),
+            }
+        }
+        // Decoders refuse the same way even when handed a payload.
+        assert_eq!(Request::decode(0x3F, &[]), Err(ProtoError::BadOpcode(0x3F)));
+        assert_eq!(
+            Response::decode(0xA0, &[]),
+            Err(ProtoError::BadOpcode(0xA0))
+        );
     }
 
     #[test]
@@ -981,10 +1279,10 @@ mod tests {
     #[test]
     fn batch_count_is_bounded() {
         // A hand-built BatchCheck payload claiming u32::MAX items.
-        let mut enc = Enc::new();
+        let mut payload = Vec::new();
+        let mut enc = Enc::new(&mut payload);
         enc.subject(&subject());
         enc.uleb(u64::from(u32::MAX));
-        let payload = enc.buf;
         match Request::decode(Opcode::BatchCheck as u8, &payload) {
             Err(ProtoError::TooMany(_)) => {}
             other => panic!("expected too-many, got {other:?}"),

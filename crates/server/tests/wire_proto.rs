@@ -5,7 +5,7 @@
 use extsec_acl::{AccessMode, PrincipalId};
 use extsec_mac::{CategoryId, CategorySet, SecurityClass, TrustLevel};
 use extsec_namespace::NsPath;
-use extsec_refmon::{Decision, DenyReason, Subject, ThreadId};
+use extsec_refmon::{BundleId, Decision, DenyReason, Generation, Subject, ThreadId};
 use extsec_server::proto::{read_frame, FrameError, ProtoError};
 use extsec_server::{BatchItem, ErrorCode, Request, Response, MAX_FRAME};
 use proptest::prelude::*;
@@ -68,6 +68,16 @@ fn arb_request() -> impl Strategy<Value = Request> {
                     .map(|(path, mode)| BatchItem { path, mode })
                     .collect(),
             }),
+        ".{0,128}".prop_map(|source| Request::LoadBundle { source }),
+        any::<u64>().prop_map(|raw| Request::Activate {
+            bundle: BundleId::from_raw(raw),
+        }),
+        (any::<u64>(), any::<bool>()).prop_map(|(raw, on)| Request::Shadow {
+            bundle: BundleId::from_raw(raw),
+            on,
+        }),
+        Just(Request::Rollback),
+        Just(Request::BundleStatus),
     ]
 }
 
@@ -94,6 +104,8 @@ fn arb_error_code() -> impl Strategy<Value = ErrorCode> {
         Just(ErrorCode::InvalidSubject),
         Just(ErrorCode::Denied),
         Just(ErrorCode::Internal),
+        Just(ErrorCode::InvalidBundle),
+        Just(ErrorCode::GenerationConflict),
     ]
 }
 
@@ -106,6 +118,14 @@ fn arb_response() -> impl Strategy<Value = Response> {
         ".{0,64}".prop_map(Response::Explanation),
         ".{0,64}".prop_map(Response::Telemetry),
         (arb_error_code(), ".{0,32}").prop_map(|(code, message)| Response::Error { code, message }),
+        (any::<u64>(), any::<u64>()).prop_map(|(bundle, base)| Response::BundleStaged {
+            bundle: BundleId::from_raw(bundle),
+            base: Generation::from_raw(base),
+        }),
+        any::<u64>().prop_map(|raw| Response::BundleAck {
+            generation: Generation::from_raw(raw),
+        }),
+        ".{0,96}".prop_map(Response::BundleStatus),
     ]
 }
 
@@ -172,6 +192,23 @@ proptest! {
         }
         if let Ok(frame) = read_frame(&mut &bytes[..], MAX_FRAME) {
             let _ = Request::decode(frame.opcode, &frame.payload);
+        }
+    }
+
+    /// Any opcode byte outside the protocol's request and response
+    /// tables is refused at the frame header with `BadOpcode`, and a
+    /// byte refused there also decodes to neither frame family.
+    #[test]
+    fn unknown_opcode_bytes_are_refused(opcode in any::<u8>()) {
+        let bytes = [extsec_server::VERSION, opcode, 0, 0, 0, 0];
+        match read_frame(&mut &bytes[..], MAX_FRAME) {
+            Ok(frame) => prop_assert_eq!(frame.opcode, opcode),
+            Err(FrameError::Proto(ProtoError::BadOpcode(byte))) => {
+                prop_assert_eq!(byte, opcode);
+                prop_assert!(Request::decode(opcode, &[]).is_err());
+                prop_assert!(Response::decode(opcode, &[]).is_err());
+            }
+            other => prop_assert!(false, "expected accept or BadOpcode, got {other:?}"),
         }
     }
 

@@ -255,6 +255,9 @@ pub struct Telemetry {
     probation_readmits: ShardedCounter,
     views: ShardedCounter,
     view_ops: ShardedCounter,
+    shadow_checks: ShardedCounter,
+    shadow_allow_to_deny: ShardedCounter,
+    shadow_deny_to_allow: ShardedCounter,
     sinks: RwLock<Vec<Arc<dyn TelemetrySink>>>,
 }
 
@@ -274,6 +277,9 @@ impl Telemetry {
             probation_readmits: ShardedCounter::new(),
             views: ShardedCounter::new(),
             view_ops: ShardedCounter::new(),
+            shadow_checks: ShardedCounter::new(),
+            shadow_allow_to_deny: ShardedCounter::new(),
+            shadow_deny_to_allow: ShardedCounter::new(),
             sinks: RwLock::new(Vec::new()),
         }
     }
@@ -409,6 +415,31 @@ impl Telemetry {
         }
     }
 
+    /// Counts one check dual-evaluated against a shadowed policy.
+    #[inline]
+    pub fn count_shadow_check(&self) {
+        if self.enabled() {
+            self.shadow_checks.incr();
+        }
+    }
+
+    /// Counts one shadow-mode would-be flip from allow to deny: the
+    /// active policy allowed, the shadowed policy would have denied.
+    #[inline]
+    pub fn count_shadow_allow_to_deny(&self) {
+        if self.enabled() {
+            self.shadow_allow_to_deny.incr();
+        }
+    }
+
+    /// Counts one shadow-mode would-be flip from deny to allow.
+    #[inline]
+    pub fn count_shadow_deny_to_allow(&self) {
+        if self.enabled() {
+            self.shadow_deny_to_allow.incr();
+        }
+    }
+
     /// Takes an immutable snapshot of every counter and histogram.
     /// Never blocks recording; see [`TelemetrySnapshot`] for the
     /// monotonicity guarantees.
@@ -444,6 +475,9 @@ impl Telemetry {
             probation_readmits: self.probation_readmits.get(),
             views: self.views.get(),
             view_ops: self.view_ops.get(),
+            shadow_checks: self.shadow_checks.get(),
+            shadow_allow_to_deny: self.shadow_allow_to_deny.get(),
+            shadow_deny_to_allow: self.shadow_deny_to_allow.get(),
         }
     }
 

@@ -92,6 +92,12 @@ pub struct JsonSnapshot {
     pub probation_trials: u64,
     /// Probation trials that re-admitted the extension.
     pub probation_readmits: u64,
+    /// Checks dual-evaluated against a shadowed policy bundle.
+    pub shadow_checks: u64,
+    /// Shadow-mode would-be flips from allow to deny.
+    pub shadow_allow_to_deny: u64,
+    /// Shadow-mode would-be flips from deny to allow.
+    pub shadow_deny_to_allow: u64,
 }
 
 impl From<&TelemetrySnapshot> for JsonSnapshot {
@@ -137,6 +143,9 @@ impl From<&TelemetrySnapshot> for JsonSnapshot {
             quarantine_denials: snapshot.quarantine_denials,
             probation_trials: snapshot.probation_trials,
             probation_readmits: snapshot.probation_readmits,
+            shadow_checks: snapshot.shadow_checks,
+            shadow_allow_to_deny: snapshot.shadow_allow_to_deny,
+            shadow_deny_to_allow: snapshot.shadow_deny_to_allow,
         }
     }
 }

@@ -47,6 +47,12 @@ pub struct TelemetrySnapshot {
     pub views: u64,
     /// Operations performed through a view (one pin, many steps).
     pub view_ops: u64,
+    /// Checks dual-evaluated against a shadowed policy bundle.
+    pub shadow_checks: u64,
+    /// Shadow-mode would-be flips from allow to deny.
+    pub shadow_allow_to_deny: u64,
+    /// Shadow-mode would-be flips from deny to allow.
+    pub shadow_deny_to_allow: u64,
 }
 
 impl TelemetrySnapshot {
@@ -161,6 +167,13 @@ impl fmt::Display for TelemetrySnapshot {
                 self.quarantine_denials,
                 self.probation_trials,
                 self.probation_readmits,
+            )?;
+        }
+        if self.shadow_checks > 0 {
+            writeln!(
+                f,
+                "  shadow: {} dual-evaluated, {} allow→deny, {} deny→allow",
+                self.shadow_checks, self.shadow_allow_to_deny, self.shadow_deny_to_allow,
             )?;
         }
         Ok(())

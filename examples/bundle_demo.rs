@@ -1,0 +1,133 @@
+//! The policy-bundle lifecycle, end to end over the wire: stage a
+//! versioned diff, shadow it against live traffic and read the flip
+//! report, activate it atomically, then roll the whole thing back.
+//!
+//! Run with `cargo run --example bundle_demo`.
+
+use extsec::server::{Client, ClientConfig, Server, ServerConfig};
+use extsec::{
+    AccessMode, Acl, AclEntry, Lattice, ModeSet, MonitorBuilder, NodeKind, NsPath, Protection,
+    SecurityClass, Subject,
+};
+use std::sync::Arc;
+
+fn p(s: &str) -> NsPath {
+    s.parse().unwrap()
+}
+
+/// The staged diff: revoke bob's read on one procedure, grant him write
+/// on another — one flip in each direction, visible in the shadow
+/// report before anything is enforced.
+const BUNDLE: &str = r#"
+bundle "q3-access-review" version 1 base current;
+set-acl /svc/x/read "+alice:rx";
+acl-add /svc/x/write "+bob:w";
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A small world: alice administers, bob holds read on `/svc/x/read`
+    // and nothing on `/svc/x/write`.
+    let lattice = Lattice::build(["low", "high"], ["c0"])?;
+    let mut builder = MonitorBuilder::new(lattice);
+    let alice = builder.add_principal("alice")?;
+    let bob = builder.add_principal("bob")?;
+    let monitor = builder.build();
+    monitor.bootstrap(|ns| {
+        let visible = Protection::new(
+            Acl::public(ModeSet::only(AccessMode::List)),
+            SecurityClass::bottom(),
+        );
+        ns.ensure_path(&p("/svc/x"), NodeKind::Domain, &visible)?;
+        ns.insert(
+            &p("/svc/x"),
+            "read",
+            NodeKind::Procedure,
+            Protection::new(
+                Acl::from_entries([
+                    AclEntry::allow_principal(alice, AccessMode::Read),
+                    AclEntry::allow_principal(bob, AccessMode::Read),
+                ]),
+                SecurityClass::bottom(),
+            ),
+        )?;
+        ns.insert(
+            &p("/svc/x"),
+            "write",
+            NodeKind::Procedure,
+            Protection::new(
+                Acl::from_entries([AclEntry::allow_principal(alice, AccessMode::Write)]),
+                SecurityClass::bottom(),
+            ),
+        )?;
+        Ok(())
+    })?;
+    let class = monitor.lattice(|l| l.parse_class("low").unwrap());
+    let bob = Subject::new(bob, class);
+
+    let server = Server::spawn(Arc::clone(&monitor), "127.0.0.1:0", ServerConfig::default())?;
+    println!("serving the reference monitor on {}\n", server.local_addr());
+    let mut admin = Client::connect(server.local_addr(), ClientConfig::default())?;
+
+    let items = [
+        (p("/svc/x/read"), AccessMode::Read),
+        (p("/svc/x/write"), AccessMode::Write),
+    ];
+    let surface = |client: &mut Client| -> Result<Vec<bool>, Box<dyn std::error::Error>> {
+        Ok(client
+            .batch_check(&bob, &items)?
+            .iter()
+            .map(|d| d.allowed())
+            .collect())
+    };
+
+    // 1. Stage: compile the diff against the live snapshot.
+    let before = surface(&mut admin)?;
+    let (id, base) = admin.load_bundle(BUNDLE)?;
+    println!("staged bundle {id} against base generation {base}");
+    assert_eq!(surface(&mut admin)?, before, "staging changes nothing");
+
+    // 2. Shadow: dual-evaluate real traffic, count would-be flips,
+    //    enforce nothing.
+    admin.shadow(id, true)?;
+    for _ in 0..5 {
+        assert_eq!(surface(&mut admin)?, before, "shadow enforces nothing");
+    }
+    let status = admin.bundle_status()?;
+    let report = status.shadow.expect("shadow mode is on");
+    println!(
+        "shadow report: {} checks dual-evaluated, {} allow->deny, {} deny->allow",
+        report.checks, report.allow_to_deny, report.deny_to_allow
+    );
+    for flip in &report.flips {
+        println!(
+            "  principal {:?} on {}: {} allow->deny, {} deny->allow",
+            flip.principal, flip.path, flip.allow_to_deny, flip.deny_to_allow
+        );
+    }
+    admin.shadow(id, false)?;
+
+    // 3. Activate: one atomic snapshot publish.
+    let generation = admin.activate(id)?;
+    let after = surface(&mut admin)?;
+    println!("\nactivated as generation {generation}");
+    println!("bob on (read, write): {before:?} -> {after:?}");
+    assert_ne!(before, after);
+
+    // 4. Roll back: the prior decision surface, byte for byte.
+    let restored = admin.rollback()?;
+    println!("rolled back to generation {restored}");
+    assert_eq!(surface(&mut admin)?, before, "rollback restores exactly");
+
+    let status = admin.bundle_status()?;
+    println!(
+        "final status: active generation {}, {} staged, {} snapshots in the rollback ring",
+        status.active,
+        status.staged.len(),
+        status.history
+    );
+
+    drop(admin);
+    let stats = server.shutdown();
+    assert_eq!(stats.accepted, stats.closed, "no connection slot leaked");
+    Ok(())
+}

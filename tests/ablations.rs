@@ -307,7 +307,7 @@ fn ablation_snapshot_restore_invalidates_cache() {
     let restored = extsec::ReferenceMonitor::from_snapshot(snapshot).unwrap();
     let stats = restored.cache_stats();
     assert!(
-        stats.generation > 0,
+        stats.generation > extsec::refmon::Generation::ZERO,
         "restore must bump the generation of the monitor it rebuilds"
     );
     assert_eq!(stats.entries, 0, "restore must not carry cached decisions");
