@@ -1,0 +1,272 @@
+//! Storage backends for segments and the manifest.
+//!
+//! The chain/segment logic is written against the small [`Store`] trait so
+//! the same pipeline runs on a real directory ([`DiskStore`]) or entirely
+//! in memory ([`MemStore`] — used by the campaign explorer's invariant
+//! probes and fast tests, where filesystem I/O would dominate).
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+
+/// A flat namespace of append-only blobs plus one atomically-replaced
+/// manifest blob. Only the drainer and admin (query/verify) paths touch a
+/// store; the check path never does.
+pub trait Store: Send {
+    /// Lists blob names (unordered).
+    fn list(&self) -> io::Result<Vec<String>>;
+
+    /// Reads a whole blob.
+    fn read(&self, name: &str) -> io::Result<Vec<u8>>;
+
+    /// Appends bytes to a blob, creating it if absent.
+    fn append(&mut self, name: &str, bytes: &[u8]) -> io::Result<()>;
+
+    /// Durably flushes a blob's appended bytes.
+    fn sync(&mut self, name: &str) -> io::Result<()>;
+
+    /// Atomically replaces a blob's contents and makes the replacement
+    /// durable (write-to-temp, fsync, rename, fsync directory on disk).
+    fn write_atomic(&mut self, name: &str, bytes: &[u8]) -> io::Result<()>;
+
+    /// Truncates a blob to `len` bytes (used by torn-tail recovery).
+    fn truncate(&mut self, name: &str, len: u64) -> io::Result<()>;
+
+    /// Current size of a blob in bytes.
+    fn size(&self, name: &str) -> io::Result<u64>;
+
+    /// Removes a blob (used by recovery to discard unrecoverable empty
+    /// tails). Removing a missing blob is an error.
+    fn remove(&mut self, name: &str) -> io::Result<()>;
+}
+
+/// A directory-backed store. One file per blob; the active segment's
+/// handle is cached so sustained appends do not reopen per batch.
+pub struct DiskStore {
+    dir: PathBuf,
+    active: Option<(String, File)>,
+}
+
+impl DiskStore {
+    /// Opens (creating if needed) the directory.
+    pub fn open(dir: impl AsRef<Path>) -> io::Result<DiskStore> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        Ok(DiskStore { dir, active: None })
+    }
+
+    /// The backing directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn path(&self, name: &str) -> PathBuf {
+        self.dir.join(name)
+    }
+
+    fn open_append(&mut self, name: &str) -> io::Result<&mut File> {
+        let stale = match &self.active {
+            Some((cached, _)) => cached != name,
+            None => true,
+        };
+        if stale {
+            let file = OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(self.path(name))?;
+            self.active = Some((name.to_owned(), file));
+        }
+        Ok(&mut self.active.as_mut().expect("cached handle").1)
+    }
+
+    fn sync_dir(&self) -> io::Result<()> {
+        // Make the rename itself durable, not just the file contents.
+        File::open(&self.dir)?.sync_all()
+    }
+}
+
+impl Store for DiskStore {
+    fn list(&self) -> io::Result<Vec<String>> {
+        let mut names = Vec::new();
+        for dirent in std::fs::read_dir(&self.dir)? {
+            let dirent = dirent?;
+            if dirent.file_type()?.is_file() {
+                if let Ok(name) = dirent.file_name().into_string() {
+                    names.push(name);
+                }
+            }
+        }
+        Ok(names)
+    }
+
+    fn read(&self, name: &str) -> io::Result<Vec<u8>> {
+        let mut bytes = Vec::new();
+        File::open(self.path(name))?.read_to_end(&mut bytes)?;
+        Ok(bytes)
+    }
+
+    fn append(&mut self, name: &str, bytes: &[u8]) -> io::Result<()> {
+        self.open_append(name)?.write_all(bytes)
+    }
+
+    fn sync(&mut self, name: &str) -> io::Result<()> {
+        self.open_append(name)?.sync_all()
+    }
+
+    fn write_atomic(&mut self, name: &str, bytes: &[u8]) -> io::Result<()> {
+        let tmp = self.path(&format!("{name}.tmp"));
+        {
+            let mut file = File::create(&tmp)?;
+            file.write_all(bytes)?;
+            file.sync_all()?;
+        }
+        std::fs::rename(&tmp, self.path(name))?;
+        self.sync_dir()
+    }
+
+    fn truncate(&mut self, name: &str, len: u64) -> io::Result<()> {
+        if matches!(&self.active, Some((cached, _)) if cached == name) {
+            self.active = None;
+        }
+        let file = OpenOptions::new().write(true).open(self.path(name))?;
+        file.set_len(len)?;
+        file.sync_all()
+    }
+
+    fn size(&self, name: &str) -> io::Result<u64> {
+        if let Some((cached, file)) = &self.active {
+            if cached == name {
+                // The cached append handle may hold unflushed metadata;
+                // its own metadata is authoritative.
+                return Ok(file.metadata()?.len());
+            }
+        }
+        Ok(std::fs::metadata(self.path(name))?.len())
+    }
+
+    fn remove(&mut self, name: &str) -> io::Result<()> {
+        if matches!(&self.active, Some((cached, _)) if cached == name) {
+            self.active = None;
+        }
+        std::fs::remove_file(self.path(name))
+    }
+}
+
+/// An in-memory store: a map of named byte vectors. `sync` and the
+/// atomicity of `write_atomic` are trivially satisfied.
+#[derive(Default)]
+pub struct MemStore {
+    blobs: HashMap<String, Vec<u8>>,
+}
+
+impl MemStore {
+    /// Creates an empty store.
+    pub fn new() -> MemStore {
+        MemStore::default()
+    }
+}
+
+impl Store for MemStore {
+    fn list(&self) -> io::Result<Vec<String>> {
+        Ok(self.blobs.keys().cloned().collect())
+    }
+
+    fn read(&self, name: &str) -> io::Result<Vec<u8>> {
+        self.blobs
+            .get(name)
+            .cloned()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, format!("no blob {name}")))
+    }
+
+    fn append(&mut self, name: &str, bytes: &[u8]) -> io::Result<()> {
+        self.blobs
+            .entry(name.to_owned())
+            .or_default()
+            .extend_from_slice(bytes);
+        Ok(())
+    }
+
+    fn sync(&mut self, _name: &str) -> io::Result<()> {
+        Ok(())
+    }
+
+    fn write_atomic(&mut self, name: &str, bytes: &[u8]) -> io::Result<()> {
+        self.blobs.insert(name.to_owned(), bytes.to_vec());
+        Ok(())
+    }
+
+    fn truncate(&mut self, name: &str, len: u64) -> io::Result<()> {
+        match self.blobs.get_mut(name) {
+            Some(blob) => {
+                blob.truncate(len as usize);
+                Ok(())
+            }
+            None => Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("no blob {name}"),
+            )),
+        }
+    }
+
+    fn size(&self, name: &str) -> io::Result<u64> {
+        self.blobs
+            .get(name)
+            .map(|b| b.len() as u64)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, format!("no blob {name}")))
+    }
+
+    fn remove(&mut self, name: &str) -> io::Result<()> {
+        self.blobs
+            .remove(name)
+            .map(|_| ())
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, format!("no blob {name}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise(store: &mut dyn Store) {
+        store.append("a", b"hello ").unwrap();
+        store.append("a", b"world").unwrap();
+        store.sync("a").unwrap();
+        assert_eq!(store.read("a").unwrap(), b"hello world");
+        assert_eq!(store.size("a").unwrap(), 11);
+        store.truncate("a", 5).unwrap();
+        assert_eq!(store.read("a").unwrap(), b"hello");
+        store.write_atomic("m", b"{}").unwrap();
+        store.write_atomic("m", b"{\"v\":1}").unwrap();
+        assert_eq!(store.read("m").unwrap(), b"{\"v\":1}");
+        let mut names = store.list().unwrap();
+        names.sort();
+        assert_eq!(names, ["a", "m"]);
+        assert!(store.read("missing").is_err());
+        store.append("gone", b"x").unwrap();
+        store.remove("gone").unwrap();
+        assert!(store.read("gone").is_err());
+        assert!(store.remove("gone").is_err());
+    }
+
+    #[test]
+    fn mem_store_contract() {
+        exercise(&mut MemStore::new());
+    }
+
+    #[test]
+    fn disk_store_contract() {
+        let dir = std::env::temp_dir().join(format!(
+            "extsec-audit-store-{}-{:x}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        let mut store = DiskStore::open(&dir).unwrap();
+        exercise(&mut store);
+        drop(store);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -81,6 +81,14 @@ pub fn explore(spec: &WorldSpec, cfg: &ExploreConfig) -> Outcome {
             break;
         }
     }
+    // Final audit sweep: the chain and its gap accounting must still
+    // verify after the last op, not just at the periodic checkpoints.
+    if violation.is_none() {
+        if let Err(v) = session.check_audit() {
+            campaign.expect = Some(v.invariant);
+            violation = Some(v);
+        }
+    }
     let faults = session.finish();
     Outcome {
         campaign,

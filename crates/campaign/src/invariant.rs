@@ -6,8 +6,8 @@
 //! runs, instead of maintaining parallel ad-hoc assertions.
 
 use extsec_core::{
-    AccessMode, Acl, Decision, ExtError, HealthReport, HealthState, NsPath, PrincipalId,
-    ReferenceMonitor, Subject, Value,
+    AccessMode, Acl, AuditQuery, Decision, ExtError, HealthReport, HealthState, NsPath,
+    PrincipalId, ReferenceMonitor, Subject, Value,
 };
 use std::collections::BTreeMap;
 use std::fmt;
@@ -31,6 +31,11 @@ pub enum Invariant {
     CacheCoherence,
     /// An injected fault minted a grant the fault-free oracle denies.
     FailClosed,
+    /// The audit pipeline's persisted record of the campaign is not
+    /// gap-accounted: the hash chain failed to verify, a sequence
+    /// number is neither persisted nor covered by a declared gap, or a
+    /// gap was declared with nothing shed.
+    AuditGap,
 }
 
 impl fmt::Display for Invariant {
@@ -41,6 +46,7 @@ impl fmt::Display for Invariant {
             Invariant::QuarantineBypass => "quarantine-bypass",
             Invariant::CacheCoherence => "cache-coherence",
             Invariant::FailClosed => "fail-closed",
+            Invariant::AuditGap => "audit-gap",
         };
         write!(f, "{name}")
     }
@@ -55,6 +61,7 @@ impl FromStr for Invariant {
             "quarantine-bypass" => Ok(Invariant::QuarantineBypass),
             "cache-coherence" => Ok(Invariant::CacheCoherence),
             "fail-closed" => Ok(Invariant::FailClosed),
+            "audit-gap" => Ok(Invariant::AuditGap),
             other => Err(format!("unknown invariant {other:?}")),
         }
     }
@@ -214,6 +221,85 @@ pub fn quarantine_honoured(
             ),
         )),
     }
+}
+
+/// Audit gap-freedom: the attached pipeline's persisted log is a
+/// tamper-evident, fully accounted record of the session so far. The
+/// hash chain must re-derive intact, and the persisted events plus the
+/// declared gaps must tile `0..next_seq` exactly — every sequence
+/// number the ring ever assigned is either on disk or covered by an
+/// explicit loss declaration, never silently missing and never
+/// double-covered. When the pipeline's counters show nothing was shed
+/// or dropped late, declared gaps are themselves a violation: a
+/// lossless run must persist a gap-free chain. Vacuous when no
+/// pipeline is attached.
+pub fn audit_gap_free(monitor: &ReferenceMonitor) -> Result<(), Violation> {
+    if monitor.audit_pipeline().is_none() {
+        return Ok(());
+    }
+    let fail = |detail: String| Violation::new(Invariant::AuditGap, detail);
+
+    let report = monitor
+        .audit_verify()
+        .map_err(|e| fail(format!("chain verification errored: {e}")))?;
+    if !report.ok {
+        let broken: Vec<String> = report
+            .segments
+            .iter()
+            .filter(|s| !s.status.is_ok())
+            .map(|s| format!("{} {:?}", s.name, s.status))
+            .collect();
+        return Err(fail(format!(
+            "chain integrity broken: [{}]",
+            broken.join(", ")
+        )));
+    }
+
+    // Drain every query page: events as unit ranges, declared gaps as
+    // their spans. Sorted, they must tile the space below the cursor.
+    let mut covered: Vec<(u64, u64)> = Vec::new();
+    let mut gap_ranges = 0u64;
+    let mut query = AuditQuery::default();
+    let end = loop {
+        let page = monitor
+            .audit_query(&query)
+            .map_err(|e| fail(format!("audit query errored: {e}")))?;
+        covered.extend(page.records.iter().map(|r| (r.seq, r.seq)));
+        covered.extend(page.gaps.iter().map(|g| (g.first, g.last)));
+        gap_ranges += page.gaps.len() as u64;
+        if !page.truncated {
+            break page.next_seq;
+        }
+        query.seq_min = page.next_seq;
+    };
+
+    covered.sort_unstable();
+    let mut expect = 0u64;
+    for (first, last) in covered {
+        if first != expect || last < first {
+            return Err(fail(format!(
+                "coverage hole or overlap at seq {expect}: next covered range is \
+                 {first}..={last}"
+            )));
+        }
+        expect = last + 1;
+    }
+    if expect != end {
+        return Err(fail(format!(
+            "coverage stops at seq {expect} but the persisted cursor is {end}"
+        )));
+    }
+
+    // Stats are read last: by now every event shed before the query's
+    // flush barrier has had its gap declared, so a lossless session
+    // must show a literally gap-free log.
+    let stats = monitor.audit_pipeline_stats().unwrap_or_default();
+    if stats.shed == 0 && stats.late_dropped == 0 && gap_ranges > 0 {
+        return Err(fail(format!(
+            "nothing was shed, yet {gap_ranges} gap range(s) were declared"
+        )));
+    }
+    Ok(())
 }
 
 /// The revocation ledger: for each leaf with a completed guarded

@@ -18,7 +18,9 @@
 //! * [`invariant`] — the machine-checked invariants: no stale grant
 //!   after revoke, no MAC lattice-flow violation on an allowed check,
 //!   no quarantine bypass, decision-cache coherence against the
-//!   uncached oracle, and fail-closed under injected faults.
+//!   uncached oracle, fail-closed under injected faults, and audit
+//!   gap-freedom (the session's hash-chained audit log verifies with
+//!   every sequence number persisted or gap-declared).
 //! * [`explorer`] — guided traversal: weighted operation selection
 //!   biased toward (principal, leaf) pairs whose decisions recently
 //!   flipped, with every probe checked against all invariants.
@@ -45,8 +47,8 @@ pub mod world;
 
 pub use explorer::{explore, ExploreConfig, Outcome};
 pub use invariant::{
-    coherent, fail_closed, is_injected_denial, mac_flow, quarantine_honoured, Invariant,
-    RevocationLedger, Violation,
+    audit_gap_free, coherent, fail_closed, is_injected_denial, mac_flow, quarantine_honoured,
+    Invariant, RevocationLedger, Violation,
 };
 pub use op::{Campaign, Mutant, Op, Storm};
 pub use session::{Session, SessionStats};

@@ -4,13 +4,16 @@
 //! through an identical session, so the two cannot drift apart.
 
 use crate::invariant::{
-    coherent, is_injected_denial, mac_flow, quarantine_honoured, Invariant, RevocationLedger,
-    Violation,
+    audit_gap_free, coherent, is_injected_denial, mac_flow, quarantine_honoured, Invariant,
+    RevocationLedger, Violation,
 };
 use crate::op::Op;
 use crate::world::{World, WorldSpec};
-use extsec_core::{faults, AccessMode, Acl, Decision, FaultPlan, FaultStats, Who};
+use extsec_core::{
+    faults, AccessMode, Acl, AuditPipeline, Decision, FaultPlan, FaultStats, PipelineConfig, Who,
+};
 use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Counters a session keeps while applying ops.
@@ -35,6 +38,12 @@ pub struct SessionStats {
 const REPROBE_LEAVES: usize = 4;
 const HOT_CAP: usize = 32;
 
+/// How often (in applied ops) the session re-verifies the audit chain
+/// and its gap accounting. The full check flushes the drainer and
+/// re-derives every segment hash, so it is periodic, not per-op; the
+/// explorer and replay also run it once at campaign end.
+const AUDIT_CHECK_INTERVAL: usize = 512;
+
 /// A running campaign: world, revocation ledger, probe memory, and the
 /// process-global fault plan (installed on start, cleared on finish or
 /// drop).
@@ -58,6 +67,16 @@ impl Session {
     /// campaign), then installs `plan` if one is given.
     pub fn start(spec: &WorldSpec, plan: Option<FaultPlan>, storm: bool) -> Session {
         let world = World::build(spec);
+        // Campaign sessions run audited: an in-memory pipeline (queue
+        // sized so single-threaded probing never sheds) records every
+        // probe the invariants make, and [`audit_gap_free`] re-verifies
+        // the chain and its gap accounting as the campaign runs.
+        world
+            .monitor
+            .attach_audit_pipeline(Arc::new(AuditPipeline::in_memory(PipelineConfig {
+                queue_capacity: 1 << 16,
+                ..PipelineConfig::default()
+            })));
         let plan_installed = plan.is_some();
         if let Some(plan) = plan {
             faults::install(plan);
@@ -220,7 +239,19 @@ impl Session {
         if mutated {
             self.reprobe()?;
         }
+        if self.step.is_multiple_of(AUDIT_CHECK_INTERVAL) {
+            self.check_audit()?;
+        }
         Ok(())
+    }
+
+    /// Verifies the audit pipeline's chain integrity and gap
+    /// accounting ([`audit_gap_free`]), stamping any violation with the
+    /// current step. The explorer and replay call this once more at
+    /// campaign end, so a gap introduced after the last periodic check
+    /// still fails the campaign.
+    pub fn check_audit(&self) -> Result<(), Violation> {
+        audit_gap_free(&self.world.monitor).map_err(|v| v.at_step(self.step))
     }
 
     /// The guarded revocation: read the leaf's current protection,

@@ -22,6 +22,11 @@ pub fn replay(campaign: &Campaign) -> Option<Violation> {
             break;
         }
     }
+    // Mirror the explorer's end-of-campaign audit sweep, so a campaign
+    // whose violation fired there still reproduces under replay.
+    if violation.is_none() {
+        violation = session.check_audit().err();
+    }
     session.finish();
     violation
 }

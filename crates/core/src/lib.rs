@@ -70,11 +70,13 @@ pub use extsec_mac::{
 };
 pub use extsec_namespace::{NameSpace, NodeKind, NsPath, Protection};
 pub use extsec_refmon::{
-    AuditEvent, AuditLog, AuditStats, CacheStats, Decision, DenyReason, DispatchOutcome,
-    FloatingSubject, HistogramSnapshot, JsonSink, JsonSnapshot, JsonStage, LastSnapshotSink,
-    MacInteraction, MonitorBuilder, MonitorConfig, MonitorError, MonitorView, PolicyEngine,
-    ReferenceMonitor, ServiceKind, Stage, StageSnapshot, Subject, Telemetry, TelemetrySink,
-    TelemetrySnapshot, ThreadId,
+    AuditAccessError, AuditEvent, AuditLog, AuditPipeline, AuditQuery, AuditRecord, AuditSink,
+    AuditSnapshot, AuditStats, CacheStats, Decision, DenyReason, DispatchOutcome, FloatingSubject,
+    GapRange, HistogramSnapshot, JsonSink, JsonSnapshot, JsonStage, LastSnapshotSink,
+    MacInteraction, MonitorBuilder, MonitorConfig, MonitorError, MonitorView, Outcome,
+    PipelineConfig, PipelineStats, PolicyEngine, QueryResult, ReferenceMonitor, SegmentReport,
+    SegmentStatus, ServiceKind, Stage, StageSnapshot, Subject, Telemetry, TelemetrySink,
+    TelemetrySnapshot, ThreadId, VerifyReport,
 };
 pub use extsec_services::{
     AppletService, ClockService, ConsoleService, FsService, MbufService, NetService, VfsService,

@@ -579,6 +579,7 @@ impl ExtRuntime {
                     "quarantine: {what} (cause: {})",
                     info.cause
                 ))),
+                self.monitor.policy_generation(),
             );
         }
     }

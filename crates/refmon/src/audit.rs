@@ -4,7 +4,11 @@
 //! the aspects a complete security model must eventually cover. The
 //! [`AuditLog`] is a bounded in-memory ring of [`AuditEvent`]s; an optional
 //! crossbeam channel sink lets a deployment stream events to an external
-//! consumer without the monitor ever blocking on it.
+//! consumer without the monitor ever blocking on it, and an optional
+//! [`AuditSink`](extsec_auditlog::AuditSink) feeds the tamper-evident
+//! persistent pipeline (`extsec-auditlog`) — one non-blocking `try_send`
+//! per recorded decision, shed (and counted, and later declared as a
+//! chained gap) when the drainer falls behind.
 //!
 //! The ring is *sharded*: events land in one of a fixed set of per-shard
 //! rings (each behind its own small mutex), picked per recording thread,
@@ -17,10 +21,11 @@
 //! pushes the log over capacity evicts the oldest events of its own shard,
 //! which keeps eviction lock-local while still bounding the whole log.
 
-use crate::decision::Decision;
+use crate::decision::{Decision, DenyReason};
 use crate::subject::{Subject, ThreadId};
-use crossbeam::channel::Sender;
+use crossbeam::channel::{Sender, TrySendError};
 use extsec_acl::{AccessMode, PrincipalId};
+use extsec_auditlog::{AuditRecord, AuditSink, Outcome};
 use extsec_namespace::NsPath;
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
@@ -43,14 +48,22 @@ pub struct AuditEvent {
     pub mode: AccessMode,
     /// The decision taken.
     pub decision: Decision,
+    /// The policy generation the decision was evaluated under.
+    pub generation: u64,
 }
 
 impl fmt::Display for AuditEvent {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "#{} {}@{} {} {} -> {}",
-            self.seq, self.principal, self.thread, self.mode, self.path, self.decision
+            "#{} g{} {}@{} {} {} -> {}",
+            self.seq,
+            self.generation,
+            self.principal,
+            self.thread,
+            self.mode,
+            self.path,
+            self.decision
         )
     }
 }
@@ -74,10 +87,21 @@ pub struct AuditStats {
     pub retained: usize,
     /// Events evicted from the ring to stay under capacity.
     pub ring_dropped: u64,
-    /// Events the optional channel sink refused (full or disconnected).
-    pub sink_dropped: u64,
+    /// Events the optional channel sink refused because it was at
+    /// capacity (backpressure — the consumer exists but lags).
+    pub sink_full: u64,
+    /// Events the optional channel sink refused because every receiver
+    /// was gone (a dead consumer — very different operationally).
+    pub sink_disconnected: u64,
     /// Per-shard retained/dropped breakdown.
     pub shards: Vec<AuditShardStats>,
+}
+
+impl AuditStats {
+    /// Total events the channel sink refused, either way.
+    pub fn sink_dropped(&self) -> u64 {
+        self.sink_full + self.sink_disconnected
+    }
 }
 
 /// One shard: its own ring behind its own lock, plus its eviction count.
@@ -118,11 +142,16 @@ pub struct AuditLog {
     seq: AtomicU64,
     /// Events retained across all shards; the capacity bound.
     retained: AtomicUsize,
-    sink_dropped: AtomicU64,
+    sink_full: AtomicU64,
+    sink_disconnected: AtomicU64,
     /// Fast-path flag so `record` never touches the sink mutex while no
     /// sink is attached.
     sink_attached: AtomicBool,
     sink: Mutex<Option<Sender<AuditEvent>>>,
+    /// Fast-path flag for the persistent pipeline, same discipline as
+    /// `sink_attached`.
+    pipeline_attached: AtomicBool,
+    pipeline: Mutex<Option<AuditSink>>,
 }
 
 impl AuditLog {
@@ -170,9 +199,12 @@ impl AuditLog {
             capacity,
             seq: AtomicU64::new(0),
             retained: AtomicUsize::new(0),
-            sink_dropped: AtomicU64::new(0),
+            sink_full: AtomicU64::new(0),
+            sink_disconnected: AtomicU64::new(0),
             sink_attached: AtomicBool::new(false),
             sink: Mutex::new(None),
+            pipeline_attached: AtomicBool::new(false),
+            pipeline: Mutex::new(None),
         }
     }
 
@@ -184,6 +216,22 @@ impl AuditLog {
         self.sink_attached.store(true, Ordering::Release);
     }
 
+    /// Attaches the persistent pipeline's producer handle; every
+    /// subsequent event is also offered there (one non-blocking
+    /// `try_send`; overflow sheds, is counted by the pipeline, and later
+    /// becomes a tamper-evident gap entry in the chained log).
+    pub fn set_pipeline(&self, sink: AuditSink) {
+        *self.pipeline.lock() = Some(sink);
+        self.pipeline_attached.store(true, Ordering::Release);
+    }
+
+    /// Advances the sequence counter to at least `seq`. Called when
+    /// attaching a recovered pipeline so sequence numbers stay globally
+    /// monotone across restarts instead of replaying persisted ones.
+    pub fn advance_seq_to(&self, seq: u64) {
+        self.seq.fetch_max(seq, Ordering::Relaxed);
+    }
+
     /// Records a decision; returns the event's sequence number.
     pub fn record(
         &self,
@@ -191,6 +239,7 @@ impl AuditLog {
         path: &NsPath,
         mode: AccessMode,
         decision: &Decision,
+        generation: u64,
     ) -> u64 {
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
         let event = AuditEvent {
@@ -200,11 +249,30 @@ impl AuditLog {
             path: path.clone(),
             mode,
             decision: decision.clone(),
+            generation,
         };
+        if self.pipeline_attached.load(Ordering::Acquire) {
+            if let Some(sink) = self.pipeline.lock().as_ref() {
+                sink.offer(AuditRecord {
+                    seq,
+                    principal: subject.principal.raw(),
+                    generation,
+                    mode: mode as u8,
+                    outcome: outcome_of(decision),
+                    path: path.to_string(),
+                });
+            }
+        }
         if self.sink_attached.load(Ordering::Acquire) {
             if let Some(sink) = self.sink.lock().as_ref() {
-                if sink.try_send(event.clone()).is_err() {
-                    self.sink_dropped.fetch_add(1, Ordering::Relaxed);
+                match sink.try_send(event.clone()) {
+                    Ok(()) => {}
+                    Err(TrySendError::Full(_)) => {
+                        self.sink_full.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(TrySendError::Disconnected(_)) => {
+                        self.sink_disconnected.fetch_add(1, Ordering::Relaxed);
+                    }
                 }
             }
         }
@@ -242,7 +310,8 @@ impl AuditLog {
             .iter()
             .map(|s| s.dropped.load(Ordering::Relaxed))
             .sum();
-        ring + self.sink_dropped.load(Ordering::Relaxed)
+        ring + self.sink_full.load(Ordering::Relaxed)
+            + self.sink_disconnected.load(Ordering::Relaxed)
     }
 
     /// Returns the retained events merged across shards into sequence
@@ -293,9 +362,26 @@ impl AuditLog {
             capacity: self.capacity,
             retained: shards.iter().map(|s| s.retained).sum(),
             ring_dropped: shards.iter().map(|s| s.dropped).sum(),
-            sink_dropped: self.sink_dropped.load(Ordering::Relaxed),
+            sink_full: self.sink_full.load(Ordering::Relaxed),
+            sink_disconnected: self.sink_disconnected.load(Ordering::Relaxed),
             shards,
         }
+    }
+}
+
+/// Maps a monitor [`Decision`] onto the compact persisted [`Outcome`].
+pub fn outcome_of(decision: &Decision) -> Outcome {
+    match decision {
+        Decision::Allow => Outcome::Allow,
+        Decision::Deny(reason) => match reason {
+            DenyReason::DacNoEntry => Outcome::DacNoEntry,
+            DenyReason::DacNegativeEntry(_) => Outcome::DacNegative,
+            DenyReason::MacFlow => Outcome::MacFlow,
+            DenyReason::NotVisibleDac(_) => Outcome::NotVisibleDac,
+            DenyReason::NotVisibleMac(_) => Outcome::NotVisibleMac,
+            DenyReason::NotFound(_) => Outcome::NotFound,
+            DenyReason::Structure(_) => Outcome::Structure,
+        },
     }
 }
 
@@ -323,12 +409,13 @@ mod tests {
     fn records_in_order() {
         let log = AuditLog::new();
         let s = subject();
-        let a = log.record(&s, &path(), AccessMode::Read, &Decision::Allow);
+        let a = log.record(&s, &path(), AccessMode::Read, &Decision::Allow, 0);
         let b = log.record(
             &s,
             &path(),
             AccessMode::Write,
             &Decision::Deny(DenyReason::DacNoEntry),
+            0,
         );
         assert!(b > a);
         let events = log.snapshot();
@@ -342,7 +429,7 @@ mod tests {
         let log = AuditLog::with_capacity(2);
         let s = subject();
         for _ in 0..5 {
-            log.record(&s, &path(), AccessMode::Read, &Decision::Allow);
+            log.record(&s, &path(), AccessMode::Read, &Decision::Allow, 0);
         }
         assert_eq!(log.len(), 2);
         assert_eq!(log.dropped(), 3);
@@ -361,7 +448,7 @@ mod tests {
         let log = AuditLog::with_capacity(CAPACITY);
         let s = subject();
         for _ in 0..CAPACITY + OVERFLOW {
-            log.record(&s, &path(), AccessMode::Read, &Decision::Allow);
+            log.record(&s, &path(), AccessMode::Read, &Decision::Allow, 0);
         }
         assert_eq!(log.len(), CAPACITY);
         assert_eq!(log.dropped(), OVERFLOW as u64);
@@ -378,13 +465,13 @@ mod tests {
         let log = AuditLog::with_capacity(2);
         let s = subject();
         for _ in 0..5 {
-            log.record(&s, &path(), AccessMode::Read, &Decision::Allow);
+            log.record(&s, &path(), AccessMode::Read, &Decision::Allow, 0);
         }
         let stats = log.stats();
         assert_eq!(stats.capacity, 2);
         assert_eq!(stats.retained, 2);
         assert_eq!(stats.ring_dropped, 3);
-        assert_eq!(stats.sink_dropped, 0);
+        assert_eq!(stats.sink_dropped(), 0);
         assert_eq!(stats.shards.len(), 1, "tiny logs stay single-sharded");
         // Per-shard counters add up to the totals.
         assert_eq!(
@@ -402,7 +489,7 @@ mod tests {
                 std::thread::spawn(move || {
                     let s = subject();
                     for _ in 0..100 {
-                        log.record(&s, &path(), AccessMode::Read, &Decision::Allow);
+                        log.record(&s, &path(), AccessMode::Read, &Decision::Allow, 0);
                     }
                 })
             })
@@ -419,12 +506,13 @@ mod tests {
     fn denials_filter() {
         let log = AuditLog::new();
         let s = subject();
-        log.record(&s, &path(), AccessMode::Read, &Decision::Allow);
+        log.record(&s, &path(), AccessMode::Read, &Decision::Allow, 0);
         log.record(
             &s,
             &path(),
             AccessMode::Write,
             &Decision::Deny(DenyReason::MacFlow),
+            0,
         );
         let denials = log.denials();
         assert_eq!(denials.len(), 1);
@@ -436,7 +524,7 @@ mod tests {
         let log = AuditLog::new();
         let (tx, rx) = crossbeam::channel::unbounded();
         log.set_sink(tx);
-        log.record(&subject(), &path(), AccessMode::Read, &Decision::Allow);
+        log.record(&subject(), &path(), AccessMode::Read, &Decision::Allow, 0);
         let event = rx.try_recv().unwrap();
         assert_eq!(event.mode, AccessMode::Read);
     }
@@ -447,23 +535,24 @@ mod tests {
         let (tx, _rx) = crossbeam::channel::bounded(1);
         log.set_sink(tx);
         let s = subject();
-        log.record(&s, &path(), AccessMode::Read, &Decision::Allow);
+        log.record(&s, &path(), AccessMode::Read, &Decision::Allow, 0);
         // Second send fails (bounded channel full, receiver not draining)
         // but record still succeeds.
-        log.record(&s, &path(), AccessMode::Read, &Decision::Allow);
+        log.record(&s, &path(), AccessMode::Read, &Decision::Allow, 0);
         assert_eq!(log.len(), 2);
         assert_eq!(log.dropped(), 1);
-        assert_eq!(log.stats().sink_dropped, 1);
+        assert_eq!(log.stats().sink_full, 1);
+        assert_eq!(log.stats().sink_disconnected, 0);
     }
 
     #[test]
     fn clear_keeps_sequence_monotone() {
         let log = AuditLog::new();
         let s = subject();
-        log.record(&s, &path(), AccessMode::Read, &Decision::Allow);
+        log.record(&s, &path(), AccessMode::Read, &Decision::Allow, 0);
         log.clear();
         assert!(log.is_empty());
-        let seq = log.record(&s, &path(), AccessMode::Read, &Decision::Allow);
+        let seq = log.record(&s, &path(), AccessMode::Read, &Decision::Allow, 0);
         assert_eq!(seq, 1);
     }
 }

@@ -81,7 +81,7 @@ pub mod policy;
 pub mod snapshot;
 pub mod subject;
 
-pub use audit::{AuditEvent, AuditLog, AuditShardStats, AuditStats};
+pub use audit::{outcome_of, AuditEvent, AuditLog, AuditShardStats, AuditStats};
 pub use bundle::{
     BundleError, BundleId, BundleStatusReport, FlipRecord, Generation, ShadowReport, StagedBundle,
 };
@@ -90,13 +90,17 @@ pub use config::{MacInteraction, MonitorConfig};
 pub use decision::{Decision, DenyReason};
 pub use error::{Error, MonitorError};
 pub use explain::{ExplainStep, Explanation};
+pub use extsec_auditlog::{
+    AuditPipeline, AuditQuery, AuditRecord, AuditSink, GapRange, Outcome, PipelineConfig,
+    PipelineStats, QueryResult, SegmentReport, SegmentStatus, VerifyReport,
+};
 pub use extsec_telemetry::{
-    DispatchOutcome, ExtFault, HistogramSnapshot, JsonSink, JsonSnapshot, JsonStage,
+    AuditSnapshot, DispatchOutcome, ExtFault, HistogramSnapshot, JsonSink, JsonSnapshot, JsonStage,
     LastSnapshotSink, ServiceKind, Stage, StageSnapshot, Telemetry, TelemetrySink,
     TelemetrySnapshot,
 };
 pub use floating::FloatingSubject;
-pub use monitor::{MonitorBuilder, MonitorView, ReferenceMonitor};
+pub use monitor::{AuditAccessError, MonitorBuilder, MonitorView, ReferenceMonitor};
 pub use policy::PolicyEngine;
 pub use snapshot::{NodeRecord, PolicySnapshot};
 pub use subject::{Subject, ThreadId};

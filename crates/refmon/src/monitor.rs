@@ -24,9 +24,10 @@ use crate::decision::{Decision, DenyReason};
 use crate::error::MonitorError;
 use crate::subject::Subject;
 use extsec_acl::{AccessMode, Acl, AclDecision, AclEntry, Directory, GroupId, PrincipalId};
+use extsec_auditlog::{AuditPipeline, AuditQuery, PipelineStats, QueryResult, VerifyReport};
 use extsec_mac::{FlowCheck, Lattice, SecurityClass};
 use extsec_namespace::{NameSpace, NodeId, NodeKind, NsError, NsPath, Protection};
-use extsec_telemetry::{Stage, Telemetry, TelemetrySnapshot};
+use extsec_telemetry::{AuditSnapshot, Stage, Telemetry, TelemetrySnapshot};
 use parking_lot::Mutex;
 use std::cell::RefCell;
 use std::collections::{HashMap, HashSet, VecDeque};
@@ -157,6 +158,42 @@ impl MonitorBuilder {
             Acl::public(extsec_acl::ModeSet::only(AccessMode::List)),
             SecurityClass::bottom(),
         );
+        let audit = Arc::new(AuditLog::new());
+        let audit_pipeline: Arc<Mutex<Option<Arc<AuditPipeline>>>> = Arc::new(Mutex::new(None));
+        let telemetry = Telemetry::new();
+        // Audit-chain health rides in every telemetry snapshot: the
+        // source is pulled on the snapshotting thread, never on a check.
+        telemetry.set_audit_source({
+            let audit = Arc::clone(&audit);
+            let pipeline = Arc::clone(&audit_pipeline);
+            Arc::new(move || {
+                let ring = audit.stats();
+                let mut snap = AuditSnapshot {
+                    ring_capacity: ring.capacity as u64,
+                    ring_retained: ring.retained as u64,
+                    ring_dropped: ring.ring_dropped,
+                    sink_full: ring.sink_full,
+                    sink_disconnected: ring.sink_disconnected,
+                    ..AuditSnapshot::default()
+                };
+                let pipeline = pipeline.lock().clone();
+                if let Some(pipeline) = pipeline {
+                    let stats = pipeline.stats();
+                    snap.pipeline_attached = true;
+                    snap.pipeline_enqueued = stats.enqueued;
+                    snap.pipeline_shed = stats.shed;
+                    snap.pipeline_late_dropped = stats.late_dropped;
+                    snap.pipeline_persisted = stats.persisted_events;
+                    snap.pipeline_gap_records = stats.gap_records;
+                    snap.pipeline_gap_missing = stats.gap_missing;
+                    snap.pipeline_segments_sealed = stats.segments_sealed;
+                    snap.pipeline_io_errors = stats.io_errors;
+                    snap.pipeline_queue_depth = stats.queue_depth;
+                    snap.pipeline_next_seq = stats.next_seq;
+                }
+                snap
+            })
+        });
         Arc::new(ReferenceMonitor {
             published: Mutex::new(Arc::new(State {
                 namespace: NameSpace::new(root_protection),
@@ -168,9 +205,10 @@ impl MonitorBuilder {
             })),
             version: AtomicU64::new(0),
             id: next_monitor_id(),
-            audit: AuditLog::new(),
+            audit,
+            audit_pipeline,
             cache: DecisionCache::new(),
-            telemetry: Telemetry::new(),
+            telemetry,
             bundles: Mutex::new(BundleRegistry::default()),
             shadow_stats: Mutex::new(ShadowStats::default()),
         })
@@ -195,7 +233,13 @@ pub struct ReferenceMonitor {
     version: AtomicU64,
     /// Process-unique monitor identity for the thread-local pins.
     id: u64,
-    audit: AuditLog,
+    audit: Arc<AuditLog>,
+    /// The attached persistent audit pipeline, if any. Behind an `Arc`'d
+    /// mutex so the telemetry audit source (a `'static` closure) can
+    /// share the slot. Admin and snapshot paths only; the check path
+    /// reaches the pipeline through the `AuditSink` handle the ring
+    /// holds, never through this lock.
+    audit_pipeline: Arc<Mutex<Option<Arc<AuditPipeline>>>>,
     /// Memoized decisions, stamped with the policy generation. Mutators
     /// advance the generation inside the publish critical section and the
     /// new generation is stamped into the snapshot they publish, so a
@@ -429,7 +473,8 @@ impl ReferenceMonitor {
         };
         if state.config.audit {
             let audit_t = self.telemetry.start();
-            self.audit.record(subject, path, mode, &decision);
+            self.audit
+                .record(subject, path, mode, &decision, state.generation.raw());
             self.telemetry.finish(Stage::Audit, audit_t);
         }
         decision
@@ -446,7 +491,8 @@ impl ReferenceMonitor {
         let decision = Self::evaluate(state, subject, path, mode, &self.telemetry);
         if state.config.audit {
             let audit_t = self.telemetry.start();
-            self.audit.record(subject, path, mode, &decision);
+            self.audit
+                .record(subject, path, mode, &decision, state.generation.raw());
             self.telemetry.finish(Stage::Audit, audit_t);
         }
         decision
@@ -664,8 +710,13 @@ impl ReferenceMonitor {
             &self.telemetry,
         );
         if slot.config.audit {
-            self.audit
-                .record(subject, parent, AccessMode::WriteAppend, &decision);
+            self.audit.record(
+                subject,
+                parent,
+                AccessMode::WriteAppend,
+                &decision,
+                slot.generation.raw(),
+            );
         }
         decision.into_result()?;
         slot.lattice.validate(&protection.label)?;
@@ -683,8 +734,13 @@ impl ReferenceMonitor {
         let mut slot = self.published.lock();
         let decision = Self::evaluate(&slot, subject, path, AccessMode::Delete, &self.telemetry);
         if slot.config.audit {
-            self.audit
-                .record(subject, path, AccessMode::Delete, &decision);
+            self.audit.record(
+                subject,
+                path,
+                AccessMode::Delete,
+                &decision,
+                slot.generation.raw(),
+            );
         }
         decision.into_result()?;
         let state = Arc::make_mut(&mut slot);
@@ -714,8 +770,13 @@ impl ReferenceMonitor {
     ) -> Result<Vec<String>, MonitorError> {
         let decision = Self::evaluate(state, subject, path, AccessMode::List, &self.telemetry);
         if state.config.audit {
-            self.audit
-                .record(subject, path, AccessMode::List, &decision);
+            self.audit.record(
+                subject,
+                path,
+                AccessMode::List,
+                &decision,
+                state.generation.raw(),
+            );
         }
         decision.into_result()?;
         Ok(state.namespace.list(path)?)
@@ -805,8 +866,13 @@ impl ReferenceMonitor {
             &self.telemetry,
         );
         if slot.config.audit {
-            self.audit
-                .record(subject, path, AccessMode::Administrate, &decision);
+            self.audit.record(
+                subject,
+                path,
+                AccessMode::Administrate,
+                &decision,
+                slot.generation.raw(),
+            );
         }
         decision.into_result()?;
         let id = slot.namespace.resolve(path)?;
@@ -1226,6 +1292,64 @@ impl ReferenceMonitor {
         self.audit.stats()
     }
 
+    /// The raw policy generation currently published (bumped by every
+    /// successful mutation). This is the value stamped into audit
+    /// records.
+    pub fn policy_generation(&self) -> u64 {
+        self.with_snapshot(|state| state.generation.raw())
+    }
+
+    /// Attaches a persistent audit pipeline: every subsequent recorded
+    /// decision is also offered (one non-blocking `try_send`) to the
+    /// pipeline's drainer, which compacts it into hash-chained on-disk
+    /// segments. The ring's sequence counter is advanced to the
+    /// pipeline's recovered `next_seq` so sequence numbers stay globally
+    /// monotone across restarts; any events recorded *before* attachment
+    /// were never offered and simply become a declared gap.
+    pub fn attach_audit_pipeline(&self, pipeline: Arc<AuditPipeline>) {
+        self.audit.advance_seq_to(pipeline.next_seq());
+        self.audit.set_pipeline(pipeline.sink());
+        *self.audit_pipeline.lock() = Some(pipeline);
+    }
+
+    /// The attached persistent audit pipeline, if any.
+    pub fn audit_pipeline(&self) -> Option<Arc<AuditPipeline>> {
+        self.audit_pipeline.lock().clone()
+    }
+
+    /// Flushes the attached pipeline: blocks until everything offered so
+    /// far is persisted (with still-missing sequence numbers declared as
+    /// gaps) and the active tail is fsync'd.
+    pub fn audit_flush(&self) -> Result<(), AuditAccessError> {
+        self.audit_pipeline()
+            .ok_or(AuditAccessError::Unattached)?
+            .flush()
+            .map_err(AuditAccessError::Io)
+    }
+
+    /// Runs a bounded, filtered query over the persisted audit log.
+    /// Flushes first so the result covers everything recorded before the
+    /// call.
+    pub fn audit_query(&self, query: &AuditQuery) -> Result<QueryResult, AuditAccessError> {
+        let pipeline = self.audit_pipeline().ok_or(AuditAccessError::Unattached)?;
+        pipeline.flush().map_err(AuditAccessError::Io)?;
+        pipeline.query(query).map_err(AuditAccessError::Io)
+    }
+
+    /// Re-derives the persisted audit chain end to end and reports
+    /// per-segment integrity. Flushes first so the report covers
+    /// everything recorded before the call.
+    pub fn audit_verify(&self) -> Result<VerifyReport, AuditAccessError> {
+        let pipeline = self.audit_pipeline().ok_or(AuditAccessError::Unattached)?;
+        pipeline.flush().map_err(AuditAccessError::Io)?;
+        pipeline.verify().map_err(AuditAccessError::Io)
+    }
+
+    /// The attached pipeline's counters, if a pipeline is attached.
+    pub fn audit_pipeline_stats(&self) -> Option<PipelineStats> {
+        self.audit_pipeline().map(|p| p.stats())
+    }
+
     /// Returns the pipeline telemetry hub: toggle collection with
     /// [`Telemetry::set_enabled`], register sinks, or read counters.
     /// Collection starts disabled and costs one relaxed atomic load per
@@ -1252,6 +1376,26 @@ impl ReferenceMonitor {
         })
     }
 }
+
+/// Why an audit query/verify/flush call could not be served.
+#[derive(Debug)]
+pub enum AuditAccessError {
+    /// No persistent audit pipeline is attached to this monitor.
+    Unattached,
+    /// The pipeline failed (store I/O error or a stopped drainer).
+    Io(std::io::Error),
+}
+
+impl fmt::Display for AuditAccessError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AuditAccessError::Unattached => write!(f, "no audit pipeline attached"),
+            AuditAccessError::Io(e) => write!(f, "audit pipeline error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AuditAccessError {}
 
 impl fmt::Debug for ReferenceMonitor {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -1343,7 +1487,9 @@ impl ViewRef<'_> {
         if state.config.audit {
             let audit_t = tele.start();
             for ((path, mode), decision) in items.iter().zip(&decisions) {
-                monitor.audit.record(subject, path, *mode, decision);
+                monitor
+                    .audit
+                    .record(subject, path, *mode, decision, state.generation.raw());
             }
             tele.finish(Stage::Audit, audit_t);
         }

@@ -36,7 +36,10 @@ use crate::proto::{
 };
 use extsec_acl::AccessMode;
 use extsec_namespace::NsPath;
-use extsec_refmon::{BundleId, BundleStatusReport, Decision, Explanation, Generation, Subject};
+use extsec_refmon::{
+    AuditQuery, BundleId, BundleStatusReport, Decision, Explanation, Generation, QueryResult,
+    Subject, VerifyReport,
+};
 use polling::{Event, Events, Poller};
 use std::fmt;
 use std::io::{self, Read, Write};
@@ -568,6 +571,38 @@ impl Client {
             Response::BundleStatus(json) => serde_json::from_str(&json)
                 .map_err(|e| ClientError::Unexpected(format!("unparseable bundle status: {e}"))),
             other => Err(unexpected("BundleStatus", &other)),
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // The audit admin API.
+    // -----------------------------------------------------------------
+
+    /// Runs a filtered, bounded scan over the server's persisted audit
+    /// chain. The result is one page: resume a
+    /// [`truncated`](QueryResult::truncated) scan by re-issuing the
+    /// query with `seq_min = result.next_seq`. A server without an
+    /// attached pipeline answers [`ErrorCode::AuditUnavailable`],
+    /// surfaced as [`ClientError::Server`]. Retry-safe: a query only
+    /// re-observes.
+    pub fn audit_query(&mut self, query: &AuditQuery) -> Result<QueryResult, ClientError> {
+        let request = Request::AuditQuery {
+            query: query.clone(),
+        };
+        match self.one(request)? {
+            Response::AuditEvents(result) => Ok(result),
+            other => Err(unexpected("AuditEvents", &other)),
+        }
+    }
+
+    /// Asks the server to re-derive its persisted audit chain end to end
+    /// and parses the per-segment integrity report. Retry-safe: verify
+    /// mutates nothing.
+    pub fn audit_verify(&mut self) -> Result<VerifyReport, ClientError> {
+        match self.one(Request::AuditVerify)? {
+            Response::AuditReport(json) => serde_json::from_str(&json)
+                .map_err(|e| ClientError::Unexpected(format!("unparseable verify report: {e}"))),
+            other => Err(unexpected("AuditReport", &other)),
         }
     }
 }

@@ -35,7 +35,8 @@ use crate::telemetry::ServerTelemetry;
 use extsec_acl::AccessMode;
 use extsec_namespace::NsPath;
 use extsec_refmon::{
-    BundleError, JsonSnapshot, MonitorError, MonitorView, ReferenceMonitor, Subject,
+    AuditAccessError, BundleError, JsonSnapshot, MonitorError, MonitorView, ReferenceMonitor,
+    Subject,
 };
 use serde::Serialize;
 use std::io::{Read, Write};
@@ -692,7 +693,34 @@ fn handle(opcode: u8, payload: &[u8], ctx: &Ctx<'_>) -> Result<Response, ProtoEr
             Ok(json) => Response::BundleStatus(json),
             Err(e) => error(ErrorCode::Internal, e.to_string()),
         },
+        // The audit admin pair. Refusals are semantic — a server without
+        // an attached pipeline answers with a typed `AuditUnavailable`
+        // and the connection stays open. Both calls flush the drainer
+        // first (inside the monitor), so an answer covers everything
+        // recorded before the request arrived.
+        Request::AuditQuery { query } => match monitor.audit_query(&query) {
+            Ok(result) => Response::AuditEvents(result),
+            Err(e) => audit_error(&e),
+        },
+        Request::AuditVerify => match monitor.audit_verify() {
+            Ok(report) => match serde_json::to_string(&report) {
+                Ok(json) => Response::AuditReport(json),
+                Err(e) => error(ErrorCode::Internal, e.to_string()),
+            },
+            Err(e) => audit_error(&e),
+        },
     })
+}
+
+/// Maps an audit refusal to its typed wire error: a server with no
+/// pipeline attached gets its own code so clients can distinguish "not
+/// configured" from a failing store.
+fn audit_error(e: &AuditAccessError) -> Response {
+    let code = match e {
+        AuditAccessError::Unattached => ErrorCode::AuditUnavailable,
+        AuditAccessError::Io(_) => ErrorCode::Internal,
+    };
+    error(code, e.to_string())
 }
 
 /// Maps a bundle refusal to its typed wire error: base-generation races

@@ -15,9 +15,14 @@
 //! one snapshot pin, many decisions), [`List`], [`Explain`], and a
 //! [`Telemetry`] pull. Version 2 adds the policy-bundle admin set:
 //! [`LoadBundle`], [`Activate`], [`Shadow`], [`Rollback`], and
-//! [`BundleStatus`]. Structured results (explanations, telemetry, bundle
-//! status) ride as JSON documents so they stay debuggable with standard
-//! tooling; decisions, the hot path, stay binary.
+//! [`BundleStatus`]. Version 3 adds the audit admin pair:
+//! [`AuditQuery`] (a filtered, bounded scan of the persisted audit
+//! chain, answered with a binary page of records and declared gaps) and
+//! [`AuditVerify`] (a chain-integrity re-derivation, answered with a
+//! JSON report). Structured results (explanations, telemetry, bundle
+//! status, verify reports) ride as JSON documents so they stay
+//! debuggable with standard tooling; decisions and audit records, the
+//! bulk paths, stay binary.
 //!
 //! Both message enums implement [`WireMessage`]: one `opcode()` /
 //! `encode_payload()` / `decode_payload()` surface over a shared set of
@@ -34,17 +39,23 @@
 //! [`Shadow`]: Request::Shadow
 //! [`Rollback`]: Request::Rollback
 //! [`BundleStatus`]: Request::BundleStatus
+//! [`AuditQuery`]: Request::AuditQuery
+//! [`AuditVerify`]: Request::AuditVerify
 
 use extsec_acl::{AccessMode, PrincipalId};
 use extsec_mac::{CategoryId, CategorySet, SecurityClass, TrustLevel};
 use extsec_namespace::NsPath;
-use extsec_refmon::{BundleId, Decision, DenyReason, Generation, Subject, ThreadId};
+use extsec_refmon::{
+    AuditQuery, AuditRecord, BundleId, Decision, DenyReason, GapRange, Generation, Outcome,
+    QueryResult, Subject, ThreadId,
+};
 use std::fmt;
 use std::io::{self, Read, Write};
 
 /// The protocol version carried in every frame header. Version 2 added
-/// the policy-bundle admin frames.
-pub const VERSION: u8 = 2;
+/// the policy-bundle admin frames; version 3 added the audit
+/// query/verify pair.
+pub const VERSION: u8 = 3;
 
 /// Bytes in a frame header: version, opcode, and a `u32` payload length.
 pub const HEADER_LEN: usize = 6;
@@ -73,6 +84,16 @@ pub const MAX_LIST: usize = 1 << 16;
 /// Ceiling on a policy-bundle source document on the wire.
 pub const MAX_BUNDLE: usize = 1 << 16;
 
+/// Ceiling on the number of audit records in one query-result frame —
+/// the protocol-level mirror of the query API's own page cap
+/// (`AuditQuery::MAX_LIMIT`).
+pub const MAX_AUDIT_RECORDS: usize = 4096;
+
+/// Ceiling on the number of declared gap ranges in one query-result
+/// frame. Gaps are rare (each covers a whole shed burst), so this bound
+/// is generous without admitting a length bomb.
+pub const MAX_AUDIT_GAPS: usize = 1 << 16;
+
 /// Request opcodes. Values are the wire bytes.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 #[repr(u8)]
@@ -99,11 +120,16 @@ pub enum Opcode {
     Rollback = 0x09,
     /// Pull the bundle subsystem's status report (admin).
     BundleStatus = 0x0A,
+    /// Filtered, bounded scan of the persisted audit chain (admin).
+    AuditQuery = 0x0B,
+    /// Re-derive the audit chain and report per-segment integrity
+    /// (admin).
+    AuditVerify = 0x0C,
 }
 
 impl Opcode {
     /// Every request opcode, in wire order.
-    pub const ALL: [Opcode; 11] = [
+    pub const ALL: [Opcode; 13] = [
         Opcode::Ping,
         Opcode::Check,
         Opcode::BatchCheck,
@@ -115,6 +141,8 @@ impl Opcode {
         Opcode::Shadow,
         Opcode::Rollback,
         Opcode::BundleStatus,
+        Opcode::AuditQuery,
+        Opcode::AuditVerify,
     ];
 
     /// Number of request opcodes (for per-opcode counter arrays).
@@ -139,6 +167,8 @@ impl Opcode {
             Opcode::Shadow => "shadow",
             Opcode::Rollback => "rollback",
             Opcode::BundleStatus => "bundle-status",
+            Opcode::AuditQuery => "audit-query",
+            Opcode::AuditVerify => "audit-verify",
         }
     }
 }
@@ -160,11 +190,13 @@ const OP_BUSY: u8 = 0x86;
 const OP_BUNDLE_STAGED: u8 = 0x87;
 const OP_GENERATION: u8 = 0x88;
 const OP_BUNDLE_STATUS: u8 = 0x89;
+const OP_AUDIT_EVENTS: u8 = 0x8A;
+const OP_AUDIT_REPORT: u8 = 0x8B;
 const OP_ERROR: u8 = 0xBF;
 
 /// Every response opcode, in wire order. The header scanners use this to
 /// refuse an unknown opcode byte before a payload byte is read.
-const RESPONSE_OPCODES: [u8; 10] = [
+const RESPONSE_OPCODES: [u8; 12] = [
     OP_PONG,
     OP_DECISION,
     OP_BATCH,
@@ -175,6 +207,8 @@ const RESPONSE_OPCODES: [u8; 10] = [
     OP_BUNDLE_STAGED,
     OP_GENERATION,
     OP_BUNDLE_STATUS,
+    OP_AUDIT_EVENTS,
+    OP_AUDIT_REPORT,
 ];
 
 /// Whether a wire byte names a known request or response opcode.
@@ -210,12 +244,16 @@ pub enum ErrorCode {
     /// A bundle's base generation no longer matches the active one:
     /// policy moved between staging and activation.
     GenerationConflict = 9,
+    /// The server has no persistent audit pipeline attached, so audit
+    /// queries and verification cannot be answered (the frame itself is
+    /// well-formed; the connection stays open).
+    AuditUnavailable = 10,
 }
 
 impl ErrorCode {
     /// Decodes a wire byte, if it names an error code.
     pub fn from_u8(byte: u8) -> Option<ErrorCode> {
-        const ALL: [ErrorCode; 10] = [
+        const ALL: [ErrorCode; 11] = [
             ErrorCode::Protocol,
             ErrorCode::Version,
             ErrorCode::Opcode,
@@ -226,6 +264,7 @@ impl ErrorCode {
             ErrorCode::Internal,
             ErrorCode::InvalidBundle,
             ErrorCode::GenerationConflict,
+            ErrorCode::AuditUnavailable,
         ];
         ALL.into_iter().find(|c| *c as u8 == byte)
     }
@@ -243,6 +282,7 @@ impl ErrorCode {
             ErrorCode::Internal => "internal",
             ErrorCode::InvalidBundle => "invalid-bundle",
             ErrorCode::GenerationConflict => "generation-conflict",
+            ErrorCode::AuditUnavailable => "audit-unavailable",
         }
     }
 }
@@ -369,6 +409,17 @@ pub enum Request {
     Rollback,
     /// Pull the bundle subsystem's status report (admin).
     BundleStatus,
+    /// Run a filtered, bounded scan over the persisted audit chain
+    /// (admin). Answered with [`Response::AuditEvents`], or
+    /// [`ErrorCode::AuditUnavailable`] when no pipeline is attached.
+    AuditQuery {
+        /// The filters and page bounds, verbatim from the query API.
+        query: AuditQuery,
+    },
+    /// Re-derive the persisted audit chain and report per-segment
+    /// integrity (admin). Answered with [`Response::AuditReport`], or
+    /// [`ErrorCode::AuditUnavailable`] when no pipeline is attached.
+    AuditVerify,
 }
 
 /// The typed wire codec surface shared by [`Request`] and [`Response`]:
@@ -411,6 +462,8 @@ impl Request {
             Request::Shadow { .. } => Opcode::Shadow,
             Request::Rollback => Opcode::Rollback,
             Request::BundleStatus => Opcode::BundleStatus,
+            Request::AuditQuery { .. } => Opcode::AuditQuery,
+            Request::AuditVerify => Opcode::AuditVerify,
         }
     }
 
@@ -433,7 +486,11 @@ impl WireMessage for Request {
     fn encode_payload(&self, buf: &mut Vec<u8>) {
         let mut enc = Enc::new(buf);
         match self {
-            Request::Ping | Request::Telemetry | Request::Rollback | Request::BundleStatus => {}
+            Request::Ping
+            | Request::Telemetry
+            | Request::Rollback
+            | Request::BundleStatus
+            | Request::AuditVerify => {}
             Request::Check {
                 subject,
                 path,
@@ -466,6 +523,7 @@ impl WireMessage for Request {
                 enc.uleb(bundle.raw());
                 enc.u8(u8::from(*on));
             }
+            Request::AuditQuery { query } => enc.audit_query(query),
         }
     }
 
@@ -513,6 +571,10 @@ impl WireMessage for Request {
                 bundle: BundleId::from_raw(dec.uleb()?),
                 on: dec.flag()?,
             },
+            Opcode::AuditQuery => Request::AuditQuery {
+                query: dec.audit_query()?,
+            },
+            Opcode::AuditVerify => Request::AuditVerify,
         };
         dec.finish()?;
         Ok(req)
@@ -564,6 +626,13 @@ pub enum Response {
     /// Answer to `BundleStatus`: a JSON document of the monitor's
     /// `BundleStatusReport`.
     BundleStatus(String),
+    /// Answer to `AuditQuery`: one binary page of matching records and
+    /// the declared shed gaps overlapping the queried window, plus the
+    /// pagination cursor.
+    AuditEvents(QueryResult),
+    /// Answer to `AuditVerify`: a JSON document of the audit pipeline's
+    /// `VerifyReport` (per-segment chain-integrity verdicts).
+    AuditReport(String),
     /// Any request may be refused with an error instead.
     Error {
         /// The error class.
@@ -587,6 +656,8 @@ impl Response {
             Response::BundleStaged { .. } => OP_BUNDLE_STAGED,
             Response::BundleAck { .. } => OP_GENERATION,
             Response::BundleStatus(_) => OP_BUNDLE_STATUS,
+            Response::AuditEvents(_) => OP_AUDIT_EVENTS,
+            Response::AuditReport(_) => OP_AUDIT_REPORT,
             Response::Error { .. } => OP_ERROR,
         }
     }
@@ -626,7 +697,9 @@ impl WireMessage for Response {
             }
             Response::Explanation(json)
             | Response::Telemetry(json)
-            | Response::BundleStatus(json) => enc.str(json),
+            | Response::BundleStatus(json)
+            | Response::AuditReport(json) => enc.str(json),
+            Response::AuditEvents(result) => enc.audit_result(result),
             Response::Busy { retry_after_ms } => enc.uleb(*retry_after_ms),
             Response::BundleStaged { bundle, base } => {
                 enc.uleb(bundle.raw());
@@ -674,6 +747,8 @@ impl WireMessage for Response {
                 generation: Generation::from_raw(dec.uleb()?),
             },
             OP_BUNDLE_STATUS => Response::BundleStatus(dec.str(MAX_FRAME as usize)?),
+            OP_AUDIT_EVENTS => Response::AuditEvents(dec.audit_result()?),
+            OP_AUDIT_REPORT => Response::AuditReport(dec.str(MAX_FRAME as usize)?),
             OP_ERROR => {
                 let byte = dec.u8()?;
                 let code = ErrorCode::from_u8(byte).ok_or(ProtoError::BadTag(byte))?;
@@ -753,6 +828,61 @@ impl<'a> Enc<'a> {
         for component in components {
             self.str(component);
         }
+    }
+
+    /// An optional unsigned integer: a presence flag, then the value.
+    fn opt_uleb(&mut self, value: Option<u64>) {
+        match value {
+            Some(v) => {
+                self.u8(1);
+                self.uleb(v);
+            }
+            None => self.u8(0),
+        }
+    }
+
+    fn audit_query(&mut self, query: &AuditQuery) {
+        self.opt_uleb(query.principal.map(u64::from));
+        match &query.path_prefix {
+            Some(prefix) => {
+                self.u8(1);
+                self.str(prefix);
+            }
+            None => self.u8(0),
+        }
+        match query.outcome {
+            Some(outcome) => {
+                self.u8(1);
+                self.u8(outcome as u8);
+            }
+            None => self.u8(0),
+        }
+        self.uleb(query.seq_min);
+        self.opt_uleb(query.seq_max);
+        self.uleb(u64::from(query.limit));
+    }
+
+    fn audit_record(&mut self, record: &AuditRecord) {
+        self.uleb(record.seq);
+        self.uleb(u64::from(record.principal));
+        self.uleb(record.generation);
+        self.u8(record.mode);
+        self.u8(record.outcome as u8);
+        self.str(&record.path);
+    }
+
+    fn audit_result(&mut self, result: &QueryResult) {
+        self.uleb(result.records.len() as u64);
+        for record in &result.records {
+            self.audit_record(record);
+        }
+        self.uleb(result.gaps.len() as u64);
+        for gap in &result.gaps {
+            self.uleb(gap.first);
+            self.uleb(gap.last);
+        }
+        self.u8(u8::from(result.truncated));
+        self.uleb(result.next_seq);
     }
 
     fn decision(&mut self, decision: &Decision) {
@@ -903,6 +1033,94 @@ impl<'a> Dec<'a> {
             components.push(self.str(MAX_STR)?);
         }
         NsPath::from_components(components).map_err(|e| ProtoError::BadPath(e.to_string()))
+    }
+
+    /// An optional unsigned integer: a strict presence flag, then the
+    /// value.
+    fn opt_uleb(&mut self) -> Result<Option<u64>, ProtoError> {
+        Ok(if self.flag()? {
+            Some(self.uleb()?)
+        } else {
+            None
+        })
+    }
+
+    fn audit_query(&mut self) -> Result<AuditQuery, ProtoError> {
+        let principal = match self.opt_uleb()? {
+            Some(raw) if raw > u64::from(u32::MAX) => return Err(ProtoError::Oversize(raw)),
+            Some(raw) => Some(raw as u32),
+            None => None,
+        };
+        let path_prefix = if self.flag()? {
+            Some(self.str(MAX_STR)?)
+        } else {
+            None
+        };
+        let outcome = if self.flag()? {
+            let byte = self.u8()?;
+            Some(Outcome::from_u8(byte).ok_or(ProtoError::BadTag(byte))?)
+        } else {
+            None
+        };
+        let seq_min = self.uleb()?;
+        let seq_max = self.opt_uleb()?;
+        let limit = self.uleb()?;
+        if limit > u64::from(u32::MAX) {
+            return Err(ProtoError::Oversize(limit));
+        }
+        Ok(AuditQuery {
+            principal,
+            path_prefix,
+            outcome,
+            seq_min,
+            seq_max,
+            limit: limit as u32,
+        })
+    }
+
+    fn audit_record(&mut self) -> Result<AuditRecord, ProtoError> {
+        let seq = self.uleb()?;
+        let principal = self.uleb()?;
+        if principal > u64::from(u32::MAX) {
+            return Err(ProtoError::Oversize(principal));
+        }
+        let generation = self.uleb()?;
+        let mode = self.u8()?;
+        let outcome_byte = self.u8()?;
+        let outcome = Outcome::from_u8(outcome_byte).ok_or(ProtoError::BadTag(outcome_byte))?;
+        let path = self.str(MAX_STR)?;
+        Ok(AuditRecord {
+            seq,
+            principal: principal as u32,
+            generation,
+            mode,
+            outcome,
+            path,
+        })
+    }
+
+    fn audit_result(&mut self) -> Result<QueryResult, ProtoError> {
+        let count = self.count(MAX_AUDIT_RECORDS)?;
+        let mut records = Vec::with_capacity(count);
+        for _ in 0..count {
+            records.push(self.audit_record()?);
+        }
+        let count = self.count(MAX_AUDIT_GAPS)?;
+        let mut gaps = Vec::with_capacity(count);
+        for _ in 0..count {
+            gaps.push(GapRange {
+                first: self.uleb()?,
+                last: self.uleb()?,
+            });
+        }
+        let truncated = self.flag()?;
+        let next_seq = self.uleb()?;
+        Ok(QueryResult {
+            records,
+            gaps,
+            truncated,
+            next_seq,
+        })
     }
 
     fn decision(&mut self) -> Result<Decision, ProtoError> {
@@ -1174,6 +1392,17 @@ mod tests {
             },
             Request::Rollback,
             Request::BundleStatus,
+            Request::AuditQuery {
+                query: AuditQuery {
+                    principal: Some(7),
+                    path_prefix: Some("/svc/fs".into()),
+                    outcome: Some(Outcome::MacFlow),
+                    seq_min: 10,
+                    seq_max: Some(500),
+                    limit: 64,
+                },
+            },
+            Request::AuditVerify,
         ]
     }
 
@@ -1219,10 +1448,36 @@ mod tests {
             generation: Generation::from_raw(18),
         });
         roundtrip_response(Response::BundleStatus("{\"staged\":[]}".into()));
+        roundtrip_response(Response::AuditEvents(QueryResult {
+            records: vec![
+                AuditRecord {
+                    seq: 0,
+                    principal: 7,
+                    generation: 1,
+                    mode: 0,
+                    outcome: Outcome::Allow,
+                    path: "/svc/fs/read".into(),
+                },
+                AuditRecord {
+                    seq: 9,
+                    principal: u32::MAX,
+                    generation: u64::MAX,
+                    mode: 3,
+                    outcome: Outcome::Structure,
+                    path: "/".into(),
+                },
+            ],
+            gaps: vec![GapRange { first: 1, last: 8 }],
+            truncated: true,
+            next_seq: 10,
+        }));
+        roundtrip_response(Response::AuditEvents(QueryResult::default()));
+        roundtrip_response(Response::AuditReport("{\"ok\":true}".into()));
         for code in [
             ErrorCode::Denied,
             ErrorCode::InvalidBundle,
             ErrorCode::GenerationConflict,
+            ErrorCode::AuditUnavailable,
         ] {
             roundtrip_response(Response::Error {
                 code,
@@ -1273,6 +1528,40 @@ mod tests {
         match read_frame(&mut &frame[..], MAX_FRAME) {
             Err(FrameError::Proto(ProtoError::BadVersion(9))) => {}
             other => panic!("expected bad version, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn audit_result_counts_are_bounded() {
+        // A hand-built AuditEvents payload claiming u32::MAX records must
+        // be refused on the count prefix, before any allocation.
+        let mut payload = Vec::new();
+        Enc::new(&mut payload).uleb(u64::from(u32::MAX));
+        match Response::decode(OP_AUDIT_EVENTS, &payload) {
+            Err(ProtoError::TooMany(_)) => {}
+            other => panic!("expected too-many, got {other:?}"),
+        }
+        // Same for the gap-range count behind an empty record list.
+        let mut payload = Vec::new();
+        let mut enc = Enc::new(&mut payload);
+        enc.uleb(0);
+        enc.uleb(u64::from(u32::MAX));
+        match Response::decode(OP_AUDIT_EVENTS, &payload) {
+            Err(ProtoError::TooMany(_)) => {}
+            other => panic!("expected too-many, got {other:?}"),
+        }
+        // An out-of-range outcome byte is a bad tag, not a panic.
+        let mut payload = Vec::new();
+        let mut enc = Enc::new(&mut payload);
+        enc.uleb(1); // one record
+        enc.uleb(0); // seq
+        enc.uleb(0); // principal
+        enc.uleb(0); // generation
+        enc.u8(0); // mode
+        enc.u8(0xEE); // outcome: out of range
+        match Response::decode(OP_AUDIT_EVENTS, &payload) {
+            Err(ProtoError::BadTag(0xEE)) => {}
+            other => panic!("expected bad tag, got {other:?}"),
         }
     }
 

@@ -5,7 +5,10 @@
 use extsec_acl::{AccessMode, PrincipalId};
 use extsec_mac::{CategoryId, CategorySet, SecurityClass, TrustLevel};
 use extsec_namespace::NsPath;
-use extsec_refmon::{BundleId, Decision, DenyReason, Generation, Subject, ThreadId};
+use extsec_refmon::{
+    AuditQuery, AuditRecord, BundleId, Decision, DenyReason, GapRange, Generation, Outcome,
+    QueryResult, Subject, ThreadId,
+};
 use extsec_server::proto::{read_frame, FrameError, ProtoError};
 use extsec_server::{BatchItem, ErrorCode, Request, Response, MAX_FRAME};
 use proptest::prelude::*;
@@ -36,6 +39,70 @@ fn arb_subject() -> impl Strategy<Value = Subject> {
 fn arb_path() -> impl Strategy<Value = NsPath> {
     proptest::collection::vec("[a-z][a-z0-9._-]{0,12}", 0..6)
         .prop_map(|components| NsPath::from_components(components).expect("valid components"))
+}
+
+fn arb_outcome() -> impl Strategy<Value = Outcome> {
+    (0usize..Outcome::ALL.len()).prop_map(|i| Outcome::ALL[i])
+}
+
+fn arb_audit_query() -> impl Strategy<Value = AuditQuery> {
+    (
+        proptest::option::of(any::<u32>()),
+        proptest::option::of("(/[a-z]{1,8}){0,4}"),
+        proptest::option::of(arb_outcome()),
+        any::<u64>(),
+        proptest::option::of(any::<u64>()),
+        any::<u32>(),
+    )
+        .prop_map(
+            |(principal, path_prefix, outcome, seq_min, seq_max, limit)| AuditQuery {
+                principal,
+                path_prefix,
+                outcome,
+                seq_min,
+                seq_max,
+                limit,
+            },
+        )
+}
+
+fn arb_audit_record() -> impl Strategy<Value = AuditRecord> {
+    (
+        any::<u64>(),
+        any::<u32>(),
+        any::<u64>(),
+        any::<u8>(),
+        arb_outcome(),
+        "(/[a-z]{1,8}){0,4}",
+    )
+        .prop_map(
+            |(seq, principal, generation, mode, outcome, path)| AuditRecord {
+                seq,
+                principal,
+                generation,
+                mode,
+                outcome,
+                path,
+            },
+        )
+}
+
+fn arb_query_result() -> impl Strategy<Value = QueryResult> {
+    (
+        proptest::collection::vec(arb_audit_record(), 0..8),
+        proptest::collection::vec((any::<u64>(), any::<u64>()), 0..4),
+        any::<bool>(),
+        any::<u64>(),
+    )
+        .prop_map(|(records, gaps, truncated, next_seq)| QueryResult {
+            records,
+            gaps: gaps
+                .into_iter()
+                .map(|(first, last)| GapRange { first, last })
+                .collect(),
+            truncated,
+            next_seq,
+        })
 }
 
 fn arb_request() -> impl Strategy<Value = Request> {
@@ -78,6 +145,8 @@ fn arb_request() -> impl Strategy<Value = Request> {
         }),
         Just(Request::Rollback),
         Just(Request::BundleStatus),
+        arb_audit_query().prop_map(|query| Request::AuditQuery { query }),
+        Just(Request::AuditVerify),
     ]
 }
 
@@ -106,6 +175,7 @@ fn arb_error_code() -> impl Strategy<Value = ErrorCode> {
         Just(ErrorCode::Internal),
         Just(ErrorCode::InvalidBundle),
         Just(ErrorCode::GenerationConflict),
+        Just(ErrorCode::AuditUnavailable),
     ]
 }
 
@@ -126,6 +196,8 @@ fn arb_response() -> impl Strategy<Value = Response> {
             generation: Generation::from_raw(raw),
         }),
         ".{0,96}".prop_map(Response::BundleStatus),
+        arb_query_result().prop_map(Response::AuditEvents),
+        ".{0,96}".prop_map(Response::AuditReport),
     ]
 }
 

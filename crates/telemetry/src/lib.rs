@@ -31,7 +31,7 @@ mod snapshot;
 pub use counter::ShardedCounter;
 pub use histogram::{HistogramSnapshot, LatencyHistogram, BUCKETS};
 pub use sink::{JsonSink, JsonSnapshot, JsonStage, LastSnapshotSink, TelemetrySink};
-pub use snapshot::{StageSnapshot, TelemetrySnapshot};
+pub use snapshot::{AuditSnapshot, StageSnapshot, TelemetrySnapshot};
 
 use extsec_acl::AccessMode;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -259,6 +259,10 @@ pub struct Telemetry {
     shadow_allow_to_deny: ShardedCounter,
     shadow_deny_to_allow: ShardedCounter,
     sinks: RwLock<Vec<Arc<dyn TelemetrySink>>>,
+    /// Pulled (never pushed) when a snapshot is taken, so audit-chain
+    /// health rides in every snapshot without this crate depending on
+    /// the audit types.
+    audit_source: RwLock<Option<Arc<dyn Fn() -> AuditSnapshot + Send + Sync>>>,
 }
 
 impl Telemetry {
@@ -281,6 +285,7 @@ impl Telemetry {
             shadow_allow_to_deny: ShardedCounter::new(),
             shadow_deny_to_allow: ShardedCounter::new(),
             sinks: RwLock::new(Vec::new()),
+            audit_source: RwLock::new(None),
         }
     }
 
@@ -478,7 +483,22 @@ impl Telemetry {
             shadow_checks: self.shadow_checks.get(),
             shadow_allow_to_deny: self.shadow_allow_to_deny.get(),
             shadow_deny_to_allow: self.shadow_deny_to_allow.get(),
+            audit: self
+                .audit_source
+                .read()
+                .expect("audit source poisoned")
+                .as_ref()
+                .map(|source| source()),
         }
+    }
+
+    /// Registers the audit-health source consulted by every
+    /// [`snapshot`](Telemetry::snapshot). The monitor registers a closure
+    /// over its audit ring and (optional) persistent pipeline at
+    /// construction; the source runs on the snapshotting thread, never on
+    /// a check.
+    pub fn set_audit_source(&self, source: Arc<dyn Fn() -> AuditSnapshot + Send + Sync>) {
+        *self.audit_source.write().expect("audit source poisoned") = Some(source);
     }
 
     /// Registers a sink to receive snapshots from [`publish`].

@@ -1,6 +1,6 @@
 //! Pluggable snapshot exporters.
 
-use crate::TelemetrySnapshot;
+use crate::{AuditSnapshot, TelemetrySnapshot};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::sync::Mutex;
@@ -98,6 +98,9 @@ pub struct JsonSnapshot {
     pub shadow_allow_to_deny: u64,
     /// Shadow-mode would-be flips from deny to allow.
     pub shadow_deny_to_allow: u64,
+    /// Audit-chain health (ring, sink, persistent pipeline), when the
+    /// hub has an audit source registered.
+    pub audit: Option<AuditSnapshot>,
 }
 
 impl From<&TelemetrySnapshot> for JsonSnapshot {
@@ -146,6 +149,7 @@ impl From<&TelemetrySnapshot> for JsonSnapshot {
             shadow_checks: snapshot.shadow_checks,
             shadow_allow_to_deny: snapshot.shadow_allow_to_deny,
             shadow_deny_to_allow: snapshot.shadow_deny_to_allow,
+            audit: snapshot.audit.clone(),
         }
     }
 }

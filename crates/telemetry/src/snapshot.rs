@@ -3,7 +3,49 @@
 use crate::histogram::HistogramSnapshot;
 use crate::{DispatchOutcome, ExtFault, ServiceKind, Stage};
 use extsec_acl::AccessMode;
+use serde::{Deserialize, Serialize};
 use std::fmt;
+
+/// Audit-chain health at snapshot time: the in-memory ring, the optional
+/// channel sink, and the persistent pipeline (when attached). Produced by
+/// the audit source a monitor registers with
+/// [`Telemetry::set_audit_source`](crate::Telemetry::set_audit_source);
+/// the telemetry crate itself stays decoupled from the audit types.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AuditSnapshot {
+    /// The ring's configured capacity.
+    pub ring_capacity: u64,
+    /// Events currently retained in the ring.
+    pub ring_retained: u64,
+    /// Events evicted from the ring to stay under capacity.
+    pub ring_dropped: u64,
+    /// Channel-sink refusals due to backpressure (consumer lagging).
+    pub sink_full: u64,
+    /// Channel-sink refusals due to a dead consumer.
+    pub sink_disconnected: u64,
+    /// Whether a persistent audit pipeline is attached.
+    pub pipeline_attached: bool,
+    /// Events accepted onto the pipeline queue.
+    pub pipeline_enqueued: u64,
+    /// Events shed at the pipeline queue (later declared as gaps).
+    pub pipeline_shed: u64,
+    /// Stragglers dropped after their loss was already declared.
+    pub pipeline_late_dropped: u64,
+    /// Event entries persisted into chained segments.
+    pub pipeline_persisted: u64,
+    /// Gap entries persisted.
+    pub pipeline_gap_records: u64,
+    /// Total sequence numbers covered by persisted gaps.
+    pub pipeline_gap_missing: u64,
+    /// Segments sealed into the manifest.
+    pub pipeline_segments_sealed: u64,
+    /// Store I/O failures observed by the drainer.
+    pub pipeline_io_errors: u64,
+    /// Events currently queued or reorder-buffered.
+    pub pipeline_queue_depth: u64,
+    /// The next sequence number the pipeline expects.
+    pub pipeline_next_seq: u64,
+}
 
 /// One stage's distribution at snapshot time.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -53,6 +95,9 @@ pub struct TelemetrySnapshot {
     pub shadow_allow_to_deny: u64,
     /// Shadow-mode would-be flips from deny to allow.
     pub shadow_deny_to_allow: u64,
+    /// Audit-chain health, when the hub has an audit source registered
+    /// (the monitor registers one at construction).
+    pub audit: Option<AuditSnapshot>,
 }
 
 impl TelemetrySnapshot {
@@ -175,6 +220,39 @@ impl fmt::Display for TelemetrySnapshot {
                 "  shadow: {} dual-evaluated, {} allow→deny, {} deny→allow",
                 self.shadow_checks, self.shadow_allow_to_deny, self.shadow_deny_to_allow,
             )?;
+        }
+        if let Some(audit) = &self.audit {
+            writeln!(
+                f,
+                "  audit ring: {}/{} retained, {} evicted, sink {} full / {} disconnected",
+                audit.ring_retained,
+                audit.ring_capacity,
+                audit.ring_dropped,
+                audit.sink_full,
+                audit.sink_disconnected,
+            )?;
+            if audit.pipeline_attached {
+                writeln!(
+                    f,
+                    "  audit pipeline: {} enqueued, {} shed, {} persisted \
+                     (+{} gap entries covering {} seqs), {} sealed, {} queued, next seq {}",
+                    audit.pipeline_enqueued,
+                    audit.pipeline_shed,
+                    audit.pipeline_persisted,
+                    audit.pipeline_gap_records,
+                    audit.pipeline_gap_missing,
+                    audit.pipeline_segments_sealed,
+                    audit.pipeline_queue_depth,
+                    audit.pipeline_next_seq,
+                )?;
+                if audit.pipeline_io_errors > 0 {
+                    writeln!(
+                        f,
+                        "  audit pipeline IO ERRORS: {}",
+                        audit.pipeline_io_errors
+                    )?;
+                }
+            }
         }
         Ok(())
     }

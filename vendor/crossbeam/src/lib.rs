@@ -12,11 +12,18 @@ pub mod channel {
     use std::sync::mpsc;
     use std::sync::{Arc, Mutex};
 
-    pub use mpsc::{RecvError, SendError, TryRecvError};
+    pub use mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
 
-    /// Error from [`Sender::try_send`]: the channel is full or disconnected.
+    /// Error from [`Sender::try_send`], carrying the refused value.
+    /// Mirrors crossbeam's shape so callers can tell backpressure from a
+    /// dead consumer.
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-    pub struct TrySendError<T>(pub T);
+    pub enum TrySendError<T> {
+        /// The bounded channel is at capacity.
+        Full(T),
+        /// Every receiver is gone.
+        Disconnected(T),
+    }
 
     /// The sending half of a channel.
     #[derive(Debug)]
@@ -52,11 +59,12 @@ pub mod channel {
         /// Non-blocking send; fails when the channel is full or closed.
         pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
             match &self.inner {
-                SenderInner::Unbounded(tx) => tx.send(value).map_err(|e| TrySendError(e.0)),
+                SenderInner::Unbounded(tx) => {
+                    tx.send(value).map_err(|e| TrySendError::Disconnected(e.0))
+                }
                 SenderInner::Bounded(tx) => tx.try_send(value).map_err(|e| match e {
-                    mpsc::TrySendError::Full(v) | mpsc::TrySendError::Disconnected(v) => {
-                        TrySendError(v)
-                    }
+                    mpsc::TrySendError::Full(v) => TrySendError::Full(v),
+                    mpsc::TrySendError::Disconnected(v) => TrySendError::Disconnected(v),
                 }),
             }
         }
@@ -80,6 +88,14 @@ pub mod channel {
                 .lock()
                 .unwrap_or_else(|e| e.into_inner())
                 .try_recv()
+        }
+
+        /// Blocking receive with a timeout.
+        pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+            self.inner
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .recv_timeout(timeout)
         }
 
         /// Drains every value currently buffered.
@@ -136,7 +152,25 @@ pub mod channel {
         fn bounded_try_send_fails_when_full() {
             let (tx, _rx) = bounded(1);
             tx.try_send(1).unwrap();
-            assert_eq!(tx.try_send(2), Err(TrySendError(2)));
+            assert_eq!(tx.try_send(2), Err(TrySendError::Full(2)));
+        }
+
+        #[test]
+        fn try_send_reports_disconnect() {
+            let (tx, rx) = bounded(1);
+            drop(rx);
+            assert_eq!(tx.try_send(3), Err(TrySendError::Disconnected(3)));
+        }
+
+        #[test]
+        fn recv_timeout_times_out() {
+            let (tx, rx) = bounded::<u8>(1);
+            assert_eq!(
+                rx.recv_timeout(std::time::Duration::from_millis(1)),
+                Err(RecvTimeoutError::Timeout)
+            );
+            tx.send(9).unwrap();
+            assert_eq!(rx.recv_timeout(std::time::Duration::from_millis(10)), Ok(9));
         }
     }
 }
