@@ -198,7 +198,8 @@ pub fn scan_segment(bytes: &[u8], expect_anchor: Option<&ChainHash>) -> ScanOutc
             });
         }
         let len = u32::from_le_bytes(bytes[offset..offset + 4].try_into().unwrap()) as usize;
-        if !(1 + crate::sha256::DIGEST_LEN..=MAX_ENTRY_LEN + crate::sha256::DIGEST_LEN).contains(&len)
+        if !(1 + crate::sha256::DIGEST_LEN..=MAX_ENTRY_LEN + crate::sha256::DIGEST_LEN)
+            .contains(&len)
         {
             break Some(Damage::CorruptEntry {
                 index,

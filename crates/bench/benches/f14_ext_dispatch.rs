@@ -1,0 +1,285 @@
+//! F14 — bounded extension execution at scale.
+//!
+//! Three questions behind the F14 table in EXPERIMENTS.md:
+//!
+//! 1. **Dispatch routing stays flat as installs grow.** With 1k → 10k
+//!    extensions installed (a seventh registered as specializations on
+//!    one interface), the per-call latency of the full `call` path —
+//!    monitor check, class-group dispatch, interpreter run — must not
+//!    grow with the install count.
+//! 2. **Quarantine churn at scale.** A third of the population is
+//!    tripped into quarantine (three faulting dispatches each); the
+//!    table reports the trip throughput and the routed-call latency
+//!    with the head of the registration list quarantined, plus the
+//!    allocation-light `quarantined_count` snapshot at population.
+//! 3. **Resource bounds are near-free.** The same compute-heavy
+//!    workload is interpreted with the epoch deadline unarmed versus
+//!    armed (live ticker, far deadline, byte budget sized to fit):
+//!    limits-enabled must stay within ~10% of limits-disabled. Memory
+//!    accounting itself is unconditional — the delta isolates the
+//!    amortized epoch check.
+//!
+//! A plain timing harness (not criterion): each population is built
+//! once. Set `EXTSEC_BENCH_SMOKE=1` for CI's compile-and-run gate
+//! (1k extensions, short sweeps).
+
+use extsec_core::ext::{ExtRuntime, ExtensionManifest, Origin};
+use extsec_core::vm::{asm, verify, EpochClock, EpochTicker, Machine, MachineLimits, NullHost};
+use extsec_core::{
+    AccessMode, Acl, AclEntry, HealthConfig, Lattice, ModeSet, MonitorBuilder, NodeKind, NsPath,
+    Protection, SecurityClass, Subject,
+};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const FLAKY_SRC: &str = r#"
+module flaky
+func good() -> int
+  push_int 7
+  ret
+end
+func bad() -> int
+  trap
+end
+export good = good
+export bad = bad
+"#;
+
+/// ~40k instructions of loop-and-arithmetic: the interpreter-overhead
+/// workload for the limits-on/off comparison.
+const SPIN_SRC: &str = r#"
+module spin
+func main() -> int
+  locals i: int
+  push_int 0
+  store_local i
+  label loop
+  load_local i
+  push_int 1
+  add
+  store_local i
+  load_local i
+  push_int 5000
+  lt
+  jump_if loop
+  load_local i
+  ret
+end
+export main = main
+"#;
+
+struct Fixture {
+    runtime: Arc<ExtRuntime>,
+    alice: Subject,
+    iface: NsPath,
+}
+
+fn fixture() -> Fixture {
+    let lattice = Lattice::build(["low", "high"], ["c0"]).unwrap();
+    let mut builder = MonitorBuilder::new(lattice);
+    let alice = builder.add_principal("alice").unwrap();
+    let monitor = builder.build();
+    let iface: NsPath = "/svc/iface/handler".parse().unwrap();
+    monitor
+        .bootstrap(|ns| {
+            let visible = Protection::new(
+                Acl::public(ModeSet::only(AccessMode::List)),
+                SecurityClass::bottom(),
+            );
+            ns.ensure_path(
+                &"/svc/iface".parse().unwrap(),
+                NodeKind::Interface,
+                &visible,
+            )?;
+            let handler = ns.insert(
+                &"/svc/iface".parse().unwrap(),
+                "handler",
+                NodeKind::Procedure,
+                Protection::default(),
+            )?;
+            ns.set_extensible(handler, true)?;
+            ns.update_protection(handler, |prot| {
+                prot.acl.push(AclEntry::allow_principal_modes(
+                    alice,
+                    ModeSet::of(&[AccessMode::Execute, AccessMode::Extend]),
+                ));
+            })?;
+            Ok(())
+        })
+        .unwrap();
+    let class = monitor.lattice(|l| l.parse_class("low").unwrap());
+    let runtime = ExtRuntime::new(monitor);
+    runtime.set_health_config(HealthConfig {
+        fault_budget: 3,
+        window: Duration::from_secs(3600),
+        cooldown: Duration::from_secs(30),
+    });
+    // Limits enabled throughout: finite byte budget, epoch armed with a
+    // slice these short programs never reach.
+    runtime.set_machine_limits(MachineLimits {
+        memory_bytes: 64 * 1024,
+        ..MachineLimits::default()
+    });
+    runtime.set_epoch_slice(1_000_000);
+    Fixture {
+        runtime,
+        alice: Subject::new(alice, class),
+        iface,
+    }
+}
+
+struct Row {
+    installed: usize,
+    install: Duration,
+    healthy_us: f64,
+    trips_per_s: f64,
+    churned_us: f64,
+    qcount_ns: f64,
+}
+
+fn measure(n: usize, calls: usize) -> Row {
+    let f = fixture();
+    let _ticker = EpochTicker::spawn(f.runtime.epoch().clone(), Duration::from_millis(1));
+    let module = asm::assemble(FLAKY_SRC).unwrap();
+
+    let install_t = Instant::now();
+    let ids: Vec<_> = (0..n)
+        .map(|i| {
+            f.runtime
+                .load(
+                    module.clone(),
+                    ExtensionManifest {
+                        name: format!("e{i}"),
+                        principal: f.alice.principal,
+                        origin: Origin::Local,
+                        static_class: None,
+                    },
+                )
+                .unwrap()
+        })
+        .collect();
+    for id in ids.iter().step_by(7) {
+        f.runtime.extend(*id, &f.iface, "good").unwrap();
+    }
+    let install = install_t.elapsed();
+
+    // Healthy dispatch: full call path, every extension routable.
+    let healthy_t = Instant::now();
+    for _ in 0..calls {
+        black_box(f.runtime.call(&f.alice, &f.iface, &[]).unwrap());
+    }
+    let healthy = healthy_t.elapsed();
+
+    // Quarantine churn: trip a third of the population.
+    let churn_t = Instant::now();
+    let mut trips = 0u64;
+    for id in ids.iter().step_by(3) {
+        for _ in 0..3 {
+            let _ = f.runtime.run(*id, "bad", &[], &f.alice);
+            trips += 1;
+        }
+    }
+    let churn = churn_t.elapsed();
+
+    // Routed calls with the head registration quarantined.
+    let churned_t = Instant::now();
+    for _ in 0..calls {
+        black_box(f.runtime.call(&f.alice, &f.iface, &[]).unwrap());
+    }
+    let churned = churned_t.elapsed();
+
+    // The allocation-light ledger snapshot at population.
+    let qcount_t = Instant::now();
+    let reps = 1_000;
+    for _ in 0..reps {
+        black_box(f.runtime.health().quarantined_count());
+    }
+    let qcount = qcount_t.elapsed();
+
+    Row {
+        installed: n,
+        install,
+        healthy_us: healthy.as_secs_f64() * 1e6 / calls as f64,
+        trips_per_s: trips as f64 / churn.as_secs_f64(),
+        churned_us: churned.as_secs_f64() * 1e6 / calls as f64,
+        qcount_ns: qcount.as_secs_f64() * 1e9 / reps as f64,
+    }
+}
+
+/// The interpreter with limits unarmed vs armed, same workload, same
+/// machine configuration otherwise. Reports per-run times and the
+/// relative overhead of the amortized epoch check.
+fn interpreter_overhead(runs: usize) {
+    let verified = verify(asm::assemble(SPIN_SRC).unwrap()).unwrap();
+
+    // Fuel accrues across runs on a reused machine, so give both legs an
+    // inexhaustible tank; the comparison isolates the epoch/byte checks.
+    let mut off = Machine::with_limits(
+        &verified,
+        MachineLimits {
+            fuel: u64::MAX / 2,
+            memory_bytes: u64::MAX / 2,
+            ..MachineLimits::default()
+        },
+    );
+    let off_t = Instant::now();
+    for _ in 0..runs {
+        black_box(off.run("main", &[], &mut NullHost).unwrap());
+    }
+    let off_d = off_t.elapsed();
+
+    let clock = EpochClock::new();
+    let _ticker = EpochTicker::spawn(clock.clone(), Duration::from_millis(1));
+    let mut on = Machine::with_limits(
+        &verified,
+        MachineLimits {
+            fuel: u64::MAX / 2,
+            memory_bytes: 64 * 1024,
+            epoch_check_interval: 128,
+            ..MachineLimits::default()
+        },
+    );
+    on.set_epoch(clock, u64::MAX);
+    let on_t = Instant::now();
+    for _ in 0..runs {
+        black_box(on.run("main", &[], &mut NullHost).unwrap());
+    }
+    let on_d = on_t.elapsed();
+
+    let off_us = off_d.as_secs_f64() * 1e6 / runs as f64;
+    let on_us = on_d.as_secs_f64() * 1e6 / runs as f64;
+    println!(
+        "\ninterpreter ({} runs of ~40k instructions each):\n  \
+         limits-disabled {off_us:>8.1} µs/run\n  \
+         limits-enabled  {on_us:>8.1} µs/run  ({:+.1}%)",
+        runs,
+        (on_us / off_us - 1.0) * 100.0
+    );
+}
+
+fn main() {
+    let smoke = std::env::var_os("EXTSEC_BENCH_SMOKE").is_some();
+    let (populations, calls, runs) = if smoke {
+        (vec![1_000usize], 200, 20)
+    } else {
+        (vec![1_000usize, 2_500, 5_000, 10_000], 2_000, 400)
+    };
+    println!(
+        "{:>9} {:>10} {:>11} {:>11} {:>11} {:>10}",
+        "installed", "install", "healthy µs", "trips/s", "churned µs", "qcount ns"
+    );
+    for n in populations {
+        let row = measure(n, calls);
+        println!(
+            "{:>9} {:>10.2?} {:>11.2} {:>11.0} {:>11.2} {:>10.1}",
+            row.installed,
+            row.install,
+            row.healthy_us,
+            row.trips_per_s,
+            row.churned_us,
+            row.qcount_ns
+        );
+    }
+    interpreter_overhead(runs);
+}

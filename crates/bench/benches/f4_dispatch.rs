@@ -41,7 +41,7 @@ fn bench(c: &mut Criterion) {
         // Baseline: take the first registration unconditionally (what a
         // dispatcher without security classes would do).
         group.bench_with_input(BenchmarkId::new("unchecked-first", n), &n, |b, _| {
-            b.iter(|| black_box(dispatcher.registrations(black_box(&iface)).first()))
+            b.iter(|| black_box(dispatcher.earliest(black_box(&iface))))
         });
     }
     group.finish();

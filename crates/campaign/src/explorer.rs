@@ -138,7 +138,7 @@ fn focus(rng: &mut Rng, session: &Session) -> (usize, usize) {
 fn next_op(rng: &mut Rng, session: &Session) -> Op {
     let world = &session.world;
     // (cumulative-weight, op-kind) table; one draw picks the kind.
-    const WEIGHTS: [(u32, u8); 15] = [
+    const WEIGHTS: [(u32, u8); 16] = [
         (30, 0), // Check
         (12, 1), // Grant
         (12, 2), // Revoke
@@ -149,6 +149,7 @@ fn next_op(rng: &mut Rng, session: &Session) -> Op {
         (4, 7),  // Create
         (2, 8),  // Remove
         (3, 9),  // Install
+        (2, 15), // InstallHog
         (9, 10), // RunExt
         (4, 11), // Clock
         (3, 12), // Burst
@@ -225,6 +226,9 @@ fn next_op(rng: &mut Rng, session: &Session) -> Op {
         9 => Op::Install {
             owner: rng.below(world.principals.len()),
             hostile: rng.chance(1, 2),
+        },
+        15 => Op::InstallHog {
+            owner: rng.below(world.principals.len()),
         },
         10 => Op::RunExt {
             ext: rng.below(world.extensions.len().max(1)),

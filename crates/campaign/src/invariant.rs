@@ -36,6 +36,9 @@ pub enum Invariant {
     /// number is neither persisted nor covered by a declared gap, or a
     /// gap was declared with nothing shed.
     AuditGap,
+    /// A memory-hog extension ran to completion: the per-execution byte
+    /// budget that should have cut it off was not enforced.
+    ResourceBounds,
 }
 
 impl fmt::Display for Invariant {
@@ -47,6 +50,7 @@ impl fmt::Display for Invariant {
             Invariant::CacheCoherence => "cache-coherence",
             Invariant::FailClosed => "fail-closed",
             Invariant::AuditGap => "audit-gap",
+            Invariant::ResourceBounds => "resource-bounds",
         };
         write!(f, "{name}")
     }
@@ -62,6 +66,7 @@ impl FromStr for Invariant {
             "cache-coherence" => Ok(Invariant::CacheCoherence),
             "fail-closed" => Ok(Invariant::FailClosed),
             "audit-gap" => Ok(Invariant::AuditGap),
+            "resource-bounds" => Ok(Invariant::ResourceBounds),
             other => Err(format!("unknown invariant {other:?}")),
         }
     }
@@ -220,6 +225,26 @@ pub fn quarantine_honoured(
                 retry_after.as_millis()
             ),
         )),
+    }
+}
+
+/// Resource bounds honoured: a memory-hog extension's dispatch must
+/// never run to completion — its accounted footprint crosses the
+/// campaign world's byte budget long before its loop ends, so the only
+/// legitimate outcomes are a trap (normally `OutOfMemory`; under a
+/// storm, any injected error) or a quarantine refusal. A successful
+/// return is exactly what the planted `vm.mem.limit_skip` mutant — the
+/// interpreter's limit check silently skipped — produces.
+pub fn resource_bounded(outcome: &Result<Option<Value>, ExtError>) -> Result<(), Violation> {
+    match outcome {
+        Ok(value) => Err(Violation::new(
+            Invariant::ResourceBounds,
+            format!(
+                "memory-hog extension ran to completion (returned {value:?}): the \
+                 per-execution byte budget never cut it off"
+            ),
+        )),
+        Err(_) => Ok(()),
     }
 }
 

@@ -48,9 +48,9 @@ pub mod world;
 pub use explorer::{explore, ExploreConfig, Outcome};
 pub use invariant::{
     audit_gap_free, coherent, fail_closed, is_injected_denial, mac_flow, quarantine_honoured,
-    Invariant, RevocationLedger, Violation,
+    resource_bounded, Invariant, RevocationLedger, Violation,
 };
 pub use op::{Campaign, Mutant, Op, Storm};
 pub use session::{Session, SessionStats};
 pub use shrink::{minimize, replay, MinimizeReport};
-pub use world::{Profile, World, WorldSpec};
+pub use world::{ExtKind, Profile, World, WorldSpec};

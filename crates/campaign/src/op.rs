@@ -92,6 +92,12 @@ pub enum Op {
         /// Hostile extensions spin until the fuel meter traps them.
         hostile: bool,
     },
+    /// Load a memory-hog extension owned by a principal; its dispatches
+    /// are checked against the resource-bounds invariant.
+    InstallHog {
+        /// Owner principal index.
+        owner: usize,
+    },
     /// Dispatch an installed extension as its owner; checked against
     /// the quarantine-bypass invariant.
     RunExt {
@@ -169,6 +175,7 @@ impl fmt::Display for Op {
             Op::Install { owner, hostile } => {
                 write!(f, "install owner={owner} hostile={hostile}")
             }
+            Op::InstallHog { owner } => write!(f, "install-hog owner={owner}"),
             Op::RunExt { ext } => write!(f, "run ext={ext}"),
             Op::Clock { ms } => write!(f, "clock ms={ms}"),
             Op::BundleCycle { leaf, principal } => {
@@ -270,6 +277,9 @@ impl FromStr for Op {
                 owner: want_usize(&map, "owner")?,
                 hostile: map.get("hostile").map(|v| v == "true").unwrap_or(false),
             }),
+            "install-hog" => Ok(Op::InstallHog {
+                owner: want_usize(&map, "owner")?,
+            }),
             "run" => Ok(Op::RunExt {
                 ext: want_usize(&map, "ext")?,
             }),
@@ -318,7 +328,11 @@ pub struct Mutant {
 /// them as strings. Known tags map to their static spellings and novel
 /// ones are interned once per process.
 fn intern_tag(tag: &str) -> &'static str {
-    const KNOWN: &[&str] = &["refmon.set_acl.apply", "ext.admit.bypass"];
+    const KNOWN: &[&str] = &[
+        "refmon.set_acl.apply",
+        "ext.admit.bypass",
+        "vm.mem.limit_skip",
+    ];
     if let Some(known) = KNOWN.iter().find(|k| **k == tag) {
         return known;
     }
@@ -493,6 +507,7 @@ mod tests {
                 owner: 0,
                 hostile: true,
             },
+            Op::InstallHog { owner: 2 },
             Op::RunExt { ext: 0 },
             Op::Clock { ms: 500 },
             Op::BundleCycle {

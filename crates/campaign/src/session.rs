@@ -4,11 +4,11 @@
 //! through an identical session, so the two cannot drift apart.
 
 use crate::invariant::{
-    audit_gap_free, coherent, is_injected_denial, mac_flow, quarantine_honoured, Invariant,
-    RevocationLedger, Violation,
+    audit_gap_free, coherent, is_injected_denial, mac_flow, quarantine_honoured, resource_bounded,
+    Invariant, RevocationLedger, Violation,
 };
 use crate::op::Op;
-use crate::world::{World, WorldSpec};
+use crate::world::{ExtKind, World, WorldSpec};
 use extsec_core::{
     faults, AccessMode, Acl, AuditPipeline, Decision, FaultPlan, FaultStats, PipelineConfig, Who,
 };
@@ -201,7 +201,16 @@ impl Session {
                 true
             }
             Op::Install { owner, hostile } => {
-                let _ = self.world.install_ext(*owner, *hostile);
+                let kind = if *hostile {
+                    ExtKind::Hostile
+                } else {
+                    ExtKind::Calm
+                };
+                let _ = self.world.install_ext(*owner, kind);
+                false
+            }
+            Op::InstallHog { owner } => {
+                let _ = self.world.install_ext(*owner, ExtKind::Hog);
                 false
             }
             Op::RunExt { ext } => {
@@ -330,11 +339,15 @@ impl Session {
         if self.world.extensions.is_empty() {
             return Ok(());
         }
-        let (id, owner) = self.world.extensions[ext % self.world.extensions.len()];
+        let (id, owner, kind) = self.world.extensions[ext % self.world.extensions.len()];
         let subject = self.world.subject(owner);
         let report = self.world.runtime.explain_health(id);
         let outcome = self.world.runtime.run(id, "main", &[], &subject);
-        quarantine_honoured(&report, &outcome).map_err(|v| v.at_step(self.step))
+        quarantine_honoured(&report, &outcome).map_err(|v| v.at_step(self.step))?;
+        if kind == ExtKind::Hog {
+            resource_bounded(&outcome).map_err(|v| v.at_step(self.step))?;
+        }
+        Ok(())
     }
 
     /// One invariant-checked probe: cache coherence, MAC flow

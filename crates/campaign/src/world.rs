@@ -7,8 +7,8 @@
 use extsec_core::acl::DirectoryError;
 use extsec_core::{
     AccessMode, Acl, AclEntry, CategoryId, ExtError, ExtRuntime, ExtensionId, ExtensionManifest,
-    GroupId, HealthConfig, Lattice, ModeSet, MonitorBuilder, NodeKind, NsPath, Origin, PrincipalId,
-    Protection, ReferenceMonitor, SecurityClass, Subject, TrustLevel, Who,
+    GroupId, HealthConfig, Lattice, MachineLimits, ModeSet, MonitorBuilder, NodeKind, NsPath,
+    Origin, PrincipalId, Protection, ReferenceMonitor, SecurityClass, Subject, TrustLevel, Who,
 };
 use std::collections::HashMap;
 use std::fmt;
@@ -226,13 +226,27 @@ pub struct World {
     pub domains: Vec<NsPath>,
     /// Leaf objects; campaign ops address them by index.
     pub leaves: Vec<NsPath>,
-    /// Installed extensions with their owner's principal index.
-    pub extensions: Vec<(ExtensionId, usize)>,
+    /// Installed extensions with their owner's principal index and kind.
+    pub extensions: Vec<(ExtensionId, usize, ExtKind)>,
     /// Lattice-valid classes for relabel/create operations.
     pub palette: Vec<SecurityClass>,
     levels: Vec<TrustLevel>,
     index: HashMap<PrincipalId, usize>,
     created: u64,
+}
+
+/// What flavour of extension a campaign installed — decides which
+/// invariant its dispatches are checked against.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExtKind {
+    /// Well-behaved: returns 1.
+    Calm,
+    /// Spins until the fuel meter traps it.
+    Hostile,
+    /// Grows a string past the world's per-execution byte budget; a
+    /// dispatch that runs to completion means the memory limit was
+    /// silently skipped (the `vm.mem.limit_skip` mutant).
+    Hog,
 }
 
 /// A well-behaved extension: returns 1.
@@ -241,6 +255,38 @@ const CALM_SRC: &str =
 /// A hostile extension: spins until the fuel meter traps it.
 const HOSTILE_SRC: &str =
     "module hostile\nfunc main()\nlabel spin\n  jump spin\nend\nexport main = main\n";
+/// A memory hog: appends 16 bytes to a string 2048 times (32 KiB of
+/// accounted heap, double the world's budget), then returns. Cheap in
+/// fuel, so only `Trap::OutOfMemory` — or a planted mutant letting it
+/// finish — can decide its outcome.
+const HOG_SRC: &str = "module hog
+func main() -> int
+  locals s: str, i: int
+  push_int 0
+  store_local i
+  label grow
+  load_local s
+  push_str \"0123456789abcdef\"
+  concat
+  store_local s
+  load_local i
+  push_int 1
+  add
+  store_local i
+  load_local i
+  push_int 2048
+  lt
+  jump_if grow
+  push_int 1
+  ret
+end
+export main = main
+";
+
+/// The per-execution byte budget campaign worlds run extensions under:
+/// small enough that [`HOG_SRC`] is cut off in a few hundred
+/// iterations, roomy for every legitimate campaign extension.
+const WORLD_MEMORY_BYTES: u64 = 16 * 1024;
 
 impl World {
     /// Builds the world described by `spec`. Deterministic: equal specs
@@ -316,6 +362,10 @@ impl World {
             fault_budget: 2,
             window: Duration::from_secs(3600),
             cooldown: Duration::from_secs(30),
+        });
+        runtime.set_machine_limits(MachineLimits {
+            memory_bytes: WORLD_MEMORY_BYTES,
+            ..MachineLimits::default()
         });
         let mut world = World {
             spec: spec.clone(),
@@ -522,12 +572,17 @@ impl World {
         Some(self.leaves.len() - 1)
     }
 
-    /// Loads a calm or hostile extension owned by principal index
-    /// `owner`; hostile ones spin until the fuel meter traps them, which
-    /// is what feeds the quarantine breaker during campaigns.
-    pub fn install_ext(&mut self, owner: usize, hostile: bool) -> Result<ExtensionId, ExtError> {
+    /// Loads an extension of `kind` owned by principal index `owner`;
+    /// hostile ones spin until the fuel meter traps them and hogs grow
+    /// past the byte budget — both feed the quarantine breaker during
+    /// campaigns.
+    pub fn install_ext(&mut self, owner: usize, kind: ExtKind) -> Result<ExtensionId, ExtError> {
         let owner = owner % self.principals.len().max(1);
-        let src = if hostile { HOSTILE_SRC } else { CALM_SRC };
+        let src = match kind {
+            ExtKind::Calm => CALM_SRC,
+            ExtKind::Hostile => HOSTILE_SRC,
+            ExtKind::Hog => HOG_SRC,
+        };
         let module = extsec_core::vm::asm::assemble(src).expect("extension source");
         let n = self.extensions.len();
         let id = self.runtime.load(
@@ -535,15 +590,15 @@ impl World {
             ExtensionManifest {
                 name: format!("e{n}"),
                 principal: self.principals[owner],
-                origin: if hostile {
-                    Origin::Remote("campaign.adversary".into())
-                } else {
+                origin: if kind == ExtKind::Calm {
                     Origin::Local
+                } else {
+                    Origin::Remote("campaign.adversary".into())
                 },
                 static_class: None,
             },
         )?;
-        self.extensions.push((id, owner));
+        self.extensions.push((id, owner, kind));
         Ok(id)
     }
 

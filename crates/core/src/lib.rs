@@ -81,4 +81,6 @@ pub use extsec_refmon::{
 pub use extsec_services::{
     AppletService, ClockService, ConsoleService, FsService, MbufService, NetService, VfsService,
 };
-pub use extsec_vm::{asm, Machine, Module, Trap, Value, VerifiedModule};
+pub use extsec_vm::{
+    asm, EpochClock, EpochTicker, Machine, MachineLimits, Module, Trap, Value, VerifiedModule,
+};

@@ -9,6 +9,22 @@
 //! most-specific handler the caller is allowed to observe. Callers that
 //! dominate none of the registrations fall back to the base
 //! implementation.
+//!
+//! # Scaling: the class-group index
+//!
+//! Selection used to scan every registration linearly. At
+//! thousands-of-extensions scale that scan dominates dispatch, so the
+//! table instead groups each interface's registrations **by security
+//! class**, groups ordered by the seq of their earliest member. This is
+//! exact, not approximate: in the original scan the best is only
+//! replaced by a *strictly greater* class, and strict dominance is
+//! transitive — once a class C has been considered, the running best
+//! dominates-or-is-incomparable-to C forever after, so a later
+//! registration with a class already seen can never win. Only the
+//! earliest (routable) registration of each **distinct** class matters,
+//! and selection cost drops from O(registrations) to O(distinct
+//! classes) — flat as installs grow, since real populations reuse a
+//! small class palette.
 
 use crate::extension::ExtensionId;
 use extsec_mac::SecurityClass;
@@ -36,10 +52,25 @@ impl fmt::Display for Registration {
     }
 }
 
-/// The dispatch table: interface path → registrations.
+/// One distinct security class on an interface: the registrations
+/// carrying that exact class, in registration (seq) order.
+#[derive(Debug)]
+struct ClassGroup {
+    class: SecurityClass,
+    regs: Vec<Registration>,
+}
+
+impl ClassGroup {
+    fn head_seq(&self) -> u64 {
+        self.regs.first().map(|r| r.seq).unwrap_or(u64::MAX)
+    }
+}
+
+/// The dispatch table: interface path → class groups (see the module
+/// docs for why grouping by class is exact).
 #[derive(Debug, Default)]
 pub struct Dispatcher {
-    table: BTreeMap<NsPath, Vec<Registration>>,
+    table: BTreeMap<NsPath, Vec<ClassGroup>>,
     next_seq: u64,
 }
 
@@ -59,12 +90,25 @@ impl Dispatcher {
     ) -> u64 {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.table.entry(interface).or_default().push(Registration {
+        let reg = Registration {
             ext,
             export: export.into(),
-            class,
+            class: class.clone(),
             seq,
-        });
+        };
+        let groups = self.table.entry(interface).or_default();
+        match groups.iter_mut().find(|g| g.class == class) {
+            // Appending preserves the group's seq order (seq is
+            // monotonic) and leaves its head — and so the group
+            // ordering — untouched.
+            Some(group) => group.regs.push(reg),
+            // A new class: its head seq is the largest yet, so pushing
+            // keeps the groups sorted by head seq.
+            None => groups.push(ClassGroup {
+                class,
+                regs: vec![reg],
+            }),
+        }
         seq
     }
 
@@ -72,11 +116,22 @@ impl Dispatcher {
     /// Returns how many were removed.
     pub fn unregister_extension(&mut self, ext: ExtensionId) -> usize {
         let mut removed = 0;
-        self.table.retain(|_, regs| {
-            let before = regs.len();
-            regs.retain(|r| r.ext != ext);
-            removed += before - regs.len();
-            !regs.is_empty()
+        self.table.retain(|_, groups| {
+            let mut changed = false;
+            groups.retain_mut(|g| {
+                let before = g.regs.len();
+                g.regs.retain(|r| r.ext != ext);
+                removed += before - g.regs.len();
+                changed |= before != g.regs.len();
+                !g.regs.is_empty()
+            });
+            // Removing a group head moves its effective first
+            // occurrence later; restore the head-seq ordering the
+            // selection fast path relies on.
+            if changed {
+                groups.sort_by_key(|g| g.head_seq());
+            }
+            !groups.is_empty()
         });
         removed
     }
@@ -87,8 +142,34 @@ impl Dispatcher {
     }
 
     /// Returns all registrations on `interface`, registration order.
-    pub fn registrations(&self, interface: &NsPath) -> &[Registration] {
-        self.table.get(interface).map(Vec::as_slice).unwrap_or(&[])
+    pub fn registrations(&self, interface: &NsPath) -> Vec<&Registration> {
+        let mut regs: Vec<&Registration> = self
+            .table
+            .get(interface)
+            .into_iter()
+            .flatten()
+            .flat_map(|g| g.regs.iter())
+            .collect();
+        regs.sort_by_key(|r| r.seq);
+        regs
+    }
+
+    /// The earliest (lowest-seq) registration on `interface` — what a
+    /// class-blind dispatcher would pick. O(1): groups are ordered by
+    /// head seq, so it is the first group's head.
+    pub fn earliest(&self, interface: &NsPath) -> Option<&Registration> {
+        self.table
+            .get(interface)
+            .and_then(|groups| groups.first())
+            .and_then(|g| g.regs.first())
+    }
+
+    /// How many registrations `interface` carries (allocation-free).
+    pub fn registration_count(&self, interface: &NsPath) -> usize {
+        self.table
+            .get(interface)
+            .map(|groups| groups.iter().map(|g| g.regs.len()).sum())
+            .unwrap_or(0)
     }
 
     /// Selects the handler for a caller at `caller_class`: among the
@@ -114,28 +195,44 @@ impl Dispatcher {
         caller_class: &SecurityClass,
         routable: impl Fn(&Registration) -> bool,
     ) -> Option<&Registration> {
-        let regs = self.table.get(interface)?;
+        let groups = self.table.get(interface)?;
+        // Fast path (the common case: nothing quarantined): every
+        // dominated group's candidate is its head, so candidates arrive
+        // in seq order by walking the groups — no allocation, one
+        // running-max step per *distinct class*.
         let mut best: Option<&Registration> = None;
-        for reg in regs {
-            if !caller_class.dominates(&reg.class) || !routable(reg) {
+        let mut heads_clean = true;
+        for group in groups {
+            if !caller_class.dominates(&group.class) {
                 continue;
             }
-            best = match best {
-                None => Some(reg),
-                Some(current) => {
-                    // Strictly greater class wins; anything else keeps the
-                    // earlier registration (including incomparable
-                    // classes, where order is the only deterministic
-                    // tie-break).
-                    if reg.class.strictly_below(&current.class) {
-                        Some(current)
-                    } else if current.class.strictly_below(&reg.class) {
-                        Some(reg)
-                    } else {
-                        Some(current)
-                    }
-                }
+            let Some(cand) = group.regs.iter().find(|r| routable(r)) else {
+                continue;
             };
+            if cand.seq != group.head_seq() {
+                heads_clean = false;
+                break;
+            }
+            best = Some(running_max(best, cand));
+        }
+        if heads_clean {
+            return best;
+        }
+        // Slow path: the filter unrouted some group head, so a group's
+        // effective first occurrence moved later and group order no
+        // longer equals candidate seq order. Gather one candidate per
+        // group (its earliest routable member) and replay the
+        // running-max in seq order — exactly the original linear-scan
+        // semantics over the filtered registration list.
+        let mut cands: Vec<&Registration> = groups
+            .iter()
+            .filter(|g| caller_class.dominates(&g.class))
+            .filter_map(|g| g.regs.iter().find(|r| routable(r)))
+            .collect();
+        cands.sort_unstable_by_key(|r| r.seq);
+        let mut best: Option<&Registration> = None;
+        for cand in cands {
+            best = Some(running_max(best, cand));
         }
         best
     }
@@ -148,6 +245,22 @@ impl Dispatcher {
     /// Returns whether no interface is extended.
     pub fn is_empty(&self) -> bool {
         self.table.is_empty()
+    }
+}
+
+/// One step of the selection scan, candidates in seq order: a strictly
+/// greater class wins; anything else (equal or incomparable) keeps the
+/// earlier candidate — order is the only deterministic tie-break.
+fn running_max<'a>(best: Option<&'a Registration>, cand: &'a Registration) -> &'a Registration {
+    match best {
+        None => cand,
+        Some(current) => {
+            if current.class.strictly_below(&cand.class) {
+                cand
+            } else {
+                current
+            }
+        }
     }
 }
 
@@ -260,6 +373,137 @@ mod tests {
     fn registrations_accessor() {
         let d = Dispatcher::new();
         assert!(d.registrations(&path("/nope")).is_empty());
+        assert_eq!(d.registration_count(&path("/nope")), 0);
         assert!(d.is_empty());
+    }
+
+    #[test]
+    fn registrations_come_back_in_seq_order() {
+        let mut d = Dispatcher::new();
+        let iface = path("/svc/i");
+        // Interleave classes so the groups are non-trivial.
+        d.register(iface.clone(), ExtensionId::from_raw(0), "a", class(0, &[]));
+        d.register(iface.clone(), ExtensionId::from_raw(1), "b", class(1, &[]));
+        d.register(iface.clone(), ExtensionId::from_raw(2), "c", class(0, &[]));
+        d.register(iface.clone(), ExtensionId::from_raw(3), "d", class(1, &[]));
+        let exports: Vec<&str> = d
+            .registrations(&iface)
+            .iter()
+            .map(|r| r.export.as_str())
+            .collect();
+        assert_eq!(exports, vec!["a", "b", "c", "d"]);
+        assert_eq!(d.registration_count(&iface), 4);
+    }
+
+    #[test]
+    fn filtered_head_falls_back_to_next_in_class() {
+        let mut d = Dispatcher::new();
+        let iface = path("/svc/i");
+        d.register(
+            iface.clone(),
+            ExtensionId::from_raw(0),
+            "first",
+            class(1, &[]),
+        );
+        d.register(
+            iface.clone(),
+            ExtensionId::from_raw(1),
+            "second",
+            class(1, &[]),
+        );
+        // With the earliest registration unrouted (quarantined), the
+        // next one of the same class takes over.
+        let reg = d
+            .select_where(&iface, &class(2, &[]), |r| {
+                r.ext != ExtensionId::from_raw(0)
+            })
+            .unwrap();
+        assert_eq!(reg.export, "second");
+        // Nothing routable at all: base service.
+        assert!(d.select_where(&iface, &class(2, &[]), |_| false).is_none());
+    }
+
+    #[test]
+    fn filtered_selection_matches_linear_scan_semantics() {
+        // The slow path must replay the original seq-order running max:
+        // unrouting the head of an early incomparable group can change
+        // which group wins, exactly as the linear scan would.
+        let mut d = Dispatcher::new();
+        let iface = path("/svc/i");
+        d.register(
+            iface.clone(),
+            ExtensionId::from_raw(0),
+            "a0",
+            class(1, &[0]),
+        );
+        d.register(
+            iface.clone(),
+            ExtensionId::from_raw(1),
+            "b0",
+            class(1, &[1]),
+        );
+        d.register(
+            iface.clone(),
+            ExtensionId::from_raw(2),
+            "a1",
+            class(1, &[0]),
+        );
+        let caller = class(2, &[0, 1]);
+        // Unfiltered: group a is first, incomparable to b — a0 wins.
+        assert_eq!(d.select(&iface, &caller).unwrap().export, "a0");
+        // a0 unrouted: a's effective first occurrence (a1, seq 2) now
+        // comes after b0 (seq 1), so the incomparable tie-break flips
+        // to b0 — what the linear scan over [b0, a1] yields.
+        let reg = d
+            .select_where(&iface, &caller, |r| r.ext != ExtensionId::from_raw(0))
+            .unwrap();
+        assert_eq!(reg.export, "b0");
+    }
+
+    #[test]
+    fn unregister_restores_head_order() {
+        let mut d = Dispatcher::new();
+        let iface = path("/svc/i");
+        d.register(
+            iface.clone(),
+            ExtensionId::from_raw(0),
+            "a0",
+            class(1, &[0]),
+        );
+        d.register(
+            iface.clone(),
+            ExtensionId::from_raw(1),
+            "b0",
+            class(1, &[1]),
+        );
+        d.register(
+            iface.clone(),
+            ExtensionId::from_raw(2),
+            "a1",
+            class(1, &[0]),
+        );
+        // Unloading ext 0 permanently moves class-a's head after b's:
+        // the groups must re-sort so the fast path sees seq order.
+        assert_eq!(d.unregister_extension(ExtensionId::from_raw(0)), 1);
+        let caller = class(2, &[0, 1]);
+        assert_eq!(d.select(&iface, &caller).unwrap().export, "b0");
+    }
+
+    #[test]
+    fn many_same_class_registrations_still_pick_earliest() {
+        let mut d = Dispatcher::new();
+        let iface = path("/svc/i");
+        for i in 0..500 {
+            d.register(
+                iface.clone(),
+                ExtensionId::from_raw(i),
+                format!("h{i}"),
+                class((i % 3) as u16, &[]),
+            );
+        }
+        // Caller at level 1 dominates levels 0 and 1; greatest dominated
+        // class is 1, earliest level-1 registration is h1.
+        assert_eq!(d.select(&iface, &class(1, &[])).unwrap().export, "h1");
+        assert_eq!(d.registration_count(&iface), 500);
     }
 }

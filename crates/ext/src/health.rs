@@ -38,7 +38,7 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 /// Tuning knobs for the circuit breaker.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct HealthConfig {
     /// Faults within [`window`](HealthConfig::window) that trip the
     /// breaker (a budget of 0 behaves like 1: the breaker always trips
@@ -203,7 +203,7 @@ impl HealthLedger {
 
     /// The current configuration.
     pub fn config(&self) -> HealthConfig {
-        self.config.lock().clone()
+        *self.config.lock()
     }
 
     /// Advances the ledger's clock by `d` without sleeping — the
@@ -293,7 +293,7 @@ impl HealthLedger {
     /// opened (or re-opened) the breaker — the caller's cue to count a
     /// quarantine and emit an audit event.
     pub fn record_fault(&self, id: ExtensionId, fault: ExtFault) -> Option<ExtFault> {
-        let config = self.config.lock().clone();
+        let config = *self.config.lock();
         let mut entries = self.entries.lock();
         let entry = entries.entry(id).or_insert_with(Entry::new);
         let now = self.now_ms();
@@ -335,6 +335,9 @@ impl HealthLedger {
     }
 
     /// The extensions currently quarantined or on probation.
+    ///
+    /// Allocates; telemetry loops that only need a tally should use
+    /// [`HealthLedger::quarantined_count`].
     pub fn quarantined(&self) -> Vec<ExtensionId> {
         let entries = self.entries.lock();
         entries
@@ -342,6 +345,41 @@ impl HealthLedger {
             .filter(|(_, e)| !matches!(e.breaker, Breaker::Closed))
             .map(|(id, _)| *id)
             .collect()
+    }
+
+    /// How many extensions are currently quarantined or on probation —
+    /// the allocation-free twin of [`HealthLedger::quarantined`].
+    pub fn quarantined_count(&self) -> usize {
+        if self.attention.load(Ordering::Relaxed) == 0 {
+            return 0;
+        }
+        let entries = self.entries.lock();
+        entries
+            .values()
+            .filter(|e| !matches!(e.breaker, Breaker::Closed))
+            .count()
+    }
+
+    /// The breaker state of `id` alone — the allocation-light probe for
+    /// hot paths that do not need [`HealthLedger::report`]'s fault
+    /// history (`HealthState` owns no heap). Unknown ids are healthy.
+    pub fn state(&self, id: ExtensionId) -> HealthState {
+        if self.attention.load(Ordering::Relaxed) == 0 {
+            return HealthState::Healthy;
+        }
+        let cooldown = self.config.lock().cooldown.as_millis() as u64;
+        let entries = self.entries.lock();
+        match entries.get(&id).map(|e| &e.breaker) {
+            None | Some(Breaker::Closed) => HealthState::Healthy,
+            Some(Breaker::Open { since_ms, cause }) => {
+                let deadline = since_ms.saturating_add(cooldown);
+                HealthState::Quarantined {
+                    cause: *cause,
+                    retry_after: Duration::from_millis(deadline.saturating_sub(self.now_ms())),
+                }
+            }
+            Some(Breaker::HalfOpen { cause }) => HealthState::Probation { cause: *cause },
+        }
     }
 
     /// The diagnostic report for `id` — what `explain` shows for a
@@ -485,6 +523,42 @@ mod tests {
             ledger.record_fault(ID, ExtFault::Trap),
             Some(ExtFault::Trap)
         );
+    }
+
+    #[test]
+    fn light_accessors_match_the_report() {
+        let ledger = HealthLedger::new(config(1, 10_000, 500));
+        assert_eq!(ledger.state(ID), HealthState::Healthy);
+        assert_eq!(ledger.quarantined_count(), 0);
+        ledger.record_fault(ID, ExtFault::Memory);
+        assert!(matches!(
+            ledger.state(ID),
+            HealthState::Quarantined {
+                cause: ExtFault::Memory,
+                ..
+            }
+        ));
+        assert!(matches!(
+            ledger.report(ID).state,
+            HealthState::Quarantined {
+                cause: ExtFault::Memory,
+                ..
+            }
+        ));
+        assert_eq!(ledger.quarantined_count(), 1);
+        assert_eq!(ledger.quarantined(), vec![ID]);
+        ledger.advance(Duration::from_millis(600));
+        assert_eq!(ledger.admit(ID), Ok(Admit::Trial));
+        assert!(matches!(
+            ledger.state(ID),
+            HealthState::Probation {
+                cause: ExtFault::Memory
+            }
+        ));
+        assert_eq!(ledger.quarantined_count(), 1);
+        ledger.record_success(ID);
+        assert_eq!(ledger.state(ID), HealthState::Healthy);
+        assert_eq!(ledger.quarantined_count(), 0);
     }
 
     #[test]

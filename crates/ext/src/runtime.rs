@@ -3,7 +3,7 @@
 use crate::authenticate::{AuthError, KeyRing, ModuleSignature};
 use crate::dispatch::Dispatcher;
 use crate::extension::{Extension, ExtensionId, ExtensionManifest};
-use crate::health::{Admit, HealthConfig, HealthLedger, HealthReport, QuarantineInfo};
+use crate::health::{Admit, HealthConfig, HealthLedger, HealthReport, HealthState, QuarantineInfo};
 use crate::service::{CallCtx, Reenter, Service, ServiceError};
 use extsec_acl::AccessMode;
 use extsec_mac::SecurityClass;
@@ -11,11 +11,14 @@ use extsec_namespace::{NsPath, PathError};
 use extsec_refmon::{
     Decision, DenyReason, DispatchOutcome, ExtFault, MonitorError, ReferenceMonitor, Subject,
 };
-use extsec_vm::{Machine, Module, SyscallHost, Trap, Value, VerifyError};
-use parking_lot::RwLock;
+use extsec_vm::{
+    EpochClock, Machine, MachineLimits, Module, SyscallHost, Trap, Value, VerifyError,
+};
+use parking_lot::{Mutex, RwLock};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Maximum nesting of gate crossings (extension → service → extension →
@@ -147,6 +150,15 @@ pub struct ExtRuntime {
     extensions: RwLock<Vec<Option<Arc<Extension>>>>,
     dispatcher: RwLock<Dispatcher>,
     health: HealthLedger,
+    /// Per-execution resource limits applied to every dispatch.
+    machine_limits: Mutex<MachineLimits>,
+    /// The shared epoch every dispatched machine samples.
+    epoch: EpochClock,
+    /// Epoch ticks granted per dispatch (0 = preemption disabled).
+    /// Each dispatch's deadline is `epoch.now() + slice`, so a stalled
+    /// extension is cut off after that many ticker periods regardless
+    /// of its fuel budget.
+    epoch_slice: AtomicU64,
 }
 
 impl ExtRuntime {
@@ -158,6 +170,9 @@ impl ExtRuntime {
             extensions: RwLock::new(Vec::new()),
             dispatcher: RwLock::new(Dispatcher::new()),
             health: HealthLedger::new(HealthConfig::default()),
+            machine_limits: Mutex::new(MachineLimits::default()),
+            epoch: EpochClock::new(),
+            epoch_slice: AtomicU64::new(0),
         })
     }
 
@@ -180,6 +195,39 @@ impl ExtRuntime {
     /// shows for a quarantine refusal.
     pub fn explain_health(&self, id: ExtensionId) -> HealthReport {
         self.health.report(id)
+    }
+
+    /// The breaker state of one extension, without the report's fault
+    /// history — the allocation-light probe for hot paths.
+    pub fn health_state(&self, id: ExtensionId) -> HealthState {
+        self.health.state(id)
+    }
+
+    /// Replaces the per-execution machine limits applied to every
+    /// dispatched extension (fuel, call depth, memory budget, epoch
+    /// check interval).
+    pub fn set_machine_limits(&self, limits: MachineLimits) {
+        *self.machine_limits.lock() = limits;
+    }
+
+    /// The current per-execution machine limits.
+    pub fn machine_limits(&self) -> MachineLimits {
+        *self.machine_limits.lock()
+    }
+
+    /// The runtime's shared epoch clock. Drive it with an
+    /// [`extsec_vm::EpochTicker`] (or manual [`EpochClock::tick`] calls
+    /// in deterministic tests) and arm per-dispatch deadlines with
+    /// [`ExtRuntime::set_epoch_slice`].
+    pub fn epoch(&self) -> &EpochClock {
+        &self.epoch
+    }
+
+    /// Grants every dispatch `slice` epoch ticks of wall clock before
+    /// it is preempted; 0 disables preemption (the default, preserving
+    /// deterministic fuel-only behavior).
+    pub fn set_epoch_slice(&self, slice: u64) {
+        self.epoch_slice.store(slice, Ordering::Relaxed);
     }
 
     /// Mounts a service at `prefix` (TCB operation). The service's
@@ -350,7 +398,7 @@ impl ExtRuntime {
 
     /// Returns the number of registrations on `interface`.
     pub fn registrations_on(&self, interface: &NsPath) -> usize {
-        self.dispatcher.read().registrations(interface).len()
+        self.dispatcher.read().registration_count(interface)
     }
 
     // ------------------------------------------------------------------
@@ -409,20 +457,21 @@ impl ExtRuntime {
             return self.run_extension(ext_id, &export, args, &effective, depth);
         }
 
-        // Base service: longest mounted prefix of `path`.
+        // Base service: longest mounted prefix of `path`. Walk the
+        // parent chain deepest-first — O(path depth) map probes instead
+        // of a linear scan over every mounted service.
         let service = {
             let services = self.services.read();
-            let mut best: Option<(NsPath, Arc<dyn Service>)> = None;
-            for (prefix, svc) in services.iter() {
-                if path.starts_with(prefix)
-                    && best
-                        .as_ref()
-                        .is_none_or(|(b, _)| prefix.depth() > b.depth())
-                {
-                    best = Some((prefix.clone(), Arc::clone(svc)));
+            let mut probe = Some(path.clone());
+            let mut found: Option<(NsPath, Arc<dyn Service>)> = None;
+            while let Some(prefix) = probe {
+                if let Some(svc) = services.get(&prefix) {
+                    found = Some((prefix, Arc::clone(svc)));
+                    break;
                 }
+                probe = prefix.parent();
             }
-            best
+            found
         };
         let Some((prefix, service)) = service else {
             self.monitor
@@ -504,6 +553,21 @@ impl ExtRuntime {
         // The dispatch boundary is the one place a panic from extension
         // hosting (or an injected one) is contained: the breaker records
         // it and the caller sees a typed error, not an unwinding thread.
+        // Per-execution resource bounds. Deterministic fault points let
+        // storms force each new trap path: `ext.limits.oom` collapses
+        // the memory budget so the entry frame itself overflows, and
+        // `ext.limits.preempt` expires the epoch deadline immediately —
+        // an epoch tick mid-dispatch without a ticker thread.
+        let mut limits = *self.machine_limits.lock();
+        let slice = self.epoch_slice.load(Ordering::Relaxed);
+        let mut deadline = (slice > 0).then(|| self.epoch.now().saturating_add(slice));
+        if extsec_faults::fire("ext.limits.oom").is_some() {
+            limits.memory_bytes = 0;
+        }
+        if extsec_faults::fire("ext.limits.preempt").is_some() {
+            limits.epoch_check_interval = 1;
+            deadline = Some(self.epoch.now());
+        }
         let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
             if let Some(fault) = extsec_faults::fire_panicky("ext.dispatch") {
                 return Err(Trap::Host(fault.to_string()));
@@ -513,7 +577,10 @@ impl ExtRuntime {
                 subject: &effective,
                 depth,
             };
-            let mut machine = Machine::new(&ext.module);
+            let mut machine = Machine::with_limits(&ext.module, limits);
+            if let Some(deadline) = deadline {
+                machine.set_epoch(self.epoch.clone(), deadline);
+            }
             machine.run(export, args, &mut host)
         }));
         let result = match outcome {
@@ -534,11 +601,18 @@ impl ExtRuntime {
             // of the extension; the ledger ignores it.
             Err(Trap::NoSuchExport(name)) => Err(ExtError::NoSuchExport(name)),
             Err(trap) => {
-                let kind = if matches!(trap, Trap::OutOfFuel) {
-                    ExtFault::Fuel
-                } else {
-                    ExtFault::Trap
+                let kind = match trap {
+                    Trap::OutOfFuel => ExtFault::Fuel,
+                    Trap::OutOfMemory => ExtFault::Memory,
+                    Trap::Preempted => ExtFault::Preempted,
+                    _ => ExtFault::Trap,
                 };
+                // Resource kills get their own audit record even before
+                // the breaker trips: an operator reviewing /ext/<id>
+                // sees each cut-off, not just the eventual quarantine.
+                if matches!(kind, ExtFault::Memory | ExtFault::Preempted) {
+                    self.audit_resource_kill(subject, id, kind);
+                }
                 self.note_fault(id, subject, kind);
                 Err(ExtError::Trap(trap))
             }
@@ -557,6 +631,20 @@ impl ExtRuntime {
                 retry_after: self.health.config().cooldown,
             };
             self.audit_quarantine(subject, id, &info, "breaker tripped");
+        }
+    }
+
+    /// Appends a resource-kill event (memory budget or epoch deadline)
+    /// to the audit log under the extension's `/ext/<id>` path.
+    fn audit_resource_kill(&self, subject: &Subject, id: ExtensionId, kind: ExtFault) {
+        if let Ok(path) = format!("/ext/{id}").parse::<NsPath>() {
+            self.monitor.audit().record(
+                subject,
+                &path,
+                AccessMode::Execute,
+                &Decision::Deny(DenyReason::Structure(format!("resource kill: {kind}"))),
+                self.monitor.policy_generation(),
+            );
         }
     }
 

@@ -204,15 +204,22 @@ pub enum ExtFault {
     VerifyReject = 2,
     /// A panic crossed the dispatch boundary and was caught there.
     HostPanic = 3,
+    /// The extension exhausted its per-execution memory budget.
+    Memory = 4,
+    /// The extension was preempted by the epoch deadline (wall-clock
+    /// bound, independent of fuel).
+    Preempted = 5,
 }
 
 impl ExtFault {
     /// All fault classes, in declaration order.
-    pub const ALL: [ExtFault; 4] = [
+    pub const ALL: [ExtFault; 6] = [
         ExtFault::Trap,
         ExtFault::Fuel,
         ExtFault::VerifyReject,
         ExtFault::HostPanic,
+        ExtFault::Memory,
+        ExtFault::Preempted,
     ];
 
     /// Number of fault classes.
@@ -225,6 +232,8 @@ impl ExtFault {
             ExtFault::Fuel => "fuel",
             ExtFault::VerifyReject => "verify-reject",
             ExtFault::HostPanic => "host-panic",
+            ExtFault::Memory => "memory",
+            ExtFault::Preempted => "preempted",
         }
     }
 }

@@ -1,10 +1,27 @@
-//! The fuel-limited interpreter.
+//! The fuel-limited, memory-bounded, preemptible interpreter.
+//!
+//! Execution is bounded along three independent axes, in the wasmtime
+//! spirit of fuel + epoch interruption + a resource limiter:
+//!
+//! * **Fuel** prices every instruction and bounds total work even when
+//!   no wall clock exists (deterministic, replayable).
+//! * **Memory accounting** prices every stack slot, local, call frame,
+//!   and string byte against [`MachineLimits::memory_bytes`], so a
+//!   heap-hungry extension traps with [`Trap::OutOfMemory`] instead of
+//!   growing the host's heap.
+//! * **Epoch preemption** checks a shared relaxed [`EpochClock`] every
+//!   [`MachineLimits::epoch_check_interval`] instructions and traps
+//!   with [`Trap::Preempted`] once the deadline passes — the wall-clock
+//!   backstop for a miscalibrated fuel price.
 
 use crate::instr::Instr;
 use crate::module::ImportDecl;
 use crate::types::Value;
 use crate::verify::VerifiedModule;
 use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
 
 /// Resource limits for one execution.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -16,6 +33,14 @@ pub struct MachineLimits {
     pub max_call_depth: usize,
     /// Extra fuel charged per syscall (gates are not free).
     pub syscall_cost: u64,
+    /// Per-execution memory budget in accounted bytes: operand-stack
+    /// slots, locals, call frames, and string heap bytes all count.
+    /// Exceeding it traps with [`Trap::OutOfMemory`].
+    pub memory_bytes: u64,
+    /// How many instructions may retire between epoch-deadline checks.
+    /// Smaller is more responsive, larger is cheaper; the check itself
+    /// is one relaxed atomic load. Zero behaves as one.
+    pub epoch_check_interval: u32,
 }
 
 impl Default for MachineLimits {
@@ -24,8 +49,100 @@ impl Default for MachineLimits {
             fuel: 1_000_000,
             max_call_depth: 256,
             syscall_cost: 16,
+            memory_bytes: 1 << 20,
+            epoch_check_interval: 128,
         }
     }
+}
+
+/// A shared, monotonically increasing epoch counter.
+///
+/// Clones share the same underlying counter. The interpreter samples it
+/// with one relaxed load (amortized over
+/// [`MachineLimits::epoch_check_interval`] instructions); a ticker —
+/// [`EpochTicker`] or any external driver calling [`EpochClock::tick`] —
+/// advances it. Because the counter only moves forward, a deadline
+/// comparison never needs stronger ordering than `Relaxed`.
+#[derive(Clone, Debug, Default)]
+pub struct EpochClock {
+    ticks: Arc<AtomicU64>,
+}
+
+impl EpochClock {
+    /// A fresh clock at epoch zero.
+    pub fn new() -> Self {
+        EpochClock::default()
+    }
+
+    /// The current epoch.
+    pub fn now(&self) -> u64 {
+        self.ticks.load(Ordering::Relaxed)
+    }
+
+    /// Advances the epoch by one and returns the new value.
+    pub fn tick(&self) -> u64 {
+        self.ticks.fetch_add(1, Ordering::Relaxed) + 1
+    }
+}
+
+/// A background thread advancing an [`EpochClock`] at a fixed period.
+///
+/// Dropping the ticker stops and joins the thread. One ticker can serve
+/// any number of machines sharing the clock — the wasmtime idiom of a
+/// single `increment_epoch` driver per engine.
+pub struct EpochTicker {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl EpochTicker {
+    /// Spawns a ticker advancing `clock` every `period`.
+    pub fn spawn(clock: EpochClock, period: Duration) -> Self {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("extsec-epoch".into())
+            .spawn(move || {
+                while !stop_flag.load(Ordering::Relaxed) {
+                    std::thread::sleep(period);
+                    clock.tick();
+                }
+            })
+            .expect("spawn epoch ticker");
+        EpochTicker {
+            stop,
+            handle: Some(handle),
+        }
+    }
+}
+
+impl Drop for EpochTicker {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Accounted size of one operand-stack slot or local (the discriminant
+/// plus inline payload; strings add their byte length on top).
+const SLOT_COST: u64 = 16;
+/// Accounted overhead of one call frame (bookkeeping besides its
+/// locals and stack slots, which are priced individually).
+const FRAME_COST: u64 = 64;
+
+/// Heap bytes owned by a value beyond its slot (string payloads).
+fn heap_cost(v: &Value) -> u64 {
+    match v {
+        Value::Str(s) => s.len() as u64,
+        _ => 0,
+    }
+}
+
+/// Full accounted cost of a value: its slot plus owned heap bytes.
+fn value_cost(v: &Value) -> u64 {
+    SLOT_COST + heap_cost(v)
 }
 
 /// A runtime trap: why execution stopped abnormally.
@@ -33,6 +150,12 @@ impl Default for MachineLimits {
 pub enum Trap {
     /// The fuel budget was exhausted (the denial-of-service backstop).
     OutOfFuel,
+    /// The per-execution memory budget was exhausted (the heap-growth
+    /// backstop; see [`MachineLimits::memory_bytes`]).
+    OutOfMemory,
+    /// The epoch deadline passed (the wall-clock backstop, independent
+    /// of fuel; see [`EpochClock`]).
+    Preempted,
     /// Integer division or remainder by zero.
     DivideByZero,
     /// `i64::MIN / -1` style overflow in division.
@@ -58,6 +181,8 @@ impl fmt::Display for Trap {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Trap::OutOfFuel => write!(f, "out of fuel"),
+            Trap::OutOfMemory => write!(f, "out of memory"),
+            Trap::Preempted => write!(f, "preempted by epoch deadline"),
             Trap::DivideByZero => write!(f, "division by zero"),
             Trap::IntegerOverflow => write!(f, "integer overflow"),
             Trap::Explicit => write!(f, "explicit trap"),
@@ -110,6 +235,10 @@ pub struct Machine<'m> {
     verified: &'m VerifiedModule,
     limits: MachineLimits,
     fuel_used: u64,
+    mem_used: u64,
+    mem_peak: u64,
+    epoch: Option<(EpochClock, u64)>,
+    epoch_countdown: u32,
 }
 
 impl<'m> Machine<'m> {
@@ -124,12 +253,68 @@ impl<'m> Machine<'m> {
             verified,
             limits,
             fuel_used: 0,
+            mem_used: 0,
+            mem_peak: 0,
+            epoch: None,
+            epoch_countdown: 0,
         }
+    }
+
+    /// Arms epoch preemption: execution traps with [`Trap::Preempted`]
+    /// once `clock` reaches `deadline`. The check is amortized over
+    /// [`MachineLimits::epoch_check_interval`] instructions.
+    pub fn set_epoch(&mut self, clock: EpochClock, deadline: u64) {
+        self.epoch = Some((clock, deadline));
+    }
+
+    /// Builder-style [`Machine::set_epoch`].
+    pub fn with_epoch(mut self, clock: EpochClock, deadline: u64) -> Self {
+        self.set_epoch(clock, deadline);
+        self
+    }
+
+    /// Disarms epoch preemption.
+    pub fn clear_epoch(&mut self) {
+        self.epoch = None;
     }
 
     /// Returns the fuel consumed so far (cumulative across runs).
     pub fn fuel_used(&self) -> u64 {
         self.fuel_used
+    }
+
+    /// Accounted bytes currently live (exactly zero after a clean run;
+    /// nonzero after a trap, reflecting the state abandoned mid-flight).
+    pub fn mem_used(&self) -> u64 {
+        self.mem_used
+    }
+
+    /// High-water mark of accounted bytes during the most recent run.
+    pub fn mem_peak(&self) -> u64 {
+        self.mem_peak
+    }
+
+    /// Charges `bytes` against the memory budget.
+    fn charge(&mut self, bytes: u64) -> Result<(), Trap> {
+        let next = self.mem_used.saturating_add(bytes);
+        if next > self.limits.memory_bytes {
+            // Planted mutant for campaign self-tests: skips the limit
+            // check (fail-open). Compiled out unless `fault-injection`
+            // is armed AND a scripted mutant names this tag.
+            if extsec_faults::fire_mutant("vm.mem.limit_skip").is_none() {
+                return Err(Trap::OutOfMemory);
+            }
+        }
+        self.mem_used = next;
+        if next > self.mem_peak {
+            self.mem_peak = next;
+        }
+        Ok(())
+    }
+
+    /// Releases `bytes` back to the budget.
+    fn credit(&mut self, bytes: u64) {
+        self.mem_used = self.mem_used.saturating_sub(bytes);
     }
 
     /// Runs the exported function `name` with `args`.
@@ -156,6 +341,13 @@ impl<'m> Machine<'m> {
         }
         let mut locals: Vec<Value> = args.to_vec();
         locals.extend(function.extra_locals.iter().map(|ty| Value::zero_of(*ty)));
+        // Memory accounting is per-execution (fuel stays cumulative):
+        // reset, then price the entry frame and its locals.
+        self.mem_used = 0;
+        self.mem_peak = 0;
+        self.epoch_countdown = self.limits.epoch_check_interval.max(1);
+        let entry_cost = FRAME_COST + locals.iter().map(value_cost).sum::<u64>();
+        self.charge(entry_cost)?;
         let mut frames = vec![Frame {
             func: func_idx,
             pc: 0,
@@ -169,22 +361,43 @@ impl<'m> Machine<'m> {
             if self.fuel_used > self.limits.fuel {
                 return Err(Trap::OutOfFuel);
             }
+            // Amortized epoch-deadline check: one decrement per
+            // instruction, one relaxed load every `epoch_check_interval`.
+            self.epoch_countdown -= 1;
+            if self.epoch_countdown == 0 {
+                self.epoch_countdown = self.limits.epoch_check_interval.max(1);
+                if let Some((clock, deadline)) = &self.epoch {
+                    if clock.now() >= *deadline {
+                        return Err(Trap::Preempted);
+                    }
+                }
+            }
             let frame = frames.last_mut().expect("at least one frame");
             let function = &module.functions[frame.func];
             let instr = function.code[frame.pc];
             frame.pc += 1;
             match instr {
-                Instr::PushInt(v) => frame.stack.push(Value::Int(v)),
-                Instr::PushBool(v) => frame.stack.push(Value::Bool(v)),
-                Instr::PushStr(i) => frame
-                    .stack
-                    .push(Value::Str(module.strings[i as usize].clone())),
+                Instr::PushInt(v) => {
+                    self.charge(SLOT_COST)?;
+                    frame.stack.push(Value::Int(v));
+                }
+                Instr::PushBool(v) => {
+                    self.charge(SLOT_COST)?;
+                    frame.stack.push(Value::Bool(v));
+                }
+                Instr::PushStr(i) => {
+                    let s = &module.strings[i as usize];
+                    self.charge(SLOT_COST + s.len() as u64)?;
+                    frame.stack.push(Value::Str(s.clone()));
+                }
                 Instr::Dup => {
                     let top = frame.stack.last().cloned().ok_or(Trap::Internal("dup"))?;
+                    self.charge(value_cost(&top))?;
                     frame.stack.push(top);
                 }
                 Instr::Pop => {
-                    frame.stack.pop().ok_or(Trap::Internal("pop"))?;
+                    let v = frame.stack.pop().ok_or(Trap::Internal("pop"))?;
+                    self.credit(value_cost(&v));
                 }
                 Instr::Swap => {
                     let n = frame.stack.len();
@@ -195,10 +408,14 @@ impl<'m> Machine<'m> {
                 }
                 Instr::LoadLocal(i) => {
                     let v = frame.locals[i as usize].clone();
+                    self.charge(value_cost(&v))?;
                     frame.stack.push(v);
                 }
                 Instr::StoreLocal(i) => {
                     let v = frame.stack.pop().ok_or(Trap::Internal("store"))?;
+                    // The value's heap bytes move from stack to local;
+                    // the slot is freed and the old local's heap dies.
+                    self.credit(SLOT_COST + heap_cost(&frame.locals[i as usize]));
                     frame.locals[i as usize] = v;
                 }
                 Instr::Add | Instr::Sub | Instr::Mul => {
@@ -209,6 +426,7 @@ impl<'m> Machine<'m> {
                         Instr::Sub => a.wrapping_sub(b),
                         _ => a.wrapping_mul(b),
                     };
+                    self.credit(SLOT_COST);
                     frame.stack.push(Value::Int(r));
                 }
                 Instr::Div | Instr::Rem => {
@@ -222,6 +440,7 @@ impl<'m> Machine<'m> {
                     } else {
                         a.checked_rem(b).ok_or(Trap::IntegerOverflow)?
                     };
+                    self.credit(SLOT_COST);
                     frame.stack.push(Value::Int(r));
                 }
                 Instr::Neg => {
@@ -231,6 +450,7 @@ impl<'m> Machine<'m> {
                 Instr::Eq | Instr::Ne => {
                     let b = frame.stack.pop().ok_or(Trap::Internal("eq"))?;
                     let a = frame.stack.pop().ok_or(Trap::Internal("eq"))?;
+                    self.credit(SLOT_COST + heap_cost(&a) + heap_cost(&b));
                     let eq = a == b;
                     frame.stack.push(Value::Bool(if matches!(instr, Instr::Eq) {
                         eq
@@ -247,6 +467,7 @@ impl<'m> Machine<'m> {
                         Instr::Gt => a > b,
                         _ => a >= b,
                     };
+                    self.credit(SLOT_COST);
                     frame.stack.push(Value::Bool(r));
                 }
                 Instr::Not => {
@@ -261,34 +482,45 @@ impl<'m> Machine<'m> {
                     } else {
                         a || b
                     };
+                    self.credit(SLOT_COST);
                     frame.stack.push(Value::Bool(r));
                 }
                 Instr::Concat => {
+                    // Heap bytes are conserved (len a + len b) and one
+                    // slot is freed; the growth was priced when the
+                    // operands were pushed/loaded.
                     let b = pop_str(frame)?;
                     let mut a = pop_str(frame)?;
                     a.push_str(&b);
+                    self.credit(SLOT_COST);
                     frame.stack.push(Value::Str(a));
                 }
                 Instr::StrLen => {
                     let s = pop_str(frame)?;
+                    self.credit(s.len() as u64);
                     frame.stack.push(Value::Int(s.len() as i64));
                 }
                 Instr::IntToStr => {
                     let a = pop_int(frame)?;
-                    frame.stack.push(Value::Str(a.to_string()));
+                    let s = a.to_string();
+                    self.charge(s.len() as u64)?;
+                    frame.stack.push(Value::Str(s));
                 }
                 Instr::StrToInt => {
                     let s = pop_str(frame)?;
                     let v: i64 = s.trim().parse().map_err(|_| Trap::BadParse)?;
+                    self.credit(s.len() as u64);
                     frame.stack.push(Value::Int(v));
                 }
                 Instr::Jump(target) => frame.pc = target as usize,
                 Instr::JumpIf(target) => {
+                    self.credit(SLOT_COST);
                     if pop_bool(frame)? {
                         frame.pc = target as usize;
                     }
                 }
                 Instr::JumpIfNot(target) => {
+                    self.credit(SLOT_COST);
                     if !pop_bool(frame)? {
                         frame.pc = target as usize;
                     }
@@ -298,6 +530,10 @@ impl<'m> Machine<'m> {
                         return Err(Trap::CallDepthExceeded);
                     }
                     let callee = &module.functions[i as usize];
+                    // Argument slots move from the caller's stack into
+                    // the callee's locals; only the frame and the
+                    // zero-initialized extra locals are new.
+                    self.charge(FRAME_COST + callee.extra_locals.len() as u64 * SLOT_COST)?;
                     let n = callee.sig.params.len();
                     let frame = frames.last_mut().expect("frame");
                     let split = frame.stack.len() - n;
@@ -320,9 +556,15 @@ impl<'m> Machine<'m> {
                     let frame = frames.last_mut().expect("frame");
                     let split = frame.stack.len() - n;
                     let args: Vec<Value> = frame.stack.split_off(split);
+                    let args_cost: u64 = args.iter().map(value_cost).sum();
+                    self.credit(args_cost);
                     let result = host.syscall(import, &args).map_err(Trap::Host)?;
                     match (import.sig.ret, result) {
-                        (Some(ty), Some(v)) if v.ty() == ty => frame.stack.push(v),
+                        (Some(ty), Some(v)) if v.ty() == ty => {
+                            let frame = frames.last_mut().expect("frame");
+                            self.charge(value_cost(&v))?;
+                            frame.stack.push(v);
+                        }
                         (None, None) => {}
                         _ => {
                             return Err(Trap::Host(format!(
@@ -335,23 +577,34 @@ impl<'m> Machine<'m> {
                 Instr::Return => {
                     let finished = frames.pop().expect("frame");
                     let function = &module.functions[finished.func];
+                    let mut stack = finished.stack;
                     let ret = match function.sig.ret {
-                        Some(_) => Some(
-                            finished
-                                .stack
-                                .into_iter()
-                                .next_back()
-                                .ok_or(Trap::Internal("ret"))?,
-                        ),
+                        Some(_) => Some(stack.pop().ok_or(Trap::Internal("ret"))?),
                         None => None,
                     };
+                    // The frame, its locals, and any unconsumed stack
+                    // values die; the return value keeps its slot (it
+                    // moves to the caller's stack).
+                    let freed = FRAME_COST
+                        + finished
+                            .locals
+                            .iter()
+                            .chain(stack.iter())
+                            .map(value_cost)
+                            .sum::<u64>();
+                    self.credit(freed);
                     match frames.last_mut() {
                         Some(caller) => {
                             if let Some(v) = ret {
                                 caller.stack.push(v);
                             }
                         }
-                        None => return Ok(ret),
+                        None => {
+                            if let Some(v) = &ret {
+                                self.credit(value_cost(v));
+                            }
+                            return Ok(ret);
+                        }
                     }
                 }
                 Instr::Trap => return Err(Trap::Explicit),
@@ -808,6 +1061,175 @@ mod tests {
         assert_eq!(
             Machine::new(&verified).run("boom", &[], &mut NullHost),
             Err(Trap::Explicit)
+        );
+    }
+
+    /// `hog = s; loop { hog = hog + hog }` — doubles its heap footprint
+    /// every iteration.
+    fn hog_module() -> Module {
+        Module {
+            name: "hog".into(),
+            strings: vec!["abcdefgh".into()],
+            imports: vec![],
+            functions: vec![Function {
+                name: "main".into(),
+                sig: Signature::new(vec![], None),
+                extra_locals: vec![Ty::Str],
+                code: vec![
+                    Instr::PushStr(0),
+                    Instr::StoreLocal(0),
+                    Instr::LoadLocal(0), // 2: loop head
+                    Instr::LoadLocal(0),
+                    Instr::Concat,
+                    Instr::StoreLocal(0),
+                    Instr::Jump(2),
+                ],
+            }],
+            exports: vec![Export {
+                name: "main".into(),
+                func: 0,
+            }],
+        }
+    }
+
+    fn spin_module() -> Module {
+        Module {
+            name: "spin".into(),
+            strings: vec![],
+            imports: vec![],
+            functions: vec![Function {
+                name: "spin".into(),
+                sig: Signature::new(vec![], None),
+                extra_locals: vec![],
+                code: vec![Instr::Jump(0)],
+            }],
+            exports: vec![Export {
+                name: "spin".into(),
+                func: 0,
+            }],
+        }
+    }
+
+    #[test]
+    fn memory_hog_traps_out_of_memory() {
+        let verified = verify(hog_module()).unwrap();
+        let mut machine = Machine::with_limits(
+            &verified,
+            MachineLimits {
+                fuel: u64::MAX / 2,
+                memory_bytes: 64 * 1024,
+                ..MachineLimits::default()
+            },
+        );
+        assert_eq!(
+            machine.run("main", &[], &mut NullHost),
+            Err(Trap::OutOfMemory)
+        );
+        // Doubling from 8 bytes reaches 64 KiB in ~13 iterations: the
+        // budget cut it off long before fuel would have.
+        assert!(machine.fuel_used() < 1000, "fuel {}", machine.fuel_used());
+        assert!(machine.mem_peak() <= 3 * 64 * 1024);
+    }
+
+    #[test]
+    fn clean_run_accounts_back_to_zero() {
+        // Strings, arithmetic, a call, and conversions: every accounted
+        // byte must be credited back by the time the entry returns.
+        let module = Module {
+            name: "t".into(),
+            strings: vec!["x".into()],
+            imports: vec![],
+            functions: vec![
+                Function {
+                    name: "main".into(),
+                    sig: Signature::new(vec![], Some(Ty::Int)),
+                    extra_locals: vec![Ty::Str],
+                    code: vec![
+                        Instr::PushStr(0),
+                        Instr::PushInt(1234),
+                        Instr::IntToStr,
+                        Instr::Concat,
+                        Instr::StoreLocal(0),
+                        Instr::LoadLocal(0),
+                        Instr::Call(1),
+                        Instr::Return,
+                    ],
+                },
+                Function {
+                    name: "len".into(),
+                    sig: Signature::new(vec![Ty::Str], Some(Ty::Int)),
+                    extra_locals: vec![],
+                    code: vec![Instr::LoadLocal(0), Instr::StrLen, Instr::Return],
+                },
+            ],
+            exports: vec![Export {
+                name: "main".into(),
+                func: 0,
+            }],
+        };
+        let verified = verify(module).unwrap();
+        let mut machine = Machine::new(&verified);
+        let r = machine.run("main", &[], &mut NullHost).unwrap();
+        assert_eq!(r, Some(Value::Int(5)));
+        assert_eq!(machine.mem_used(), 0, "accounting must balance");
+        assert!(machine.mem_peak() > 0);
+    }
+
+    #[test]
+    fn infinite_loop_preempted_by_epoch() {
+        let verified = verify(spin_module()).unwrap();
+        // Arbitrarily large fuel: only the epoch can stop this loop.
+        let clock = EpochClock::new();
+        let mut machine = Machine::with_limits(
+            &verified,
+            MachineLimits {
+                fuel: u64::MAX / 2,
+                epoch_check_interval: 16,
+                ..MachineLimits::default()
+            },
+        );
+        machine.set_epoch(clock.clone(), clock.now() + 1);
+        clock.tick();
+        assert_eq!(
+            machine.run("spin", &[], &mut NullHost),
+            Err(Trap::Preempted)
+        );
+        // The check is amortized: it fired at the first interval.
+        assert!(machine.fuel_used() <= 16);
+    }
+
+    #[test]
+    fn epoch_ticker_preempts_on_wall_clock() {
+        let verified = verify(spin_module()).unwrap();
+        let clock = EpochClock::new();
+        let _ticker = EpochTicker::spawn(clock.clone(), Duration::from_millis(1));
+        let mut machine = Machine::with_limits(
+            &verified,
+            MachineLimits {
+                fuel: u64::MAX / 2,
+                ..MachineLimits::default()
+            },
+        )
+        .with_epoch(clock.clone(), clock.now() + 2);
+        assert_eq!(
+            machine.run("spin", &[], &mut NullHost),
+            Err(Trap::Preempted)
+        );
+    }
+
+    #[test]
+    fn epoch_unarmed_still_bounded_by_fuel() {
+        let verified = verify(spin_module()).unwrap();
+        let mut machine = Machine::with_limits(
+            &verified,
+            MachineLimits {
+                fuel: 1000,
+                ..MachineLimits::default()
+            },
+        );
+        assert_eq!(
+            machine.run("spin", &[], &mut NullHost),
+            Err(Trap::OutOfFuel)
         );
     }
 

@@ -12,9 +12,11 @@
 //! * can only leave its sandbox through declared **imports** — named
 //!   system-service procedures that the host resolves through the
 //!   reference monitor (the syscall *gates*), and
-//! * cannot run forever — every instruction costs fuel, which bounds the
-//!   damage of a denial-of-service loop (an aspect the paper explicitly
-//!   defers; see DESIGN.md).
+//! * cannot run forever or grow without bound — every instruction costs
+//!   fuel, every stack slot / local / frame / string byte is accounted
+//!   against a per-execution memory budget, and an amortized epoch check
+//!   preempts on wall clock even when the fuel price is miscalibrated
+//!   (aspects the paper explicitly defers; see DESIGN.md §6.15).
 //!
 //! The [`mod@verify`] module implements the abstract-interpretation verifier;
 //! [`interp`] the interpreter; [`asm`] a small text assembler so that
@@ -62,7 +64,7 @@ pub mod wire;
 
 pub use disasm::disassemble;
 pub use instr::Instr;
-pub use interp::{Machine, MachineLimits, NullHost, SyscallHost, Trap};
+pub use interp::{EpochClock, EpochTicker, Machine, MachineLimits, NullHost, SyscallHost, Trap};
 pub use module::{Export, Function, ImportDecl, Module, Signature};
 pub use types::{Ty, Value};
 pub use verify::{verify, VerifiedModule, VerifyError};

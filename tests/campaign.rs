@@ -240,6 +240,45 @@ fn planted_quarantine_bypass_is_found_and_minimized() {
     assert_eq!(replayed.invariant, Invariant::QuarantineBypass);
 }
 
+#[test]
+fn planted_memory_limit_skip_is_found_and_minimized() {
+    let _guard = exclusive();
+    if !armed() {
+        eprintln!("fault machinery compiled out; skipping mutant self-test");
+        return;
+    }
+    // The mutant skips the interpreter's memory-limit check, so a
+    // memory-hog extension runs to completion instead of trapping
+    // OutOfMemory — the resource-bounds invariant catches the first
+    // dispatch of a hog.
+    let spec = WorldSpec::campus(13);
+    let mut cfg = ExploreConfig::clean(3, 2_000);
+    cfg.mutants = vec![Mutant {
+        tag: "vm.mem.limit_skip".into(),
+        nth: None,
+    }];
+    let out = explore(&spec, &cfg);
+    let violation = out
+        .violation
+        .expect("the explorer must find the planted memory-limit skip within 2000 steps");
+    assert_eq!(
+        violation.invariant,
+        Invariant::ResourceBounds,
+        "{violation}"
+    );
+
+    let report = minimize(&out.campaign, 400);
+    assert!(
+        report.campaign.ops.len() <= 8,
+        "minimization left {} ops (spent {} replays):\n{}",
+        report.campaign.ops.len(),
+        report.replays,
+        report.campaign.to_text()
+    );
+    let replayed = replay(&report.campaign).expect("minimized campaign must still reproduce");
+    assert_eq!(replayed.invariant, Invariant::ResourceBounds);
+}
+
 // ---------------------------------------------------------------------
 // 4. Corpus replay: checked-in minimized campaigns stay reproducible.
 // ---------------------------------------------------------------------
@@ -310,6 +349,13 @@ fn regenerate_corpus() {
             2,
             2_000,
             "ext.admit.bypass",
+        ),
+        (
+            "memory_limit_skip.campaign",
+            WorldSpec::campus(13),
+            3,
+            2_000,
+            "vm.mem.limit_skip",
         ),
     ] {
         let mut cfg = ExploreConfig::clean(seed, steps);

@@ -141,6 +141,163 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Resource traps are containment, not corruption: under arbitrary
+    /// byte budgets and epoch configurations, an execution of a
+    /// memory-growing loop either completes inside the budget or traps
+    /// with a typed resource trap — and the same machine then runs a
+    /// clean export correctly, with its accounted memory fully reset.
+    #[test]
+    fn resource_traps_never_corrupt_the_machine(
+        budget in 300u64..8192,
+        interval in 1u32..96,
+        expired in any::<bool>(),
+    ) {
+        use extsec::vm::{asm, EpochClock, Machine, MachineLimits, NullHost, Trap, Value};
+        let src = r#"
+module t
+func grow() -> int
+  locals s: str
+  label loop
+  load_local s
+  push_str "0123456789abcdef"
+  concat
+  store_local s
+  jump loop
+end
+func calm() -> int
+  push_int 7
+  ret
+end
+export grow = grow
+export calm = calm
+"#;
+        let verified = extsec::vm::verify(asm::assemble(src).unwrap()).unwrap();
+        let mut machine = Machine::with_limits(
+            &verified,
+            MachineLimits {
+                fuel: 1_000_000,
+                memory_bytes: budget,
+                epoch_check_interval: interval,
+                ..MachineLimits::default()
+            },
+        );
+        // An already-expired deadline preempts at the first epoch check;
+        // an unexpired one (the clock never advances mid-run without a
+        // ticker) leaves the byte budget as the binding bound.
+        let clock = EpochClock::new();
+        clock.tick();
+        machine.set_epoch(clock.clone(), if expired { 0 } else { u64::MAX });
+        let trap = machine.run("grow", &[], &mut NullHost).unwrap_err();
+        prop_assert!(
+            matches!(trap, Trap::OutOfMemory | Trap::Preempted),
+            "expected a resource trap, got {trap:?}"
+        );
+
+        // The trapped machine is immediately reusable: a clean export
+        // runs to the right answer and accounts every byte back.
+        let again = machine.run("calm", &[], &mut NullHost);
+        prop_assert_eq!(again, Ok(Some(Value::Int(7))));
+        prop_assert_eq!(machine.mem_used(), 0, "accounted bytes leaked across runs");
+    }
+}
+
+/// The new `ext.limits.*` fault points obey the same fail-closed law as
+/// every other point: forcing a resource trap may *lose* a grant (the
+/// caller sees a typed trap) but can never *mint* one — a subject the
+/// monitor denies stays denied with the storm raging.
+#[test]
+fn resource_limit_faults_never_mint_grants() {
+    let _x = exclusive();
+    if !armed() {
+        return;
+    }
+    let lattice = Lattice::build(["low", "high"], ["c0"]).unwrap();
+    let mut builder = MonitorBuilder::new(lattice);
+    let alice = builder.add_principal("alice").unwrap();
+    let bob = builder.add_principal("bob").unwrap();
+    let monitor = builder.build();
+    monitor
+        .bootstrap(|ns| {
+            let visible = Protection::new(
+                Acl::public(ModeSet::only(AccessMode::List)),
+                SecurityClass::bottom(),
+            );
+            ns.ensure_path(&p("/svc/iface"), NodeKind::Interface, &visible)?;
+            let handler = ns.insert(
+                &p("/svc/iface"),
+                "handler",
+                NodeKind::Procedure,
+                Protection::default(),
+            )?;
+            ns.set_extensible(handler, true)?;
+            ns.update_protection(handler, |prot| {
+                prot.acl.push(AclEntry::allow_principal_modes(
+                    alice,
+                    ModeSet::of(&[AccessMode::Execute, AccessMode::Extend]),
+                ));
+            })?;
+            Ok(())
+        })
+        .unwrap();
+    let class = monitor.lattice(|l| l.parse_class("low").unwrap());
+    let alice = Subject::new(alice, class.clone());
+    let bob = Subject::new(bob, class);
+    let runtime = ExtRuntime::new(Arc::clone(&monitor));
+    let src = r#"
+module calm
+func main() -> int
+  push_int 1
+  ret
+end
+export main = main
+"#;
+    let id = runtime
+        .load(
+            extsec::vm::asm::assemble(src).unwrap(),
+            ExtensionManifest {
+                name: "calm".into(),
+                principal: alice.principal,
+                origin: Origin::Local,
+                static_class: None,
+            },
+        )
+        .unwrap();
+    let path = p("/svc/iface/handler");
+    runtime.extend(id, &path, "main").unwrap();
+
+    // Fault-free oracle: alice's call routes, bob's is denied.
+    assert!(runtime.call(&alice, &path, &[]).is_ok());
+    assert!(matches!(
+        runtime.call(&bob, &path, &[]).unwrap_err(),
+        ExtError::Monitor(_)
+    ));
+
+    for tag in ["ext.limits.oom", "ext.limits.preempt"] {
+        faults::install(FaultPlan::seeded(5).always(tag, FaultAction::Error));
+        // Alice's grant is lost to a typed resource trap — not kept.
+        let e = runtime.call(&alice, &path, &[]).unwrap_err();
+        assert!(
+            matches!(
+                e,
+                ExtError::Trap(extsec::vm::Trap::OutOfMemory)
+                    | ExtError::Trap(extsec::vm::Trap::Preempted)
+            ),
+            "{tag}: got {e:?}"
+        );
+        // Bob stays denied: the fault point fires after the access
+        // check, so it can only ever shorten an authorized execution.
+        assert!(matches!(
+            runtime.call(&bob, &path, &[]).unwrap_err(),
+            ExtError::Monitor(_)
+        ));
+        let stats = faults::clear();
+        assert!(stats.errors >= 1, "{tag}: the fault point never fired");
+    }
+}
+
 #[test]
 fn scripted_resolve_fault_denies_structurally() {
     let _x = exclusive();
